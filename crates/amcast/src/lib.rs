@@ -1,0 +1,141 @@
+//! # amcast — application-level multicast over Astrolabe
+//!
+//! The dissemination layer of the NewsWire reproduction (paper §5–§6, §9):
+//!
+//! * [`route`] — the recursive `SendToZone(zone, data)` computation over a
+//!   node's replicated zone tables, with conditional forwarding gated by
+//!   [`FilterSpec`] (Bloom positions or category masks).
+//! * [`ForwardingQueues`] — per-child forwarding queues under pluggable
+//!   disciplines ([`Strategy::Fifo`] / [`Strategy::WeightedRoundRobin`] /
+//!   [`Strategy::Priority`]).
+//! * [`DedupWindow`] / [`CoverageWindow`] — duplicate suppression for
+//!   `k`-redundant representative forwarding.
+//! * [`ForwardLog`] — the forwarding component's bounded operational log
+//!   (§9: "each forwarding component maintains a log file").
+//! * [`McastNode`] — the composed simulated node (Astrolabe agent +
+//!   forwarding component).
+//! * [`PbcastNode`] — Bimodal Multicast, the yardstick protocol of §5.
+//!
+//! # Example
+//!
+//! ```
+//! use amcast::{FilterSpec, McastConfig, McastData, McastMsg, McastNode};
+//! use astrolabe::{Agent, Config, ZoneId, ZoneLayout};
+//! use simnet::{NetworkModel, NodeId, SimDuration, SimTime, Simulation};
+//!
+//! let n = 16;
+//! let layout = ZoneLayout::new(n, 4);
+//! let mut config = Config::standard();
+//! config.branching = 4;
+//! let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 3);
+//! for i in 0..n {
+//!     let agent = Agent::new(i, &layout, config.clone(), vec![0]);
+//!     sim.add_node(McastNode::new(agent, McastConfig::default()));
+//! }
+//! // Let membership and representative election converge…
+//! sim.run_until(SimTime::from_secs(40));
+//! // …then multicast from node 0 to the whole system.
+//! let data = McastData {
+//!     id: 424242,
+//!     origin: 0,
+//!     priority: 3,
+//!     payload: bytes::Bytes::from_static(b"breaking"),
+//!     filter: FilterSpec::All,
+//! };
+//! sim.schedule_external(
+//!     SimTime::from_secs(40),
+//!     NodeId(0),
+//!     McastMsg::Publish { data, scope: ZoneId::root() },
+//! );
+//! sim.run_until(SimTime::from_secs(50));
+//! let delivered = sim.iter().filter(|(_, node)| node.has_delivered(424242)).count();
+//! assert_eq!(delivered, n as usize);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod dedup;
+mod log;
+mod mcast;
+mod node;
+mod queues;
+
+pub use bimodal::{PbcastConfig, PbcastMsg, PbcastNode};
+pub use dedup::{CoverageWindow, DedupWindow};
+pub use log::{ForwardEvent, ForwardLog, LogRecord};
+pub use mcast::{route, Action, FilterSpec, McastData};
+pub use node::{McastConfig, McastMsg, McastNode, McastStats};
+pub use queues::{ForwardingQueues, Queued, Strategy};
+
+#[cfg(test)]
+mod proptests {
+    use super::{CoverageWindow, DedupWindow, ForwardingQueues};
+    use super::Strategy as QStrategy;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The dedup window admits each distinct id at most once while it
+        /// remains within capacity.
+        #[test]
+        fn dedup_single_admission(ids in proptest::collection::vec(0u64..50, 1..100)) {
+            let mut w = DedupWindow::new(1000);
+            let mut first = std::collections::HashSet::new();
+            for id in ids {
+                prop_assert_eq!(w.insert(id), first.insert(id));
+            }
+        }
+
+        /// Every queue discipline conserves items: n pushes then n pops,
+        /// and never more.
+        #[test]
+        fn queues_conserve_items(
+            entries in proptest::collection::vec((0u16..6, 0u64..1000, 1u8..9), 0..60),
+            strat in prop_oneof![
+                Just(QStrategy::Fifo),
+                Just(QStrategy::WeightedRoundRobin),
+                Just(QStrategy::Priority)
+            ],
+        ) {
+            let mut q = ForwardingQueues::new(strat);
+            for (i, (child, t, p)) in entries.iter().enumerate() {
+                q.push(*child, *t, *p, i);
+            }
+            let mut popped: Vec<usize> =
+                std::iter::from_fn(|| q.pop().map(|e| e.item)).collect();
+            prop_assert_eq!(popped.len(), entries.len());
+            popped.sort_unstable();
+            prop_assert!(popped.iter().enumerate().all(|(i, &v)| i == v));
+            prop_assert!(q.pop().is_none());
+        }
+
+        /// Priority discipline yields a non-decreasing priority sequence.
+        #[test]
+        fn priority_orders_by_urgency(
+            entries in proptest::collection::vec((0u16..4, 1u8..9), 1..40),
+        ) {
+            let mut q = ForwardingQueues::new(QStrategy::Priority);
+            for (i, (child, p)) in entries.iter().enumerate() {
+                q.push(*child, i as u64, *p, ());
+            }
+            let ps: Vec<u8> = std::iter::from_fn(|| q.pop().map(|e| e.priority)).collect();
+            prop_assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+        }
+
+        /// Coverage admission is monotone: once admitted at depth d, all
+        /// depths >= d are refused until a strictly wider duty arrives.
+        #[test]
+        fn coverage_monotone(depths in proptest::collection::vec(0usize..6, 1..40)) {
+            let mut w = CoverageWindow::new(64);
+            let mut best: Option<usize> = None;
+            for d in depths {
+                let expect = best.is_none_or(|b| d < b);
+                prop_assert_eq!(w.admit(7, d), expect);
+                if expect {
+                    best = Some(d);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,804 @@
+//! The Astrolabe agent: one per participating node.
+//!
+//! Each agent owns its leaf MIB row and replicates the zone tables on its
+//! root path (paper §3: "like a jigsaw puzzle, each participant stores just
+//! a part of the data structure, and the illusion of a tree of tables is
+//! constructed at runtime through a peer-to-peer protocol").
+//!
+//! The agent is written *sans-IO*: [`Agent::on_tick`] and
+//! [`Agent::on_message`] are pure state transitions that return an outbox of
+//! `(peer, GossipMsg)` pairs. Hosts (the simnet wrapper in
+//! [`crate::AstroNode`], the multicast layer in `amcast`, the full NewsWire
+//! node) embed an agent and shuttle its messages, which keeps the protocol
+//! testable in isolation and composable without generics gymnastics.
+//!
+//! # Protocol
+//!
+//! Anti-entropy in three hops. `A` picks, per level it represents, a peer
+//! `B` in a *different* child of the level's zone and sends a digest of all
+//! tables the two share (that zone and every ancestor). `B` replies with the
+//! rows where it is newer plus a want-list of rows where `A` advertised
+//! newer; `A` merges, then ships the wanted rows. Rows are immutable and
+//! stamped `(issued, version, origin)`; newest wins everywhere, which makes
+//! merging commutative, idempotent and eventually consistent.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use simnet::SimTime;
+
+use crate::agg::{parse_program, run_program, AggProgram};
+use crate::config::Config;
+use crate::mib::{Mib, MibBuilder, Stamp};
+use crate::table::{RowDigest, ZoneTable};
+use crate::value::AttrValue;
+use crate::zone::{ZoneId, ZoneLayout};
+
+/// Attribute-name prefix under which dynamic aggregation programs (mobile
+/// code) travel through the hierarchy.
+pub const AGG_ATTR_PREFIX: &str = "sys$agg:";
+
+/// Digest of one table for anti-entropy exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDigest {
+    /// The zone whose table is being advertised.
+    pub zone: ZoneId,
+    /// Per-row version stamps.
+    pub rows: Vec<RowDigest>,
+}
+
+/// A batch of rows from one table.
+#[derive(Debug, Clone)]
+pub struct TableRows {
+    /// The zone whose table the rows belong to.
+    pub zone: ZoneId,
+    /// `(label, row)` pairs.
+    pub rows: Vec<(u16, Arc<Mib>)>,
+}
+
+/// Gossip protocol messages.
+#[derive(Debug, Clone)]
+pub enum GossipMsg {
+    /// Hop 1: advertise row versions for the shared tables.
+    Digest {
+        /// One digest per shared table, leaf-most first.
+        digests: Vec<TableDigest>,
+    },
+    /// Hop 2: rows newer at the receiver, plus a want-list.
+    DigestReply {
+        /// Rows where the replier was newer.
+        rows: Vec<TableRows>,
+        /// `(zone, labels)` the replier wants.
+        want: Vec<(ZoneId, Vec<u16>)>,
+    },
+    /// Hop 3: the wanted rows.
+    Rows {
+        /// Rows the original sender was newer on.
+        rows: Vec<TableRows>,
+    },
+}
+
+impl GossipMsg {
+    /// Approximate wire size in bytes, for traffic accounting.
+    pub fn wire_size(&self) -> usize {
+        fn zone_size(z: &ZoneId) -> usize {
+            2 + z.depth() * 2
+        }
+        fn rows_size(rs: &[TableRows]) -> usize {
+            rs.iter()
+                .map(|t| zone_size(&t.zone) + t.rows.iter().map(|(_, r)| 2 + r.wire_size()).sum::<usize>())
+                .sum()
+        }
+        8 + match self {
+            GossipMsg::Digest { digests } => digests
+                .iter()
+                .map(|d| zone_size(&d.zone) + d.rows.len() * 22)
+                .sum::<usize>(),
+            GossipMsg::DigestReply { rows, want } => {
+                rows_size(rows)
+                    + want.iter().map(|(z, ls)| zone_size(z) + ls.len() * 2).sum::<usize>()
+            }
+            GossipMsg::Rows { rows } => rows_size(rows),
+        }
+    }
+}
+
+/// One node's Astrolabe state machine. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct Agent {
+    id: u32,
+    config: Config,
+    layout: ZoneLayout,
+    /// Zones whose tables this agent replicates: leaf zone first, root last.
+    chain: Vec<ZoneId>,
+    /// `tables[i]` is the replica for `chain[i]`.
+    tables: Vec<ZoneTable>,
+    own_slot: u16,
+    contacts: Vec<u32>,
+    version: u64,
+    local: MibBuilder,
+    compiled: HashMap<String, Option<AggProgram>>,
+    dynamic: BTreeMap<String, String>,
+}
+
+impl Agent {
+    /// Creates the agent for node `id` in the given layout.
+    ///
+    /// `extra_contacts` seed discovery beyond the agent's own leaf zone
+    /// (paper §8 leaves bootstrap configuration out of scope; the simulation
+    /// hands every agent a few random contacts, standing in for the seed
+    /// list a downloaded client would ship with).
+    pub fn new(id: u32, layout: &ZoneLayout, config: Config, extra_contacts: Vec<u32>) -> Self {
+        let chain = layout.ancestor_chain(id);
+        let tables = chain.iter().map(|z| ZoneTable::new(z.clone())).collect();
+        let mut contacts: Vec<u32> =
+            layout.members_of(&layout.leaf_zone(id)).filter(|&m| m != id).collect();
+        contacts.extend(extra_contacts.into_iter().filter(|&c| c != id));
+        contacts.sort_unstable();
+        contacts.dedup();
+        Agent {
+            id,
+            config,
+            layout: layout.clone(),
+            chain,
+            tables,
+            own_slot: layout.member_slot(id),
+            contacts,
+            version: 0,
+            local: MibBuilder::new(),
+            compiled: HashMap::new(),
+            dynamic: BTreeMap::new(),
+        }
+    }
+
+    /// This agent's node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The zones this agent replicates, leaf zone first, root last.
+    pub fn chain(&self) -> &[ZoneId] {
+        &self.chain
+    }
+
+    /// Number of replicated tables (leaf-zone table through root table).
+    pub fn levels(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The replica of `chain()[level]`'s table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn table(&self, level: usize) -> &ZoneTable {
+        &self.tables[level]
+    }
+
+    /// The root table (rows summarize the top-level zones).
+    pub fn root_table(&self) -> &ZoneTable {
+        self.tables.last().expect("chain is never empty")
+    }
+
+    /// This agent's row label within `chain()[level]`'s table.
+    pub fn own_label(&self, level: usize) -> u16 {
+        if level == 0 {
+            self.own_slot
+        } else {
+            self.chain[level - 1].label().expect("non-root chain entry has a label")
+        }
+    }
+
+    /// Sets an attribute of this agent's own MIB row (takes effect at the
+    /// next tick). `id`, `reps` and `nmembers` are reserved and overwritten
+    /// by the agent.
+    pub fn set_local_attr(&mut self, name: &str, value: impl Into<AttrValue>) {
+        self.local.set(name, value.into());
+    }
+
+    /// Reads back a locally set attribute (the node's own MIB values).
+    pub fn local_attr(&self, name: &str) -> Option<&AttrValue> {
+        self.local.get(name)
+    }
+
+    /// Installs a dynamic aggregation program (mobile code). It propagates
+    /// to the rest of the system as a `sys$agg:` attribute and is evaluated
+    /// by every agent that sees it.
+    pub fn install_aggregation(&mut self, name: &str, program: &str) {
+        self.dynamic.insert(name.to_owned(), program.to_owned());
+        self.local.set(format!("{AGG_ATTR_PREFIX}{name}"), program.to_owned());
+    }
+
+    /// True when this agent is currently a representative of
+    /// `chain()[level]` (always true for the implicit level of its own row;
+    /// vacuously false for the root, which has no parent to represent it
+    /// in).
+    pub fn is_rep(&self, level: usize) -> bool {
+        let parent = level + 1;
+        if parent >= self.tables.len() {
+            return false;
+        }
+        match self.tables[parent].get(self.own_label(parent)) {
+            Some(row) => match row.get("reps") {
+                Some(AttrValue::Set(s)) => s.contains(&u64::from(self.id)),
+                _ => true, // no reps computed yet: bootstrap duty
+            },
+            None => true, // nobody summarized us yet: bootstrap duty
+        }
+    }
+
+    fn bootstrap_duty(&self, level: usize) -> bool {
+        let parent = level + 1;
+        if parent >= self.tables.len() {
+            return false;
+        }
+        match self.tables[parent].get(self.own_label(parent)) {
+            Some(row) => row.get("reps").is_none(),
+            None => true,
+        }
+    }
+
+    fn next_stamp(&mut self, now: SimTime) -> Stamp {
+        self.version += 1;
+        Stamp { issued_us: now.as_micros(), version: self.version, origin: self.id }
+    }
+
+    fn refresh_own_row(&mut self, now: SimTime) {
+        let mut b = self.local.clone();
+        if b.get("load").is_none() {
+            // Representative election scores on load; an agent that never
+            // reported one is assumed unloaded.
+            b.set("load", 0.0f64);
+        }
+        b.set("id", i64::from(self.id));
+        let mut reps = std::collections::BTreeSet::new();
+        reps.insert(u64::from(self.id));
+        b.set("reps", AttrValue::Set(reps));
+        b.set("nmembers", 1i64);
+        let stamp = self.next_stamp(now);
+        let row = Arc::new(b.build(stamp));
+        self.tables[0].merge_row(self.own_slot, row);
+    }
+
+    fn gc(&mut self, now: SimTime) {
+        let ttl = self.config.row_ttl.as_micros();
+        let cutoff = now.as_micros().saturating_sub(ttl);
+        for level in 0..self.tables.len() {
+            let keep = self.own_label(level);
+            self.tables[level].evict_stale(cutoff, Some(keep));
+        }
+    }
+
+    /// Compiles `src`, caching the result (including failures, so a bad
+    /// mobile program is not re-parsed every round).
+    fn compile(&mut self, src: &str) -> Option<AggProgram> {
+        if let Some(hit) = self.compiled.get(src) {
+            return hit.clone();
+        }
+        let parsed = parse_program(src).ok();
+        self.compiled.insert(src.to_owned(), parsed.clone());
+        parsed
+    }
+
+    /// All dynamic programs visible in any replicated table (union of
+    /// `sys$agg:` attributes), plus locally installed ones.
+    fn dynamic_in_scope(&self) -> BTreeMap<String, String> {
+        let mut progs = self.dynamic.clone();
+        for table in &self.tables {
+            for (_, row) in table.iter() {
+                for (name, value) in row.attrs() {
+                    if let Some(short) = name.strip_prefix(AGG_ATTR_PREFIX) {
+                        if let AttrValue::Str(src) = value {
+                            progs.entry(short.to_owned()).or_insert_with(|| src.clone());
+                        }
+                    }
+                }
+            }
+        }
+        progs
+    }
+
+    fn recompute_level(&mut self, level: usize, now: SimTime, dynamic: &BTreeMap<String, String>) {
+        let parent = level + 1;
+        if parent >= self.tables.len() {
+            return;
+        }
+        if !(self.is_rep(level) || self.bootstrap_duty(level)) {
+            return;
+        }
+
+        // Collect the program list: configured + dynamic-in-scope.
+        let mut sources: Vec<String> =
+            self.config.aggregations.iter().map(|a| a.program.clone()).collect();
+        sources.extend(dynamic.values().cloned());
+
+        let rows: Vec<Mib> =
+            self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
+
+        let mut out = MibBuilder::new();
+        for src in sources {
+            let Some(prog) = self.compile(&src) else { continue };
+            match run_program(&prog, &rows) {
+                Ok(attrs) => {
+                    for (name, value) in attrs {
+                        out.set(name, value);
+                    }
+                }
+                Err(_) => {
+                    // A mis-typed (possibly hostile) mobile program must not
+                    // poison the hierarchy; skip its output this round.
+                }
+            }
+        }
+        // Mobile code rides along in the summary row.
+        for (name, src) in dynamic {
+            out.set(format!("{AGG_ATTR_PREFIX}{name}"), src.clone());
+        }
+
+        let label = self.own_label(parent);
+        let stamp = self.next_stamp(now);
+        self.tables[parent].merge_row(label, Arc::new(out.build(stamp)));
+    }
+
+    /// Candidate gossip targets at `level`: node ids advertised in `reps`
+    /// attributes of rows other than this agent's own, plus this agent's
+    /// *co-representatives* — the other members of `reps` in the parent
+    /// table's summary of this zone. Co-reps live in sibling leaf zones of
+    /// the same interior zone, so gossiping with them is what knits the
+    /// interior table together when no configured contact happens to land
+    /// there.
+    fn peers_at(&self, level: usize) -> Vec<u32> {
+        let own = self.own_label(level);
+        let mut out = Vec::new();
+        for (label, row) in self.tables[level].iter() {
+            if label == own {
+                continue;
+            }
+            if let Some(AttrValue::Set(s)) = row.get("reps") {
+                out.extend(s.iter().filter_map(|&v| u32::try_from(v).ok()));
+            }
+        }
+        let parent = level + 1;
+        if parent < self.tables.len() {
+            if let Some(row) = self.tables[parent].get(self.own_label(parent)) {
+                if let Some(AttrValue::Set(s)) = row.get("reps") {
+                    out.extend(s.iter().filter_map(|&v| u32::try_from(v).ok()));
+                }
+            }
+        }
+        out.retain(|&p| p != self.id);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn digests_from(&self, level: usize) -> Vec<TableDigest> {
+        self.tables[level..]
+            .iter()
+            .map(|t| TableDigest { zone: t.zone.clone(), rows: t.digest() })
+            .collect()
+    }
+
+    /// One gossip round: refresh the local row, evict stale rows, recompute
+    /// aggregates, and pick anti-entropy partners. Returns the outbox.
+    pub fn on_tick(&mut self, now: SimTime, rng: &mut SmallRng) -> Vec<(u32, GossipMsg)> {
+        self.refresh_own_row(now);
+        self.gc(now);
+        let dynamic = self.dynamic_in_scope();
+        for level in 0..self.tables.len() {
+            self.recompute_level(level, now, &dynamic);
+        }
+
+        let mut out = Vec::new();
+        for level in 0..self.tables.len() {
+            // Members always gossip their leaf-zone table; higher tables are
+            // gossiped by the zone's representatives (plus bootstrap duty).
+            let eligible =
+                level == 0 || self.is_rep(level - 1) || self.bootstrap_duty(level - 1);
+            if !eligible {
+                continue;
+            }
+            let peers = self.peers_at(level);
+            let target = if let Some(&p) = peers.as_slice().choose(rng) {
+                Some(p)
+            } else if level == 0 || self.tables[level].len() <= 1 {
+                // Discovery fallback: ping a bootstrap contact. Any agent
+                // shares at least the root table with us.
+                self.contacts.as_slice().choose(rng).copied()
+            } else {
+                None
+            };
+            if let Some(peer) = target {
+                out.push((peer, GossipMsg::Digest { digests: self.digests_from(level) }));
+            }
+        }
+        // Anti-clique measure: the peer selection above only reaches nodes
+        // already present in the tables (or, for co-reps, in possibly
+        // *diverged* aggregate rows), so two halves of a zone that
+        // bootstrapped independently can each elect their own
+        // representatives, keep reissuing their own aggregate row — which
+        // always outstamps the foreign one locally — and never merge.
+        // Break the symmetry from outside the gossip state: each tick, pick
+        // one level and gossip with a uniformly random member of that zone,
+        // derived from the static layout. (Real Astrolabe gets this from
+        // its join/configuration machinery, which the paper scopes out;
+        // see DESIGN.md bootstrap substitution.)
+        let bridge_level = rand::Rng::gen_range(rng, 0..self.tables.len());
+        if let Some(range) = self.layout.agent_range(&self.chain[bridge_level]) {
+            let peer = rand::Rng::gen_range(rng, range.clone());
+            if peer != self.id {
+                out.push((peer, GossipMsg::Digest { digests: self.digests_from(bridge_level) }));
+            }
+        }
+        // Also keep pinging configured contacts occasionally (join seeds).
+        if rand::Rng::gen_bool(rng, 0.25) {
+            if let Some(&peer) = self.contacts.as_slice().choose(rng) {
+                out.push((peer, GossipMsg::Digest { digests: self.digests_from(0) }));
+            }
+        }
+        out
+    }
+
+    /// Merges a batch of rows; returns how many rows changed local state.
+    ///
+    /// Rows older than the failure-detection TTL are rejected outright:
+    /// without this, a row evicted locally would be resurrected by the next
+    /// gossip exchange with a replica that had not evicted it yet, and a
+    /// failed member would never leave the membership.
+    fn merge_rows(&mut self, now: SimTime, batches: &[TableRows]) -> usize {
+        let ttl = self.config.row_ttl.as_micros();
+        let cutoff = now.as_micros().saturating_sub(ttl);
+        let mut changed = 0;
+        for batch in batches {
+            let Some(level) = self.level_of(&batch.zone) else { continue };
+            for (label, row) in &batch.rows {
+                if row.stamp.issued_us < cutoff {
+                    continue;
+                }
+                if self.tables[level].merge_row(*label, Arc::clone(row)) {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Index of `zone` within this agent's chain, if replicated here.
+    pub fn level_of(&self, zone: &ZoneId) -> Option<usize> {
+        let depth = zone.depth();
+        let leaf_depth = self.chain[0].depth();
+        if depth > leaf_depth {
+            return None;
+        }
+        let level = leaf_depth - depth;
+        (self.chain[level] == *zone).then_some(level)
+    }
+
+    /// Handles an incoming gossip message; returns the outbox.
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        from: u32,
+        msg: GossipMsg,
+        _rng: &mut SmallRng,
+    ) -> Vec<(u32, GossipMsg)> {
+        match msg {
+            GossipMsg::Digest { digests } => {
+                let mut reply_rows = Vec::new();
+                let mut want = Vec::new();
+                for d in &digests {
+                    let Some(level) = self.level_of(&d.zone) else { continue };
+                    let (newer_here, missing_here) = self.tables[level].diff(&d.rows);
+                    if !newer_here.is_empty() {
+                        let rows = newer_here
+                            .iter()
+                            .filter_map(|&l| {
+                                self.tables[level].get(l).map(|r| (l, Arc::clone(r)))
+                            })
+                            .collect();
+                        reply_rows.push(TableRows { zone: d.zone.clone(), rows });
+                    }
+                    if !missing_here.is_empty() {
+                        want.push((d.zone.clone(), missing_here));
+                    }
+                }
+                if reply_rows.is_empty() && want.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![(from, GossipMsg::DigestReply { rows: reply_rows, want })]
+                }
+            }
+            GossipMsg::DigestReply { rows, want } => {
+                self.merge_rows(now, &rows);
+                let mut send = Vec::new();
+                for (zone, labels) in &want {
+                    let Some(level) = self.level_of(zone) else { continue };
+                    let rows = labels
+                        .iter()
+                        .filter_map(|&l| self.tables[level].get(l).map(|r| (l, Arc::clone(r))))
+                        .collect::<Vec<_>>();
+                    if !rows.is_empty() {
+                        send.push(TableRows { zone: zone.clone(), rows });
+                    }
+                }
+                if send.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![(from, GossipMsg::Rows { rows: send })]
+                }
+            }
+            GossipMsg::Rows { rows } => {
+                self.merge_rows(now, &rows);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Evaluates an ad-hoc aggregation program against this agent's replica
+    /// of `zone`'s table — the interactive data-mining read path of §3
+    /// (distinct from [`Agent::install_aggregation`], which changes what the
+    /// whole system computes continuously).
+    ///
+    /// Returns `None` when the agent does not replicate `zone`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors in `program`; evaluation type errors surface
+    /// as the evaluator's error.
+    pub fn query(
+        &self,
+        zone: &ZoneId,
+        program: &str,
+    ) -> Option<Result<Vec<(String, AttrValue)>, String>> {
+        let level = self.level_of(zone)?;
+        let prog = match parse_program(program) {
+            Ok(p) => p,
+            Err(e) => return Some(Err(e.to_string())),
+        };
+        let rows: Vec<Mib> = self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
+        Some(run_program(&prog, &rows).map_err(|e| e.to_string()))
+    }
+
+    /// Clears all replicated state except identity (cold restart).
+    pub fn reset(&mut self) {
+        for t in &mut self.tables {
+            *t = ZoneTable::new(t.zone.clone());
+        }
+        self.version = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{fork, SimDuration};
+
+    fn small_config() -> Config {
+        Config {
+            branching: 4,
+            gossip_interval: SimDuration::from_secs(1),
+            row_ttl: SimDuration::from_secs(20),
+            ..Config::standard()
+        }
+    }
+
+    /// Drives a set of agents through synchronous rounds with perfect
+    /// message delivery — a harness for protocol-logic tests (network
+    /// effects are covered by the simnet-based integration tests).
+    fn run_rounds(agents: &mut [Agent], rounds: usize, start: u64) -> u64 {
+        let mut rng = fork(42, 0);
+        let mut t = start;
+        for _ in 0..rounds {
+            t += 1_000_000;
+            let now = SimTime::from_micros(t);
+            let mut inflight: Vec<(u32, u32, GossipMsg)> = Vec::new();
+            for a in agents.iter_mut() {
+                for (to, m) in a.on_tick(now, &mut rng) {
+                    inflight.push((a.id(), to, m));
+                }
+            }
+            // Deliver to fixpoint within the round.
+            while let Some((from, to, msg)) = inflight.pop() {
+                let Some(b) = agents.iter_mut().find(|a| a.id() == to) else { continue };
+                for (to2, m2) in b.on_message(now, from, msg, &mut rng) {
+                    inflight.push((to, to2, m2));
+                }
+            }
+        }
+        t
+    }
+
+    fn make_agents(n: u32, branching: u16) -> Vec<Agent> {
+        let layout = ZoneLayout::new(n, branching);
+        let mut config = small_config();
+        config.branching = branching;
+        (0..n)
+            .map(|i| {
+                // Give everyone one global contact (agent 0) for discovery.
+                Agent::new(i, &layout, config.clone(), vec![0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_level_converges_to_full_membership() {
+        let mut agents = make_agents(4, 4); // all in the root's single leaf table
+        run_rounds(&mut agents, 6, 0);
+        for a in &agents {
+            assert_eq!(a.levels(), 1);
+            assert_eq!(a.table(0).len(), 4, "agent {} sees {} rows", a.id(), a.table(0).len());
+        }
+    }
+
+    #[test]
+    fn two_level_tree_aggregates_membership_count() {
+        let mut agents = make_agents(12, 4); // 3 leaf zones of 4 under the root
+        run_rounds(&mut agents, 12, 0);
+        for a in &agents {
+            assert_eq!(a.levels(), 2);
+            let total: i64 = a
+                .root_table()
+                .iter()
+                .filter_map(|(_, r)| r.get("nmembers").and_then(|v| v.as_i64()))
+                .sum();
+            assert_eq!(total, 12, "agent {} sees nmembers {total}", a.id());
+        }
+    }
+
+    #[test]
+    fn reps_elected_and_bounded() {
+        let mut agents = make_agents(12, 4);
+        run_rounds(&mut agents, 12, 0);
+        let a = &agents[5];
+        for (_, row) in a.root_table().iter() {
+            let AttrValue::Set(reps) = row.get("reps").expect("reps computed") else {
+                panic!("reps has wrong type")
+            };
+            assert!(!reps.is_empty() && reps.len() <= 2, "reps {reps:?}");
+        }
+        // Exactly the elected reps consider themselves representatives.
+        let rep_ids: std::collections::BTreeSet<u64> = agents
+            .iter()
+            .filter(|ag| ag.is_rep(0))
+            .map(|ag| u64::from(ag.id()))
+            .collect();
+        for ag in &agents {
+            let parent_row = ag.table(1).get(ag.own_label(1)).unwrap();
+            if let Some(AttrValue::Set(s)) = parent_row.get("reps") {
+                if s.contains(&u64::from(ag.id())) {
+                    assert!(rep_ids.contains(&u64::from(ag.id())));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_attr_aggregates_to_root() {
+        let mut agents = make_agents(12, 4);
+        for a in agents.iter_mut() {
+            a.set_local_attr("load", 0.5f64);
+        }
+        agents[7].set_local_attr("load", 0.05f64);
+        run_rounds(&mut agents, 12, 0);
+        // MIN(load) at the root over agent 7's zone (/1) must be 0.05.
+        let a = &agents[0];
+        let zone_of_7 = 7 / 4; // label 1
+        let row = a.root_table().get(zone_of_7 as u16).expect("zone row");
+        assert_eq!(row.get("load").and_then(|v| v.as_f64()), Some(0.05));
+    }
+
+    #[test]
+    fn mobile_aggregation_propagates_from_one_node() {
+        let mut agents = make_agents(12, 4);
+        for a in agents.iter_mut() {
+            a.set_local_attr("temp", 20i64);
+        }
+        agents[3].set_local_attr("temp", 95i64);
+        // Install MAX(temp) at a single node; the program must reach every
+        // branch of the tree via gossip and take effect there.
+        agents[0].install_aggregation("hot", "SELECT MAX(temp) AS hottest");
+        run_rounds(&mut agents, 16, 0);
+        for a in &agents {
+            let max_at_root: i64 = a
+                .root_table()
+                .iter()
+                .filter_map(|(_, r)| r.get("hottest").and_then(|v| v.as_i64()))
+                .max()
+                .expect("hottest computed everywhere");
+            assert_eq!(max_at_root, 95, "agent {}", a.id());
+        }
+    }
+
+    #[test]
+    fn failure_detection_evicts_silent_member() {
+        let mut agents = make_agents(8, 4);
+        let t = run_rounds(&mut agents, 8, 0);
+        assert!(agents[0].table(0).get(1).is_some(), "agent 1 known before failure");
+        // Remove agent 1 (slot 1 of zone 0) and keep gossiping past the TTL.
+        let mut survivors: Vec<Agent> = agents.into_iter().filter(|a| a.id() != 1).collect();
+        run_rounds(&mut survivors, 30, t);
+        let a0 = &survivors[0];
+        assert!(a0.table(0).get(1).is_none(), "stale row must be evicted");
+        let row = a0.root_table().get(0).expect("zone row");
+        assert_eq!(row.get("nmembers").and_then(|v| v.as_i64()), Some(3));
+    }
+
+    #[test]
+    fn level_of_rejects_foreign_zones() {
+        let layout = ZoneLayout::new(16, 4);
+        let a = Agent::new(0, &layout, small_config(), vec![]);
+        assert_eq!(a.level_of(&ZoneId::root()), Some(1));
+        assert_eq!(a.level_of(&ZoneId::root().child(0)), Some(0));
+        assert_eq!(a.level_of(&ZoneId::root().child(1)), None);
+        assert_eq!(a.level_of(&ZoneId::root().child(0).child(0)), None);
+    }
+
+    #[test]
+    fn reserved_attrs_cannot_be_spoofed() {
+        let layout = ZoneLayout::new(4, 4);
+        let mut a = Agent::new(2, &layout, small_config(), vec![]);
+        a.set_local_attr("id", 999i64);
+        a.set_local_attr("nmembers", 50i64);
+        let mut rng = fork(0, 0);
+        a.on_tick(SimTime::from_secs(1), &mut rng);
+        let row = a.table(0).get(2).unwrap();
+        assert_eq!(row.get("id").and_then(|v| v.as_i64()), Some(2));
+        assert_eq!(row.get("nmembers").and_then(|v| v.as_i64()), Some(1));
+    }
+
+    #[test]
+    fn reset_clears_tables_but_keeps_identity() {
+        let mut agents = make_agents(4, 4);
+        run_rounds(&mut agents, 4, 0);
+        assert!(agents[2].table(0).len() > 1);
+        agents[2].reset();
+        assert_eq!(agents[2].table(0).len(), 0);
+        assert_eq!(agents[2].id(), 2);
+    }
+
+    #[test]
+    fn adhoc_query_over_replicas() {
+        let mut agents = make_agents(12, 4);
+        for (i, a) in agents.iter_mut().enumerate() {
+            a.set_local_attr("temp", i as i64 * 10);
+        }
+        run_rounds(&mut agents, 12, 0);
+        let a = &agents[0];
+        // Query the leaf-zone table (members 0..4).
+        let out = a
+            .query(&a.chain()[0].clone(), "SELECT MAX(temp) AS t, COUNT() AS n")
+            .expect("replicated")
+            .expect("evaluates");
+        let get = |k: &str| out.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("t"), Some(AttrValue::Int(30)));
+        assert_eq!(get("n"), Some(AttrValue::Int(4)));
+        // Root query over zone summaries.
+        let out = a
+            .query(&ZoneId::root(), "SELECT SUM(nmembers) AS n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(out[0].1, AttrValue::Int(12));
+        // Foreign zone: not replicated here.
+        assert!(a.query(&ZoneId::root().child(9), "SELECT COUNT() AS n").is_none());
+        // Malformed program: error, not panic.
+        assert!(a.query(&ZoneId::root(), "SELEKT").unwrap().is_err());
+    }
+
+    #[test]
+    fn gossip_wire_sizes_are_positive_and_ordered() {
+        let mut agents = make_agents(8, 4);
+        let mut rng = fork(1, 1);
+        let out = agents[0].on_tick(SimTime::from_secs(1), &mut rng);
+        assert!(!out.is_empty());
+        for (_, m) in &out {
+            assert!(m.wire_size() > 8);
+        }
+    }
+}

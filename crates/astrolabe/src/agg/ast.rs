@@ -1,0 +1,269 @@
+//! Abstract syntax of the aggregation-function language.
+
+use std::fmt;
+
+/// Binary operators, in SQL notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        })
+    }
+}
+
+/// A literal value in a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// A scalar expression evaluated against one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(String),
+    /// Literal.
+    Lit(Literal),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Scalar function call (`CONTAINS`, `PREFIX`, `COALESCE`, …).
+    Call(String, Vec<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => f.write_str(c),
+            Expr::Lit(l) => write!(f, "{l}"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// The aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Smallest value.
+    Min,
+    /// Largest value.
+    Max,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Row count (of rows passing `WHERE`).
+    Count,
+    /// Value from the first row (label order) that has one.
+    First,
+    /// Bitwise OR of bit arrays — the §6 Bloom aggregation.
+    OrBits,
+    /// Bitwise OR of integers — the §7 category-mask aggregation.
+    OrInt,
+    /// Set union.
+    Union,
+    /// Representative selection: `REPSEL(k, score, set)`.
+    RepSel,
+}
+
+impl AggFn {
+    /// Parses a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFn> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "MIN" => AggFn::Min,
+            "MAX" => AggFn::Max,
+            "SUM" => AggFn::Sum,
+            "AVG" => AggFn::Avg,
+            "COUNT" => AggFn::Count,
+            "FIRST" => AggFn::First,
+            "ORBITS" => AggFn::OrBits,
+            "ORINT" => AggFn::OrInt,
+            "UNION" => AggFn::Union,
+            "REPSEL" => AggFn::RepSel,
+            _ => return None,
+        })
+    }
+
+    /// Canonical upper-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFn::Min => "MIN",
+            AggFn::Max => "MAX",
+            AggFn::Sum => "SUM",
+            AggFn::Avg => "AVG",
+            AggFn::Count => "COUNT",
+            AggFn::First => "FIRST",
+            AggFn::OrBits => "ORBITS",
+            AggFn::OrInt => "ORINT",
+            AggFn::Union => "UNION",
+            AggFn::RepSel => "REPSEL",
+        }
+    }
+}
+
+/// One output attribute of a program: an aggregate over the child rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The aggregate to compute.
+    pub func: AggFn,
+    /// Arguments (scalar expressions evaluated per row; `REPSEL`'s first
+    /// argument must be an integer literal).
+    pub args: Vec<Expr>,
+    /// Output attribute name.
+    pub alias: String,
+}
+
+/// A compiled aggregation program:
+/// `SELECT agg(...) AS name, ... [WHERE predicate]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggProgram {
+    /// Output attributes.
+    pub selects: Vec<SelectItem>,
+    /// Row filter, if any.
+    pub filter: Option<Expr>,
+}
+
+impl fmt::Display for AggProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        for (i, s) in self.selects.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}(", s.func.name())?;
+            for (j, a) in s.args.iter().enumerate() {
+                if j > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ") AS {}", s.alias)?;
+        }
+        if let Some(w) = &self.filter {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggfn_names_roundtrip() {
+        for f in [
+            AggFn::Min,
+            AggFn::Max,
+            AggFn::Sum,
+            AggFn::Avg,
+            AggFn::Count,
+            AggFn::First,
+            AggFn::OrBits,
+            AggFn::OrInt,
+            AggFn::Union,
+            AggFn::RepSel,
+        ] {
+            assert_eq!(AggFn::from_name(f.name()), Some(f));
+            assert_eq!(AggFn::from_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFn::from_name("MEDIAN"), None);
+    }
+
+    #[test]
+    fn expr_display_parenthesizes() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Column("a".into())),
+            Box::new(Expr::Neg(Box::new(Expr::Lit(Literal::Int(2))))),
+        );
+        assert_eq!(e.to_string(), "(a + (-2))");
+    }
+
+    #[test]
+    fn literal_display_escapes_quotes() {
+        assert_eq!(Literal::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Float(2.0).to_string(), "2.0");
+    }
+}

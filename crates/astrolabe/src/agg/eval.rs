@@ -1,0 +1,711 @@
+//! Evaluator for the aggregation-function language.
+//!
+//! Two entry points:
+//!
+//! * [`eval_predicate`] — scalar evaluation of one expression against one
+//!   row (`WHERE` clauses, and the subscriber SQL subscriptions of §8).
+//! * [`run_program`] — full aggregate evaluation of a program over a child
+//!   table, producing the parent-row attributes (§3's "SQL aggregation
+//!   functions… recomputed whenever a row changes in a child table").
+//!
+//! NULL semantics follow SQL: a missing column is NULL, NULL propagates
+//! through operators, and a NULL predicate excludes the row.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use super::ast::{AggFn, AggProgram, BinOp, Expr, Literal};
+use crate::value::AttrValue;
+
+/// Anything a scalar expression can read columns from.
+pub trait RowSource {
+    /// The value of column `name`, or `None` when absent (SQL NULL).
+    fn col(&self, name: &str) -> Option<AttrValue>;
+}
+
+impl RowSource for crate::mib::Mib {
+    fn col(&self, name: &str) -> Option<AttrValue> {
+        self.get(name).cloned()
+    }
+}
+
+impl<T: RowSource + ?Sized> RowSource for &T {
+    fn col(&self, name: &str) -> Option<AttrValue> {
+        (**self).col(name)
+    }
+}
+
+/// A row with no columns (for evaluating constant expressions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyRow;
+
+impl RowSource for EmptyRow {
+    fn col(&self, _name: &str) -> Option<AttrValue> {
+        None
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An operator or function met a value of the wrong type.
+    TypeMismatch(String),
+    /// Unknown scalar function.
+    UnknownFunction(String),
+    /// Wrong number of arguments to a scalar function.
+    BadArity(String),
+    /// `REPSEL`'s `k` argument did not evaluate to a constant integer.
+    BadRepSelK,
+    /// Bit arrays of different lengths cannot be OR-ed.
+    BitsLenMismatch,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::BadArity(n) => write!(f, "wrong number of arguments to `{n}`"),
+            EvalError::BadRepSelK => write!(f, "REPSEL k must be a constant positive integer"),
+            EvalError::BitsLenMismatch => write!(f, "bit arrays of different lengths"),
+        }
+    }
+}
+impl std::error::Error for EvalError {}
+
+fn lit_value(l: &Literal) -> AttrValue {
+    match l {
+        Literal::Int(i) => AttrValue::Int(*i),
+        Literal::Float(x) => AttrValue::Float(*x),
+        Literal::Str(s) => AttrValue::Str(s.clone()),
+        Literal::Bool(b) => AttrValue::Bool(*b),
+    }
+}
+
+/// Evaluates a scalar expression against one row; `Ok(None)` is SQL NULL.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on type mismatches or unknown functions.
+pub fn eval_scalar<R: RowSource>(expr: &Expr, row: &R) -> Result<Option<AttrValue>, EvalError> {
+    match expr {
+        Expr::Column(name) => Ok(row.col(name)),
+        Expr::Lit(l) => Ok(Some(lit_value(l))),
+        Expr::Neg(e) => match eval_scalar(e, row)? {
+            None => Ok(None),
+            Some(AttrValue::Int(i)) => Ok(Some(AttrValue::Int(-i))),
+            Some(AttrValue::Float(x)) => Ok(Some(AttrValue::Float(-x))),
+            Some(v) => Err(EvalError::TypeMismatch(format!("cannot negate {}", v.type_name()))),
+        },
+        Expr::Not(e) => match eval_scalar(e, row)? {
+            None => Ok(None),
+            Some(AttrValue::Bool(b)) => Ok(Some(AttrValue::Bool(!b))),
+            Some(v) => Err(EvalError::TypeMismatch(format!("NOT needs bool, got {}", v.type_name()))),
+        },
+        Expr::Bin(op, l, r) => eval_bin(*op, l, r, row),
+        Expr::Call(name, args) => eval_call(name, args, row),
+    }
+}
+
+fn eval_bin<R: RowSource>(
+    op: BinOp,
+    l: &Expr,
+    r: &Expr,
+    row: &R,
+) -> Result<Option<AttrValue>, EvalError> {
+    use BinOp::*;
+    // Three-valued logic needs asymmetric NULL handling, so AND/OR first.
+    if matches!(op, And | Or) {
+        let lv = eval_scalar(l, row)?;
+        let rv = eval_scalar(r, row)?;
+        let as_bool = |v: &Option<AttrValue>| -> Result<Option<bool>, EvalError> {
+            match v {
+                None => Ok(None),
+                Some(AttrValue::Bool(b)) => Ok(Some(*b)),
+                Some(v) => Err(EvalError::TypeMismatch(format!(
+                    "logical operator needs bool, got {}",
+                    v.type_name()
+                ))),
+            }
+        };
+        let (lb, rb) = (as_bool(&lv)?, as_bool(&rv)?);
+        let out = match (op, lb, rb) {
+            (And, Some(false), _) | (And, _, Some(false)) => Some(false),
+            (And, Some(true), Some(true)) => Some(true),
+            (Or, Some(true), _) | (Or, _, Some(true)) => Some(true),
+            (Or, Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        return Ok(out.map(AttrValue::Bool));
+    }
+
+    let (Some(lv), Some(rv)) = (eval_scalar(l, row)?, eval_scalar(r, row)?) else {
+        return Ok(None);
+    };
+
+    match op {
+        Add | Sub | Mul | Div | Mod => {
+            if let (AttrValue::Int(a), AttrValue::Int(b)) = (&lv, &rv) {
+                let out = match op {
+                    Add => a.checked_add(*b),
+                    Sub => a.checked_sub(*b),
+                    Mul => a.checked_mul(*b),
+                    Div => a.checked_div(*b),
+                    Mod => a.checked_rem(*b),
+                    _ => unreachable!(),
+                };
+                // Overflow and division by zero are NULL, as in lenient SQL.
+                return Ok(out.map(AttrValue::Int));
+            }
+            let (a, b) = match (lv.as_f64(), rv.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EvalError::TypeMismatch(format!(
+                        "arithmetic on {} and {}",
+                        lv.type_name(),
+                        rv.type_name()
+                    )))
+                }
+            };
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(out.is_finite().then_some(AttrValue::Float(out)))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = lv.partial_cmp_value(&rv).ok_or_else(|| {
+                EvalError::TypeMismatch(format!(
+                    "cannot compare {} with {}",
+                    lv.type_name(),
+                    rv.type_name()
+                ))
+            })?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Some(AttrValue::Bool(b)))
+        }
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+fn eval_call<R: RowSource>(
+    name: &str,
+    args: &[Expr],
+    row: &R,
+) -> Result<Option<AttrValue>, EvalError> {
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::BadArity(name.to_owned()))
+        }
+    };
+    match name {
+        "CONTAINS" | "PREFIX" => {
+            arity(2)?;
+            let (Some(a), Some(b)) = (eval_scalar(&args[0], row)?, eval_scalar(&args[1], row)?)
+            else {
+                return Ok(None);
+            };
+            match (a, b) {
+                (AttrValue::Str(a), AttrValue::Str(b)) => Ok(Some(AttrValue::Bool(match name {
+                    "CONTAINS" => a.contains(&b),
+                    _ => a.starts_with(&b),
+                }))),
+                (a, b) => Err(EvalError::TypeMismatch(format!(
+                    "{name} needs strings, got {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                ))),
+            }
+        }
+        "LEN" => {
+            arity(1)?;
+            Ok(eval_scalar(&args[0], row)?.map(|v| {
+                AttrValue::Int(match v {
+                    AttrValue::Str(s) => s.len() as i64,
+                    AttrValue::Set(s) => s.len() as i64,
+                    AttrValue::Bits(b) => b.count_ones() as i64,
+                    AttrValue::Bytes(b) => b.len() as i64,
+                    _ => 1,
+                })
+            }))
+        }
+        "ABS" => {
+            arity(1)?;
+            match eval_scalar(&args[0], row)? {
+                None => Ok(None),
+                Some(AttrValue::Int(i)) => Ok(Some(AttrValue::Int(i.abs()))),
+                Some(AttrValue::Float(x)) => Ok(Some(AttrValue::Float(x.abs()))),
+                Some(v) => {
+                    Err(EvalError::TypeMismatch(format!("ABS needs number, got {}", v.type_name())))
+                }
+            }
+        }
+        "COALESCE" => {
+            if args.is_empty() {
+                return Err(EvalError::BadArity(name.to_owned()));
+            }
+            for a in args {
+                if let Some(v) = eval_scalar(a, row)? {
+                    return Ok(Some(v));
+                }
+            }
+            Ok(None)
+        }
+        "BIT" => {
+            arity(2)?;
+            let (Some(bits), Some(idx)) =
+                (eval_scalar(&args[0], row)?, eval_scalar(&args[1], row)?)
+            else {
+                return Ok(None);
+            };
+            match (bits, idx) {
+                (AttrValue::Bits(b), AttrValue::Int(i)) => {
+                    let i = usize::try_from(i).unwrap_or(usize::MAX);
+                    Ok(Some(AttrValue::Bool(i < b.len() && b.get(i))))
+                }
+                (a, b) => Err(EvalError::TypeMismatch(format!(
+                    "BIT needs (bits, int), got ({}, {})",
+                    a.type_name(),
+                    b.type_name()
+                ))),
+            }
+        }
+        "IF" => {
+            arity(3)?;
+            match eval_scalar(&args[0], row)? {
+                Some(AttrValue::Bool(true)) => eval_scalar(&args[1], row),
+                Some(AttrValue::Bool(false)) | None => eval_scalar(&args[2], row),
+                Some(v) => Err(EvalError::TypeMismatch(format!(
+                    "IF condition needs bool, got {}",
+                    v.type_name()
+                ))),
+            }
+        }
+        other => Err(EvalError::UnknownFunction(other.to_owned())),
+    }
+}
+
+/// Evaluates a predicate: `true` only when the expression yields `TRUE`
+/// (NULL and `FALSE` both reject the row, per SQL).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if the expression yields a non-boolean value or
+/// fails to evaluate.
+pub fn eval_predicate<R: RowSource>(expr: &Expr, row: &R) -> Result<bool, EvalError> {
+    match eval_scalar(expr, row)? {
+        None => Ok(false),
+        Some(AttrValue::Bool(b)) => Ok(b),
+        Some(v) => {
+            Err(EvalError::TypeMismatch(format!("predicate yielded {}", v.type_name())))
+        }
+    }
+}
+
+/// Runs an aggregation program over the rows of a child table, producing the
+/// attributes of the parent-zone row. Aggregates over zero contributing
+/// values are omitted from the output (except `COUNT`, which yields 0).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when the program mis-types against the data — the
+/// caller (the agent) drops the program's output for this round rather than
+/// poisoning the hierarchy.
+pub fn run_program<R: RowSource>(
+    prog: &AggProgram,
+    rows: &[R],
+) -> Result<Vec<(String, AttrValue)>, EvalError> {
+    let mut kept: Vec<&R> = Vec::with_capacity(rows.len());
+    for r in rows {
+        let keep = match &prog.filter {
+            Some(f) => eval_predicate(f, r)?,
+            None => true,
+        };
+        if keep {
+            kept.push(r);
+        }
+    }
+
+    let mut out = Vec::with_capacity(prog.selects.len());
+    for item in &prog.selects {
+        let value = eval_aggregate(item.func, &item.args, &kept)?;
+        if let Some(v) = value {
+            out.push((item.alias.clone(), v));
+        }
+    }
+    Ok(out)
+}
+
+fn eval_aggregate<R: RowSource>(
+    func: AggFn,
+    args: &[Expr],
+    rows: &[&R],
+) -> Result<Option<AttrValue>, EvalError> {
+    match func {
+        AggFn::Count => Ok(Some(AttrValue::Int(rows.len() as i64))),
+        AggFn::Min | AggFn::Max => {
+            let mut best: Option<AttrValue> = None;
+            for r in rows {
+                let Some(v) = eval_scalar(&args[0], r)? else { continue };
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let ord = v.partial_cmp_value(&b).ok_or_else(|| {
+                            EvalError::TypeMismatch("mixed types under MIN/MAX".into())
+                        })?;
+                        let take = match func {
+                            AggFn::Min => ord == std::cmp::Ordering::Less,
+                            _ => ord == std::cmp::Ordering::Greater,
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best)
+        }
+        AggFn::Sum | AggFn::Avg => {
+            let mut sum_i: i64 = 0;
+            let mut sum_f: f64 = 0.0;
+            let mut any_float = false;
+            let mut n = 0u64;
+            for r in rows {
+                match eval_scalar(&args[0], r)? {
+                    None => {}
+                    Some(AttrValue::Int(i)) => {
+                        sum_i = sum_i.saturating_add(i);
+                        sum_f += i as f64;
+                        n += 1;
+                    }
+                    Some(AttrValue::Float(x)) => {
+                        any_float = true;
+                        sum_f += x;
+                        n += 1;
+                    }
+                    Some(v) => {
+                        return Err(EvalError::TypeMismatch(format!(
+                            "SUM/AVG over {}",
+                            v.type_name()
+                        )))
+                    }
+                }
+            }
+            if n == 0 {
+                return Ok(None);
+            }
+            Ok(Some(match func {
+                AggFn::Sum if any_float => AttrValue::Float(sum_f),
+                AggFn::Sum => AttrValue::Int(sum_i),
+                _ => AttrValue::Float(sum_f / n as f64),
+            }))
+        }
+        AggFn::First => {
+            for r in rows {
+                if let Some(v) = eval_scalar(&args[0], r)? {
+                    return Ok(Some(v));
+                }
+            }
+            Ok(None)
+        }
+        AggFn::OrBits => {
+            let mut acc: Option<filters::BitArray> = None;
+            for r in rows {
+                let Some(v) = eval_scalar(&args[0], r)? else { continue };
+                let AttrValue::Bits(b) = v else {
+                    return Err(EvalError::TypeMismatch(format!(
+                        "ORBITS over {}",
+                        v.type_name()
+                    )));
+                };
+                acc = Some(match acc {
+                    None => b,
+                    Some(mut a) => {
+                        if a.len() != b.len() {
+                            return Err(EvalError::BitsLenMismatch);
+                        }
+                        a.or_assign(&b);
+                        a
+                    }
+                });
+            }
+            Ok(acc.map(AttrValue::Bits))
+        }
+        AggFn::OrInt => {
+            let mut acc: Option<i64> = None;
+            for r in rows {
+                let Some(v) = eval_scalar(&args[0], r)? else { continue };
+                let AttrValue::Int(i) = v else {
+                    return Err(EvalError::TypeMismatch(format!("ORINT over {}", v.type_name())));
+                };
+                acc = Some(acc.unwrap_or(0) | i);
+            }
+            Ok(acc.map(AttrValue::Int))
+        }
+        AggFn::Union => {
+            let mut acc: Option<BTreeSet<u64>> = None;
+            for r in rows {
+                let Some(v) = eval_scalar(&args[0], r)? else { continue };
+                let AttrValue::Set(s) = v else {
+                    return Err(EvalError::TypeMismatch(format!("UNION over {}", v.type_name())));
+                };
+                acc = Some(match acc {
+                    None => s,
+                    Some(mut a) => {
+                        a.extend(s);
+                        a
+                    }
+                });
+            }
+            Ok(acc.map(AttrValue::Set))
+        }
+        AggFn::RepSel => {
+            let k = match eval_scalar(&args[0], &EmptyRow)? {
+                Some(AttrValue::Int(k)) if k > 0 => k as usize,
+                _ => return Err(EvalError::BadRepSelK),
+            };
+            // Collect (score, set) per row, drop rows lacking either.
+            let mut entries: Vec<(f64, BTreeSet<u64>)> = Vec::new();
+            for r in rows {
+                let Some(score) = eval_scalar(&args[1], r)?.and_then(|v| v.as_f64()) else {
+                    continue;
+                };
+                let Some(v) = eval_scalar(&args[2], r)? else { continue };
+                let AttrValue::Set(s) = v else {
+                    return Err(EvalError::TypeMismatch(format!(
+                        "REPSEL set argument is {}",
+                        v.type_name()
+                    )));
+                };
+                if !s.is_empty() {
+                    entries.push((score, s));
+                }
+            }
+            // Sort by score, then deterministically by smallest member.
+            entries.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.iter().next().cmp(&b.1.iter().next()))
+            });
+            // Round-robin: take the smallest unused id from each row's set,
+            // looping until k ids are chosen or the sets are exhausted. This
+            // spreads representatives across child zones (paper §5: combine
+            // "independent network paths" knowledge).
+            let mut chosen: BTreeSet<u64> = BTreeSet::new();
+            let mut progress = true;
+            while chosen.len() < k && progress {
+                progress = false;
+                for (_, set) in &entries {
+                    if chosen.len() >= k {
+                        break;
+                    }
+                    if let Some(&id) = set.iter().find(|id| !chosen.contains(id)) {
+                        chosen.insert(id);
+                        progress = true;
+                    }
+                }
+            }
+            if chosen.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(AttrValue::Set(chosen)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::parser::{parse_predicate, parse_program};
+    use crate::mib::{Mib, MibBuilder, Stamp};
+    use filters::BitArray;
+
+    fn row(pairs: &[(&str, AttrValue)]) -> Mib {
+        let mut b = MibBuilder::new();
+        for (k, v) in pairs {
+            b.set(*k, v.clone());
+        }
+        b.build(Stamp::default())
+    }
+
+    fn bits(len: usize, ones: &[usize]) -> AttrValue {
+        let mut b = BitArray::new(len);
+        for &o in ones {
+            b.set(o);
+        }
+        AttrValue::Bits(b)
+    }
+
+    fn set(ids: &[u64]) -> AttrValue {
+        AttrValue::Set(ids.iter().copied().collect())
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_comparison() {
+        let r = row(&[("a", AttrValue::Int(4)), ("b", AttrValue::Float(0.5))]);
+        let e = parse_predicate("a * 2 + b > 8").unwrap();
+        assert!(eval_predicate(&e, &r).unwrap());
+        let e = parse_predicate("a / 0 = 1").unwrap();
+        assert!(!eval_predicate(&e, &r).unwrap(), "div-by-zero is NULL, rejects");
+    }
+
+    #[test]
+    fn null_three_valued_logic() {
+        let r = row(&[("x", AttrValue::Bool(true))]);
+        // missing AND true = NULL → false; missing OR true = true.
+        assert!(!eval_predicate(&parse_predicate("missing = 1 AND x").unwrap(), &r).unwrap());
+        assert!(eval_predicate(&parse_predicate("missing = 1 OR x").unwrap(), &r).unwrap());
+    }
+
+    #[test]
+    fn string_functions() {
+        let r = row(&[("s", AttrValue::from("reuters/politics"))]);
+        assert!(eval_predicate(&parse_predicate("CONTAINS(s, 'politics')").unwrap(), &r).unwrap());
+        assert!(eval_predicate(&parse_predicate("PREFIX(s, 'reuters')").unwrap(), &r).unwrap());
+        assert!(!eval_predicate(&parse_predicate("PREFIX(s, 'ap/')").unwrap(), &r).unwrap());
+    }
+
+    #[test]
+    fn coalesce_if_bit() {
+        let r = row(&[("bits", bits(8, &[3]))]);
+        assert!(eval_predicate(&parse_predicate("BIT(bits, 3)").unwrap(), &r).unwrap());
+        assert!(!eval_predicate(&parse_predicate("BIT(bits, 4)").unwrap(), &r).unwrap());
+        let v = eval_scalar(&parse_predicate("COALESCE(nope, 7)").unwrap(), &r).unwrap();
+        assert_eq!(v, Some(AttrValue::Int(7)));
+        let v = eval_scalar(&parse_predicate("IF(BIT(bits,3), 1, 2)").unwrap(), &r).unwrap();
+        assert_eq!(v, Some(AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let r = row(&[]);
+        let err = eval_scalar(&parse_predicate("NOPE(1)").unwrap(), &r).unwrap_err();
+        assert_eq!(err, EvalError::UnknownFunction("NOPE".into()));
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let rows = vec![
+            row(&[("load", AttrValue::Float(0.5)), ("n", AttrValue::Int(2))]),
+            row(&[("load", AttrValue::Float(0.2)), ("n", AttrValue::Int(3))]),
+            row(&[("n", AttrValue::Int(5))]), // no load: skipped by MIN
+        ];
+        let p = parse_program(
+            "SELECT MIN(load) AS lo, MAX(load) AS hi, SUM(n) AS n, AVG(n) AS avg, COUNT() AS c",
+        )
+        .unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        let get = |k: &str| out.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+        assert_eq!(get("lo"), Some(AttrValue::Float(0.2)));
+        assert_eq!(get("hi"), Some(AttrValue::Float(0.5)));
+        assert_eq!(get("n"), Some(AttrValue::Int(10)));
+        assert_eq!(get("c"), Some(AttrValue::Int(3)));
+        assert!((get("avg").unwrap().as_f64().unwrap() - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let rows = vec![
+            row(&[("n", AttrValue::Int(1)), ("ok", AttrValue::Bool(true))]),
+            row(&[("n", AttrValue::Int(2)), ("ok", AttrValue::Bool(false))]),
+            row(&[("n", AttrValue::Int(4))]), // NULL ok → excluded
+        ];
+        let p = parse_program("SELECT SUM(n) AS n WHERE ok").unwrap();
+        assert_eq!(run_program(&p, &rows).unwrap(), vec![("n".to_string(), AttrValue::Int(1))]);
+    }
+
+    #[test]
+    fn orbits_unions_bloom_arrays() {
+        let rows = vec![
+            row(&[("subs", bits(16, &[1, 2]))]),
+            row(&[("subs", bits(16, &[2, 9]))]),
+            row(&[]),
+        ];
+        let p = parse_program("SELECT ORBITS(subs) AS subs").unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        let AttrValue::Bits(b) = &out[0].1 else { panic!() };
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn orbits_rejects_mixed_lengths() {
+        let rows = vec![row(&[("subs", bits(8, &[1]))]), row(&[("subs", bits(16, &[1]))])];
+        let p = parse_program("SELECT ORBITS(subs) AS subs").unwrap();
+        assert_eq!(run_program(&p, &rows).unwrap_err(), EvalError::BitsLenMismatch);
+    }
+
+    #[test]
+    fn orint_and_union() {
+        let rows = vec![
+            row(&[("m", AttrValue::Int(0b0011)), ("ids", set(&[1, 2]))]),
+            row(&[("m", AttrValue::Int(0b0110)), ("ids", set(&[3]))]),
+        ];
+        let p = parse_program("SELECT ORINT(m) AS m, UNION(ids) AS ids").unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        assert_eq!(out[0].1, AttrValue::Int(0b0111));
+        assert_eq!(out[1].1, set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn repsel_spreads_over_best_children() {
+        let rows = vec![
+            row(&[("load", AttrValue::Float(0.9)), ("reps", set(&[90, 91]))]),
+            row(&[("load", AttrValue::Float(0.1)), ("reps", set(&[10, 11]))]),
+            row(&[("load", AttrValue::Float(0.5)), ("reps", set(&[50]))]),
+        ];
+        let p = parse_program("SELECT REPSEL(3, load, reps) AS reps").unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        // One id from each row in load order: 10 (lightest), 50, 90.
+        assert_eq!(out[0].1, set(&[10, 50, 90]));
+    }
+
+    #[test]
+    fn repsel_round_robins_when_k_exceeds_rows() {
+        let rows = vec![
+            row(&[("load", AttrValue::Float(0.1)), ("reps", set(&[1, 2]))]),
+            row(&[("load", AttrValue::Float(0.2)), ("reps", set(&[3]))]),
+        ];
+        let p = parse_program("SELECT REPSEL(3, load, reps) AS reps").unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        assert_eq!(out[0].1, set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn repsel_k_must_be_constant() {
+        let rows = vec![row(&[("load", AttrValue::Float(0.1)), ("reps", set(&[1]))])];
+        let p = parse_program("SELECT REPSEL(load, load, reps) AS reps").unwrap();
+        assert_eq!(run_program(&p, &rows).unwrap_err(), EvalError::BadRepSelK);
+    }
+
+    #[test]
+    fn empty_aggregates_are_omitted_but_count_stays() {
+        let rows: Vec<Mib> = vec![];
+        let p = parse_program("SELECT MIN(load) AS lo, COUNT() AS c").unwrap();
+        let out = run_program(&p, &rows).unwrap();
+        assert_eq!(out, vec![("c".to_string(), AttrValue::Int(0))]);
+    }
+
+    #[test]
+    fn first_takes_row_order() {
+        let rows = vec![row(&[]), row(&[("v", AttrValue::Int(7))]), row(&[("v", AttrValue::Int(9))])];
+        let p = parse_program("SELECT FIRST(v) AS v").unwrap();
+        assert_eq!(run_program(&p, &rows).unwrap()[0].1, AttrValue::Int(7));
+    }
+}

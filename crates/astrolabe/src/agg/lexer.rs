@@ -1,0 +1,362 @@
+//! Tokenizer for the aggregation-function language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword `SELECT`.
+    Select,
+    /// Keyword `AS`.
+    As,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `AND`.
+    And,
+    /// Keyword `OR`.
+    Or,
+    /// Keyword `NOT`.
+    Not,
+    /// Boolean literal.
+    Bool(bool),
+    /// Identifier (column or function name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single-quoted, `''` escapes a quote).
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `=`.
+    Eq,
+    /// `!=` or `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Select => write!(f, "SELECT"),
+            Token::As => write!(f, "AS"),
+            Token::Where => write!(f, "WHERE"),
+            Token::And => write!(f, "AND"),
+            Token::Or => write!(f, "OR"),
+            Token::Not => write!(f, "NOT"),
+            Token::Bool(b) => write!(f, "{b}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenizer failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+impl std::error::Error for LexError {}
+
+/// Tokenizes a program; keywords are case-insensitive, identifiers keep
+/// their case.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < b.len() {
+        let c = b[pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                pos += 1;
+            }
+            b'!' => {
+                if b.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(LexError { offset: pos, message: "expected `!=`".into() });
+                }
+            }
+            b'<' => match b.get(pos + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    pos += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if b.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let start = pos;
+                pos += 1;
+                loop {
+                    match b.get(pos) {
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if b.get(pos + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            pos += 2;
+                        }
+                        Some(b'\'') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 scalar.
+                            let len = match b[pos] {
+                                0x00..=0x7F => 1,
+                                0xC0..=0xDF => 2,
+                                0xE0..=0xEF => 3,
+                                _ => 4,
+                            };
+                            s.push_str(
+                                std::str::from_utf8(&b[pos..(pos + len).min(b.len())])
+                                    .map_err(|_| LexError {
+                                        offset: pos,
+                                        message: "invalid utf-8".into(),
+                                    })?,
+                            );
+                            pos += len;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                let mut is_float = false;
+                while pos < b.len() && (b[pos].is_ascii_digit() || b[pos] == b'.') {
+                    if b[pos] == b'.' {
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    pos += 1;
+                }
+                let text = &src[start..pos];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'$' => {
+                let start = pos;
+                while pos < b.len()
+                    && (b[pos].is_ascii_alphanumeric()
+                        || b[pos] == b'_'
+                        || b[pos] == b'$'
+                        || b[pos] == b'.')
+                {
+                    pos += 1;
+                }
+                let word = &src[start..pos];
+                out.push(match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "AS" => Token::As,
+                    "WHERE" => Token::Where,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    "TRUE" => Token::Bool(true),
+                    "FALSE" => Token::Bool(false),
+                    _ => Token::Ident(word.to_owned()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: pos,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select As WHERE and OR not true FALSE").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Select,
+                Token::As,
+                Token::Where,
+                Token::And,
+                Token::Or,
+                Token::Not,
+                Token::Bool(true),
+                Token::Bool(false),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 3.25 'it''s'").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(3.25), Token::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= != <> < <= > >= + - * / %").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case_and_allow_dots() {
+        let toks = lex("Load sys$agg.reps").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("Load".into()), Token::Ident("sys$agg.reps".into())]
+        );
+    }
+
+    #[test]
+    fn errors_report_offset() {
+        let err = lex("a ? b").unwrap_err();
+        assert_eq!(err.offset, 2);
+        let err = lex("'open").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn select_statement_shape() {
+        let toks = lex("SELECT MIN(load) AS load WHERE nmembers > 0").unwrap();
+        assert_eq!(toks[0], Token::Select);
+        assert!(toks.contains(&Token::Where));
+        assert_eq!(toks.len(), 11);
+    }
+}

@@ -1,0 +1,23 @@
+//! The SQL-like aggregation-function language (paper §3).
+//!
+//! "Astrolabe computes these summaries using aggregation functions, which
+//! are expressions in SQL that take any number of attributes from the child
+//! table and produce new attributes for inclusion into the appropriate row
+//! in the parent table… The aggregation functions are thus a form of mobile
+//! code."
+//!
+//! Programs are carried through the system as strings (see the `sys$agg:`
+//! attribute convention in [`crate::Agent`]), compiled with
+//! [`parse_program`], and evaluated over child tables with [`run_program`].
+//! The same expression evaluator powers subscriber-side SQL predicates over
+//! news-item metadata ([`parse_predicate`] / [`eval_predicate`]).
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{AggFn, AggProgram, BinOp, Expr, Literal, SelectItem};
+pub use eval::{eval_predicate, eval_scalar, run_program, EmptyRow, EvalError, RowSource};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_predicate, parse_program, ParseAggError};

@@ -1,0 +1,396 @@
+//! Recursive-descent parser for the aggregation-function language.
+
+use std::fmt;
+
+use super::ast::{AggFn, AggProgram, BinOp, Expr, Literal, SelectItem};
+use super::lexer::{lex, LexError, Token};
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseAggError {
+    /// Tokenizer failure.
+    Lex(LexError),
+    /// Grammar failure with a description.
+    Syntax(String),
+}
+
+impl fmt::Display for ParseAggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAggError::Lex(e) => write!(f, "{e}"),
+            ParseAggError::Syntax(m) => write!(f, "syntax error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAggError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseAggError::Lex(e) => Some(e),
+            ParseAggError::Syntax(_) => None,
+        }
+    }
+}
+
+impl From<LexError> for ParseAggError {
+    fn from(e: LexError) -> Self {
+        ParseAggError::Lex(e)
+    }
+}
+
+fn syntax(msg: impl Into<String>) -> ParseAggError {
+    ParseAggError::Syntax(msg.into())
+}
+
+/// Parses a full aggregation program:
+/// `SELECT agg(args) AS name, ... [WHERE predicate]`.
+///
+/// # Errors
+///
+/// Returns [`ParseAggError`] on malformed input, including non-aggregate
+/// select items (every output must be an aggregate, as in SQL aggregated over
+/// the whole child table).
+///
+/// ```
+/// let p = astrolabe::parse_program(
+///     "SELECT MIN(load) AS load, SUM(nmembers) AS nmembers WHERE nmembers > 0",
+/// )?;
+/// assert_eq!(p.selects.len(), 2);
+/// # Ok::<(), astrolabe::ParseAggError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<AggProgram, ParseAggError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect(&Token::Select)?;
+    let mut selects = Vec::new();
+    loop {
+        selects.push(p.parse_select_item()?);
+        if p.peek() == Some(&Token::Comma) {
+            p.pos += 1;
+        } else {
+            break;
+        }
+    }
+    let filter = if p.peek() == Some(&Token::Where) {
+        p.pos += 1;
+        Some(p.parse_expr()?)
+    } else {
+        None
+    };
+    p.expect_end()?;
+    Ok(AggProgram { selects, filter })
+}
+
+/// Parses a bare predicate expression (no `SELECT`), as used for subscriber
+/// SQL subscriptions (paper §8) and `WHERE`-style row filters.
+///
+/// # Errors
+///
+/// Returns [`ParseAggError`] on malformed input.
+///
+/// ```
+/// let e = astrolabe::parse_predicate("urgency <= 3 AND CONTAINS(source, 'reuters')")?;
+/// assert!(e.to_string().contains("AND"));
+/// # Ok::<(), astrolabe::ParseAggError>(())
+/// ```
+pub fn parse_predicate(src: &str) -> Result<Expr, ParseAggError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.parse_expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseAggError> {
+        match self.next() {
+            Some(got) if got == *t => Ok(()),
+            Some(got) => Err(syntax(format!("expected `{t}`, found `{got}`"))),
+            None => Err(syntax(format!("expected `{t}`, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseAggError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(syntax(format!("unexpected trailing `{}`", self.toks[self.pos])))
+        }
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseAggError> {
+        let name = match self.next() {
+            Some(Token::Ident(n)) => n,
+            other => return Err(syntax(format!("expected aggregate name, found {other:?}"))),
+        };
+        let func = AggFn::from_name(&name)
+            .ok_or_else(|| syntax(format!("`{name}` is not an aggregate function")))?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        check_agg_arity(func, args.len())?;
+        self.expect(&Token::As)?;
+        let alias = match self.next() {
+            Some(Token::Ident(n)) => n,
+            other => return Err(syntax(format!("expected alias after AS, found {other:?}"))),
+        };
+        Ok(SelectItem { func, args, alias })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseAggError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseAggError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseAggError> {
+        let mut lhs = self.parse_not()?;
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            let rhs = self.parse_not()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseAggError> {
+        if self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseAggError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_add()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseAggError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseAggError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseAggError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseAggError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Lit(Literal::Int(i))),
+            Some(Token::Float(x)) => Ok(Expr::Lit(Literal::Float(x))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Literal::Str(s))),
+            Some(Token::Bool(b)) => Ok(Expr::Lit(Literal::Bool(b))),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    if AggFn::from_name(&name).is_some() {
+                        return Err(syntax(format!(
+                            "aggregate `{name}` is not allowed inside a scalar expression"
+                        )));
+                    }
+                    Ok(Expr::Call(name.to_ascii_uppercase(), args))
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            other => Err(syntax(format!("unexpected {other:?} in expression"))),
+        }
+    }
+}
+
+fn check_agg_arity(func: AggFn, n: usize) -> Result<(), ParseAggError> {
+    let ok = match func {
+        AggFn::Count => n == 0,
+        AggFn::RepSel => n == 3,
+        _ => n == 1,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(syntax(format!("{} takes {} argument(s), got {n}", func.name(), match func {
+            AggFn::Count => "0",
+            AggFn::RepSel => "3",
+            _ => "1",
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_program() {
+        let p = parse_program(
+            "SELECT REPSEL(2, load, reps) AS reps, MIN(load) AS load, \
+             SUM(nmembers) AS nmembers, ORBITS(subs) AS subs",
+        )
+        .unwrap();
+        assert_eq!(p.selects.len(), 4);
+        assert_eq!(p.selects[0].func, AggFn::RepSel);
+        assert_eq!(p.selects[0].args.len(), 3);
+        assert_eq!(p.selects[3].alias, "subs");
+        assert!(p.filter.is_none());
+    }
+
+    #[test]
+    fn parses_where_clause_with_precedence() {
+        let p = parse_program("SELECT COUNT() AS n WHERE a + 2 * b >= 10 AND NOT c = 'x'")
+            .unwrap();
+        let w = p.filter.unwrap().to_string();
+        assert_eq!(w, "(((a + (2 * b)) >= 10) AND (NOT (c = 'x')))");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let src = "SELECT MIN(load) AS load, COUNT() AS n WHERE (x OR y) AND z > 1.5";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn predicate_mode() {
+        let e = parse_predicate("urgency <= 3 AND PREFIX(subject, '04')").unwrap();
+        match &e {
+            Expr::Bin(BinOp::And, _, rhs) => match rhs.as_ref() {
+                Expr::Call(name, args) => {
+                    assert_eq!(name, "PREFIX");
+                    assert_eq!(args.len(), 2);
+                }
+                other => panic!("unexpected rhs {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_scalar_select() {
+        let err = parse_program("SELECT load AS l").unwrap_err();
+        assert!(err.to_string().contains("not an aggregate"));
+    }
+
+    #[test]
+    fn rejects_nested_aggregate() {
+        let err = parse_predicate("MIN(load) > 2").unwrap_err();
+        assert!(err.to_string().contains("not allowed inside"));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        assert!(parse_program("SELECT MIN(a, b) AS x").is_err());
+        assert!(parse_program("SELECT COUNT(a) AS x").is_err());
+        assert!(parse_program("SELECT REPSEL(2, load) AS x").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_alias() {
+        let err = parse_program("SELECT MIN(load)").unwrap_err();
+        assert!(err.to_string().contains("AS"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse_predicate("a = 1 b").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let e = parse_predicate("-(a + 1) < -2").unwrap();
+        assert_eq!(e.to_string(), "((-(a + 1)) < (-2))");
+    }
+}

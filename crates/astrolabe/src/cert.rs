@@ -1,0 +1,207 @@
+//! Simulated certificates.
+//!
+//! Paper §3 property 3: Astrolabe is "secure, through pervasive use of
+//! certificates", and §8 requires publisher authentication. Real Astrolabe
+//! used public-key certificates; this reproduction substitutes keyed-hash
+//! MACs plus an in-simulation [`TrustRegistry`] standing in for the PKI
+//! (see DESIGN.md, substitution 2). All the *flows* are preserved —
+//! issuance by an authority, signing of rows and news items, verification,
+//! and rejection of forged or tampered data — without a crypto dependency;
+//! only the mathematical hardness is simulated.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use filters::fnv1a_seeded;
+use simnet::splitmix64;
+
+/// Public identifier of a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyId(pub u64);
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{:016x}", self.0)
+    }
+}
+
+/// A signing key (the holder's secret half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey {
+    /// Public identifier.
+    pub id: KeyId,
+    secret: u64,
+}
+
+impl SecretKey {
+    /// Signs a message.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(fnv1a_seeded(msg, self.secret))
+    }
+}
+
+/// A detached signature over a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub u64);
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig:{:016x}", self.0)
+    }
+}
+
+/// A certificate binding a subject name and claims to a key, signed by the
+/// registry's certification authority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Subject name (e.g. `publisher:reuters`).
+    pub subject: String,
+    /// The subject's key.
+    pub key: KeyId,
+    /// Free-form claims, e.g. allowed publish zones or rate limits.
+    pub claims: Vec<(String, String)>,
+    /// CA signature over the canonical encoding.
+    pub ca_sig: Signature,
+}
+
+impl Certificate {
+    fn canonical_bytes(subject: &str, key: KeyId, claims: &[(String, String)]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(subject.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&key.0.to_le_bytes());
+        for (k, v) in claims {
+            out.extend_from_slice(k.as_bytes());
+            out.push(b'=');
+            out.extend_from_slice(v.as_bytes());
+            out.push(0);
+        }
+        out
+    }
+
+    /// Value of the claim named `name`.
+    pub fn claim(&self, name: &str) -> Option<&str> {
+        self.claims.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// The deployment's trust anchor: issues keys and certificates, verifies
+/// signatures. Every node holds (a logical copy of) it, playing the role a
+/// well-known CA public key plays in a real PKI.
+#[derive(Debug, Clone)]
+pub struct TrustRegistry {
+    secrets: HashMap<KeyId, u64>,
+    ca: SecretKey,
+    counter: u64,
+    seed: u64,
+}
+
+impl TrustRegistry {
+    /// Creates a registry with a fresh CA key derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let ca_secret = splitmix64(seed ^ 0xCA);
+        let ca = SecretKey { id: KeyId(splitmix64(ca_secret)), secret: ca_secret };
+        let mut secrets = HashMap::new();
+        secrets.insert(ca.id, ca.secret);
+        TrustRegistry { secrets, ca, counter: 0, seed }
+    }
+
+    /// The CA's public key id.
+    pub fn ca_key(&self) -> KeyId {
+        self.ca.id
+    }
+
+    /// Issues a fresh key pair and registers it for verification.
+    pub fn issue_key(&mut self) -> SecretKey {
+        self.counter += 1;
+        let secret = splitmix64(self.seed ^ splitmix64(self.counter));
+        let key = SecretKey { id: KeyId(splitmix64(secret ^ 0x5EC)), secret };
+        self.secrets.insert(key.id, secret);
+        key
+    }
+
+    /// Verifies `sig` over `msg` by the holder of `key`.
+    pub fn verify(&self, key: KeyId, msg: &[u8], sig: Signature) -> bool {
+        match self.secrets.get(&key) {
+            Some(&secret) => fnv1a_seeded(msg, secret) == sig.0,
+            None => false,
+        }
+    }
+
+    /// Issues a CA-signed certificate for `subject` with the given claims.
+    pub fn issue_certificate(
+        &mut self,
+        subject: impl Into<String>,
+        claims: Vec<(String, String)>,
+    ) -> (Certificate, SecretKey) {
+        let subject = subject.into();
+        let key = self.issue_key();
+        let bytes = Certificate::canonical_bytes(&subject, key.id, &claims);
+        let ca_sig = self.ca.sign(&bytes);
+        (Certificate { subject, key: key.id, claims, ca_sig }, key)
+    }
+
+    /// Verifies a certificate's CA signature.
+    pub fn verify_certificate(&self, cert: &Certificate) -> bool {
+        let bytes = Certificate::canonical_bytes(&cert.subject, cert.key, &cert.claims);
+        self.verify(self.ca.id, &bytes, cert.ca_sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut reg = TrustRegistry::new(7);
+        let key = reg.issue_key();
+        let sig = key.sign(b"headline");
+        assert!(reg.verify(key.id, b"headline", sig));
+        assert!(!reg.verify(key.id, b"tampered", sig));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let reg = TrustRegistry::new(7);
+        assert!(!reg.verify(KeyId(42), b"x", Signature(0)));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let mut reg = TrustRegistry::new(7);
+        let key = reg.issue_key();
+        let other = reg.issue_key();
+        let sig = other.sign(b"msg"); // signed with the wrong key
+        assert!(!reg.verify(key.id, b"msg", sig));
+    }
+
+    #[test]
+    fn certificate_roundtrip_and_tamper() {
+        let mut reg = TrustRegistry::new(9);
+        let (cert, _key) = reg.issue_certificate(
+            "publisher:reuters",
+            vec![("zones".into(), "/".into()), ("rate".into(), "100".into())],
+        );
+        assert!(reg.verify_certificate(&cert));
+        assert_eq!(cert.claim("rate"), Some("100"));
+        assert_eq!(cert.claim("absent"), None);
+
+        let mut tampered = cert.clone();
+        tampered.claims[1].1 = "100000".into();
+        assert!(!reg.verify_certificate(&tampered));
+
+        let mut resubject = cert;
+        resubject.subject = "publisher:mallory".into();
+        assert!(!reg.verify_certificate(&resubject));
+    }
+
+    #[test]
+    fn keys_are_distinct_and_deterministic() {
+        let mut a = TrustRegistry::new(1);
+        let mut b = TrustRegistry::new(1);
+        assert_eq!(a.issue_key(), b.issue_key());
+        assert_ne!(a.issue_key(), a.issue_key());
+        assert_ne!(TrustRegistry::new(2).ca_key(), TrustRegistry::new(3).ca_key());
+    }
+}

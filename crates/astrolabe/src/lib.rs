@@ -1,0 +1,196 @@
+//! # astrolabe — the gossip-based hierarchical management substrate
+//!
+//! A from-scratch reimplementation of the Astrolabe system the NewsWire
+//! paper builds on (paper §3–§5): a virtual hierarchy of zone tables,
+//! maintained by an epidemic anti-entropy protocol, summarized upward by
+//! SQL-like aggregation functions that are themselves mobile code, secured
+//! by certificates, and eventually consistent.
+//!
+//! Layering:
+//!
+//! * [`ZoneId`] / [`ZoneLayout`] — the zone tree (≤64-row tables, several
+//!   levels deep).
+//! * [`AttrValue`], [`Mib`], [`ZoneTable`] — typed rows and replicated
+//!   tables with newest-wins merging.
+//! * [`parse_program`] / [`run_program`] — the aggregation-function
+//!   language; [`parse_predicate`] / [`eval_predicate`] double as the
+//!   subscriber SQL filter of §8.
+//! * [`Agent`] — the per-node protocol state machine (sans-IO);
+//!   [`AstroNode`] wraps it for `simnet`.
+//! * [`TrustRegistry`] — simulated certificates (see DESIGN.md for the
+//!   substitution rationale).
+//! * [`mod@management`] — the §4 infrastructure-management usage: standard
+//!   attributes, program set, and min/max operational guidance.
+//!
+//! # Example
+//!
+//! Run a 12-agent deployment to convergence on simulated time:
+//!
+//! ```
+//! use astrolabe::{Agent, AstroNode, Config, ZoneLayout};
+//! use simnet::{NetworkModel, NodeId, SimDuration, SimTime, Simulation};
+//!
+//! let n = 12;
+//! let layout = ZoneLayout::new(n, 4);
+//! let mut config = Config::standard();
+//! config.branching = 4;
+//! let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(20)), 7);
+//! for i in 0..n {
+//!     sim.add_node(AstroNode::new(Agent::new(i, &layout, config.clone(), vec![0])));
+//! }
+//! sim.run_until(SimTime::from_secs(60));
+//! let total: i64 = sim
+//!     .node(NodeId(3))
+//!     .agent
+//!     .root_table()
+//!     .iter()
+//!     .filter_map(|(_, row)| row.get("nmembers").and_then(|v| v.as_i64()))
+//!     .sum();
+//! assert_eq!(total, n as i64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+pub mod agg;
+mod cert;
+mod config;
+pub mod management;
+mod mib;
+mod simnode;
+mod table;
+mod value;
+mod zone;
+
+pub use agent::{Agent, GossipMsg, TableDigest, TableRows, AGG_ATTR_PREFIX};
+pub use agg::{
+    eval_predicate, eval_scalar, parse_predicate, parse_program, run_program, AggProgram,
+    EvalError, Expr, ParseAggError, RowSource,
+};
+pub use cert::{Certificate, KeyId, SecretKey, Signature, TrustRegistry};
+pub use config::{AggSpec, Config};
+pub use mib::{AttrName, Mib, MibBuilder, Stamp};
+pub use simnode::AstroNode;
+pub use table::{RowDigest, ZoneTable};
+pub use value::AttrValue;
+pub use zone::{ZoneId, ZoneLayout, DEFAULT_BRANCHING};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn arb_stamp() -> impl Strategy<Value = Stamp> {
+        (0u64..1000, 0u64..50, 0u32..8)
+            .prop_map(|(t, v, o)| Stamp { issued_us: t, version: v, origin: o })
+    }
+
+    fn arb_row() -> impl Strategy<Value = (u16, Arc<Mib>)> {
+        (0u16..8, arb_stamp(), 0i64..100).prop_map(|(label, stamp, x)| {
+            (label, Arc::new(MibBuilder::new().attr("x", x).build(stamp)))
+        })
+    }
+
+    proptest! {
+        /// Table merge is order-independent: any permutation of the same row
+        /// multiset converges to the same table (the property that makes
+        /// anti-entropy gossip eventually consistent).
+        #[test]
+        fn merge_order_independent(rows in proptest::collection::vec(arb_row(), 0..24)) {
+            let mut forward = ZoneTable::new(ZoneId::root());
+            for (l, r) in &rows { forward.merge_row(*l, Arc::clone(r)); }
+            let mut backward = ZoneTable::new(ZoneId::root());
+            for (l, r) in rows.iter().rev() { backward.merge_row(*l, Arc::clone(r)); }
+            let fw: Vec<(u16, Stamp)> = forward.iter().map(|(l, r)| (l, r.stamp)).collect();
+            let bw: Vec<(u16, Stamp)> = backward.iter().map(|(l, r)| (l, r.stamp)).collect();
+            prop_assert_eq!(fw, bw);
+        }
+
+        /// Merging is idempotent: replaying the same rows changes nothing.
+        #[test]
+        fn merge_idempotent(rows in proptest::collection::vec(arb_row(), 0..24)) {
+            let mut t = ZoneTable::new(ZoneId::root());
+            for (l, r) in &rows { t.merge_row(*l, Arc::clone(r)); }
+            let before: Vec<(u16, Stamp)> = t.iter().map(|(l, r)| (l, r.stamp)).collect();
+            for (l, r) in &rows {
+                let changed = t.merge_row(*l, Arc::clone(r));
+                prop_assert!(!changed);
+            }
+            let after: Vec<(u16, Stamp)> = t.iter().map(|(l, r)| (l, r.stamp)).collect();
+            prop_assert_eq!(before, after);
+        }
+
+        /// After one digest/diff exchange both replicas agree exactly.
+        #[test]
+        fn diff_exchange_converges(
+            a_rows in proptest::collection::vec(arb_row(), 0..16),
+            b_rows in proptest::collection::vec(arb_row(), 0..16),
+        ) {
+            let mut a = ZoneTable::new(ZoneId::root());
+            let mut b = ZoneTable::new(ZoneId::root());
+            for (l, r) in &a_rows { a.merge_row(*l, Arc::clone(r)); }
+            for (l, r) in &b_rows { b.merge_row(*l, Arc::clone(r)); }
+
+            let (newer_at_a, _) = a.diff(&b.digest());
+            let (newer_at_b, _) = b.diff(&a.digest());
+            let from_a: Vec<(u16, Arc<Mib>)> =
+                newer_at_a.iter().map(|&l| (l, Arc::clone(a.get(l).unwrap()))).collect();
+            let from_b: Vec<(u16, Arc<Mib>)> =
+                newer_at_b.iter().map(|&l| (l, Arc::clone(b.get(l).unwrap()))).collect();
+            for (l, r) in from_b { a.merge_row(l, r); }
+            for (l, r) in from_a { b.merge_row(l, r); }
+
+            let fa: Vec<(u16, Stamp)> = a.iter().map(|(l, r)| (l, r.stamp)).collect();
+            let fb: Vec<(u16, Stamp)> = b.iter().map(|(l, r)| (l, r.stamp)).collect();
+            prop_assert_eq!(fa, fb);
+        }
+
+        /// Layout invariant: every agent maps into exactly one leaf zone at
+        /// the layout's level, and the mapping round-trips.
+        #[test]
+        fn layout_total_and_injective(n in 1u32..2000, b in 2u16..16) {
+            let l = ZoneLayout::new(n, b);
+            let probe = [0, n / 3, n / 2, n.saturating_sub(1)];
+            for &agent in probe.iter().filter(|&&a| a < n) {
+                let z = l.leaf_zone(agent);
+                prop_assert_eq!(z.depth(), l.levels());
+                prop_assert_eq!(l.agent_at(&z, l.member_slot(agent)), Some(agent));
+            }
+        }
+
+        /// The predicate parser never panics; valid parses display-roundtrip.
+        #[test]
+        fn predicate_parser_total(src in "[ -~]{0,48}") {
+            if let Ok(e) = parse_predicate(&src) {
+                let printed = e.to_string();
+                let reparsed = parse_predicate(&printed).unwrap();
+                prop_assert_eq!(reparsed.to_string(), printed);
+            }
+        }
+
+        /// The whole parse→evaluate pipeline is total: whatever program text
+        /// and row contents arrive (mobile code can come from anyone), the
+        /// evaluator returns Ok/Err — it never panics. This is the safety
+        /// property that lets agents run gossiped programs blindly.
+        #[test]
+        fn evaluator_total_on_arbitrary_programs(
+            src in "(SELECT )?[A-Za-z0-9_$ (),.'*+<>=%/-]{0,64}",
+            ints in proptest::collection::vec(("[a-z]{1,6}", -100i64..100), 0..6),
+            strs in proptest::collection::vec(("[a-z]{1,6}", "[ -~]{0,10}"), 0..4),
+        ) {
+            if let Ok(prog) = parse_program(&src) {
+                let rows: Vec<Mib> = (0..3)
+                    .map(|i| {
+                        let mut b = MibBuilder::new();
+                        for (k, v) in &ints { b.set(k.as_str(), *v + i); }
+                        for (k, v) in &strs { b.set(k.as_str(), v.as_str()); }
+                        b.build(Stamp::default())
+                    })
+                    .collect();
+                let _ = run_program(&prog, &rows); // must not panic
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! MIB rows — the "management information base" record each zone
+//! contributes to its parent table.
+//!
+//! Paper §3: "At the leaf table, a row is assigned to a particular process
+//! or user, which is allowed to update this row with attributes & values…
+//! each leaf table contributing a read-only summary row to its parent
+//! table."
+//!
+//! Rows are immutable once issued; replicas hold them behind `Arc` so a
+//! 100 000-node simulation shares one copy of each row version system-wide.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::AttrValue;
+
+/// Attribute name. `Arc<str>` so the (few, short) names are shared across
+/// the many rows that carry them.
+pub type AttrName = Arc<str>;
+
+/// Version stamp of a row: origin issue time plus a per-origin counter.
+///
+/// Newer stamps win during gossip merges; comparison is lexicographic on
+/// `(issued_us, version, origin)`, with `origin` only as a deterministic
+/// tie-breaker between concurrent writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Stamp {
+    /// Issue time at the origin, in simulated microseconds.
+    pub issued_us: u64,
+    /// Per-origin monotone counter.
+    pub version: u64,
+    /// Id of the agent that issued the row.
+    pub origin: u32,
+}
+
+impl fmt::Display for Stamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}v{}by{}", self.issued_us, self.version, self.origin)
+    }
+}
+
+/// One immutable row version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mib {
+    /// Version stamp used for newest-wins merging.
+    pub stamp: Stamp,
+    /// Attributes, sorted by name.
+    attrs: Vec<(AttrName, AttrValue)>,
+}
+
+impl Mib {
+    /// Builds a row from attribute pairs (sorted internally; later
+    /// duplicates win).
+    pub fn new(stamp: Stamp, mut attrs: Vec<(AttrName, AttrValue)>) -> Self {
+        attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        attrs.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                // `dedup_by` removes `later` when true; keep the later value
+                // by moving it into the kept slot first.
+                std::mem::swap(&mut earlier.1, &mut later.1);
+                true
+            } else {
+                false
+            }
+        });
+        Mib { stamp, attrs }
+    }
+
+    /// Attribute lookup.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs
+            .binary_search_by(|(n, _)| n.as_ref().cmp(name))
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// All attributes, sorted by name.
+    pub fn attrs(&self) -> &[(AttrName, AttrValue)] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the row carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Approximate serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        24 + self.attrs.iter().map(|(n, v)| n.len() + 1 + v.wire_size()).sum::<usize>()
+    }
+
+    /// True when `self` should replace `other` in a merge.
+    pub fn newer_than(&self, other: &Mib) -> bool {
+        self.stamp > other.stamp
+    }
+}
+
+/// Incremental builder for rows, reusing interned attribute names.
+///
+/// ```
+/// use astrolabe::{MibBuilder, Stamp, AttrValue};
+/// let row = MibBuilder::new()
+///     .attr("load", 0.25)
+///     .attr("id", 7i64)
+///     .build(Stamp { issued_us: 10, version: 1, origin: 7 });
+/// assert_eq!(row.get("id"), Some(&AttrValue::Int(7)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MibBuilder {
+    attrs: Vec<(AttrName, AttrValue)>,
+}
+
+impl MibBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        MibBuilder::default()
+    }
+
+    /// Adds an attribute (replaces an earlier one with the same name).
+    #[must_use]
+    pub fn attr(mut self, name: impl Into<AttrName>, value: impl Into<AttrValue>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Non-consuming variant of [`MibBuilder::attr`].
+    pub fn set(&mut self, name: impl Into<AttrName>, value: impl Into<AttrValue>) {
+        let name = name.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value.into();
+        } else {
+            self.attrs.push((name, value.into()));
+        }
+    }
+
+    /// Value previously set for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(n, _)| n.as_ref() == name).map(|(_, v)| v)
+    }
+
+    /// Finishes the row with the given stamp.
+    pub fn build(self, stamp: Stamp) -> Mib {
+        Mib::new(stamp, self.attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(t: u64, v: u64, o: u32) -> Stamp {
+        Stamp { issued_us: t, version: v, origin: o }
+    }
+
+    #[test]
+    fn stamp_ordering() {
+        assert!(stamp(2, 0, 0) > stamp(1, 9, 9));
+        assert!(stamp(1, 2, 0) > stamp(1, 1, 9));
+        assert!(stamp(1, 1, 1) > stamp(1, 1, 0));
+        assert_eq!(stamp(1, 1, 1), stamp(1, 1, 1));
+    }
+
+    #[test]
+    fn row_sorted_lookup() {
+        let row = Mib::new(
+            stamp(0, 0, 0),
+            vec![
+                (Arc::from("zeta"), AttrValue::Int(1)),
+                (Arc::from("alpha"), AttrValue::Int(2)),
+            ],
+        );
+        assert_eq!(row.get("alpha"), Some(&AttrValue::Int(2)));
+        assert_eq!(row.get("zeta"), Some(&AttrValue::Int(1)));
+        assert_eq!(row.get("mid"), None);
+        assert_eq!(row.attrs()[0].0.as_ref(), "alpha");
+    }
+
+    #[test]
+    fn duplicate_names_later_wins() {
+        let row = Mib::new(
+            stamp(0, 0, 0),
+            vec![
+                (Arc::from("x"), AttrValue::Int(1)),
+                (Arc::from("x"), AttrValue::Int(2)),
+            ],
+        );
+        assert_eq!(row.len(), 1);
+        assert_eq!(row.get("x"), Some(&AttrValue::Int(2)));
+    }
+
+    #[test]
+    fn builder_replaces() {
+        let row = MibBuilder::new()
+            .attr("a", 1i64)
+            .attr("a", 2i64)
+            .attr("b", "s")
+            .build(stamp(5, 1, 3));
+        assert_eq!(row.get("a"), Some(&AttrValue::Int(2)));
+        assert_eq!(row.len(), 2);
+        assert_eq!(row.stamp, stamp(5, 1, 3));
+    }
+
+    #[test]
+    fn newer_than_follows_stamp() {
+        let a = MibBuilder::new().build(stamp(1, 0, 0));
+        let b = MibBuilder::new().build(stamp(2, 0, 0));
+        assert!(b.newer_than(&a));
+        assert!(!a.newer_than(&b));
+        assert!(!a.newer_than(&a));
+    }
+
+    #[test]
+    fn wire_size_grows_with_attrs() {
+        let small = MibBuilder::new().build(stamp(0, 0, 0));
+        let big = MibBuilder::new().attr("subs", AttrValue::Bytes(vec![0; 128])).build(stamp(0, 0, 0));
+        assert!(big.wire_size() > small.wire_size() + 128);
+    }
+}

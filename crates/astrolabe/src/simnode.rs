@@ -1,0 +1,73 @@
+//! A ready-made `simnet` wrapper around [`Agent`], used by the Astrolabe
+//! integration tests and the convergence experiments (E6, E12).
+
+use rand::Rng;
+use simnet::{Context, Node, NodeId, Payload, SimDuration, TimerId};
+
+use crate::agent::{Agent, GossipMsg};
+
+impl Payload for GossipMsg {
+    fn wire_size(&self) -> usize {
+        GossipMsg::wire_size(self)
+    }
+}
+
+const GOSSIP_TIMER: u64 = 1;
+
+/// A simulated node running exactly one Astrolabe agent.
+#[derive(Debug)]
+pub struct AstroNode {
+    /// The wrapped agent (exposed for inspection by tests and harnesses).
+    pub agent: Agent,
+}
+
+impl AstroNode {
+    /// Wraps an agent.
+    pub fn new(agent: Agent) -> Self {
+        AstroNode { agent }
+    }
+
+    fn flush(&self, ctx: &mut Context<'_, GossipMsg>, out: Vec<(u32, GossipMsg)>) {
+        for (to, msg) in out {
+            ctx.send(NodeId(to), msg);
+        }
+    }
+}
+
+impl Node for AstroNode {
+    type Msg = GossipMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, GossipMsg>) {
+        // Desynchronize the first round across nodes, then tick periodically.
+        let interval = interval_of(&self.agent);
+        let first = SimDuration::from_micros(ctx.rng().gen_range(0..interval.as_micros().max(1)));
+        ctx.set_timer(first, GOSSIP_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
+        let now = ctx.now();
+        let out = self.agent.on_message(now, from.0, msg, ctx.rng());
+        self.flush(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, GossipMsg>, _timer: TimerId, tag: u64) {
+        if tag != GOSSIP_TIMER {
+            return;
+        }
+        let now = ctx.now();
+        let out = self.agent.on_tick(now, ctx.rng());
+        self.flush(ctx, out);
+        let interval = interval_of(&self.agent);
+        ctx.set_timer(interval, GOSSIP_TIMER);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, GossipMsg>) {
+        // Cold restart: rejoin with empty tables and resume gossiping.
+        self.agent.reset();
+        ctx.set_timer(interval_of(&self.agent), GOSSIP_TIMER);
+    }
+}
+
+fn interval_of(agent: &Agent) -> SimDuration {
+    agent.config().gossip_interval
+}

@@ -1,0 +1,238 @@
+//! Zone tables: the replicated `child-label → row` maps.
+//!
+//! Every agent replicates the table of each zone on its root path. Tables
+//! merge by newest-stamp-wins per row; rows are shared via `Arc` across the
+//! replicas of one simulation process.
+
+use std::sync::Arc;
+
+use crate::mib::{Mib, Stamp};
+use crate::zone::ZoneId;
+
+/// Digest entry advertising one row version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowDigest {
+    /// Child label of the row.
+    pub label: u16,
+    /// The advertised version stamp.
+    pub stamp: Stamp,
+}
+
+/// A replica of one zone's table.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneTable {
+    /// The zone this table describes; rows summarize its children.
+    pub zone: ZoneId,
+    rows: Vec<(u16, Arc<Mib>)>,
+}
+
+impl ZoneTable {
+    /// Creates an empty replica for `zone`.
+    pub fn new(zone: ZoneId) -> Self {
+        ZoneTable { zone, rows: Vec::new() }
+    }
+
+    /// Number of rows present.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row for child `label`.
+    pub fn get(&self, label: u16) -> Option<&Arc<Mib>> {
+        self.rows.binary_search_by_key(&label, |(l, _)| *l).ok().map(|i| &self.rows[i].1)
+    }
+
+    /// Iterates `(label, row)` in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &Arc<Mib>)> {
+        self.rows.iter().map(|(l, r)| (*l, r))
+    }
+
+    /// Inserts `row` for `label` if it is newer than what is present.
+    /// Returns `true` when the table changed.
+    pub fn merge_row(&mut self, label: u16, row: Arc<Mib>) -> bool {
+        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+            Ok(i) => {
+                if row.newer_than(&self.rows[i].1) {
+                    self.rows[i].1 = row;
+                    true
+                } else {
+                    false
+                }
+            }
+            Err(i) => {
+                self.rows.insert(i, (label, row));
+                true
+            }
+        }
+    }
+
+    /// Unconditionally removes the row for `label` (failure GC).
+    /// Returns `true` when a row was removed.
+    pub fn remove(&mut self, label: u16) -> bool {
+        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+            Ok(i) => {
+                self.rows.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes rows issued before `cutoff_us`, except the row `keep` (an
+    /// agent never evicts its own row). Returns the evicted labels.
+    pub fn evict_stale(&mut self, cutoff_us: u64, keep: Option<u16>) -> Vec<u16> {
+        let evicted: Vec<u16> = self
+            .rows
+            .iter()
+            .filter(|(l, r)| Some(*l) != keep && r.stamp.issued_us < cutoff_us)
+            .map(|(l, _)| *l)
+            .collect();
+        self.rows.retain(|(l, r)| Some(*l) == keep || r.stamp.issued_us >= cutoff_us);
+        debug_assert!(evicted.iter().all(|l| self.get(*l).is_none()));
+        evicted
+    }
+
+    /// Digest of every row (for anti-entropy exchange).
+    pub fn digest(&self) -> Vec<RowDigest> {
+        self.rows.iter().map(|(l, r)| RowDigest { label: *l, stamp: r.stamp }).collect()
+    }
+
+    /// Compares a peer digest against this replica.
+    ///
+    /// Returns `(newer_here, missing_here)`: labels where this replica has a
+    /// strictly newer (or unknown-to-peer) row, and labels where the peer
+    /// advertises a strictly newer (or absent-here) row.
+    pub fn diff(&self, peer: &[RowDigest]) -> (Vec<u16>, Vec<u16>) {
+        let mut newer_here = Vec::new();
+        let mut missing_here = Vec::new();
+        for d in peer {
+            match self.get(d.label) {
+                Some(row) => {
+                    if row.stamp > d.stamp {
+                        newer_here.push(d.label);
+                    } else if d.stamp > row.stamp {
+                        missing_here.push(d.label);
+                    }
+                }
+                None => missing_here.push(d.label),
+            }
+        }
+        for (l, _) in &self.rows {
+            if !peer.iter().any(|d| d.label == *l) {
+                newer_here.push(*l);
+            }
+        }
+        newer_here.sort_unstable();
+        newer_here.dedup();
+        (newer_here, missing_here)
+    }
+
+    /// Approximate serialized size of the whole table.
+    pub fn wire_size(&self) -> usize {
+        self.rows.iter().map(|(_, r)| 2 + r.wire_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::MibBuilder;
+
+    fn row(t: u64, origin: u32) -> Arc<Mib> {
+        Arc::new(MibBuilder::new().attr("t", t as i64).build(Stamp {
+            issued_us: t,
+            version: 0,
+            origin,
+        }))
+    }
+
+    #[test]
+    fn merge_keeps_newest() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        assert!(t.merge_row(3, row(10, 0)));
+        assert!(!t.merge_row(3, row(5, 0)), "older row must not replace");
+        assert!(t.merge_row(3, row(20, 0)));
+        assert_eq!(t.get(3).unwrap().stamp.issued_us, 20);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn rows_stay_sorted() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        for l in [5u16, 1, 9, 3] {
+            t.merge_row(l, row(1, 0));
+        }
+        let labels: Vec<u16> = t.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn diff_classifies_rows() {
+        let mut a = ZoneTable::new(ZoneId::root());
+        let mut b = ZoneTable::new(ZoneId::root());
+        a.merge_row(1, row(10, 0)); // same on both
+        b.merge_row(1, row(10, 0));
+        a.merge_row(2, row(20, 0)); // newer at a
+        b.merge_row(2, row(15, 0));
+        b.merge_row(3, row(30, 0)); // only at b
+        a.merge_row(4, row(40, 0)); // only at a
+
+        let (newer_at_a, missing_at_a) = a.diff(&b.digest());
+        assert_eq!(newer_at_a, vec![2, 4]);
+        assert_eq!(missing_at_a, vec![3]);
+    }
+
+    #[test]
+    fn diff_symmetric_consistency() {
+        let mut a = ZoneTable::new(ZoneId::root());
+        let mut b = ZoneTable::new(ZoneId::root());
+        a.merge_row(1, row(10, 0));
+        b.merge_row(1, row(12, 0));
+        let (na, ma) = a.diff(&b.digest());
+        let (nb, mb) = b.diff(&a.digest());
+        assert_eq!(na, mb);
+        assert_eq!(ma, nb);
+    }
+
+    #[test]
+    fn evict_stale_spares_keep() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        t.merge_row(1, row(10, 0));
+        t.merge_row(2, row(100, 0));
+        t.merge_row(3, row(5, 0));
+        let evicted = t.evict_stale(50, Some(3));
+        assert_eq!(evicted, vec![1]);
+        assert!(t.get(3).is_some(), "own row survives");
+        assert!(t.get(2).is_some());
+    }
+
+    #[test]
+    fn remove_row() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        t.merge_row(1, row(1, 0));
+        assert!(t.remove(1));
+        assert!(!t.remove(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_tie_break_deterministically() {
+        // Two reps may issue the same aggregate concurrently; merge order
+        // must not matter.
+        let r1 = row(10, 1);
+        let r2 = row(10, 2);
+        let mut a = ZoneTable::new(ZoneId::root());
+        a.merge_row(0, r1.clone());
+        a.merge_row(0, r2.clone());
+        let mut b = ZoneTable::new(ZoneId::root());
+        b.merge_row(0, r2);
+        b.merge_row(0, r1);
+        assert_eq!(a.get(0).unwrap().stamp, b.get(0).unwrap().stamp);
+        assert_eq!(a.get(0).unwrap().stamp.origin, 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Recovery and churn behaviour of `AstroNode` deployments.
+
+use astrolabe::{Agent, AstroNode, Config, ZoneLayout};
+use rand::Rng;
+use simnet::{fork, NetworkModel, NodeId, SimTime, Simulation};
+
+fn build(n: u32, seed: u64) -> Simulation<AstroNode> {
+    let layout = ZoneLayout::new(n, 4);
+    let mut config = Config::standard();
+    config.branching = 4;
+    let mut contact_rng = fork(seed, 99);
+    let mut sim = Simulation::new(NetworkModel::default(), seed);
+    for i in 0..n {
+        let contacts: Vec<u32> = (0..3).map(|_| contact_rng.gen_range(0..n)).collect();
+        sim.add_node(AstroNode::new(Agent::new(i, &layout, config.clone(), contacts)));
+    }
+    sim
+}
+
+fn members(sim: &Simulation<AstroNode>, probe: u32) -> i64 {
+    sim.node(NodeId(probe))
+        .agent
+        .root_table()
+        .iter()
+        .filter_map(|(_, r)| r.get("nmembers").and_then(|v| v.as_i64()))
+        .sum()
+}
+
+#[test]
+fn cold_restart_rebuilds_all_tables() {
+    let mut sim = build(24, 1);
+    sim.run_until(SimTime::from_secs(50));
+    assert_eq!(members(&sim, 7), 24);
+    // Crash node 7; its replicas are wiped on recovery.
+    sim.schedule_crash(SimTime::from_secs(50), NodeId(7));
+    sim.schedule_recover(SimTime::from_secs(55), NodeId(7));
+    // 1 ms after recovery no gossip can have arrived yet (10 ms latency):
+    // the node's replicas must be empty — a genuine cold restart.
+    sim.run_until(SimTime::from_micros(55_001_000));
+    assert_eq!(members(&sim, 7), 0, "fresh tables after restart");
+    sim.run_until(SimTime::from_secs(120));
+    assert_eq!(members(&sim, 7), 24, "restart rejoins and reconverges");
+}
+
+#[test]
+fn rolling_churn_keeps_survivor_view_accurate() {
+    let mut sim = build(32, 2);
+    sim.run_until(SimTime::from_secs(50));
+    // A rolling wave: every 10 s one node dies, recovering 40 s later.
+    for (i, v) in (8u32..16).enumerate() {
+        let down = 50 + 10 * i as u64;
+        sim.schedule_crash(SimTime::from_secs(down), NodeId(v));
+        sim.schedule_recover(SimTime::from_secs(down + 40), NodeId(v));
+    }
+    // After the wave passes and a convergence tail, the view is complete.
+    sim.run_until(SimTime::from_secs(300));
+    for probe in [0u32, 15, 31] {
+        assert_eq!(members(&sim, probe), 32, "probe {probe}");
+    }
+}
+
+#[test]
+fn half_network_failure_detected_and_reabsorbed() {
+    let mut sim = build(16, 3);
+    sim.run_until(SimTime::from_secs(50));
+    for v in 8..16 {
+        sim.schedule_crash(SimTime::from_secs(50), NodeId(v));
+    }
+    sim.run_until(SimTime::from_secs(140));
+    assert_eq!(members(&sim, 0), 8, "dead half evicted");
+    for v in 8..16 {
+        sim.schedule_recover(SimTime::from_secs(140), NodeId(v));
+    }
+    sim.run_until(SimTime::from_secs(260));
+    assert_eq!(members(&sim, 0), 16, "recovered half reabsorbed");
+    assert_eq!(members(&sim, 12), 16, "rejoiner sees everyone");
+}

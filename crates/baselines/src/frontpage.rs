@@ -1,0 +1,216 @@
+//! The rolling front page of a community news site (paper §1's Slashdot
+//! example), plus the analytic polling model behind experiment E3.
+//!
+//! "A consumer who returns 4 times during a day receives about 70%
+//! redundant data. Consumers who return more frequently … receive a much
+//! higher rate of redundant data." That number is a property of front-page
+//! geometry — the page shows the latest `capacity` headlines, so a poll
+//! separated by Δt from the previous one sees `rate·Δt` fresh headlines and
+//! `capacity − rate·Δt` repeats — which [`simulate_polling`] reproduces
+//! exactly from a story-arrival trace.
+
+use std::collections::VecDeque;
+
+/// The rolling front page: latest `capacity` stories, newest first.
+#[derive(Debug, Clone)]
+pub struct FrontPage {
+    capacity: usize,
+    stories: VecDeque<u64>,
+    version: u64,
+    headline_bytes: u32,
+}
+
+impl FrontPage {
+    /// A page showing `capacity` headlines of roughly `headline_bytes`
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, headline_bytes: u32) -> Self {
+        assert!(capacity > 0, "front page needs capacity");
+        FrontPage { capacity, stories: VecDeque::new(), version: 0, headline_bytes }
+    }
+
+    /// Publishes a story onto the page (evicting the oldest beyond
+    /// capacity) and bumps the page version.
+    pub fn push_story(&mut self, story: u64) {
+        self.stories.push_front(story);
+        if self.stories.len() > self.capacity {
+            self.stories.pop_back();
+        }
+        self.version += 1;
+    }
+
+    /// Current page version (changes whenever content changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The headlines currently shown, newest first.
+    pub fn headlines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.stories.iter().copied()
+    }
+
+    /// Number of headlines shown.
+    pub fn len(&self) -> usize {
+        self.stories.len()
+    }
+
+    /// True before any story has been published.
+    pub fn is_empty(&self) -> bool {
+        self.stories.is_empty()
+    }
+
+    /// Page size in bytes for a full fetch (headlines + fixed chrome).
+    pub fn page_bytes(&self) -> u32 {
+        2_000 + self.stories.len() as u32 * self.headline_bytes
+    }
+
+    /// Bytes of a delta fetch shipping only `new_headlines` headlines.
+    pub fn delta_bytes(&self, new_headlines: usize) -> u32 {
+        200 + new_headlines as u32 * self.headline_bytes
+    }
+}
+
+/// Outcome of the analytic polling model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancyReport {
+    /// Fetches performed.
+    pub fetches: u64,
+    /// Headlines served across all fetches.
+    pub headlines_served: u64,
+    /// Headlines the client had already seen.
+    pub headlines_redundant: u64,
+    /// Bytes served (full-page model).
+    pub bytes_served: u64,
+    /// Bytes attributable to redundant headlines.
+    pub bytes_redundant: u64,
+}
+
+impl RedundancyReport {
+    /// Fraction of served headlines that were redundant.
+    pub fn redundant_fraction(&self) -> f64 {
+        if self.headlines_served == 0 {
+            0.0
+        } else {
+            self.headlines_redundant as f64 / self.headlines_served as f64
+        }
+    }
+}
+
+/// Replays a poll schedule against a story-arrival trace.
+///
+/// `story_times_us` are the publication instants (sorted ascending);
+/// the client polls every `poll_interval_us` over `[0, horizon_us)`.
+pub fn simulate_polling(
+    story_times_us: &[u64],
+    poll_interval_us: u64,
+    horizon_us: u64,
+    capacity: usize,
+    headline_bytes: u32,
+) -> RedundancyReport {
+    assert!(poll_interval_us > 0, "poll interval must be positive");
+    let mut page = FrontPage::new(capacity, headline_bytes);
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut next_story = 0usize;
+    let mut report = RedundancyReport {
+        fetches: 0,
+        headlines_served: 0,
+        headlines_redundant: 0,
+        bytes_served: 0,
+        bytes_redundant: 0,
+    };
+    let mut t = poll_interval_us;
+    while t < horizon_us {
+        while next_story < story_times_us.len() && story_times_us[next_story] <= t {
+            page.push_story(next_story as u64);
+            next_story += 1;
+        }
+        report.fetches += 1;
+        report.bytes_served += u64::from(page.page_bytes());
+        for h in page.headlines() {
+            report.headlines_served += 1;
+            if !seen.insert(h) {
+                report.headlines_redundant += 1;
+                report.bytes_redundant += u64::from(headline_bytes);
+            }
+        }
+        t += poll_interval_us;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: u64 = 86_400_000_000;
+
+    fn uniform_trace(per_day: u64, days: u64) -> Vec<u64> {
+        let n = per_day * days;
+        let gap = days * DAY / n;
+        (0..n).map(|i| i * gap + gap / 2).collect()
+    }
+
+    #[test]
+    fn page_rolls_and_versions() {
+        let mut p = FrontPage::new(3, 100);
+        for s in 0..5 {
+            p.push_story(s);
+        }
+        assert_eq!(p.headlines().collect::<Vec<_>>(), vec![4, 3, 2]);
+        assert_eq!(p.version(), 5);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn paper_redundancy_claim_four_polls_per_day() {
+        // §1: ~70% redundant at 4 polls/day. Slashdot-like geometry:
+        // ~18 stories/day on a 20-headline page.
+        let trace = uniform_trace(18, 10);
+        let r = simulate_polling(&trace, DAY / 4, 10 * DAY, 20, 300);
+        let f = r.redundant_fraction();
+        assert!((0.6..0.85).contains(&f), "redundancy {f}");
+    }
+
+    #[test]
+    fn more_frequent_polls_more_redundancy() {
+        let trace = uniform_trace(18, 5);
+        let rates = [1u64, 4, 12, 48];
+        let fractions: Vec<f64> = rates
+            .iter()
+            .map(|&per_day| {
+                simulate_polling(&trace, DAY / per_day, 5 * DAY, 20, 300).redundant_fraction()
+            })
+            .collect();
+        assert!(
+            fractions.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "redundancy must be monotone in poll rate: {fractions:?}"
+        );
+        assert!(fractions[3] > 0.9, "hourly pollers drown in repeats: {fractions:?}");
+    }
+
+    #[test]
+    fn slow_pollers_see_little_redundancy() {
+        // Polling once per day on an 18-story/day site: page fully turns
+        // over between visits (capacity 15 < 18 new stories).
+        let trace = uniform_trace(18, 10);
+        let r = simulate_polling(&trace, DAY, 10 * DAY, 15, 300);
+        assert!(r.redundant_fraction() < 0.05, "{}", r.redundant_fraction());
+    }
+
+    #[test]
+    fn byte_accounting_consistent() {
+        let trace = uniform_trace(10, 2);
+        let r = simulate_polling(&trace, DAY / 2, 2 * DAY, 10, 250);
+        assert!(r.bytes_redundant <= r.bytes_served);
+        assert_eq!(r.bytes_redundant, r.headlines_redundant * 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        FrontPage::new(0, 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! # baselines — the centralized comparators of paper §1
+//!
+//! Everything the paper's introduction measures NewsWire against, built on
+//! the same simulator:
+//!
+//! * [`FrontPage`] / [`simulate_polling`] — the rolling Slashdot-style
+//!   front page and the analytic redundancy model behind the "~70%
+//!   redundant data at 4 polls/day" claim (experiment E3).
+//! * [`WebServer`] / [`WebClient`] / [`WebNode`] — the centralized pull
+//!   architecture with all four fetch modes ([`FetchMode`]): full page,
+//!   RSS summary, if-modified-since, delta encoding.
+//! * [`AttackClient`] — the request flood for the overload/DoS experiment
+//!   (E4).
+//! * Centralized push — a [`WebServer`] with `push_subscribers`, paying
+//!   O(N) per story (experiment E2's upper line).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frontpage;
+mod web;
+
+pub use frontpage::{simulate_polling, FrontPage, RedundancyReport};
+pub use web::{AttackClient, ClientStats, FetchMode, ServerStats, WebClient, WebMsg, WebNode, WebServer};

@@ -1,0 +1,547 @@
+//! The centralized web-delivery baselines of paper §1 on the simulator:
+//! pull (full page), RSS summary pull, if-modified-since + delta encoding,
+//! and centralized one-to-many push — plus the overload/DoS client used by
+//! experiment E4.
+//!
+//! One [`WebNode`] enum hosts all the roles so a single simulation can mix
+//! a server, honest pollers, push subscribers and attackers.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+use simnet::{Context, Node, NodeId, Payload, SimDuration, SimTime, TimerId};
+
+use crate::frontpage::FrontPage;
+
+/// How a client fetches the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchMode {
+    /// Plain pull of the whole front page every poll.
+    FullPage,
+    /// Pull of the RSS summary; full articles fetched only for fresh
+    /// headlines (modelled as added client bytes).
+    RssSummary,
+    /// `if-modified-since`: unchanged pages cost a tiny 304 response.
+    Conditional,
+    /// Conditional plus delta encoding: only fresh headlines are shipped.
+    Delta,
+}
+
+/// Messages of the centralized baselines.
+#[derive(Debug, Clone)]
+pub enum WebMsg {
+    /// External input to the server: a new story appears.
+    PublishStory {
+        /// Story id.
+        story: u64,
+    },
+    /// Client poll.
+    Get {
+        /// Fetch mode.
+        mode: FetchMode,
+        /// Page version the client last saw.
+        since_version: u64,
+    },
+    /// Server response.
+    Reply {
+        /// Current page version.
+        version: u64,
+        /// Response size in bytes.
+        bytes: u32,
+        /// Headlines on the page the client had not seen.
+        fresh: u16,
+        /// Total headlines on the page.
+        total: u16,
+        /// True for a 304-style not-modified response.
+        not_modified: bool,
+    },
+    /// Centralized push delivery of one story.
+    PushItem {
+        /// Story id.
+        story: u64,
+        /// Item size in bytes.
+        bytes: u32,
+    },
+}
+
+impl Payload for WebMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            WebMsg::PublishStory { .. } => 512,
+            WebMsg::Get { .. } => 96, // HTTP request + headers
+            WebMsg::Reply { bytes, .. } | WebMsg::PushItem { bytes, .. } => *bytes as usize,
+        }
+    }
+}
+
+/// Server statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served.
+    pub served: u64,
+    /// Requests dropped at the full queue (overload).
+    pub dropped: u64,
+    /// Stories published.
+    pub stories: u64,
+    /// Push deliveries enqueued.
+    pub pushes: u64,
+}
+
+/// One unit of server work awaiting service.
+#[derive(Debug, Clone, Copy)]
+enum Work {
+    /// Answer a poll.
+    Reply {
+        /// Requesting client.
+        dst: NodeId,
+        /// Fetch mode.
+        mode: FetchMode,
+        /// Client's last-seen version.
+        since: u64,
+    },
+    /// Deliver one pushed story.
+    Push {
+        /// Target subscriber.
+        dst: NodeId,
+        /// Story id.
+        story: u64,
+    },
+}
+
+/// The centralized news server.
+#[derive(Debug)]
+pub struct WebServer {
+    page: FrontPage,
+    service_interval: SimDuration,
+    max_queue: usize,
+    queue: VecDeque<Work>,
+    draining: bool,
+    /// Subscribers to push each story to (empty = pull-only server).
+    pub push_subscribers: Vec<u32>,
+    article_bytes: u32,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl WebServer {
+    /// Creates a server with the given page geometry and capacity.
+    /// `service_interval` is the per-request processing time; `max_queue`
+    /// bounds the accept queue (beyond it requests are dropped — the §1
+    /// overload failure mode).
+    pub fn new(
+        page_capacity: usize,
+        headline_bytes: u32,
+        article_bytes: u32,
+        service_interval: SimDuration,
+        max_queue: usize,
+    ) -> Self {
+        WebServer {
+            page: FrontPage::new(page_capacity, headline_bytes),
+            service_interval,
+            max_queue,
+            queue: VecDeque::new(),
+            draining: false,
+            push_subscribers: Vec::new(),
+            article_bytes,
+            stats: ServerStats::default(),
+        }
+    }
+
+    fn reply_for(&self, mode: FetchMode, since_version: u64) -> WebMsg {
+        let version = self.page.version();
+        let total = self.page.len() as u16;
+        let fresh = version.saturating_sub(since_version).min(total as u64) as u16;
+        match mode {
+            FetchMode::FullPage => WebMsg::Reply {
+                version,
+                bytes: self.page.page_bytes(),
+                fresh,
+                total,
+                not_modified: false,
+            },
+            FetchMode::RssSummary => WebMsg::Reply {
+                version,
+                bytes: 300 + u32::from(total) * 60, // headline + link per entry
+                fresh,
+                total,
+                not_modified: false,
+            },
+            FetchMode::Conditional => {
+                if fresh == 0 {
+                    WebMsg::Reply { version, bytes: 80, fresh: 0, total, not_modified: true }
+                } else {
+                    WebMsg::Reply {
+                        version,
+                        bytes: self.page.page_bytes(),
+                        fresh,
+                        total,
+                        not_modified: false,
+                    }
+                }
+            }
+            FetchMode::Delta => {
+                if fresh == 0 {
+                    WebMsg::Reply { version, bytes: 80, fresh: 0, total, not_modified: true }
+                } else {
+                    WebMsg::Reply {
+                        version,
+                        bytes: self.page.delta_bytes(usize::from(fresh)),
+                        fresh,
+                        total,
+                        not_modified: false,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Client statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Polls sent.
+    pub fetches: u64,
+    /// Replies received.
+    pub replies: u64,
+    /// 304-style replies.
+    pub not_modified: u64,
+    /// Total bytes received (including modelled article follow-ups).
+    pub bytes: u64,
+    /// Fresh headlines seen.
+    pub fresh: u64,
+    /// Redundant headlines received.
+    pub redundant: u64,
+    /// Polls that got no reply before the next poll (overload signal).
+    pub timeouts: u64,
+    /// Push items received, with delivery times.
+    pub push_deliveries: Vec<(u64, SimTime)>,
+}
+
+/// A polling (or push-subscribing) client.
+#[derive(Debug)]
+pub struct WebClient {
+    server: NodeId,
+    mode: FetchMode,
+    poll_interval: SimDuration,
+    last_version: u64,
+    awaiting: bool,
+    article_bytes: u32,
+    /// Counters.
+    pub stats: ClientStats,
+}
+
+impl WebClient {
+    /// A client polling `server` every `poll_interval` with `mode`.
+    pub fn new(server: NodeId, mode: FetchMode, poll_interval: SimDuration) -> Self {
+        WebClient {
+            server,
+            mode,
+            poll_interval,
+            last_version: 0,
+            awaiting: false,
+            article_bytes: 1_500,
+            stats: ClientStats::default(),
+        }
+    }
+}
+
+/// A request-flooding attacker (experiment E4).
+#[derive(Debug)]
+pub struct AttackClient {
+    server: NodeId,
+    interval: SimDuration,
+    /// Requests fired.
+    pub sent: u64,
+}
+
+impl AttackClient {
+    /// An attacker firing a full-page request every `interval`.
+    pub fn new(server: NodeId, interval: SimDuration) -> Self {
+        AttackClient { server, interval, sent: 0 }
+    }
+}
+
+/// One simulated node of the centralized-baseline world.
+#[derive(Debug)]
+pub enum WebNode {
+    /// The central server.
+    Server(WebServer),
+    /// An honest polling client.
+    Client(WebClient),
+    /// A passive push subscriber.
+    PushSubscriber(ClientStats),
+    /// A flooding attacker.
+    Attacker(AttackClient),
+}
+
+const POLL_TIMER: u64 = 1;
+const DRAIN_TIMER: u64 = 2;
+const ATTACK_TIMER: u64 = 3;
+
+impl Node for WebNode {
+    type Msg = WebMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WebMsg>) {
+        match self {
+            WebNode::Server(_) | WebNode::PushSubscriber(_) => {}
+            WebNode::Client(c) => {
+                let first = SimDuration::from_micros(
+                    ctx.rng().gen_range(0..c.poll_interval.as_micros().max(1)),
+                );
+                ctx.set_timer(first, POLL_TIMER);
+            }
+            WebNode::Attacker(a) => {
+                let first = SimDuration::from_micros(
+                    ctx.rng().gen_range(0..a.interval.as_micros().max(1)),
+                );
+                ctx.set_timer(first, ATTACK_TIMER);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, WebMsg>, from: NodeId, msg: WebMsg) {
+        match (self, msg) {
+            (WebNode::Server(s), WebMsg::PublishStory { story }) => {
+                s.page.push_story(story);
+                s.stats.stories += 1;
+                // Centralized push: one copy per subscriber through the same
+                // service queue — the publisher-side O(N) cost of §2.
+                let subs = s.push_subscribers.clone();
+                for sub in subs {
+                    if s.queue.len() >= s.max_queue {
+                        s.stats.dropped += 1;
+                        continue;
+                    }
+                    s.stats.pushes += 1;
+                    s.queue.push_back(Work::Push { dst: NodeId(sub), story });
+                    if !s.draining {
+                        s.draining = true;
+                        ctx.set_timer(s.service_interval, DRAIN_TIMER);
+                    }
+                }
+            }
+            (WebNode::Server(s), WebMsg::Get { mode, since_version }) => {
+                if s.queue.len() >= s.max_queue {
+                    s.stats.dropped += 1;
+                    return;
+                }
+                s.queue.push_back(Work::Reply { dst: from, mode, since: since_version });
+                if !s.draining {
+                    s.draining = true;
+                    ctx.set_timer(s.service_interval, DRAIN_TIMER);
+                }
+            }
+            (WebNode::Client(c), WebMsg::Reply { version, bytes, fresh, total, not_modified }) => {
+                c.awaiting = false;
+                c.stats.replies += 1;
+                c.stats.bytes += u64::from(bytes);
+                if not_modified {
+                    c.stats.not_modified += 1;
+                    return;
+                }
+                c.stats.fresh += u64::from(fresh);
+                // Delta replies ship only the fresh headlines; every other
+                // mode re-ships the whole page/summary.
+                if c.mode != FetchMode::Delta {
+                    c.stats.redundant += u64::from(total.saturating_sub(fresh));
+                }
+                if c.mode == FetchMode::RssSummary {
+                    // Model the follow-up article fetches for fresh entries.
+                    c.stats.bytes += u64::from(fresh) * u64::from(c.article_bytes);
+                }
+                c.last_version = version;
+            }
+            (WebNode::PushSubscriber(stats), WebMsg::PushItem { story, bytes }) => {
+                let now = ctx.now();
+                stats.push_deliveries.push((story, now));
+                stats.bytes += u64::from(bytes);
+                stats.fresh += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WebMsg>, _t: TimerId, tag: u64) {
+        match (self, tag) {
+            (WebNode::Client(c), POLL_TIMER) => {
+                if c.awaiting {
+                    c.stats.timeouts += 1;
+                    c.awaiting = false;
+                }
+                c.stats.fetches += 1;
+                c.awaiting = true;
+                let since = match c.mode {
+                    FetchMode::Conditional | FetchMode::Delta | FetchMode::RssSummary => {
+                        c.last_version
+                    }
+                    FetchMode::FullPage => 0,
+                };
+                ctx.send(c.server, WebMsg::Get { mode: c.mode, since_version: since });
+                ctx.set_timer(c.poll_interval, POLL_TIMER);
+            }
+            (WebNode::Attacker(a), ATTACK_TIMER) => {
+                a.sent += 1;
+                ctx.send(a.server, WebMsg::Get { mode: FetchMode::FullPage, since_version: 0 });
+                ctx.set_timer(a.interval, ATTACK_TIMER);
+            }
+            (WebNode::Server(s), DRAIN_TIMER) => {
+                if let Some(work) = s.queue.pop_front() {
+                    s.stats.served += 1;
+                    match work {
+                        Work::Push { dst, story } => {
+                            ctx.send(dst, WebMsg::PushItem { story, bytes: s.article_bytes });
+                        }
+                        Work::Reply { dst, mode, since } => {
+                            let reply = s.reply_for(mode, since);
+                            ctx.send(dst, reply);
+                        }
+                    }
+                }
+                if s.queue.is_empty() {
+                    s.draining = false;
+                } else {
+                    ctx.set_timer(s.service_interval, DRAIN_TIMER);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NetworkModel, Simulation};
+
+    const MS: u64 = 1_000;
+
+    fn sim_with_server(
+        clients: usize,
+        mode: FetchMode,
+        poll: SimDuration,
+        seed: u64,
+    ) -> Simulation<WebNode> {
+        let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(20)), seed);
+        sim.add_node(WebNode::Server(WebServer::new(
+            15,
+            300,
+            1_500,
+            SimDuration::from_micros(500),
+            1_000,
+        )));
+        for _ in 0..clients {
+            sim.add_node(WebNode::Client(WebClient::new(NodeId(0), mode, poll)));
+        }
+        sim
+    }
+
+    fn publish(sim: &mut Simulation<WebNode>, at_s: u64, story: u64) {
+        sim.schedule_external(SimTime::from_secs(at_s), NodeId(0), WebMsg::PublishStory { story });
+    }
+
+    #[test]
+    fn pull_clients_receive_pages() {
+        let mut sim = sim_with_server(5, FetchMode::FullPage, SimDuration::from_secs(10), 1);
+        for s in 0..10 {
+            publish(&mut sim, s * 5, s);
+        }
+        sim.run_until(SimTime::from_secs(100));
+        for i in 1..=5u32 {
+            let WebNode::Client(c) = sim.node(NodeId(i)) else { panic!() };
+            assert!(c.stats.replies >= 8, "client {i}: {} replies", c.stats.replies);
+            assert!(c.stats.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn conditional_get_saves_bytes_on_quiet_site() {
+        // No stories at all: conditional pollers get cheap 304s.
+        let mut full = sim_with_server(1, FetchMode::FullPage, SimDuration::from_secs(5), 2);
+        publish(&mut full, 0, 1);
+        full.run_until(SimTime::from_secs(200));
+        let mut cond = sim_with_server(1, FetchMode::Conditional, SimDuration::from_secs(5), 2);
+        publish(&mut cond, 0, 1);
+        cond.run_until(SimTime::from_secs(200));
+        let (WebNode::Client(f), WebNode::Client(c)) =
+            (full.node(NodeId(1)), cond.node(NodeId(1)))
+        else {
+            panic!()
+        };
+        assert!(c.stats.not_modified > 30);
+        assert!(c.stats.bytes < f.stats.bytes / 5, "{} vs {}", c.stats.bytes, f.stats.bytes);
+    }
+
+    #[test]
+    fn delta_ships_only_fresh_headlines() {
+        let mut sim = sim_with_server(1, FetchMode::Delta, SimDuration::from_secs(10), 3);
+        for s in 0..20 {
+            publish(&mut sim, s * 7, s);
+        }
+        sim.run_until(SimTime::from_secs(200));
+        let WebNode::Client(c) = sim.node(NodeId(1)) else { panic!() };
+        assert_eq!(c.stats.redundant, 0, "delta mode must never re-ship headlines");
+        assert!(c.stats.fresh >= 15);
+    }
+
+    #[test]
+    fn overloaded_server_drops_requests() {
+        let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(5)), 4);
+        // Slow server, tiny queue.
+        sim.add_node(WebNode::Server(WebServer::new(
+            15,
+            300,
+            1_500,
+            SimDuration::from_micros(50 * MS),
+            10,
+        )));
+        for _ in 0..5 {
+            sim.add_node(WebNode::Client(WebClient::new(
+                NodeId(0),
+                FetchMode::FullPage,
+                SimDuration::from_secs(2),
+            )));
+        }
+        for i in 0..20 {
+            sim.add_node(WebNode::Attacker(AttackClient::new(
+                NodeId(0),
+                SimDuration::from_millis(20),
+            )));
+            let _ = i;
+        }
+        sim.run_until(SimTime::from_secs(60));
+        let WebNode::Server(s) = sim.node(NodeId(0)) else { panic!() };
+        assert!(s.stats.dropped > 1_000, "dropped {}", s.stats.dropped);
+        // Honest clients mostly time out — the §1 overload failure.
+        let mut timeouts = 0;
+        let mut fetches = 0;
+        for i in 1..=5u32 {
+            let WebNode::Client(c) = sim.node(NodeId(i)) else { panic!() };
+            timeouts += c.stats.timeouts;
+            fetches += c.stats.fetches;
+        }
+        assert!(
+            timeouts as f64 > 0.5 * fetches as f64,
+            "timeouts {timeouts} of {fetches} fetches"
+        );
+    }
+
+    #[test]
+    fn push_server_cost_scales_with_subscribers() {
+        let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 5);
+        let mut server =
+            WebServer::new(15, 300, 1_500, SimDuration::from_micros(200), 100_000);
+        server.push_subscribers = (1..=50).collect();
+        sim.add_node(WebNode::Server(server));
+        for _ in 0..50 {
+            sim.add_node(WebNode::PushSubscriber(ClientStats::default()));
+        }
+        publish(&mut sim, 1, 7);
+        sim.run_until(SimTime::from_secs(30));
+        let server_sent = sim.counters(NodeId(0)).msgs_sent;
+        assert_eq!(server_sent, 50, "one copy per subscriber");
+        for i in 1..=50u32 {
+            let WebNode::PushSubscriber(st) = sim.node(NodeId(i)) else { panic!() };
+            assert_eq!(st.push_deliveries.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Scenario tests for the centralized baselines: mixed client populations
+//! against one origin server over a realistic day fragment.
+
+use baselines::{AttackClient, ClientStats, FetchMode, WebClient, WebMsg, WebNode, WebServer};
+use simnet::{NetworkModel, NodeId, SimDuration, SimTime, Simulation};
+
+fn server() -> WebServer {
+    WebServer::new(20, 300, 1_500, SimDuration::from_millis(2), 500)
+}
+
+fn publish_stories(sim: &mut Simulation<WebNode>, count: u64, gap_s: u64) {
+    for s in 0..count {
+        sim.schedule_external(
+            SimTime::from_secs(1 + s * gap_s),
+            NodeId(0),
+            WebMsg::PublishStory { story: s },
+        );
+    }
+}
+
+#[test]
+fn fetch_modes_rank_by_bytes() {
+    // Same site, same polling cadence, four protocol generations: bytes
+    // should strictly improve full page -> conditional -> delta, with RSS
+    // in between (summary + article fetches for fresh items).
+    let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(15)), 1);
+    sim.add_node(WebNode::Server(server()));
+    let modes =
+        [FetchMode::FullPage, FetchMode::RssSummary, FetchMode::Conditional, FetchMode::Delta];
+    for mode in modes {
+        sim.add_node(WebNode::Client(WebClient::new(NodeId(0), mode, SimDuration::from_secs(20))));
+    }
+    publish_stories(&mut sim, 20, 60);
+    sim.run_until(SimTime::from_secs(1_500));
+    let bytes: Vec<u64> = (1..=4u32)
+        .map(|i| {
+            let WebNode::Client(c) = sim.node(NodeId(i)) else { panic!() };
+            c.stats.bytes
+        })
+        .collect();
+    let (full, rss, cond, delta) = (bytes[0], bytes[1], bytes[2], bytes[3]);
+    assert!(delta < cond, "delta {delta} < conditional {cond}");
+    assert!(cond < full, "conditional {cond} < full {full}");
+    assert!(rss < full, "rss {rss} < full {full}");
+    // And every mode saw the same fresh stories.
+    for i in 1..=4u32 {
+        let WebNode::Client(c) = sim.node(NodeId(i)) else { panic!() };
+        assert!(c.stats.fresh >= 18, "client {i} fresh {}", c.stats.fresh);
+    }
+}
+
+#[test]
+fn push_subscribers_get_stories_exactly_once() {
+    let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(15)), 2);
+    let mut srv = server();
+    srv.push_subscribers = (1..=30).collect();
+    sim.add_node(WebNode::Server(srv));
+    for _ in 0..30 {
+        sim.add_node(WebNode::PushSubscriber(ClientStats::default()));
+    }
+    publish_stories(&mut sim, 10, 10);
+    sim.run_until(SimTime::from_secs(200));
+    for i in 1..=30u32 {
+        let WebNode::PushSubscriber(st) = sim.node(NodeId(i)) else { panic!() };
+        assert_eq!(st.push_deliveries.len(), 10, "subscriber {i}");
+        let mut stories: Vec<u64> = st.push_deliveries.iter().map(|&(s, _)| s).collect();
+        stories.sort_unstable();
+        stories.dedup();
+        assert_eq!(stories.len(), 10, "no duplicates for {i}");
+    }
+}
+
+#[test]
+fn attack_starves_the_origin_in_every_mode() {
+    // The centralized failure mode the paper leads with: the origin is one
+    // queue. A request flood starves the pollers AND crowds out the
+    // server's own push deliveries — centralization fails both the pull
+    // and the push variants, which is exactly why NewsWire moves
+    // dissemination off the origin entirely (cf. experiment E4).
+    let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 3);
+    let mut srv = WebServer::new(20, 300, 1_500, SimDuration::from_millis(5), 60);
+    srv.push_subscribers = (1..=10).collect();
+    sim.add_node(WebNode::Server(srv));
+    for _ in 0..10 {
+        sim.add_node(WebNode::PushSubscriber(ClientStats::default()));
+    }
+    for _ in 0..10 {
+        sim.add_node(WebNode::Client(WebClient::new(
+            NodeId(0),
+            FetchMode::FullPage,
+            SimDuration::from_secs(5),
+        )));
+    }
+    for _ in 0..50 {
+        sim.add_node(WebNode::Attacker(AttackClient::new(NodeId(0), SimDuration::from_millis(50))));
+    }
+    publish_stories(&mut sim, 10, 10);
+    sim.run_until(SimTime::from_secs(120));
+    let mut poller_timeouts = 0u64;
+    let mut poller_fetches = 0u64;
+    let mut push_got = 0usize;
+    for i in 1..=20u32 {
+        match sim.node(NodeId(i)) {
+            WebNode::PushSubscriber(st) => push_got += usize::from(!st.push_deliveries.is_empty()),
+            WebNode::Client(c) => {
+                poller_timeouts += c.stats.timeouts;
+                poller_fetches += c.stats.fetches;
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        poller_timeouts as f64 > 0.4 * poller_fetches as f64,
+        "pollers should starve: {poller_timeouts}/{poller_fetches}"
+    );
+    // Push work shares the saturated queue: deliveries are crowded out too.
+    let mut push_items = 0usize;
+    for i in 1..=10u32 {
+        if let WebNode::PushSubscriber(st) = sim.node(NodeId(i)) {
+            push_items += st.push_deliveries.len();
+        }
+    }
+    assert!(
+        push_items < 10 * 10 / 2,
+        "push deliveries should be mostly crowded out: {push_items}/100"
+    );
+    let _ = push_got;
+}

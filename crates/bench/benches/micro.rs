@@ -1,0 +1,238 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! Bloom-filter operations, aggregation-language parsing/evaluation, zone
+//! table merging/diffing, SendToZone routing, NITF XML round-trips, queue
+//! disciplines and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use amcast::{ForwardingQueues, Strategy};
+use astrolabe::{
+    parse_predicate, parse_program, run_program, Mib, MibBuilder, Stamp, ZoneId, ZoneTable,
+};
+use filters::{positions, BloomFilter};
+use newsml::{from_nitf_xml, to_nitf_xml, Category, NewsItem, PublisherId};
+use simnet::{fork, NetworkModel, Node, NodeId, SimDuration, SimTime, Simulation};
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    g.bench_function("insert_1024b", |b| {
+        let mut f = BloomFilter::new(1024, 3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            f.insert(&format!("subject/{i}"));
+        });
+    });
+    let mut filled = BloomFilter::new(1024, 3);
+    for i in 0..200 {
+        filled.insert(&format!("subject/{i}"));
+    }
+    g.bench_function("contains_1024b", |b| {
+        b.iter(|| black_box(filled.contains(black_box("subject/123"))))
+    });
+    g.bench_function("positions_1024b", |b| {
+        b.iter(|| black_box(positions(black_box("reuters/politics"), 1024, 3)))
+    });
+    let other = filled.clone();
+    g.bench_function("union_1024b", |b| {
+        b.iter_batched(
+            || filled.clone(),
+            |mut f| {
+                f.union(&other);
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_agg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg");
+    let src = "SELECT REPSEL(2, load, reps) AS reps, MIN(load) AS load, \
+               SUM(nmembers) AS nmembers WHERE nmembers > 0";
+    g.bench_function("parse_program", |b| b.iter(|| parse_program(black_box(src)).unwrap()));
+    let prog = parse_program(src).unwrap();
+    let rows: Vec<Mib> = (0..64u32)
+        .map(|i| {
+            let mut reps = std::collections::BTreeSet::new();
+            reps.insert(u64::from(i));
+            MibBuilder::new()
+                .attr("load", f64::from(i) / 64.0)
+                .attr("nmembers", 10i64)
+                .attr("reps", astrolabe::AttrValue::Set(reps))
+                .build(Stamp::default())
+        })
+        .collect();
+    g.bench_function("run_program_64rows", |b| {
+        b.iter(|| run_program(black_box(&prog), black_box(&rows)).unwrap())
+    });
+    let pred = parse_predicate("urgency <= 3 AND CONTAINS(source, 'reuters')").unwrap();
+    let row = MibBuilder::new()
+        .attr("urgency", 2i64)
+        .attr("source", "reuters-wire")
+        .build(Stamp::default());
+    g.bench_function("eval_predicate", |b| {
+        b.iter(|| astrolabe::eval_predicate(black_box(&pred), black_box(&row)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zone_table");
+    let rows: Vec<(u16, Arc<Mib>)> = (0..64u16)
+        .map(|i| {
+            (
+                i,
+                Arc::new(MibBuilder::new().attr("load", f64::from(i)).build(Stamp {
+                    issued_us: u64::from(i),
+                    version: 0,
+                    origin: u32::from(i),
+                })),
+            )
+        })
+        .collect();
+    g.bench_function("merge_64_rows", |b| {
+        b.iter_batched(
+            || ZoneTable::new(ZoneId::root()),
+            |mut t| {
+                for (l, r) in &rows {
+                    t.merge_row(*l, Arc::clone(r));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut full = ZoneTable::new(ZoneId::root());
+    for (l, r) in &rows {
+        full.merge_row(*l, Arc::clone(r));
+    }
+    let digest = full.digest();
+    g.bench_function("diff_identical_64", |b| b.iter(|| black_box(full.diff(black_box(&digest)))));
+    g.finish();
+}
+
+fn bench_nitf(c: &mut Criterion) {
+    let item = NewsItem::builder(PublisherId(3), 42)
+        .headline("Benchmarked headline with some length to it")
+        .category(Category::Technology)
+        .subject("04.003.005".parse().unwrap())
+        .meta("region", "eu")
+        .body_len(1800)
+        .build();
+    let xml = to_nitf_xml(&item);
+    let mut g = c.benchmark_group("nitf");
+    g.bench_function("to_xml", |b| b.iter(|| black_box(to_nitf_xml(black_box(&item)))));
+    g.bench_function("from_xml", |b| b.iter(|| from_nitf_xml(black_box(&xml)).unwrap()));
+    g.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queues");
+    for (name, strategy) in [
+        ("fifo", Strategy::Fifo),
+        ("wrr", Strategy::WeightedRoundRobin),
+        ("priority", Strategy::Priority),
+    ] {
+        g.bench_function(format!("push_pop_64_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = ForwardingQueues::new(strategy);
+                    for i in 0..64u64 {
+                        q.push((i % 8) as u16, i, (i % 5) as u8 + 1, i);
+                    }
+                    q
+                },
+                |mut q| {
+                    while let Some(item) = q.pop() {
+                        black_box(item.item);
+                    }
+                    q
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// A trivial node that forwards each message once around a ring, to measure
+/// raw engine throughput.
+struct Ring {
+    next: NodeId,
+}
+impl Node for Ring {
+    type Msg = Vec<u8>;
+    fn on_start(&mut self, _ctx: &mut simnet::Context<'_, Vec<u8>>) {}
+    fn on_message(&mut self, ctx: &mut simnet::Context<'_, Vec<u8>>, _from: NodeId, mut m: Vec<u8>) {
+        if m[0] > 0 {
+            m[0] -= 1;
+            ctx.send(self.next, m);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut simnet::Context<'_, Vec<u8>>, _t: simnet::TimerId, _tag: u64) {}
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.bench_function("ring_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_micros(10)), 1);
+            for i in 0..8u32 {
+                sim.add_node(Ring { next: NodeId((i + 1) % 8) });
+            }
+            sim.schedule_external(SimTime::ZERO, NodeId(0), vec![200u8]);
+            sim.run_to_quiescence(100_000);
+            black_box(sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_route(c: &mut Criterion) {
+    use astrolabe::{Agent, Config, ZoneLayout};
+    // A converged 64-node agent (synchronous rounds, no network).
+    let layout = ZoneLayout::new(64, 8);
+    let mut config = Config::standard();
+    config.branching = 8;
+    let mut agents: Vec<Agent> =
+        (0..64).map(|i| Agent::new(i, &layout, config.clone(), vec![0])).collect();
+    let mut rng = fork(5, 0);
+    for round in 1..=20u64 {
+        let now = SimTime::from_secs(round);
+        let mut inflight = Vec::new();
+        for a in agents.iter_mut() {
+            for (to, m) in a.on_tick(now, &mut rng) {
+                inflight.push((a.id(), to, m));
+            }
+        }
+        while let Some((from, to, msg)) = inflight.pop() {
+            if let Some(b) = agents.iter_mut().find(|a| a.id() == to) {
+                for (to2, m2) in b.on_message(now, from, msg, &mut rng) {
+                    inflight.push((to, to2, m2));
+                }
+            }
+        }
+    }
+    let agent = &agents[0];
+    let filter = amcast::FilterSpec::All;
+    let mut g = c.benchmark_group("route");
+    g.bench_function("sendtozone_root_64", |b| {
+        let mut r = fork(6, 0);
+        b.iter(|| black_box(amcast::route(agent, &filter, &ZoneId::root(), 2, &mut r)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .sample_size(30);
+    targets = bench_bloom, bench_agg, bench_table, bench_nitf, bench_queues, bench_simnet, bench_route
+}
+criterion_main!(benches);

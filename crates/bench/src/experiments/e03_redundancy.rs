@@ -1,0 +1,49 @@
+//! E3 — redundant data received by polling consumers.
+//!
+//! Paper basis (§1): "It is estimated that a consumer who returns 4 times
+//! during a day receives about 70% redundant data. Consumers who return
+//! more frequently (and Slashdot.org has many) receive a much higher rate
+//! of redundant data."
+//!
+//! The polling model replays a Slashdot-like publication trace (~25
+//! stories/day Zipf-topical, from the workload generator) against the
+//! rolling 20-headline front page and accounts exactly which served
+//! headlines the consumer had already seen.
+
+use baselines::simulate_polling;
+use newsml::{PublisherId, PublisherProfile, TraceGenerator};
+use simnet::fork;
+
+use crate::Table;
+
+const DAY_US: u64 = 86_400_000_000;
+
+pub(crate) fn run(quick: bool) {
+    let days: u64 = if quick { 3 } else { 14 };
+    let generator = TraceGenerator::new(vec![PublisherProfile::slashdot(PublisherId(0))]);
+    let mut rng = fork(0xE3, 0);
+    let trace = generator.generate(&mut rng, days * DAY_US);
+    let story_times: Vec<u64> = trace.iter().map(|e| e.at_us).collect();
+    let per_day = story_times.len() as f64 / days as f64;
+
+    let mut table = Table::new(
+        "E3 — redundant data vs poll rate (rolling 20-headline front page)",
+        &["polls/day", "fetches", "redundant %", "KB/day served", "KB/day redundant"],
+    );
+    for polls_per_day in [1u64, 2, 4, 8, 12, 24, 48] {
+        let r = simulate_polling(&story_times, DAY_US / polls_per_day, days * DAY_US, 20, 300);
+        table.row(&[
+            polls_per_day.to_string(),
+            r.fetches.to_string(),
+            format!("{:.1}", 100.0 * r.redundant_fraction()),
+            format!("{:.0}", r.bytes_served as f64 / days as f64 / 1024.0),
+            format!("{:.0}", r.bytes_redundant as f64 / days as f64 / 1024.0),
+        ]);
+    }
+    table.caption(format!(
+        "trace: {:.1} stories/day over {days} days; paper: ~70% redundant at 4 polls/day, \
+         higher for frequent pollers",
+        per_day
+    ));
+    table.print();
+}

@@ -1,0 +1,55 @@
+//! The experiment suite (E1–E12). Each module reproduces one quantitative
+//! claim of the paper; DESIGN.md §3 is the index, EXPERIMENTS.md records
+//! paper-vs-measured.
+
+pub mod a01_models;
+pub mod e01_latency;
+pub mod e02_publisher_load;
+pub mod e03_redundancy;
+pub mod e04_overload;
+pub mod e05_bloom;
+pub mod e06_convergence;
+pub mod e07_robustness;
+pub mod e08_bimodal;
+pub mod e09_scoped;
+pub mod e10_queues;
+pub mod e11_repair;
+pub mod e12_gossip_cost;
+
+pub(crate) mod support {
+    //! Shared deployment builders for the experiments.
+
+    use newsml::{Category, PublisherId, PublisherProfile};
+    use newswire::{Deployment, DeploymentBuilder, NewsWireConfig, PublisherSpec};
+
+    /// A standard single-publisher NewsWire deployment for scale sweeps.
+    pub fn newswire_deployment(n: u32, branching: u16, seed: u64) -> Deployment {
+        let mut profile = PublisherProfile::slashdot(PublisherId(0));
+        profile.categories =
+            vec![Category::Technology, Category::Science, Category::World, Category::Business];
+        DeploymentBuilder::new(n, seed)
+            .branching(branching)
+            .config(NewsWireConfig::tech_news())
+            .publisher(PublisherSpec::global(profile))
+            .cats_per_subscriber(2)
+            .build()
+    }
+
+    /// A test item from publisher 0 hitting the Technology interest set.
+    pub fn tech_item(seq: u64) -> newsml::NewsItem {
+        newsml::NewsItem::builder(PublisherId(0), seq)
+            .headline(format!("story {seq}"))
+            .category(Category::Technology)
+            .body_len(1_200)
+            .build()
+    }
+
+    /// Convergence time heuristic: deeper trees need a little longer.
+    pub fn settle_secs(n: u32) -> u64 {
+        match n {
+            0..=2_000 => 60,
+            2_001..=20_000 => 90,
+            _ => 120,
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A right-aligned text table with a title and a caption line.
+///
+/// ```
+/// let mut t = bench::Table::new("demo", &["n", "value"]);
+/// t.row(&["1", "2.50"]);
+/// let s = t.render();
+/// assert!(s.contains("demo"));
+/// assert!(s.contains("2.50"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    caption: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            caption: None,
+        }
+    }
+
+    /// Sets a caption printed under the table (paper basis, notes).
+    pub fn caption(&mut self, text: impl Into<String>) -> &mut Self {
+        self.caption = Some(text.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("  ");
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1) + 2;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if let Some(c) = &self.caption {
+            out.push_str(&format!("  ({c})\n"));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "long-header"]);
+        t.row(&["123456", "x"]);
+        t.caption("note");
+        let s = t.render();
+        assert!(s.contains("## t"));
+        assert!(s.contains("123456"));
+        assert!(s.contains("(note)"));
+        // Header row and data row end aligned on the last column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new("t", &["a", "b"]).row(&["only-one"]);
+    }
+}

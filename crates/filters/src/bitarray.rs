@@ -1,0 +1,270 @@
+//! A dynamically sized bit array with the union/intersection operations the
+//! aggregation hierarchy needs.
+//!
+//! Subscription summaries travel up the Astrolabe tree as bit arrays that are
+//! OR-ed together at every level (paper §6: "the subscription arrays are
+//! aggregated into parent zones through a simple binary-or operation").
+
+use std::fmt;
+
+/// A fixed-length array of bits backed by 64-bit words.
+///
+/// ```
+/// use filters::BitArray;
+/// let mut a = BitArray::new(128);
+/// a.set(3);
+/// a.set(127);
+/// assert!(a.get(3) && a.get(127) && !a.get(4));
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitArray {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitArray {
+    /// Creates an all-zero array of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "bit array must have at least one bit");
+        BitArray { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array has length zero (never: construction forbids it,
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits set, in `[0, 1]`.
+    pub fn fill_ratio(&self) -> f64 {
+        self.count_ones() as f64 / self.len as f64
+    }
+
+    /// True when no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union (`self |= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ; arrays of different sizes summarize
+    /// incomparable subscription spaces.
+    pub fn or_assign(&mut self, other: &BitArray) {
+        assert_eq!(self.len, other.len, "bit array length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection (`self &= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_assign(&mut self, other: &BitArray) {
+        assert_eq!(self.len, other.len, "bit array length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// True when every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset_of(&self, other: &BitArray) -> bool {
+        assert_eq!(self.len, other.len, "bit array length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// True when the two arrays share at least one set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn intersects(&self, other: &BitArray) -> bool {
+        assert_eq!(self.len, other.len, "bit array length mismatch");
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Indices of all set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Serializes to little-endian bytes (length is carried out of band).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Rebuilds an array of `len` bits from [`BitArray::to_bytes`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `len` requires.
+    pub fn from_bytes(len: usize, bytes: &[u8]) -> Self {
+        let mut arr = BitArray::new(len);
+        for (i, chunk) in bytes.chunks(8).enumerate().take(arr.words.len()) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            arr.words[i] = u64::from_le_bytes(buf);
+        }
+        // Mask stray bits beyond `len` so equality stays canonical.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = arr.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        arr
+    }
+
+    /// Approximate in-memory/wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl fmt::Debug for BitArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitArray[{} bits, {} set]", self.len, self.count_ones())
+    }
+}
+
+impl fmt::Display for BitArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ones: Vec<String> = self.ones().take(16).map(|i| i.to_string()).collect();
+        let more = if self.count_ones() > 16 { ",…" } else { "" };
+        write!(f, "{{{}{}}}", ones.join(","), more)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut a = BitArray::new(70);
+        a.set(0);
+        a.set(69);
+        assert!(a.get(0) && a.get(69));
+        a.clear(0);
+        assert!(!a.get(0));
+        assert_eq!(a.count_ones(), 1);
+    }
+
+    #[test]
+    fn or_and_subset_intersects() {
+        let mut a = BitArray::new(100);
+        let mut b = BitArray::new(100);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(3);
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        u.or_assign(&b);
+        assert_eq!(u.ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        let mut i = a.clone();
+        i.and_assign(&b);
+        assert_eq!(i.ones().collect::<Vec<_>>(), vec![2]);
+        assert!(!i.intersects(&BitArray::new(100)));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut a = BitArray::new(130);
+        for i in [0, 63, 64, 65, 129] {
+            a.set(i);
+        }
+        let b = BitArray::from_bytes(130, &a.to_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_bytes_masks_tail() {
+        // Feed all-ones bytes for a 10-bit array: only 10 bits may survive.
+        let a = BitArray::from_bytes(10, &[0xFF; 16]);
+        assert_eq!(a.count_ones(), 10);
+    }
+
+    #[test]
+    fn fill_ratio_and_zero() {
+        let mut a = BitArray::new(10);
+        assert!(a.is_zero());
+        a.set(0);
+        assert!((a.fill_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitArray::new(8).set(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_or_panics() {
+        let mut a = BitArray::new(8);
+        a.or_assign(&BitArray::new(16));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut a = BitArray::new(8);
+        a.set(1);
+        a.set(5);
+        assert_eq!(a.to_string(), "{1,5}");
+    }
+}

@@ -1,0 +1,191 @@
+//! The per-publisher category bitmask of paper §7.
+//!
+//! The paper's early prototype represents each publisher as an attribute
+//! whose value is "a small bit mask that corresponds to a specific set of
+//! news categories this publisher provides", aggregated up the tree by OR —
+//! exactly like the Bloom arrays but exact (one bit per category, no
+//! hashing). It is cheap but "has limited scalability in the selection of
+//! publishers"; the Bloom filter generalizes it.
+
+use std::fmt;
+
+/// An exact 64-category interest mask.
+///
+/// ```
+/// use filters::CategoryMask;
+/// let mut m = CategoryMask::EMPTY;
+/// m.add(3);
+/// assert!(m.contains(3));
+/// assert!(m.intersects(CategoryMask::single(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct CategoryMask(pub u64);
+
+impl CategoryMask {
+    /// No categories.
+    pub const EMPTY: CategoryMask = CategoryMask(0);
+    /// Every category.
+    pub const ALL: CategoryMask = CategoryMask(u64::MAX);
+    /// Number of representable categories.
+    pub const CAPACITY: u8 = 64;
+
+    /// A mask with exactly one category set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cat >= 64`.
+    pub fn single(cat: u8) -> Self {
+        assert!(cat < Self::CAPACITY, "category {cat} out of range");
+        CategoryMask(1 << cat)
+    }
+
+    /// Builds a mask from category indices.
+    pub fn from_categories<I: IntoIterator<Item = u8>>(cats: I) -> Self {
+        let mut m = CategoryMask::EMPTY;
+        for c in cats {
+            m.add(c);
+        }
+        m
+    }
+
+    /// Adds one category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cat >= 64`.
+    pub fn add(&mut self, cat: u8) {
+        assert!(cat < Self::CAPACITY, "category {cat} out of range");
+        self.0 |= 1 << cat;
+    }
+
+    /// Tests one category.
+    pub fn contains(self, cat: u8) -> bool {
+        cat < Self::CAPACITY && self.0 >> cat & 1 == 1
+    }
+
+    /// OR-aggregation with another mask (the parent-zone summary step).
+    #[must_use]
+    pub fn union(self, other: CategoryMask) -> CategoryMask {
+        CategoryMask(self.0 | other.0)
+    }
+
+    /// True when any category is shared — the forwarding test.
+    pub fn intersects(self, other: CategoryMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True when no category is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of set categories.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterator over set category indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = u8> {
+        (0..Self::CAPACITY).filter(move |&c| self.contains(c))
+    }
+}
+
+impl std::ops::BitOr for CategoryMask {
+    type Output = CategoryMask;
+    fn bitor(self, rhs: CategoryMask) -> CategoryMask {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for CategoryMask {
+    type Output = CategoryMask;
+    fn bitand(self, rhs: CategoryMask) -> CategoryMask {
+        CategoryMask(self.0 & rhs.0)
+    }
+}
+
+impl FromIterator<u8> for CategoryMask {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        CategoryMask::from_categories(iter)
+    }
+}
+
+impl fmt::Display for CategoryMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for CategoryMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for CategoryMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let m = CategoryMask::single(5);
+        assert!(m.contains(5));
+        assert!(!m.contains(4));
+        assert!(!m.contains(64)); // out-of-range query is just "absent"
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = CategoryMask::from_categories([1, 2]);
+        let b = CategoryMask::from_categories([2, 3]);
+        assert_eq!((a | b).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!((a & b).iter().collect::<Vec<_>>(), vec![2]);
+        assert!(a.intersects(b));
+        assert!(!a.intersects(CategoryMask::single(9)));
+    }
+
+    #[test]
+    fn aggregation_is_monotone() {
+        // OR-ing child masks never loses an interest — the invariant that
+        // makes the §7 forwarding test sound.
+        let children = [
+            CategoryMask::from_categories([0]),
+            CategoryMask::from_categories([7, 9]),
+            CategoryMask::EMPTY,
+        ];
+        let parent = children.iter().copied().fold(CategoryMask::EMPTY, CategoryMask::union);
+        for c in &children {
+            for cat in c.iter() {
+                assert!(parent.contains(cat));
+            }
+        }
+        assert_eq!(parent.count(), 3);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let m: CategoryMask = [0u8, 63].into_iter().collect();
+        assert!(m.contains(0) && m.contains(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_rejects_out_of_range() {
+        let mut m = CategoryMask::EMPTY;
+        m.add(64);
+    }
+
+    #[test]
+    fn formatting() {
+        let m = CategoryMask::single(4);
+        assert_eq!(format!("{m:x}"), "10");
+        assert_eq!(format!("{m:b}"), "10000");
+        assert_eq!(m.to_string(), "0x0000000000000010");
+    }
+}

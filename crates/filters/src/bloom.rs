@@ -1,0 +1,215 @@
+//! The Bloom-filter subscription summary of paper §6.
+//!
+//! Each leaf hashes its subscriptions into a shared bit array; parent zones
+//! hold the OR of their children's arrays; a publisher attaches the bit
+//! positions of an item's subject to the item, and every forwarder tests
+//! those positions against the child zone's aggregated array before
+//! forwarding. False positives cost a wasted forward (caught by the exact
+//! check at the leaf); false negatives are impossible.
+
+use crate::bitarray::BitArray;
+use crate::hasher::{base_hashes, derived};
+
+/// A Bloom filter over UTF-8 subscription keys.
+///
+/// ```
+/// use filters::BloomFilter;
+/// let mut f = BloomFilter::new(1024, 4);
+/// f.insert("reuters/politics");
+/// assert!(f.contains("reuters/politics"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: BitArray,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter of `m` bits using `k` hash functions.
+    ///
+    /// The paper suggests "a large single bit array in the order of a
+    /// thousand bits or more"; experiment E5 sweeps `m` to test that claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `k == 0`.
+    pub fn new(m: usize, k: u32) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        BloomFilter { bits: BitArray::new(m), k }
+    }
+
+    /// Creates a filter sized for `n` expected keys at false-positive rate
+    /// `p`, using the standard optimal formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 0` and `0 < p < 1`.
+    pub fn with_capacity(n: usize, p: f64) -> Self {
+        assert!(n > 0, "capacity must be positive");
+        assert!(p > 0.0 && p < 1.0, "false-positive rate must be in (0,1)");
+        let ln2 = std::f64::consts::LN_2;
+        let m = ((-(n as f64) * p.ln()) / (ln2 * ln2)).ceil().max(8.0) as usize;
+        let k = ((m as f64 / n as f64) * ln2).round().max(1.0) as u32;
+        BloomFilter::new(m, k)
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the filter holds zero bits set.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_zero()
+    }
+
+    /// Number of hash functions.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// The bit positions `key` maps to.
+    ///
+    /// Publishers ship exactly these positions with an item (§6: "an
+    /// attribute is added to the data representing the bit position in the
+    /// subscription array this publication corresponds to").
+    pub fn positions(&self, key: &str) -> Vec<usize> {
+        positions(key, self.bits.len(), self.k)
+    }
+
+    /// Inserts a subscription key.
+    pub fn insert(&mut self, key: &str) {
+        for p in self.positions(key) {
+            self.bits.set(p);
+        }
+    }
+
+    /// Membership test; false positives possible, false negatives not.
+    pub fn contains(&self, key: &str) -> bool {
+        self.positions(key).iter().all(|&p| self.bits.get(p))
+    }
+
+    /// Tests pre-computed positions (what a forwarding node does — it never
+    /// sees the key, only the positions shipped with the item).
+    pub fn contains_positions(&self, pos: &[usize]) -> bool {
+        pos.iter().all(|&p| p < self.bits.len() && self.bits.get(p))
+    }
+
+    /// Merges another filter in place (bitwise OR) — the §6 aggregation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry (`m`, `k`) differs; such filters summarize
+    /// different hash spaces and must never be combined.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(self.k, other.k, "hash-count mismatch");
+        self.bits.or_assign(&other.bits);
+    }
+
+    /// Fraction of bits set.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// Expected false-positive probability at the current fill: `fill^k`.
+    pub fn expected_fpr(&self) -> f64 {
+        self.fill_ratio().powi(self.k as i32)
+    }
+
+    /// Read access to the underlying bit array.
+    pub fn bits(&self) -> &BitArray {
+        &self.bits
+    }
+
+    /// Reassembles a filter from its parts (wire decoding).
+    pub fn from_parts(bits: BitArray, k: u32) -> Self {
+        assert!(k > 0, "need at least one hash function");
+        BloomFilter { bits, k }
+    }
+}
+
+/// The bit positions `key` maps to in an `m`-bit, `k`-hash filter.
+pub fn positions(key: &str, m: usize, k: u32) -> Vec<usize> {
+    let (h1, h2) = base_hashes(key.as_bytes());
+    (0..k).map(|i| (derived(h1, h2, i) % m as u64) as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(512, 3);
+        let keys: Vec<String> = (0..50).map(|i| format!("pub{i}/cat{}", i % 7)).collect();
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            assert!(f.contains(k), "false negative on {k}");
+        }
+    }
+
+    #[test]
+    fn union_is_or() {
+        let mut a = BloomFilter::new(256, 3);
+        let mut b = BloomFilter::new(256, 3);
+        a.insert("x");
+        b.insert("y");
+        a.union(&b);
+        assert!(a.contains("x") && a.contains("y"));
+    }
+
+    #[test]
+    fn positions_match_forwarding_test() {
+        let mut f = BloomFilter::new(1024, 4);
+        f.insert("reuters/business");
+        let pos = positions("reuters/business", 1024, 4);
+        assert!(f.contains_positions(&pos));
+        let other = positions("reuters/weather", 1024, 4);
+        // Almost surely absent at this fill level.
+        assert!(!f.contains_positions(&other));
+    }
+
+    #[test]
+    fn with_capacity_hits_target_fpr() {
+        let n = 1000;
+        let mut f = BloomFilter::with_capacity(n, 0.01);
+        for i in 0..n {
+            f.insert(&format!("key-{i}"));
+        }
+        let fp = (0..10_000)
+            .filter(|i| f.contains(&format!("absent-{i}")))
+            .count() as f64
+            / 10_000.0;
+        assert!(fp < 0.03, "observed FPR {fp}");
+        assert!(f.expected_fpr() < 0.03);
+    }
+
+    #[test]
+    fn paper_scale_thousand_bits_adequate_for_news() {
+        // §6: "a relatively small array will be more than adequate" — with a
+        // few hundred subjects, 1k bits keeps the FP-forwarding rate small.
+        let mut f = BloomFilter::new(1024, 3);
+        for i in 0..100 {
+            f.insert(&format!("subject-{i}"));
+        }
+        assert!(f.expected_fpr() < 0.05, "fpr {}", f.expected_fpr());
+    }
+
+    #[test]
+    #[should_panic(expected = "hash-count mismatch")]
+    fn union_rejects_different_k() {
+        let mut a = BloomFilter::new(256, 3);
+        a.union(&BloomFilter::new(256, 4));
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let mut f = BloomFilter::new(128, 2);
+        f.insert("abc");
+        let g = BloomFilter::from_parts(f.bits().clone(), f.hash_count());
+        assert_eq!(f, g);
+        assert!(g.contains("abc"));
+    }
+}

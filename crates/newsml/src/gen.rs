@@ -1,0 +1,456 @@
+//! Synthetic news workload generation.
+//!
+//! Substitutes for the production traces the paper's authors had access to
+//! (Slashdot, Reuters, AP). Publisher profiles are calibrated to the figures
+//! the paper itself cites: Slashdot posts a few tens of stories per day and
+//! serves ~1M front-page hits/day; wire services are an order of magnitude
+//! more prolific. Story popularity and subscriber interest follow Zipf
+//! distributions, the standard model for news readership.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::item::{NewsItem, PublisherId, Urgency};
+use crate::subject::{Category, Subject};
+
+/// A Zipf(α) sampler over ranks `0..n` using an explicit CDF.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let z = newsml::Zipf::new(10, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// assert!(z.sample(&mut rng) < 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has no ranks (never; construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Static description of one news source.
+#[derive(Debug, Clone)]
+pub struct PublisherProfile {
+    /// Publisher identity.
+    pub id: PublisherId,
+    /// Human-readable name.
+    pub name: String,
+    /// Mean stories per simulated day.
+    pub items_per_day: f64,
+    /// Categories this source covers; earlier entries are more likely
+    /// (sampled Zipf(1)).
+    pub categories: Vec<Category>,
+    /// Subject pool keyed per category index: each item gets a subject
+    /// `CAT.<topic>` with topic sampled Zipf over this many topics.
+    pub topics_per_category: u16,
+    /// Body size range in bytes.
+    pub body_len: (u32, u32),
+    /// Probability an item is a revision of a recent story.
+    pub revision_prob: f64,
+    /// Diurnal modulation: when true, the publication rate follows a
+    /// day/night cycle (newsrooms sleep), peaking mid-day at ~1.8x the mean
+    /// and bottoming out overnight at ~0.2x.
+    pub diurnal: bool,
+}
+
+impl PublisherProfile {
+    /// A Slashdot-like technical community site (paper §10's first target
+    /// configuration, with Wired / The Register / News.com).
+    pub fn slashdot(id: PublisherId) -> Self {
+        PublisherProfile {
+            id,
+            name: "slashdot".into(),
+            items_per_day: 25.0,
+            categories: vec![Category::Technology, Category::Science, Category::Law],
+            topics_per_category: 40,
+            body_len: (600, 4_000),
+            revision_prob: 0.05,
+            diurnal: true,
+        }
+    }
+
+    /// A Reuters-like wire service (paper §10's second configuration, with
+    /// AP and the New York Times).
+    pub fn reuters(id: PublisherId) -> Self {
+        PublisherProfile {
+            id,
+            name: "reuters".into(),
+            items_per_day: 400.0,
+            categories: vec![
+                Category::World,
+                Category::Politics,
+                Category::Business,
+                Category::Sports,
+                Category::Entertainment,
+                Category::Health,
+                Category::Weather,
+            ],
+            topics_per_category: 120,
+            body_len: (300, 2_500),
+            revision_prob: 0.25,
+            diurnal: false, // wire services publish around the clock
+        }
+    }
+
+    /// A smaller regional/specialist outlet.
+    pub fn boutique(id: PublisherId, name: &str, cat: Category) -> Self {
+        PublisherProfile {
+            id,
+            name: name.to_owned(),
+            items_per_day: 8.0,
+            categories: vec![cat],
+            topics_per_category: 12,
+            body_len: (400, 1_500),
+            revision_prob: 0.02,
+            diurnal: true,
+        }
+    }
+}
+
+/// One scheduled publication in a generated trace.
+#[derive(Debug, Clone)]
+pub struct PublishEvent {
+    /// Publication instant, in simulated microseconds.
+    pub at_us: u64,
+    /// The item to publish.
+    pub item: NewsItem,
+}
+
+const HEADLINE_SUBJECTS: &[&str] = &[
+    "Kernel", "Senate", "Markets", "Researchers", "Outage", "Merger", "Protocol", "Satellite",
+    "Vaccine", "Tournament", "Studio", "Regulator", "Startup", "Exploit", "Archive",
+];
+const HEADLINE_VERBS: &[&str] = &[
+    "ships", "debates", "rally", "discover", "disrupts", "approved", "standardized", "launched",
+    "trialled", "postponed", "acquired", "fined", "funded", "patched", "restored",
+];
+const HEADLINE_OBJECTS: &[&str] = &[
+    "overnight", "after review", "in Asia", "across Europe", "amid criticism", "at record pace",
+    "for developers", "under new rules", "despite warnings", "to wide acclaim",
+];
+
+/// Exponential inter-arrival sample with the given mean, clamped above zero.
+fn exp(rng: &mut SmallRng, mean_secs: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-u.ln() * mean_secs).max(1e-6)
+}
+
+/// Diurnal intensity at `t_us` into the day cycle: a raised cosine peaking
+/// at 14:00 (1.8x) and bottoming at 02:00 (0.2x); integrates to ~1 over a
+/// day so the profile's daily rate is preserved.
+fn diurnal_intensity(t_us: u64) -> f64 {
+    let day_frac = (t_us % 86_400_000_000) as f64 / 86_400_000_000.0;
+    let phase = (day_frac - 14.0 / 24.0) * std::f64::consts::TAU;
+    1.0 + 0.8 * phase.cos()
+}
+
+fn headline(rng: &mut SmallRng, seq: u64) -> String {
+    format!(
+        "{} {} {} (#{seq})",
+        HEADLINE_SUBJECTS[rng.gen_range(0..HEADLINE_SUBJECTS.len())],
+        HEADLINE_VERBS[rng.gen_range(0..HEADLINE_VERBS.len())],
+        HEADLINE_OBJECTS[rng.gen_range(0..HEADLINE_OBJECTS.len())],
+    )
+}
+
+/// Generates a deterministic multi-publisher publication trace.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    profiles: Vec<PublisherProfile>,
+}
+
+impl TraceGenerator {
+    /// Creates a generator over the given publisher profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or two profiles share a publisher id.
+    pub fn new(profiles: Vec<PublisherProfile>) -> Self {
+        assert!(!profiles.is_empty(), "need at least one publisher profile");
+        let mut ids: Vec<u16> = profiles.iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), profiles.len(), "duplicate publisher ids");
+        TraceGenerator { profiles }
+    }
+
+    /// The profiles this generator draws from.
+    pub fn profiles(&self) -> &[PublisherProfile] {
+        &self.profiles
+    }
+
+    /// Generates all publications in `[0, horizon_us)`, sorted by time.
+    ///
+    /// Inter-arrival times are exponential per publisher; categories and
+    /// topics are Zipf-distributed; a profile-dependent fraction of items are
+    /// revisions of a recent story from the same source.
+    pub fn generate(&self, rng: &mut SmallRng, horizon_us: u64) -> Vec<PublishEvent> {
+        let mut events = Vec::new();
+        for profile in &self.profiles {
+            let cat_zipf = Zipf::new(profile.categories.len(), 1.0);
+            let topic_zipf = Zipf::new(profile.topics_per_category as usize, 1.1);
+            let mean_gap_s = 86_400.0 / profile.items_per_day;
+            let mut t_us = 0u64;
+            let mut seq = 0u64;
+            let mut recent: Vec<NewsItem> = Vec::new();
+            loop {
+                // Thinning: draw at the peak rate, then accept with the
+                // current intensity — a standard non-homogeneous Poisson
+                // sampler that preserves the daily mean.
+                let gap = if profile.diurnal {
+                    exp(rng, mean_gap_s / 1.8)
+                } else {
+                    exp(rng, mean_gap_s)
+                };
+                t_us = t_us.saturating_add((gap * 1e6) as u64);
+                if t_us >= horizon_us {
+                    break;
+                }
+                if profile.diurnal && rng.gen::<f64>() >= diurnal_intensity(t_us) / 1.8 {
+                    continue;
+                }
+                let item = if !recent.is_empty() && rng.gen::<f64>() < profile.revision_prob {
+                    let orig = &recent[rng.gen_range(0..recent.len())];
+                    let mut b = NewsItem::builder(profile.id, seq)
+                        .headline(orig.headline.clone())
+                        .slug(orig.slug.clone())
+                        .revision(orig.revision + 1, Some(orig.id))
+                        .urgency(orig.urgency)
+                        .issued_us(t_us)
+                        .body_len(rng.gen_range(profile.body_len.0..=profile.body_len.1));
+                    for c in &orig.categories {
+                        b = b.category(*c);
+                    }
+                    for s in &orig.subjects {
+                        b = b.subject(s.clone());
+                    }
+                    b.build()
+                } else {
+                    let cat = profile.categories[cat_zipf.sample(rng)];
+                    let topic = topic_zipf.sample(rng) as u16;
+                    let urgency = Urgency::new(rng.gen_range(2..=8));
+                    NewsItem::builder(profile.id, seq)
+                        .headline(headline(rng, seq))
+                        .category(cat)
+                        .subject(Subject::new(vec![u16::from(cat.bit()) + 1, topic + 1]))
+                        .urgency(urgency)
+                        .issued_us(t_us)
+                        .body_len(rng.gen_range(profile.body_len.0..=profile.body_len.1))
+                        .meta("source", profile.name.clone())
+                        .build()
+                };
+                recent.push(item.clone());
+                if recent.len() > 20 {
+                    recent.remove(0);
+                }
+                events.push(PublishEvent { at_us: t_us, item });
+                seq += 1;
+            }
+        }
+        events.sort_by_key(|e| e.at_us);
+        events
+    }
+}
+
+/// Samples a subscriber's interest set: `n_cats` categories Zipf-weighted
+/// over the full category list plus a matching set of subject prefixes.
+///
+/// Returns `(categories, subject_keys)` where the subject keys are in the
+/// same `CAT.topic` space [`TraceGenerator::generate`] produces.
+pub fn sample_interests(
+    rng: &mut SmallRng,
+    n_cats: usize,
+    topics_per_category: u16,
+) -> (Vec<Category>, Vec<Subject>) {
+    let zipf = Zipf::new(Category::ALL.len(), 0.8);
+    let topic_zipf = Zipf::new(topics_per_category.max(1) as usize, 1.1);
+    let mut cats = Vec::new();
+    while cats.len() < n_cats.min(Category::ALL.len()) {
+        let c = Category::ALL[zipf.sample(rng)];
+        if !cats.contains(&c) {
+            cats.push(c);
+        }
+    }
+    let subjects = cats
+        .iter()
+        .map(|c| {
+            if rng.gen::<f64>() < 0.5 {
+                // Broad subscription: the whole category subtree.
+                Subject::new(vec![u16::from(c.bit()) + 1])
+            } else {
+                // Narrow subscription: one topic.
+                Subject::new(vec![u16::from(c.bit()) + 1, topic_zipf.sample(rng) as u16 + 1])
+            }
+        })
+        .collect();
+    (cats, subjects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        let mut r = rng(1);
+        let mut counts = [0u32; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[49] * 5);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut r = rng(2);
+        let mut counts = vec![0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_and_within_horizon() {
+        let g = TraceGenerator::new(vec![
+            PublisherProfile::slashdot(PublisherId(0)),
+            PublisherProfile::reuters(PublisherId(1)),
+        ]);
+        let horizon = 86_400_000_000; // one day
+        let events = g.generate(&mut rng(3), horizon);
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(events.iter().all(|e| e.at_us < horizon));
+    }
+
+    #[test]
+    fn diurnal_intensity_peaks_daytime_and_averages_one() {
+        let noon_ish = diurnal_intensity(14 * 3_600_000_000);
+        let night = diurnal_intensity(2 * 3_600_000_000);
+        assert!(noon_ish > 1.7, "peak {noon_ish}");
+        assert!(night < 0.3, "trough {night}");
+        let mean: f64 =
+            (0..24).map(|h| diurnal_intensity(h * 3_600_000_000)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_trace_concentrates_in_daytime_but_keeps_the_rate() {
+        let mut profile = PublisherProfile::slashdot(PublisherId(0));
+        profile.items_per_day = 200.0; // enough samples
+        assert!(profile.diurnal);
+        let g = TraceGenerator::new(vec![profile]);
+        let days = 10u64;
+        let events = g.generate(&mut rng(8), days * 86_400_000_000);
+        let per_day = events.len() as f64 / days as f64;
+        assert!((150.0..250.0).contains(&per_day), "rate {per_day}");
+        let daytime = events
+            .iter()
+            .filter(|e| {
+                let hour = e.at_us % 86_400_000_000 / 3_600_000_000;
+                (8..20).contains(&hour)
+            })
+            .count();
+        let frac = daytime as f64 / events.len() as f64;
+        assert!(frac > 0.65, "daytime fraction {frac}");
+    }
+
+    #[test]
+    fn trace_rates_roughly_match_profiles() {
+        let g = TraceGenerator::new(vec![PublisherProfile::reuters(PublisherId(0))]);
+        let events = g.generate(&mut rng(4), 10 * 86_400_000_000);
+        let per_day = events.len() as f64 / 10.0;
+        assert!((300.0..500.0).contains(&per_day), "rate {per_day}");
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let g = TraceGenerator::new(vec![PublisherProfile::slashdot(PublisherId(0))]);
+        let a = g.generate(&mut rng(5), 86_400_000_000);
+        let b = g.generate(&mut rng(5), 86_400_000_000);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.item == y.item && x.at_us == y.at_us));
+    }
+
+    #[test]
+    fn revisions_link_to_recent_items() {
+        let mut profile = PublisherProfile::reuters(PublisherId(2));
+        profile.revision_prob = 0.9;
+        let g = TraceGenerator::new(vec![profile]);
+        let events = g.generate(&mut rng(6), 86_400_000_000);
+        let revised = events.iter().filter(|e| e.item.revision > 0).count();
+        assert!(revised > events.len() / 2);
+        for e in events.iter().filter(|e| e.item.revision > 0) {
+            assert!(e.item.supersedes.is_some());
+        }
+    }
+
+    #[test]
+    fn interests_unique_and_in_space() {
+        let (cats, subs) = sample_interests(&mut rng(7), 3, 40);
+        assert_eq!(cats.len(), 3);
+        let mut dedup = cats.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+        assert_eq!(subs.len(), 3);
+        for s in &subs {
+            assert!(s.depth() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate publisher ids")]
+    fn duplicate_ids_rejected() {
+        TraceGenerator::new(vec![
+            PublisherProfile::slashdot(PublisherId(0)),
+            PublisherProfile::reuters(PublisherId(0)),
+        ]);
+    }
+}

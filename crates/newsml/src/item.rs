@@ -1,0 +1,365 @@
+//! The news item model.
+//!
+//! Paper §9: "News items are uniquely identified by the publisher as part of
+//! the news item meta-data" — that id drives duplicate suppression when
+//! redundant representatives forward the same item, and the revision history
+//! in the metadata drives cache fusion and garbage collection.
+
+use std::fmt;
+
+use crate::subject::{Category, Subject};
+
+/// Identifier of a publisher (news source), dense per deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PublisherId(pub u16);
+
+impl fmt::Display for PublisherId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Globally unique news-item identifier: publisher plus publisher-assigned
+/// sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ItemId {
+    /// The publishing source.
+    pub publisher: PublisherId,
+    /// Publisher-local sequence number.
+    pub seq: u64,
+}
+
+impl ItemId {
+    /// Creates an item id.
+    pub fn new(publisher: PublisherId, seq: u64) -> Self {
+        ItemId { publisher, seq }
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.publisher, self.seq)
+    }
+}
+
+/// Item urgency on the NITF 1 (flash) … 8 (routine) scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Urgency(u8);
+
+impl Urgency {
+    /// Highest urgency (news flash).
+    pub const FLASH: Urgency = Urgency(1);
+    /// Default urgency.
+    pub const ROUTINE: Urgency = Urgency(5);
+
+    /// Creates an urgency level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `level` is in `1..=8`.
+    pub fn new(level: u8) -> Self {
+        assert!((1..=8).contains(&level), "urgency must be 1..=8");
+        Urgency(level)
+    }
+
+    /// The numeric level, 1 (most urgent) to 8.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for Urgency {
+    fn default() -> Self {
+        Urgency::ROUTINE
+    }
+}
+
+impl fmt::Display for Urgency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One news item with its NITF/NewsML-style metadata.
+///
+/// Construct with [`NewsItemBuilder`]:
+///
+/// ```
+/// use newsml::{NewsItem, PublisherId, Category};
+/// let item = NewsItem::builder(PublisherId(3), 17)
+///     .headline("Kernel 2.5.60 released")
+///     .category(Category::Technology)
+///     .subject("04.003".parse()?)
+///     .body_len(1800)
+///     .build();
+/// assert_eq!(item.id.seq, 17);
+/// assert!(item.categories.contains(&Category::Technology));
+/// # Ok::<(), newsml::ParseSubjectError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewsItem {
+    /// Unique publisher-assigned identifier.
+    pub id: ItemId,
+    /// Revision number of this item (0 = original, >0 = update).
+    pub revision: u32,
+    /// Id of the item this revision supersedes, if any.
+    pub supersedes: Option<ItemId>,
+    /// Headline text.
+    pub headline: String,
+    /// Short editorial slug (stable across revisions of one story).
+    pub slug: String,
+    /// Coarse categories (the prototype subscription space).
+    pub categories: Vec<Category>,
+    /// Hierarchical subject codes (the Bloom subscription space).
+    pub subjects: Vec<Subject>,
+    /// NITF urgency.
+    pub urgency: Urgency,
+    /// Issue time in microseconds of simulated time.
+    pub issued_us: u64,
+    /// Body length in bytes. The simulation carries sizes, not prose: the
+    /// protocols only ever look at metadata, so synthetic bodies would be
+    /// dead weight at 10^5-node scale.
+    pub body_len: u32,
+    /// Free-form metadata pairs, queried by subscriber SQL predicates.
+    pub meta: Vec<(String, String)>,
+}
+
+impl NewsItem {
+    /// Starts building an item for `publisher` with sequence number `seq`.
+    pub fn builder(publisher: PublisherId, seq: u64) -> NewsItemBuilder {
+        NewsItemBuilder {
+            item: NewsItem {
+                id: ItemId::new(publisher, seq),
+                revision: 0,
+                supersedes: None,
+                headline: String::new(),
+                slug: String::new(),
+                categories: Vec::new(),
+                subjects: Vec::new(),
+                urgency: Urgency::default(),
+                issued_us: 0,
+                body_len: 0,
+                meta: Vec::new(),
+            },
+        }
+    }
+
+    /// The Bloom subscription keys this item matches: one per
+    /// `publisher/category` pair plus one per subject prefix, so both broad
+    /// and narrow subscriptions hit.
+    pub fn subscription_keys(&self) -> Vec<String> {
+        let mut keys = Vec::new();
+        for c in &self.categories {
+            keys.push(format!("{}/{}", self.id.publisher, c.name()));
+        }
+        for s in &self.subjects {
+            for p in s.prefixes() {
+                keys.push(format!("subject/{}", p.key()));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Approximate wire size of the item in bytes (headers + metadata +
+    /// body).
+    pub fn wire_size(&self) -> usize {
+        64 // id, revision, urgency, timestamps
+            + self.headline.len()
+            + self.slug.len()
+            + self.categories.len() * 2
+            + self.subjects.iter().map(|s| s.depth() * 2 + 2).sum::<usize>()
+            + self.meta.iter().map(|(k, v)| k.len() + v.len() + 4).sum::<usize>()
+            + self.body_len as usize
+    }
+
+    /// Value of a metadata field, if present. The builtin fields
+    /// (`headline`, `slug`, `urgency`, `publisher`, `revision`) are exposed
+    /// with those names so SQL predicates can reference them uniformly.
+    pub fn field(&self, name: &str) -> Option<String> {
+        match name {
+            "headline" => Some(self.headline.clone()),
+            "slug" => Some(self.slug.clone()),
+            "urgency" => Some(self.urgency.level().to_string()),
+            "publisher" => Some(self.id.publisher.0.to_string()),
+            "revision" => Some(self.revision.to_string()),
+            "body_len" => Some(self.body_len.to_string()),
+            _ => self.meta.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone()),
+        }
+    }
+
+    /// True when this item is a newer revision of the same story as `other`
+    /// (same slug and publisher, higher revision).
+    pub fn supersedes_item(&self, other: &NewsItem) -> bool {
+        self.id.publisher == other.id.publisher
+            && self.slug == other.slug
+            && self.revision > other.revision
+    }
+}
+
+/// Builder for [`NewsItem`] (see there for an example).
+#[derive(Debug, Clone)]
+pub struct NewsItemBuilder {
+    item: NewsItem,
+}
+
+impl NewsItemBuilder {
+    /// Sets the headline.
+    #[must_use]
+    pub fn headline(mut self, h: impl Into<String>) -> Self {
+        self.item.headline = h.into();
+        self
+    }
+
+    /// Sets the slug (defaults to the headline if never set).
+    #[must_use]
+    pub fn slug(mut self, s: impl Into<String>) -> Self {
+        self.item.slug = s.into();
+        self
+    }
+
+    /// Adds a category.
+    #[must_use]
+    pub fn category(mut self, c: Category) -> Self {
+        if !self.item.categories.contains(&c) {
+            self.item.categories.push(c);
+        }
+        self
+    }
+
+    /// Adds a subject code.
+    #[must_use]
+    pub fn subject(mut self, s: Subject) -> Self {
+        if !self.item.subjects.contains(&s) {
+            self.item.subjects.push(s);
+        }
+        self
+    }
+
+    /// Sets the urgency.
+    #[must_use]
+    pub fn urgency(mut self, u: Urgency) -> Self {
+        self.item.urgency = u;
+        self
+    }
+
+    /// Sets the revision number and the superseded item id.
+    #[must_use]
+    pub fn revision(mut self, rev: u32, supersedes: Option<ItemId>) -> Self {
+        self.item.revision = rev;
+        self.item.supersedes = supersedes;
+        self
+    }
+
+    /// Sets the issue timestamp (simulated microseconds).
+    #[must_use]
+    pub fn issued_us(mut self, t: u64) -> Self {
+        self.item.issued_us = t;
+        self
+    }
+
+    /// Sets the body length in bytes.
+    #[must_use]
+    pub fn body_len(mut self, len: u32) -> Self {
+        self.item.body_len = len;
+        self
+    }
+
+    /// Adds a free-form metadata pair.
+    #[must_use]
+    pub fn meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.item.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finishes the item.
+    pub fn build(mut self) -> NewsItem {
+        if self.item.slug.is_empty() {
+            self.item.slug = self.item.headline.to_lowercase().replace(' ', "-");
+        }
+        self.item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NewsItem {
+        NewsItem::builder(PublisherId(1), 42)
+            .headline("Astrolabe Ships")
+            .category(Category::Technology)
+            .category(Category::Science)
+            .subject("04.003".parse().unwrap())
+            .urgency(Urgency::new(3))
+            .body_len(1000)
+            .meta("region", "asia")
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_slug_from_headline() {
+        let item = sample();
+        assert_eq!(item.slug, "astrolabe-ships");
+        assert_eq!(item.revision, 0);
+    }
+
+    #[test]
+    fn subscription_keys_cover_categories_and_subject_prefixes() {
+        let keys = sample().subscription_keys();
+        assert!(keys.contains(&"p1/technology".to_string()));
+        assert!(keys.contains(&"p1/science".to_string()));
+        assert!(keys.contains(&"subject/04".to_string()));
+        assert!(keys.contains(&"subject/04.003".to_string()));
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_categories_collapse() {
+        let item = NewsItem::builder(PublisherId(0), 0)
+            .category(Category::Sports)
+            .category(Category::Sports)
+            .build();
+        assert_eq!(item.categories.len(), 1);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let item = sample();
+        assert_eq!(item.field("urgency").as_deref(), Some("3"));
+        assert_eq!(item.field("publisher").as_deref(), Some("1"));
+        assert_eq!(item.field("region").as_deref(), Some("asia"));
+        assert_eq!(item.field("missing"), None);
+    }
+
+    #[test]
+    fn revision_supersedes() {
+        let v0 = sample();
+        let v1 = NewsItem::builder(PublisherId(1), 43)
+            .headline("Astrolabe Ships")
+            .revision(1, Some(v0.id))
+            .build();
+        assert!(v1.supersedes_item(&v0));
+        assert!(!v0.supersedes_item(&v1));
+    }
+
+    #[test]
+    fn wire_size_includes_body() {
+        let item = sample();
+        assert!(item.wire_size() > 1000);
+        assert!(item.wire_size() < 1300);
+    }
+
+    #[test]
+    #[should_panic(expected = "urgency")]
+    fn urgency_range_enforced() {
+        Urgency::new(0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ItemId::new(PublisherId(2), 9).to_string(), "p2:9");
+        assert_eq!(Urgency::FLASH.to_string(), "1");
+    }
+}

@@ -1,0 +1,133 @@
+//! # newsml — news formats and workloads
+//!
+//! The news-industry substrate of the NewsWire reproduction. Paper §7: "The
+//! news articles are published in the ICE, NITF and NewsML formats, which
+//! are all XML standards" — metadata from these formats is what
+//! subscriptions are constructed from. This crate provides:
+//!
+//! * [`mod@xml`] — a hand-written XML subset parser/serializer (no external
+//!   dependencies), sufficient for NITF-shaped documents.
+//! * [`NewsItem`] / [`ItemId`] / [`NewsItemBuilder`] — the item model with
+//!   publisher-assigned unique ids (duplicate suppression, §9), revision
+//!   history (cache fusion, §9) and free-form metadata (SQL subscription
+//!   predicates, §8).
+//! * [`Category`] and [`Subject`] — the two subscription granularities of
+//!   §7: coarse per-publisher category bits and hierarchical IPTC-style
+//!   subject codes.
+//! * [`to_nitf_xml`] / [`from_nitf_xml`] — the NITF encoding; [`to_newsml_xml`] / [`from_newsml_xml`] — the richer NewsML encoding.
+//! * [`TraceGenerator`] / [`PublisherProfile`] / [`Zipf`] — deterministic
+//!   synthetic workloads calibrated to the sources the paper names
+//!   (Slashdot-like community sites, Reuters-like wire services).
+//!
+//! ```
+//! use newsml::{NewsItem, PublisherId, Category, to_nitf_xml, from_nitf_xml};
+//!
+//! let item = NewsItem::builder(PublisherId(1), 7)
+//!     .headline("Epidemic dissemination works")
+//!     .category(Category::Technology)
+//!     .build();
+//! let xml = to_nitf_xml(&item);
+//! assert_eq!(from_nitf_xml(&xml)?, item);
+//! # Ok::<(), newsml::ParseNitfError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod item;
+mod newsml_fmt;
+mod nitf;
+mod subject;
+pub mod xml;
+
+pub use gen::{sample_interests, PublishEvent, PublisherProfile, TraceGenerator, Zipf};
+pub use item::{ItemId, NewsItem, NewsItemBuilder, PublisherId, Urgency};
+pub use newsml_fmt::{from_newsml, from_newsml_xml, to_newsml, to_newsml_xml, ParseNewsmlError};
+pub use nitf::{from_nitf, from_nitf_xml, to_nitf, to_nitf_xml, ParseNitfError};
+pub use subject::{Category, ParseCategoryError, ParseSubjectError, Subject};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_subject() -> impl Strategy<Value = Subject> {
+        proptest::collection::vec(0u16..999, 1..4).prop_map(Subject::new)
+    }
+
+    fn arb_item() -> impl Strategy<Value = NewsItem> {
+        (
+            0u16..100,
+            0u64..10_000,
+            "[ -~]{0,40}",
+            proptest::collection::vec(0u8..12, 0..4),
+            proptest::collection::vec(arb_subject(), 0..3),
+            1u8..=8,
+            0u32..100_000,
+            proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,16}"), 0..3),
+        )
+            .prop_map(|(p, seq, headline, cats, subs, urg, len, meta)| {
+                let mut b = NewsItem::builder(PublisherId(p), seq)
+                    .headline(headline)
+                    .urgency(Urgency::new(urg))
+                    .body_len(len);
+                for c in cats {
+                    b = b.category(Category::from_bit(c).unwrap());
+                }
+                for s in subs {
+                    b = b.subject(s);
+                }
+                for (k, v) in meta {
+                    b = b.meta(k, v);
+                }
+                b.build()
+            })
+    }
+
+    proptest! {
+        /// Any item survives NITF encode/decode unchanged.
+        #[test]
+        fn nitf_roundtrip(item in arb_item()) {
+            let xml = to_nitf_xml(&item);
+            prop_assert_eq!(from_nitf_xml(&xml).unwrap(), item);
+        }
+
+        /// Any item survives NewsML encode/decode unchanged.
+        #[test]
+        fn newsml_roundtrip(item in arb_item()) {
+            let xml = to_newsml_xml(&item);
+            prop_assert_eq!(from_newsml_xml(&xml).unwrap(), item);
+        }
+
+        /// The XML serializer's output always reparses to the same tree.
+        #[test]
+        fn xml_roundtrip_arbitrary_text(t in "[ -~]{0,60}", attr in "[ -~]{0,30}") {
+            let e = xml::Element::new("t").with_attr("a", attr).with_text(t);
+            prop_assert_eq!(xml::parse(&e.to_xml()).unwrap(), e);
+        }
+
+        /// The XML parser never panics on arbitrary input.
+        #[test]
+        fn xml_parser_total(input in "[ -~<>&;\"']{0,120}") {
+            let _ = xml::parse(&input);
+        }
+
+        /// Subject parse/display round-trips.
+        #[test]
+        fn subject_roundtrip(s in arb_subject()) {
+            let text = s.to_string();
+            prop_assert_eq!(text.parse::<Subject>().unwrap(), s);
+        }
+
+        /// Subscription keys are deterministic and duplicate-free.
+        #[test]
+        fn subscription_keys_unique(item in arb_item()) {
+            let keys = item.subscription_keys();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), keys.len());
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! NewsML-style XML encoding.
+//!
+//! Paper §7: the prototype "uses the simpler NITF format … we expect to do
+//! much more as we move towards NewsML and begin to enrich the subscription
+//! space". This module provides that richer encoding: a `<newsItem>`
+//! document with an explicit `<itemMeta>` / `<contentMeta>` split,
+//! qualified subject codes, revision linkage and provider metadata —
+//! the shape subscription expressions are built from.
+//!
+//! ```text
+//! <newsItem guid="p1:42" version="2">
+//!   <itemMeta>
+//!     <provider literal="p1"/>
+//!     <firstCreated>123456</firstCreated>
+//!     <urgency>3</urgency>
+//!     <link rel="supersedes" residref="p1:40"/>
+//!   </itemMeta>
+//!   <contentMeta>
+//!     <headline>…</headline>
+//!     <slugline>…</slugline>
+//!     <subject type="category" qcode="cat:technology"/>
+//!     <subject type="mediatopic" qcode="subj:04.003"/>
+//!     <meta name="region" value="eu"/>
+//!   </contentMeta>
+//!   <contentSet size="1800"/>
+//! </newsItem>
+//! ```
+
+use std::fmt;
+
+use crate::item::{ItemId, NewsItem, PublisherId, Urgency};
+use crate::subject::{Category, Subject};
+use crate::xml::{parse, Element, ParseXmlError};
+
+/// Failure decoding a NewsML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNewsmlError {
+    /// The underlying XML was malformed.
+    Xml(ParseXmlError),
+    /// Well-formed XML, wrong shape.
+    Shape(String),
+}
+
+impl fmt::Display for ParseNewsmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNewsmlError::Xml(e) => write!(f, "invalid newsml xml: {e}"),
+            ParseNewsmlError::Shape(m) => write!(f, "invalid newsml document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNewsmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseNewsmlError::Xml(e) => Some(e),
+            ParseNewsmlError::Shape(_) => None,
+        }
+    }
+}
+
+impl From<ParseXmlError> for ParseNewsmlError {
+    fn from(e: ParseXmlError) -> Self {
+        ParseNewsmlError::Xml(e)
+    }
+}
+
+fn shape(m: impl Into<String>) -> ParseNewsmlError {
+    ParseNewsmlError::Shape(m.into())
+}
+
+/// Encodes an item as a NewsML document tree.
+pub fn to_newsml(item: &NewsItem) -> Element {
+    let mut item_meta = Element::new("itemMeta")
+        .with_child(Element::new("provider").with_attr("literal", item.id.publisher.to_string()))
+        .with_child(Element::new("firstCreated").with_text(item.issued_us.to_string()))
+        .with_child(Element::new("urgency").with_text(item.urgency.to_string()));
+    if let Some(sup) = item.supersedes {
+        item_meta = item_meta.with_child(
+            Element::new("link").with_attr("rel", "supersedes").with_attr("residref", sup.to_string()),
+        );
+    }
+
+    let mut content_meta = Element::new("contentMeta")
+        .with_child(Element::new("headline").with_text(item.headline.clone()))
+        .with_child(Element::new("slugline").with_text(item.slug.clone()));
+    for c in &item.categories {
+        content_meta = content_meta.with_child(
+            Element::new("subject")
+                .with_attr("type", "category")
+                .with_attr("qcode", format!("cat:{}", c.name())),
+        );
+    }
+    for s in &item.subjects {
+        content_meta = content_meta.with_child(
+            Element::new("subject")
+                .with_attr("type", "mediatopic")
+                .with_attr("qcode", format!("subj:{}", s.key())),
+        );
+    }
+    for (k, v) in &item.meta {
+        content_meta = content_meta.with_child(
+            Element::new("meta").with_attr("name", k.clone()).with_attr("value", v.clone()),
+        );
+    }
+
+    Element::new("newsItem")
+        .with_attr("guid", item.id.to_string())
+        .with_attr("version", item.revision.to_string())
+        .with_child(item_meta)
+        .with_child(content_meta)
+        .with_child(Element::new("contentSet").with_attr("size", item.body_len.to_string()))
+}
+
+/// Encodes an item as a NewsML XML string.
+pub fn to_newsml_xml(item: &NewsItem) -> String {
+    to_newsml(item).to_xml()
+}
+
+fn parse_guid(s: &str) -> Result<ItemId, ParseNewsmlError> {
+    let rest = s.strip_prefix('p').ok_or_else(|| shape(format!("bad guid `{s}`")))?;
+    let (p, seq) = rest.split_once(':').ok_or_else(|| shape(format!("bad guid `{s}`")))?;
+    Ok(ItemId::new(
+        PublisherId(p.parse().map_err(|_| shape("bad provider id"))?),
+        seq.parse().map_err(|_| shape("bad sequence"))?,
+    ))
+}
+
+/// Decodes a NewsML document tree.
+///
+/// # Errors
+///
+/// Returns [`ParseNewsmlError::Shape`] for missing or malformed structure.
+pub fn from_newsml(root: &Element) -> Result<NewsItem, ParseNewsmlError> {
+    if root.name != "newsItem" {
+        return Err(shape(format!("root is <{}>, expected <newsItem>", root.name)));
+    }
+    let id = parse_guid(root.attr("guid").ok_or_else(|| shape("missing guid"))?)?;
+    let revision: u32 = root
+        .attr("version")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| shape("bad version"))?;
+
+    let item_meta = root.child("itemMeta").ok_or_else(|| shape("missing <itemMeta>"))?;
+    let issued_us: u64 = item_meta
+        .child("firstCreated")
+        .map(|e| e.text().parse().map_err(|_| shape("bad firstCreated")))
+        .transpose()?
+        .unwrap_or(0);
+    let urgency = match item_meta.child("urgency") {
+        Some(u) => {
+            let lvl: u8 = u.text().parse().map_err(|_| shape("bad urgency"))?;
+            if !(1..=8).contains(&lvl) {
+                return Err(shape("urgency out of range"));
+            }
+            Urgency::new(lvl)
+        }
+        None => Urgency::default(),
+    };
+    let supersedes = item_meta
+        .children_named("link")
+        .find(|l| l.attr("rel") == Some("supersedes"))
+        .and_then(|l| l.attr("residref"))
+        .map(parse_guid)
+        .transpose()?;
+
+    let content_meta =
+        root.child("contentMeta").ok_or_else(|| shape("missing <contentMeta>"))?;
+    let headline = content_meta.child("headline").map(|h| h.text()).unwrap_or_default();
+    let slug = content_meta.child("slugline").map(|s| s.text()).unwrap_or_default();
+
+    let mut builder = NewsItem::builder(id.publisher, id.seq)
+        .headline(headline)
+        .slug(slug)
+        .urgency(urgency)
+        .revision(revision, supersedes)
+        .issued_us(issued_us);
+
+    for subj in content_meta.children_named("subject") {
+        let qcode = subj.attr("qcode").ok_or_else(|| shape("subject missing qcode"))?;
+        match qcode.split_once(':') {
+            Some(("cat", name)) => {
+                builder = builder
+                    .category(name.parse::<Category>().map_err(|e| shape(e.to_string()))?);
+            }
+            Some(("subj", code)) => {
+                builder =
+                    builder.subject(code.parse::<Subject>().map_err(|e| shape(e.to_string()))?);
+            }
+            _ => return Err(shape(format!("unknown qcode scheme in `{qcode}`"))),
+        }
+    }
+    for m in content_meta.children_named("meta") {
+        builder = builder.meta(
+            m.attr("name").ok_or_else(|| shape("meta missing name"))?,
+            m.attr("value").unwrap_or(""),
+        );
+    }
+
+    let body_len: u32 = root
+        .child("contentSet")
+        .and_then(|c| c.attr("size"))
+        .map(|v| v.parse().map_err(|_| shape("bad contentSet size")))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(builder.body_len(body_len).build())
+}
+
+/// Decodes a NewsML XML string.
+///
+/// # Errors
+///
+/// Returns [`ParseNewsmlError`] on malformed XML or structure.
+pub fn from_newsml_xml(xml: &str) -> Result<NewsItem, ParseNewsmlError> {
+    from_newsml(&parse(xml)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NewsItem {
+        NewsItem::builder(PublisherId(2), 77)
+            .headline("NewsML arrives <soon>")
+            .category(Category::Business)
+            .category(Category::World)
+            .subject("04.003".parse().unwrap())
+            .subject("11".parse().unwrap())
+            .urgency(Urgency::new(4))
+            .issued_us(5_000_000)
+            .body_len(900)
+            .meta("region", "apac")
+            .revision(2, Some(ItemId::new(PublisherId(2), 70)))
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_full_item() {
+        let item = sample();
+        assert_eq!(from_newsml_xml(&to_newsml_xml(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn roundtrip_minimal_item() {
+        let item = NewsItem::builder(PublisherId(0), 0).headline("x").build();
+        assert_eq!(from_newsml_xml(&to_newsml_xml(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn nitf_and_newsml_agree_on_the_model() {
+        // Both encodings are faithful: converting through either yields the
+        // same in-memory item.
+        let item = sample();
+        let via_nitf = crate::from_nitf_xml(&crate::to_nitf_xml(&item)).unwrap();
+        let via_newsml = from_newsml_xml(&to_newsml_xml(&item)).unwrap();
+        assert_eq!(via_nitf, via_newsml);
+    }
+
+    #[test]
+    fn rejects_wrong_root_and_bad_qcode() {
+        assert!(from_newsml_xml("<nitf/>").is_err());
+        let xml = to_newsml_xml(&sample()).replace("cat:business", "weird:business");
+        let err = from_newsml_xml(&xml).unwrap_err();
+        assert!(err.to_string().contains("qcode"));
+    }
+
+    #[test]
+    fn rejects_missing_guid() {
+        let xml = to_newsml_xml(&sample()).replace("guid=\"p2:77\" ", "");
+        assert!(from_newsml_xml(&xml).is_err());
+    }
+
+    #[test]
+    fn supersedes_link_preserved() {
+        let item = sample();
+        let xml = to_newsml_xml(&item);
+        assert!(xml.contains("rel=\"supersedes\""));
+        assert!(xml.contains("residref=\"p2:70\""));
+        let back = from_newsml_xml(&xml).unwrap();
+        assert_eq!(back.supersedes, Some(ItemId::new(PublisherId(2), 70)));
+    }
+}

@@ -1,0 +1,315 @@
+//! NITF-style XML encoding of news items.
+//!
+//! The paper's prototype "uses the simpler NITF format" (§7). This module
+//! maps [`NewsItem`] to and from a faithful-but-minimal NITF document shape:
+//!
+//! ```text
+//! <nitf>
+//!   <head>
+//!     <docdata>
+//!       <doc-id regsrc="p1" id-string="p1:42"/>
+//!       <urgency ed-urg="3"/>
+//!       <date.issue norm="123456"/>
+//!       <du-key key="astrolabe-ships" version="0"/>
+//!       <identified-content>
+//!         <classifier type="category" value="technology"/>
+//!         <classifier type="subject" value="04.003"/>
+//!       </identified-content>
+//!     </docdata>
+//!   </head>
+//!   <body>
+//!     <hedline><hl1>Astrolabe Ships</hl1></hedline>
+//!     <body.content bytes="1000"/>
+//!   </body>
+//! </nitf>
+//! ```
+
+use std::fmt;
+
+use crate::item::{ItemId, NewsItem, PublisherId, Urgency};
+use crate::subject::{Category, Subject};
+use crate::xml::{parse, Element, ParseXmlError};
+
+/// Failure decoding a NITF document back into a [`NewsItem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNitfError {
+    /// The underlying XML was malformed.
+    Xml(ParseXmlError),
+    /// The XML was well-formed but not a valid NITF item.
+    Shape(String),
+}
+
+impl fmt::Display for ParseNitfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNitfError::Xml(e) => write!(f, "invalid nitf xml: {e}"),
+            ParseNitfError::Shape(m) => write!(f, "invalid nitf document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNitfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseNitfError::Xml(e) => Some(e),
+            ParseNitfError::Shape(_) => None,
+        }
+    }
+}
+
+impl From<ParseXmlError> for ParseNitfError {
+    fn from(e: ParseXmlError) -> Self {
+        ParseNitfError::Xml(e)
+    }
+}
+
+fn shape(msg: impl Into<String>) -> ParseNitfError {
+    ParseNitfError::Shape(msg.into())
+}
+
+/// Encodes a news item as a NITF document tree.
+pub fn to_nitf(item: &NewsItem) -> Element {
+    let mut content = Element::new("identified-content");
+    for c in &item.categories {
+        content = content.with_child(
+            Element::new("classifier").with_attr("type", "category").with_attr("value", c.name()),
+        );
+    }
+    for s in &item.subjects {
+        content = content.with_child(
+            Element::new("classifier").with_attr("type", "subject").with_attr("value", s.key()),
+        );
+    }
+    for (k, v) in &item.meta {
+        content = content.with_child(
+            Element::new("meta").with_attr("name", k.clone()).with_attr("content", v.clone()),
+        );
+    }
+
+    let mut docdata = Element::new("docdata")
+        .with_child(
+            Element::new("doc-id")
+                .with_attr("regsrc", item.id.publisher.to_string())
+                .with_attr("id-string", item.id.to_string()),
+        )
+        .with_child(Element::new("urgency").with_attr("ed-urg", item.urgency.to_string()))
+        .with_child(Element::new("date.issue").with_attr("norm", item.issued_us.to_string()))
+        .with_child(
+            Element::new("du-key")
+                .with_attr("key", item.slug.clone())
+                .with_attr("version", item.revision.to_string()),
+        );
+    if let Some(sup) = item.supersedes {
+        docdata = docdata
+            .with_child(Element::new("ed-msg").with_attr("info", format!("supersedes {sup}")));
+    }
+    docdata = docdata.with_child(content);
+
+    Element::new("nitf")
+        .with_child(Element::new("head").with_child(docdata))
+        .with_child(
+            Element::new("body")
+                .with_child(
+                    Element::new("hedline")
+                        .with_child(Element::new("hl1").with_text(item.headline.clone())),
+                )
+                .with_child(
+                    Element::new("body.content").with_attr("bytes", item.body_len.to_string()),
+                ),
+        )
+}
+
+/// Encodes a news item as a NITF XML string.
+pub fn to_nitf_xml(item: &NewsItem) -> String {
+    to_nitf(item).to_xml()
+}
+
+fn parse_item_id(s: &str) -> Result<ItemId, ParseNitfError> {
+    let rest = s.strip_prefix('p').ok_or_else(|| shape(format!("bad item id `{s}`")))?;
+    let (publ, seq) = rest.split_once(':').ok_or_else(|| shape(format!("bad item id `{s}`")))?;
+    Ok(ItemId::new(
+        PublisherId(publ.parse().map_err(|_| shape(format!("bad publisher in `{s}`")))?),
+        seq.parse().map_err(|_| shape(format!("bad sequence in `{s}`")))?,
+    ))
+}
+
+/// Decodes a NITF document tree into a [`NewsItem`].
+///
+/// # Errors
+///
+/// Returns [`ParseNitfError::Shape`] when required structure is missing.
+pub fn from_nitf(root: &Element) -> Result<NewsItem, ParseNitfError> {
+    if root.name != "nitf" {
+        return Err(shape(format!("root element is <{}>, expected <nitf>", root.name)));
+    }
+    let docdata = root
+        .child("head")
+        .and_then(|h| h.child("docdata"))
+        .ok_or_else(|| shape("missing <head>/<docdata>"))?;
+    let doc_id = docdata.child("doc-id").ok_or_else(|| shape("missing <doc-id>"))?;
+    let id =
+        parse_item_id(doc_id.attr("id-string").ok_or_else(|| shape("missing id-string"))?)?;
+
+    let urgency = match docdata.child("urgency").and_then(|u| u.attr("ed-urg")) {
+        Some(v) => {
+            let lvl: u8 = v.parse().map_err(|_| shape("bad urgency"))?;
+            if !(1..=8).contains(&lvl) {
+                return Err(shape("urgency out of range"));
+            }
+            Urgency::new(lvl)
+        }
+        None => Urgency::default(),
+    };
+
+    let issued_us = docdata
+        .child("date.issue")
+        .and_then(|d| d.attr("norm"))
+        .map(|v| v.parse::<u64>().map_err(|_| shape("bad issue date")))
+        .transpose()?
+        .unwrap_or(0);
+
+    let (slug, revision) = match docdata.child("du-key") {
+        Some(k) => (
+            k.attr("key").unwrap_or("").to_owned(),
+            k.attr("version")
+                .map(|v| v.parse::<u32>().map_err(|_| shape("bad revision")))
+                .transpose()?
+                .unwrap_or(0),
+        ),
+        None => (String::new(), 0),
+    };
+
+    let supersedes = docdata
+        .child("ed-msg")
+        .and_then(|m| m.attr("info"))
+        .and_then(|i| i.strip_prefix("supersedes "))
+        .map(parse_item_id)
+        .transpose()?;
+
+    let mut categories = Vec::new();
+    let mut subjects = Vec::new();
+    let mut meta = Vec::new();
+    if let Some(content) = docdata.child("identified-content") {
+        for cl in content.children_named("classifier") {
+            let value = cl.attr("value").ok_or_else(|| shape("classifier missing value"))?;
+            match cl.attr("type") {
+                Some("category") => categories.push(
+                    value.parse::<Category>().map_err(|e| shape(e.to_string()))?,
+                ),
+                Some("subject") => {
+                    subjects.push(value.parse::<Subject>().map_err(|e| shape(e.to_string()))?)
+                }
+                other => return Err(shape(format!("unknown classifier type {other:?}"))),
+            }
+        }
+        for m in content.children_named("meta") {
+            meta.push((
+                m.attr("name").ok_or_else(|| shape("meta missing name"))?.to_owned(),
+                m.attr("content").unwrap_or("").to_owned(),
+            ));
+        }
+    }
+
+    let body = root.child("body").ok_or_else(|| shape("missing <body>"))?;
+    let headline = body
+        .child("hedline")
+        .and_then(|h| h.child("hl1"))
+        .map(|h| h.text())
+        .unwrap_or_default();
+    let body_len = body
+        .child("body.content")
+        .and_then(|b| b.attr("bytes"))
+        .map(|v| v.parse::<u32>().map_err(|_| shape("bad body length")))
+        .transpose()?
+        .unwrap_or(0);
+
+    let mut builder = NewsItem::builder(id.publisher, id.seq)
+        .headline(headline)
+        .slug(slug)
+        .urgency(urgency)
+        .revision(revision, supersedes)
+        .issued_us(issued_us)
+        .body_len(body_len);
+    for c in categories {
+        builder = builder.category(c);
+    }
+    for s in subjects {
+        builder = builder.subject(s);
+    }
+    for (k, v) in meta {
+        builder = builder.meta(k, v);
+    }
+    Ok(builder.build())
+}
+
+/// Decodes a NITF XML string into a [`NewsItem`].
+///
+/// # Errors
+///
+/// Returns [`ParseNitfError`] for malformed XML or missing NITF structure.
+pub fn from_nitf_xml(xml: &str) -> Result<NewsItem, ParseNitfError> {
+    from_nitf(&parse(xml)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NewsItem {
+        NewsItem::builder(PublisherId(7), 123)
+            .headline("Gossip protocols & the <future>")
+            .category(Category::Technology)
+            .subject("04.003.005".parse().unwrap())
+            .urgency(Urgency::new(2))
+            .issued_us(99_000_000)
+            .body_len(2048)
+            .meta("region", "eu")
+            .revision(1, Some(ItemId::new(PublisherId(7), 100)))
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_item() {
+        let item = sample();
+        let xml = to_nitf_xml(&item);
+        let back = from_nitf_xml(&xml).unwrap();
+        assert_eq!(back, item);
+    }
+
+    #[test]
+    fn roundtrip_minimal_item() {
+        let item = NewsItem::builder(PublisherId(0), 0).headline("x").build();
+        assert_eq!(from_nitf_xml(&to_nitf_xml(&item)).unwrap(), item);
+    }
+
+    #[test]
+    fn xml_escaping_survives() {
+        let xml = to_nitf_xml(&sample());
+        assert!(xml.contains("&amp;"));
+        assert!(xml.contains("&lt;future&gt;"));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let err = from_nitf_xml("<rss/>").unwrap_err();
+        assert!(err.to_string().contains("expected <nitf>"));
+    }
+
+    #[test]
+    fn rejects_missing_docdata() {
+        let err = from_nitf_xml("<nitf><body/></nitf>").unwrap_err();
+        assert!(err.to_string().contains("docdata"));
+    }
+
+    #[test]
+    fn rejects_bad_urgency() {
+        let xml = to_nitf_xml(&sample()).replace("ed-urg=\"2\"", "ed-urg=\"11\"");
+        assert!(from_nitf_xml(&xml).is_err());
+    }
+
+    #[test]
+    fn error_chain_exposes_xml_cause() {
+        let err = from_nitf_xml("<nitf>").unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

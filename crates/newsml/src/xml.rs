@@ -1,0 +1,498 @@
+//! A minimal XML subset: the slice of XML that NITF/NewsML documents in this
+//! reproduction use.
+//!
+//! Supported: elements with attributes, text content, self-closing tags,
+//! comments, processing instructions/XML declarations (skipped), and the five
+//! predefined entities. Not supported (not needed by the news formats here):
+//! DOCTYPE internal subsets, CDATA, namespaces-as-semantics (prefixes are
+//! kept as part of the name).
+
+use std::fmt;
+
+/// A parsed element: name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name (including any namespace prefix, verbatim).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node in the parsed tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(Element),
+    /// A run of character data (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+/// Position-annotated parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseXmlError {}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style: adds an attribute.
+    #[must_use]
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder-style: appends a child element.
+    #[must_use]
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Builder-style: appends a text child. Empty text is skipped — it has
+    /// no XML representation, so keeping it would break parse/serialize
+    /// round-trips.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        let text = text.into();
+        if !text.is_empty() {
+            self.children.push(XmlNode::Text(text));
+        }
+        self
+    }
+
+    /// Value of the first attribute named `name`.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First child element named `name`.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements named `name`, in order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            XmlNode::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements regardless of name.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            XmlNode::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text of the direct text children.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let XmlNode::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s
+    }
+
+    /// Serializes to a compact XML string.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        write_element(self, &mut out);
+        out
+    }
+}
+
+fn escape_into(s: &str, out: &mut String, in_attr: bool) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            '\'' if in_attr => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_element(e: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (n, v) in &e.attrs {
+        out.push(' ');
+        out.push_str(n);
+        out.push_str("=\"");
+        escape_into(v, out, true);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for c in &e.children {
+        match c {
+            XmlNode::Element(e) => write_element(e, out),
+            XmlNode::Text(t) => escape_into(t, out, false),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+/// Parses a document and returns its root element.
+///
+/// Leading/trailing whitespace, an XML declaration, comments and processing
+/// instructions around the root are accepted and skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseXmlError`] on malformed input: unbalanced tags, bad entity
+/// references, garbage after the root element, etc.
+pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_misc();
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseXmlError {
+        ParseXmlError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find_from(self.bytes, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match find_from(self.bytes, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseXmlError> {
+        // self.pos points at '&'
+        let semi = find_from(self.bytes, self.pos, b";").ok_or_else(|| self.err("unterminated entity"))?;
+        let ent = &self.bytes[self.pos + 1..semi];
+        let c = match ent {
+            b"lt" => '<',
+            b"gt" => '>',
+            b"amp" => '&',
+            b"quot" => '"',
+            b"apos" => '\'',
+            _ if ent.first() == Some(&b'#') => {
+                let num = &ent[1..];
+                let code = if num.first() == Some(&b'x') || num.first() == Some(&b'X') {
+                    u32::from_str_radix(&String::from_utf8_lossy(&num[1..]), 16)
+                } else {
+                    String::from_utf8_lossy(num).parse::<u32>()
+                }
+                .map_err(|_| self.err("bad numeric entity"))?;
+                char::from_u32(code).ok_or_else(|| self.err("invalid character entity"))?
+            }
+            _ => return Err(self.err(format!("unknown entity &{};", String::from_utf8_lossy(ent)))),
+        };
+        self.pos = semi + 1;
+        Ok(c)
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+        let quote = self.peek().ok_or_else(|| self.err("expected attribute value"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.err("attribute value must be quoted"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(c) if c == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(c) => {
+                    // Copy the full UTF-8 sequence starting at `c`.
+                    let ch_len = utf8_len(c);
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + ch_len])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(_) => {
+                    let an = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let av = self.parse_attr_value()?;
+                    el.attrs.push((an, av));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content.
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated element <{}>", el.name))),
+                Some(b'<') => {
+                    if !text.is_empty() {
+                        el.children.push(XmlNode::Text(std::mem::take(&mut text)));
+                    }
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != el.name {
+                            return Err(self.err(format!(
+                                "mismatched close tag: expected </{}>, got </{close}>",
+                                el.name
+                            )));
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected '>' in close tag"));
+                        }
+                        self.pos += 1;
+                        return Ok(el);
+                    } else if self.starts_with("<!--") {
+                        match find_from(self.bytes, self.pos + 4, b"-->") {
+                            Some(end) => self.pos = end + 3,
+                            None => return Err(self.err("unterminated comment")),
+                        }
+                    } else if self.starts_with("<?") {
+                        match find_from(self.bytes, self.pos + 2, b"?>") {
+                            Some(end) => self.pos = end + 2,
+                            None => return Err(self.err("unterminated processing instruction")),
+                        }
+                    } else {
+                        el.children.push(XmlNode::Element(self.parse_element()?));
+                    }
+                }
+                Some(b'&') => text.push(self.parse_entity()?),
+                Some(c) => {
+                    let ch_len = utf8_len(c);
+                    let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + ch_len])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    text.push_str(s);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn find_from(hay: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > hay.len() {
+        return None;
+    }
+    hay[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parse_attrs_and_text() {
+        let e = parse(r#"<hl1 id="h1" class='big'>Hello &amp; welcome</hl1>"#).unwrap();
+        assert_eq!(e.attr("id"), Some("h1"));
+        assert_eq!(e.attr("class"), Some("big"));
+        assert_eq!(e.text(), "Hello & welcome");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let e = parse("<nitf><head><title>T</title></head><body>B</body></nitf>").unwrap();
+        assert_eq!(e.child("head").unwrap().child("title").unwrap().text(), "T");
+        assert_eq!(e.child("body").unwrap().text(), "B");
+        assert_eq!(e.elements().count(), 2);
+    }
+
+    #[test]
+    fn parse_declaration_and_comments() {
+        let src = "<?xml version=\"1.0\"?><!-- hi --><r><!-- inner -->x</r><!-- bye -->";
+        let e = parse(src).unwrap();
+        assert_eq!(e.name, "r");
+        assert_eq!(e.text(), "x");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        let e = parse("<t>&#65;&#x42;</t>").unwrap();
+        assert_eq!(e.text(), "AB");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_error() {
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_error() {
+        let err = parse("<a>&nope;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+    }
+
+    #[test]
+    fn serialize_escapes() {
+        let e = Element::new("t").with_attr("q", "a\"b<c").with_text("x & y < z");
+        let xml = e.to_xml();
+        assert_eq!(xml, r#"<t q="a&quot;b&lt;c">x &amp; y &lt; z</t>"#);
+        assert_eq!(parse(&xml).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let doc = Element::new("nitf")
+            .with_child(
+                Element::new("head").with_child(Element::new("title").with_text("Breaking")),
+            )
+            .with_child(Element::new("body").with_text("Text with 'quotes' and émojis ☂"));
+        assert_eq!(parse(&doc.to_xml()).unwrap(), doc);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let e = parse("<l><i>1</i><j/><i>2</i></l>").unwrap();
+        let vals: Vec<String> = e.children_named("i").map(|c| c.text()).collect();
+        assert_eq!(vals, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("<a>").unwrap_err();
+        assert_eq!(err.offset, 3);
+        assert!(err.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The end-system message cache (paper §9).
+//!
+//! "At the end system the news items are delivered to a message cache,
+//! which … feeds the applications that use the news items. Automatic cache
+//! management can be configured to provide item management based on the
+//! metadata of the news items, which includes information about item
+//! revision history. On the basis of this metadata, the news item can be
+//! garbage collected, or fused or aggregated into a more compact form. The
+//! same cache is used for assisting in achieving end-to-end reliability in
+//! the case of forwarding node failures, and for a limited state transfer
+//! to participants that are joining the system."
+
+use std::collections::{BTreeMap, HashMap};
+
+use newsml::{ItemId, NewsItem, PublisherId};
+use simnet::{SimDuration, SimTime};
+
+/// Result of offering an item to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// First sighting; stored.
+    Stored,
+    /// Already cached.
+    Duplicate,
+    /// Stored, and an older revision of the same story was fused away.
+    Fused,
+    /// Rejected: a newer revision of this story is already cached.
+    Obsolete,
+}
+
+/// Cache limits.
+#[derive(Debug, Clone, Copy)]
+pub struct CachePolicy {
+    /// Maximum items retained.
+    pub max_items: usize,
+    /// Items older than this are garbage-collected.
+    pub max_age: SimDuration,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy { max_items: 10_000, max_age: SimDuration::from_secs(24 * 3600) }
+    }
+}
+
+/// The per-node news-item cache.
+#[derive(Debug)]
+pub struct MessageCache {
+    policy: CachePolicy,
+    items: BTreeMap<ItemId, (NewsItem, SimTime)>,
+    latest_by_slug: HashMap<(PublisherId, String), ItemId>,
+    highwater: BTreeMap<PublisherId, u64>,
+}
+
+impl MessageCache {
+    /// Creates an empty cache under `policy`.
+    pub fn new(policy: CachePolicy) -> Self {
+        MessageCache {
+            policy,
+            items: BTreeMap::new(),
+            latest_by_slug: HashMap::new(),
+            highwater: BTreeMap::new(),
+        }
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `id` is currently cached.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    /// A cached item by id.
+    pub fn get(&self, id: ItemId) -> Option<&NewsItem> {
+        self.items.get(&id).map(|(item, _)| item)
+    }
+
+    /// Highest sequence number seen from `publisher` (0 when none).
+    pub fn highwater(&self, publisher: PublisherId) -> u64 {
+        self.highwater.get(&publisher).copied().unwrap_or(0)
+    }
+
+    /// All per-publisher high-water marks (for repair requests).
+    pub fn highwaters(&self) -> Vec<(PublisherId, u64)> {
+        self.highwater.iter().map(|(&p, &s)| (p, s)).collect()
+    }
+
+    /// Offers an item to the cache, applying revision fusion.
+    pub fn insert(&mut self, item: NewsItem, now: SimTime) -> CacheOutcome {
+        if self.items.contains_key(&item.id) {
+            return CacheOutcome::Duplicate;
+        }
+        let hw = self.highwater.entry(item.id.publisher).or_insert(0);
+        *hw = (*hw).max(item.id.seq);
+
+        let slug_key = (item.id.publisher, item.slug.clone());
+        let mut outcome = CacheOutcome::Stored;
+        if let Some(&prev_id) = self.latest_by_slug.get(&slug_key) {
+            if let Some((prev, _)) = self.items.get(&prev_id) {
+                if prev.revision >= item.revision {
+                    // We already hold a newer (or equal) telling of this
+                    // story; keep it and drop the stale revision.
+                    return CacheOutcome::Obsolete;
+                }
+            }
+            // Fuse: the new revision replaces the old one.
+            self.items.remove(&prev_id);
+            outcome = CacheOutcome::Fused;
+        }
+        self.latest_by_slug.insert(slug_key, item.id);
+        self.items.insert(item.id, (item, now));
+        self.enforce_capacity();
+        outcome
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.items.len() > self.policy.max_items {
+            // Evict the oldest-received item.
+            let victim = self
+                .items
+                .iter()
+                .min_by_key(|(_, (_, at))| *at)
+                .map(|(&id, _)| id)
+                .expect("non-empty");
+            self.remove(victim);
+        }
+    }
+
+    fn remove(&mut self, id: ItemId) {
+        if let Some((item, _)) = self.items.remove(&id) {
+            let key = (item.id.publisher, item.slug.clone());
+            if self.latest_by_slug.get(&key) == Some(&id) {
+                self.latest_by_slug.remove(&key);
+            }
+        }
+    }
+
+    /// Garbage-collects items older than the policy's `max_age`.
+    /// Returns how many were collected.
+    pub fn gc(&mut self, now: SimTime) -> usize {
+        let cutoff = now.as_micros().saturating_sub(self.policy.max_age.as_micros());
+        let victims: Vec<ItemId> = self
+            .items
+            .iter()
+            .filter(|(_, (_, at))| at.as_micros() < cutoff)
+            .map(|(&id, _)| id)
+            .collect();
+        let n = victims.len();
+        for v in victims {
+            self.remove(v);
+        }
+        n
+    }
+
+    /// Cached items from `publisher` with sequence numbers at or above
+    /// `min_seq` (the repair / state-transfer reply, bounded by `limit`).
+    pub fn items_from(&self, publisher: PublisherId, min_seq: u64, limit: usize) -> Vec<NewsItem> {
+        self.items
+            .range(ItemId::new(publisher, min_seq)..=ItemId::new(publisher, u64::MAX))
+            .take(limit)
+            .map(|(_, (item, _))| item.clone())
+            .collect()
+    }
+
+    /// The most recent `limit` items across publishers (joiner bootstrap).
+    pub fn snapshot(&self, limit: usize) -> Vec<NewsItem> {
+        let mut all: Vec<(&SimTime, &NewsItem)> =
+            self.items.values().map(|(item, at)| (at, item)).collect();
+        all.sort_by_key(|(at, _)| std::cmp::Reverse(**at));
+        all.into_iter().take(limit).map(|(_, item)| item.clone()).collect()
+    }
+
+    /// Iterates over cached items.
+    pub fn iter(&self) -> impl Iterator<Item = &NewsItem> {
+        self.items.values().map(|(item, _)| item)
+    }
+}
+
+impl Default for MessageCache {
+    fn default() -> Self {
+        MessageCache::new(CachePolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newsml::NewsItem;
+
+    fn item(publ: u16, seq: u64, slug: &str, rev: u32) -> NewsItem {
+        NewsItem::builder(PublisherId(publ), seq)
+            .headline(format!("story {slug}"))
+            .slug(slug)
+            .revision(rev, None)
+            .build()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_and_duplicate() {
+        let mut c = MessageCache::default();
+        assert_eq!(c.insert(item(1, 1, "a", 0), t(0)), CacheOutcome::Stored);
+        assert_eq!(c.insert(item(1, 1, "a", 0), t(1)), CacheOutcome::Duplicate);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.highwater(PublisherId(1)), 1);
+    }
+
+    #[test]
+    fn revision_fusion_keeps_latest() {
+        let mut c = MessageCache::default();
+        c.insert(item(1, 1, "story", 0), t(0));
+        assert_eq!(c.insert(item(1, 5, "story", 2), t(1)), CacheOutcome::Fused);
+        assert_eq!(c.len(), 1, "old revision fused away");
+        assert!(c.contains(ItemId::new(PublisherId(1), 5)));
+        // A late-arriving older revision is rejected.
+        assert_eq!(c.insert(item(1, 3, "story", 1), t(2)), CacheOutcome::Obsolete);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_received() {
+        let mut c = MessageCache::new(CachePolicy { max_items: 3, ..Default::default() });
+        for i in 0..5u64 {
+            c.insert(item(1, i, &format!("s{i}"), 0), t(i));
+        }
+        assert_eq!(c.len(), 3);
+        assert!(!c.contains(ItemId::new(PublisherId(1), 0)));
+        assert!(c.contains(ItemId::new(PublisherId(1), 4)));
+    }
+
+    #[test]
+    fn gc_by_age() {
+        let mut c = MessageCache::new(CachePolicy {
+            max_age: SimDuration::from_secs(100),
+            ..Default::default()
+        });
+        c.insert(item(1, 1, "old", 0), t(0));
+        c.insert(item(1, 2, "new", 0), t(90));
+        assert_eq!(c.gc(t(120)), 1);
+        assert!(!c.contains(ItemId::new(PublisherId(1), 1)));
+        assert!(c.contains(ItemId::new(PublisherId(1), 2)));
+    }
+
+    #[test]
+    fn items_from_serves_repair_inclusively() {
+        let mut c = MessageCache::default();
+        for i in 0..=10u64 {
+            c.insert(item(1, i, &format!("s{i}"), 0), t(i));
+        }
+        c.insert(item(2, 50, "other", 0), t(11));
+        let repair = c.items_from(PublisherId(1), 8, 100);
+        let seqs: Vec<u64> = repair.iter().map(|i| i.id.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10]);
+        // Inclusive from zero: the very first item is repairable.
+        assert_eq!(c.items_from(PublisherId(1), 0, 100).len(), 11);
+        let limited = c.items_from(PublisherId(1), 0, 2);
+        assert_eq!(limited.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_returns_most_recent() {
+        let mut c = MessageCache::default();
+        for i in 0..10u64 {
+            c.insert(item(1, i, &format!("s{i}"), 0), t(i));
+        }
+        let snap = c.snapshot(3);
+        assert_eq!(snap.len(), 3);
+        assert!(snap.iter().all(|i| i.id.seq >= 7), "{:?}", snap.iter().map(|i| i.id.seq).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn highwater_tracks_gaps() {
+        let mut c = MessageCache::default();
+        c.insert(item(3, 7, "x", 0), t(0));
+        assert_eq!(c.highwater(PublisherId(3)), 7);
+        assert_eq!(c.highwater(PublisherId(4)), 0);
+        assert_eq!(c.highwaters(), vec![(PublisherId(3), 7)]);
+    }
+}

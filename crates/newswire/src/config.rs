@@ -1,0 +1,160 @@
+//! Deployment configuration and the paper's two target configurations
+//! (§10): technical news (Slashdot, Wired, The Register, News.com) and
+//! general news (Reuters, AP, The New York Times).
+
+use amcast::Strategy;
+use astrolabe::AggSpec;
+use newsml::PublisherId;
+use simnet::SimDuration;
+
+use crate::cache::CachePolicy;
+
+/// How subscriptions are summarized up the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscriptionModel {
+    /// The §6 Bloom-filter design: one shared bit array of `bits` bits with
+    /// `hashes` hash functions, OR-aggregated as attribute `subs`.
+    Bloom {
+        /// Bit-array size (the paper suggests "a thousand bits or more").
+        bits: usize,
+        /// Hash functions per key.
+        hashes: u32,
+    },
+    /// The §7 early-prototype design: one exact category bitmask per
+    /// publisher, OR-aggregated as attributes `cats$<publisher>`.
+    CategoryMask,
+}
+
+impl SubscriptionModel {
+    /// The attribute name carrying this model's summary for `publisher`
+    /// (mask model) or for everyone (Bloom model).
+    pub fn attr_for(&self, publisher: PublisherId) -> String {
+        match self {
+            SubscriptionModel::Bloom { .. } => "subs".to_owned(),
+            SubscriptionModel::CategoryMask => format!("cats${}", publisher.0),
+        }
+    }
+}
+
+/// Full NewsWire deployment configuration.
+#[derive(Debug, Clone)]
+pub struct NewsWireConfig {
+    /// Underlying Astrolabe parameters (branching, gossip interval, TTL…).
+    pub astrolabe: astrolabe::Config,
+    /// Subscription summary model.
+    pub model: SubscriptionModel,
+    /// Representatives used per interested child during forwarding.
+    pub redundancy: usize,
+    /// Forwarding queue discipline.
+    pub strategy: Strategy,
+    /// Forwarding service time per message.
+    pub service_interval: SimDuration,
+    /// End-system cache policy.
+    pub cache: CachePolicy,
+    /// Period of cache anti-entropy repair (end-to-end reliability, §9);
+    /// `None` disables repair.
+    pub repair_interval: Option<SimDuration>,
+    /// Maximum items shipped per repair reply.
+    pub repair_batch: usize,
+    /// Whether forwarders verify publisher signatures (§8).
+    pub verify_signatures: bool,
+}
+
+impl NewsWireConfig {
+    /// The technical-news configuration: a handful of community-site
+    /// publishers, modest subscription space, 1k-bit Bloom array.
+    pub fn tech_news() -> Self {
+        NewsWireConfig {
+            astrolabe: astrolabe::Config::standard(),
+            model: SubscriptionModel::Bloom { bits: 1024, hashes: 3 },
+            redundancy: 2,
+            strategy: Strategy::WeightedRoundRobin,
+            service_interval: SimDuration::from_micros(500),
+            cache: CachePolicy::default(),
+            repair_interval: Some(SimDuration::from_secs(10)),
+            repair_batch: 64,
+            verify_signatures: true,
+        }
+    }
+
+    /// The general-news configuration: wire services with richer subject
+    /// space, hence a larger Bloom array.
+    pub fn global_news() -> Self {
+        NewsWireConfig {
+            model: SubscriptionModel::Bloom { bits: 4096, hashes: 4 },
+            ..NewsWireConfig::tech_news()
+        }
+    }
+
+    /// The §7 early-prototype configuration (per-publisher category masks).
+    pub fn prototype_masks() -> Self {
+        NewsWireConfig { model: SubscriptionModel::CategoryMask, ..NewsWireConfig::tech_news() }
+    }
+
+    /// The Astrolabe configuration extended with this deployment's
+    /// subscription aggregations (one `ORBITS` for the Bloom model, one
+    /// `ORINT` per publisher for the mask model).
+    pub fn astrolabe_config(&self, publishers: &[PublisherId]) -> astrolabe::Config {
+        let mut cfg = self.astrolabe.clone();
+        match self.model {
+            SubscriptionModel::Bloom { .. } => {
+                cfg.aggregations.push(AggSpec::new("subs", "SELECT ORBITS(subs) AS subs"));
+            }
+            SubscriptionModel::CategoryMask => {
+                for p in publishers {
+                    let attr = self.model.attr_for(*p);
+                    cfg.aggregations.push(AggSpec::new(
+                        attr.clone(),
+                        format!("SELECT ORINT({attr}) AS {attr}"),
+                    ));
+                }
+            }
+        }
+        cfg
+    }
+}
+
+impl Default for NewsWireConfig {
+    fn default() -> Self {
+        NewsWireConfig::tech_news()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let tech = NewsWireConfig::tech_news();
+        let global = NewsWireConfig::global_news();
+        assert_eq!(tech.model, SubscriptionModel::Bloom { bits: 1024, hashes: 3 });
+        assert_eq!(global.model, SubscriptionModel::Bloom { bits: 4096, hashes: 4 });
+        assert!(tech.verify_signatures);
+    }
+
+    #[test]
+    fn bloom_aggregation_added() {
+        let cfg = NewsWireConfig::tech_news().astrolabe_config(&[PublisherId(0)]);
+        assert!(cfg.aggregations.iter().any(|a| a.program.contains("ORBITS(subs)")));
+    }
+
+    #[test]
+    fn mask_aggregations_per_publisher() {
+        let cfg = NewsWireConfig::prototype_masks()
+            .astrolabe_config(&[PublisherId(0), PublisherId(3)]);
+        assert!(cfg.aggregations.iter().any(|a| a.program.contains("ORINT(cats$0)")));
+        assert!(cfg.aggregations.iter().any(|a| a.program.contains("ORINT(cats$3)")));
+        // All generated programs must compile.
+        for a in &cfg.aggregations {
+            astrolabe::parse_program(&a.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn attr_names() {
+        let bloom = SubscriptionModel::Bloom { bits: 8, hashes: 1 };
+        assert_eq!(bloom.attr_for(PublisherId(7)), "subs");
+        assert_eq!(SubscriptionModel::CategoryMask.attr_for(PublisherId(7)), "cats$7");
+    }
+}

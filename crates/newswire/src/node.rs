@@ -1,0 +1,721 @@
+//! The NewsWire end-system node — "a single application that people can
+//! download and use to insert themselves into the Collaborative Content
+//! Delivery Network" (paper §8).
+//!
+//! One node composes: an Astrolabe [`Agent`] (membership, aggregation,
+//! representative election), the forwarding component of §9 (queues,
+//! duplicate suppression, redundancy), the end-system [`MessageCache`]
+//! (revision fusion, repair, state transfer), subscription matching with
+//! the §6 exact final test, and — when equipped with a
+//! [`PublisherCredential`] — the restricted publisher application of §8
+//! (authentication, flow control, scoped publishing).
+
+use std::sync::Arc;
+
+use amcast::{
+    route, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog, ForwardingQueues,
+    LogRecord,
+};
+use astrolabe::{Agent, TrustRegistry, ZoneId};
+use newsml::{ItemId, NewsItem};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
+
+use crate::auth::{verify_item, PublisherCredential};
+use crate::cache::{CacheOutcome, MessageCache};
+use crate::config::{NewsWireConfig, SubscriptionModel};
+use crate::subscription::{item_position_groups, Subscription};
+use crate::flow::TokenBucket;
+use crate::wire::{msg_id_of, Envelope, NewsWireMsg};
+
+/// Publisher-side state (present only on publisher nodes).
+#[derive(Debug)]
+pub struct PublisherState {
+    /// The CA-issued credential.
+    pub credential: PublisherCredential,
+    bucket: TokenBucket,
+    default_scope: ZoneId,
+    /// Items accepted and disseminated.
+    pub published: u64,
+    /// Items refused by flow control.
+    pub rate_limited: u64,
+}
+
+/// One successful delivery to the local application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The delivered item.
+    pub item: ItemId,
+    /// Its dissemination id.
+    pub msg_id: u64,
+    /// Publisher issue time.
+    pub published: SimTime,
+    /// Local delivery time.
+    pub delivered: SimTime,
+    /// True when the item arrived through cache repair rather than the
+    /// multicast tree.
+    pub via_repair: bool,
+}
+
+/// Per-node counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Items delivered to the application (subscription matched).
+    pub delivered: u64,
+    /// Duplicate arrivals suppressed.
+    pub duplicates: u64,
+    /// Items that reached this leaf but failed the exact structural test —
+    /// Bloom false-positive deliveries (§6's "final test").
+    pub bloom_fp_deliveries: u64,
+    /// Items that matched structurally but were rejected by the SQL
+    /// predicate.
+    pub predicate_filtered: u64,
+    /// Forwards rejected for bad signatures/certificates/scopes.
+    pub auth_rejects: u64,
+    /// Publish requests refused (not a publisher here).
+    pub publish_denied: u64,
+    /// Items unroutable at this node.
+    pub route_failures: u64,
+    /// Repair requests answered.
+    pub repairs_served: u64,
+    /// Items shipped in repair replies.
+    pub repair_items_sent: u64,
+    /// Forward/Deliver messages transmitted.
+    pub forwards_sent: u64,
+    /// Peak forwarding-queue length.
+    pub peak_queue: usize,
+}
+
+/// Metadata key carrying the publisher's §8 dissemination predicate.
+pub const DISSEMINATION_PREDICATE: &str = "ds$predicate";
+
+const GOSSIP_TIMER: u64 = 1;
+const DRAIN_TIMER: u64 = 2;
+const REPAIR_TIMER: u64 = 3;
+
+/// A full NewsWire node.
+#[derive(Debug)]
+pub struct NewsWireNode {
+    /// The embedded Astrolabe agent.
+    pub agent: Agent,
+    cfg: NewsWireConfig,
+    registry: Arc<TrustRegistry>,
+    /// This node's subscription.
+    pub subscription: Subscription,
+    publisher: Option<PublisherState>,
+    /// The end-system message cache.
+    pub cache: MessageCache,
+    coverage: CoverageWindow,
+    queues: ForwardingQueues<(NodeId, NewsWireMsg)>,
+    draining: bool,
+    /// Counters.
+    pub stats: NodeStats,
+    /// The §9 forwarding log ("each forwarding component maintains a log
+    /// file"): a bounded trace of duties, forwards, deliveries and drops.
+    pub log: ForwardLog,
+    /// Application deliveries in order.
+    pub deliveries: Vec<DeliveryRecord>,
+    /// Constant added to the advertised forwarding load. Publisher nodes
+    /// set this high so representative election routes around them —
+    /// the paper's publishers input items but should not also carry the
+    /// system's forwarding burden.
+    pub load_bias: f64,
+}
+
+impl NewsWireNode {
+    /// Creates a subscriber node.
+    pub fn new(agent: Agent, cfg: NewsWireConfig, registry: Arc<TrustRegistry>) -> Self {
+        let strategy = cfg.strategy;
+        let cache = MessageCache::new(cfg.cache);
+        NewsWireNode {
+            agent,
+            cfg,
+            registry,
+            subscription: Subscription::new(),
+            publisher: None,
+            cache,
+            coverage: CoverageWindow::new(8192),
+            queues: ForwardingQueues::new(strategy),
+            draining: false,
+            stats: NodeStats::default(),
+            log: ForwardLog::default(),
+            deliveries: Vec::new(),
+            load_bias: 0.0,
+        }
+    }
+
+    /// Equips the node as a publisher (the §8 producer application).
+    /// `rate_per_min`/`burst` configure flow control; `default_scope` is
+    /// used when a publish request names no scope.
+    #[must_use]
+    pub fn with_publisher(
+        mut self,
+        credential: PublisherCredential,
+        default_scope: ZoneId,
+        rate_per_min: u32,
+        burst: u32,
+    ) -> Self {
+        self.publisher = Some(PublisherState {
+            credential,
+            bucket: TokenBucket::new(rate_per_min, burst),
+            default_scope,
+            published: 0,
+            rate_limited: 0,
+        });
+        self
+    }
+
+    /// Publisher-side state, when this node is a publisher.
+    pub fn publisher(&self) -> Option<&PublisherState> {
+        self.publisher.as_ref()
+    }
+
+    /// Installs the subscription and publishes the matching summary
+    /// attributes into the node's MIB row (`subs` Bloom bits, or one
+    /// `cats$p` mask per subscribed publisher).
+    pub fn set_subscription(&mut self, sub: Subscription) {
+        match self.cfg.model {
+            SubscriptionModel::Bloom { bits, hashes } => {
+                self.agent.set_local_attr("subs", sub.to_bloom(bits, hashes));
+            }
+            SubscriptionModel::CategoryMask => {
+                for (publisher, _) in &sub.publishers {
+                    let attr = self.cfg.model.attr_for(*publisher);
+                    self.agent.set_local_attr(&attr, sub.mask_for(*publisher).0 as i64);
+                }
+            }
+        }
+        self.subscription = sub;
+    }
+
+    /// True when the item with `id` has been delivered to the application.
+    pub fn has_item(&self, id: ItemId) -> bool {
+        self.deliveries.iter().any(|d| d.item == id)
+    }
+
+    /// The per-hop filter for an item under this deployment's model.
+    fn filter_for(&self, item: &NewsItem) -> FilterSpec {
+        match self.cfg.model {
+            SubscriptionModel::Bloom { bits, hashes } => FilterSpec::BloomAny {
+                attr: "subs".to_owned(),
+                groups: item_position_groups(item, bits, hashes),
+            },
+            SubscriptionModel::CategoryMask => FilterSpec::MaskBits {
+                attr: self.cfg.model.attr_for(item.id.publisher),
+                mask: item.categories.iter().fold(0u64, |m, c| m | 1 << c.bit()),
+            },
+        }
+    }
+
+    /// Evaluates the item's embedded dissemination predicate (if any)
+    /// against this node's own attributes. Fail-closed.
+    fn dissemination_admits(&self, item: &NewsItem) -> bool {
+        let Some(src) = item.field(DISSEMINATION_PREDICATE) else { return true };
+        struct LocalAttrs<'a>(&'a Agent);
+        impl astrolabe::RowSource for LocalAttrs<'_> {
+            fn col(&self, name: &str) -> Option<astrolabe::AttrValue> {
+                self.0.local_attr(name).cloned()
+            }
+        }
+        match astrolabe::parse_predicate(&src) {
+            Ok(expr) => {
+                astrolabe::eval_predicate(&expr, &LocalAttrs(&self.agent)).unwrap_or(false)
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn handle_delivery(&mut self, now: SimTime, item: NewsItem, via_repair: bool) {
+        if !self.dissemination_admits(&item) {
+            // Not addressed to this node (e.g. premium-only content on a
+            // free node); neither delivered nor cached.
+            self.stats.predicate_filtered += 1;
+            return;
+        }
+        let id = item.id;
+        let msg_id = msg_id_of(id);
+        let published = SimTime::from_micros(item.issued_us);
+        let interested = self.subscription.interested_in(&item);
+        let matches = self.subscription.matches(&item);
+        match self.cache.insert(item, now) {
+            CacheOutcome::Duplicate => {
+                self.stats.duplicates += 1;
+                return;
+            }
+            CacheOutcome::Obsolete => return,
+            CacheOutcome::Stored | CacheOutcome::Fused => {}
+        }
+        if matches {
+            self.stats.delivered += 1;
+            self.deliveries.push(DeliveryRecord {
+                item: id,
+                msg_id,
+                published,
+                delivered: now,
+                via_repair,
+            });
+        } else if !interested {
+            if !via_repair {
+                // Reached this leaf only because of Bloom aliasing; the
+                // exact final test of §6 rejects it.
+                self.stats.bloom_fp_deliveries += 1;
+            }
+        } else {
+            self.stats.predicate_filtered += 1;
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut Context<'_, NewsWireMsg>, dst: NodeId, msg: NewsWireMsg) {
+        let (child, priority) = match &msg {
+            NewsWireMsg::Forward { zone, env } => {
+                (zone.label().unwrap_or(0), env.item.urgency.level())
+            }
+            NewsWireMsg::Deliver { env } => ((dst.0 % 64) as u16, env.item.urgency.level()),
+            _ => (0, 5),
+        };
+        self.queues.push(child, ctx.now().as_micros(), priority, (dst, msg));
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queues.len());
+        if !self.draining {
+            self.draining = true;
+            ctx.set_timer(self.cfg.service_interval, DRAIN_TIMER);
+        }
+    }
+
+    fn process_duty(&mut self, ctx: &mut Context<'_, NewsWireMsg>, env: Envelope, zone: ZoneId) {
+        let actions = route(&self.agent, &env.filter, &zone, self.cfg.redundancy, ctx.rng());
+        let now = ctx.now();
+        if actions.is_empty() && self.agent.level_of(&zone).is_none() {
+            // Not on our path and no relay representative known yet.
+            self.stats.route_failures += 1;
+            self.log.record(LogRecord {
+                at_us: now.as_micros(),
+                msg_id: env.msg_id,
+                zone,
+                peer: None,
+                event: ForwardEvent::Unroutable,
+            });
+            return;
+        }
+        self.log.record(LogRecord {
+            at_us: now.as_micros(),
+            msg_id: env.msg_id,
+            zone: zone.clone(),
+            peer: None,
+            event: ForwardEvent::AcceptedDuty,
+        });
+        for action in actions {
+            match action {
+                Action::DeliverLocal => self.handle_delivery(now, env.item.clone(), false),
+                Action::Deliver { member } => {
+                    self.log.record(LogRecord {
+                        at_us: now.as_micros(),
+                        msg_id: env.msg_id,
+                        zone: zone.clone(),
+                        peer: Some(member),
+                        event: ForwardEvent::Delivered,
+                    });
+                    self.enqueue(ctx, NodeId(member), NewsWireMsg::Deliver { env: env.clone() });
+                }
+                Action::Forward { rep, zone } => {
+                    self.log.record(LogRecord {
+                        at_us: now.as_micros(),
+                        msg_id: env.msg_id,
+                        zone: zone.clone(),
+                        peer: Some(rep),
+                        event: ForwardEvent::Forwarded,
+                    });
+                    self.enqueue(
+                        ctx,
+                        NodeId(rep),
+                        NewsWireMsg::Forward { env: env.clone(), zone },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_publish(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        mut item: NewsItem,
+        scope: Option<ZoneId>,
+        predicate: Option<String>,
+    ) {
+        let now = ctx.now();
+        // Parse the §8 dissemination predicate up front; a malformed one
+        // rejects the publish rather than flooding the tree unfiltered.
+        let predicate_filter = match predicate.as_deref().map(astrolabe::parse_predicate) {
+            None => None,
+            Some(Ok(expr)) => Some(FilterSpec::Predicate { expr }),
+            Some(Err(_)) => {
+                self.stats.publish_denied += 1;
+                return;
+            }
+        };
+        let Some(publisher) = &mut self.publisher else {
+            self.stats.publish_denied += 1;
+            return;
+        };
+        if publisher.credential.publisher() != item.id.publisher {
+            self.stats.publish_denied += 1;
+            return;
+        }
+        if !publisher.bucket.admit(now) {
+            publisher.rate_limited += 1;
+            return;
+        }
+        publisher.published += 1;
+        item.issued_us = now.as_micros();
+        if let Some(src) = &predicate {
+            // The predicate travels as item metadata (§8: "adding a
+            // predicate to the metadata"), so leaves — and the repair path —
+            // can re-check it against their own attributes.
+            item.meta.push((DISSEMINATION_PREDICATE.to_owned(), src.clone()));
+        }
+        let scope = scope.unwrap_or_else(|| publisher.default_scope.clone());
+        let signature = publisher.credential.sign(&item);
+        let key = publisher.credential.key_id();
+        let certificate = publisher.credential.certificate.clone();
+        let mut filter = self.filter_for(&item);
+        if let Some(p) = predicate_filter {
+            filter = filter.and(p);
+        }
+        let env = Envelope {
+            msg_id: msg_id_of(item.id),
+            filter,
+            item,
+            scope: scope.clone(),
+            certificate,
+            key,
+            signature,
+        };
+        self.coverage.admit(env.msg_id, scope.depth());
+        self.process_duty(ctx, env, scope);
+    }
+
+    fn verify(&self, env: &Envelope) -> bool {
+        !self.cfg.verify_signatures
+            || verify_item(
+                &self.registry,
+                &env.certificate,
+                &env.item,
+                &env.scope,
+                env.key,
+                env.signature,
+            )
+    }
+
+    /// Random peer for cache repair: usually a leaf-zone neighbour (cheap,
+    /// nearby), but a fraction of rounds reach representatives from higher
+    /// tables — when a forwarder crash loses a whole subtree, everyone in
+    /// the local leaf zone is missing the same items, and only a
+    /// cross-zone peer can supply them.
+    fn repair_peer(&self, rng: &mut rand::rngs::SmallRng) -> Option<NodeId> {
+        use astrolabe::AttrValue;
+        let mut candidates: Vec<u32> = Vec::new();
+        if rng.gen_bool(0.5) {
+            let own = self.agent.own_label(0);
+            candidates.extend(
+                self.agent
+                    .table(0)
+                    .iter()
+                    .filter(|(l, _)| *l != own)
+                    .filter_map(|(_, row)| row.get("id").and_then(|v| v.as_i64()))
+                    .filter_map(|v| u32::try_from(v).ok()),
+            );
+        }
+        if candidates.is_empty() {
+            for level in 1..self.agent.levels() {
+                for (_, row) in self.agent.table(level).iter() {
+                    if let Some(AttrValue::Set(reps)) = row.get("reps") {
+                        candidates
+                            .extend(reps.iter().filter_map(|&r| u32::try_from(r).ok()));
+                    }
+                }
+            }
+        }
+        candidates.retain(|&p| p != self.agent.id());
+        candidates.as_slice().choose(rng).map(|&p| NodeId(p))
+    }
+}
+
+impl Node for NewsWireNode {
+    type Msg = NewsWireMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
+        let interval = self.agent.config().gossip_interval;
+        let first = SimDuration::from_micros(ctx.rng().gen_range(0..interval.as_micros().max(1)));
+        ctx.set_timer(first, GOSSIP_TIMER);
+        if let Some(repair) = self.cfg.repair_interval {
+            let first = SimDuration::from_micros(ctx.rng().gen_range(0..repair.as_micros().max(1)));
+            ctx.set_timer(first, REPAIR_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, NewsWireMsg>, from: NodeId, msg: NewsWireMsg) {
+        match msg {
+            NewsWireMsg::Gossip(g) => {
+                let now = ctx.now();
+                let out = self.agent.on_message(now, from.0, g, ctx.rng());
+                for (to, g) in out {
+                    ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
+                }
+            }
+            NewsWireMsg::PublishRequest { item, scope, predicate } => {
+                self.handle_publish(ctx, item, scope, predicate)
+            }
+            NewsWireMsg::Forward { env, zone } => {
+                if !self.verify(&env) {
+                    self.stats.auth_rejects += 1;
+                    self.log.record(LogRecord {
+                        at_us: ctx.now().as_micros(),
+                        msg_id: env.msg_id,
+                        zone,
+                        peer: Some(from.0),
+                        event: ForwardEvent::AuthRejected,
+                    });
+                    return;
+                }
+                if self.coverage.admit(env.msg_id, zone.depth()) {
+                    self.process_duty(ctx, env, zone);
+                } else {
+                    self.stats.duplicates += 1;
+                }
+            }
+            NewsWireMsg::Deliver { env } => {
+                if !self.verify(&env) {
+                    self.stats.auth_rejects += 1;
+                    return;
+                }
+                let now = ctx.now();
+                self.handle_delivery(now, env.item, false);
+            }
+            NewsWireMsg::RepairRequest { highwater, want_snapshot } => {
+                let mut items: Vec<NewsItem> = Vec::new();
+                // Everything at or past the requester's (margin-backed)
+                // marks…
+                for (publisher, hw) in &highwater {
+                    items.extend(self.cache.items_from(*publisher, *hw, self.cfg.repair_batch));
+                }
+                // …plus publishers the requester has never heard from.
+                for (publisher, _) in self.cache.highwaters() {
+                    if !highwater.iter().any(|(p, _)| *p == publisher) {
+                        items.extend(self.cache.items_from(publisher, 0, self.cfg.repair_batch));
+                    }
+                }
+                if want_snapshot {
+                    items.extend(self.cache.snapshot(self.cfg.repair_batch));
+                }
+                items.sort_by_key(|i| i.id);
+                items.dedup_by_key(|i| i.id);
+                items.truncate(self.cfg.repair_batch);
+                if !items.is_empty() {
+                    self.stats.repairs_served += 1;
+                    self.stats.repair_items_sent += items.len() as u64;
+                    ctx.send(from, NewsWireMsg::RepairReply { items });
+                }
+            }
+            NewsWireMsg::RepairReply { items } => {
+                let now = ctx.now();
+                for item in items {
+                    self.handle_delivery(now, item, true);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, NewsWireMsg>, _t: TimerId, tag: u64) {
+        match tag {
+            GOSSIP_TIMER => {
+                // Publish forwarding load so representative election steers
+                // around busy nodes (paper §5).
+                let load = self.load_bias + self.queues.len() as f64;
+                self.agent.set_local_attr("load", load);
+                let now = ctx.now();
+                let out = self.agent.on_tick(now, ctx.rng());
+                for (to, g) in out {
+                    ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
+                }
+                self.cache.gc(now);
+                ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
+            }
+            DRAIN_TIMER => {
+                if let Some(q) = self.queues.pop() {
+                    let (dst, msg) = q.item;
+                    ctx.send(dst, msg);
+                    self.stats.forwards_sent += 1;
+                }
+                if self.queues.is_empty() {
+                    self.draining = false;
+                } else {
+                    ctx.set_timer(self.cfg.service_interval, DRAIN_TIMER);
+                }
+            }
+            REPAIR_TIMER => {
+                if let Some(peer) = self.repair_peer(ctx.rng()) {
+                    // Back the marks off by a margin so gaps *below* the
+                    // high-water mark (a missed item followed by a received
+                    // one) are re-offered; the cache dedups the overlap.
+                    let margin = (self.cfg.repair_batch / 4) as u64;
+                    let highwater = self
+                        .cache
+                        .highwaters()
+                        .into_iter()
+                        .map(|(p, hw)| (p, hw.saturating_sub(margin)))
+                        .collect();
+                    ctx.send(
+                        peer,
+                        NewsWireMsg::RepairRequest {
+                            highwater,
+                            want_snapshot: self.cache.is_empty(),
+                        },
+                    );
+                }
+                if let Some(repair) = self.cfg.repair_interval {
+                    ctx.set_timer(repair, REPAIR_TIMER);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
+        // Cold restart: tables, cache and the application's delivery log
+        // are gone (it is a new process incarnation); the subscription
+        // attributes survive in the local MIB builder, standing in for the
+        // user's configuration file. State transfer (`want_snapshot`)
+        // refills the cache and re-delivers what the subscription matches.
+        self.agent.reset();
+        self.cache = MessageCache::new(self.cfg.cache);
+        self.deliveries.clear();
+        self.draining = false;
+        ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
+        if let Some(repair) = self.cfg.repair_interval {
+            ctx.set_timer(repair, REPAIR_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SubscriptionModel;
+    use crate::subscription::Subscription;
+    use astrolabe::{Config, TrustRegistry, ZoneLayout};
+    use newsml::{Category, PublisherId};
+    use std::sync::Arc;
+
+    fn node_with(cfg: NewsWireConfig) -> NewsWireNode {
+        let layout = ZoneLayout::new(4, 4);
+        let agent = Agent::new(0, &layout, Config::standard(), vec![]);
+        NewsWireNode::new(agent, cfg, Arc::new(TrustRegistry::new(1)))
+    }
+
+    fn tech_sub() -> Subscription {
+        let mut s = Subscription::new();
+        s.subscribe_category(PublisherId(0), Category::Technology);
+        s
+    }
+
+    fn tech_item(seq: u64) -> NewsItem {
+        NewsItem::builder(PublisherId(0), seq)
+            .headline(format!("t{seq}")) // distinct slugs: avoid revision fusion
+            .category(Category::Technology)
+            .build()
+    }
+
+    #[test]
+    fn filter_for_follows_model() {
+        let mut bloom = node_with(NewsWireConfig::tech_news());
+        bloom.set_subscription(tech_sub());
+        match bloom.filter_for(&tech_item(0)) {
+            FilterSpec::BloomAny { attr, groups } => {
+                assert_eq!(attr, "subs");
+                assert!(!groups.is_empty());
+            }
+            other => panic!("expected BloomAny, got {other:?}"),
+        }
+        let mut masks = node_with(NewsWireConfig::prototype_masks());
+        masks.set_subscription(tech_sub());
+        match masks.filter_for(&tech_item(0)) {
+            FilterSpec::MaskBits { attr, mask } => {
+                assert_eq!(attr, "cats$0");
+                assert_eq!(mask, 1 << Category::Technology.bit());
+            }
+            other => panic!("expected MaskBits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_subscription_publishes_summary_attrs() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        assert!(matches!(n.agent.local_attr("subs"), Some(astrolabe::AttrValue::Bits(_))));
+        let mut m = node_with(NewsWireConfig::prototype_masks());
+        m.set_subscription(tech_sub());
+        assert!(matches!(m.agent.local_attr("cats$0"), Some(astrolabe::AttrValue::Int(_))));
+    }
+
+    #[test]
+    fn dissemination_predicate_checks_local_attrs() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let mut item = tech_item(0);
+        item.meta.push((DISSEMINATION_PREDICATE.to_owned(), "premium > 0".to_owned()));
+        assert!(!n.dissemination_admits(&item), "no premium attr: fail closed");
+        n.agent.set_local_attr("premium", 1i64);
+        assert!(n.dissemination_admits(&item));
+        // Malformed predicate fails closed too.
+        let mut bad = tech_item(1);
+        bad.meta.push((DISSEMINATION_PREDICATE.to_owned(), "((".to_owned()));
+        assert!(!n.dissemination_admits(&bad));
+        // No predicate: admitted.
+        assert!(n.dissemination_admits(&tech_item(2)));
+    }
+
+    #[test]
+    fn handle_delivery_classifies_outcomes() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        // Matching item: delivered + cached.
+        n.handle_delivery(now, tech_item(0), false);
+        assert_eq!(n.stats.delivered, 1);
+        assert_eq!(n.deliveries.len(), 1);
+        // Same item again: duplicate.
+        n.handle_delivery(now, tech_item(0), false);
+        assert_eq!(n.stats.duplicates, 1);
+        // Structurally uninteresting item: Bloom false positive.
+        let sports = NewsItem::builder(PublisherId(0), 5)
+            .headline("s")
+            .category(Category::Sports)
+            .build();
+        n.handle_delivery(now, sports, false);
+        assert_eq!(n.stats.bloom_fp_deliveries, 1);
+        assert_eq!(n.stats.delivered, 1, "not delivered to the app");
+        // Matching but predicate-rejected: filtered, still cached.
+        n.subscription.set_predicate("urgency = 1").unwrap();
+        n.handle_delivery(now, tech_item(7), false);
+        assert_eq!(n.stats.predicate_filtered, 1);
+        assert!(n.cache.contains(newsml::ItemId::new(PublisherId(0), 7)));
+    }
+
+    #[test]
+    fn repair_delivery_is_flagged() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        n.handle_delivery(SimTime::from_secs(2), tech_item(3), true);
+        assert!(n.deliveries[0].via_repair);
+    }
+
+    #[test]
+    fn publisher_accessor_and_model_attrs() {
+        let n = node_with(NewsWireConfig::tech_news());
+        assert!(n.publisher().is_none());
+        assert_eq!(
+            SubscriptionModel::CategoryMask.attr_for(PublisherId(3)),
+            "cats$3"
+        );
+    }
+}

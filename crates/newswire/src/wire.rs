@@ -1,0 +1,128 @@
+//! Wire messages of the NewsWire protocol.
+
+use amcast::FilterSpec;
+use astrolabe::{Certificate, GossipMsg, KeyId, Signature, ZoneId};
+use filters::fnv1a;
+use newsml::{ItemId, NewsItem, PublisherId};
+use simnet::Payload;
+
+/// A signed, routable news item.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// The item itself (metadata + body size).
+    pub item: NewsItem,
+    /// Dissemination id (derived from the item id; drives dedup).
+    pub msg_id: u64,
+    /// Per-hop interest filter, precomputed by the publisher.
+    pub filter: FilterSpec,
+    /// The zone the publisher addressed (for scope verification).
+    pub scope: ZoneId,
+    /// Publisher certificate (so any forwarder can verify).
+    pub certificate: Certificate,
+    /// Signing key id.
+    pub key: KeyId,
+    /// Signature over the item.
+    pub signature: Signature,
+}
+
+impl Envelope {
+    /// Approximate serialized size.
+    pub fn wire_size(&self) -> usize {
+        self.item.wire_size()
+            + 8
+            + self.filter.wire_size()
+            + 2 * self.scope.depth()
+            + 96 // certificate + signature + key id
+    }
+}
+
+/// The globally unique dissemination id of an item.
+pub fn msg_id_of(id: ItemId) -> u64 {
+    let mut bytes = [0u8; 10];
+    bytes[..2].copy_from_slice(&id.publisher.0.to_le_bytes());
+    bytes[2..].copy_from_slice(&id.seq.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// NewsWire protocol messages.
+#[derive(Debug, Clone)]
+pub enum NewsWireMsg {
+    /// Astrolabe gossip.
+    Gossip(GossipMsg),
+    /// External input to a publisher node: publish this item.
+    PublishRequest {
+        /// The item (the publisher stamps issue time and signs it).
+        item: NewsItem,
+        /// Optional scope override (defaults to the certificate scope).
+        scope: Option<ZoneId>,
+        /// Optional dissemination predicate over child-zone summary rows
+        /// (the §8 extension, e.g. `premium > 0`). Invalid SQL rejects the
+        /// publish request.
+        predicate: Option<String>,
+    },
+    /// Cover `zone` with the enveloped item.
+    Forward {
+        /// The signed item.
+        env: Envelope,
+        /// The zone the receiver must cover.
+        zone: ZoneId,
+    },
+    /// Final hop to a leaf-zone member.
+    Deliver {
+        /// The signed item.
+        env: Envelope,
+    },
+    /// Cache anti-entropy: "what do you have past these marks?"
+    RepairRequest {
+        /// Requester's per-publisher high-water marks.
+        highwater: Vec<(PublisherId, u64)>,
+        /// Set by (re)joining nodes to receive a recent-window snapshot
+        /// (the §9 "limited state transfer").
+        want_snapshot: bool,
+    },
+    /// Items the responder holds beyond the requester's marks.
+    RepairReply {
+        /// The repair batch.
+        items: Vec<NewsItem>,
+    },
+}
+
+impl Payload for NewsWireMsg {
+    fn wire_size(&self) -> usize {
+        4 + match self {
+            NewsWireMsg::Gossip(g) => g.wire_size(),
+            NewsWireMsg::PublishRequest { item, .. } => item.wire_size(),
+            NewsWireMsg::Forward { env, zone } => env.wire_size() + 2 * zone.depth(),
+            NewsWireMsg::Deliver { env } => env.wire_size(),
+            NewsWireMsg::RepairRequest { highwater, .. } => 1 + highwater.len() * 10,
+            NewsWireMsg::RepairReply { items } => {
+                items.iter().map(|i| i.wire_size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_ids_unique_across_publishers_and_seqs() {
+        let a = msg_id_of(ItemId::new(PublisherId(1), 7));
+        let b = msg_id_of(ItemId::new(PublisherId(2), 7));
+        let c = msg_id_of(ItemId::new(PublisherId(1), 8));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, msg_id_of(ItemId::new(PublisherId(1), 7)), "deterministic");
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_item() {
+        let small = NewsWireMsg::RepairRequest { highwater: vec![], want_snapshot: false };
+        let big = NewsWireMsg::RepairReply {
+            items: vec![NewsItem::builder(PublisherId(0), 0).body_len(5000).build()],
+        };
+        assert!(small.wire_size() < 16);
+        assert!(big.wire_size() > 5000);
+    }
+}

@@ -1,0 +1,182 @@
+//! Node identity and the application callback interface.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Dense identifier of a simulated node (index into the node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// A pseudo-sender for messages injected from outside the simulation
+    /// (experiment harnesses, attack generators).
+    pub const EXTERNAL: NodeId = NodeId(u32::MAX);
+
+    /// The node-table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == NodeId::EXTERNAL {
+            write!(f, "n(ext)")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Handle of a pending timer, returned by [`Context::set_timer`] and
+/// accepted by [`Context::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Messages must report their wire size so the engine can account bandwidth.
+///
+/// Implementations should return the approximate serialized size; the engine
+/// never serializes messages (they move by ownership), but experiments E2 and
+/// E12 report byte loads from these figures.
+pub trait Payload {
+    /// Approximate serialized size of this message, in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl Payload for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// The callback interface a simulated protocol implements.
+///
+/// One value of the implementing type exists per node; the engine invokes the
+/// callbacks with a [`Context`] through which the node reads the clock, sends
+/// messages, and manages timers. All callbacks run on simulated time — they
+/// must not block or use wall-clock time.
+pub trait Node {
+    /// The message type exchanged between nodes of this protocol.
+    type Msg: Payload;
+
+    /// Invoked once when the simulation starts (or the node is spawned).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Invoked when a message addressed to this node arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Invoked when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: TimerId, tag: u64);
+
+    /// Invoked when the engine crashes this node. Default: do nothing.
+    ///
+    /// While down the node receives no messages or timers. State is retained
+    /// (a "process freeze"); protocols wanting cold-restart semantics should
+    /// reset their state in [`Node::on_recover`].
+    fn on_crash(&mut self) {}
+
+    /// Invoked when the engine recovers this node. Default: do nothing.
+    fn on_recover(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+}
+
+/// One message or timer the node asked the engine to schedule.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
+    CancelTimer { id: TimerId },
+}
+
+/// The node's window onto the engine during a callback.
+///
+/// Collects requested effects; the engine applies them (sampling latencies,
+/// scheduling events) after the callback returns, which keeps the borrow
+/// structure simple and the event order deterministic.
+pub struct Context<'a, M> {
+    pub(crate) id: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<M> fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context").field("id", &self.id).field("now", &self.now).finish()
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's private deterministic random generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Delivery latency, loss and partitions are applied
+    /// by the engine's [`NetworkModel`](crate::NetworkModel).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Schedules a timer to fire after `delay`, carrying an opaque `tag` the
+    /// node uses to tell its timers apart.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        self.effects.push(Effect::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a silent no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId::EXTERNAL.to_string(), "n(ext)");
+    }
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        assert_eq!(NodeId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn payload_impls() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(vec![0u8; 17].wire_size(), 17);
+    }
+}

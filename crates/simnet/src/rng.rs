@@ -1,0 +1,100 @@
+//! Deterministic randomness.
+//!
+//! Every source of randomness in a simulation is a [`rand::rngs::SmallRng`]
+//! forked from a single master seed with [`fork`]. Forking mixes the master
+//! seed with a *stream* identifier through SplitMix64, so per-node and
+//! per-subsystem generators are statistically independent yet fully
+//! reproducible: the same `(seed, stream)` pair always yields the same
+//! generator.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One round of the SplitMix64 output function.
+///
+/// Used both to mix seeds and as a cheap stateless hash in tests.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Forks a deterministic generator for `stream` out of `seed`.
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = simnet::fork(42, 1);
+/// let mut b = simnet::fork(42, 1);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn fork(seed: u64, stream: u64) -> SmallRng {
+    let mixed = splitmix64(seed ^ splitmix64(stream));
+    SmallRng::seed_from_u64(mixed)
+}
+
+/// Samples an exponential inter-arrival time with the given mean, in seconds.
+///
+/// Clamped away from zero so callers can use it directly as a timer delay.
+///
+/// # Panics
+///
+/// Panics if `mean_secs` is not positive and finite.
+pub fn exp_sample(rng: &mut SmallRng, mean_secs: f64) -> f64 {
+    use rand::Rng;
+    assert!(mean_secs.is_finite() && mean_secs > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-u.ln() * mean_secs).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn fork_is_deterministic() {
+        let xs: Vec<u64> = fork(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        let ys: Vec<u64> = fork(7, 3).sample_iter(rand::distributions::Standard).take(8).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn streams_differ() {
+        let a: u64 = fork(7, 1).gen();
+        let b: u64 = fork(7, 2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a: u64 = fork(1, 9).gen();
+        let b: u64 = fork(2, 9).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix_avalanche() {
+        // Flipping one input bit should change roughly half the output bits.
+        let x = 0xDEAD_BEEF_u64;
+        let d = (splitmix64(x) ^ splitmix64(x ^ 1)).count_ones();
+        assert!((16..=48).contains(&d), "weak diffusion: {d} bits");
+    }
+
+    #[test]
+    fn exp_sample_mean_roughly_correct() {
+        let mut rng = fork(11, 0);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exp_sample(&mut rng, 2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_sample_rejects_bad_mean() {
+        let mut rng = fork(0, 0);
+        exp_sample(&mut rng, 0.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! The discrete-event engine.
+//!
+//! [`Simulation`] owns the nodes, the event queue, the network model and all
+//! randomness. Events are totally ordered by `(time, sequence-number)`, so a
+//! run is a pure function of the master seed and the schedule of external
+//! inputs — the determinism every experiment in this reproduction relies on.
+
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::SmallRng;
+
+use crate::node::{Context, Effect, Node, NodeId, Payload, TimerId};
+use crate::rng::fork;
+use crate::stats::TrafficCounters;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NetworkModel, Partition};
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
+    Crash(NodeId),
+    Recover(NodeId),
+    SetPartition(Option<Partition>),
+    SetDropProb(f64),
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    // Reversed so the BinaryHeap (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation over nodes of type `N`.
+///
+/// # Examples
+///
+/// A two-node ping-pong (the single-byte payload carries a hop budget):
+///
+/// ```
+/// use simnet::{Simulation, NetworkModel, Node, NodeId, Context, TimerId, SimDuration};
+///
+/// struct Ping { peer: NodeId, pings: u32 }
+/// impl Node for Ping {
+///     type Msg = Vec<u8>;
+///     fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+///         if ctx.id() == NodeId(0) { ctx.send(self.peer, vec![3]); }
+///     }
+///     fn on_message(&mut self, ctx: &mut Context<'_, Vec<u8>>, from: NodeId, m: Vec<u8>) {
+///         self.pings += 1;
+///         if m[0] > 0 { ctx.send(from, vec![m[0] - 1]); }
+///     }
+///     fn on_timer(&mut self, _: &mut Context<'_, Vec<u8>>, _: TimerId, _: u64) {}
+/// }
+///
+/// let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 42);
+/// sim.add_node(Ping { peer: NodeId(1), pings: 0 });
+/// sim.add_node(Ping { peer: NodeId(0), pings: 0 });
+/// sim.run_until(simnet::SimTime::from_secs(1));
+/// assert_eq!(sim.node(NodeId(0)).pings + sim.node(NodeId(1)).pings, 4);
+/// ```
+pub struct Simulation<N: Node> {
+    nodes: Vec<N>,
+    down: Vec<bool>,
+    node_rngs: Vec<SmallRng>,
+    counters: Vec<TrafficCounters>,
+    net: NetworkModel,
+    net_rng: SmallRng,
+    queue: BinaryHeap<QueuedEvent<N::Msg>>,
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    started: bool,
+    seed: u64,
+    events_processed: u64,
+}
+
+impl<N: Node> std::fmt::Debug for Simulation<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<N: Node> Simulation<N> {
+    /// Creates an empty simulation over the given network model, with all
+    /// randomness derived from `seed`.
+    pub fn new(net: NetworkModel, seed: u64) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            down: Vec::new(),
+            node_rngs: Vec::new(),
+            counters: Vec::new(),
+            net,
+            net_rng: fork(seed, u64::MAX),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            started: false,
+            seed,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node, returning its id. Ids are assigned densely from 0 in
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running.
+    pub fn add_node(&mut self, node: N) -> NodeId {
+        assert!(!self.started, "cannot add nodes after the simulation started");
+        let id = NodeId(self.nodes.len() as u32);
+        self.node_rngs.push(fork(self.seed, id.0 as u64));
+        self.nodes.push(node);
+        self.down.push(false);
+        self.counters.push(TrafficCounters::default());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the simulation holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far (for throughput benchmarks).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to a node's protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node's protocol state (configuration between runs,
+    /// or result extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Whether `id` is currently crashed.
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.down[id.index()]
+    }
+
+    /// Traffic counters for one node.
+    pub fn counters(&self, id: NodeId) -> TrafficCounters {
+        self.counters[id.index()]
+    }
+
+    /// Sum of all nodes' traffic counters.
+    pub fn total_counters(&self) -> TrafficCounters {
+        let mut t = TrafficCounters::default();
+        for c in &self.counters {
+            t.merge(c);
+        }
+        t
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
+        self.seq += 1;
+        self.queue.push(QueuedEvent { time, seq: self.seq, kind });
+    }
+
+    /// Delivers `msg` to `to` at exactly `at`, as if from
+    /// [`NodeId::EXTERNAL`]. Used by experiment harnesses to inject inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_external(&mut self, at: SimTime, to: NodeId, msg: N::Msg) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let size = msg.wire_size();
+        self.push(at, EventKind::Deliver { from: NodeId::EXTERNAL, to, msg, size });
+    }
+
+    /// Schedules a crash of `node` at `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a recovery of `node` at `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::Recover(node));
+    }
+
+    /// Schedules a partition change at `at` (`None` heals the network).
+    pub fn schedule_partition(&mut self, at: SimTime, partition: Option<Partition>) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::SetPartition(partition));
+    }
+
+    /// Schedules a change of the per-message drop probability at `at`.
+    pub fn schedule_drop_prob(&mut self, at: SimTime, p: f64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!((0.0..1.0).contains(&p), "drop probability out of range");
+        self.push(at, EventKind::SetDropProb(p));
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch_callback(NodeId(i as u32), Callback::Start);
+        }
+    }
+
+    /// Runs the node callback and then applies the effects it requested.
+    fn dispatch_callback(&mut self, id: NodeId, cb: Callback<N::Msg>) {
+        let mut effects: Vec<Effect<N::Msg>> = Vec::new();
+        {
+            let node = &mut self.nodes[id.index()];
+            let mut ctx = Context {
+                id,
+                now: self.now,
+                rng: &mut self.node_rngs[id.index()],
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+            };
+            match cb {
+                Callback::Start => node.on_start(&mut ctx),
+                Callback::Message { from, msg } => node.on_message(&mut ctx, from, msg),
+                Callback::Timer { timer, tag } => node.on_timer(&mut ctx, timer, tag),
+                Callback::Recover => node.on_recover(&mut ctx),
+            }
+        }
+        for eff in effects {
+            match eff {
+                Effect::Send { to, msg } => {
+                    let size = msg.wire_size();
+                    let c = &mut self.counters[id.index()];
+                    c.msgs_sent += 1;
+                    c.bytes_sent += size as u64;
+                    match self.net.route(id, to, &mut self.net_rng) {
+                        Some(lat) => {
+                            let at = self.now + lat;
+                            self.push(at, EventKind::Deliver { from: id, to, msg, size });
+                        }
+                        None => {
+                            if let Some(c) = self.counters.get_mut(to.index()) {
+                                c.msgs_lost += 1;
+                            }
+                        }
+                    }
+                }
+                Effect::SetTimer { id: tid, delay, tag } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node: id, id: tid, tag });
+                }
+                Effect::CancelTimer { id: tid } => {
+                    self.cancelled.insert(tid);
+                }
+            }
+        }
+    }
+
+    /// Processes the single earliest event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg, size } => {
+                let idx = to.index();
+                if idx >= self.nodes.len() || self.down[idx] {
+                    if let Some(c) = self.counters.get_mut(idx) {
+                        c.msgs_lost += 1;
+                    }
+                    return true;
+                }
+                let c = &mut self.counters[idx];
+                c.msgs_recv += 1;
+                c.bytes_recv += size as u64;
+                self.dispatch_callback(to, Callback::Message { from, msg });
+            }
+            EventKind::Timer { node, id, tag } => {
+                if self.cancelled.remove(&id) {
+                    return true;
+                }
+                let idx = node.index();
+                if self.down[idx] {
+                    return true; // timers expiring while down are lost
+                }
+                self.counters[idx].timers_fired += 1;
+                self.dispatch_callback(node, Callback::Timer { timer: id, tag });
+            }
+            EventKind::Crash(node) => {
+                let idx = node.index();
+                if !self.down[idx] {
+                    self.down[idx] = true;
+                    self.nodes[idx].on_crash();
+                }
+            }
+            EventKind::Recover(node) => {
+                let idx = node.index();
+                if self.down[idx] {
+                    self.down[idx] = false;
+                    self.dispatch_callback(node, Callback::Recover);
+                }
+            }
+            EventKind::SetPartition(p) => self.net.partition = p,
+            EventKind::SetDropProb(p) => self.net.drop_prob = p,
+        }
+        true
+    }
+
+    /// Runs until the simulated clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue drains. The clock is left at
+    /// `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until the event queue is empty or `max_events` have been
+    /// processed, returning the number of events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let before = self.events_processed;
+        while self.events_processed - before < max_events && self.step() {}
+        self.events_processed - before
+    }
+}
+
+enum Callback<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer { timer: TimerId, tag: u64 },
+    Recover,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Payload;
+
+    #[derive(Debug, Clone)]
+    enum Msg {
+        Ping(u32),
+    }
+    impl Payload for Msg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    /// Forwards externally injected pings to `peer`, then echoes with a
+    /// decrementing TTL; counts deliveries and timers.
+    #[derive(Default)]
+    struct Echo {
+        peer: Option<NodeId>,
+        got: Vec<(NodeId, u32)>,
+        timer_tags: Vec<u64>,
+        start_timer: Option<SimDuration>,
+        recovered: u32,
+    }
+
+    impl Node for Echo {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if let Some(d) = self.start_timer {
+                ctx.set_timer(d, 7);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, Msg::Ping(n): Msg) {
+            self.got.push((from, n));
+            if from == NodeId::EXTERNAL {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Msg::Ping(n));
+                }
+            } else if n > 0 {
+                ctx.send(from, Msg::Ping(n - 1));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _t: TimerId, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+        fn on_recover(&mut self, _ctx: &mut Context<'_, Msg>) {
+            self.recovered += 1;
+        }
+    }
+
+    fn two_node_sim() -> Simulation<Echo> {
+        let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 1);
+        sim.add_node(Echo { peer: Some(NodeId(1)), ..Default::default() });
+        sim.add_node(Echo { peer: Some(NodeId(0)), ..Default::default() });
+        sim
+    }
+
+    #[test]
+    fn external_injection_and_echo() {
+        let mut sim = two_node_sim();
+        sim.schedule_external(SimTime::from_secs(1), NodeId(0), Msg::Ping(0));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.node(NodeId(0)).got, vec![(NodeId::EXTERNAL, 0)]);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn ping_pong_latency_accumulates() {
+        let mut sim = two_node_sim();
+        // n0 gets Ping(3) from outside, forwards to n1; it bounces back down
+        // to TTL 0: n0 -> n1 (3), n1 -> n0 (2), n0 -> n1 (1), n1 -> n0 (0).
+        sim.schedule_external(SimTime::ZERO, NodeId(0), Msg::Ping(3));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(NodeId(0)).got, vec![(NodeId::EXTERNAL, 3), (NodeId(1), 2), (NodeId(1), 0)]);
+        assert_eq!(sim.node(NodeId(1)).got, vec![(NodeId(0), 3), (NodeId(0), 1)]);
+        let c0 = sim.counters(NodeId(0));
+        assert_eq!(c0.msgs_sent, 2);
+        assert_eq!(c0.bytes_sent, 16);
+        assert_eq!(c0.msgs_recv, 3);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                let cancel_me = ctx.set_timer(SimDuration::from_millis(6), 2);
+                ctx.set_timer(SimDuration::from_millis(7), 3);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Context<'_, ()>, _: TimerId, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(NetworkModel::default(), 3);
+        let id = sim.add_node(T { fired: vec![] });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.node(id).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn crash_drops_messages_then_recover_delivers() {
+        let mut sim = two_node_sim();
+        sim.schedule_crash(SimTime::from_secs(1), NodeId(0));
+        sim.schedule_external(SimTime::from_secs(2), NodeId(0), Msg::Ping(0));
+        sim.schedule_recover(SimTime::from_secs(3), NodeId(0));
+        sim.schedule_external(SimTime::from_secs(4), NodeId(0), Msg::Ping(0));
+        sim.run_until(SimTime::from_secs(5));
+        let n0 = sim.node(NodeId(0));
+        assert_eq!(n0.got.len(), 1, "message during downtime must be lost");
+        assert_eq!(n0.recovered, 1);
+        assert_eq!(sim.counters(NodeId(0)).msgs_lost, 1);
+    }
+
+    #[test]
+    fn timers_expiring_while_down_are_lost() {
+        let mut sim = Simulation::new(NetworkModel::default(), 9);
+        let id = sim.add_node(Echo { start_timer: Some(SimDuration::from_secs(2)), ..Default::default() });
+        sim.schedule_crash(SimTime::from_secs(1), id);
+        sim.schedule_recover(SimTime::from_secs(3), id);
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.node(id).timer_tags.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                NetworkModel {
+                    latency: crate::topology::LatencyModel::Uniform {
+                        min: SimDuration::from_millis(1),
+                        max: SimDuration::from_millis(50),
+                    },
+                    drop_prob: 0.1,
+                    partition: None,
+                },
+                seed,
+            );
+            for i in 0..4u32 {
+                sim.add_node(Echo { peer: Some(NodeId((i + 1) % 4)), ..Default::default() });
+            }
+            for i in 0..20u32 {
+                sim.schedule_external(
+                    SimTime::from_micros(u64::from(i) * 1000),
+                    NodeId(i % 4),
+                    Msg::Ping(3),
+                );
+            }
+            sim.run_until(SimTime::from_secs(10));
+            (0..4).map(|i| sim.node(NodeId(i)).got.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
+    }
+
+    #[test]
+    fn run_to_quiescence_counts_events() {
+        let mut sim = two_node_sim();
+        sim.schedule_external(SimTime::ZERO, NodeId(0), Msg::Ping(3));
+        let n = sim.run_to_quiescence(1000);
+        assert_eq!(n, 5); // one injection + 4 inter-node deliveries
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the simulation started")]
+    fn adding_nodes_after_start_panics() {
+        let mut sim = two_node_sim();
+        sim.run_until(SimTime::from_secs(1));
+        sim.add_node(Echo::default());
+    }
+
+    #[test]
+    fn partition_schedule_applies() {
+        let mut sim = two_node_sim();
+        sim.schedule_partition(SimTime::ZERO, Some(Partition::split_at(2, 1)));
+        sim.schedule_external(SimTime::from_millis_t(1), NodeId(0), Msg::Ping(3));
+        sim.run_until(SimTime::from_secs(1));
+        // n0 forwards the ping to n1, but the partition cuts the link.
+        assert_eq!(sim.node(NodeId(1)).got.len(), 0);
+        assert_eq!(sim.counters(NodeId(1)).msgs_lost, 1);
+    }
+
+    impl SimTime {
+        fn from_millis_t(ms: u64) -> SimTime {
+            SimTime::from_micros(ms * 1000)
+        }
+    }
+}

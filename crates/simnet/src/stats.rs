@@ -1,0 +1,290 @@
+//! Traffic accounting and summary statistics.
+//!
+//! The engine credits every send/receive/drop against per-node
+//! [`TrafficCounters`]; experiments read them back after the run to produce
+//! the load tables (e.g. experiment E2, publisher load, and E12, per-node
+//! gossip cost). [`Summary`] and [`Histogram`] provide the percentile and
+//! distribution reporting used throughout the benchmark harness.
+
+use crate::time::SimDuration;
+
+/// Per-node message and byte counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Messages passed to the network by this node.
+    pub msgs_sent: u64,
+    /// Payload bytes passed to the network by this node.
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_recv: u64,
+    /// Payload bytes delivered to this node.
+    pub bytes_recv: u64,
+    /// Messages lost in the network on their way *to* this node
+    /// (loss, partition, or the destination being down).
+    pub msgs_lost: u64,
+    /// Timer events fired at this node.
+    pub timers_fired: u64,
+}
+
+impl TrafficCounters {
+    /// Adds another node's counters into this one (for totals).
+    pub fn merge(&mut self, other: &TrafficCounters) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.msgs_lost += other.msgs_lost;
+        self.timers_fired += other.timers_fired;
+    }
+}
+
+/// An exact-percentile summary built from raw `f64` samples.
+///
+/// Stores all samples (experiments here produce at most a few million), sorts
+/// lazily on first query, and then answers arbitrary quantiles exactly.
+///
+/// ```
+/// let mut s = simnet::Summary::new();
+/// for v in [3.0, 1.0, 2.0] { s.record(v); }
+/// assert_eq!(s.quantile(0.5), 2.0);
+/// assert_eq!(s.max(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN; a NaN sample would poison every quantile.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "cannot record NaN sample");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Records a simulated duration, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.sorted = true;
+        }
+    }
+
+    /// The exact `q`-quantile (0 ≤ q ≤ 1) using nearest-rank interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        assert!(!self.samples.is_empty(), "quantile of empty summary");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let w = pos - lo as f64;
+            self.samples[lo] * (1.0 - w) + self.samples[hi] * w
+        }
+    }
+
+    /// Arithmetic mean of the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "mean of empty summary");
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn max(&mut self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    /// Smallest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Borrow of the raw samples (unsorted unless a quantile was queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A fixed-bucket histogram over `[lo, hi)` with uniform bucket width.
+///
+/// Used to show *distributions* (e.g. the bimodal delivery-ratio histogram of
+/// experiment E8) rather than single quantiles.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `n` equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(n > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((v - self.lo) / (self.hi - self.lo) * self.buckets.len() as f64) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Bucket counts, lowest bucket first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `(bucket_low, bucket_high, count)` triples for display.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * i as f64, self.lo + w * (i + 1) as f64, c))
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge() {
+        let mut a = TrafficCounters { msgs_sent: 1, bytes_sent: 10, ..Default::default() };
+        let b = TrafficCounters { msgs_sent: 2, msgs_recv: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 3);
+        assert_eq!(a.msgs_recv, 5);
+        assert_eq!(a.bytes_sent, 10);
+    }
+
+    #[test]
+    fn summary_quantiles_exact() {
+        let mut s: Summary = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!((s.quantile(0.5) - 50.5).abs() < 1e-9);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_interpolates() {
+        let mut s: Summary = [0.0, 10.0].into_iter().collect();
+        assert!((s.quantile(0.25) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_quantile_panics() {
+        Summary::new().quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.0, 0.1, 0.3, 0.6, 0.99, -0.5, 1.0, 2.0] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 1, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn histogram_iter_ranges() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(1.5);
+        let triples: Vec<_> = h.iter().collect();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[1], (1.0, 2.0, 1));
+    }
+}

@@ -1,0 +1,214 @@
+//! Network models: latency, loss, and partitions.
+//!
+//! The paper's target environment is the wide-area Internet, where nodes
+//! cluster into regions (the same structure Astrolabe's zone hierarchy
+//! mirrors). [`LatencyModel::ZonedWan`] captures that: cheap intra-region
+//! links, expensive inter-region links. Uniform and constant models support
+//! unit tests and micro-benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// How point-to-point message latency is sampled.
+#[derive(Debug, Clone)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Minimum one-way latency.
+        min: SimDuration,
+        /// Maximum one-way latency.
+        max: SimDuration,
+    },
+    /// Region-structured WAN: intra-region links draw from `intra`,
+    /// inter-region links from `inter` (both uniform ranges).
+    ZonedWan {
+        /// Region id of every node, indexed by `NodeId`.
+        region_of: Vec<u32>,
+        /// Latency range for links within one region.
+        intra: (SimDuration, SimDuration),
+        /// Latency range for links crossing regions.
+        inter: (SimDuration, SimDuration),
+    },
+}
+
+impl LatencyModel {
+    /// A typical WAN defaults model: 5–25 ms within a region, 40–180 ms across.
+    pub fn wan_defaults(region_of: Vec<u32>) -> Self {
+        LatencyModel::ZonedWan {
+            region_of,
+            intra: (SimDuration::from_millis(5), SimDuration::from_millis(25)),
+            inter: (SimDuration::from_millis(40), SimDuration::from_millis(180)),
+        }
+    }
+
+    /// Samples the one-way latency from `from` to `to`.
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => sample_range(*min, *max, rng),
+            LatencyModel::ZonedWan { region_of, intra, inter } => {
+                let rf = region_of.get(from.index()).copied().unwrap_or(0);
+                let rt = region_of.get(to.index()).copied().unwrap_or(0);
+                let (lo, hi) = if rf == rt { *intra } else { *inter };
+                sample_range(lo, hi, rng)
+            }
+        }
+    }
+}
+
+fn sample_range(min: SimDuration, max: SimDuration, rng: &mut SmallRng) -> SimDuration {
+    if min >= max {
+        return min;
+    }
+    SimDuration::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
+}
+
+/// A network partition: nodes are assigned to groups and messages crossing
+/// groups are silently dropped, modelling a WAN cut.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    group_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds a partition from an explicit group assignment.
+    pub fn new(group_of: Vec<u32>) -> Self {
+        Partition { group_of }
+    }
+
+    /// Splits nodes `0..n` into two groups at `split`: `[0, split)` vs the rest.
+    pub fn split_at(n: usize, split: usize) -> Self {
+        Partition { group_of: (0..n).map(|i| u32::from(i >= split)).collect() }
+    }
+
+    /// True when a message from `a` to `b` crosses the cut.
+    pub fn separates(&self, a: NodeId, b: NodeId) -> bool {
+        let ga = self.group_of.get(a.index()).copied().unwrap_or(0);
+        let gb = self.group_of.get(b.index()).copied().unwrap_or(0);
+        ga != gb
+    }
+}
+
+/// The complete network model the engine consults for every send.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Latency distribution.
+    pub latency: LatencyModel,
+    /// Independent per-message drop probability in `[0, 1)`.
+    pub drop_prob: f64,
+    /// Active partition, if any.
+    pub partition: Option<Partition>,
+}
+
+impl NetworkModel {
+    /// A lossless constant-latency network (useful for unit tests).
+    pub fn ideal(latency: SimDuration) -> Self {
+        NetworkModel { latency: LatencyModel::Constant(latency), drop_prob: 0.0, partition: None }
+    }
+
+    /// A region-structured lossy WAN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_prob` is outside `[0, 1)`.
+    pub fn wan(region_of: Vec<u32>, drop_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop probability out of range");
+        NetworkModel {
+            latency: LatencyModel::wan_defaults(region_of),
+            drop_prob,
+            partition: None,
+        }
+    }
+
+    /// Decides the fate of one message: `Some(latency)` to deliver after that
+    /// delay, `None` to drop it.
+    pub fn route(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> Option<SimDuration> {
+        if let Some(p) = &self.partition {
+            if p.separates(from, to) {
+                return None;
+            }
+        }
+        if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
+            return None;
+        }
+        Some(self.latency.sample(from, to, rng))
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::ideal(SimDuration::from_millis(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+
+    #[test]
+    fn constant_latency() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(7));
+        let mut rng = fork(1, 0);
+        assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn uniform_latency_in_range() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(5),
+            max: SimDuration::from_millis(10),
+        };
+        let mut rng = fork(2, 0);
+        for _ in 0..100 {
+            let d = m.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!(d >= SimDuration::from_millis(5) && d <= SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn zoned_wan_prefers_local() {
+        let m = LatencyModel::wan_defaults(vec![0, 0, 1]);
+        let mut rng = fork(3, 0);
+        for _ in 0..50 {
+            let local = m.sample(NodeId(0), NodeId(1), &mut rng);
+            let remote = m.sample(NodeId(0), NodeId(2), &mut rng);
+            assert!(local <= SimDuration::from_millis(25));
+            assert!(remote >= SimDuration::from_millis(40));
+        }
+    }
+
+    #[test]
+    fn partition_separates() {
+        let p = Partition::split_at(4, 2);
+        assert!(p.separates(NodeId(0), NodeId(2)));
+        assert!(!p.separates(NodeId(0), NodeId(1)));
+        assert!(!p.separates(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn route_applies_partition_and_loss() {
+        let mut m = NetworkModel::ideal(SimDuration::from_millis(1));
+        m.partition = Some(Partition::split_at(2, 1));
+        let mut rng = fork(4, 0);
+        assert!(m.route(NodeId(0), NodeId(1), &mut rng).is_none());
+
+        let mut lossy = NetworkModel::ideal(SimDuration::from_millis(1));
+        lossy.drop_prob = 0.5;
+        let delivered = (0..1000)
+            .filter(|_| lossy.route(NodeId(0), NodeId(0), &mut rng).is_some())
+            .count();
+        assert!((350..650).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wan_rejects_bad_drop_prob() {
+        let _ = NetworkModel::wan(vec![0], 1.5);
+    }
+}

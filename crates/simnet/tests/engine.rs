@@ -1,0 +1,145 @@
+//! Engine-level integration tests: larger populations, fault schedules and
+//! network dynamics combined.
+
+use simnet::{
+    Context, NetworkModel, Node, NodeId, Partition, SimDuration, SimTime, Simulation, TimerId,
+};
+
+/// Every node pings a random-ish neighbour once a second and counts echoes.
+struct Chatter {
+    n: u32,
+    sent: u64,
+    echoed: u64,
+    received: u64,
+}
+
+impl Chatter {
+    fn new(n: u32) -> Self {
+        Chatter { n, sent: 0, echoed: 0, received: 0 }
+    }
+}
+
+#[derive(Clone)]
+enum Msg {
+    Ping,
+    Pong,
+}
+
+impl simnet::Payload for Msg {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+impl Node for Chatter {
+    type Msg = Msg;
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(SimDuration::from_millis(500), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Ping => {
+                self.echoed += 1;
+                ctx.send(from, Msg::Pong);
+            }
+            Msg::Pong => self.received += 1,
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerId, _tag: u64) {
+        let target = rand::Rng::gen_range(ctx.rng(), 0..self.n);
+        if NodeId(target) != ctx.id() {
+            self.sent += 1;
+            ctx.send(NodeId(target), Msg::Ping);
+        }
+        ctx.set_timer(SimDuration::from_secs(1), 1);
+    }
+}
+
+fn build(n: u32, net: NetworkModel, seed: u64) -> Simulation<Chatter> {
+    let mut sim = Simulation::new(net, seed);
+    for _ in 0..n {
+        sim.add_node(Chatter::new(n));
+    }
+    sim
+}
+
+#[test]
+fn lossless_network_conserves_messages() {
+    let mut sim = build(50, NetworkModel::ideal(SimDuration::from_millis(10)), 1);
+    sim.run_until(SimTime::from_secs(60));
+    let (mut sent, mut echoed, mut received) = (0u64, 0u64, 0u64);
+    for (_, node) in sim.iter() {
+        sent += node.sent;
+        echoed += node.echoed;
+        received += node.received;
+    }
+    assert_eq!(sent, echoed, "every ping echoed");
+    assert_eq!(echoed, received, "every pong received");
+    let totals = sim.total_counters();
+    assert_eq!(totals.msgs_sent, totals.msgs_recv);
+    assert_eq!(totals.msgs_lost, 0);
+}
+
+#[test]
+fn loss_rate_is_respected_globally() {
+    let mut net = NetworkModel::ideal(SimDuration::from_millis(10));
+    net.drop_prob = 0.2;
+    let mut sim = build(50, net, 2);
+    sim.run_until(SimTime::from_secs(120));
+    let totals = sim.total_counters();
+    let loss = totals.msgs_lost as f64 / totals.msgs_sent as f64;
+    assert!((0.17..0.23).contains(&loss), "observed loss {loss}");
+}
+
+#[test]
+fn partitions_toggle_dynamically() {
+    let mut sim = build(40, NetworkModel::ideal(SimDuration::from_millis(10)), 3);
+    // Partition the network for the middle third of the run.
+    sim.schedule_partition(SimTime::from_secs(40), Some(Partition::split_at(40, 20)));
+    sim.schedule_partition(SimTime::from_secs(80), None);
+    sim.run_until(SimTime::from_secs(120));
+    let totals = sim.total_counters();
+    assert!(totals.msgs_lost > 0, "cross-cut messages were dropped");
+    // Loss only happens inside the partition window: roughly half the
+    // random targets cross the cut for a third of the run.
+    let loss = totals.msgs_lost as f64 / totals.msgs_sent as f64;
+    assert!((0.05..0.30).contains(&loss), "loss fraction {loss}");
+}
+
+#[test]
+fn drop_prob_schedule_applies_mid_run() {
+    let mut sim = build(30, NetworkModel::ideal(SimDuration::from_millis(5)), 4);
+    sim.run_until(SimTime::from_secs(30));
+    let before = sim.total_counters().msgs_lost;
+    assert_eq!(before, 0);
+    sim.schedule_drop_prob(SimTime::from_secs(30), 0.5);
+    sim.run_until(SimTime::from_secs(60));
+    assert!(sim.total_counters().msgs_lost > 0, "loss turned on mid-run");
+}
+
+#[test]
+fn mass_crash_and_recovery_keeps_engine_consistent() {
+    let mut sim = build(60, NetworkModel::ideal(SimDuration::from_millis(10)), 5);
+    for i in 0..30u32 {
+        sim.schedule_crash(SimTime::from_secs(20), NodeId(i));
+        sim.schedule_recover(SimTime::from_secs(40 + u64::from(i) % 10), NodeId(i));
+    }
+    sim.run_until(SimTime::from_secs(100));
+    for i in 0..30u32 {
+        assert!(!sim.is_down(NodeId(i)), "node {i} recovered");
+    }
+    // Survivors kept chatting through the outage.
+    let busy = sim.iter().filter(|(_, n)| n.received > 0).count();
+    assert!(busy >= 55, "{busy} nodes saw traffic");
+}
+
+#[test]
+fn event_counts_are_deterministic() {
+    let run = |seed| {
+        let mut sim = build(25, NetworkModel::default(), seed);
+        sim.run_until(SimTime::from_secs(30));
+        (sim.events_processed(), sim.total_counters().msgs_sent)
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}

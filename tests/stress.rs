@@ -1,0 +1,69 @@
+//! Opt-in large-scale stress tests. Excluded from the default run (they
+//! take minutes); execute with:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use newsml::{Category, NewsItem, PublisherId, PublisherProfile};
+use newswire::{DeploymentBuilder, NewsWireConfig, PublisherSpec};
+use simnet::SimTime;
+
+#[test]
+#[ignore = "multi-minute: 10k-node deployment"]
+fn ten_thousand_subscribers_exact_delivery() {
+    let n = 10_000;
+    let mut d = DeploymentBuilder::new(n, 1)
+        .branching(64)
+        .config(NewsWireConfig::tech_news())
+        .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+        .cats_per_subscriber(2)
+        .build();
+    d.settle(90);
+    let item = NewsItem::builder(PublisherId(0), 0)
+        .headline("stress")
+        .category(Category::Technology)
+        .build();
+    d.publish(SimTime::from_secs(90), item.clone());
+    d.settle(30);
+    let interested = d.interested_nodes(&item);
+    let delivered = d.delivered_nodes(&item);
+    assert!(interested.len() > n as usize / 10, "workload sanity");
+    assert_eq!(interested, delivered);
+    let mut lat = d.delivery_latency_summary();
+    assert!(lat.quantile(0.99) < 10.0, "p99 {}s", lat.quantile(0.99));
+}
+
+#[test]
+#[ignore = "multi-minute: churn at 2k nodes"]
+fn two_thousand_nodes_with_churn_converge() {
+    let n = 2_000u32;
+    let mut d = DeploymentBuilder::new(n, 2)
+        .branching(32)
+        .config(NewsWireConfig::tech_news())
+        .wan(0.01)
+        .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+        .build();
+    d.settle(90);
+    // 5% churn wave.
+    for i in 0..100u32 {
+        let v = 1 + i * 19 % n;
+        d.sim.schedule_crash(SimTime::from_secs(90 + u64::from(i) / 4), simnet::NodeId(v));
+        d.sim.schedule_recover(SimTime::from_secs(140 + u64::from(i) / 4), simnet::NodeId(v));
+    }
+    let items: Vec<_> = (0..5u64)
+        .map(|s| {
+            NewsItem::builder(PublisherId(0), s)
+                .headline(format!("churn {s}"))
+                .category(Category::Technology)
+                .build()
+        })
+        .collect();
+    for (i, item) in items.iter().enumerate() {
+        d.publish(SimTime::from_secs(95 + 5 * i as u64), item.clone());
+    }
+    d.settle(220);
+    for item in &items {
+        assert_eq!(d.interested_nodes(item), d.delivered_nodes(item), "item {}", item.id);
+    }
+}
