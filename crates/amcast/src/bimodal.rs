@@ -157,12 +157,8 @@ impl Node for PbcastNode {
                 }
             }
             PbcastMsg::Request { ids } => {
-                let items: Vec<(u64, u32)> = self
-                    .buffer
-                    .iter()
-                    .filter(|(id, _)| ids.contains(id))
-                    .copied()
-                    .collect();
+                let items: Vec<(u64, u32)> =
+                    self.buffer.iter().filter(|(id, _)| ids.contains(id)).copied().collect();
                 if !items.is_empty() {
                     ctx.send(from, PbcastMsg::Retransmit { items });
                 }
@@ -216,7 +212,11 @@ mod tests {
     #[test]
     fn lossless_multicast_reaches_everyone_in_one_hop() {
         let mut sim = group(20, 0.0, 1);
-        sim.schedule_external(SimTime::from_secs(1), NodeId(0), PbcastMsg::Publish { id: 7, len: 100 });
+        sim.schedule_external(
+            SimTime::from_secs(1),
+            NodeId(0),
+            PbcastMsg::Publish { id: 7, len: 100 },
+        );
         sim.run_until(SimTime::from_secs(2));
         assert_eq!(delivered_count(&sim, 7), 20);
     }
@@ -224,7 +224,11 @@ mod tests {
     #[test]
     fn gossip_repairs_lossy_multicast() {
         let mut sim = group(30, 0.25, 2);
-        sim.schedule_external(SimTime::from_secs(1), NodeId(0), PbcastMsg::Publish { id: 9, len: 50 });
+        sim.schedule_external(
+            SimTime::from_secs(1),
+            NodeId(0),
+            PbcastMsg::Publish { id: 9, len: 50 },
+        );
         // Shortly after the multicast some nodes are missing it…
         sim.run_until(SimTime::from_micros(1_200_000));
         let early = delivered_count(&sim, 9);

@@ -65,14 +65,14 @@ mod queues;
 pub use bimodal::{PbcastConfig, PbcastMsg, PbcastNode};
 pub use dedup::{CoverageWindow, DedupWindow};
 pub use log::{ForwardEvent, ForwardLog, LogRecord};
-pub use mcast::{route, Action, FilterSpec, McastData};
+pub use mcast::{route, zone_reps, Action, FilterSpec, McastData};
 pub use node::{McastConfig, McastMsg, McastNode, McastStats};
 pub use queues::{ForwardingQueues, Queued, Strategy};
 
 #[cfg(test)]
 mod proptests {
-    use super::{CoverageWindow, DedupWindow, ForwardingQueues};
     use super::Strategy as QStrategy;
+    use super::{CoverageWindow, DedupWindow, ForwardingQueues};
     use proptest::prelude::*;
 
     proptest! {

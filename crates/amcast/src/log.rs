@@ -24,6 +24,13 @@ pub enum ForwardEvent {
     AuthRejected,
     /// Dropped: no route toward the zone.
     Unroutable,
+    /// An acknowledged hand-off timed out; the same representative will be
+    /// retried with backoff.
+    AckTimeout,
+    /// A hand-off exhausted its retries and moved to another representative.
+    FailedOver,
+    /// A hand-off exhausted retries and failovers; left to anti-entropy.
+    Abandoned,
 }
 
 /// One log record.

@@ -225,6 +225,30 @@ pub fn route(
     actions
 }
 
+/// All representatives this node's tables list for covering `zone`,
+/// excluding the node itself — the failover candidate set for acknowledged
+/// hand-offs: when a chosen representative times out, the forwarder retries
+/// the next entry instead of waiting for anti-entropy repair.
+///
+/// `zone` may be a direct child of a zone on this node's root path (the
+/// common hand-off case) or an arbitrary off-path zone (the relay case); in
+/// both, the candidates are the representatives of the child of the deepest
+/// shared ancestor lying on the path to `zone`. Returns an empty vector for
+/// zones on this node's own chain (no external hand-off applies) or when no
+/// table row is known yet. Order is the table's deterministic set order.
+pub fn zone_reps(agent: &Agent, zone: &ZoneId) -> Vec<u32> {
+    let leaf = &agent.chain()[0];
+    let shared = leaf.path().iter().zip(zone.path()).take_while(|(a, b)| a == b).count();
+    let Some(&child_label) = zone.path().get(shared) else { return Vec::new() };
+    if shared >= leaf.depth() {
+        return Vec::new();
+    }
+    let table_level = leaf.depth() - shared;
+    let Some(row) = agent.table(table_level).get(child_label) else { return Vec::new() };
+    let Some(AttrValue::Set(reps)) = row.get("reps") else { return Vec::new() };
+    reps.iter().filter_map(|&r| u32::try_from(r).ok()).filter(|&r| r != agent.id()).collect()
+}
+
 /// Relays an item toward a zone off this node's root path: pick `k`
 /// representatives of the child (under the deepest shared ancestor) that
 /// lies on the path to `target`, and hand them the *original* target. Each
@@ -237,12 +261,7 @@ fn relay_toward(
     actions: &mut Vec<Action>,
 ) {
     let leaf = &agent.chain()[0];
-    let shared = leaf
-        .path()
-        .iter()
-        .zip(target.path())
-        .take_while(|(a, b)| a == b)
-        .count();
+    let shared = leaf.path().iter().zip(target.path()).take_while(|(a, b)| a == b).count();
     // The shared ancestor is at depth `shared` on our chain; its table is
     // level `leaf.depth() - shared`. `target` is deeper than the ancestor
     // (otherwise level_of would have succeeded), so indexing is in range.
@@ -282,7 +301,10 @@ mod tests {
         let f = FilterSpec::BloomPositions { attr: "subs".into(), positions: vec![1, 5] };
         assert!(f.admits(&bits_row(&[1, 5, 9])));
         assert!(!f.admits(&bits_row(&[1])));
-        assert!(!f.admits(&MibBuilder::new().build(Stamp::default())), "missing attr = no interest");
+        assert!(
+            !f.admits(&MibBuilder::new().build(Stamp::default())),
+            "missing attr = no interest"
+        );
     }
 
     #[test]
@@ -313,8 +335,7 @@ mod tests {
     #[test]
     fn both_requires_both() {
         let expr = astrolabe::parse_predicate("premium > 0").unwrap();
-        let combined =
-            FilterSpec::All.and(FilterSpec::Predicate { expr });
+        let combined = FilterSpec::All.and(FilterSpec::Predicate { expr });
         let premium = MibBuilder::new().attr("premium", 1i64).build(Stamp::default());
         let free = MibBuilder::new().build(Stamp::default());
         assert!(combined.admits(&premium));

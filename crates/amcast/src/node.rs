@@ -214,11 +214,7 @@ impl McastNode {
                         peer: Some(rep),
                         event: ForwardEvent::Forwarded,
                     });
-                    self.enqueue(
-                        ctx,
-                        NodeId(rep),
-                        McastMsg::Forward { data: data.clone(), zone },
-                    );
+                    self.enqueue(ctx, NodeId(rep), McastMsg::Forward { data: data.clone(), zone });
                 }
             }
         }

@@ -1,19 +1,28 @@
 //! Integration tests: SendToZone dissemination on full simulated networks.
 
-use amcast::{FilterSpec, McastConfig, McastData, McastMsg, McastNode, PbcastConfig, PbcastMsg, PbcastNode};
+use amcast::{
+    FilterSpec, McastConfig, McastData, McastMsg, McastNode, PbcastConfig, PbcastMsg, PbcastNode,
+};
 use astrolabe::{Agent, AttrValue, Config, ZoneId, ZoneLayout};
 use bytes::Bytes;
 use filters::BitArray;
 use simnet::{fork, NetworkModel, NodeId, SimDuration, SimTime, Simulation};
 
-fn build(n: u32, branching: u16, cfg: McastConfig, net: NetworkModel, seed: u64) -> Simulation<McastNode> {
+fn build(
+    n: u32,
+    branching: u16,
+    cfg: McastConfig,
+    net: NetworkModel,
+    seed: u64,
+) -> Simulation<McastNode> {
     let layout = ZoneLayout::new(n, branching);
     let mut aconfig = Config::standard();
     aconfig.branching = branching;
     let mut contact_rng = fork(seed, 999);
     let mut sim = Simulation::new(net, seed);
     for i in 0..n {
-        let contacts: Vec<u32> = (0..3).map(|_| rand::Rng::gen_range(&mut contact_rng, 0..n)).collect();
+        let contacts: Vec<u32> =
+            (0..3).map(|_| rand::Rng::gen_range(&mut contact_rng, 0..n)).collect();
         let agent = Agent::new(i, &layout, aconfig.clone(), contacts);
         sim.add_node(McastNode::new(agent, cfg.clone()));
     }
@@ -67,9 +76,7 @@ fn bloom_filtering_prunes_uninterested_subtrees() {
     let layout = ZoneLayout::new(n, 4);
     let mut aconfig = Config::standard();
     aconfig.branching = 4;
-    aconfig
-        .aggregations
-        .push(astrolabe::AggSpec::new("subs", "SELECT ORBITS(subs) AS subs"));
+    aconfig.aggregations.push(astrolabe::AggSpec::new("subs", "SELECT ORBITS(subs) AS subs"));
     let mut sim = Simulation::new(NetworkModel::default(), 7);
     let mut contact_rng = fork(7, 999);
     for i in 0..n {
@@ -100,11 +107,7 @@ fn bloom_filtering_prunes_uninterested_subtrees() {
     sim.run_until(SimTime::from_secs(70));
     for (id, node) in sim.iter() {
         let should = id.0 % 5 == 0;
-        assert_eq!(
-            node.has_delivered(3000),
-            should,
-            "node {id} subscription mismatch"
-        );
+        assert_eq!(node.has_delivered(3000), should, "node {id} subscription mismatch");
     }
 }
 

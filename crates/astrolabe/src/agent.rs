@@ -88,14 +88,16 @@ impl GossipMsg {
         }
         fn rows_size(rs: &[TableRows]) -> usize {
             rs.iter()
-                .map(|t| zone_size(&t.zone) + t.rows.iter().map(|(_, r)| 2 + r.wire_size()).sum::<usize>())
+                .map(|t| {
+                    zone_size(&t.zone)
+                        + t.rows.iter().map(|(_, r)| 2 + r.wire_size()).sum::<usize>()
+                })
                 .sum()
         }
         8 + match self {
-            GossipMsg::Digest { digests } => digests
-                .iter()
-                .map(|d| zone_size(&d.zone) + d.rows.len() * 22)
-                .sum::<usize>(),
+            GossipMsg::Digest { digests } => {
+                digests.iter().map(|d| zone_size(&d.zone) + d.rows.len() * 22).sum::<usize>()
+            }
             GossipMsg::DigestReply { rows, want } => {
                 rows_size(rows)
                     + want.iter().map(|(z, ls)| zone_size(z) + ls.len() * 2).sum::<usize>()
@@ -319,8 +321,7 @@ impl Agent {
             self.config.aggregations.iter().map(|a| a.program.clone()).collect();
         sources.extend(dynamic.values().cloned());
 
-        let rows: Vec<Mib> =
-            self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
+        let rows: Vec<Mib> = self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
 
         let mut out = MibBuilder::new();
         for src in sources {
@@ -400,8 +401,7 @@ impl Agent {
         for level in 0..self.tables.len() {
             // Members always gossip their leaf-zone table; higher tables are
             // gossiped by the zone's representatives (plus bootstrap duty).
-            let eligible =
-                level == 0 || self.is_rep(level - 1) || self.bootstrap_duty(level - 1);
+            let eligible = level == 0 || self.is_rep(level - 1) || self.bootstrap_duty(level - 1);
             if !eligible {
                 continue;
             }
@@ -499,9 +499,7 @@ impl Agent {
                     if !newer_here.is_empty() {
                         let rows = newer_here
                             .iter()
-                            .filter_map(|&l| {
-                                self.tables[level].get(l).map(|r| (l, Arc::clone(r)))
-                            })
+                            .filter_map(|&l| self.tables[level].get(l).map(|r| (l, Arc::clone(r))))
                             .collect();
                         reply_rows.push(TableRows { zone: d.zone.clone(), rows });
                     }
@@ -664,11 +662,8 @@ mod tests {
             assert!(!reps.is_empty() && reps.len() <= 2, "reps {reps:?}");
         }
         // Exactly the elected reps consider themselves representatives.
-        let rep_ids: std::collections::BTreeSet<u64> = agents
-            .iter()
-            .filter(|ag| ag.is_rep(0))
-            .map(|ag| u64::from(ag.id()))
-            .collect();
+        let rep_ids: std::collections::BTreeSet<u64> =
+            agents.iter().filter(|ag| ag.is_rep(0)).map(|ag| u64::from(ag.id())).collect();
         for ag in &agents {
             let parent_row = ag.table(1).get(ag.own_label(1)).unwrap();
             if let Some(AttrValue::Set(s)) = parent_row.get("reps") {
@@ -780,10 +775,7 @@ mod tests {
         assert_eq!(get("t"), Some(AttrValue::Int(30)));
         assert_eq!(get("n"), Some(AttrValue::Int(4)));
         // Root query over zone summaries.
-        let out = a
-            .query(&ZoneId::root(), "SELECT SUM(nmembers) AS n")
-            .unwrap()
-            .unwrap();
+        let out = a.query(&ZoneId::root(), "SELECT SUM(nmembers) AS n").unwrap().unwrap();
         assert_eq!(out[0].1, AttrValue::Int(12));
         // Foreign zone: not replicated here.
         assert!(a.query(&ZoneId::root().child(9), "SELECT COUNT() AS n").is_none());

@@ -100,7 +100,9 @@ pub fn eval_scalar<R: RowSource>(expr: &Expr, row: &R) -> Result<Option<AttrValu
         Expr::Not(e) => match eval_scalar(e, row)? {
             None => Ok(None),
             Some(AttrValue::Bool(b)) => Ok(Some(AttrValue::Bool(!b))),
-            Some(v) => Err(EvalError::TypeMismatch(format!("NOT needs bool, got {}", v.type_name()))),
+            Some(v) => {
+                Err(EvalError::TypeMismatch(format!("NOT needs bool, got {}", v.type_name())))
+            }
         },
         Expr::Bin(op, l, r) => eval_bin(*op, l, r, row),
         Expr::Call(name, args) => eval_call(name, args, row),
@@ -310,9 +312,7 @@ pub fn eval_predicate<R: RowSource>(expr: &Expr, row: &R) -> Result<bool, EvalEr
     match eval_scalar(expr, row)? {
         None => Ok(false),
         Some(AttrValue::Bool(b)) => Ok(b),
-        Some(v) => {
-            Err(EvalError::TypeMismatch(format!("predicate yielded {}", v.type_name())))
-        }
+        Some(v) => Err(EvalError::TypeMismatch(format!("predicate yielded {}", v.type_name()))),
     }
 }
 
@@ -429,10 +429,7 @@ fn eval_aggregate<R: RowSource>(
             for r in rows {
                 let Some(v) = eval_scalar(&args[0], r)? else { continue };
                 let AttrValue::Bits(b) = v else {
-                    return Err(EvalError::TypeMismatch(format!(
-                        "ORBITS over {}",
-                        v.type_name()
-                    )));
+                    return Err(EvalError::TypeMismatch(format!("ORBITS over {}", v.type_name())));
                 };
                 acc = Some(match acc {
                     None => b,
@@ -704,7 +701,8 @@ mod tests {
 
     #[test]
     fn first_takes_row_order() {
-        let rows = vec![row(&[]), row(&[("v", AttrValue::Int(7))]), row(&[("v", AttrValue::Int(9))])];
+        let rows =
+            vec![row(&[]), row(&[("v", AttrValue::Int(7))]), row(&[("v", AttrValue::Int(9))])];
         let p = parse_program("SELECT FIRST(v) AS v").unwrap();
         assert_eq!(run_program(&p, &rows).unwrap()[0].1, AttrValue::Int(7));
     }

@@ -211,11 +211,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                                 _ => 4,
                             };
                             s.push_str(
-                                std::str::from_utf8(&b[pos..(pos + len).min(b.len())])
-                                    .map_err(|_| LexError {
-                                        offset: pos,
-                                        message: "invalid utf-8".into(),
-                                    })?,
+                                std::str::from_utf8(&b[pos..(pos + len).min(b.len())]).map_err(
+                                    |_| LexError { offset: pos, message: "invalid utf-8".into() },
+                                )?,
                             );
                             pos += len;
                         }
@@ -307,10 +305,7 @@ mod tests {
     #[test]
     fn numbers_and_strings() {
         let toks = lex("42 3.25 'it''s'").unwrap();
-        assert_eq!(
-            toks,
-            vec![Token::Int(42), Token::Float(3.25), Token::Str("it's".into())]
-        );
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(3.25), Token::Str("it's".into())]);
     }
 
     #[test]
@@ -338,10 +333,7 @@ mod tests {
     #[test]
     fn identifiers_keep_case_and_allow_dots() {
         let toks = lex("Load sys$agg.reps").unwrap();
-        assert_eq!(
-            toks,
-            vec![Token::Ident("Load".into()), Token::Ident("sys$agg.reps".into())]
-        );
+        assert_eq!(toks, vec![Token::Ident("Load".into()), Token::Ident("sys$agg.reps".into())]);
     }
 
     #[test]

@@ -301,11 +301,15 @@ fn check_agg_arity(func: AggFn, n: usize) -> Result<(), ParseAggError> {
     if ok {
         Ok(())
     } else {
-        Err(syntax(format!("{} takes {} argument(s), got {n}", func.name(), match func {
-            AggFn::Count => "0",
-            AggFn::RepSel => "3",
-            _ => "1",
-        })))
+        Err(syntax(format!(
+            "{} takes {} argument(s), got {n}",
+            func.name(),
+            match func {
+                AggFn::Count => "0",
+                AggFn::RepSel => "3",
+                _ => "1",
+            }
+        )))
     }
 }
 
@@ -329,8 +333,7 @@ mod tests {
 
     #[test]
     fn parses_where_clause_with_precedence() {
-        let p = parse_program("SELECT COUNT() AS n WHERE a + 2 * b >= 10 AND NOT c = 'x'")
-            .unwrap();
+        let p = parse_program("SELECT COUNT() AS n WHERE a + 2 * b >= 10 AND NOT c = 'x'").unwrap();
         let w = p.filter.unwrap().to_string();
         assert_eq!(w, "(((a + (2 * b)) >= 10) AND (NOT (c = 'x')))");
     }

@@ -83,8 +83,11 @@ mod proptests {
     use std::sync::Arc;
 
     fn arb_stamp() -> impl Strategy<Value = Stamp> {
-        (0u64..1000, 0u64..50, 0u32..8)
-            .prop_map(|(t, v, o)| Stamp { issued_us: t, version: v, origin: o })
+        (0u64..1000, 0u64..50, 0u32..8).prop_map(|(t, v, o)| Stamp {
+            issued_us: t,
+            version: v,
+            origin: o,
+        })
     }
 
     fn arb_row() -> impl Strategy<Value = (u16, Arc<Mib>)> {

@@ -37,7 +37,9 @@ pub fn management_aggregations() -> Vec<AggSpec> {
         AggSpec::new("mgmt-paths", format!("SELECT SUM({ATTR_PATHS}) AS {ATTR_PATHS}")),
         AggSpec::new(
             "mgmt-bw",
-            format!("SELECT MIN({ATTR_BANDWIDTH}) AS {ATTR_BANDWIDTH}, MAX({ATTR_BANDWIDTH}) AS bw_max"),
+            format!(
+                "SELECT MIN({ATTR_BANDWIDTH}) AS {ATTR_BANDWIDTH}, MAX({ATTR_BANDWIDTH}) AS bw_max"
+            ),
         ),
     ]
 }

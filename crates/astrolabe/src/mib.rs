@@ -68,10 +68,7 @@ impl Mib {
 
     /// Attribute lookup.
     pub fn get(&self, name: &str) -> Option<&AttrValue> {
-        self.attrs
-            .binary_search_by(|(n, _)| n.as_ref().cmp(name))
-            .ok()
-            .map(|i| &self.attrs[i].1)
+        self.attrs.binary_search_by(|(n, _)| n.as_ref().cmp(name)).ok().map(|i| &self.attrs[i].1)
     }
 
     /// All attributes, sorted by name.
@@ -169,10 +166,7 @@ mod tests {
     fn row_sorted_lookup() {
         let row = Mib::new(
             stamp(0, 0, 0),
-            vec![
-                (Arc::from("zeta"), AttrValue::Int(1)),
-                (Arc::from("alpha"), AttrValue::Int(2)),
-            ],
+            vec![(Arc::from("zeta"), AttrValue::Int(1)), (Arc::from("alpha"), AttrValue::Int(2))],
         );
         assert_eq!(row.get("alpha"), Some(&AttrValue::Int(2)));
         assert_eq!(row.get("zeta"), Some(&AttrValue::Int(1)));
@@ -184,10 +178,7 @@ mod tests {
     fn duplicate_names_later_wins() {
         let row = Mib::new(
             stamp(0, 0, 0),
-            vec![
-                (Arc::from("x"), AttrValue::Int(1)),
-                (Arc::from("x"), AttrValue::Int(2)),
-            ],
+            vec![(Arc::from("x"), AttrValue::Int(1)), (Arc::from("x"), AttrValue::Int(2))],
         );
         assert_eq!(row.len(), 1);
         assert_eq!(row.get("x"), Some(&AttrValue::Int(2)));
@@ -195,11 +186,8 @@ mod tests {
 
     #[test]
     fn builder_replaces() {
-        let row = MibBuilder::new()
-            .attr("a", 1i64)
-            .attr("a", 2i64)
-            .attr("b", "s")
-            .build(stamp(5, 1, 3));
+        let row =
+            MibBuilder::new().attr("a", 1i64).attr("a", 2i64).attr("b", "s").build(stamp(5, 1, 3));
         assert_eq!(row.get("a"), Some(&AttrValue::Int(2)));
         assert_eq!(row.len(), 2);
         assert_eq!(row.stamp, stamp(5, 1, 3));
@@ -217,7 +205,8 @@ mod tests {
     #[test]
     fn wire_size_grows_with_attrs() {
         let small = MibBuilder::new().build(stamp(0, 0, 0));
-        let big = MibBuilder::new().attr("subs", AttrValue::Bytes(vec![0; 128])).build(stamp(0, 0, 0));
+        let big =
+            MibBuilder::new().attr("subs", AttrValue::Bytes(vec![0; 128])).build(stamp(0, 0, 0));
         assert!(big.wire_size() > small.wire_size() + 128);
     }
 }

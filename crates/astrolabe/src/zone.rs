@@ -254,13 +254,9 @@ impl ZoneLayout {
     pub fn occupied_children(&self, zone: &ZoneId) -> Vec<u16> {
         if zone.depth() >= self.levels {
             // Children of a leaf zone are member slots.
-            return (0..self.branching)
-                .filter(|&s| self.agent_at(zone, s).is_some())
-                .collect();
+            return (0..self.branching).filter(|&s| self.agent_at(zone, s).is_some()).collect();
         }
-        (0..self.branching)
-            .filter(|&c| !self.agents_under(&zone.child(c)).is_empty())
-            .collect()
+        (0..self.branching).filter(|&c| !self.agents_under(&zone.child(c)).is_empty()).collect()
     }
 }
 

@@ -183,7 +183,7 @@ fn zoned_wan_latency_model_still_converges() {
             inter: (SimDuration::from_millis(100), SimDuration::from_millis(300)),
         },
         drop_prob: 0.0,
-        partition: None,
+        ..NetworkModel::default()
     };
     let (mut sim, _) = build_sim(40, 4, net, 41);
     sim.run_until(SimTime::from_secs(60));

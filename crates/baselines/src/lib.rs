@@ -21,4 +21,6 @@ mod frontpage;
 mod web;
 
 pub use frontpage::{simulate_polling, FrontPage, RedundancyReport};
-pub use web::{AttackClient, ClientStats, FetchMode, ServerStats, WebClient, WebMsg, WebNode, WebServer};
+pub use web::{
+    AttackClient, ClientStats, FetchMode, ServerStats, WebClient, WebMsg, WebNode, WebServer,
+};

@@ -291,9 +291,8 @@ impl Node for WebNode {
                 ctx.set_timer(first, POLL_TIMER);
             }
             WebNode::Attacker(a) => {
-                let first = SimDuration::from_micros(
-                    ctx.rng().gen_range(0..a.interval.as_micros().max(1)),
-                );
+                let first =
+                    SimDuration::from_micros(ctx.rng().gen_range(0..a.interval.as_micros().max(1)));
                 ctx.set_timer(first, ATTACK_TIMER);
             }
         }
@@ -462,8 +461,7 @@ mod tests {
         let mut cond = sim_with_server(1, FetchMode::Conditional, SimDuration::from_secs(5), 2);
         publish(&mut cond, 0, 1);
         cond.run_until(SimTime::from_secs(200));
-        let (WebNode::Client(f), WebNode::Client(c)) =
-            (full.node(NodeId(1)), cond.node(NodeId(1)))
+        let (WebNode::Client(f), WebNode::Client(c)) = (full.node(NodeId(1)), cond.node(NodeId(1)))
         else {
             panic!()
         };
@@ -519,17 +517,13 @@ mod tests {
             timeouts += c.stats.timeouts;
             fetches += c.stats.fetches;
         }
-        assert!(
-            timeouts as f64 > 0.5 * fetches as f64,
-            "timeouts {timeouts} of {fetches} fetches"
-        );
+        assert!(timeouts as f64 > 0.5 * fetches as f64, "timeouts {timeouts} of {fetches} fetches");
     }
 
     #[test]
     fn push_server_cost_scales_with_subscribers() {
         let mut sim = Simulation::new(NetworkModel::ideal(SimDuration::from_millis(10)), 5);
-        let mut server =
-            WebServer::new(15, 300, 1_500, SimDuration::from_micros(200), 100_000);
+        let mut server = WebServer::new(15, 300, 1_500, SimDuration::from_micros(200), 100_000);
         server.push_subscribers = (1..=50).collect();
         sim.add_node(WebNode::Server(server));
         for _ in 0..50 {

@@ -167,13 +167,24 @@ struct Ring {
 impl Node for Ring {
     type Msg = Vec<u8>;
     fn on_start(&mut self, _ctx: &mut simnet::Context<'_, Vec<u8>>) {}
-    fn on_message(&mut self, ctx: &mut simnet::Context<'_, Vec<u8>>, _from: NodeId, mut m: Vec<u8>) {
+    fn on_message(
+        &mut self,
+        ctx: &mut simnet::Context<'_, Vec<u8>>,
+        _from: NodeId,
+        mut m: Vec<u8>,
+    ) {
         if m[0] > 0 {
             m[0] -= 1;
             ctx.send(self.next, m);
         }
     }
-    fn on_timer(&mut self, _ctx: &mut simnet::Context<'_, Vec<u8>>, _t: simnet::TimerId, _tag: u64) {}
+    fn on_timer(
+        &mut self,
+        _ctx: &mut simnet::Context<'_, Vec<u8>>,
+        _t: simnet::TimerId,
+        _tag: u64,
+    ) {
+    }
 }
 
 fn bench_simnet(c: &mut Criterion) {

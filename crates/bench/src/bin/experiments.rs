@@ -1,7 +1,7 @@
 //! The experiment runner: regenerates every table of the reproduction.
 //!
 //! ```text
-//! cargo run -p bench --release --bin experiments              # all of E1–E12
+//! cargo run -p bench --release --bin experiments              # all of E1–E13 + A1
 //! cargo run -p bench --release --bin experiments -- e3 e5     # a subset
 //! cargo run -p bench --release --bin experiments -- --quick   # smaller sizes
 //! ```
@@ -11,11 +11,8 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let requested: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let requested: Vec<String> =
+        args.iter().filter(|a| !a.starts_with('-')).map(|a| a.to_lowercase()).collect();
     let ids: Vec<&str> = if requested.is_empty() {
         bench::ALL.to_vec()
     } else {

@@ -77,7 +77,10 @@ fn run_model(n: u32, model: Model, seed: u64) -> Outcome {
         d.sim.node_mut(NodeId(i)).set_subscription(sub);
         if model == Model::Flood {
             let bits = filters::BitArray::from_bytes(1024, &[0xFF; 128]);
-            d.sim.node_mut(NodeId(i)).agent.set_local_attr("subs", astrolabe::AttrValue::Bits(bits));
+            d.sim
+                .node_mut(NodeId(i))
+                .agent
+                .set_local_attr("subs", astrolabe::AttrValue::Bits(bits));
         }
     }
 
@@ -97,8 +100,7 @@ fn run_model(n: u32, model: Model, seed: u64) -> Outcome {
         d.publish(t0 + SimDuration::from_secs(seq * 2), item);
     }
     d.sim.run_for(SimDuration::from_secs(ITEMS * 2));
-    let publish_msgs =
-        (d.sim.total_counters().msgs_sent - before).saturating_sub(gossip_baseline);
+    let publish_msgs = (d.sim.total_counters().msgs_sent - before).saturating_sub(gossip_baseline);
 
     // Wanted = arrivals whose topic the user asked for; unwanted = items
     // that reached the node's cache/application without being wanted.

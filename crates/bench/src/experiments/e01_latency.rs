@@ -34,7 +34,15 @@ pub(crate) fn run(quick: bool) {
         let mut lat = d.delivery_latency_summary();
         let levels = d.layout.levels() + 1;
         if lat.is_empty() {
-            table.row(&[n.to_string(), levels.to_string(), items.to_string(), "0".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(&[
+                n.to_string(),
+                levels.to_string(),
+                items.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         table.row(&[

@@ -49,7 +49,11 @@ fn push_publisher_bytes(n: u32) -> u64 {
         sim.add_node(WebNode::PushSubscriber(ClientStats::default()));
     }
     for s in 0..ITEMS {
-        sim.schedule_external(SimTime::from_secs(1 + s), NodeId(0), WebMsg::PublishStory { story: s });
+        sim.schedule_external(
+            SimTime::from_secs(1 + s),
+            NodeId(0),
+            WebMsg::PublishStory { story: s },
+        );
     }
     sim.run_until(SimTime::from_secs(600));
     sim.counters(NodeId(0)).bytes_sent / ITEMS

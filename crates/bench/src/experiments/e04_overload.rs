@@ -48,7 +48,11 @@ fn central_under_attack(attack_rps: u64, seed: u64) -> (f64, f64) {
         }
     }
     for s in 0..30 {
-        sim.schedule_external(SimTime::from_secs(s * 2), NodeId(0), WebMsg::PublishStory { story: s });
+        sim.schedule_external(
+            SimTime::from_secs(s * 2),
+            NodeId(0),
+            WebMsg::PublishStory { story: s },
+        );
     }
     sim.run_until(SimTime::from_secs(120));
     let (mut fetches, mut timeouts) = (0u64, 0u64);

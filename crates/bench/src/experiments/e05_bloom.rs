@@ -87,13 +87,7 @@ pub(crate) fn run(quick: bool) {
     let pop = build_population(n_subs, 0xE5);
     let mut table = Table::new(
         "E5 — false-positive forwarding rate vs Bloom array size",
-        &[
-            "bits",
-            "fill@zone64",
-            "FP% @zone64",
-            "fill@zone4096",
-            "FP% @zone4096",
-        ],
+        &["bits", "fill@zone64", "FP% @zone64", "fill@zone4096", "FP% @zone4096"],
     );
     for m in [256usize, 512, 1_024, 2_048, 4_096, 8_192, 16_384] {
         let (fp64, fill64) = zone_fp_rate(&pop, m, 64, 0xE5);

@@ -10,7 +10,7 @@
 //! visible in the root summaries everywhere (the path a new subscription
 //! takes before items start flowing).
 
-use astrolabe::{AggSpec, Agent, AstroNode, AttrValue, Config, ZoneLayout};
+use astrolabe::{Agent, AggSpec, AstroNode, AttrValue, Config, ZoneLayout};
 use rand::Rng;
 use simnet::{fork, NetworkModel, NodeId, SimDuration, SimTime, Simulation};
 
@@ -24,8 +24,7 @@ fn build(n: u32, branching: u16, seed: u64) -> Simulation<AstroNode> {
     let mut contact_rng = fork(seed, 99);
     let mut sim = Simulation::new(NetworkModel::default(), seed);
     for i in 0..n {
-        let contacts: Vec<u32> =
-            (0..3).map(|_| contact_rng.gen_range(0..n)).collect();
+        let contacts: Vec<u32> = (0..3).map(|_| contact_rng.gen_range(0..n)).collect();
         sim.add_node(AstroNode::new(Agent::new(i, &layout, config.clone(), contacts)));
     }
     sim

@@ -11,6 +11,8 @@
 //! work k costs. Cache repair is *not* running here — this isolates the
 //! first-pass tree robustness.
 
+use std::collections::HashSet;
+
 use amcast::{FilterSpec, McastConfig, McastData, McastMsg, McastNode};
 use astrolabe::{Agent, Config, ZoneId, ZoneLayout};
 use bytes::Bytes;
@@ -40,10 +42,13 @@ fn run_point(n: u32, fail_pct: u32, k: usize, seed: u64) -> (f64, f64) {
     let mut sim = build(n, k, seed);
     sim.run_until(SimTime::from_secs(60));
     let mut victim_rng = fork(seed, 7);
+    // Vec keeps the crash schedule in draw order (deterministic); the set
+    // makes dedup and the survivor scan O(1) per probe instead of O(n).
     let mut victims: Vec<u32> = Vec::new();
+    let mut victim_set: HashSet<u32> = HashSet::new();
     while (victims.len() as u32) < n * fail_pct / 100 {
         let v = victim_rng.gen_range(1..n); // node 0 stays (origin)
-        if !victims.contains(&v) {
+        if victim_set.insert(v) {
             victims.push(v);
         }
     }
@@ -66,7 +71,7 @@ fn run_point(n: u32, fail_pct: u32, k: usize, seed: u64) -> (f64, f64) {
         );
     }
     sim.run_until(SimTime::from_secs(75));
-    let live: Vec<u32> = (0..n).filter(|i| !victims.contains(i)).collect();
+    let live: Vec<u32> = (0..n).filter(|i| !victim_set.contains(i)).collect();
     let mut delivered = 0u64;
     let mut dups = 0u64;
     for &i in &live {

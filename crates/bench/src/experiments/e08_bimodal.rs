@@ -46,10 +46,7 @@ fn pbcast_ratios(n: u32, loss: f64, repair: bool, seed: u64) -> Vec<f64> {
     let mut net = NetworkModel::ideal(SimDuration::from_millis(15));
     net.drop_prob = loss;
     let membership: Vec<u32> = (0..n).collect();
-    let cfg = PbcastConfig {
-        fanout: if repair { 2 } else { 0 },
-        ..PbcastConfig::default()
-    };
+    let cfg = PbcastConfig { fanout: if repair { 2 } else { 0 }, ..PbcastConfig::default() };
     let mut sim = Simulation::new(net, seed);
     for _ in 0..n {
         sim.add_node(PbcastNode::new(membership.clone(), cfg.clone()));
@@ -57,10 +54,11 @@ fn pbcast_ratios(n: u32, loss: f64, repair: bool, seed: u64) -> Vec<f64> {
     let mut ratios = Vec::new();
     for m in 0..MCASTS {
         let at = SimTime::from_secs(1 + m * HORIZON_S);
-        sim.schedule_external(at, NodeId((m % u64::from(n)) as u32), PbcastMsg::Publish {
-            id: m,
-            len: 256,
-        });
+        sim.schedule_external(
+            at,
+            NodeId((m % u64::from(n)) as u32),
+            PbcastMsg::Publish { id: m, len: 256 },
+        );
         sim.run_until(at + SimDuration::from_secs(HORIZON_S));
         let got = sim.iter().filter(|(_, node)| node.has_delivered(m)).count();
         ratios.push(got as f64 / f64::from(n));

@@ -100,7 +100,13 @@ pub(crate) fn run(quick: bool) {
 
     let mut table = Table::new(
         "E9 — root-scoped vs zone-scoped publishing (5 items, publisher outside the zone)",
-        &["scope", "nodes in scope", "delivered in", "delivered out", "publish msgs (gossip-corrected)"],
+        &[
+            "scope",
+            "nodes in scope",
+            "delivered in",
+            "delivered out",
+            "publish msgs (gossip-corrected)",
+        ],
     );
     table.row(&[
         "/ (root)".to_string(),

@@ -29,8 +29,7 @@ struct Outcome {
 fn simulate(strategy: Strategy, weighted: bool, seed: u64, horizon_s: f64) -> Outcome {
     let mut rng = fork(seed, strategy as u64 + u64::from(weighted) * 10);
     let mut q: ForwardingQueues<()> = ForwardingQueues::new(strategy);
-    let children: [(u16, f64); 5] =
-        [(0, 100.0), (1, 10.0), (2, 10.0), (3, 10.0), (4, 10.0)]; // arrivals/s
+    let children: [(u16, f64); 5] = [(0, 100.0), (1, 10.0), (2, 10.0), (3, 10.0), (4, 10.0)]; // arrivals/s
     for (c, rate) in children {
         q.declare_child(c, if weighted { rate as u32 } else { 1 });
     }
@@ -93,14 +92,7 @@ pub(crate) fn run(quick: bool) {
     let horizon = if quick { 60.0 } else { 300.0 };
     let mut table = Table::new(
         "E10 — queueing delay by service strategy (hot child at 10x load, 85% utilization)",
-        &[
-            "strategy",
-            "hot p50 ms",
-            "hot p99 ms",
-            "quiet p50 ms",
-            "quiet p99 ms",
-            "urgent p99 ms",
-        ],
+        &["strategy", "hot p50 ms", "hot p99 ms", "quiet p50 ms", "quiet p99 ms", "urgent p99 ms"],
     );
     for (name, strategy, weighted) in [
         ("fifo", Strategy::Fifo, false),

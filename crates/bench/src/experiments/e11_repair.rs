@@ -26,9 +26,9 @@ fn deployment(n: u32, repair: bool, seed: u64) -> newswire::Deployment {
     newswire::DeploymentBuilder::new(n, seed)
         .branching(8)
         .config(config)
-        .publisher(newswire::PublisherSpec::global(
-            newsml::PublisherProfile::slashdot(PublisherId(0)),
-        ))
+        .publisher(newswire::PublisherSpec::global(newsml::PublisherProfile::slashdot(
+            PublisherId(0),
+        )))
         .cats_per_subscriber(2)
         .wan(0.05)
         .build()
@@ -105,8 +105,7 @@ fn run_joiner(n: u32, seed: u64) -> (usize, usize) {
     let missed = items.iter().filter(|i| !d.sim.node(victim).has_item(i.id)).count();
     d.sim.schedule_recover(d.sim.now() + SimDuration::from_secs(1), victim);
     d.settle(120);
-    let recovered =
-        items.iter().filter(|i| d.sim.node(victim).has_item(i.id)).count();
+    let recovered = items.iter().filter(|i| d.sim.node(victim).has_item(i.id)).count();
     (missed, recovered)
 }
 

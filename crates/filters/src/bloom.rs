@@ -178,10 +178,8 @@ mod tests {
         for i in 0..n {
             f.insert(&format!("key-{i}"));
         }
-        let fp = (0..10_000)
-            .filter(|i| f.contains(&format!("absent-{i}")))
-            .count() as f64
-            / 10_000.0;
+        let fp =
+            (0..10_000).filter(|i| f.contains(&format!("absent-{i}"))).count() as f64 / 10_000.0;
         assert!(fp < 0.03, "observed FPR {fp}");
         assert!(f.expected_fpr() < 0.03);
     }

@@ -154,16 +154,50 @@ pub struct PublishEvent {
 }
 
 const HEADLINE_SUBJECTS: &[&str] = &[
-    "Kernel", "Senate", "Markets", "Researchers", "Outage", "Merger", "Protocol", "Satellite",
-    "Vaccine", "Tournament", "Studio", "Regulator", "Startup", "Exploit", "Archive",
+    "Kernel",
+    "Senate",
+    "Markets",
+    "Researchers",
+    "Outage",
+    "Merger",
+    "Protocol",
+    "Satellite",
+    "Vaccine",
+    "Tournament",
+    "Studio",
+    "Regulator",
+    "Startup",
+    "Exploit",
+    "Archive",
 ];
 const HEADLINE_VERBS: &[&str] = &[
-    "ships", "debates", "rally", "discover", "disrupts", "approved", "standardized", "launched",
-    "trialled", "postponed", "acquired", "fined", "funded", "patched", "restored",
+    "ships",
+    "debates",
+    "rally",
+    "discover",
+    "disrupts",
+    "approved",
+    "standardized",
+    "launched",
+    "trialled",
+    "postponed",
+    "acquired",
+    "fined",
+    "funded",
+    "patched",
+    "restored",
 ];
 const HEADLINE_OBJECTS: &[&str] = &[
-    "overnight", "after review", "in Asia", "across Europe", "amid criticism", "at record pace",
-    "for developers", "under new rules", "despite warnings", "to wide acclaim",
+    "overnight",
+    "after review",
+    "in Asia",
+    "across Europe",
+    "amid criticism",
+    "at record pace",
+    "for developers",
+    "under new rules",
+    "despite warnings",
+    "to wide acclaim",
 ];
 
 /// Exponential inter-arrival sample with the given mean, clamped above zero.
@@ -234,11 +268,8 @@ impl TraceGenerator {
                 // Thinning: draw at the peak rate, then accept with the
                 // current intensity — a standard non-homogeneous Poisson
                 // sampler that preserves the daily mean.
-                let gap = if profile.diurnal {
-                    exp(rng, mean_gap_s / 1.8)
-                } else {
-                    exp(rng, mean_gap_s)
-                };
+                let gap =
+                    if profile.diurnal { exp(rng, mean_gap_s / 1.8) } else { exp(rng, mean_gap_s) };
                 t_us = t_us.saturating_add((gap * 1e6) as u64);
                 if t_us >= horizon_us {
                     break;
@@ -376,8 +407,7 @@ mod tests {
         let night = diurnal_intensity(2 * 3_600_000_000);
         assert!(noon_ish > 1.7, "peak {noon_ish}");
         assert!(night < 0.3, "trough {night}");
-        let mean: f64 =
-            (0..24).map(|h| diurnal_intensity(h * 3_600_000_000)).sum::<f64>() / 24.0;
+        let mean: f64 = (0..24).map(|h| diurnal_intensity(h * 3_600_000_000)).sum::<f64>() / 24.0;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 

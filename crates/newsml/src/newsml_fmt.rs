@@ -77,7 +77,9 @@ pub fn to_newsml(item: &NewsItem) -> Element {
         .with_child(Element::new("urgency").with_text(item.urgency.to_string()));
     if let Some(sup) = item.supersedes {
         item_meta = item_meta.with_child(
-            Element::new("link").with_attr("rel", "supersedes").with_attr("residref", sup.to_string()),
+            Element::new("link")
+                .with_attr("rel", "supersedes")
+                .with_attr("residref", sup.to_string()),
         );
     }
 
@@ -136,11 +138,8 @@ pub fn from_newsml(root: &Element) -> Result<NewsItem, ParseNewsmlError> {
         return Err(shape(format!("root is <{}>, expected <newsItem>", root.name)));
     }
     let id = parse_guid(root.attr("guid").ok_or_else(|| shape("missing guid"))?)?;
-    let revision: u32 = root
-        .attr("version")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| shape("bad version"))?;
+    let revision: u32 =
+        root.attr("version").unwrap_or("0").parse().map_err(|_| shape("bad version"))?;
 
     let item_meta = root.child("itemMeta").ok_or_else(|| shape("missing <itemMeta>"))?;
     let issued_us: u64 = item_meta
@@ -165,8 +164,7 @@ pub fn from_newsml(root: &Element) -> Result<NewsItem, ParseNewsmlError> {
         .map(parse_guid)
         .transpose()?;
 
-    let content_meta =
-        root.child("contentMeta").ok_or_else(|| shape("missing <contentMeta>"))?;
+    let content_meta = root.child("contentMeta").ok_or_else(|| shape("missing <contentMeta>"))?;
     let headline = content_meta.child("headline").map(|h| h.text()).unwrap_or_default();
     let slug = content_meta.child("slugline").map(|s| s.text()).unwrap_or_default();
 
@@ -181,8 +179,8 @@ pub fn from_newsml(root: &Element) -> Result<NewsItem, ParseNewsmlError> {
         let qcode = subj.attr("qcode").ok_or_else(|| shape("subject missing qcode"))?;
         match qcode.split_once(':') {
             Some(("cat", name)) => {
-                builder = builder
-                    .category(name.parse::<Category>().map_err(|e| shape(e.to_string()))?);
+                builder =
+                    builder.category(name.parse::<Category>().map_err(|e| shape(e.to_string()))?);
             }
             Some(("subj", code)) => {
                 builder =

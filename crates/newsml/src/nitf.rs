@@ -105,18 +105,14 @@ pub fn to_nitf(item: &NewsItem) -> Element {
     }
     docdata = docdata.with_child(content);
 
-    Element::new("nitf")
-        .with_child(Element::new("head").with_child(docdata))
-        .with_child(
-            Element::new("body")
-                .with_child(
-                    Element::new("hedline")
-                        .with_child(Element::new("hl1").with_text(item.headline.clone())),
-                )
-                .with_child(
-                    Element::new("body.content").with_attr("bytes", item.body_len.to_string()),
-                ),
-        )
+    Element::new("nitf").with_child(Element::new("head").with_child(docdata)).with_child(
+        Element::new("body")
+            .with_child(
+                Element::new("hedline")
+                    .with_child(Element::new("hl1").with_text(item.headline.clone())),
+            )
+            .with_child(Element::new("body.content").with_attr("bytes", item.body_len.to_string())),
+    )
 }
 
 /// Encodes a news item as a NITF XML string.
@@ -147,8 +143,7 @@ pub fn from_nitf(root: &Element) -> Result<NewsItem, ParseNitfError> {
         .and_then(|h| h.child("docdata"))
         .ok_or_else(|| shape("missing <head>/<docdata>"))?;
     let doc_id = docdata.child("doc-id").ok_or_else(|| shape("missing <doc-id>"))?;
-    let id =
-        parse_item_id(doc_id.attr("id-string").ok_or_else(|| shape("missing id-string"))?)?;
+    let id = parse_item_id(doc_id.attr("id-string").ok_or_else(|| shape("missing id-string"))?)?;
 
     let urgency = match docdata.child("urgency").and_then(|u| u.attr("ed-urg")) {
         Some(v) => {
@@ -193,9 +188,9 @@ pub fn from_nitf(root: &Element) -> Result<NewsItem, ParseNitfError> {
         for cl in content.children_named("classifier") {
             let value = cl.attr("value").ok_or_else(|| shape("classifier missing value"))?;
             match cl.attr("type") {
-                Some("category") => categories.push(
-                    value.parse::<Category>().map_err(|e| shape(e.to_string()))?,
-                ),
+                Some("category") => {
+                    categories.push(value.parse::<Category>().map_err(|e| shape(e.to_string()))?)
+                }
                 Some("subject") => {
                     subjects.push(value.parse::<Subject>().map_err(|e| shape(e.to_string()))?)
                 }
@@ -211,11 +206,8 @@ pub fn from_nitf(root: &Element) -> Result<NewsItem, ParseNitfError> {
     }
 
     let body = root.child("body").ok_or_else(|| shape("missing <body>"))?;
-    let headline = body
-        .child("hedline")
-        .and_then(|h| h.child("hl1"))
-        .map(|h| h.text())
-        .unwrap_or_default();
+    let headline =
+        body.child("hedline").and_then(|h| h.child("hl1")).map(|h| h.text()).unwrap_or_default();
     let body_len = body
         .child("body.content")
         .and_then(|b| b.attr("bytes"))

@@ -252,7 +252,8 @@ impl<'a> Parser<'a> {
 
     fn parse_entity(&mut self) -> Result<char, ParseXmlError> {
         // self.pos points at '&'
-        let semi = find_from(self.bytes, self.pos, b";").ok_or_else(|| self.err("unterminated entity"))?;
+        let semi =
+            find_from(self.bytes, self.pos, b";").ok_or_else(|| self.err("unterminated entity"))?;
         let ent = &self.bytes[self.pos + 1..semi];
         let c = match ent {
             b"lt" => '<',

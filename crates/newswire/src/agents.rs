@@ -38,8 +38,8 @@ pub struct RssChannel {
 impl RssChannel {
     /// Serializes the channel to RSS XML.
     pub fn to_xml(&self) -> String {
-        let mut channel = Element::new("channel")
-            .with_child(Element::new("title").with_text(self.title.clone()));
+        let mut channel =
+            Element::new("channel").with_child(Element::new("title").with_text(self.title.clone()));
         for e in &self.entries {
             let mut item = Element::new("item")
                 .with_child(Element::new("title").with_text(e.title.clone()))
@@ -62,8 +62,7 @@ impl RssChannel {
     /// channel.
     pub fn from_xml(xml: &str) -> Result<RssChannel, ParseXmlError> {
         let root = parse(xml)?;
-        let shape =
-            |m: &str| ParseXmlError { offset: 0, message: m.to_owned() };
+        let shape = |m: &str| ParseXmlError { offset: 0, message: m.to_owned() };
         if root.name != "rss" {
             return Err(shape("root element is not <rss>"));
         }

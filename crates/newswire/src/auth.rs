@@ -164,7 +164,14 @@ mod tests {
         let sig = cred.sign(&it);
         let mut tampered = it.clone();
         tampered.headline = "FAKE: markets collapse".into();
-        assert!(!verify_item(&reg, &cred.certificate, &tampered, &ZoneId::root(), cred.key_id(), sig));
+        assert!(!verify_item(
+            &reg,
+            &cred.certificate,
+            &tampered,
+            &ZoneId::root(),
+            cred.key_id(),
+            sig
+        ));
     }
 
     #[test]
@@ -175,7 +182,14 @@ mod tests {
         let mallory = issue_publisher(&mut reg, PublisherId(9), "mallory", &ZoneId::root(), 600);
         let it = item(); // publisher 4
         let sig = mallory.sign(&it);
-        assert!(!verify_item(&reg, &mallory.certificate, &it, &ZoneId::root(), mallory.key_id(), sig));
+        assert!(!verify_item(
+            &reg,
+            &mallory.certificate,
+            &it,
+            &ZoneId::root(),
+            mallory.key_id(),
+            sig
+        ));
     }
 
     #[test]
@@ -199,7 +213,14 @@ mod tests {
         let other_reg = TrustRegistry::new(999);
         let it = item();
         let sig = cred.sign(&it);
-        assert!(!verify_item(&other_reg, &cred.certificate, &it, &ZoneId::root(), cred.key_id(), sig));
+        assert!(!verify_item(
+            &other_reg,
+            &cred.certificate,
+            &it,
+            &ZoneId::root(),
+            cred.key_id(),
+            sig
+        ));
     }
 
     #[test]

@@ -276,7 +276,11 @@ mod tests {
         }
         let snap = c.snapshot(3);
         assert_eq!(snap.len(), 3);
-        assert!(snap.iter().all(|i| i.id.seq >= 7), "{:?}", snap.iter().map(|i| i.id.seq).collect::<Vec<_>>());
+        assert!(
+            snap.iter().all(|i| i.id.seq >= 7),
+            "{:?}",
+            snap.iter().map(|i| i.id.seq).collect::<Vec<_>>()
+        );
     }
 
     #[test]

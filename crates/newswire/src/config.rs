@@ -58,6 +58,24 @@ pub struct NewsWireConfig {
     pub repair_batch: usize,
     /// Whether forwarders verify publisher signatures (§8).
     pub verify_signatures: bool,
+    /// Base timeout for acknowledged tree hand-offs: a forwarder arms a
+    /// timer per `Forward` it transmits and, absent a `ForwardAck`, retries
+    /// with exponential backoff before failing over to another
+    /// representative. `None` restores the seed's unacknowledged hand-offs
+    /// (a slow-but-alive representative silently blackholes its subtree
+    /// until anti-entropy catches it).
+    pub ack_timeout: Option<SimDuration>,
+    /// Retries against the *same* representative before failing over.
+    pub ack_retries: u32,
+    /// Backoff multiplier applied to `ack_timeout` per retry.
+    pub ack_backoff: u32,
+    /// Alternative representatives tried after retries are exhausted;
+    /// beyond this the hand-off is abandoned to anti-entropy repair.
+    pub ack_max_failovers: u32,
+    /// Timeout on repair replies: absent a `RepairReply`, re-target a
+    /// different peer instead of idling a full `repair_interval`.
+    /// `None` disables re-targeting.
+    pub repair_reply_timeout: Option<SimDuration>,
 }
 
 impl NewsWireConfig {
@@ -74,6 +92,11 @@ impl NewsWireConfig {
             repair_interval: Some(SimDuration::from_secs(10)),
             repair_batch: 64,
             verify_signatures: true,
+            ack_timeout: Some(SimDuration::from_secs(2)),
+            ack_retries: 1,
+            ack_backoff: 2,
+            ack_max_failovers: 2,
+            repair_reply_timeout: Some(SimDuration::from_secs(3)),
         }
     }
 
@@ -141,8 +164,8 @@ mod tests {
 
     #[test]
     fn mask_aggregations_per_publisher() {
-        let cfg = NewsWireConfig::prototype_masks()
-            .astrolabe_config(&[PublisherId(0), PublisherId(3)]);
+        let cfg =
+            NewsWireConfig::prototype_masks().astrolabe_config(&[PublisherId(0), PublisherId(3)]);
         assert!(cfg.aggregations.iter().any(|a| a.program.contains("ORINT(cats$0)")));
         assert!(cfg.aggregations.iter().any(|a| a.program.contains("ORINT(cats$3)")));
         // All generated programs must compile.

@@ -11,9 +11,7 @@ use astrolabe::{TrustRegistry, ZoneId, ZoneLayout};
 use newsml::{Category, NewsItem, PublisherId, PublisherProfile, Zipf};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use simnet::{
-    fork, LatencyModel, NetworkModel, NodeId, SimDuration, SimTime, Simulation, Summary,
-};
+use simnet::{fork, LatencyModel, NetworkModel, NodeId, SimDuration, SimTime, Simulation, Summary};
 
 use crate::auth::issue_publisher;
 use crate::config::NewsWireConfig;
@@ -150,7 +148,7 @@ impl DeploymentBuilder {
             NetworkModel {
                 latency: LatencyModel::wan_defaults(region_of),
                 drop_prob: self.drop_prob,
-                partition: None,
+                ..NetworkModel::default()
             }
         } else {
             NetworkModel { drop_prob: self.drop_prob, ..NetworkModel::default() }
@@ -162,9 +160,8 @@ impl DeploymentBuilder {
         let mut publishers = Vec::new();
 
         for i in 0..n {
-            let contacts: Vec<u32> = (0..astro_cfg.contact_fanout)
-                .map(|_| contact_rng.gen_range(0..n))
-                .collect();
+            let contacts: Vec<u32> =
+                (0..astro_cfg.contact_fanout).map(|_| contact_rng.gen_range(0..n)).collect();
             let agent = astrolabe::Agent::new(i, &layout, astro_cfg.clone(), contacts);
             let mut node = NewsWireNode::new(agent, self.config.clone(), Arc::clone(&registry));
             if (i as usize) < self.publishers.len() {
@@ -306,20 +303,12 @@ impl Deployment {
 
     /// Nodes whose subscription matches `item` (ground truth, exact).
     pub fn interested_nodes(&self, item: &NewsItem) -> Vec<NodeId> {
-        self.sim
-            .iter()
-            .filter(|(_, n)| n.subscription.matches(item))
-            .map(|(id, _)| id)
-            .collect()
+        self.sim.iter().filter(|(_, n)| n.subscription.matches(item)).map(|(id, _)| id).collect()
     }
 
     /// Nodes that delivered `item` to their application.
     pub fn delivered_nodes(&self, item: &NewsItem) -> Vec<NodeId> {
-        self.sim
-            .iter()
-            .filter(|(_, n)| n.has_item(item.id))
-            .map(|(id, _)| id)
-            .collect()
+        self.sim.iter().filter(|(_, n)| n.has_item(item.id)).map(|(id, _)| id).collect()
     }
 
     /// Publish→delivery latencies (seconds) across all deliveries of all
@@ -349,6 +338,11 @@ impl Deployment {
             t.repairs_served += s.repairs_served;
             t.repair_items_sent += s.repair_items_sent;
             t.forwards_sent += s.forwards_sent;
+            t.acks_received += s.acks_received;
+            t.ack_retries += s.ack_retries;
+            t.ack_failovers += s.ack_failovers;
+            t.handoffs_abandoned += s.handoffs_abandoned;
+            t.repair_retargets += s.repair_retargets;
             t.peak_queue = t.peak_queue.max(s.peak_queue);
         }
         t

@@ -54,6 +54,7 @@ mod config;
 mod deploy;
 mod flow;
 mod node;
+mod oracle;
 mod subscription;
 mod wire;
 pub mod xmlrpc;
@@ -65,6 +66,7 @@ pub use config::{NewsWireConfig, SubscriptionModel};
 pub use deploy::{tech_news_deployment, Deployment, DeploymentBuilder, PublisherSpec};
 pub use flow::TokenBucket;
 pub use node::{DeliveryRecord, NewsWireNode, NodeStats, PublisherState};
+pub use oracle::{check_invariants, OracleReport, Violation};
 pub use subscription::{item_position_groups, ItemRow, Subscription};
 pub use wire::{msg_id_of, Envelope, NewsWireMsg};
 

@@ -10,11 +10,12 @@
 //! [`PublisherCredential`] — the restricted publisher application of §8
 //! (authentication, flow control, scoped publishing).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use amcast::{
-    route, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog, ForwardingQueues,
-    LogRecord,
+    route, zone_reps, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
+    ForwardingQueues, LogRecord,
 };
 use astrolabe::{Agent, TrustRegistry, ZoneId};
 use newsml::{ItemId, NewsItem};
@@ -25,8 +26,8 @@ use simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
 use crate::auth::{verify_item, PublisherCredential};
 use crate::cache::{CacheOutcome, MessageCache};
 use crate::config::{NewsWireConfig, SubscriptionModel};
-use crate::subscription::{item_position_groups, Subscription};
 use crate::flow::TokenBucket;
+use crate::subscription::{item_position_groups, Subscription};
 use crate::wire::{msg_id_of, Envelope, NewsWireMsg};
 
 /// Publisher-side state (present only on publisher nodes).
@@ -85,6 +86,16 @@ pub struct NodeStats {
     pub forwards_sent: u64,
     /// Peak forwarding-queue length.
     pub peak_queue: usize,
+    /// `ForwardAck`s received for pending hand-offs.
+    pub acks_received: u64,
+    /// Hand-offs retransmitted to the same representative after a timeout.
+    pub ack_retries: u64,
+    /// Hand-offs failed over to an alternative representative.
+    pub ack_failovers: u64,
+    /// Hand-offs abandoned to anti-entropy after exhausting failovers.
+    pub handoffs_abandoned: u64,
+    /// Repair requests re-targeted at a new peer after a reply timeout.
+    pub repair_retargets: u64,
 }
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
@@ -93,6 +104,24 @@ pub const DISSEMINATION_PREDICATE: &str = "ds$predicate";
 const GOSSIP_TIMER: u64 = 1;
 const DRAIN_TIMER: u64 = 2;
 const REPAIR_TIMER: u64 = 3;
+const REPAIR_WAIT_TIMER: u64 = 4;
+/// Timer tags at or above this carry a pending hand-off id in the low bits.
+const ACK_TAG_BASE: u64 = 1 << 32;
+
+/// One unacknowledged tree hand-off awaiting its `ForwardAck`.
+#[derive(Debug)]
+struct PendingHandoff {
+    env: Envelope,
+    zone: ZoneId,
+    rep: u32,
+    /// Representatives already attempted (including `rep`).
+    tried: Vec<u32>,
+    /// Timeouts burned against the current representative.
+    attempt: u32,
+    /// Alternative representatives already consumed.
+    failovers: u32,
+    timer: TimerId,
+}
 
 /// A full NewsWire node.
 #[derive(Debug)]
@@ -121,6 +150,13 @@ pub struct NewsWireNode {
     /// the paper's publishers input items but should not also carry the
     /// system's forwarding burden.
     pub load_bias: f64,
+    /// In-flight acknowledged hand-offs, keyed by hand-off id.
+    pending: HashMap<u64, PendingHandoff>,
+    /// Hand-off ids pending per `(msg_id, zone)`: one ack settles them all.
+    ack_index: HashMap<(u64, ZoneId), Vec<u64>>,
+    next_handoff: u64,
+    /// Outstanding repair request: `(peer, reply timer, retargets so far)`.
+    awaiting_repair: Option<(NodeId, TimerId, u32)>,
 }
 
 impl NewsWireNode {
@@ -142,6 +178,10 @@ impl NewsWireNode {
             log: ForwardLog::default(),
             deliveries: Vec::new(),
             load_bias: 0.0,
+            pending: HashMap::new(),
+            ack_index: HashMap::new(),
+            next_handoff: 0,
+            awaiting_repair: None,
         }
     }
 
@@ -219,9 +259,7 @@ impl NewsWireNode {
             }
         }
         match astrolabe::parse_predicate(&src) {
-            Ok(expr) => {
-                astrolabe::eval_predicate(&expr, &LocalAttrs(&self.agent)).unwrap_or(false)
-            }
+            Ok(expr) => astrolabe::eval_predicate(&expr, &LocalAttrs(&self.agent)).unwrap_or(false),
             Err(_) => false,
         }
     }
@@ -325,11 +363,7 @@ impl NewsWireNode {
                         peer: Some(rep),
                         event: ForwardEvent::Forwarded,
                     });
-                    self.enqueue(
-                        ctx,
-                        NodeId(rep),
-                        NewsWireMsg::Forward { env: env.clone(), zone },
-                    );
+                    self.enqueue(ctx, NodeId(rep), NewsWireMsg::Forward { env: env.clone(), zone });
                 }
             }
         }
@@ -429,14 +463,164 @@ impl NewsWireNode {
             for level in 1..self.agent.levels() {
                 for (_, row) in self.agent.table(level).iter() {
                     if let Some(AttrValue::Set(reps)) = row.get("reps") {
-                        candidates
-                            .extend(reps.iter().filter_map(|&r| u32::try_from(r).ok()));
+                        candidates.extend(reps.iter().filter_map(|&r| u32::try_from(r).ok()));
                     }
                 }
             }
         }
         candidates.retain(|&p| p != self.agent.id());
         candidates.as_slice().choose(rng).map(|&p| NodeId(p))
+    }
+
+    /// Registers an acknowledged hand-off of `env`/`zone` to `rep` and arms
+    /// its timeout (exponential in `attempt`). The hand-off id doubles as
+    /// the timer tag (offset by [`ACK_TAG_BASE`]).
+    #[allow(clippy::too_many_arguments)]
+    fn arm_handoff(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        timeout: SimDuration,
+        rep: u32,
+        env: Envelope,
+        zone: ZoneId,
+        tried: Vec<u32>,
+        attempt: u32,
+        failovers: u32,
+    ) {
+        self.next_handoff += 1;
+        let tag = ACK_TAG_BASE + self.next_handoff;
+        let factor = u64::from(self.cfg.ack_backoff.max(1)).pow(attempt);
+        let delay = timeout.checked_mul(factor).unwrap_or(timeout);
+        let timer = ctx.set_timer(delay, tag);
+        self.ack_index.entry((env.msg_id, zone.clone())).or_default().push(tag);
+        self.pending
+            .insert(tag, PendingHandoff { env, zone, rep, tried, attempt, failovers, timer });
+    }
+
+    /// Re-arms an existing hand-off under the same tag after a timeout.
+    fn rearm_handoff(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        timeout: SimDuration,
+        tag: u64,
+        mut handoff: PendingHandoff,
+    ) {
+        let factor = u64::from(self.cfg.ack_backoff.max(1)).pow(handoff.attempt);
+        let delay = timeout.checked_mul(factor).unwrap_or(timeout);
+        handoff.timer = ctx.set_timer(delay, tag);
+        self.pending.insert(tag, handoff);
+    }
+
+    /// Drops `tag` from the `(msg_id, zone)` index.
+    fn unindex_handoff(&mut self, msg_id: u64, zone: &ZoneId, tag: u64) {
+        if let Some(tags) = self.ack_index.get_mut(&(msg_id, zone.clone())) {
+            tags.retain(|&t| t != tag);
+            if tags.is_empty() {
+                self.ack_index.remove(&(msg_id, zone.clone()));
+            }
+        }
+    }
+
+    /// An armed hand-off timed out unacknowledged: retry the same
+    /// representative with backoff, then fail over to an untried one from
+    /// the zone tables, then abandon the hand-off to anti-entropy repair.
+    fn handle_ack_timeout(&mut self, ctx: &mut Context<'_, NewsWireMsg>, tag: u64) {
+        let Some(timeout) = self.cfg.ack_timeout else { return };
+        let Some(mut handoff) = self.pending.remove(&tag) else {
+            return; // acknowledged (or abandoned) before the timer fired
+        };
+        let now_us = ctx.now().as_micros();
+        if handoff.attempt < self.cfg.ack_retries {
+            // Same representative, longer leash.
+            handoff.attempt += 1;
+            self.stats.ack_retries += 1;
+            self.stats.forwards_sent += 1;
+            self.log.record(LogRecord {
+                at_us: now_us,
+                msg_id: handoff.env.msg_id,
+                zone: handoff.zone.clone(),
+                peer: Some(handoff.rep),
+                event: ForwardEvent::AckTimeout,
+            });
+            ctx.send(
+                NodeId(handoff.rep),
+                NewsWireMsg::Forward { env: handoff.env.clone(), zone: handoff.zone.clone() },
+            );
+            self.rearm_handoff(ctx, timeout, tag, handoff);
+            return;
+        }
+        // Retries exhausted: fail over to a representative not yet tried.
+        let next = if handoff.failovers < self.cfg.ack_max_failovers {
+            let mut candidates = zone_reps(&self.agent, &handoff.zone);
+            candidates.retain(|r| !handoff.tried.contains(r) && *r != handoff.rep);
+            candidates.as_slice().choose(ctx.rng()).copied()
+        } else {
+            None
+        };
+        match next {
+            Some(rep) => {
+                handoff.tried.push(handoff.rep);
+                handoff.rep = rep;
+                handoff.attempt = 0;
+                handoff.failovers += 1;
+                self.stats.ack_failovers += 1;
+                self.stats.forwards_sent += 1;
+                self.log.record(LogRecord {
+                    at_us: now_us,
+                    msg_id: handoff.env.msg_id,
+                    zone: handoff.zone.clone(),
+                    peer: Some(rep),
+                    event: ForwardEvent::FailedOver,
+                });
+                ctx.send(
+                    NodeId(rep),
+                    NewsWireMsg::Forward { env: handoff.env.clone(), zone: handoff.zone.clone() },
+                );
+                self.rearm_handoff(ctx, timeout, tag, handoff);
+            }
+            None => {
+                self.stats.handoffs_abandoned += 1;
+                self.log.record(LogRecord {
+                    at_us: now_us,
+                    msg_id: handoff.env.msg_id,
+                    zone: handoff.zone.clone(),
+                    peer: Some(handoff.rep),
+                    event: ForwardEvent::Abandoned,
+                });
+                self.unindex_handoff(handoff.env.msg_id, &handoff.zone, tag);
+            }
+        }
+    }
+
+    /// Sends one repair request to `peer` and, when configured, arms the
+    /// reply timeout that re-targets a different peer.
+    fn send_repair_request(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        peer: NodeId,
+        retargets: u32,
+    ) {
+        // Back the marks off by a margin so gaps *below* the high-water
+        // mark (a missed item followed by a received one) are re-offered;
+        // the cache dedups the overlap.
+        let margin = (self.cfg.repair_batch / 4) as u64;
+        let highwater = self
+            .cache
+            .highwaters()
+            .into_iter()
+            .map(|(p, hw)| (p, hw.saturating_sub(margin)))
+            .collect();
+        ctx.send(
+            peer,
+            NewsWireMsg::RepairRequest { highwater, want_snapshot: self.cache.is_empty() },
+        );
+        if let Some(wait) = self.cfg.repair_reply_timeout {
+            if let Some((_, old_timer, _)) = self.awaiting_repair.take() {
+                ctx.cancel_timer(old_timer);
+            }
+            let timer = ctx.set_timer(wait, REPAIR_WAIT_TIMER);
+            self.awaiting_repair = Some((peer, timer, retargets));
+        }
     }
 }
 
@@ -477,10 +661,29 @@ impl Node for NewsWireNode {
                     });
                     return;
                 }
+                // Receipt first: whether this is fresh duty or a duplicate,
+                // this representative covers the zone — the sender must stop
+                // retrying. Only real (simulated) node senders are acked.
+                if self.cfg.ack_timeout.is_some() && from != NodeId::EXTERNAL {
+                    ctx.send(
+                        from,
+                        NewsWireMsg::ForwardAck { msg_id: env.msg_id, zone: zone.clone() },
+                    );
+                }
                 if self.coverage.admit(env.msg_id, zone.depth()) {
                     self.process_duty(ctx, env, zone);
                 } else {
                     self.stats.duplicates += 1;
+                }
+            }
+            NewsWireMsg::ForwardAck { msg_id, zone } => {
+                if let Some(tags) = self.ack_index.remove(&(msg_id, zone)) {
+                    self.stats.acks_received += 1;
+                    for tag in tags {
+                        if let Some(h) = self.pending.remove(&tag) {
+                            ctx.cancel_timer(h.timer);
+                        }
+                    }
                 }
             }
             NewsWireMsg::Deliver { env } => {
@@ -513,10 +716,19 @@ impl Node for NewsWireNode {
                 if !items.is_empty() {
                     self.stats.repairs_served += 1;
                     self.stats.repair_items_sent += items.len() as u64;
-                    ctx.send(from, NewsWireMsg::RepairReply { items });
                 }
+                // Reply even when empty: an empty reply tells the requester
+                // "I'm alive and have nothing for you", so its reply timeout
+                // distinguishes dead peers from up-to-date ones.
+                ctx.send(from, NewsWireMsg::RepairReply { items });
             }
             NewsWireMsg::RepairReply { items } => {
+                if let Some((peer, timer, _)) = self.awaiting_repair {
+                    if peer == from {
+                        ctx.cancel_timer(timer);
+                        self.awaiting_repair = None;
+                    }
+                }
                 let now = ctx.now();
                 for item in items {
                     self.handle_delivery(now, item, true);
@@ -543,6 +755,23 @@ impl Node for NewsWireNode {
             DRAIN_TIMER => {
                 if let Some(q) = self.queues.pop() {
                     let (dst, msg) = q.item;
+                    // Tree hand-offs become *acknowledged* at the moment
+                    // they hit the wire: arm the per-hand-off timeout that
+                    // drives retry/backoff/failover.
+                    if let (Some(timeout), NewsWireMsg::Forward { env, zone }) =
+                        (self.cfg.ack_timeout, &msg)
+                    {
+                        self.arm_handoff(
+                            ctx,
+                            timeout,
+                            dst.0,
+                            env.clone(),
+                            zone.clone(),
+                            vec![dst.0],
+                            0,
+                            0,
+                        );
+                    }
                     ctx.send(dst, msg);
                     self.stats.forwards_sent += 1;
                 }
@@ -554,28 +783,35 @@ impl Node for NewsWireNode {
             }
             REPAIR_TIMER => {
                 if let Some(peer) = self.repair_peer(ctx.rng()) {
-                    // Back the marks off by a margin so gaps *below* the
-                    // high-water mark (a missed item followed by a received
-                    // one) are re-offered; the cache dedups the overlap.
-                    let margin = (self.cfg.repair_batch / 4) as u64;
-                    let highwater = self
-                        .cache
-                        .highwaters()
-                        .into_iter()
-                        .map(|(p, hw)| (p, hw.saturating_sub(margin)))
-                        .collect();
-                    ctx.send(
-                        peer,
-                        NewsWireMsg::RepairRequest {
-                            highwater,
-                            want_snapshot: self.cache.is_empty(),
-                        },
-                    );
+                    self.send_repair_request(ctx, peer, 0);
                 }
                 if let Some(repair) = self.cfg.repair_interval {
                     ctx.set_timer(repair, REPAIR_TIMER);
                 }
             }
+            REPAIR_WAIT_TIMER => {
+                // The peer never answered: it is dead, gray, or cut off.
+                // Re-target a different peer instead of idling out the rest
+                // of the repair interval (bounded retargets per interval).
+                let Some((failed_peer, _, retargets)) = self.awaiting_repair.take() else {
+                    return;
+                };
+                if retargets >= 2 {
+                    return;
+                }
+                self.stats.repair_retargets += 1;
+                for _ in 0..4 {
+                    match self.repair_peer(ctx.rng()) {
+                        Some(peer) if peer != failed_peer => {
+                            self.send_repair_request(ctx, peer, retargets + 1);
+                            return;
+                        }
+                        Some(_) => continue,
+                        None => return,
+                    }
+                }
+            }
+            tag if tag > ACK_TAG_BASE => self.handle_ack_timeout(ctx, tag),
             _ => {}
         }
     }
@@ -590,6 +826,9 @@ impl Node for NewsWireNode {
         self.cache = MessageCache::new(self.cfg.cache);
         self.deliveries.clear();
         self.draining = false;
+        self.pending.clear();
+        self.ack_index.clear();
+        self.awaiting_repair = None;
         ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
         if let Some(repair) = self.cfg.repair_interval {
             ctx.set_timer(repair, REPAIR_TIMER);
@@ -687,10 +926,8 @@ mod tests {
         n.handle_delivery(now, tech_item(0), false);
         assert_eq!(n.stats.duplicates, 1);
         // Structurally uninteresting item: Bloom false positive.
-        let sports = NewsItem::builder(PublisherId(0), 5)
-            .headline("s")
-            .category(Category::Sports)
-            .build();
+        let sports =
+            NewsItem::builder(PublisherId(0), 5).headline("s").category(Category::Sports).build();
         n.handle_delivery(now, sports, false);
         assert_eq!(n.stats.bloom_fp_deliveries, 1);
         assert_eq!(n.stats.delivered, 1, "not delivered to the app");
@@ -713,9 +950,6 @@ mod tests {
     fn publisher_accessor_and_model_attrs() {
         let n = node_with(NewsWireConfig::tech_news());
         assert!(n.publisher().is_none());
-        assert_eq!(
-            SubscriptionModel::CategoryMask.attr_for(PublisherId(3)),
-            "cats$3"
-        );
+        assert_eq!(SubscriptionModel::CategoryMask.attr_for(PublisherId(3)), "cats$3");
     }
 }

@@ -1,0 +1,172 @@
+//! The chaos-testing invariant oracle.
+//!
+//! Fault-injection runs (the fuzz suite, E13, `examples/chaos_day`) all ask
+//! the same three questions of a finished deployment, so the checks live
+//! here once:
+//!
+//! 1. **No duplicate deliveries** — a node's application sees each item at
+//!    most once, no matter how many redundant representatives, retries, or
+//!    network-level duplications raced to deliver it.
+//! 2. **No unwanted deliveries** — everything a node's application received
+//!    matches its exact subscription (Bloom aliasing must be caught by the
+//!    §6 final test, repair must re-filter).
+//! 3. **Eventual delivery** — every *continuously live* node whose
+//!    subscription matches a published item eventually holds it. Nodes that
+//!    crashed during the run are exempt from this check (they may have been
+//!    down at the wrong moment) but still subject to the first two.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use newsml::{ItemId, NewsItem};
+use simnet::NodeId;
+
+use crate::deploy::Deployment;
+
+/// One invariant violation, attributed to a node and an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The node at fault.
+    pub node: NodeId,
+    /// The item involved.
+    pub item: ItemId,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} / item {}:{}", self.node.0, self.item.publisher.0, self.item.seq)
+    }
+}
+
+/// The oracle's findings over one finished run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Nodes examined.
+    pub nodes_checked: usize,
+    /// Published items examined.
+    pub items_checked: usize,
+    /// Nodes exempt from the eventual-delivery check (they churned).
+    pub exempt_nodes: usize,
+    /// Items an application saw more than once.
+    pub duplicate_deliveries: Vec<Violation>,
+    /// Items delivered to an application whose subscription rejects them.
+    pub unwanted_deliveries: Vec<Violation>,
+    /// `(survivor, matching item)` pairs that never delivered.
+    pub missed_deliveries: Vec<Violation>,
+    /// `(survivor, matching item)` pairs expected to deliver.
+    pub survivor_expected: u64,
+    /// How many of those actually delivered.
+    pub survivor_delivered: u64,
+}
+
+impl OracleReport {
+    /// True when all three invariants held.
+    pub fn holds(&self) -> bool {
+        self.duplicate_deliveries.is_empty()
+            && self.unwanted_deliveries.is_empty()
+            && self.missed_deliveries.is_empty()
+    }
+
+    /// Fraction of `(survivor, matching item)` pairs that delivered
+    /// (1.0 when nothing was expected).
+    pub fn survivor_delivery_ratio(&self) -> f64 {
+        if self.survivor_expected == 0 {
+            1.0
+        } else {
+            self.survivor_delivered as f64 / self.survivor_expected as f64
+        }
+    }
+
+    /// Panics with a readable report if any invariant failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`OracleReport::holds`] is false.
+    pub fn assert_holds(&self) {
+        assert!(self.holds(), "invariant oracle failed:\n{self}");
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "oracle: {} ({} nodes, {} items, {} exempt; survivor delivery {}/{} = {:.1}%)",
+            if self.holds() { "OK" } else { "VIOLATED" },
+            self.nodes_checked,
+            self.items_checked,
+            self.exempt_nodes,
+            self.survivor_delivered,
+            self.survivor_expected,
+            100.0 * self.survivor_delivery_ratio(),
+        )?;
+        for (label, list) in [
+            ("duplicate delivery", &self.duplicate_deliveries),
+            ("unwanted delivery", &self.unwanted_deliveries),
+            ("missed delivery", &self.missed_deliveries),
+        ] {
+            for v in list.iter().take(8) {
+                writeln!(f, "  {label}: {v}")?;
+            }
+            if list.len() > 8 {
+                writeln!(f, "  … and {} more {label} violations", list.len() - 8)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the three invariants over a finished deployment.
+///
+/// `items` are the ground-truth published items; `exempt` holds nodes that
+/// were not continuously live (churned at least once), which the
+/// eventual-delivery check skips. Publisher nodes are always exempt from
+/// eventual delivery (they carry empty subscriptions anyway).
+pub fn check_invariants(
+    deployment: &Deployment,
+    items: &[NewsItem],
+    exempt: &BTreeSet<NodeId>,
+) -> OracleReport {
+    let by_id: HashMap<ItemId, &NewsItem> = items.iter().map(|i| (i.id, i)).collect();
+    let mut report = OracleReport {
+        items_checked: items.len(),
+        exempt_nodes: exempt.len(),
+        ..OracleReport::default()
+    };
+
+    for (node_id, node) in deployment.sim.iter() {
+        report.nodes_checked += 1;
+
+        // Invariant 1: at most one application delivery per item.
+        let mut seen: HashSet<ItemId> = HashSet::with_capacity(node.deliveries.len());
+        for d in &node.deliveries {
+            if !seen.insert(d.item) {
+                report.duplicate_deliveries.push(Violation { node: node_id, item: d.item });
+            }
+            // Invariant 2: the exact subscription admits everything the
+            // application saw. Unknown items (not in the ground-truth set)
+            // are skipped rather than guessed at.
+            if let Some(item) = by_id.get(&d.item) {
+                if !node.subscription.matches(item) {
+                    report.unwanted_deliveries.push(Violation { node: node_id, item: d.item });
+                }
+            }
+        }
+
+        // Invariant 3: continuously-live interested nodes deliver.
+        if exempt.contains(&node_id) {
+            continue;
+        }
+        for item in items {
+            if node.subscription.matches(item) {
+                report.survivor_expected += 1;
+                if seen.contains(&item.id) {
+                    report.survivor_delivered += 1;
+                } else {
+                    report.missed_deliveries.push(Violation { node: node_id, item: item.id });
+                }
+            }
+        }
+    }
+    report
+}

@@ -230,9 +230,7 @@ mod tests {
         s.subscribe_subject("07".parse().unwrap());
         let bits = s.to_bloom(1024, 3);
         let groups = item_position_groups(&item(), 1024, 3);
-        let hit = groups
-            .iter()
-            .any(|g| g.iter().all(|&p| bits.get(p)));
+        let hit = groups.iter().any(|g| g.iter().all(|&p| bits.get(p)));
         assert!(hit, "subscriber bits must cover at least one item key group");
     }
 

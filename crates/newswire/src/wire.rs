@@ -28,11 +28,8 @@ pub struct Envelope {
 impl Envelope {
     /// Approximate serialized size.
     pub fn wire_size(&self) -> usize {
-        self.item.wire_size()
-            + 8
-            + self.filter.wire_size()
-            + 2 * self.scope.depth()
-            + 96 // certificate + signature + key id
+        self.item.wire_size() + 8 + self.filter.wire_size() + 2 * self.scope.depth() + 96
+        // certificate + signature + key id
     }
 }
 
@@ -72,6 +69,16 @@ pub enum NewsWireMsg {
         /// The signed item.
         env: Envelope,
     },
+    /// A representative's receipt for a `Forward`: it has taken coverage
+    /// duty for `zone` (or already held it). Any representative's ack
+    /// settles every pending hand-off of `(msg_id, zone)` at the sender —
+    /// with redundancy `k`, one success covers the zone.
+    ForwardAck {
+        /// Dissemination id of the acknowledged item.
+        msg_id: u64,
+        /// The zone whose coverage is acknowledged.
+        zone: ZoneId,
+    },
     /// Cache anti-entropy: "what do you have past these marks?"
     RepairRequest {
         /// Requester's per-publisher high-water marks.
@@ -94,6 +101,7 @@ impl Payload for NewsWireMsg {
             NewsWireMsg::PublishRequest { item, .. } => item.wire_size(),
             NewsWireMsg::Forward { env, zone } => env.wire_size() + 2 * zone.depth(),
             NewsWireMsg::Deliver { env } => env.wire_size(),
+            NewsWireMsg::ForwardAck { zone, .. } => 8 + 2 * zone.depth(),
             NewsWireMsg::RepairRequest { highwater, .. } => 1 + highwater.len() * 10,
             NewsWireMsg::RepairReply { items } => {
                 items.iter().map(|i| i.wire_size()).sum::<usize>()

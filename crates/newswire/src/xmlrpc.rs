@@ -62,11 +62,9 @@ impl Value {
             return Ok(Value::Str(value.text()));
         };
         match inner.name.as_str() {
-            "int" | "i4" => inner
-                .text()
-                .parse()
-                .map(Value::Int)
-                .map_err(|_| RpcError::malformed("bad <int>")),
+            "int" | "i4" => {
+                inner.text().parse().map(Value::Int).map_err(|_| RpcError::malformed("bad <int>"))
+            }
             "string" => Ok(Value::Str(inner.text())),
             "boolean" => match inner.text().as_str() {
                 "1" => Ok(Value::Bool(true)),
@@ -128,7 +126,8 @@ impl MethodCall {
         let mut params = Vec::new();
         if let Some(ps) = root.child("params") {
             for p in ps.children_named("param") {
-                let v = p.child("value").ok_or_else(|| RpcError::malformed("param missing value"))?;
+                let v =
+                    p.child("value").ok_or_else(|| RpcError::malformed("param missing value"))?;
                 params.push(Value::from_element(v)?);
             }
         }
@@ -151,7 +150,8 @@ impl Response {
         match self {
             Response::Ok(v) => Element::new("methodResponse")
                 .with_child(
-                    Element::new("params").with_child(Element::new("param").with_child(v.to_element())),
+                    Element::new("params")
+                        .with_child(Element::new("param").with_child(v.to_element())),
                 )
                 .to_xml(),
             Response::Fault(code, msg) => Element::new("methodResponse")
@@ -260,11 +260,8 @@ mod tests {
     fn node() -> NewsWireNode {
         let layout = ZoneLayout::new(4, 4);
         let agent = Agent::new(0, &layout, Config::standard(), vec![]);
-        let mut n = NewsWireNode::new(
-            agent,
-            NewsWireConfig::tech_news(),
-            Arc::new(TrustRegistry::new(1)),
-        );
+        let mut n =
+            NewsWireNode::new(agent, NewsWireConfig::tech_news(), Arc::new(TrustRegistry::new(1)));
         let mut sub = Subscription::new();
         sub.subscribe_category(PublisherId(0), Category::Technology);
         n.set_subscription(sub);
@@ -297,10 +294,8 @@ mod tests {
             .headline("Via XML-RPC")
             .category(Category::Technology)
             .build();
-        let call = MethodCall::new(
-            "newswire.publish",
-            vec![Value::Str(newsml::to_nitf_xml(&item))],
-        );
+        let call =
+            MethodCall::new("newswire.publish", vec![Value::Str(newsml::to_nitf_xml(&item))]);
         let mut published = Vec::new();
         let resp = dispatch(&n, &call.to_xml(), |i| published.push(i));
         assert_eq!(published, vec![item]);

@@ -146,13 +146,7 @@ fn late_joiner_receives_state_transfer() {
         d.sim.node(victim).has_item(item.id),
         "recovered node must receive the missed item via repair"
     );
-    let rec = d
-        .sim
-        .node(victim)
-        .deliveries
-        .iter()
-        .find(|r| r.item == item.id)
-        .unwrap();
+    let rec = d.sim.node(victim).deliveries.iter().find(|r| r.item == item.id).unwrap();
     assert!(rec.via_repair, "delivery must be attributed to the repair path");
 }
 

@@ -1,0 +1,209 @@
+//! Declarative, seeded fault injection — the chaos engine.
+//!
+//! A [`FaultPlan`] describes *processes* of failure rather than individual
+//! events: Poisson churn (crash/recover with configurable mean up/down dwell
+//! times), gray brownouts over node sets, directed link cuts, and
+//! network-wide duplication/reordering windows. Applying a plan expands it
+//! into concrete engine events using randomness forked from the simulation's
+//! master seed (mixed with the plan's `salt`), so the same `(seed, plan)`
+//! pair always produces the same schedule — chaos runs are replayable
+//! bit-for-bit.
+//!
+//! ```
+//! use simnet::*;
+//!
+//! struct Quiet;
+//! impl Node for Quiet {
+//!     type Msg = ();
+//!     fn on_start(&mut self, _ctx: &mut Context<'_, ()>) {}
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _m: ()) {}
+//!     fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _t: TimerId, _tag: u64) {}
+//! }
+//!
+//! let mut sim = Simulation::new(NetworkModel::default(), 42);
+//! for _ in 0..8 { sim.add_node(Quiet); }
+//! let plan = FaultPlan {
+//!     churn: vec![ChurnSpec {
+//!         nodes: (1..8).map(NodeId).collect(),
+//!         start: SimTime::from_secs(10),
+//!         end: SimTime::from_secs(60),
+//!         mean_up_secs: 20.0,
+//!         mean_down_secs: 5.0,
+//!         recover_at_end: true,
+//!     }],
+//!     ..FaultPlan::default()
+//! };
+//! sim.apply_fault_plan(&plan);
+//! sim.run_until(SimTime::from_secs(70));
+//! assert!((0..8).all(|i| !sim.is_down(NodeId(i))), "plan recovers everyone");
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::node::{Node, NodeId};
+use crate::rng::{exp_sample, fork};
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::GrayProfile;
+
+/// Stream tag mixed into the master seed for plan expansion, so the plan's
+/// randomness never collides with node or network streams.
+const PLAN_STREAM: u64 = 0xFA01_7A57_FA01_7A57;
+
+/// A Poisson churn process over a set of nodes: each node independently
+/// alternates exponential up-dwells and down-dwells within `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// Nodes subjected to churn.
+    pub nodes: Vec<NodeId>,
+    /// When the process starts.
+    pub start: SimTime,
+    /// When the process stops scheduling new transitions.
+    pub end: SimTime,
+    /// Mean time a node stays up before its next crash, in seconds.
+    pub mean_up_secs: f64,
+    /// Mean time a node stays down before recovering, in seconds.
+    pub mean_down_secs: f64,
+    /// Recover any node still down at `end` (so post-churn liveness checks
+    /// see every churned node back up).
+    pub recover_at_end: bool,
+}
+
+/// A gray brownout: the nodes degrade (but stay alive) for a window.
+#[derive(Debug, Clone)]
+pub struct GraySpec {
+    /// Nodes degraded gray.
+    pub nodes: Vec<NodeId>,
+    /// When the brownout begins.
+    pub start: SimTime,
+    /// When it heals; `None` leaves the nodes gray forever.
+    pub end: Option<SimTime>,
+    /// The degradation applied.
+    pub profile: GrayProfile,
+}
+
+/// A directed link cut for a window: `from → to` drops, `to → from` flows.
+#[derive(Debug, Clone)]
+pub struct LinkCutSpec {
+    /// Sending side of the cut direction.
+    pub from: NodeId,
+    /// Receiving side of the cut direction.
+    pub to: NodeId,
+    /// When the cut begins.
+    pub start: SimTime,
+    /// When it heals; `None` leaves the link cut forever.
+    pub end: Option<SimTime>,
+}
+
+/// A window of network-wide message duplication and reordering.
+#[derive(Debug, Clone)]
+pub struct MessageChaosSpec {
+    /// When the knobs engage.
+    pub start: SimTime,
+    /// When they reset to zero; `None` leaves them on forever.
+    pub end: Option<SimTime>,
+    /// Duplication probability during the window.
+    pub dup_prob: f64,
+    /// Reordering probability during the window.
+    pub reorder_prob: f64,
+    /// Maximum reordering jitter during the window.
+    pub reorder_jitter: SimDuration,
+}
+
+/// A declarative, seeded schedule of faults.
+///
+/// Build one with struct-update syntax over [`FaultPlan::default`], then
+/// apply it with [`Simulation::apply_fault_plan`] *before* running past the
+/// earliest `start` in the plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Extra entropy mixed into the expansion stream, so two plans applied
+    /// to the same simulation draw independent schedules.
+    pub salt: u64,
+    /// Churn processes.
+    pub churn: Vec<ChurnSpec>,
+    /// Gray brownouts.
+    pub gray: Vec<GraySpec>,
+    /// Directed link cuts.
+    pub link_cuts: Vec<LinkCutSpec>,
+    /// Duplication/reordering windows.
+    pub message_chaos: Vec<MessageChaosSpec>,
+}
+
+impl FaultPlan {
+    /// Every node any churn process may crash — the complement of the
+    /// "continuously live" set the delivery-invariant oracle reasons about.
+    pub fn churned_nodes(&self) -> BTreeSet<NodeId> {
+        self.churn.iter().flat_map(|c| c.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any brownout degrades.
+    pub fn grayed_nodes(&self) -> BTreeSet<NodeId> {
+        self.gray.iter().flat_map(|g| g.nodes.iter().copied()).collect()
+    }
+}
+
+impl<N: Node> Simulation<N> {
+    /// Expands `plan` into concrete crash/recover/gray/link/knob events.
+    ///
+    /// Expansion randomness is forked from the simulation's master seed and
+    /// the plan's `salt` only — it does not touch the node or network RNG
+    /// streams, so applying a plan never perturbs the protocol's own
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any window in the plan starts in the simulated past, or if
+    /// a churn spec has a non-positive mean dwell.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let mut rng = fork(self.seed() ^ plan.salt, PLAN_STREAM);
+        for spec in &plan.churn {
+            let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+            for &node in &spec.nodes {
+                let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                    + exp_sample(&mut rng, spec.mean_up_secs);
+                loop {
+                    if t >= end {
+                        break;
+                    }
+                    self.schedule_crash(at_secs(t), node);
+                    let down_until = t + exp_sample(&mut rng, spec.mean_down_secs);
+                    if down_until >= end {
+                        if spec.recover_at_end {
+                            self.schedule_recover(spec.end, node);
+                        }
+                        break;
+                    }
+                    self.schedule_recover(at_secs(down_until), node);
+                    t = down_until + exp_sample(&mut rng, spec.mean_up_secs);
+                }
+            }
+        }
+        for spec in &plan.gray {
+            for &node in &spec.nodes {
+                self.schedule_gray(spec.start, node, Some(spec.profile));
+                if let Some(end) = spec.end {
+                    self.schedule_gray(end, node, None);
+                }
+            }
+        }
+        for spec in &plan.link_cuts {
+            self.schedule_link_cut(spec.start, spec.from, spec.to);
+            if let Some(end) = spec.end {
+                self.schedule_link_heal(end, spec.from, spec.to);
+            }
+        }
+        for spec in &plan.message_chaos {
+            self.schedule_dup_prob(spec.start, spec.dup_prob);
+            self.schedule_reorder(spec.start, spec.reorder_prob, spec.reorder_jitter);
+            if let Some(end) = spec.end {
+                self.schedule_dup_prob(end, 0.0);
+                self.schedule_reorder(end, 0.0, SimDuration::ZERO);
+            }
+        }
+    }
+}
+
+fn at_secs(secs: f64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}

@@ -13,10 +13,14 @@
 //!   (`on_start`/`on_message`/`on_timer`, plus crash/recover hooks).
 //! * [`Simulation`] — the engine: a priority queue of events ordered by
 //!   `(time, seq)`, per-node deterministic RNGs, traffic accounting.
-//! * [`NetworkModel`] — pluggable latency ([`LatencyModel`]), loss and
-//!   [`Partition`]s.
-//! * [`Summary`] / [`Histogram`] / [`TrafficCounters`] — the measurement
-//!   toolkit experiments use.
+//! * [`NetworkModel`] — pluggable latency ([`LatencyModel`]), loss,
+//!   [`Partition`]s, per-node [`GrayProfile`] degradation, directed link
+//!   cuts, and duplication/reordering knobs.
+//! * [`FaultPlan`] — the chaos engine: declarative, seeded schedules of
+//!   Poisson churn, gray brownouts, link cuts, and message-chaos windows,
+//!   expanded deterministically by [`Simulation::apply_fault_plan`].
+//! * [`Summary`] / [`Histogram`] / [`TrafficCounters`] /
+//!   [`FaultCounters`] — the measurement toolkit experiments use.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod node;
 mod rng;
 mod sim;
@@ -50,12 +55,13 @@ mod stats;
 mod time;
 mod topology;
 
+pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec};
 pub use node::{Context, Node, NodeId, Payload, TimerId};
 pub use rng::{exp_sample, fork, splitmix64};
 pub use sim::Simulation;
-pub use stats::{Histogram, Summary, TrafficCounters};
+pub use stats::{FaultCounters, Histogram, Summary, TrafficCounters};
 pub use time::{SimDuration, SimTime};
-pub use topology::{LatencyModel, NetworkModel, Partition};
+pub use topology::{DropCause, GrayProfile, LatencyModel, NetworkModel, Partition, RouteOutcome};
 
 #[cfg(test)]
 mod proptests {

@@ -71,8 +71,9 @@ impl Payload for Vec<u8> {
 /// messages, and manages timers. All callbacks run on simulated time — they
 /// must not block or use wall-clock time.
 pub trait Node {
-    /// The message type exchanged between nodes of this protocol.
-    type Msg: Payload;
+    /// The message type exchanged between nodes of this protocol. `Clone`
+    /// lets the network duplicate messages in flight (chaos injection).
+    type Msg: Payload + Clone;
 
     /// Invoked once when the simulation starts (or the node is spawned).
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);

@@ -11,9 +11,9 @@ use rand::rngs::SmallRng;
 
 use crate::node::{Context, Effect, Node, NodeId, Payload, TimerId};
 use crate::rng::fork;
-use crate::stats::TrafficCounters;
+use crate::stats::{FaultCounters, TrafficCounters};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{NetworkModel, Partition};
+use crate::topology::{DropCause, GrayProfile, NetworkModel, Partition, RouteOutcome};
 
 enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
@@ -22,6 +22,10 @@ enum EventKind<M> {
     Recover(NodeId),
     SetPartition(Option<Partition>),
     SetDropProb(f64),
+    SetGray(NodeId, Option<GrayProfile>),
+    SetLink { from: NodeId, to: NodeId, cut: bool },
+    SetDupProb(f64),
+    SetReorder { prob: f64, jitter: SimDuration },
 }
 
 struct QueuedEvent<M> {
@@ -91,6 +95,7 @@ pub struct Simulation<N: Node> {
     started: bool,
     seed: u64,
     events_processed: u64,
+    faults: FaultCounters,
 }
 
 impl<N: Node> std::fmt::Debug for Simulation<N> {
@@ -123,7 +128,18 @@ impl<N: Node> Simulation<N> {
             started: false,
             seed,
             events_processed: 0,
+            faults: FaultCounters::default(),
         }
+    }
+
+    /// The master seed this simulation was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// What the fault-injection machinery actually did to this run so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
     }
 
     /// Adds a node, returning its id. Ids are assigned densely from 0 in
@@ -225,13 +241,61 @@ impl<N: Node> Simulation<N> {
     /// Schedules a crash of `node` at `at`.
     pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
         assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_crash: node {node} out of range (have {})",
+            self.nodes.len()
+        );
         self.push(at, EventKind::Crash(node));
     }
 
     /// Schedules a recovery of `node` at `at`.
     pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
         assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_recover: node {node} out of range (have {})",
+            self.nodes.len()
+        );
         self.push(at, EventKind::Recover(node));
+    }
+
+    /// Schedules a gray-degradation change of `node` at `at` (`None` heals).
+    pub fn schedule_gray(&mut self, at: SimTime, node: NodeId, profile: Option<GrayProfile>) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_gray: node {node} out of range (have {})",
+            self.nodes.len()
+        );
+        self.push(at, EventKind::SetGray(node, profile));
+    }
+
+    /// Schedules a directed link cut from `from` to `to` at `at`. The reverse
+    /// direction is unaffected (asymmetric by design).
+    pub fn schedule_link_cut(&mut self, at: SimTime, from: NodeId, to: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::SetLink { from, to, cut: true });
+    }
+
+    /// Schedules the heal of a directed link cut at `at`.
+    pub fn schedule_link_heal(&mut self, at: SimTime, from: NodeId, to: NodeId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::SetLink { from, to, cut: false });
+    }
+
+    /// Schedules a change of the message duplication probability at `at`.
+    pub fn schedule_dup_prob(&mut self, at: SimTime, p: f64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!((0.0..1.0).contains(&p), "duplication probability out of range");
+        self.push(at, EventKind::SetDupProb(p));
+    }
+
+    /// Schedules a change of the reordering-jitter knobs at `at`.
+    pub fn schedule_reorder(&mut self, at: SimTime, prob: f64, jitter: SimDuration) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!((0.0..1.0).contains(&prob), "reorder probability out of range");
+        self.push(at, EventKind::SetReorder { prob, jitter });
     }
 
     /// Schedules a partition change at `at` (`None` heals the network).
@@ -284,11 +348,27 @@ impl<N: Node> Simulation<N> {
                     c.msgs_sent += 1;
                     c.bytes_sent += size as u64;
                     match self.net.route(id, to, &mut self.net_rng) {
-                        Some(lat) => {
-                            let at = self.now + lat;
+                        RouteOutcome::Deliver { copies, jittered } => {
+                            if jittered {
+                                self.faults.msgs_jittered += 1;
+                            }
+                            self.faults.msgs_duplicated += copies.len() as u64 - 1;
+                            for &lat in copies.iter().skip(1) {
+                                let at = self.now + lat;
+                                let copy = msg.clone();
+                                self.push(at, EventKind::Deliver { from: id, to, msg: copy, size });
+                            }
+                            let at = self.now + copies[0];
                             self.push(at, EventKind::Deliver { from: id, to, msg, size });
                         }
-                        None => {
+                        RouteOutcome::Drop(cause) => {
+                            match cause {
+                                DropCause::Partition => self.faults.drops_partition += 1,
+                                DropCause::LinkCut => self.faults.drops_link_cut += 1,
+                                DropCause::Loss => self.faults.drops_loss += 1,
+                                DropCause::GraySend => self.faults.drops_gray_send += 1,
+                                DropCause::GrayRecv => self.faults.drops_gray_recv += 1,
+                            }
                             if let Some(c) = self.counters.get_mut(to.index()) {
                                 c.msgs_lost += 1;
                             }
@@ -343,6 +423,7 @@ impl<N: Node> Simulation<N> {
                 let idx = node.index();
                 if !self.down[idx] {
                     self.down[idx] = true;
+                    self.faults.crashes += 1;
                     self.nodes[idx].on_crash();
                 }
             }
@@ -350,11 +431,32 @@ impl<N: Node> Simulation<N> {
                 let idx = node.index();
                 if self.down[idx] {
                     self.down[idx] = false;
+                    self.faults.recoveries += 1;
                     self.dispatch_callback(node, Callback::Recover);
                 }
             }
             EventKind::SetPartition(p) => self.net.partition = p,
             EventKind::SetDropProb(p) => self.net.drop_prob = p,
+            EventKind::SetGray(node, profile) => match profile {
+                Some(g) => {
+                    self.net.gray.insert(node, g);
+                }
+                None => {
+                    self.net.gray.remove(&node);
+                }
+            },
+            EventKind::SetLink { from, to, cut } => {
+                if cut {
+                    self.net.cut_links.insert((from, to));
+                } else {
+                    self.net.cut_links.remove(&(from, to));
+                }
+            }
+            EventKind::SetDupProb(p) => self.net.dup_prob = p,
+            EventKind::SetReorder { prob, jitter } => {
+                self.net.reorder_prob = prob;
+                self.net.reorder_jitter = jitter;
+            }
         }
         true
     }
@@ -471,7 +573,10 @@ mod tests {
         // to TTL 0: n0 -> n1 (3), n1 -> n0 (2), n0 -> n1 (1), n1 -> n0 (0).
         sim.schedule_external(SimTime::ZERO, NodeId(0), Msg::Ping(3));
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.node(NodeId(0)).got, vec![(NodeId::EXTERNAL, 3), (NodeId(1), 2), (NodeId(1), 0)]);
+        assert_eq!(
+            sim.node(NodeId(0)).got,
+            vec![(NodeId::EXTERNAL, 3), (NodeId(1), 2), (NodeId(1), 0)]
+        );
         assert_eq!(sim.node(NodeId(1)).got, vec![(NodeId(0), 3), (NodeId(0), 1)]);
         let c0 = sim.counters(NodeId(0));
         assert_eq!(c0.msgs_sent, 2);
@@ -520,7 +625,8 @@ mod tests {
     #[test]
     fn timers_expiring_while_down_are_lost() {
         let mut sim = Simulation::new(NetworkModel::default(), 9);
-        let id = sim.add_node(Echo { start_timer: Some(SimDuration::from_secs(2)), ..Default::default() });
+        let id = sim
+            .add_node(Echo { start_timer: Some(SimDuration::from_secs(2)), ..Default::default() });
         sim.schedule_crash(SimTime::from_secs(1), id);
         sim.schedule_recover(SimTime::from_secs(3), id);
         sim.run_until(SimTime::from_secs(5));
@@ -537,7 +643,7 @@ mod tests {
                         max: SimDuration::from_millis(50),
                     },
                     drop_prob: 0.1,
-                    partition: None,
+                    ..NetworkModel::default()
                 },
                 seed,
             );

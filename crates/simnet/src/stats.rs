@@ -38,6 +38,55 @@ impl TrafficCounters {
     }
 }
 
+/// Simulation-wide fault-injection accounting: what the chaos layer actually
+/// did to a run. One instance per [`crate::Simulation`], read back by
+/// experiments to report injected-fault intensity next to delivery outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped by the active partition.
+    pub drops_partition: u64,
+    /// Messages dropped by a directed link cut.
+    pub drops_link_cut: u64,
+    /// Messages dropped by the global drop probability.
+    pub drops_loss: u64,
+    /// Messages dropped by a gray sender (throttle or extra loss).
+    pub drops_gray_send: u64,
+    /// Messages dropped by a gray receiver's extra loss.
+    pub drops_gray_recv: u64,
+    /// Extra in-flight copies created by duplication.
+    pub msgs_duplicated: u64,
+    /// Messages whose delay was inflated by reordering jitter.
+    pub msgs_jittered: u64,
+    /// Crash events applied to live nodes.
+    pub crashes: u64,
+    /// Recover events applied to down nodes.
+    pub recoveries: u64,
+}
+
+impl FaultCounters {
+    /// Total messages dropped by the network for any cause.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_partition
+            + self.drops_link_cut
+            + self.drops_loss
+            + self.drops_gray_send
+            + self.drops_gray_recv
+    }
+
+    /// Adds another run's counters into this one (for sweep totals).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.drops_partition += other.drops_partition;
+        self.drops_link_cut += other.drops_link_cut;
+        self.drops_loss += other.drops_loss;
+        self.drops_gray_send += other.drops_gray_send;
+        self.drops_gray_recv += other.drops_gray_recv;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.msgs_jittered += other.msgs_jittered;
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+    }
+}
+
 /// An exact-percentile summary built from raw `f64` samples.
 ///
 /// Stores all samples (experiments here produce at most a few million), sorts
@@ -89,8 +138,7 @@ impl Summary {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
             self.sorted = true;
         }
     }

@@ -161,11 +161,7 @@ impl Add for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration subtraction underflow"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
     }
 }
 
@@ -235,10 +231,7 @@ mod tests {
 
     #[test]
     fn saturating_since_clamps() {
-        assert_eq!(
-            SimTime::ZERO.saturating_since(SimTime::from_secs(1)),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime::from_secs(1)), SimDuration::ZERO);
     }
 
     #[test]

@@ -1,10 +1,21 @@
-//! Network models: latency, loss, and partitions.
+//! Network models: latency, loss, partitions, and chaos knobs.
 //!
 //! The paper's target environment is the wide-area Internet, where nodes
 //! cluster into regions (the same structure Astrolabe's zone hierarchy
 //! mirrors). [`LatencyModel::ZonedWan`] captures that: cheap intra-region
 //! links, expensive inter-region links. Uniform and constant models support
 //! unit tests and micro-benchmarks.
+//!
+//! Beyond clean crash/recover and a global drop probability, the model
+//! supports the *gray* failure modes that actually break large pub/sub
+//! deployments: per-node degradation ([`GrayProfile`]: added latency,
+//! elevated loss, send throttling), per-link asymmetric cuts, and message
+//! duplication/reordering. All of it is sampled from the engine's network
+//! RNG, so runs stay deterministic under the master seed; every new knob
+//! draws randomness only when enabled, so legacy traces are bit-for-bit
+//! unchanged when the chaos features are unconfigured.
+
+use std::collections::{HashMap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -94,6 +105,82 @@ impl Partition {
     }
 }
 
+/// Per-node gray-failure degradation: the node is alive (its timers fire
+/// and it processes what it receives) but slow and lossy — the failure mode
+/// a crash detector misses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayProfile {
+    /// Added one-way latency on every link touching the node (applied on
+    /// both its sends and its receives).
+    pub extra_latency: SimDuration,
+    /// Additional independent drop probability on links touching the node.
+    pub extra_drop: f64,
+    /// Probability a send is discarded at the node's own NIC before it ever
+    /// reaches the wire (models an overloaded outbound queue).
+    pub send_throttle: f64,
+}
+
+impl GrayProfile {
+    /// A mild brownout: +200 ms each way, 10% extra loss, 20% send throttle.
+    pub fn brownout() -> Self {
+        GrayProfile {
+            extra_latency: SimDuration::from_millis(200),
+            extra_drop: 0.10,
+            send_throttle: 0.20,
+        }
+    }
+
+    /// A severe degradation: +2 s each way, 40% extra loss, 60% send throttle.
+    pub fn severe() -> Self {
+        GrayProfile {
+            extra_latency: SimDuration::from_secs(2),
+            extra_drop: 0.40,
+            send_throttle: 0.60,
+        }
+    }
+}
+
+/// Why [`NetworkModel::route`] dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The active [`Partition`] separates sender and receiver.
+    Partition,
+    /// A per-link asymmetric cut is in force for this `(from, to)` pair.
+    LinkCut,
+    /// The global independent per-message drop probability fired.
+    Loss,
+    /// The sender's [`GrayProfile`] throttled or lost the message.
+    GraySend,
+    /// The receiver's [`GrayProfile`] lost the message.
+    GrayRecv,
+}
+
+/// The fate of one message as decided by [`NetworkModel::route`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteOutcome {
+    /// Deliver one copy per entry after the given one-way delay. More than
+    /// one entry means the message was duplicated in flight; `jittered`
+    /// flags that reordering jitter inflated the (first) delay.
+    Deliver {
+        /// One-way delay of each delivered copy (never empty).
+        copies: Vec<SimDuration>,
+        /// True when reordering jitter was added to the primary copy.
+        jittered: bool,
+    },
+    /// The message is lost; the cause feeds the fault counters.
+    Drop(DropCause),
+}
+
+impl RouteOutcome {
+    /// Convenience for tests: the primary copy's delay, if delivered.
+    pub fn delay(&self) -> Option<SimDuration> {
+        match self {
+            RouteOutcome::Deliver { copies, .. } => copies.first().copied(),
+            RouteOutcome::Drop(_) => None,
+        }
+    }
+}
+
 /// The complete network model the engine consults for every send.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
@@ -103,12 +190,35 @@ pub struct NetworkModel {
     pub drop_prob: f64,
     /// Active partition, if any.
     pub partition: Option<Partition>,
+    /// Probability a delivered message is duplicated in flight (the second
+    /// copy samples its own independent latency).
+    pub dup_prob: f64,
+    /// Probability a delivered message gets extra reordering jitter.
+    pub reorder_prob: f64,
+    /// Maximum extra delay added when reordering jitter fires (uniform in
+    /// `[0, reorder_jitter]`).
+    pub reorder_jitter: SimDuration,
+    /// Nodes currently degraded gray; consulted for both endpoints.
+    pub gray: HashMap<NodeId, GrayProfile>,
+    /// Directed link cuts: a `(from, to)` entry drops every message in that
+    /// direction only — the asymmetric flaky-link case a symmetric
+    /// [`Partition`] cannot express.
+    pub cut_links: HashSet<(NodeId, NodeId)>,
 }
 
 impl NetworkModel {
     /// A lossless constant-latency network (useful for unit tests).
     pub fn ideal(latency: SimDuration) -> Self {
-        NetworkModel { latency: LatencyModel::Constant(latency), drop_prob: 0.0, partition: None }
+        NetworkModel {
+            latency: LatencyModel::Constant(latency),
+            drop_prob: 0.0,
+            partition: None,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_jitter: SimDuration::ZERO,
+            gray: HashMap::new(),
+            cut_links: HashSet::new(),
+        }
     }
 
     /// A region-structured lossy WAN.
@@ -121,22 +231,61 @@ impl NetworkModel {
         NetworkModel {
             latency: LatencyModel::wan_defaults(region_of),
             drop_prob,
-            partition: None,
+            ..NetworkModel::default()
         }
     }
 
-    /// Decides the fate of one message: `Some(latency)` to deliver after that
-    /// delay, `None` to drop it.
-    pub fn route(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> Option<SimDuration> {
+    /// Decides the fate of one message.
+    ///
+    /// Checks, in order: partition, directed link cuts, the sender's gray
+    /// throttle, the global drop probability, gray loss at either endpoint;
+    /// survivors sample a latency (inflated by gray latency at both ends),
+    /// optionally pick up reordering jitter, and are optionally duplicated.
+    /// Every chaos knob draws randomness only when enabled, so a model with
+    /// the knobs at rest consumes exactly the RNG sequence the pre-chaos
+    /// engine did.
+    pub fn route(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> RouteOutcome {
         if let Some(p) = &self.partition {
             if p.separates(from, to) {
-                return None;
+                return RouteOutcome::Drop(DropCause::Partition);
+            }
+        }
+        if !self.cut_links.is_empty() && self.cut_links.contains(&(from, to)) {
+            return RouteOutcome::Drop(DropCause::LinkCut);
+        }
+        let gray_from = self.gray.get(&from).copied();
+        let gray_to = self.gray.get(&to).copied();
+        if let Some(g) = gray_from {
+            if g.send_throttle > 0.0 && rng.gen::<f64>() < g.send_throttle {
+                return RouteOutcome::Drop(DropCause::GraySend);
             }
         }
         if self.drop_prob > 0.0 && rng.gen::<f64>() < self.drop_prob {
-            return None;
+            return RouteOutcome::Drop(DropCause::Loss);
         }
-        Some(self.latency.sample(from, to, rng))
+        if let Some(g) = gray_from {
+            if g.extra_drop > 0.0 && rng.gen::<f64>() < g.extra_drop {
+                return RouteOutcome::Drop(DropCause::GraySend);
+            }
+        }
+        if let Some(g) = gray_to {
+            if g.extra_drop > 0.0 && rng.gen::<f64>() < g.extra_drop {
+                return RouteOutcome::Drop(DropCause::GrayRecv);
+            }
+        }
+        let gray_extra = gray_from.map_or(SimDuration::ZERO, |g| g.extra_latency)
+            + gray_to.map_or(SimDuration::ZERO, |g| g.extra_latency);
+        let mut delay = self.latency.sample(from, to, rng) + gray_extra;
+        let mut jittered = false;
+        if self.reorder_prob > 0.0 && rng.gen::<f64>() < self.reorder_prob {
+            delay = delay + sample_range(SimDuration::ZERO, self.reorder_jitter, rng);
+            jittered = true;
+        }
+        let mut copies = vec![delay];
+        if self.dup_prob > 0.0 && rng.gen::<f64>() < self.dup_prob {
+            copies.push(self.latency.sample(from, to, rng) + gray_extra);
+        }
+        RouteOutcome::Deliver { copies, jittered }
     }
 }
 
@@ -196,14 +345,119 @@ mod tests {
         let mut m = NetworkModel::ideal(SimDuration::from_millis(1));
         m.partition = Some(Partition::split_at(2, 1));
         let mut rng = fork(4, 0);
-        assert!(m.route(NodeId(0), NodeId(1), &mut rng).is_none());
+        assert_eq!(
+            m.route(NodeId(0), NodeId(1), &mut rng),
+            RouteOutcome::Drop(DropCause::Partition)
+        );
 
         let mut lossy = NetworkModel::ideal(SimDuration::from_millis(1));
         lossy.drop_prob = 0.5;
         let delivered = (0..1000)
-            .filter(|_| lossy.route(NodeId(0), NodeId(0), &mut rng).is_some())
+            .filter(|_| lossy.route(NodeId(0), NodeId(0), &mut rng).delay().is_some())
             .count();
         assert!((350..650).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn asymmetric_link_cut_drops_one_direction_only() {
+        let mut m = NetworkModel::ideal(SimDuration::from_millis(1));
+        m.cut_links.insert((NodeId(0), NodeId(1)));
+        let mut rng = fork(5, 0);
+        assert_eq!(m.route(NodeId(0), NodeId(1), &mut rng), RouteOutcome::Drop(DropCause::LinkCut));
+        assert!(m.route(NodeId(1), NodeId(0), &mut rng).delay().is_some());
+    }
+
+    #[test]
+    fn duplication_and_reordering_are_sound() {
+        // Duplicated messages deliver >1 copy, each with a latency the base
+        // model could have produced; jitter only ever adds delay.
+        let mut m = NetworkModel::ideal(SimDuration::from_millis(10));
+        m.dup_prob = 0.5;
+        m.reorder_prob = 0.5;
+        m.reorder_jitter = SimDuration::from_millis(30);
+        let mut rng = fork(6, 0);
+        let (mut dups, mut jitters) = (0u32, 0u32);
+        for _ in 0..2000 {
+            match m.route(NodeId(0), NodeId(1), &mut rng) {
+                RouteOutcome::Deliver { copies, jittered } => {
+                    assert!(!copies.is_empty() && copies.len() <= 2);
+                    if copies.len() == 2 {
+                        dups += 1;
+                        // The duplicate copy is un-jittered base latency.
+                        assert_eq!(copies[1], SimDuration::from_millis(10));
+                    }
+                    if jittered {
+                        jitters += 1;
+                        assert!(copies[0] >= SimDuration::from_millis(10));
+                        assert!(copies[0] <= SimDuration::from_millis(40));
+                    } else {
+                        assert_eq!(copies[0], SimDuration::from_millis(10));
+                    }
+                }
+                RouteOutcome::Drop(c) => panic!("lossless model dropped: {c:?}"),
+            }
+        }
+        assert!((700..1300).contains(&dups), "dups {dups}");
+        assert!((700..1300).contains(&jitters), "jitters {jitters}");
+    }
+
+    #[test]
+    fn gray_profile_slows_and_throttles() {
+        let mut m = NetworkModel::ideal(SimDuration::from_millis(10));
+        m.gray.insert(
+            NodeId(0),
+            GrayProfile {
+                extra_latency: SimDuration::from_millis(500),
+                extra_drop: 0.0,
+                send_throttle: 0.5,
+            },
+        );
+        let mut rng = fork(7, 0);
+        let (mut throttled, mut delivered) = (0u32, 0u32);
+        for _ in 0..1000 {
+            match m.route(NodeId(0), NodeId(1), &mut rng) {
+                RouteOutcome::Drop(DropCause::GraySend) => throttled += 1,
+                RouteOutcome::Deliver { copies, .. } => {
+                    delivered += 1;
+                    assert_eq!(copies[0], SimDuration::from_millis(510));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!((350..650).contains(&throttled), "throttled {throttled}");
+        // The gray node still receives slowly (receiver-side latency).
+        match m.route(NodeId(1), NodeId(0), &mut rng) {
+            RouteOutcome::Deliver { copies, .. } => {
+                assert_eq!(copies[0], SimDuration::from_millis(510));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn chaos_knobs_at_rest_preserve_legacy_rng_sequence() {
+        // With every chaos knob unconfigured, the RNG draw sequence must be
+        // identical to the pre-chaos model: [drop draw if enabled, latency].
+        let legacy = |rng: &mut SmallRng| {
+            // The historical implementation, inlined.
+            let drop_prob = 0.3;
+            if rng.gen::<f64>() < drop_prob {
+                return None;
+            }
+            Some(sample_range(SimDuration::from_millis(5), SimDuration::from_millis(25), rng))
+        };
+        let mut m = NetworkModel::ideal(SimDuration::ZERO);
+        m.drop_prob = 0.3;
+        m.latency = LatencyModel::Uniform {
+            min: SimDuration::from_millis(5),
+            max: SimDuration::from_millis(25),
+        };
+        let mut a = fork(8, 0);
+        let mut b = fork(8, 0);
+        for _ in 0..500 {
+            assert_eq!(m.route(NodeId(0), NodeId(1), &mut a).delay(), legacy(&mut b));
+        }
     }
 
     #[test]

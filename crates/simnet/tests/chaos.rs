@@ -1,0 +1,209 @@
+//! Chaos-engine integration tests: FaultPlan expansion, gray degradation,
+//! duplication windows, and deterministic replay of whole chaos runs.
+
+use simnet::{
+    ChurnSpec, Context, FaultPlan, GrayProfile, GraySpec, LinkCutSpec, MessageChaosSpec,
+    NetworkModel, Node, NodeId, SimDuration, SimTime, Simulation, TimerId,
+};
+
+/// Every node pings a random neighbour once a second and counts echoes.
+struct Chatter {
+    n: u32,
+    sent: u64,
+    received: u64,
+    trace: Vec<(u64, NodeId)>,
+}
+
+impl Chatter {
+    fn new(n: u32) -> Self {
+        Chatter { n, sent: 0, received: 0, trace: Vec::new() }
+    }
+}
+
+#[derive(Clone)]
+enum Msg {
+    Ping,
+    Pong,
+}
+
+impl simnet::Payload for Msg {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+impl Node for Chatter {
+    type Msg = Msg;
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(SimDuration::from_millis(500), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.trace.push((ctx.now().since(SimTime::ZERO).as_micros(), from));
+        match msg {
+            Msg::Ping => ctx.send(from, Msg::Pong),
+            Msg::Pong => self.received += 1,
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _t: TimerId, _tag: u64) {
+        let target = rand::Rng::gen_range(ctx.rng(), 0..self.n);
+        if NodeId(target) != ctx.id() {
+            self.sent += 1;
+            ctx.send(NodeId(target), Msg::Ping);
+        }
+        ctx.set_timer(SimDuration::from_secs(1), 1);
+    }
+}
+
+fn build(n: u32, net: NetworkModel, seed: u64) -> Simulation<Chatter> {
+    let mut sim = Simulation::new(net, seed);
+    for _ in 0..n {
+        sim.add_node(Chatter::new(n));
+    }
+    sim
+}
+
+fn stress_plan(n: u32) -> FaultPlan {
+    FaultPlan {
+        salt: 7,
+        churn: vec![ChurnSpec {
+            nodes: (1..n / 2).map(NodeId).collect(),
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(90),
+            mean_up_secs: 25.0,
+            mean_down_secs: 8.0,
+            recover_at_end: true,
+        }],
+        gray: vec![GraySpec {
+            nodes: (n / 2..n / 2 + n / 5).map(NodeId).collect(),
+            start: SimTime::from_secs(20),
+            end: Some(SimTime::from_secs(70)),
+            profile: GrayProfile::brownout(),
+        }],
+        link_cuts: vec![LinkCutSpec {
+            from: NodeId(0),
+            to: NodeId(1),
+            start: SimTime::from_secs(30),
+            end: Some(SimTime::from_secs(60)),
+        }],
+        message_chaos: vec![MessageChaosSpec {
+            start: SimTime::from_secs(15),
+            end: Some(SimTime::from_secs(80)),
+            dup_prob: 0.05,
+            reorder_prob: 0.10,
+            reorder_jitter: SimDuration::from_millis(250),
+        }],
+    }
+}
+
+#[test]
+fn fault_plan_replays_bit_for_bit() {
+    let run = |seed: u64| {
+        let mut sim = build(40, NetworkModel::wan((0..40).map(|i| i / 10).collect(), 0.01), seed);
+        sim.apply_fault_plan(&stress_plan(40));
+        sim.run_until(SimTime::from_secs(120));
+        let traces: Vec<_> = sim.iter().map(|(_, n)| n.trace.clone()).collect();
+        (traces, sim.fault_counters(), sim.total_counters())
+    };
+    assert_eq!(run(11), run(11), "same seed + same plan must replay identically");
+    assert_ne!(run(11).0, run(12).0, "different seeds must diverge");
+}
+
+#[test]
+fn churn_plan_crashes_and_recovers_nodes() {
+    let mut sim = build(30, NetworkModel::default(), 3);
+    let plan = FaultPlan {
+        churn: vec![ChurnSpec {
+            nodes: (1..30).map(NodeId).collect(),
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(60),
+            mean_up_secs: 15.0,
+            mean_down_secs: 5.0,
+            recover_at_end: true,
+        }],
+        ..FaultPlan::default()
+    };
+    assert_eq!(plan.churned_nodes().len(), 29);
+    sim.apply_fault_plan(&plan);
+    sim.run_until(SimTime::from_secs(80));
+    let faults = sim.fault_counters();
+    assert!(faults.crashes > 0, "churn produced no crashes");
+    assert_eq!(faults.crashes, faults.recoveries, "recover_at_end balances the books");
+    for i in 0..30 {
+        assert!(!sim.is_down(NodeId(i)), "node {i} left down after the plan ended");
+    }
+}
+
+#[test]
+fn gray_node_still_gossips_slow_is_not_dead() {
+    let mut sim = build(20, NetworkModel::ideal(SimDuration::from_millis(10)), 5);
+    let gray = NodeId(7);
+    sim.apply_fault_plan(&FaultPlan {
+        gray: vec![GraySpec {
+            nodes: vec![gray],
+            start: SimTime::from_secs(10),
+            end: None,
+            profile: GrayProfile {
+                extra_latency: SimDuration::from_millis(400),
+                extra_drop: 0.2,
+                send_throttle: 0.5,
+            },
+        }],
+        ..FaultPlan::default()
+    });
+    sim.run_until(SimTime::from_secs(10));
+    let (sent_before, recv_before) = {
+        let n = sim.node(gray);
+        (n.sent, n.trace.len())
+    };
+    sim.run_until(SimTime::from_secs(120));
+    let n = sim.node(gray);
+    assert!(!sim.is_down(gray), "gray is degradation, not a crash");
+    assert!(n.sent > sent_before, "gray node kept initiating pings");
+    assert!(n.trace.len() > recv_before, "gray node kept receiving (slowly)");
+    let faults = sim.fault_counters();
+    assert!(faults.drops_gray_send > 0, "throttle never fired");
+    assert!(faults.drops_gray_recv > 0, "receiver-side gray loss never fired");
+}
+
+#[test]
+fn duplication_window_inflates_deliveries() {
+    let mut sim = build(20, NetworkModel::ideal(SimDuration::from_millis(10)), 6);
+    sim.apply_fault_plan(&FaultPlan {
+        message_chaos: vec![MessageChaosSpec {
+            start: SimTime::ZERO,
+            end: Some(SimTime::from_secs(60)),
+            dup_prob: 0.25,
+            reorder_prob: 0.0,
+            reorder_jitter: SimDuration::ZERO,
+        }],
+        ..FaultPlan::default()
+    });
+    sim.run_until(SimTime::from_secs(60));
+    let faults = sim.fault_counters();
+    let totals = sim.total_counters();
+    assert!(faults.msgs_duplicated > 0, "no duplicates in a 25% window");
+    assert_eq!(
+        totals.msgs_recv,
+        totals.msgs_sent + faults.msgs_duplicated,
+        "every copy (original or duplicate) is delivered on a lossless net"
+    );
+}
+
+#[test]
+fn asymmetric_cut_blocks_one_direction() {
+    let mut sim = build(2, NetworkModel::ideal(SimDuration::from_millis(5)), 8);
+    sim.apply_fault_plan(&FaultPlan {
+        link_cuts: vec![LinkCutSpec {
+            from: NodeId(0),
+            to: NodeId(1),
+            start: SimTime::ZERO,
+            end: None,
+        }],
+        ..FaultPlan::default()
+    });
+    sim.run_until(SimTime::from_secs(60));
+    // Node 1's pings reach node 0, but node 0 can never answer (or ping).
+    assert!(!sim.node(NodeId(0)).trace.is_empty(), "reverse direction flows");
+    assert!(sim.node(NodeId(1)).trace.is_empty(), "cut direction is dark");
+    assert!(sim.fault_counters().drops_link_cut > 0);
+}

@@ -113,11 +113,7 @@ fn main() {
     deployment.settle(25);
     let got = deployment.delivered_nodes(&exclusive);
     let leaked = got.iter().filter(|n| !premium_nodes.contains(n)).count();
-    println!(
-        "premium-only item: {} deliveries, {} to non-premium subscribers",
-        got.len(),
-        leaked
-    );
+    println!("premium-only item: {} deliveries, {} to non-premium subscribers", got.len(), leaked);
     assert_eq!(leaked, 0, "publisher predicate must confine premium content");
     println!("ok");
 }

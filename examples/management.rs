@@ -54,9 +54,7 @@ fn main() {
 
     // Mobile code: one operator node installs a brand-new aggregate; every
     // replica of every summary row eventually computes it.
-    sim.node_mut(NodeId(40))
-        .agent
-        .install_aggregation("peak", "SELECT MAX(bw) AS bw_peak");
+    sim.node_mut(NodeId(40)).agent.install_aggregation("peak", "SELECT MAX(bw) AS bw_peak");
     sim.run_until(SimTime::from_secs(130));
     let peak: f64 = sim
         .node(NodeId(0))

@@ -37,7 +37,11 @@ fn main() {
         sim.add_node(WebNode::Attacker(AttackClient::new(NodeId(0), SimDuration::from_millis(50))));
     }
     for s in 0..30 {
-        sim.schedule_external(SimTime::from_secs(s * 2), NodeId(0), WebMsg::PublishStory { story: s });
+        sim.schedule_external(
+            SimTime::from_secs(s * 2),
+            NodeId(0),
+            WebMsg::PublishStory { story: s },
+        );
     }
     sim.run_until(SimTime::from_secs(60));
     let WebNode::Server(server) = sim.node(NodeId(0)) else { unreachable!() };

@@ -152,7 +152,7 @@ impl Command {
         let mut polls: Vec<u64> = vec![1, 2, 4, 8, 24, 48];
 
         let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                              flag: &str|
+                          flag: &str|
          -> Result<String, UsageError> {
             it.next().cloned().ok_or_else(|| err(format!("{flag} needs a value")))
         };
@@ -369,7 +369,10 @@ fn redundancy(polls: &[u64]) {
     let days = 14u64;
     let trace = generator.generate(&mut rng, days * DAY_US);
     let times: Vec<u64> = trace.iter().map(|e| e.at_us).collect();
-    println!("polls/day  redundant%  (rolling 20-headline page, {} stories/day)", times.len() as u64 / days);
+    println!(
+        "polls/day  redundant%  (rolling 20-headline page, {} stories/day)",
+        times.len() as u64 / days
+    );
     for &p in polls {
         let r = baselines::simulate_polling(&times, DAY_US / p, days * DAY_US, 20, 300);
         println!("{:>9}  {:>9.1}", p, 100.0 * r.redundant_fraction());
@@ -408,8 +411,7 @@ mod tests {
 
     #[test]
     fn model_and_wan() {
-        let Command::Run(o) = parse(&["run", "--model", "masks", "--wan", "0.05"]).unwrap()
-        else {
+        let Command::Run(o) = parse(&["run", "--model", "masks", "--wan", "0.05"]).unwrap() else {
             panic!()
         };
         assert_eq!(o.model, SubscriptionModel::CategoryMask);

@@ -173,10 +173,7 @@ fn xmlrpc_gateway_end_to_end() {
         .headline("Pushed over XML-RPC")
         .category(Category::Technology)
         .build();
-    let call = MethodCall::new(
-        "newswire.publish",
-        vec![Value::Str(newsml::to_nitf_xml(&item))],
-    );
+    let call = MethodCall::new("newswire.publish", vec![Value::Str(newsml::to_nitf_xml(&item))]);
     let publisher_node = d.publisher_node(PublisherId(0));
     let mut to_publish = Vec::new();
     let resp = dispatch(d.sim.node(publisher_node), &call.to_xml(), |i| to_publish.push(i));
@@ -225,7 +222,9 @@ fn forwarding_log_traces_an_item() {
     let delivered_logs: usize = d
         .sim
         .iter()
-        .map(|(_, n)| n.log.trace(msg_id).iter().filter(|r| r.event == ForwardEvent::Delivered).count())
+        .map(|(_, n)| {
+            n.log.trace(msg_id).iter().filter(|r| r.event == ForwardEvent::Delivered).count()
+        })
         .sum();
     assert!(delivered_logs > 0);
 }
