@@ -12,6 +12,9 @@
 //!   `k`-redundant representative forwarding.
 //! * [`ForwardLog`] — the forwarding component's bounded operational log
 //!   (§9: "each forwarding component maintains a log file").
+//! * [`SeqLog`] — epoch/sequence-numbered per-source article logs whose
+//!   fixed-size [`RangeSummary`] digests piggyback on gossip to drive
+//!   anti-entropy hole detection after partitions.
 //! * [`McastNode`] — the composed simulated node (Astrolabe agent +
 //!   forwarding component).
 //! * [`PbcastNode`] — Bimodal Multicast, the yardstick protocol of §5.
@@ -61,6 +64,7 @@ mod log;
 mod mcast;
 mod node;
 mod queues;
+mod seqlog;
 
 pub use bimodal::{PbcastConfig, PbcastMsg, PbcastNode};
 pub use dedup::{CoverageWindow, DedupWindow};
@@ -68,11 +72,12 @@ pub use log::{ForwardEvent, ForwardLog, LogRecord};
 pub use mcast::{route, zone_reps, Action, FilterSpec, McastData};
 pub use node::{McastConfig, McastMsg, McastNode, McastStats};
 pub use queues::{ForwardingQueues, Queued, Strategy};
+pub use seqlog::{RangeSummary, SeqLog};
 
 #[cfg(test)]
 mod proptests {
     use super::Strategy as QStrategy;
-    use super::{CoverageWindow, DedupWindow, ForwardingQueues};
+    use super::{CoverageWindow, DedupWindow, ForwardingQueues, SeqLog};
     use proptest::prelude::*;
 
     proptest! {
@@ -121,6 +126,31 @@ mod proptests {
             }
             let ps: Vec<u8> = std::iter::from_fn(|| q.pop().map(|e| e.priority)).collect();
             prop_assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+        }
+
+        /// SeqLog summaries stay arithmetically consistent under arbitrary
+        /// insertion orders and capacities: the retained count plus the gap
+        /// mass always equals the knowledge window, and gaps are sorted,
+        /// disjoint, in-window ranges.
+        #[test]
+        fn seqlog_summary_accounts_for_window(
+            seqs in proptest::collection::vec(0u64..200, 0..80),
+            cap in 1usize..32,
+        ) {
+            let mut log = SeqLog::new(cap);
+            for s in seqs {
+                log.insert(s, ());
+            }
+            let summary = log.summary();
+            prop_assert_eq!(summary.present, log.len() as u64);
+            let gap_mass: u64 = log.gaps().iter().map(|(lo, hi)| hi - lo + 1).sum();
+            prop_assert_eq!(summary.present + gap_mass, summary.next - summary.floor);
+            let gaps = log.gaps();
+            prop_assert!(gaps.iter().all(|(lo, hi)| lo <= hi && *lo >= summary.floor
+                && *hi < summary.next));
+            prop_assert!(gaps.windows(2).all(|w| w[0].1 + 1 < w[1].0));
+            // A peer with our own summary offers exactly our gaps.
+            prop_assert_eq!(log.missing_given(&summary), gaps);
         }
 
         /// Coverage admission is monotone: once admitted at depth d, all

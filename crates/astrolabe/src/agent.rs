@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use simnet::SimTime;
+use simnet::{PhiAccrualDetector, PhiConfig, SimTime};
 
 use crate::agg::{parse_program, run_program, AggProgram};
 use crate::config::Config;
@@ -123,6 +123,15 @@ pub struct Agent {
     local: MibBuilder,
     compiled: HashMap<String, Option<AggProgram>>,
     dynamic: BTreeMap<String, String>,
+    /// Per-(level, label) phi-accrual detectors, fed whenever a merged row's
+    /// stamp advances. Failure detection: a row is evicted when its detector
+    /// grows suspicious, not on a fixed TTL cliff.
+    detectors: HashMap<(usize, u16), PhiAccrualDetector>,
+    /// Stamp watermark of rows evicted on suspicion: gossip re-offering the
+    /// same (or an older) stamp is refused, so an evicted member cannot be
+    /// resurrected by a replica that has not evicted it yet. A genuinely
+    /// alive member re-enters with its next, newer stamp.
+    tombstones: HashMap<(usize, u16), u64>,
 }
 
 impl Agent {
@@ -152,6 +161,8 @@ impl Agent {
             local: MibBuilder::new(),
             compiled: HashMap::new(),
             dynamic: BTreeMap::new(),
+            detectors: HashMap::new(),
+            tombstones: HashMap::new(),
         }
     }
 
@@ -269,12 +280,43 @@ impl Agent {
         self.tables[0].merge_row(self.own_slot, row);
     }
 
+    /// Tuning for the per-row failure detectors, derived from the gossip
+    /// cadence: generous floors so multi-hop propagation jitter does not
+    /// read as failure, while a genuinely silent row is suspected within a
+    /// few rounds instead of a fixed multi-round TTL.
+    fn phi_config(&self) -> PhiConfig {
+        PhiConfig {
+            window: self.config.phi_window,
+            threshold: self.config.phi_threshold,
+            first_interval: self.config.gossip_interval * 2,
+            min_stddev: self.config.gossip_interval,
+        }
+    }
+
+    /// Failure detection sweep: evict rows whose phi detector has crossed
+    /// the suspicion threshold, plus (backstop) rows past the hard TTL whose
+    /// cadence was never observed. Evicted stamps are tombstoned so stale
+    /// replicas cannot resurrect them.
     fn gc(&mut self, now: SimTime) {
-        let ttl = self.config.row_ttl.as_micros();
-        let cutoff = now.as_micros().saturating_sub(ttl);
+        let hard_cutoff = now.as_micros().saturating_sub(self.config.row_ttl.as_micros());
         for level in 0..self.tables.len() {
             let keep = self.own_label(level);
-            self.tables[level].evict_stale(cutoff, Some(keep));
+            let suspects: Vec<(u16, u64)> = self.tables[level]
+                .iter()
+                .filter(|&(label, row)| {
+                    label != keep
+                        && match self.detectors.get(&(level, label)) {
+                            Some(d) => d.is_suspect(now) || row.stamp.issued_us < hard_cutoff,
+                            None => row.stamp.issued_us < hard_cutoff,
+                        }
+                })
+                .map(|(label, row)| (label, row.stamp.issued_us))
+                .collect();
+            for (label, issued_us) in suspects {
+                self.tables[level].remove(label);
+                self.detectors.remove(&(level, label));
+                self.tombstones.insert((level, label), issued_us);
+            }
         }
     }
 
@@ -448,13 +490,17 @@ impl Agent {
 
     /// Merges a batch of rows; returns how many rows changed local state.
     ///
-    /// Rows older than the failure-detection TTL are rejected outright:
-    /// without this, a row evicted locally would be resurrected by the next
-    /// gossip exchange with a replica that had not evicted it yet, and a
-    /// failed member would never leave the membership.
+    /// Two classes of stale row are rejected outright: rows older than the
+    /// hard TTL, and rows at or below a tombstoned stamp (evicted here on
+    /// suspicion). Without this, a row evicted locally would be resurrected
+    /// by the next gossip exchange with a replica that had not evicted it
+    /// yet, and a failed member would never leave the membership. Each
+    /// admitted stamp advance also feeds the row's phi detector — gossip
+    /// *is* the heartbeat.
     fn merge_rows(&mut self, now: SimTime, batches: &[TableRows]) -> usize {
         let ttl = self.config.row_ttl.as_micros();
         let cutoff = now.as_micros().saturating_sub(ttl);
+        let phi_config = self.phi_config();
         let mut changed = 0;
         for batch in batches {
             let Some(level) = self.level_of(&batch.zone) else { continue };
@@ -462,8 +508,23 @@ impl Agent {
                 if row.stamp.issued_us < cutoff {
                     continue;
                 }
+                if let Some(&watermark) = self.tombstones.get(&(level, *label)) {
+                    if row.stamp.issued_us <= watermark {
+                        continue;
+                    }
+                }
+                let advanced = self.tables[level]
+                    .get(*label)
+                    .is_none_or(|old| row.stamp.issued_us > old.stamp.issued_us);
                 if self.tables[level].merge_row(*label, Arc::clone(row)) {
                     changed += 1;
+                    if advanced && *label != self.own_label(level) {
+                        self.tombstones.remove(&(level, *label));
+                        self.detectors
+                            .entry((level, *label))
+                            .or_insert_with(|| PhiAccrualDetector::new(phi_config))
+                            .heartbeat(now);
+                    }
                 }
             }
         }
@@ -570,6 +631,14 @@ impl Agent {
             *t = ZoneTable::new(t.zone.clone());
         }
         self.version = 0;
+        self.detectors.clear();
+        self.tombstones.clear();
+    }
+
+    /// Current phi suspicion level for the row at `(level, label)`, if a
+    /// detector has observed it (diagnostics and host-layer reuse).
+    pub fn suspicion(&self, level: usize, label: u16, now: SimTime) -> Option<f64> {
+        self.detectors.get(&(level, label)).map(|d| d.phi(now))
     }
 }
 
@@ -723,6 +792,29 @@ mod tests {
         assert!(a0.table(0).get(1).is_none(), "stale row must be evicted");
         let row = a0.root_table().get(0).expect("zone row");
         assert_eq!(row.get("nmembers").and_then(|v| v.as_i64()), Some(3));
+    }
+
+    #[test]
+    fn phi_evicts_before_hard_ttl() {
+        // With a 20s TTL a silent member used to linger for 20 rounds; the
+        // phi detector, having learned the ~1s refresh cadence, suspects it
+        // within a handful of rounds.
+        let mut agents = make_agents(8, 4);
+        let t = run_rounds(&mut agents, 8, 0);
+        let mut survivors: Vec<Agent> = agents.into_iter().filter(|a| a.id() != 1).collect();
+        let t2 = run_rounds(&mut survivors, 10, t);
+        assert!(
+            SimTime::from_micros(t2).since(SimTime::from_micros(t)) < small_config().row_ttl,
+            "test horizon must stay inside the TTL for this to mean anything"
+        );
+        assert!(
+            survivors[0].table(0).get(1).is_none(),
+            "phi should evict the silent member before the hard TTL"
+        );
+        // The detector state is queryable while a row is alive.
+        let a0 = &survivors[0];
+        assert!(a0.suspicion(0, 2, SimTime::from_micros(t2)).is_some());
+        assert!(a0.suspicion(0, 1, SimTime::from_micros(t2)).is_none(), "evicted: gone");
     }
 
     #[test]

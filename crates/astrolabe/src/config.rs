@@ -25,8 +25,17 @@ pub struct Config {
     pub branching: u16,
     /// Gossip round period per agent.
     pub gossip_interval: SimDuration,
-    /// Rows older than this are evicted (failure detection).
+    /// Hard staleness bound: rows issued longer ago than this are evicted
+    /// and refused in merges regardless of suspicion level. Primary failure
+    /// detection is phi-accrual (see [`Config::phi_threshold`]); the TTL is
+    /// the backstop for rows whose update cadence was never observed.
     pub row_ttl: SimDuration,
+    /// Phi-accrual suspicion threshold at which a silent row is evicted.
+    /// Higher is more conservative; 8 ≈ one false eviction per 10^8
+    /// on-cadence observations.
+    pub phi_threshold: f64,
+    /// Inter-arrival samples the per-row phi detectors keep.
+    pub phi_window: usize,
     /// Representatives elected per zone (`k` of `REPSEL`).
     pub reps_per_zone: usize,
     /// Aggregation programs installed from configuration. Dynamic programs
@@ -55,6 +64,8 @@ impl Config {
             branching: crate::zone::DEFAULT_BRANCHING,
             gossip_interval: SimDuration::from_secs(2),
             row_ttl: SimDuration::from_secs(30),
+            phi_threshold: 8.0,
+            phi_window: 16,
             reps_per_zone: k,
             aggregations: vec![AggSpec::new("core", Self::core_program(k))],
             contact_fanout: 3,

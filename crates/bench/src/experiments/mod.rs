@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E13). Each module reproduces one quantitative
+//! The experiment suite (E1–E14). Each module reproduces one quantitative
 //! claim of the paper; DESIGN.md §3 is the index, EXPERIMENTS.md records
 //! paper-vs-measured.
 
@@ -16,6 +16,7 @@ pub mod e10_queues;
 pub mod e11_repair;
 pub mod e12_gossip_cost;
 pub mod e13_chaos;
+pub mod e14_partition;
 
 pub(crate) mod support {
     //! Shared deployment builders for the experiments.

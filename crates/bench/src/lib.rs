@@ -1,6 +1,6 @@
 //! # bench — the experiment harness of the NewsWire reproduction
 //!
-//! One module per experiment (E1–E13, see `DESIGN.md` §3 for the index
+//! One module per experiment (E1–E14, see `DESIGN.md` §3 for the index
 //! mapping each to the paper claim it reproduces). The `experiments` binary
 //! runs them and prints the tables recorded in `EXPERIMENTS.md`:
 //!
@@ -19,10 +19,10 @@ mod table;
 pub use table::Table;
 
 /// Experiment ids in run order.
-pub const ALL: [&str; 14] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1"];
+pub const ALL: [&str; 15] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1"];
 
-/// Runs one experiment by id (`"e1"`…`"e13"`); `quick` shrinks problem
+/// Runs one experiment by id (`"e1"`…`"e14"`); `quick` shrinks problem
 /// sizes for smoke runs. Returns `false` for an unknown id.
 pub fn run(id: &str, quick: bool) -> bool {
     match id {
@@ -39,6 +39,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e11" => experiments::e11_repair::run(quick),
         "e12" => experiments::e12_gossip_cost::run(quick),
         "e13" => experiments::e13_chaos::run(quick),
+        "e14" => experiments::e14_partition::run(quick),
         "a1" => experiments::a01_models::run(quick),
         _ => return false,
     }

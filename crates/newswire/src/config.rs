@@ -74,8 +74,15 @@ pub struct NewsWireConfig {
     pub ack_max_failovers: u32,
     /// Timeout on repair replies: absent a `RepairReply`, re-target a
     /// different peer instead of idling a full `repair_interval`.
-    /// `None` disables re-targeting.
+    /// `None` disables re-targeting. Also bounds reconciliation replies.
     pub repair_reply_timeout: Option<SimDuration>,
+    /// Log anti-entropy: piggyback per-publisher article-log digests
+    /// (`sys$ae:<publisher>` attributes) on gossip rows and pull missing
+    /// sequence ranges from the freshest known peer. Separate from
+    /// `repair_interval` — the margin-backed repair path only re-offers
+    /// items near the high-water mark, while reconciliation closes
+    /// arbitrarily deep holes (e.g. everything missed during a partition).
+    pub anti_entropy: bool,
 }
 
 impl NewsWireConfig {
@@ -97,6 +104,7 @@ impl NewsWireConfig {
             ack_backoff: 2,
             ack_max_failovers: 2,
             repair_reply_timeout: Some(SimDuration::from_secs(3)),
+            anti_entropy: true,
         }
     }
 

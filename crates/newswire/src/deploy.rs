@@ -343,6 +343,13 @@ impl Deployment {
             t.ack_failovers += s.ack_failovers;
             t.handoffs_abandoned += s.handoffs_abandoned;
             t.repair_retargets += s.repair_retargets;
+            t.suspect_failovers += s.suspect_failovers;
+            t.reconcile_requests += s.reconcile_requests;
+            t.reconcile_items_recv += s.reconcile_items_recv;
+            t.reconciles_served += s.reconciles_served;
+            t.reconcile_items_sent += s.reconcile_items_sent;
+            t.reconcile_bytes_sent += s.reconcile_bytes_sent;
+            t.reconcile_retargets += s.reconcile_retargets;
             t.peak_queue = t.peak_queue.max(s.peak_queue);
         }
         t

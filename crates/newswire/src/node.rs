@@ -10,18 +10,18 @@
 //! [`PublisherCredential`] — the restricted publisher application of §8
 //! (authentication, flow control, scoped publishing).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use amcast::{
     route, zone_reps, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
-    ForwardingQueues, LogRecord,
+    ForwardingQueues, LogRecord, RangeSummary, SeqLog,
 };
 use astrolabe::{Agent, TrustRegistry, ZoneId};
-use newsml::{ItemId, NewsItem};
+use newsml::{ItemId, NewsItem, PublisherId};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simnet::{Context, Node, NodeId, SimDuration, SimTime, TimerId};
+use simnet::{Context, Node, NodeId, PhiAccrualDetector, PhiConfig, SimDuration, SimTime, TimerId};
 
 use crate::auth::{verify_item, PublisherCredential};
 use crate::cache::{CacheOutcome, MessageCache};
@@ -96,6 +96,21 @@ pub struct NodeStats {
     pub handoffs_abandoned: u64,
     /// Repair requests re-targeted at a new peer after a reply timeout.
     pub repair_retargets: u64,
+    /// Hand-offs failed over early because the phi detector already
+    /// suspected the representative (retries against it would be wasted).
+    pub suspect_failovers: u64,
+    /// Anti-entropy reconcile requests sent.
+    pub reconcile_requests: u64,
+    /// Items received through reconcile replies.
+    pub reconcile_items_recv: u64,
+    /// Reconcile requests answered (with at least one item).
+    pub reconciles_served: u64,
+    /// Items shipped in reconcile replies.
+    pub reconcile_items_sent: u64,
+    /// Payload bytes shipped in reconcile replies (repair-traffic cost).
+    pub reconcile_bytes_sent: u64,
+    /// Reconcile requests re-targeted after a reply timeout.
+    pub reconcile_retargets: u64,
 }
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
@@ -105,8 +120,29 @@ const GOSSIP_TIMER: u64 = 1;
 const DRAIN_TIMER: u64 = 2;
 const REPAIR_TIMER: u64 = 3;
 const REPAIR_WAIT_TIMER: u64 = 4;
+const RECONCILE_WAIT_TIMER: u64 = 5;
 /// Timer tags at or above this carry a pending hand-off id in the low bits.
 const ACK_TAG_BASE: u64 = 1 << 32;
+
+/// Prefix of the gossip-row attributes carrying per-publisher article-log
+/// digests (`sys$ae:<publisher>` → [`RangeSummary::encode`] output). The
+/// digests ride on the rows Astrolabe already gossips — anti-entropy hole
+/// detection costs no extra message types.
+pub const AE_ATTR_PREFIX: &str = "sys$ae:";
+
+/// Entries retained per per-publisher article log.
+const ARTICLE_LOG_CAPACITY: usize = 8192;
+
+/// One outstanding reconcile request awaiting its `ReconcileReply`.
+#[derive(Debug)]
+struct PendingReconcile {
+    peer: NodeId,
+    publisher: PublisherId,
+    /// The inclusive ranges requested (settled against the reply summary).
+    ranges: Vec<(u64, u64)>,
+    timer: TimerId,
+    retargets: u32,
+}
 
 /// One unacknowledged tree hand-off awaiting its `ForwardAck`.
 #[derive(Debug)]
@@ -157,6 +193,18 @@ pub struct NewsWireNode {
     next_handoff: u64,
     /// Outstanding repair request: `(peer, reply timer, retargets so far)`.
     awaiting_repair: Option<(NodeId, TimerId, u32)>,
+    /// Per-publisher article logs: which sequence numbers this node has
+    /// *seen* (delivered, cached, or deliberately filtered). Gaps are the
+    /// holes anti-entropy reconciliation pulls.
+    article_logs: BTreeMap<PublisherId, SeqLog<()>>,
+    /// Phi-accrual detectors over peers this node has heard from; any
+    /// message counts as a heartbeat. Replaces the fixed retry cliff in the
+    /// ack layer: a suspect representative is failed over immediately.
+    peer_health: HashMap<u32, PhiAccrualDetector>,
+    /// Outstanding reconcile request, at most one in flight.
+    awaiting_reconcile: Option<PendingReconcile>,
+    /// Round-robin cursor over publishers for reconcile target selection.
+    reconcile_cursor: usize,
 }
 
 impl NewsWireNode {
@@ -182,6 +230,10 @@ impl NewsWireNode {
             ack_index: HashMap::new(),
             next_handoff: 0,
             awaiting_repair: None,
+            article_logs: BTreeMap::new(),
+            peer_health: HashMap::new(),
+            awaiting_reconcile: None,
+            reconcile_cursor: 0,
         }
     }
 
@@ -234,6 +286,64 @@ impl NewsWireNode {
         self.deliveries.iter().any(|d| d.item == id)
     }
 
+    /// The per-publisher article log, when anything from `publisher` has
+    /// been seen.
+    pub fn article_log(&self, publisher: PublisherId) -> Option<&SeqLog<()>> {
+        self.article_logs.get(&publisher)
+    }
+
+    /// Publishers with a non-empty article log, in id order.
+    pub fn logged_publishers(&self) -> impl Iterator<Item = PublisherId> + '_ {
+        self.article_logs.keys().copied()
+    }
+
+    /// Records that `id` has been seen (whatever the cache then decided).
+    fn log_seen(&mut self, id: ItemId) {
+        self.article_logs
+            .entry(id.publisher)
+            .or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY))
+            .insert(id.seq, ());
+    }
+
+    /// Phi tuning shared with the embedded Astrolabe agent: window and
+    /// threshold from configuration, cadence floors from the gossip period
+    /// (every live peer talks at least that often).
+    fn phi_config(&self) -> PhiConfig {
+        let gossip = self.agent.config().gossip_interval;
+        PhiConfig {
+            window: self.agent.config().phi_window,
+            threshold: self.agent.config().phi_threshold,
+            first_interval: gossip.checked_mul(2).unwrap_or(gossip),
+            min_stddev: gossip,
+        }
+    }
+
+    /// Any message from `from` is a heartbeat for its phi detector.
+    fn note_alive(&mut self, from: NodeId, now: SimTime) {
+        if from == NodeId::EXTERNAL {
+            return;
+        }
+        let config = self.phi_config();
+        self.peer_health
+            .entry(from.0)
+            .or_insert_with(|| PhiAccrualDetector::new(config))
+            .heartbeat(now);
+    }
+
+    /// True when the phi detector suspects `peer`. Unobserved peers are
+    /// unknown, not suspect.
+    fn peer_suspect(&self, peer: u32, now: SimTime) -> bool {
+        self.peer_health.get(&peer).is_some_and(|d| d.is_suspect(now))
+    }
+
+    /// Drops phi-suspect entries from a candidate list — unless that would
+    /// empty it (a suspect peer beats no peer at all).
+    fn prefer_unsuspected(&self, candidates: &mut Vec<u32>, now: SimTime) {
+        if candidates.iter().any(|&c| !self.peer_suspect(c, now)) {
+            candidates.retain(|&c| !self.peer_suspect(c, now));
+        }
+    }
+
     /// The per-hop filter for an item under this deployment's model.
     fn filter_for(&self, item: &NewsItem) -> FilterSpec {
         match self.cfg.model {
@@ -265,6 +375,10 @@ impl NewsWireNode {
     }
 
     fn handle_delivery(&mut self, now: SimTime, item: NewsItem, via_repair: bool) {
+        // Every arrival is *seen* — duplicates, obsolete revisions and
+        // predicate-filtered items included. The log tracks knowledge, not
+        // acceptance: a seen seq is never a hole to reconcile.
+        self.log_seen(item.id);
         if !self.dissemination_admits(&item) {
             // Not addressed to this node (e.g. premium-only content on a
             // free node); neither delivered nor cached.
@@ -425,6 +539,12 @@ impl NewsWireNode {
             signature,
         };
         self.coverage.admit(env.msg_id, scope.depth());
+        // The publisher caches and logs its own output (direct insert — this
+        // is not a delivery, so no delivery/FP accounting): after a
+        // partition, side A's publishers are authoritative reconcile sources
+        // for everything the other side missed.
+        self.log_seen(env.item.id);
+        self.cache.insert(env.item.clone(), now);
         self.process_duty(ctx, env, scope);
     }
 
@@ -445,7 +565,7 @@ impl NewsWireNode {
     /// tables — when a forwarder crash loses a whole subtree, everyone in
     /// the local leaf zone is missing the same items, and only a
     /// cross-zone peer can supply them.
-    fn repair_peer(&self, rng: &mut rand::rngs::SmallRng) -> Option<NodeId> {
+    fn repair_peer(&self, rng: &mut rand::rngs::SmallRng, now: SimTime) -> Option<NodeId> {
         use astrolabe::AttrValue;
         let mut candidates: Vec<u32> = Vec::new();
         if rng.gen_bool(0.5) {
@@ -469,6 +589,30 @@ impl NewsWireNode {
             }
         }
         candidates.retain(|&p| p != self.agent.id());
+        // Asking a phi-suspect peer wastes a repair round on a reply
+        // timeout; avoid them while any trusted alternative exists.
+        self.prefer_unsuspected(&mut candidates, now);
+        candidates.as_slice().choose(rng).map(|&p| NodeId(p))
+    }
+
+    /// A random *cross-zone* representative from the higher tables — the
+    /// escape hatch when the whole leaf zone shares the same log holes
+    /// (partitions usually fall along zone boundaries).
+    fn cross_zone_peer(&self, rng: &mut rand::rngs::SmallRng, now: SimTime) -> Option<NodeId> {
+        use astrolabe::AttrValue;
+        let mut candidates: Vec<u32> = Vec::new();
+        for level in 1..self.agent.levels() {
+            for (label, row) in self.agent.table(level).iter() {
+                if label == self.agent.own_label(level) {
+                    continue; // our own branch shares our holes
+                }
+                if let Some(AttrValue::Set(reps)) = row.get("reps") {
+                    candidates.extend(reps.iter().filter_map(|&r| u32::try_from(r).ok()));
+                }
+            }
+        }
+        candidates.retain(|&p| p != self.agent.id());
+        self.prefer_unsuspected(&mut candidates, now);
         candidates.as_slice().choose(rng).map(|&p| NodeId(p))
     }
 
@@ -529,8 +673,16 @@ impl NewsWireNode {
         let Some(mut handoff) = self.pending.remove(&tag) else {
             return; // acknowledged (or abandoned) before the timer fired
         };
-        let now_us = ctx.now().as_micros();
-        if handoff.attempt < self.cfg.ack_retries {
+        let now = ctx.now();
+        let now_us = now.as_micros();
+        // Phi-accrual shortcut: when the detector already suspects the
+        // current representative, burning the remaining same-rep retries is
+        // wasted time — fail over immediately.
+        let rep_suspect = self.peer_suspect(handoff.rep, now);
+        if rep_suspect && handoff.attempt < self.cfg.ack_retries {
+            self.stats.suspect_failovers += 1;
+        }
+        if !rep_suspect && handoff.attempt < self.cfg.ack_retries {
             // Same representative, longer leash.
             handoff.attempt += 1;
             self.stats.ack_retries += 1;
@@ -553,6 +705,8 @@ impl NewsWireNode {
         let next = if handoff.failovers < self.cfg.ack_max_failovers {
             let mut candidates = zone_reps(&self.agent, &handoff.zone);
             candidates.retain(|r| !handoff.tried.contains(r) && *r != handoff.rep);
+            // Prefer representatives the phi detector still trusts.
+            self.prefer_unsuspected(&mut candidates, now);
             candidates.as_slice().choose(ctx.rng()).copied()
         } else {
             None
@@ -622,6 +776,212 @@ impl NewsWireNode {
             self.awaiting_repair = Some((peer, timer, retargets));
         }
     }
+
+    /// Publishes the per-publisher log digests into this node's MIB row so
+    /// they gossip with everything else (`sys$ae:<publisher>`).
+    fn publish_ae_digests(&mut self) {
+        if !self.cfg.anti_entropy {
+            return;
+        }
+        let digests: Vec<(PublisherId, String)> =
+            self.article_logs.iter().map(|(p, log)| (*p, log.summary().encode())).collect();
+        for (publisher, encoded) in digests {
+            self.agent.set_local_attr(&format!("{AE_ATTR_PREFIX}{}", publisher.0), encoded);
+        }
+    }
+
+    /// One reconcile step per gossip round: pick the next publisher with
+    /// holes (round-robin), find the freshest peer whose gossiped digest can
+    /// fill them, and pull the missing ranges.
+    ///
+    /// Peer selection prefers leaf-zone neighbours advertising a
+    /// *contiguous* log (they can vouch for everything up to their mark).
+    /// When the whole leaf zone shares the hole — the partition fell along a
+    /// zone boundary — no such neighbour exists, and the fallback asks a
+    /// random cross-zone representative blind. Once one leaf member has
+    /// reconciled across the boundary it becomes a contiguous local source,
+    /// and the rest of the zone heals epidemically from it.
+    fn maybe_reconcile(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
+        if !self.cfg.anti_entropy || self.awaiting_reconcile.is_some() {
+            return;
+        }
+        let publishers: Vec<PublisherId> = self.article_logs.keys().copied().collect();
+        if publishers.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let own = self.agent.own_label(0);
+        for step in 0..publishers.len() {
+            let publisher = publishers[(self.reconcile_cursor + step) % publishers.len()];
+            let log = &self.article_logs[&publisher];
+            let attr = format!("{AE_ATTR_PREFIX}{}", publisher.0);
+            // Leaf neighbours advertising digests that cover holes we have.
+            let mut best: Option<(RangeSummary, u32)> = None;
+            for (label, row) in self.agent.table(0).iter() {
+                if label == own {
+                    continue;
+                }
+                let Some(peer) =
+                    row.get("id").and_then(|v| v.as_i64()).and_then(|v| u32::try_from(v).ok())
+                else {
+                    continue;
+                };
+                let Some(summary) =
+                    row.get(&attr).and_then(|v| v.as_str()).and_then(RangeSummary::decode)
+                else {
+                    continue;
+                };
+                if !summary.contiguous() || log.missing_given(&summary).is_empty() {
+                    continue;
+                }
+                if self.peer_suspect(peer, now) {
+                    continue;
+                }
+                let fresher = match &best {
+                    None => true,
+                    Some((b, _)) => (summary.epoch, summary.next) > (b.epoch, b.next),
+                };
+                if fresher {
+                    best = Some((summary, peer));
+                }
+            }
+            let (peer, ranges) = match best {
+                Some((summary, peer)) => {
+                    (NodeId(peer), self.article_logs[&publisher].missing_given(&summary))
+                }
+                None => {
+                    // No leaf neighbour is ahead of us. If our own log has
+                    // internal gaps, ask across the zone boundary blind.
+                    let gaps = self.article_logs[&publisher].gaps();
+                    if gaps.is_empty() {
+                        continue;
+                    }
+                    match self.cross_zone_peer(ctx.rng(), now) {
+                        Some(peer) => (peer, gaps),
+                        None => continue,
+                    }
+                }
+            };
+            self.reconcile_cursor = (self.reconcile_cursor + step + 1) % publishers.len();
+            self.send_reconcile_request(ctx, peer, publisher, ranges, 0);
+            return;
+        }
+        self.reconcile_cursor = (self.reconcile_cursor + 1) % publishers.len();
+    }
+
+    /// Sends one `ReconcileRequest` and arms its reply timeout.
+    fn send_reconcile_request(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        peer: NodeId,
+        publisher: PublisherId,
+        ranges: Vec<(u64, u64)>,
+        retargets: u32,
+    ) {
+        let (epoch, tail_from) = self
+            .article_logs
+            .get(&publisher)
+            .map(|log| (log.epoch(), log.next_seq()))
+            .unwrap_or((0, 0));
+        self.stats.reconcile_requests += 1;
+        ctx.send(
+            peer,
+            NewsWireMsg::ReconcileRequest { publisher, epoch, ranges: ranges.clone(), tail_from },
+        );
+        if let Some(wait) = self.cfg.repair_reply_timeout {
+            let backoff = u64::from(self.cfg.ack_backoff.max(1)).pow(retargets);
+            let delay = wait.checked_mul(backoff).unwrap_or(wait);
+            let timer = ctx.set_timer(delay, RECONCILE_WAIT_TIMER);
+            self.awaiting_reconcile =
+                Some(PendingReconcile { peer, publisher, ranges, timer, retargets });
+        }
+    }
+
+    /// Serves a `ReconcileRequest` from the cache.
+    fn serve_reconcile(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        from: NodeId,
+        publisher: PublisherId,
+        epoch: u32,
+        ranges: &[(u64, u64)],
+        tail_from: u64,
+    ) {
+        let summary =
+            self.article_logs.get(&publisher).map(|log| log.summary()).unwrap_or_default();
+        let mut items: Vec<NewsItem> = Vec::new();
+        // A requester on a newer epoch has restarted history; our items
+        // would be misfiled under its sequencing, so ship nothing (the
+        // summary still tells it where we stand).
+        if summary.epoch >= epoch {
+            for &(lo, hi) in ranges {
+                items.extend(
+                    self.cache
+                        .items_from(publisher, lo, self.cfg.repair_batch)
+                        .into_iter()
+                        .filter(|i| i.id.seq <= hi),
+                );
+            }
+            items.extend(self.cache.items_from(publisher, tail_from, self.cfg.repair_batch));
+            items.sort_by_key(|i| i.id);
+            items.dedup_by_key(|i| i.id);
+            items.truncate(self.cfg.repair_batch);
+        }
+        if !items.is_empty() {
+            self.stats.reconciles_served += 1;
+            self.stats.reconcile_items_sent += items.len() as u64;
+            self.stats.reconcile_bytes_sent +=
+                items.iter().map(|i| i.wire_size() as u64).sum::<u64>();
+        }
+        // Reply even when empty: the summary lets the requester settle
+        // unservable holes, and the reply itself proves liveness.
+        ctx.send(from, NewsWireMsg::ReconcileReply { publisher, summary, items });
+    }
+
+    /// Absorbs a `ReconcileReply`: deliver the recovered items, then settle
+    /// requested seqs the responder's contiguous summary vouches for —
+    /// revision-fused or evicted seqs are unservable by *anyone* on that
+    /// epoch, and without settling we would re-request them forever.
+    fn absorb_reconcile_reply(
+        &mut self,
+        ctx: &mut Context<'_, NewsWireMsg>,
+        from: NodeId,
+        publisher: PublisherId,
+        summary: RangeSummary,
+        items: Vec<NewsItem>,
+    ) {
+        let requested = match &self.awaiting_reconcile {
+            Some(p) if p.peer == from && p.publisher == publisher => {
+                let p = self.awaiting_reconcile.take().unwrap();
+                ctx.cancel_timer(p.timer);
+                Some(p.ranges)
+            }
+            _ => None,
+        };
+        let now = ctx.now();
+        self.stats.reconcile_items_recv += items.len() as u64;
+        let log =
+            self.article_logs.entry(publisher).or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
+        if summary.epoch > log.epoch() {
+            log.adopt_epoch(summary.epoch);
+        }
+        for item in items {
+            self.handle_delivery(now, item, true);
+        }
+        if let Some(ranges) = requested {
+            let log = self
+                .article_logs
+                .entry(publisher)
+                .or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
+            if summary.epoch == log.epoch() && summary.contiguous() {
+                for (lo, hi) in ranges {
+                    for seq in lo..=hi.min(summary.next.saturating_sub(1)) {
+                        log.insert(seq, ());
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Node for NewsWireNode {
@@ -638,6 +998,7 @@ impl Node for NewsWireNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, NewsWireMsg>, from: NodeId, msg: NewsWireMsg) {
+        self.note_alive(from, ctx.now());
         match msg {
             NewsWireMsg::Gossip(g) => {
                 let now = ctx.now();
@@ -734,6 +1095,12 @@ impl Node for NewsWireNode {
                     self.handle_delivery(now, item, true);
                 }
             }
+            NewsWireMsg::ReconcileRequest { publisher, epoch, ranges, tail_from } => {
+                self.serve_reconcile(ctx, from, publisher, epoch, &ranges, tail_from);
+            }
+            NewsWireMsg::ReconcileReply { publisher, summary, items } => {
+                self.absorb_reconcile_reply(ctx, from, publisher, summary, items);
+            }
         }
     }
 
@@ -744,12 +1111,14 @@ impl Node for NewsWireNode {
                 // around busy nodes (paper §5).
                 let load = self.load_bias + self.queues.len() as f64;
                 self.agent.set_local_attr("load", load);
+                self.publish_ae_digests();
                 let now = ctx.now();
                 let out = self.agent.on_tick(now, ctx.rng());
                 for (to, g) in out {
                     ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
                 }
                 self.cache.gc(now);
+                self.maybe_reconcile(ctx);
                 ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
             }
             DRAIN_TIMER => {
@@ -782,7 +1151,8 @@ impl Node for NewsWireNode {
                 }
             }
             REPAIR_TIMER => {
-                if let Some(peer) = self.repair_peer(ctx.rng()) {
+                let now = ctx.now();
+                if let Some(peer) = self.repair_peer(ctx.rng(), now) {
                     self.send_repair_request(ctx, peer, 0);
                 }
                 if let Some(repair) = self.cfg.repair_interval {
@@ -800,10 +1170,38 @@ impl Node for NewsWireNode {
                     return;
                 }
                 self.stats.repair_retargets += 1;
+                let now = ctx.now();
                 for _ in 0..4 {
-                    match self.repair_peer(ctx.rng()) {
+                    match self.repair_peer(ctx.rng(), now) {
                         Some(peer) if peer != failed_peer => {
                             self.send_repair_request(ctx, peer, retargets + 1);
+                            return;
+                        }
+                        Some(_) => continue,
+                        None => return,
+                    }
+                }
+            }
+            RECONCILE_WAIT_TIMER => {
+                // The reconcile peer never answered. Re-target across the
+                // zone boundary (a bounded number of times — the next gossip
+                // round restarts the cycle anyway).
+                let Some(p) = self.awaiting_reconcile.take() else { return };
+                if p.retargets >= self.cfg.ack_max_failovers {
+                    return;
+                }
+                let now = ctx.now();
+                for _ in 0..4 {
+                    match self.cross_zone_peer(ctx.rng(), now) {
+                        Some(peer) if peer != p.peer => {
+                            self.stats.reconcile_retargets += 1;
+                            self.send_reconcile_request(
+                                ctx,
+                                peer,
+                                p.publisher,
+                                p.ranges,
+                                p.retargets + 1,
+                            );
                             return;
                         }
                         Some(_) => continue,
@@ -829,6 +1227,9 @@ impl Node for NewsWireNode {
         self.pending.clear();
         self.ack_index.clear();
         self.awaiting_repair = None;
+        self.article_logs.clear();
+        self.peer_health.clear();
+        self.awaiting_reconcile = None;
         ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
         if let Some(repair) = self.cfg.repair_interval {
             ctx.set_timer(repair, REPAIR_TIMER);
@@ -951,5 +1352,78 @@ mod tests {
         let n = node_with(NewsWireConfig::tech_news());
         assert!(n.publisher().is_none());
         assert_eq!(SubscriptionModel::CategoryMask.attr_for(PublisherId(3)), "cats$3");
+    }
+
+    #[test]
+    fn article_log_tracks_every_arrival() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        for seq in [0, 1, 4] {
+            n.handle_delivery(now, tech_item(seq), false);
+        }
+        // A duplicate is still a single log entry…
+        n.handle_delivery(now, tech_item(1), false);
+        // …and an uninteresting (Bloom FP) arrival is seen too.
+        let sports =
+            NewsItem::builder(PublisherId(0), 5).headline("s").category(Category::Sports).build();
+        n.handle_delivery(now, sports, false);
+        let log = n.article_log(PublisherId(0)).expect("log exists");
+        assert_eq!(log.len(), 4, "seqs 0, 1, 4, 5 — the duplicate logs once");
+        assert_eq!(log.gaps(), vec![(2, 3)], "the unseen seqs are the holes");
+        assert_eq!(n.logged_publishers().collect::<Vec<_>>(), vec![PublisherId(0)]);
+        assert!(n.article_log(PublisherId(9)).is_none());
+    }
+
+    #[test]
+    fn ae_digest_attr_roundtrips_through_the_mib() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        for seq in [0, 1, 2, 6] {
+            n.handle_delivery(now, tech_item(seq), false);
+        }
+        n.publish_ae_digests();
+        let attr = format!("{AE_ATTR_PREFIX}0");
+        let encoded = n.agent.local_attr(&attr).and_then(|v| v.as_str().map(str::to_owned));
+        let summary = RangeSummary::decode(&encoded.expect("digest published")).unwrap();
+        assert_eq!(summary, n.article_log(PublisherId(0)).unwrap().summary());
+        assert!(!summary.contiguous(), "the hole at 3..=5 shows in the digest");
+        // With anti-entropy off, no digest is published.
+        let mut off =
+            node_with(NewsWireConfig { anti_entropy: false, ..NewsWireConfig::tech_news() });
+        off.handle_delivery(now, tech_item(0), false);
+        off.publish_ae_digests();
+        assert!(off.agent.local_attr(&attr).is_none());
+    }
+
+    #[test]
+    fn phi_detector_suspects_silent_peers_only() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        let (fresh, quiet) = (NodeId(7), NodeId(8));
+        // Both peers heartbeat regularly for a while…
+        for s in 0..20 {
+            n.note_alive(fresh, SimTime::from_secs(s));
+            n.note_alive(quiet, SimTime::from_secs(s));
+        }
+        // …then one goes silent while the other keeps talking.
+        for s in 20..60 {
+            n.note_alive(fresh, SimTime::from_secs(s));
+        }
+        let now = SimTime::from_secs(60);
+        assert!(!n.peer_suspect(7, now));
+        assert!(n.peer_suspect(8, now));
+        assert!(!n.peer_suspect(9, now), "never-seen peers are unknown, not suspect");
+        // External inputs never feed a detector.
+        n.note_alive(NodeId::EXTERNAL, now);
+        assert!(!n.peer_health.contains_key(&NodeId::EXTERNAL.0));
+        // Candidate filtering drops the suspect while alternatives exist…
+        let mut candidates = vec![7, 8];
+        n.prefer_unsuspected(&mut candidates, now);
+        assert_eq!(candidates, vec![7]);
+        // …but keeps it when it is the only option.
+        let mut only = vec![8];
+        n.prefer_unsuspected(&mut only, now);
+        assert_eq!(only, vec![8]);
     }
 }

@@ -57,6 +57,10 @@ pub struct OracleReport {
     pub survivor_expected: u64,
     /// How many of those actually delivered.
     pub survivor_delivered: u64,
+    /// `(survivor, publisher)` article logs left with holes — partition
+    /// damage anti-entropy never reconciled. One violation per
+    /// `(node, first missing seq)` pair.
+    pub unconverged_logs: Vec<Violation>,
 }
 
 impl OracleReport {
@@ -65,6 +69,15 @@ impl OracleReport {
         self.duplicate_deliveries.is_empty()
             && self.unwanted_deliveries.is_empty()
             && self.missed_deliveries.is_empty()
+    }
+
+    /// True when, additionally, every survivor's article logs are
+    /// hole-free — the post-partition convergence invariant. Kept separate
+    /// from [`OracleReport::holds`]: log convergence is only promised when
+    /// anti-entropy reconciliation is enabled, and the ablation arms of the
+    /// partition experiments deliberately run without it.
+    pub fn converged(&self) -> bool {
+        self.unconverged_logs.is_empty()
     }
 
     /// Fraction of `(survivor, matching item)` pairs that delivered
@@ -100,10 +113,14 @@ impl fmt::Display for OracleReport {
             self.survivor_expected,
             100.0 * self.survivor_delivery_ratio(),
         )?;
+        if !self.converged() {
+            writeln!(f, "  ({} unconverged article logs)", self.unconverged_logs.len())?;
+        }
         for (label, list) in [
             ("duplicate delivery", &self.duplicate_deliveries),
             ("unwanted delivery", &self.unwanted_deliveries),
             ("missed delivery", &self.missed_deliveries),
+            ("unconverged log", &self.unconverged_logs),
         ] {
             for v in list.iter().take(8) {
                 writeln!(f, "  {label}: {v}")?;
@@ -128,6 +145,13 @@ pub fn check_invariants(
     exempt: &BTreeSet<NodeId>,
 ) -> OracleReport {
     let by_id: HashMap<ItemId, &NewsItem> = items.iter().map(|i| (i.id, i)).collect();
+    // Highest ground-truth sequence number per publisher, for the log
+    // convergence check.
+    let mut max_seq: HashMap<newsml::PublisherId, u64> = HashMap::new();
+    for item in items {
+        let e = max_seq.entry(item.id.publisher).or_insert(item.id.seq);
+        *e = (*e).max(item.id.seq);
+    }
     let mut report = OracleReport {
         items_checked: items.len(),
         exempt_nodes: exempt.len(),
@@ -157,6 +181,7 @@ pub fn check_invariants(
         if exempt.contains(&node_id) {
             continue;
         }
+        let mut interested_publishers: BTreeSet<newsml::PublisherId> = BTreeSet::new();
         for item in items {
             if node.subscription.matches(item) {
                 report.survivor_expected += 1;
@@ -164,6 +189,34 @@ pub fn check_invariants(
                     report.survivor_delivered += 1;
                 } else {
                     report.missed_deliveries.push(Violation { node: node_id, item: item.id });
+                }
+                interested_publishers.insert(item.id.publisher);
+            }
+        }
+
+        // Post-partition convergence: an interested survivor's article log
+        // must be hole-free through the last ground-truth sequence number —
+        // everything published while the node was unreachable has been seen
+        // (delivered, or vouched unservable by a reconcile peer).
+        for publisher in interested_publishers {
+            let hw = max_seq[&publisher];
+            match node.article_log(publisher) {
+                None => {
+                    report
+                        .unconverged_logs
+                        .push(Violation { node: node_id, item: ItemId::new(publisher, 0) });
+                }
+                Some(log) => {
+                    if let Some(&(lo, _)) = log.gaps().first() {
+                        report
+                            .unconverged_logs
+                            .push(Violation { node: node_id, item: ItemId::new(publisher, lo) });
+                    } else if log.next_seq() <= hw {
+                        report.unconverged_logs.push(Violation {
+                            node: node_id,
+                            item: ItemId::new(publisher, log.next_seq()),
+                        });
+                    }
                 }
             }
         }

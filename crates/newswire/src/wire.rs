@@ -1,6 +1,6 @@
 //! Wire messages of the NewsWire protocol.
 
-use amcast::FilterSpec;
+use amcast::{FilterSpec, RangeSummary};
 use astrolabe::{Certificate, GossipMsg, KeyId, Signature, ZoneId};
 use filters::fnv1a;
 use newsml::{ItemId, NewsItem, PublisherId};
@@ -92,6 +92,33 @@ pub enum NewsWireMsg {
         /// The repair batch.
         items: Vec<NewsItem>,
     },
+    /// Log anti-entropy pull: "ship me these sequence ranges of
+    /// `publisher`'s articles". Sent when a gossiped `sys$ae:` digest (or
+    /// the node's own log) reveals holes the margin-backed repair path
+    /// cannot see.
+    ReconcileRequest {
+        /// The publisher whose log is being reconciled.
+        publisher: PublisherId,
+        /// The requester's history epoch (responders on older epochs have
+        /// nothing useful).
+        epoch: u32,
+        /// Inclusive `(lo, hi)` sequence ranges wanted.
+        ranges: Vec<(u64, u64)>,
+        /// Also ship anything at or past this mark — tail catch-up for
+        /// items the requester does not yet know exist.
+        tail_from: u64,
+    },
+    /// The responder's answer: whatever it still holds of the requested
+    /// ranges, plus its own digest so the requester can settle holes the
+    /// responder vouches are unservable (revision-fused or evicted).
+    ReconcileReply {
+        /// The publisher reconciled.
+        publisher: PublisherId,
+        /// The responder's digest at reply time.
+        summary: RangeSummary,
+        /// The recovered items.
+        items: Vec<NewsItem>,
+    },
 }
 
 impl Payload for NewsWireMsg {
@@ -105,6 +132,10 @@ impl Payload for NewsWireMsg {
             NewsWireMsg::RepairRequest { highwater, .. } => 1 + highwater.len() * 10,
             NewsWireMsg::RepairReply { items } => {
                 items.iter().map(|i| i.wire_size()).sum::<usize>()
+            }
+            NewsWireMsg::ReconcileRequest { ranges, .. } => 2 + 4 + 8 + ranges.len() * 16,
+            NewsWireMsg::ReconcileReply { items, .. } => {
+                2 + 16 + items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
         }
     }

@@ -59,6 +59,7 @@ fn plan_for(seed: u64) -> FaultPlan {
             profile: GrayProfile::brownout(),
         }],
         link_cuts: vec![],
+        partitions: vec![],
         message_chaos: vec![MessageChaosSpec {
             start: SimTime::from_secs(90),
             end: Some(SimTime::from_secs(145)),

@@ -19,6 +19,9 @@
 //! * [`FaultPlan`] — the chaos engine: declarative, seeded schedules of
 //!   Poisson churn, gray brownouts, link cuts, and message-chaos windows,
 //!   expanded deterministically by [`Simulation::apply_fault_plan`].
+//! * [`PhiAccrualDetector`] — adaptive phi-accrual failure detection
+//!   (Hayashibara et al.), shared by protocols that must distinguish
+//!   "slow" from "gone" without a fixed timeout cliff.
 //! * [`Summary`] / [`Histogram`] / [`TrafficCounters`] /
 //!   [`FaultCounters`] — the measurement toolkit experiments use.
 //!
@@ -49,14 +52,16 @@
 
 mod faults;
 mod node;
+mod phi;
 mod rng;
 mod sim;
 mod stats;
 mod time;
 mod topology;
 
-pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec};
+pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec, PartitionSpec};
 pub use node::{Context, Node, NodeId, Payload, TimerId};
+pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use rng::{exp_sample, fork, splitmix64};
 pub use sim::Simulation;
 pub use stats::{FaultCounters, Histogram, Summary, TrafficCounters};

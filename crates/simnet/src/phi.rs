@@ -1,0 +1,280 @@
+//! Phi-accrual failure detection (Hayashibara et al., SRDS 2004).
+//!
+//! A boolean timeout collapses the rich signal "how late is this peer,
+//! relative to how it usually behaves" into a single cliff. The phi-accrual
+//! detector instead keeps a sliding window of observed heartbeat
+//! inter-arrival times and reports a continuous *suspicion level*
+//!
+//! ```text
+//! phi(t) = -log10( P(next heartbeat arrives later than t) )
+//! ```
+//!
+//! under a normal model of the inter-arrival distribution. phi = 1 means a
+//! ~10% chance the peer is merely slow, phi = 3 a ~0.1% chance. Callers pick
+//! a threshold per use: aggressive for retransmit scheduling, conservative
+//! for eviction. Crucially, a gray-degraded peer whose heartbeats slow down
+//! *gradually raises* phi instead of flapping across a fixed TTL.
+//!
+//! The normal tail probability uses the logistic approximation
+//! `1 - CDF(y) ≈ 1 / (1 + e^(y·(1.5976 + 0.070566·y²)))`, accurate to a few
+//! percent over the range that matters and monotone in `y`, which keeps phi
+//! strictly increasing while a peer stays silent.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Tuning for a [`PhiAccrualDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhiConfig {
+    /// Sliding window of inter-arrival samples to model.
+    pub window: usize,
+    /// Suspicion threshold: `phi >= threshold` means "suspect".
+    pub threshold: f64,
+    /// Assumed inter-arrival until the first real sample arrives.
+    pub first_interval: SimDuration,
+    /// Stddev floor, so a metronomically regular peer is not suspected the
+    /// microsecond it slips (simulated gossip can be exactly periodic). The
+    /// effective floor is the larger of this and a quarter of the observed
+    /// mean interval, keeping tolerance proportional to cadence.
+    pub min_stddev: SimDuration,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            window: 64,
+            threshold: 8.0,
+            first_interval: SimDuration::from_secs(2),
+            min_stddev: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// A phi-accrual failure detector for one monitored peer.
+#[derive(Debug, Clone)]
+pub struct PhiAccrualDetector {
+    config: PhiConfig,
+    intervals_us: VecDeque<f64>,
+    sum: f64,
+    sum_sq: f64,
+    last_arrival: Option<SimTime>,
+}
+
+impl PhiAccrualDetector {
+    /// Creates a detector with the given tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the threshold is not positive.
+    pub fn new(config: PhiConfig) -> Self {
+        assert!(config.window > 0, "phi window must be non-empty");
+        assert!(config.threshold > 0.0, "phi threshold must be positive");
+        PhiAccrualDetector {
+            config,
+            intervals_us: VecDeque::with_capacity(config.window),
+            sum: 0.0,
+            sum_sq: 0.0,
+            last_arrival: None,
+        }
+    }
+
+    /// Records a heartbeat (any sign of life) from the peer at `now`.
+    /// Out-of-order arrivals (at or before the last one) refresh nothing.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        match self.last_arrival {
+            None => self.last_arrival = Some(now),
+            Some(last) if now > last => {
+                self.push_interval(now.since(last).as_micros() as f64);
+                self.last_arrival = Some(now);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// The suspicion level at `now`. Zero before the first heartbeat (an
+    /// unobserved peer is unknown, not dead) and zero at the instant of an
+    /// arrival; grows without bound while the peer stays silent.
+    pub fn phi(&self, now: SimTime) -> f64 {
+        let Some(last) = self.last_arrival else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_since(last).as_micros() as f64;
+        let (mean, stddev) = self.model();
+        let y = (elapsed - mean) / stddev;
+        // -log10 of the logistic tail approximation, computed in a form
+        // stable for large y (where 1 - CDF underflows).
+        let e = y * (1.5976 + 0.070566 * y * y);
+        if e > 0.0 {
+            // tail = exp(-e) / (1 + exp(-e))
+            (std::f64::consts::LOG10_E * e) + (1.0 + (-e).exp()).log10()
+        } else {
+            // tail = 1 / (1 + exp(e))
+            (1.0 + e.exp()).log10()
+        }
+    }
+
+    /// True when the suspicion level has crossed the configured threshold.
+    pub fn is_suspect(&self, now: SimTime) -> bool {
+        self.phi(now) >= self.config.threshold
+    }
+
+    /// The instant of the most recent heartbeat, if any.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// Number of inter-arrival samples currently modeled.
+    pub fn samples(&self) -> usize {
+        self.intervals_us.len()
+    }
+
+    /// Forgets all history (e.g. the monitored peer deliberately restarted).
+    pub fn reset(&mut self) {
+        self.intervals_us.clear();
+        self.sum = 0.0;
+        self.sum_sq = 0.0;
+        self.last_arrival = None;
+    }
+
+    fn push_interval(&mut self, us: f64) {
+        if self.intervals_us.len() == self.config.window {
+            let old = self.intervals_us.pop_front().expect("window non-empty");
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        }
+        self.intervals_us.push_back(us);
+        self.sum += us;
+        self.sum_sq += us * us;
+    }
+
+    /// Windowed (mean, stddev) of inter-arrivals in µs, with the configured
+    /// floors applied.
+    fn model(&self) -> (f64, f64) {
+        if self.intervals_us.is_empty() {
+            let first = self.config.first_interval.as_micros() as f64;
+            return (first, (self.config.min_stddev.as_micros() as f64).max(first / 4.0));
+        }
+        let n = self.intervals_us.len() as f64;
+        let mean = self.sum / n;
+        let var = (self.sum_sq / n - mean * mean).max(0.0);
+        let floor = (self.config.min_stddev.as_micros() as f64).max(mean / 4.0);
+        (mean, var.sqrt().max(floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fed(period_s: u64, beats: u64) -> (PhiAccrualDetector, SimTime) {
+        let mut d = PhiAccrualDetector::new(PhiConfig::default());
+        let mut now = SimTime::ZERO;
+        for i in 0..beats {
+            now = SimTime::from_secs(i * period_s);
+            d.heartbeat(now);
+        }
+        (d, now)
+    }
+
+    #[test]
+    fn phi_rises_monotonically_without_heartbeats() {
+        let (d, last) = fed(2, 20);
+        let mut prev = -1.0;
+        for k in 0..200 {
+            let phi = d.phi(last + SimDuration::from_millis(200 * k));
+            assert!(phi >= prev, "phi regressed at step {k}: {phi} < {prev}");
+            prev = phi;
+        }
+        // And it grows without bound: far past the mean it is decisive.
+        assert!(d.phi(last + SimDuration::from_secs(60)) > 16.0);
+    }
+
+    #[test]
+    fn phi_resets_on_arrival() {
+        let (mut d, last) = fed(2, 20);
+        let late = last + SimDuration::from_secs(30);
+        assert!(d.is_suspect(late));
+        d.heartbeat(late);
+        assert!(d.phi(late) < 0.5);
+        assert!(!d.is_suspect(late + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn fresh_detector_is_not_suspicious() {
+        let d = PhiAccrualDetector::new(PhiConfig::default());
+        assert_eq!(d.phi(SimTime::from_secs(1000)), 0.0);
+        assert!(!d.is_suspect(SimTime::from_secs(1000)));
+        assert_eq!(d.last_arrival(), None);
+    }
+
+    #[test]
+    fn first_heartbeat_uses_configured_estimate() {
+        let mut d = PhiAccrualDetector::new(PhiConfig {
+            first_interval: SimDuration::from_secs(1),
+            ..PhiConfig::default()
+        });
+        d.heartbeat(SimTime::ZERO);
+        assert!(d.phi(SimTime::from_micros(500_000)) < 1.0);
+        assert!(d.phi(SimTime::from_secs(20)) > PhiConfig::default().threshold);
+    }
+
+    #[test]
+    fn regular_peer_tolerated_at_its_own_cadence() {
+        // A peer gossiping every 5s must not be suspected 6s in, even though
+        // a 2s-period peer at 6s would look very late.
+        let (slow, last) = fed(5, 30);
+        assert!(slow.phi(last + SimDuration::from_secs(6)) < 2.0);
+        let (fast, last_fast) = fed(1, 30);
+        assert!(fast.phi(last_fast + SimDuration::from_secs(6)) > 8.0);
+    }
+
+    #[test]
+    fn gray_slowdown_raises_phi_gradually() {
+        let mut d = PhiAccrualDetector::new(PhiConfig::default());
+        let mut now = SimTime::ZERO;
+        for i in 0..30 {
+            now = SimTime::from_secs(i * 2);
+            d.heartbeat(now);
+        }
+        // The peer degrades: heartbeats now every 8s. Suspicion appears in
+        // between but never saturates the way silence does.
+        let mut peak: f64 = 0.0;
+        for _ in 0..10 {
+            now += SimDuration::from_secs(8);
+            peak = peak.max(d.phi(now));
+            d.heartbeat(now);
+        }
+        assert!(peak > 1.0, "slowdown should raise suspicion, got {peak}");
+        // After adapting to the new cadence, the same lateness alarms less.
+        let adapted = d.phi(now + SimDuration::from_secs(8));
+        assert!(adapted < peak, "window should adapt: {adapted} vs {peak}");
+    }
+
+    #[test]
+    fn out_of_order_heartbeats_ignored() {
+        let (mut d, last) = fed(2, 5);
+        let before = d.samples();
+        d.heartbeat(SimTime::ZERO);
+        d.heartbeat(last);
+        assert_eq!(d.samples(), before);
+        assert_eq!(d.last_arrival(), Some(last));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut d = PhiAccrualDetector::new(PhiConfig { window: 8, ..PhiConfig::default() });
+        for i in 0..100 {
+            d.heartbeat(SimTime::from_secs(i));
+        }
+        assert_eq!(d.samples(), 8);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let (mut d, last) = fed(2, 20);
+        d.reset();
+        assert_eq!(d.samples(), 0);
+        assert_eq!(d.phi(last + SimDuration::from_secs(100)), 0.0);
+    }
+}

@@ -435,7 +435,14 @@ impl<N: Node> Simulation<N> {
                     self.dispatch_callback(node, Callback::Recover);
                 }
             }
-            EventKind::SetPartition(p) => self.net.partition = p,
+            EventKind::SetPartition(p) => {
+                match p {
+                    Some(_) => self.faults.partitions_started += 1,
+                    None if self.net.partition.is_some() => self.faults.partitions_healed += 1,
+                    None => {}
+                }
+                self.net.partition = p;
+            }
             EventKind::SetDropProb(p) => self.net.drop_prob = p,
             EventKind::SetGray(node, profile) => match profile {
                 Some(g) => {

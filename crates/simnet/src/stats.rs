@@ -61,6 +61,10 @@ pub struct FaultCounters {
     pub crashes: u64,
     /// Recover events applied to down nodes.
     pub recoveries: u64,
+    /// Partition changes applied with a concrete group assignment.
+    pub partitions_started: u64,
+    /// Partition changes that removed the active assignment (heals).
+    pub partitions_healed: u64,
 }
 
 impl FaultCounters {
@@ -84,6 +88,8 @@ impl FaultCounters {
         self.msgs_jittered += other.msgs_jittered;
         self.crashes += other.crashes;
         self.recoveries += other.recoveries;
+        self.partitions_started += other.partitions_started;
+        self.partitions_healed += other.partitions_healed;
     }
 }
 

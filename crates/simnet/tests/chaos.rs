@@ -3,7 +3,8 @@
 
 use simnet::{
     ChurnSpec, Context, FaultPlan, GrayProfile, GraySpec, LinkCutSpec, MessageChaosSpec,
-    NetworkModel, Node, NodeId, SimDuration, SimTime, Simulation, TimerId,
+    NetworkModel, Node, NodeId, Partition, PartitionSpec, SimDuration, SimTime, Simulation,
+    TimerId,
 };
 
 /// Every node pings a random neighbour once a second and counts echoes.
@@ -84,6 +85,11 @@ fn stress_plan(n: u32) -> FaultPlan {
             to: NodeId(1),
             start: SimTime::from_secs(30),
             end: Some(SimTime::from_secs(60)),
+        }],
+        partitions: vec![PartitionSpec {
+            partition: Partition::split_at(n as usize, n as usize / 2),
+            start: SimTime::from_secs(40),
+            heal: SimTime::from_secs(55),
         }],
         message_chaos: vec![MessageChaosSpec {
             start: SimTime::from_secs(15),

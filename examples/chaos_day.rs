@@ -48,6 +48,7 @@ fn main() {
             profile: GrayProfile::brownout(),
         }],
         link_cuts: vec![],
+        partitions: vec![],
         message_chaos: vec![MessageChaosSpec {
             start: SimTime::from_secs(90),
             end: Some(SimTime::from_secs(660)),
@@ -68,7 +69,9 @@ fn main() {
     let items: Vec<NewsItem> = (0..30u64)
         .map(|s| {
             NewsItem::builder(PublisherId(0), s)
-                .headline(format!("incident minute {} story", s / 3))
+                // One slug per item: same-slug items are revisions of one
+                // story and get fused by the cache, not delivered twice.
+                .headline(format!("incident minute {} story {}", s / 3, s % 3))
                 .category(Category::Technology)
                 .body_len(900)
                 .build()

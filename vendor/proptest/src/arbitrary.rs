@@ -1,0 +1,49 @@
+//! The `any::<T>()` entry point.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}

@@ -1,0 +1,156 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! property-testing surface the workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!`, [`strategy::Just`],
+//! [`arbitrary::any`], range / tuple / vector / regex-lite string strategies
+//! and [`strategy::Strategy::prop_map`].
+//!
+//! Semantics differ from upstream in one deliberate way: generation is a
+//! fixed number of seeded deterministic cases per property (no shrinking,
+//! no persistence files). The seed is derived from the test's module path
+//! and name, so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+
+/// Everything a test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Number of generated cases per property.
+pub const CASES: u64 = 64;
+
+/// Deterministic per-(test, case) generator.
+pub fn test_rng(test_name: &str, case: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `body` for every generated case, like upstream's `proptest!`.
+///
+/// Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0u8..4, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut prop_rng = $crate::test_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);
+                    )+
+                    { $body }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let options: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($s)),+];
+        $crate::strategy::OneOf(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        use rand::Rng;
+        let a: u64 = crate::test_rng("t", 3).gen();
+        let b: u64 = crate::test_rng("t", 3).gen();
+        let c: u64 = crate::test_rng("t", 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn string_pattern_strategy_shapes() {
+        let mut rng = crate::test_rng("pattern", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let p = "[ -~<>&;\"']{0,12}".generate(&mut rng);
+            assert!(p.len() <= 12);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn vec_and_map_strategies_compose() {
+        let mut rng = crate::test_rng("compose", 1);
+        let strat = crate::collection::vec(0u16..999, 1..4).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = strat.generate(&mut rng);
+            assert!((1..4).contains(&n));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end, including tuples and oneof.
+        #[test]
+        fn macro_end_to_end(
+            (a, b) in (0u8..10, -5i64..5),
+            pick in prop_oneof![Just(1u8), Just(2u8), Just(3u8)],
+            n in any::<u64>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((1..=3).contains(&pick));
+            let _ = n;
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Value-generation strategies.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A uniform choice between boxed strategies (see `prop_oneof!`).
+pub struct OneOf<T: Debug>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one option");
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String strategy from a regex-lite pattern.
+///
+/// Supports the subset the workspace uses: a concatenation of literal
+/// characters and character classes `[...]` (with `a-b` ranges and `\`
+/// escapes), each optionally repeated `{n}` or `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let (class, next) = parse_class(&chars, i + 1, pattern);
+            i = next;
+            class
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // Optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("bad repetition"),
+                    b.trim().parse::<usize>().expect("bad repetition"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("bad repetition");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!class.is_empty(), "empty character class in pattern {pattern:?}");
+        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            out.push(class[rng.gen_range(0..class.len())]);
+        }
+    }
+    out
+}
+
+/// Parses a character class starting just past `[`; returns the expanded
+/// alternatives and the index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // Range `c-d` (a trailing `-` is a literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let d = chars[i + 2];
+            assert!(c <= d, "inverted class range in pattern {pattern:?}");
+            class.extend((c..=d).filter(|ch| ch.is_ascii() || *ch <= d));
+            i += 3;
+        } else {
+            class.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unclosed character class in pattern {pattern:?}");
+    (class, i + 1)
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);

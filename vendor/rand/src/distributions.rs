@@ -1,0 +1,170 @@
+//! Distributions and range sampling.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution: uniform over the full domain for integers,
+/// uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// An iterator of samples, as returned by [`crate::Rng::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        DistIter { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// A range that can be sampled from uniformly, for [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a 64-bit word uniformly onto `[0, span)` by widening multiply
+/// (Lemire reduction without the rejection step; the bias is far below
+/// anything a simulation could observe).
+fn scale(word: u64, span: u64) -> u64 {
+    ((u128::from(word) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + scale(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as $t as u64 && hi.wrapping_sub(lo) as u128 + 1 > u64::MAX as u128 {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + scale(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_range_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(scale(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(scale(rng.next_u64(), span.wrapping_add(1)) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = Standard.sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the open upper bound against floating-point rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f32 = Standard.sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
