@@ -31,22 +31,23 @@ use simnet::{PhiAccrualDetector, PhiConfig, SimTime};
 
 use crate::agg::{parse_program, run_program, AggProgram};
 use crate::config::Config;
-use crate::mib::{Mib, MibBuilder, Stamp};
-use crate::table::{RowDigest, ZoneTable};
+use crate::mib::{AttrName, Mib, MibBuilder, Stamp};
+use crate::table::{MergeOutcome, RowDigest, ZoneTable};
 use crate::value::AttrValue;
 use crate::zone::{ZoneId, ZoneLayout};
 
-/// Attribute-name prefix under which dynamic aggregation programs (mobile
-/// code) travel through the hierarchy.
-pub const AGG_ATTR_PREFIX: &str = "sys$agg:";
+pub use crate::mib::AGG_ATTR_PREFIX;
 
 /// Digest of one table for anti-entropy exchange.
+///
+/// The row digests are shared (`Arc`): an agent fanning the same digest out
+/// to several peers in one round clones a pointer, not the stamp list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableDigest {
     /// The zone whose table is being advertised.
     pub zone: ZoneId,
     /// Per-row version stamps.
-    pub rows: Vec<RowDigest>,
+    pub rows: Arc<[RowDigest]>,
 }
 
 /// A batch of rows from one table.
@@ -107,6 +108,28 @@ impl GossipMsg {
     }
 }
 
+/// Everything [`Agent::recompute_level`] needs for one gossip round, cached
+/// across rounds and invalidated by `scope_epoch`: the compiled program list
+/// (configured aggregations first, then dynamic-in-scope in name order) and
+/// the pre-formatted `sys$agg:` attributes that ride along in summary rows.
+/// Both halves sit behind `Arc` so cloning out of the cache is two pointer
+/// bumps.
+#[derive(Debug, Clone)]
+struct RoundState {
+    programs: Arc<[Arc<AggProgram>]>,
+    agg_attrs: Arc<[(AttrName, AttrValue)]>,
+}
+
+/// One cached aggregate summary (see [`Agent::recompute_level`]): the
+/// attribute list last computed over `tables[level]`, valid while the source
+/// table's content generation and the mobile-code scope both stand still.
+#[derive(Debug)]
+struct AggCache {
+    content_gen: u64,
+    epoch: u64,
+    attrs: Vec<(AttrName, AttrValue)>,
+}
+
 /// One node's Astrolabe state machine. See the module docs for the protocol.
 #[derive(Debug)]
 pub struct Agent {
@@ -121,12 +144,43 @@ pub struct Agent {
     contacts: Vec<u32>,
     version: u64,
     local: MibBuilder,
-    compiled: HashMap<String, Option<AggProgram>>,
+    compiled: HashMap<String, Option<Arc<AggProgram>>>,
     dynamic: BTreeMap<String, String>,
+    /// Bumped whenever the inputs of [`Agent::dynamic_in_scope`] may have
+    /// changed: a program install, a merge or eviction touching a row that
+    /// carries `sys$agg:` attributes, or a reset. While it stands still the
+    /// cached [`RoundState`] is reused, skipping the full-table rescan that
+    /// used to run every round.
+    scope_epoch: u64,
+    scope_cache: Option<(u64, RoundState)>,
+    /// Per-level digest keyed by table generation, so the several gossip
+    /// fan-outs of one round share a single stamp-list allocation.
+    digest_cache: Vec<Option<(u64, Arc<[RowDigest]>)>>,
+    /// Scratch buffers for [`ZoneTable::diff_into`] in the digest handler.
+    scratch_newer: Vec<u16>,
+    scratch_missing: Vec<u16>,
+    /// Per-source-level aggregate summary attributes, keyed on the source
+    /// table's content generation and `scope_epoch`. In steady state rows
+    /// are merely re-stamped each round, both keys stand still, and the
+    /// summary is re-issued from the cache instead of re-running every
+    /// aggregation program.
+    agg_cache: Vec<Option<AggCache>>,
+    /// Bumped whenever `local` changes; keys `own_row_cache`.
+    local_gen: u64,
+    /// The fully decorated own-row attributes (locals + `id`/`reps`/
+    /// `nmembers`), rebuilt only when `local` changed.
+    own_row_cache: Option<(u64, Vec<(AttrName, AttrValue)>)>,
+    /// Per-level gossip peer candidates, keyed on the content generations of
+    /// the level's table and its parent (the two inputs of
+    /// [`Agent::peers_at`]).
+    peers_cache: Vec<Option<(u64, u64, Vec<u32>)>>,
     /// Per-(level, label) phi-accrual detectors, fed whenever a merged row's
     /// stamp advances. Failure detection: a row is evicted when its detector
-    /// grows suspicious, not on a fixed TTL cliff.
-    detectors: HashMap<(usize, u16), PhiAccrualDetector>,
+    /// grows suspicious, not on a fixed TTL cliff. Indexed `[level][label]`
+    /// (labels are bounded by the branching factor; the inner vectors grow
+    /// on demand) — the gc sweep and the merge loop consult a detector per
+    /// row, so this sits on the hot path where a hashed lookup showed up.
+    detectors: Vec<Vec<Option<PhiAccrualDetector>>>,
     /// Stamp watermark of rows evicted on suspicion: gossip re-offering the
     /// same (or an older) stamp is refused, so an evicted member cannot be
     /// resurrected by a replica that has not evicted it yet. A genuinely
@@ -143,12 +197,13 @@ impl Agent {
     /// list a downloaded client would ship with).
     pub fn new(id: u32, layout: &ZoneLayout, config: Config, extra_contacts: Vec<u32>) -> Self {
         let chain = layout.ancestor_chain(id);
-        let tables = chain.iter().map(|z| ZoneTable::new(z.clone())).collect();
+        let tables: Vec<ZoneTable> = chain.iter().map(|z| ZoneTable::new(z.clone())).collect();
         let mut contacts: Vec<u32> =
             layout.members_of(&layout.leaf_zone(id)).filter(|&m| m != id).collect();
         contacts.extend(extra_contacts.into_iter().filter(|&c| c != id));
         contacts.sort_unstable();
         contacts.dedup();
+        let levels = tables.len();
         Agent {
             id,
             config,
@@ -161,7 +216,16 @@ impl Agent {
             local: MibBuilder::new(),
             compiled: HashMap::new(),
             dynamic: BTreeMap::new(),
-            detectors: HashMap::new(),
+            scope_epoch: 0,
+            scope_cache: None,
+            digest_cache: vec![None; levels],
+            scratch_newer: Vec::new(),
+            scratch_missing: Vec::new(),
+            agg_cache: (0..levels).map(|_| None).collect(),
+            local_gen: 0,
+            own_row_cache: None,
+            peers_cache: vec![None; levels],
+            detectors: vec![Vec::new(); levels],
             tombstones: HashMap::new(),
         }
     }
@@ -214,6 +278,7 @@ impl Agent {
     /// by the agent.
     pub fn set_local_attr(&mut self, name: &str, value: impl Into<AttrValue>) {
         self.local.set(name, value.into());
+        self.local_gen += 1;
     }
 
     /// Reads back a locally set attribute (the node's own MIB values).
@@ -227,6 +292,8 @@ impl Agent {
     pub fn install_aggregation(&mut self, name: &str, program: &str) {
         self.dynamic.insert(name.to_owned(), program.to_owned());
         self.local.set(format!("{AGG_ATTR_PREFIX}{name}"), program.to_owned());
+        self.scope_epoch += 1;
+        self.local_gen += 1;
     }
 
     /// True when this agent is currently a representative of
@@ -264,6 +331,16 @@ impl Agent {
     }
 
     fn refresh_own_row(&mut self, now: SimTime) {
+        let stamp = self.next_stamp(now);
+        if let Some((gen, attrs)) = &self.own_row_cache {
+            if *gen == self.local_gen {
+                // Heartbeat of an unchanged row: re-stamp the cached
+                // attribute list (already sorted, so `Mib::new` is a copy).
+                let row = Arc::new(Mib::new(stamp, attrs.clone()));
+                self.tables[0].merge_row(self.own_slot, row);
+                return;
+            }
+        }
         let mut b = self.local.clone();
         if b.get("load").is_none() {
             // Representative election scores on load; an agent that never
@@ -275,9 +352,9 @@ impl Agent {
         reps.insert(u64::from(self.id));
         b.set("reps", AttrValue::Set(reps));
         b.set("nmembers", 1i64);
-        let stamp = self.next_stamp(now);
-        let row = Arc::new(b.build(stamp));
-        self.tables[0].merge_row(self.own_slot, row);
+        let attrs = b.into_attrs();
+        self.own_row_cache = Some((self.local_gen, attrs.clone()));
+        self.tables[0].merge_row(self.own_slot, Arc::new(Mib::new(stamp, attrs)));
     }
 
     /// Tuning for the per-row failure detectors, derived from the gossip
@@ -301,34 +378,29 @@ impl Agent {
         let hard_cutoff = now.as_micros().saturating_sub(self.config.row_ttl.as_micros());
         for level in 0..self.tables.len() {
             let keep = self.own_label(level);
-            let suspects: Vec<(u16, u64)> = self.tables[level]
+            let lane = &self.detectors[level];
+            let suspects: Vec<(u16, u64, bool)> = self.tables[level]
                 .iter()
                 .filter(|&(label, row)| {
                     label != keep
-                        && match self.detectors.get(&(level, label)) {
+                        && match lane.get(usize::from(label)).and_then(Option::as_ref) {
                             Some(d) => d.is_suspect(now) || row.stamp.issued_us < hard_cutoff,
                             None => row.stamp.issued_us < hard_cutoff,
                         }
                 })
-                .map(|(label, row)| (label, row.stamp.issued_us))
+                .map(|(label, row)| (label, row.stamp.issued_us, row.carries_mobile_code()))
                 .collect();
-            for (label, issued_us) in suspects {
+            for (label, issued_us, carried_agg) in suspects {
                 self.tables[level].remove(label);
-                self.detectors.remove(&(level, label));
+                if let Some(d) = self.detectors[level].get_mut(usize::from(label)) {
+                    *d = None;
+                }
                 self.tombstones.insert((level, label), issued_us);
+                if carried_agg {
+                    self.scope_epoch += 1;
+                }
             }
         }
-    }
-
-    /// Compiles `src`, caching the result (including failures, so a bad
-    /// mobile program is not re-parsed every round).
-    fn compile(&mut self, src: &str) -> Option<AggProgram> {
-        if let Some(hit) = self.compiled.get(src) {
-            return hit.clone();
-        }
-        let parsed = parse_program(src).ok();
-        self.compiled.insert(src.to_owned(), parsed.clone());
-        parsed
     }
 
     /// All dynamic programs visible in any replicated table (union of
@@ -349,7 +421,38 @@ impl Agent {
         progs
     }
 
-    fn recompute_level(&mut self, level: usize, now: SimTime, dynamic: &BTreeMap<String, String>) {
+    /// The per-round aggregation inputs, rebuilt only when `scope_epoch`
+    /// moved since the cached copy was made.
+    fn round_state(&mut self) -> RoundState {
+        if let Some((epoch, rs)) = &self.scope_cache {
+            if *epoch == self.scope_epoch {
+                return rs.clone();
+            }
+        }
+        let dynamic = self.dynamic_in_scope();
+        let mut programs: Vec<Arc<AggProgram>> = Vec::new();
+        for a in &self.config.aggregations {
+            if let Some(p) = compile_cached(&mut self.compiled, &a.program) {
+                programs.push(p);
+            }
+        }
+        for src in dynamic.values() {
+            if let Some(p) = compile_cached(&mut self.compiled, src) {
+                programs.push(p);
+            }
+        }
+        let agg_attrs: Vec<(AttrName, AttrValue)> = dynamic
+            .iter()
+            .map(|(name, src)| {
+                (AttrName::from(format!("{AGG_ATTR_PREFIX}{name}")), AttrValue::Str(src.clone()))
+            })
+            .collect();
+        let rs = RoundState { programs: programs.into(), agg_attrs: agg_attrs.into() };
+        self.scope_cache = Some((self.scope_epoch, rs.clone()));
+        rs
+    }
+
+    fn recompute_level(&mut self, level: usize, now: SimTime, rs: &RoundState) {
         let parent = level + 1;
         if parent >= self.tables.len() {
             return;
@@ -358,17 +461,24 @@ impl Agent {
             return;
         }
 
-        // Collect the program list: configured + dynamic-in-scope.
-        let mut sources: Vec<String> =
-            self.config.aggregations.iter().map(|a| a.program.clone()).collect();
-        sources.extend(dynamic.values().cloned());
-
-        let rows: Vec<Mib> = self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
+        let label = self.own_label(parent);
+        let content = self.tables[level].content_generation();
+        if let Some(c) = &self.agg_cache[level] {
+            if c.content_gen == content && c.epoch == self.scope_epoch {
+                // Source rows were only re-stamped since the last round: the
+                // summary values are unchanged, so re-issue them under a
+                // fresh stamp without re-running the programs.
+                let attrs = c.attrs.clone();
+                let stamp = self.next_stamp(now);
+                self.tables[parent].merge_row(label, Arc::new(Mib::new(stamp, attrs)));
+                return;
+            }
+        }
 
         let mut out = MibBuilder::new();
-        for src in sources {
-            let Some(prog) = self.compile(&src) else { continue };
-            match run_program(&prog, &rows) {
+        let rows = self.tables[level].rows();
+        for prog in rs.programs.iter() {
+            match run_program(prog, rows) {
                 Ok(attrs) => {
                     for (name, value) in attrs {
                         out.set(name, value);
@@ -381,13 +491,15 @@ impl Agent {
             }
         }
         // Mobile code rides along in the summary row.
-        for (name, src) in dynamic {
-            out.set(format!("{AGG_ATTR_PREFIX}{name}"), src.clone());
+        for (name, src) in rs.agg_attrs.iter() {
+            out.set(Arc::clone(name), src.clone());
         }
 
-        let label = self.own_label(parent);
+        let attrs = out.into_attrs();
+        self.agg_cache[level] =
+            Some(AggCache { content_gen: content, epoch: self.scope_epoch, attrs: attrs.clone() });
         let stamp = self.next_stamp(now);
-        self.tables[parent].merge_row(label, Arc::new(out.build(stamp)));
+        self.tables[parent].merge_row(label, Arc::new(Mib::new(stamp, attrs)));
     }
 
     /// Candidate gossip targets at `level`: node ids advertised in `reps`
@@ -397,6 +509,26 @@ impl Agent {
     /// the same interior zone, so gossiping with them is what knits the
     /// interior table together when no configured contact happens to land
     /// there.
+    /// [`Agent::peers_at`] behind a content-generation cache: the candidate
+    /// list is a pure function of the `reps` attributes at `level` and its
+    /// parent, so it is rebuilt only when either table's *values* changed.
+    fn peers_cached(&mut self, level: usize) -> &[u32] {
+        let gen = self.tables[level].content_generation();
+        let parent_gen = self.tables.get(level + 1).map_or(u64::MAX, ZoneTable::content_generation);
+        let stale = !matches!(
+            &self.peers_cache[level],
+            Some((g, p, _)) if *g == gen && *p == parent_gen
+        );
+        if stale {
+            let peers = self.peers_at(level);
+            self.peers_cache[level] = Some((gen, parent_gen, peers));
+        }
+        match &self.peers_cache[level] {
+            Some((_, _, peers)) => peers,
+            None => unreachable!("cache entry was just populated"),
+        }
+    }
+
     fn peers_at(&self, level: usize) -> Vec<u32> {
         let own = self.own_label(level);
         let mut out = Vec::new();
@@ -422,11 +554,25 @@ impl Agent {
         out
     }
 
-    fn digests_from(&self, level: usize) -> Vec<TableDigest> {
-        self.tables[level..]
-            .iter()
-            .map(|t| TableDigest { zone: t.zone.clone(), rows: t.digest() })
+    fn digests_from(&mut self, level: usize) -> Vec<TableDigest> {
+        (level..self.tables.len())
+            .map(|i| TableDigest { zone: self.tables[i].zone.clone(), rows: self.digest_at(i) })
             .collect()
+    }
+
+    /// The digest of `tables[i]`, reusing the cached copy while the table's
+    /// generation stands still (typically across the 2-4 fan-outs of one
+    /// gossip round).
+    fn digest_at(&mut self, i: usize) -> Arc<[RowDigest]> {
+        let generation = self.tables[i].generation();
+        if let Some((g, d)) = &self.digest_cache[i] {
+            if *g == generation {
+                return Arc::clone(d);
+            }
+        }
+        let d: Arc<[RowDigest]> = self.tables[i].digest().into();
+        self.digest_cache[i] = Some((generation, Arc::clone(&d)));
+        d
     }
 
     /// One gossip round: refresh the local row, evict stale rows, recompute
@@ -434,9 +580,9 @@ impl Agent {
     pub fn on_tick(&mut self, now: SimTime, rng: &mut SmallRng) -> Vec<(u32, GossipMsg)> {
         self.refresh_own_row(now);
         self.gc(now);
-        let dynamic = self.dynamic_in_scope();
+        let rs = self.round_state();
         for level in 0..self.tables.len() {
-            self.recompute_level(level, now, &dynamic);
+            self.recompute_level(level, now, &rs);
         }
 
         let mut out = Vec::new();
@@ -447,15 +593,15 @@ impl Agent {
             if !eligible {
                 continue;
             }
-            let peers = self.peers_at(level);
-            let target = if let Some(&p) = peers.as_slice().choose(rng) {
-                Some(p)
-            } else if level == 0 || self.tables[level].len() <= 1 {
-                // Discovery fallback: ping a bootstrap contact. Any agent
-                // shares at least the root table with us.
-                self.contacts.as_slice().choose(rng).copied()
-            } else {
-                None
+            let choice = self.peers_cached(level).choose(rng).copied();
+            let target = match choice {
+                Some(p) => Some(p),
+                None if level == 0 || self.tables[level].len() <= 1 => {
+                    // Discovery fallback: ping a bootstrap contact. Any agent
+                    // shares at least the root table with us.
+                    self.contacts.as_slice().choose(rng).copied()
+                }
+                None => None,
             };
             if let Some(peer) = target {
                 out.push((peer, GossipMsg::Digest { digests: self.digests_from(level) }));
@@ -504,27 +650,46 @@ impl Agent {
         let mut changed = 0;
         for batch in batches {
             let Some(level) = self.level_of(&batch.zone) else { continue };
+            let own = self.own_label(level);
             for (label, row) in &batch.rows {
                 if row.stamp.issued_us < cutoff {
                     continue;
                 }
-                if let Some(&watermark) = self.tombstones.get(&(level, *label)) {
-                    if row.stamp.issued_us <= watermark {
-                        continue;
+                // Guard the lookup: the tombstone set is empty in a healthy
+                // system, and this test runs once per row of every batch.
+                if !self.tombstones.is_empty() {
+                    if let Some(&watermark) = self.tombstones.get(&(level, *label)) {
+                        if row.stamp.issued_us <= watermark {
+                            continue;
+                        }
                     }
                 }
-                let advanced = self.tables[level]
-                    .get(*label)
-                    .is_none_or(|old| row.stamp.issued_us > old.stamp.issued_us);
-                if self.tables[level].merge_row(*label, Arc::clone(row)) {
-                    changed += 1;
-                    if advanced && *label != self.own_label(level) {
+                let (advanced, old_carried_agg) =
+                    match self.tables[level].merge_row_outcome(*label, Arc::clone(row)) {
+                        MergeOutcome::Rejected => continue,
+                        MergeOutcome::Inserted => (true, false),
+                        MergeOutcome::Replaced { advanced_time, old_carried_agg } => {
+                            (advanced_time, old_carried_agg)
+                        }
+                    };
+                changed += 1;
+                // An admitted row can change the mobile-code scope only when
+                // the incoming or displaced version carries `sys$agg:` attrs.
+                if row.carries_mobile_code() || old_carried_agg {
+                    self.scope_epoch += 1;
+                }
+                if advanced && *label != own {
+                    if !self.tombstones.is_empty() {
                         self.tombstones.remove(&(level, *label));
-                        self.detectors
-                            .entry((level, *label))
-                            .or_insert_with(|| PhiAccrualDetector::new(phi_config))
-                            .heartbeat(now);
                     }
+                    let lane = &mut self.detectors[level];
+                    let slot = usize::from(*label);
+                    if lane.len() <= slot {
+                        lane.resize_with(slot + 1, || None);
+                    }
+                    lane[slot]
+                        .get_or_insert_with(|| PhiAccrualDetector::new(phi_config))
+                        .heartbeat(now);
                 }
             }
         }
@@ -554,20 +719,27 @@ impl Agent {
             GossipMsg::Digest { digests } => {
                 let mut reply_rows = Vec::new();
                 let mut want = Vec::new();
+                // Reuse the scratch buffers across digests; the want-list
+                // steals `missing` only when non-empty, so in steady state
+                // (replicas in sync) this arm allocates nothing.
+                let mut newer = std::mem::take(&mut self.scratch_newer);
+                let mut missing = std::mem::take(&mut self.scratch_missing);
                 for d in &digests {
                     let Some(level) = self.level_of(&d.zone) else { continue };
-                    let (newer_here, missing_here) = self.tables[level].diff(&d.rows);
-                    if !newer_here.is_empty() {
-                        let rows = newer_here
+                    self.tables[level].diff_into(&d.rows, &mut newer, &mut missing);
+                    if !newer.is_empty() {
+                        let rows = newer
                             .iter()
                             .filter_map(|&l| self.tables[level].get(l).map(|r| (l, Arc::clone(r))))
                             .collect();
                         reply_rows.push(TableRows { zone: d.zone.clone(), rows });
                     }
-                    if !missing_here.is_empty() {
-                        want.push((d.zone.clone(), missing_here));
+                    if !missing.is_empty() {
+                        want.push((d.zone.clone(), std::mem::take(&mut missing)));
                     }
                 }
+                self.scratch_newer = newer;
+                self.scratch_missing = missing;
                 if reply_rows.is_empty() && want.is_empty() {
                     Vec::new()
                 } else {
@@ -621,8 +793,7 @@ impl Agent {
             Ok(p) => p,
             Err(e) => return Some(Err(e.to_string())),
         };
-        let rows: Vec<Mib> = self.tables[level].iter().map(|(_, r)| Mib::clone(r)).collect();
-        Some(run_program(&prog, &rows).map_err(|e| e.to_string()))
+        Some(run_program(&prog, self.tables[level].rows()).map_err(|e| e.to_string()))
     }
 
     /// Clears all replicated state except identity (cold restart).
@@ -631,15 +802,44 @@ impl Agent {
             *t = ZoneTable::new(t.zone.clone());
         }
         self.version = 0;
-        self.detectors.clear();
+        self.detectors.iter_mut().for_each(Vec::clear);
         self.tombstones.clear();
+        // Table generations restart at zero, so cached digests, summaries
+        // and peer lists keyed on the old counters must go; the mobile-code
+        // scope shrank to the locally installed programs, so the round state
+        // must be rebuilt too. (The own-row cache survives: `local` did not
+        // change.)
+        self.digest_cache.fill(None);
+        self.agg_cache.iter_mut().for_each(|c| *c = None);
+        self.peers_cache.fill(None);
+        self.scope_epoch += 1;
+        self.scope_cache = None;
     }
 
     /// Current phi suspicion level for the row at `(level, label)`, if a
     /// detector has observed it (diagnostics and host-layer reuse).
     pub fn suspicion(&self, level: usize, label: u16, now: SimTime) -> Option<f64> {
-        self.detectors.get(&(level, label)).map(|d| d.phi(now))
+        self.detectors
+            .get(level)
+            .and_then(|lane| lane.get(usize::from(label)))
+            .and_then(Option::as_ref)
+            .map(|d| d.phi(now))
     }
+}
+
+/// Compiles `src`, caching the result (including failures, so a bad mobile
+/// program is not re-parsed every round). A free function rather than a
+/// method so callers can hold other `Agent` fields borrowed.
+fn compile_cached(
+    cache: &mut HashMap<String, Option<Arc<AggProgram>>>,
+    src: &str,
+) -> Option<Arc<AggProgram>> {
+    if let Some(hit) = cache.get(src) {
+        return hit.clone();
+    }
+    let parsed = parse_program(src).ok().map(Arc::new);
+    cache.insert(src.to_owned(), parsed.clone());
+    parsed
 }
 
 #[cfg(test)]

@@ -35,6 +35,20 @@ impl<T: RowSource + ?Sized> RowSource for &T {
     }
 }
 
+impl RowSource for std::sync::Arc<crate::mib::Mib> {
+    fn col(&self, name: &str) -> Option<AttrValue> {
+        self.get(name).cloned()
+    }
+}
+
+/// Zone-table rows aggregate directly as `(label, row)` pairs, so the agent
+/// can run programs over `ZoneTable::rows()` without cloning each `Mib`.
+impl RowSource for (u16, std::sync::Arc<crate::mib::Mib>) {
+    fn col(&self, name: &str) -> Option<AttrValue> {
+        self.1.get(name).cloned()
+    }
+}
+
 /// A row with no columns (for evaluating constant expressions).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EmptyRow;

@@ -39,6 +39,10 @@ impl fmt::Display for Stamp {
     }
 }
 
+/// Attribute-name prefix under which dynamic aggregation programs (mobile
+/// code) travel through the hierarchy.
+pub const AGG_ATTR_PREFIX: &str = "sys$agg:";
+
 /// One immutable row version.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mib {
@@ -46,24 +50,40 @@ pub struct Mib {
     pub stamp: Stamp,
     /// Attributes, sorted by name.
     attrs: Vec<(AttrName, AttrValue)>,
+    /// Precomputed [`Mib::wire_size`]; rows are immutable, and traffic
+    /// accounting reads the size of every row of every gossip batch.
+    wire: u32,
+    /// Whether any attribute name starts with [`AGG_ATTR_PREFIX`] —
+    /// precomputed so the merge path can test mobile-code carriage without a
+    /// per-row string search.
+    carries_agg: bool,
 }
 
 impl Mib {
     /// Builds a row from attribute pairs (sorted internally; later
     /// duplicates win).
+    ///
+    /// Input that is already sorted and duplicate-free — what
+    /// [`MibBuilder::build`] and the agent's own-row refresh produce every
+    /// gossip round — is taken as-is without the O(n log n) pass.
     pub fn new(stamp: Stamp, mut attrs: Vec<(AttrName, AttrValue)>) -> Self {
-        attrs.sort_by(|a, b| a.0.cmp(&b.0));
-        attrs.dedup_by(|later, earlier| {
-            if later.0 == earlier.0 {
-                // `dedup_by` removes `later` when true; keep the later value
-                // by moving it into the kept slot first.
-                std::mem::swap(&mut earlier.1, &mut later.1);
-                true
-            } else {
-                false
-            }
-        });
-        Mib { stamp, attrs }
+        if attrs.windows(2).any(|w| w[0].0 >= w[1].0) {
+            attrs.sort_by(|a, b| a.0.cmp(&b.0));
+            attrs.dedup_by(|later, earlier| {
+                if later.0 == earlier.0 {
+                    // `dedup_by` removes `later` when true; keep the later
+                    // value by moving it into the kept slot first.
+                    std::mem::swap(&mut earlier.1, &mut later.1);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        let wire = 24 + attrs.iter().map(|(n, v)| n.len() + 1 + v.wire_size()).sum::<usize>();
+        let at = attrs.partition_point(|(n, _)| n.as_ref() < AGG_ATTR_PREFIX);
+        let carries_agg = attrs.get(at).is_some_and(|(n, _)| n.starts_with(AGG_ATTR_PREFIX));
+        Mib { stamp, attrs, wire: wire as u32, carries_agg }
     }
 
     /// Attribute lookup.
@@ -86,18 +106,38 @@ impl Mib {
         self.attrs.is_empty()
     }
 
-    /// Approximate serialized size in bytes.
+    /// Approximate serialized size in bytes (precomputed at construction).
     pub fn wire_size(&self) -> usize {
-        24 + self.attrs.iter().map(|(n, v)| n.len() + 1 + v.wire_size()).sum::<usize>()
+        self.wire as usize
     }
 
     /// True when `self` should replace `other` in a merge.
     pub fn newer_than(&self, other: &Mib) -> bool {
         self.stamp > other.stamp
     }
+
+    /// True when the row carries a `sys$agg:` mobile-code attribute
+    /// (precomputed at construction — the merge path tests every admitted
+    /// row).
+    pub fn carries_mobile_code(&self) -> bool {
+        self.carries_agg
+    }
+
+    /// True when `other` carries exactly the same attributes (stamps may
+    /// differ). Drives [`ZoneTable`](crate::ZoneTable) content generations:
+    /// a re-stamped heartbeat of an unchanged row must not invalidate
+    /// value-derived caches. The precomputed wire size acts as a cheap
+    /// first-pass filter.
+    pub fn same_attrs(&self, other: &Mib) -> bool {
+        self.wire == other.wire && self.attrs == other.attrs
+    }
 }
 
 /// Incremental builder for rows, reusing interned attribute names.
+///
+/// Attributes are kept sorted by name as they are set, so [`MibBuilder::build`]
+/// hands [`Mib::new`] a pre-sorted, duplicate-free vector and the sort+dedup
+/// pass is skipped on the hot path.
 ///
 /// ```
 /// use astrolabe::{MibBuilder, Stamp, AttrValue};
@@ -128,21 +168,27 @@ impl MibBuilder {
     /// Non-consuming variant of [`MibBuilder::attr`].
     pub fn set(&mut self, name: impl Into<AttrName>, value: impl Into<AttrValue>) {
         let name = name.into();
-        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
-            slot.1 = value.into();
-        } else {
-            self.attrs.push((name, value.into()));
+        match self.attrs.binary_search_by(|(n, _)| n.as_ref().cmp(name.as_ref())) {
+            Ok(i) => self.attrs[i].1 = value.into(),
+            Err(i) => self.attrs.insert(i, (name, value.into())),
         }
     }
 
     /// Value previously set for `name`, if any.
     pub fn get(&self, name: &str) -> Option<&AttrValue> {
-        self.attrs.iter().find(|(n, _)| n.as_ref() == name).map(|(_, v)| v)
+        self.attrs.binary_search_by(|(n, _)| n.as_ref().cmp(name)).ok().map(|i| &self.attrs[i].1)
     }
 
     /// Finishes the row with the given stamp.
     pub fn build(self, stamp: Stamp) -> Mib {
         Mib::new(stamp, self.attrs)
+    }
+
+    /// The accumulated attributes, sorted and duplicate-free — for callers
+    /// that cache the attribute list and stamp it repeatedly (see the
+    /// agent's aggregation cache).
+    pub fn into_attrs(self) -> Vec<(AttrName, AttrValue)> {
+        self.attrs
     }
 }
 

@@ -9,6 +9,23 @@ use std::sync::Arc;
 use crate::mib::{Mib, Stamp};
 use crate::zone::ZoneId;
 
+/// What [`ZoneTable::merge_row_outcome`] did with an offered row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The present version is at least as new; nothing changed.
+    Rejected,
+    /// No row existed for the label; the offer was inserted.
+    Inserted,
+    /// The offer replaced an older row.
+    Replaced {
+        /// The offer's `issued_us` strictly exceeds the replaced row's
+        /// (i.e. this was a genuine time advance, not a tie-break).
+        advanced_time: bool,
+        /// The replaced row carried `sys$agg:` mobile code.
+        old_carried_agg: bool,
+    },
+}
+
 /// Digest entry advertising one row version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RowDigest {
@@ -24,12 +41,36 @@ pub struct ZoneTable {
     /// The zone this table describes; rows summarize its children.
     pub zone: ZoneId,
     rows: Vec<(u16, Arc<Mib>)>,
+    generation: u64,
+    content_gen: u64,
 }
 
 impl ZoneTable {
     /// Creates an empty replica for `zone`.
     pub fn new(zone: ZoneId) -> Self {
-        ZoneTable { zone, rows: Vec::new() }
+        ZoneTable { zone, rows: Vec::new(), generation: 0, content_gen: 0 }
+    }
+
+    /// Monotone counter bumped on every mutation. Callers key caches
+    /// (digests, aggregation inputs) on this to skip recomputation between
+    /// gossip rounds where the table did not change.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Monotone counter bumped only when attribute *values* change — a
+    /// re-stamped heartbeat of an identical row advances [`Self::generation`]
+    /// (digests must see the new stamp) but not this. In gossip steady state
+    /// every row is re-stamped every round while values stand still, so
+    /// caches of value-derived state (aggregate summaries, peer lists) key
+    /// on this counter and hit indefinitely.
+    pub fn content_generation(&self) -> u64 {
+        self.content_gen
+    }
+
+    /// All `(label, row)` pairs in label order, without cloning.
+    pub fn rows(&self) -> &[(u16, Arc<Mib>)] {
+        &self.rows
     }
 
     /// Number of rows present.
@@ -55,18 +96,35 @@ impl ZoneTable {
     /// Inserts `row` for `label` if it is newer than what is present.
     /// Returns `true` when the table changed.
     pub fn merge_row(&mut self, label: u16, row: Arc<Mib>) -> bool {
+        self.merge_row_outcome(label, row) != MergeOutcome::Rejected
+    }
+
+    /// [`ZoneTable::merge_row`] reporting what happened to the previous row,
+    /// so the gossip merge loop learns everything in one binary search.
+    pub fn merge_row_outcome(&mut self, label: u16, row: Arc<Mib>) -> MergeOutcome {
         match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
             Ok(i) => {
-                if row.newer_than(&self.rows[i].1) {
+                let old = &self.rows[i].1;
+                if row.newer_than(old) {
+                    let outcome = MergeOutcome::Replaced {
+                        advanced_time: row.stamp.issued_us > old.stamp.issued_us,
+                        old_carried_agg: old.carries_mobile_code(),
+                    };
+                    if !row.same_attrs(old) {
+                        self.content_gen += 1;
+                    }
                     self.rows[i].1 = row;
-                    true
+                    self.generation += 1;
+                    outcome
                 } else {
-                    false
+                    MergeOutcome::Rejected
                 }
             }
             Err(i) => {
                 self.rows.insert(i, (label, row));
-                true
+                self.generation += 1;
+                self.content_gen += 1;
+                MergeOutcome::Inserted
             }
         }
     }
@@ -77,6 +135,8 @@ impl ZoneTable {
         match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
             Ok(i) => {
                 self.rows.remove(i);
+                self.generation += 1;
+                self.content_gen += 1;
                 true
             }
             Err(_) => false,
@@ -93,6 +153,10 @@ impl ZoneTable {
             .map(|(l, _)| *l)
             .collect();
         self.rows.retain(|(l, r)| Some(*l) == keep || r.stamp.issued_us >= cutoff_us);
+        if !evicted.is_empty() {
+            self.generation += 1;
+            self.content_gen += 1;
+        }
         debug_assert!(evicted.iter().all(|l| self.get(*l).is_none()));
         evicted
     }
@@ -110,6 +174,24 @@ impl ZoneTable {
     pub fn diff(&self, peer: &[RowDigest]) -> (Vec<u16>, Vec<u16>) {
         let mut newer_here = Vec::new();
         let mut missing_here = Vec::new();
+        self.diff_into(peer, &mut newer_here, &mut missing_here);
+        (newer_here, missing_here)
+    }
+
+    /// [`ZoneTable::diff`] writing into caller-provided buffers, so agents
+    /// can reuse scratch vectors across the many digests of a gossip round.
+    /// The buffers are cleared first.
+    pub fn diff_into(
+        &self,
+        peer: &[RowDigest],
+        newer_here: &mut Vec<u16>,
+        missing_here: &mut Vec<u16>,
+    ) {
+        newer_here.clear();
+        missing_here.clear();
+        // Tables are bounded by the zone branching factor (tens of rows), so
+        // the nested label scan below beats a sorted merge-walk in practice:
+        // it is branch-predictable `u16` compares over one cache line.
         for d in peer {
             match self.get(d.label) {
                 Some(row) => {
@@ -129,7 +211,6 @@ impl ZoneTable {
         }
         newer_here.sort_unstable();
         newer_here.dedup();
-        (newer_here, missing_here)
     }
 
     /// Approximate serialized size of the whole table.

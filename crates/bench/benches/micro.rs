@@ -32,6 +32,10 @@ fn bench_bloom(c: &mut Criterion) {
     g.bench_function("contains_1024b", |b| {
         b.iter(|| black_box(filled.contains(black_box("subject/123"))))
     });
+    g.bench_function("contains_miss_1024b", |b| {
+        // The common fast-path in routing: a subject the filter never saw.
+        b.iter(|| black_box(filled.contains(black_box("absent/topic/999"))))
+    });
     g.bench_function("positions_1024b", |b| {
         b.iter(|| black_box(positions(black_box("reuters/politics"), 1024, 3)))
     });
@@ -112,6 +116,41 @@ fn bench_table(c: &mut Criterion) {
     }
     let digest = full.digest();
     g.bench_function("diff_identical_64", |b| b.iter(|| black_box(full.diff(black_box(&digest)))));
+    g.bench_function("diff_into_identical_64", |b| {
+        let mut newer = Vec::new();
+        let mut missing = Vec::new();
+        b.iter(|| {
+            full.diff_into(black_box(&digest), &mut newer, &mut missing);
+            black_box((&newer, &missing));
+        })
+    });
+    g.bench_function("digest_64", |b| b.iter(|| black_box(full.digest())));
+    g.finish();
+}
+
+fn bench_seqlog(c: &mut Criterion) {
+    use amcast::SeqLog;
+    let mut g = c.benchmark_group("seqlog");
+    // A log with a gappy tail (every 7th entry missing) against a peer that
+    // has everything — the shape repair traffic actually sees.
+    let mut log: SeqLog<u64> = SeqLog::new(4096);
+    for seq in 0..2048u64 {
+        if seq % 7 != 3 {
+            log.insert(seq, seq);
+        }
+    }
+    let mut complete: SeqLog<u64> = SeqLog::new(4096);
+    for seq in 0..2048u64 {
+        complete.insert(seq, seq);
+    }
+    let peer = complete.summary();
+    g.bench_function("missing_given_2048_gappy", |b| {
+        b.iter(|| black_box(log.missing_given(black_box(&peer))))
+    });
+    let synced = complete.summary();
+    g.bench_function("missing_given_2048_synced", |b| {
+        b.iter(|| black_box(complete.missing_given(black_box(&synced))))
+    });
     g.finish();
 }
 
@@ -244,6 +283,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(30);
-    targets = bench_bloom, bench_agg, bench_table, bench_nitf, bench_queues, bench_simnet, bench_route
+    targets = bench_bloom, bench_agg, bench_table, bench_seqlog, bench_nitf, bench_queues,
+        bench_simnet, bench_route
 }
 criterion_main!(benches);

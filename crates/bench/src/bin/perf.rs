@@ -1,0 +1,49 @@
+//! `perf` — the wall-clock performance harness.
+//!
+//! Runs fixed seeded scenarios (Astrolabe convergence, NewsWire fan-out
+//! under chaos, raw simnet throughput) and writes `BENCH.json`:
+//!
+//! ```text
+//! cargo run -p bench --release --bin perf                    # full suite
+//! cargo run -p bench --release --bin perf -- --quick         # CI smoke
+//! cargo run -p bench --release --bin perf -- --out B.json    # custom path
+//! cargo run -p bench --release --bin perf -- --compare BENCH.json
+//! ```
+//!
+//! `--compare` prints a report-only delta against a committed baseline; it
+//! never exits nonzero on a regression — the numbers are for humans and CI
+//! logs, the committed `BENCH.json` is the durable record.
+
+use bench::perf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = String::from("BENCH.json");
+    let mut compare_with: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            "--compare" => compare_with = Some(it.next().expect("--compare needs a path").clone()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf [--quick] [--out PATH] [--compare BASELINE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = perf::run_all(quick);
+    let json = perf::to_json(&results, quick);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+
+    if let Some(path) = compare_with {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => print!("{}", perf::compare(&results, &baseline)),
+            Err(e) => println!("no baseline at {path} ({e}); skipping comparison"),
+        }
+    }
+}

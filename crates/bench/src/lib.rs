@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 mod table;
 
 pub use table::Table;

@@ -59,6 +59,12 @@ pub struct PhiAccrualDetector {
     sum: f64,
     sum_sq: f64,
     last_arrival: Option<SimTime>,
+    /// Conservative elapsed bound (µs since `last_arrival`) below which phi
+    /// provably stays under the threshold — recomputed on each heartbeat so
+    /// [`PhiAccrualDetector::is_suspect`] is a single integer compare for a
+    /// healthy peer. Callers sweep every monitored row every round; the full
+    /// transcendental phi only runs once a peer is genuinely late.
+    safe_elapsed_us: u64,
 }
 
 impl PhiAccrualDetector {
@@ -76,6 +82,7 @@ impl PhiAccrualDetector {
             sum: 0.0,
             sum_sq: 0.0,
             last_arrival: None,
+            safe_elapsed_us: 0,
         }
     }
 
@@ -83,10 +90,14 @@ impl PhiAccrualDetector {
     /// Out-of-order arrivals (at or before the last one) refresh nothing.
     pub fn heartbeat(&mut self, now: SimTime) {
         match self.last_arrival {
-            None => self.last_arrival = Some(now),
+            None => {
+                self.last_arrival = Some(now);
+                self.safe_elapsed_us = self.safe_elapsed();
+            }
             Some(last) if now > last => {
                 self.push_interval(now.since(last).as_micros() as f64);
                 self.last_arrival = Some(now);
+                self.safe_elapsed_us = self.safe_elapsed();
             }
             Some(_) => {}
         }
@@ -115,7 +126,14 @@ impl PhiAccrualDetector {
     }
 
     /// True when the suspicion level has crossed the configured threshold.
+    /// Equivalent to `phi(now) >= threshold`, but a healthy (not-yet-late)
+    /// peer is cleared by one integer compare against a precomputed bound.
     pub fn is_suspect(&self, now: SimTime) -> bool {
+        if let Some(last) = self.last_arrival {
+            if now.saturating_since(last).as_micros() < self.safe_elapsed_us {
+                return false;
+            }
+        }
         self.phi(now) >= self.config.threshold
     }
 
@@ -135,6 +153,28 @@ impl PhiAccrualDetector {
         self.sum = 0.0;
         self.sum_sq = 0.0;
         self.last_arrival = None;
+        self.safe_elapsed_us = 0;
+    }
+
+    /// Largest elapsed time (µs) for which phi provably stays below the
+    /// threshold under the current model.
+    ///
+    /// With `y = (elapsed - mean) / stddev` and `e(y) = y·(1.5976 +
+    /// 0.070566·y²)` increasing in `y`: for `e ≤ 0`, `phi ≤ log10 2`; for
+    /// `e ≥ 0`, `phi ≤ LOG10_E·e + log10 2`. So phi stays under the
+    /// threshold while `e < e_need = (threshold − log10 2)·ln 10`, and in
+    /// particular while `y < y_safe = e_need / (1.5976 + 0.070566·c²)` for
+    /// `c = e_need / 1.5976` (since `e(c) ≥ e_need` forces `y_safe ≤
+    /// e⁻¹(e_need)`). Truncation to integer µs only tightens the bound.
+    fn safe_elapsed(&self) -> u64 {
+        let e_need = (self.config.threshold - std::f64::consts::LOG10_2) * std::f64::consts::LN_10;
+        if e_need <= 0.0 {
+            return 0;
+        }
+        let c = e_need / 1.5976;
+        let y_safe = e_need / (1.5976 + 0.070566 * c * c);
+        let (mean, stddev) = self.model();
+        (mean + y_safe * stddev).max(0.0) as u64
     }
 
     fn push_interval(&mut self, us: f64) {
@@ -268,6 +308,18 @@ mod tests {
             d.heartbeat(SimTime::from_secs(i));
         }
         assert_eq!(d.samples(), 8);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_exact_phi() {
+        // The precomputed safe-elapsed bound must never flip a decision:
+        // sweep a dense grid across the suspicion boundary.
+        let (d, last) = fed(2, 20);
+        for k in 0..600u64 {
+            let t = last + SimDuration::from_millis(50 * k);
+            let exact = d.phi(t) >= PhiConfig::default().threshold;
+            assert_eq!(d.is_suspect(t), exact, "diverged at step {k}");
+        }
     }
 
     #[test]

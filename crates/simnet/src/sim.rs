@@ -5,7 +5,7 @@
 //! run is a pure function of the master seed and the schedule of external
 //! inputs — the determinism every experiment in this reproduction relies on.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 use rand::rngs::SmallRng;
 
@@ -91,10 +91,16 @@ pub struct Simulation<N: Node> {
     now: SimTime,
     seq: u64,
     next_timer: u64,
-    cancelled: HashSet<TimerId>,
+    /// Fire times of timers still queued, so a cancellation can be bounded
+    /// to the timer's lifetime (entries leave when the timer event pops).
+    pending_timers: HashMap<TimerId, SimTime>,
+    /// Cancelled-but-not-yet-popped timers, keyed to their fire time so
+    /// stale entries can be purged once that time has passed.
+    cancelled: HashMap<TimerId, SimTime>,
     started: bool,
     seed: u64,
     events_processed: u64,
+    peak_queue: usize,
     faults: FaultCounters,
 }
 
@@ -124,10 +130,12 @@ impl<N: Node> Simulation<N> {
             now: SimTime::ZERO,
             seq: 0,
             next_timer: 0,
-            cancelled: HashSet::new(),
+            pending_timers: HashMap::new(),
+            cancelled: HashMap::new(),
             started: false,
             seed,
             events_processed: 0,
+            peak_queue: 0,
             faults: FaultCounters::default(),
         }
     }
@@ -178,6 +186,11 @@ impl<N: Node> Simulation<N> {
         self.events_processed
     }
 
+    /// High-water mark of the event queue length (for capacity benchmarks).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue
+    }
+
     /// Immutable access to a node's protocol state.
     ///
     /// # Panics
@@ -224,6 +237,7 @@ impl<N: Node> Simulation<N> {
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
         self.seq += 1;
         self.queue.push(QueuedEvent { time, seq: self.seq, kind });
+        self.peak_queue = self.peak_queue.max(self.queue.len());
     }
 
     /// Delivers `msg` to `to` at exactly `at`, as if from
@@ -377,10 +391,16 @@ impl<N: Node> Simulation<N> {
                 }
                 Effect::SetTimer { id: tid, delay, tag } => {
                     let at = self.now + delay;
+                    self.pending_timers.insert(tid, at);
                     self.push(at, EventKind::Timer { node: id, id: tid, tag });
                 }
                 Effect::CancelTimer { id: tid } => {
-                    self.cancelled.insert(tid);
+                    // Cancelling an already-fired (or never-set) timer must
+                    // not grow the set forever: only timers still queued are
+                    // recorded, keyed to the time their entry self-expires.
+                    if let Some(&fire) = self.pending_timers.get(&tid) {
+                        self.cancelled.insert(tid, fire);
+                    }
                 }
             }
         }
@@ -409,7 +429,8 @@ impl<N: Node> Simulation<N> {
                 self.dispatch_callback(to, Callback::Message { from, msg });
             }
             EventKind::Timer { node, id, tag } => {
-                if self.cancelled.remove(&id) {
+                self.pending_timers.remove(&id);
+                if self.cancelled.remove(&id).is_some() {
                     return true;
                 }
                 let idx = node.index();
@@ -481,6 +502,12 @@ impl<N: Node> Simulation<N> {
         }
         if self.now < deadline {
             self.now = deadline;
+        }
+        // Defensive bound for long chaos runs: a cancelled timer whose fire
+        // time has passed can never pop again, so its entry is dead weight.
+        if self.cancelled.len() > 64 {
+            let now = self.now;
+            self.cancelled.retain(|_, &mut fire| fire > now);
         }
     }
 
@@ -613,6 +640,38 @@ mod tests {
         let id = sim.add_node(T { fired: vec![] });
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.node(id).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn cancelled_timer_set_stays_bounded() {
+        // A node that cancels every timer *after* it fired: the old
+        // HashSet grew one entry per cancellation, forever.
+        struct LateCancel {
+            last: Option<TimerId>,
+        }
+        impl Node for LateCancel {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, fired: TimerId, _: u64) {
+                // `fired` has already popped: cancelling it must be a no-op
+                // that leaves no residue.
+                ctx.cancel_timer(fired);
+                if let Some(prev) = self.last {
+                    ctx.cancel_timer(prev);
+                }
+                self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+            }
+        }
+        let mut sim = Simulation::new(NetworkModel::default(), 5);
+        sim.add_node(LateCancel { last: None });
+        for t in 1..=200u64 {
+            sim.run_until(SimTime::from_micros(t * 10_000));
+        }
+        assert!(sim.cancelled.len() <= 1, "cancelled set leaked: {} entries", sim.cancelled.len());
+        assert!(sim.pending_timers.len() <= 1, "pending map leaked");
     }
 
     #[test]
