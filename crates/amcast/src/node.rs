@@ -2,6 +2,7 @@
 //! into one simulated node.
 
 use astrolabe::{Agent, GossipMsg, ZoneId};
+use obs::{ctr, gauge, kind, Layer};
 use rand::Rng;
 use simnet::{Context, Node, NodeId, Payload, SimDuration, SimTime, TimerId};
 
@@ -150,9 +151,12 @@ impl McastNode {
     fn deliver_local(&mut self, now: SimTime, data: &McastData) {
         let event = if self.seen.insert(data.id) {
             self.deliveries.push((data.id, now));
+            obs::metric_add!(self.agent.id(), ctr::MCAST_LOCAL_DELIVERIES, 1);
+            obs::trace_event!(self.agent.id(), Layer::Amcast, kind::MCAST_DELIVER_LOCAL, data.id);
             ForwardEvent::Delivered
         } else {
             self.stats.duplicates_dropped += 1;
+            obs::metric_add!(self.agent.id(), ctr::MCAST_DUPES_DROPPED, 1);
             ForwardEvent::Duplicate
         };
         self.log.record(LogRecord {
@@ -172,6 +176,7 @@ impl McastNode {
         };
         self.queues.push(child, ctx.now().as_micros(), priority, (dst, msg));
         self.stats.peak_queue = self.stats.peak_queue.max(self.queues.len());
+        obs::gauge_max!(self.agent.id(), gauge::MCAST_PEAK_QUEUE, self.queues.len());
         if !self.draining {
             self.draining = true;
             ctx.set_timer(self.cfg.service_interval, DRAIN_TIMER);
@@ -184,6 +189,7 @@ impl McastNode {
         let now = ctx.now();
         if actions.is_empty() && self.agent.level_of(&zone).is_none() {
             self.stats.route_failures += 1;
+            obs::metric_add!(self.agent.id(), ctr::MCAST_ROUTE_FAILURES, 1);
             self.log.record(LogRecord {
                 at_us: now.as_micros(),
                 msg_id: data.id,
@@ -207,6 +213,13 @@ impl McastNode {
                     self.enqueue(ctx, NodeId(member), McastMsg::Deliver { data: data.clone() });
                 }
                 Action::Forward { rep, zone } => {
+                    obs::trace_event!(
+                        self.agent.id(),
+                        Layer::Amcast,
+                        kind::MCAST_HOP,
+                        data.id,
+                        rep
+                    );
                     self.log.record(LogRecord {
                         at_us: now.as_micros(),
                         msg_id: data.id,
@@ -247,6 +260,7 @@ impl Node for McastNode {
                     self.process_duty(ctx, data, zone);
                 } else {
                     self.stats.duplicates_dropped += 1;
+                    obs::metric_add!(self.agent.id(), ctr::MCAST_DUPES_DROPPED, 1);
                 }
             }
             McastMsg::Deliver { data } => {
@@ -270,6 +284,7 @@ impl Node for McastNode {
                     let (dst, msg) = q.item;
                     ctx.send(dst, msg);
                     self.stats.forwards_sent += 1;
+                    obs::metric_add!(self.agent.id(), ctr::MCAST_FORWARDS, 1);
                 }
                 if self.queues.is_empty() {
                     self.draining = false;

@@ -25,6 +25,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use obs::{ctr, gauge, hist, kind, Layer};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use simnet::{PhiAccrualDetector, PhiConfig, SimTime};
@@ -468,6 +469,7 @@ impl Agent {
                 // Source rows were only re-stamped since the last round: the
                 // summary values are unchanged, so re-issue them under a
                 // fresh stamp without re-running the programs.
+                obs::metric_add!(self.id, ctr::AGG_CACHE_HITS, 1);
                 let attrs = c.attrs.clone();
                 let stamp = self.next_stamp(now);
                 self.tables[parent].merge_row(label, Arc::new(Mib::new(stamp, attrs)));
@@ -475,6 +477,7 @@ impl Agent {
             }
         }
 
+        obs::metric_add!(self.id, ctr::AGG_RECOMPUTES, 1);
         let mut out = MibBuilder::new();
         let rows = self.tables[level].rows();
         for prog in rs.programs.iter() {
@@ -522,6 +525,8 @@ impl Agent {
         if stale {
             let peers = self.peers_at(level);
             self.peers_cache[level] = Some((gen, parent_gen, peers));
+        } else {
+            obs::metric_add!(self.id, ctr::PEERS_CACHE_HITS, 1);
         }
         match &self.peers_cache[level] {
             Some((_, _, peers)) => peers,
@@ -567,6 +572,7 @@ impl Agent {
         let generation = self.tables[i].generation();
         if let Some((g, d)) = &self.digest_cache[i] {
             if *g == generation {
+                obs::metric_add!(self.id, ctr::DIGEST_CACHE_HITS, 1);
                 return Arc::clone(d);
             }
         }
@@ -631,6 +637,16 @@ impl Agent {
                 out.push((peer, GossipMsg::Digest { digests: self.digests_from(0) }));
             }
         }
+        if obs::ENABLED {
+            let rows_held: usize = self.tables.iter().map(ZoneTable::len).sum();
+            obs::metric_add!(self.id, ctr::GOSSIP_ROUNDS, 1);
+            obs::metric_add!(self.id, ctr::GOSSIP_DIGESTS_SENT, out.len());
+            obs::gauge_set!(self.id, gauge::ASTRO_ROWS_HELD, rows_held);
+            obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_ROUND, rows_held, out.len());
+            for (_, msg) in &out {
+                obs::hist_record!(self.id, hist::GOSSIP_DIGEST_BYTES, msg.wire_size());
+            }
+        }
         out
     }
 
@@ -693,6 +709,10 @@ impl Agent {
                 }
             }
         }
+        if changed > 0 {
+            obs::metric_add!(self.id, ctr::GOSSIP_ROWS_MERGED, changed);
+            obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_MERGE, changed);
+        }
         changed
     }
 
@@ -717,6 +737,7 @@ impl Agent {
     ) -> Vec<(u32, GossipMsg)> {
         match msg {
             GossipMsg::Digest { digests } => {
+                obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_DIGEST, from, digests.len());
                 let mut reply_rows = Vec::new();
                 let mut want = Vec::new();
                 // Reuse the scratch buffers across digests; the want-list
@@ -740,6 +761,15 @@ impl Agent {
                 }
                 self.scratch_newer = newer;
                 self.scratch_missing = missing;
+                if obs::ENABLED {
+                    let sent: usize = reply_rows.iter().map(|t| t.rows.len()).sum();
+                    let wanted: usize = want.iter().map(|(_, ls)| ls.len()).sum();
+                    if sent + wanted > 0 {
+                        obs::metric_add!(self.id, ctr::GOSSIP_DIFF_ROWS, sent + wanted);
+                        obs::hist_record!(self.id, hist::GOSSIP_DIFF_ROWS, sent + wanted);
+                        obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_DIFF, sent, wanted);
+                    }
+                }
                 if reply_rows.is_empty() && want.is_empty() {
                     Vec::new()
                 } else {

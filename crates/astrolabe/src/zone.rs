@@ -90,6 +90,20 @@ impl ZoneId {
         assert!(depth <= self.depth(), "no ancestor at depth {depth}");
         ZoneId { path: self.path[..depth].to_vec() }
     }
+
+    /// Parses the [`Display`](fmt::Display) form back into a zone:
+    /// `"/"` is the root, `"/3/7"` is label path `[3, 7]`. Returns `None`
+    /// for anything that does not round-trip (missing leading slash, empty
+    /// or non-numeric labels).
+    pub fn parse(s: &str) -> Option<ZoneId> {
+        if s == "/" {
+            return Some(ZoneId::root());
+        }
+        let rest = s.strip_prefix('/')?;
+        let path =
+            rest.split('/').map(|label| label.parse::<u16>().ok()).collect::<Option<Vec<u16>>>()?;
+        Some(ZoneId { path })
+    }
 }
 
 impl fmt::Display for ZoneId {
@@ -284,6 +298,16 @@ mod tests {
     fn zone_display() {
         assert_eq!(ZoneId::root().to_string(), "/");
         assert_eq!(ZoneId::root().child(1).child(2).to_string(), "/1/2");
+    }
+
+    #[test]
+    fn zone_parse_roundtrips_display() {
+        for zone in [ZoneId::root(), ZoneId::from_path(vec![3]), ZoneId::from_path(vec![3, 7])] {
+            assert_eq!(ZoneId::parse(&zone.to_string()), Some(zone));
+        }
+        for bad in ["", "3/7", "/3/", "//", "/x", "/3/70000"] {
+            assert_eq!(ZoneId::parse(bad), None, "{bad:?} must not parse");
+        }
     }
 
     #[test]

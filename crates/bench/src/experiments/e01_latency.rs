@@ -13,7 +13,7 @@
 
 use simnet::SimDuration;
 
-use crate::experiments::support::{newswire_deployment, settle_secs, tech_item};
+use crate::experiments::support::{dump_telemetry, newswire_deployment, settle_secs, tech_item};
 use crate::Table;
 
 pub(crate) fn run(quick: bool) {
@@ -31,7 +31,11 @@ pub(crate) fn run(quick: bool) {
             d.publish(t0 + SimDuration::from_secs(2 * seq), tech_item(seq));
         }
         d.settle(40);
-        let mut lat = d.delivery_latency_summary();
+        // Latency quantiles come from the telemetry registry's raw
+        // delivery-latency series (identical to the per-node walk — no node
+        // churns in this sweep); the walk remains the obs-off fallback.
+        let mut lat =
+            d.delivery_latency_from_registry().unwrap_or_else(|| d.delivery_latency_summary());
         let levels = d.layout.levels() + 1;
         if lat.is_empty() {
             table.row(&[
@@ -54,6 +58,7 @@ pub(crate) fn run(quick: bool) {
             format!("{:.2}", lat.quantile(0.99)),
             format!("{:.2}", lat.max()),
         ]);
+        dump_telemetry(&format!("e1_n{n}"), &mut d.sim);
     }
     table.caption(
         "paper: delivery within tens of seconds at 10^5 subscribers; \

@@ -21,7 +21,7 @@ use newswire::{check_invariants, NewsWireConfig};
 use rand::Rng;
 use simnet::{fork, ChurnSpec, FaultPlan, GrayProfile, GraySpec, NodeId, SimTime};
 
-use crate::experiments::support::tech_item;
+use crate::experiments::support::{dump_telemetry, tech_item};
 use crate::Table;
 
 struct Point {
@@ -103,14 +103,33 @@ fn run_point(n: u32, churn: bool, gray_pct: u32, ack: bool, seed: u64) -> Point 
     d.settle(70);
 
     let report = check_invariants(&d, &items, &plan.churned_nodes());
-    let stats = d.total_stats();
+    // Ack-machinery counters from the telemetry registry (the per-node
+    // NodeStats mirror them exactly — neither resets on recovery); churned
+    // nodes clear their delivery logs, so the p99 keeps the walk, which
+    // reflects what survivors actually hold.
+    let (retries, failovers, abandoned) = if obs::ENABLED {
+        let hub = d.sim.telemetry();
+        let hub = hub.borrow();
+        (
+            hub.counter_total(obs::ctr::NW_ACK_RETRIES),
+            hub.counter_total(obs::ctr::NW_ACK_FAILOVERS),
+            hub.counter_total(obs::ctr::NW_HANDOFFS_ABANDONED),
+        )
+    } else {
+        let stats = d.total_stats();
+        (stats.ack_retries, stats.ack_failovers, stats.handoffs_abandoned)
+    };
     let mut lat = d.delivery_latency_summary();
+    dump_telemetry(
+        &format!("e13_churn{}_gray{gray_pct}_ack{}", u8::from(churn), u8::from(ack)),
+        &mut d.sim,
+    );
     Point {
         survivor_pct: 100.0 * report.survivor_delivery_ratio(),
         p99_secs: if lat.is_empty() { 0.0 } else { lat.quantile(0.99) },
-        retries: stats.ack_retries,
-        failovers: stats.ack_failovers,
-        abandoned: stats.handoffs_abandoned,
+        retries,
+        failovers,
+        abandoned,
     }
 }
 

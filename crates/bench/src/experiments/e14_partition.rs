@@ -22,7 +22,7 @@
 use newswire::{check_invariants, Deployment, NewsWireConfig};
 use simnet::{FaultPlan, Partition, PartitionSpec, SimTime};
 
-use crate::experiments::support::tech_item;
+use crate::experiments::support::{dump_telemetry, tech_item};
 use crate::Table;
 
 /// Partition shape: where the cut falls relative to the zone tree.
@@ -136,6 +136,10 @@ fn run_point(n: u32, shape: Shape, dur_secs: u64, anti_entropy: bool, seed: u64)
     }
     let report = check_invariants(&d, &items, &std::collections::BTreeSet::new());
     let stats = d.total_stats();
+    dump_telemetry(
+        &format!("e14_{}_{dur_secs}s_ae{}", shape.label(), u8::from(anti_entropy)),
+        &mut d.sim,
+    );
     Point {
         recovered_pct: if expected == 0 {
             100.0

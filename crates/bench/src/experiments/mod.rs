@@ -54,4 +54,19 @@ pub(crate) mod support {
             _ => 120,
         }
     }
+
+    /// Drains the simulation's telemetry into
+    /// `$NEWSWIRE_TELEMETRY_DIR/<label>.json` when that variable is set
+    /// (the nightly CI uploads the files as artifacts). A no-op otherwise.
+    /// Draining resets the registry, so call it after the experiment has
+    /// read every counter it needs.
+    pub fn dump_telemetry<N: simnet::Node>(label: &str, sim: &mut simnet::Simulation<N>) {
+        let Ok(dir) = std::env::var("NEWSWIRE_TELEMETRY_DIR") else { return };
+        if dir.is_empty() {
+            return;
+        }
+        let json = sim.drain_telemetry().to_json();
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(std::path::Path::new(&dir).join(format!("{label}.json")), json);
+    }
 }

@@ -288,10 +288,16 @@ fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// `BENCH.json` baseline. Never fails: machines differ, CI is noisy — the
 /// delta is information, the committed baseline is the record.
 pub fn compare(results: &[PerfResult], baseline: &str) -> String {
+    // One record per scenario object, whether the baseline is the compact
+    // one-line-per-scenario form or pretty-printed multi-line JSON (the
+    // committed BENCH.json): flatten newlines, then cut at object ends so
+    // every chunk holds at most one scenario's fields.
+    let flat = baseline.replace('\n', " ");
+    let records: Vec<&str> = flat.split('}').filter(|c| c.contains("\"name\"")).collect();
     let mut out = String::new();
     out.push_str("perf delta vs committed baseline (report only; >0% wall = slower):\n");
     for r in results {
-        let base = baseline.lines().find(|l| field_str(l, "name") == Some(r.name.as_str()));
+        let base = records.iter().copied().find(|l| field_str(l, "name") == Some(r.name.as_str()));
         match base {
             Some(line) => {
                 let bw = field_f64(line, "wall_s").unwrap_or(f64::NAN);
@@ -356,6 +362,27 @@ mod tests {
         b.name = "y".into();
         let report = compare(&[b], &baseline);
         assert!(report.contains("no baseline entry"), "{report}");
+    }
+
+    #[test]
+    fn compare_parses_pretty_printed_baselines() {
+        let r = PerfResult {
+            name: "astro".into(),
+            wall_s: 2.0,
+            events: 10,
+            events_per_s: 5.0,
+            peak_queue_depth: 3,
+            detail: "v=1".into(),
+        };
+        // The committed BENCH.json format: one field per line.
+        let baseline = "{\n  \"version\": 1,\n  \"scenarios\": [\n    {\n      \
+                        \"name\": \"astro\",\n      \"wall_s\": 1.0,\n      \
+                        \"events\": 10,\n      \"events_per_s\": 10.0,\n      \
+                        \"peak_queue_depth\": 3,\n      \"detail\": \"v=1\"\n    }\n  ]\n}\n";
+        let report = compare(&[r], baseline);
+        assert!(report.contains("+100.0%"), "{report}");
+        assert!(report.contains("detail ok"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 
     #[test]

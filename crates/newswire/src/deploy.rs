@@ -323,6 +323,30 @@ impl Deployment {
         s
     }
 
+    /// The same latency summary, rebuilt from the telemetry registry's raw
+    /// `delivery_latency_us` series instead of walking every node's delivery
+    /// log. `None` when instrumentation is compiled out (`obs` feature off)
+    /// or nothing has been delivered yet; when `Some`, the quantiles are
+    /// identical to [`Deployment::delivery_latency_summary`]'s as long as no
+    /// node crashed mid-run (a recovering node clears its delivery log, but
+    /// registry samples — like the paper's measurements — survive).
+    pub fn delivery_latency_from_registry(&self) -> Option<Summary> {
+        if !obs::ENABLED {
+            return None;
+        }
+        let hub = self.sim.telemetry();
+        let hub = hub.borrow();
+        let samples = hub.merged_series(obs::series::DELIVERY_LATENCY_US);
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s = Summary::new();
+        for us in samples {
+            s.record(us as f64 / 1e6);
+        }
+        Some(s)
+    }
+
     /// Sum of all nodes' NewsWire counters.
     pub fn total_stats(&self) -> NodeStats {
         let mut t = NodeStats::default();

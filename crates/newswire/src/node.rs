@@ -19,6 +19,7 @@ use amcast::{
 };
 use astrolabe::{Agent, TrustRegistry, ZoneId};
 use newsml::{ItemId, NewsItem, PublisherId};
+use obs::{ctr, gauge, kind, series, Layer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use simnet::{Context, Node, NodeId, PhiAccrualDetector, PhiConfig, SimDuration, SimTime, TimerId};
@@ -115,6 +116,14 @@ pub struct NodeStats {
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
 pub const DISSEMINATION_PREDICATE: &str = "ds$predicate";
+
+/// Metadata key carrying the §8 zone scope of a scoped publish (the
+/// [`ZoneId`] display form, e.g. `"/3"`). The envelope's scope confines
+/// tree routing, but cache repair and anti-entropy reconciliation ship bare
+/// items from caches — an out-of-zone node sees the scoped item's sequence
+/// number as a log hole and pulls it. Stamping the scope under the
+/// signature lets every delivery path re-check confinement.
+pub const DISSEMINATION_SCOPE: &str = "ds$scope";
 
 const GOSSIP_TIMER: u64 = 1;
 const DRAIN_TIMER: u64 = 2;
@@ -278,6 +287,9 @@ impl NewsWireNode {
                 }
             }
         }
+        // The summary attrs just installed propagate upward through gossip
+        // from the next round on.
+        obs::trace_event!(self.agent.id(), Layer::News, kind::SUB_PROPAGATE);
         self.subscription = sub;
     }
 
@@ -358,9 +370,17 @@ impl NewsWireNode {
         }
     }
 
-    /// Evaluates the item's embedded dissemination predicate (if any)
-    /// against this node's own attributes. Fail-closed.
+    /// Evaluates the item's embedded dissemination controls — the §8 zone
+    /// scope and predicate, if any — against this node's own position and
+    /// attributes. Fail-closed.
     fn dissemination_admits(&self, item: &NewsItem) -> bool {
+        if let Some(src) = item.field(DISSEMINATION_SCOPE) {
+            let in_scope = ZoneId::parse(&src)
+                .is_some_and(|scope| scope.is_ancestor_of(&self.agent.chain()[0]));
+            if !in_scope {
+                return false;
+            }
+        }
         let Some(src) = item.field(DISSEMINATION_PREDICATE) else { return true };
         struct LocalAttrs<'a>(&'a Agent);
         impl astrolabe::RowSource for LocalAttrs<'_> {
@@ -383,6 +403,7 @@ impl NewsWireNode {
             // Not addressed to this node (e.g. premium-only content on a
             // free node); neither delivered nor cached.
             self.stats.predicate_filtered += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_PREDICATE_FILTERED, 1);
             return;
         }
         let id = item.id;
@@ -393,6 +414,7 @@ impl NewsWireNode {
         match self.cache.insert(item, now) {
             CacheOutcome::Duplicate => {
                 self.stats.duplicates += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_DUPLICATES, 1);
                 return;
             }
             CacheOutcome::Obsolete => return,
@@ -400,6 +422,13 @@ impl NewsWireNode {
         }
         if matches {
             self.stats.delivered += 1;
+            let latency_us = now.as_micros().saturating_sub(published.as_micros());
+            obs::metric_add!(self.agent.id(), ctr::NW_DELIVERED, 1);
+            if via_repair {
+                obs::metric_add!(self.agent.id(), ctr::NW_DELIVERED_REPAIR, 1);
+            }
+            obs::series_record!(self.agent.id(), series::DELIVERY_LATENCY_US, latency_us);
+            obs::trace_event!(self.agent.id(), Layer::News, kind::NW_DELIVER, msg_id, latency_us);
             self.deliveries.push(DeliveryRecord {
                 item: id,
                 msg_id,
@@ -412,9 +441,11 @@ impl NewsWireNode {
                 // Reached this leaf only because of Bloom aliasing; the
                 // exact final test of §6 rejects it.
                 self.stats.bloom_fp_deliveries += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_BLOOM_FP, 1);
             }
         } else {
             self.stats.predicate_filtered += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_PREDICATE_FILTERED, 1);
         }
     }
 
@@ -428,6 +459,7 @@ impl NewsWireNode {
         };
         self.queues.push(child, ctx.now().as_micros(), priority, (dst, msg));
         self.stats.peak_queue = self.stats.peak_queue.max(self.queues.len());
+        obs::gauge_max!(self.agent.id(), gauge::NW_PEAK_QUEUE, self.queues.len());
         if !self.draining {
             self.draining = true;
             ctx.set_timer(self.cfg.service_interval, DRAIN_TIMER);
@@ -440,6 +472,7 @@ impl NewsWireNode {
         if actions.is_empty() && self.agent.level_of(&zone).is_none() {
             // Not on our path and no relay representative known yet.
             self.stats.route_failures += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_ROUTE_FAILURES, 1);
             self.log.record(LogRecord {
                 at_us: now.as_micros(),
                 msg_id: env.msg_id,
@@ -498,15 +531,18 @@ impl NewsWireNode {
             Some(Ok(expr)) => Some(FilterSpec::Predicate { expr }),
             Some(Err(_)) => {
                 self.stats.publish_denied += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_PUBLISH_DENIED, 1);
                 return;
             }
         };
         let Some(publisher) = &mut self.publisher else {
             self.stats.publish_denied += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_PUBLISH_DENIED, 1);
             return;
         };
         if publisher.credential.publisher() != item.id.publisher {
             self.stats.publish_denied += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_PUBLISH_DENIED, 1);
             return;
         }
         if !publisher.bucket.admit(now) {
@@ -522,6 +558,11 @@ impl NewsWireNode {
             item.meta.push((DISSEMINATION_PREDICATE.to_owned(), src.clone()));
         }
         let scope = scope.unwrap_or_else(|| publisher.default_scope.clone());
+        if !scope.is_root() {
+            // The scope travels the same way, so the repair/reconcile paths
+            // (which ship bare items, not envelopes) stay zone-confined.
+            item.meta.push((DISSEMINATION_SCOPE.to_owned(), scope.to_string()));
+        }
         let signature = publisher.credential.sign(&item);
         let key = publisher.credential.key_id();
         let certificate = publisher.credential.certificate.clone();
@@ -538,6 +579,8 @@ impl NewsWireNode {
             key,
             signature,
         };
+        obs::metric_add!(self.agent.id(), ctr::NW_PUBLISHED, 1);
+        obs::trace_event!(self.agent.id(), Layer::News, kind::NW_PUBLISH, env.msg_id);
         self.coverage.admit(env.msg_id, scope.depth());
         // The publisher caches and logs its own output (direct insert — this
         // is not a delivery, so no delivery/FP accounting): after a
@@ -681,12 +724,23 @@ impl NewsWireNode {
         let rep_suspect = self.peer_suspect(handoff.rep, now);
         if rep_suspect && handoff.attempt < self.cfg.ack_retries {
             self.stats.suspect_failovers += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_SUSPECT_FAILOVERS, 1);
+            obs::trace_event!(self.agent.id(), Layer::News, kind::PHI_SUSPECT, handoff.rep);
         }
         if !rep_suspect && handoff.attempt < self.cfg.ack_retries {
             // Same representative, longer leash.
             handoff.attempt += 1;
             self.stats.ack_retries += 1;
             self.stats.forwards_sent += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_ACK_RETRIES, 1);
+            obs::metric_add!(self.agent.id(), ctr::NW_FORWARDS, 1);
+            obs::trace_event!(
+                self.agent.id(),
+                Layer::News,
+                kind::HANDOFF_RETRY,
+                handoff.env.msg_id,
+                handoff.rep
+            );
             self.log.record(LogRecord {
                 at_us: now_us,
                 msg_id: handoff.env.msg_id,
@@ -719,6 +773,15 @@ impl NewsWireNode {
                 handoff.failovers += 1;
                 self.stats.ack_failovers += 1;
                 self.stats.forwards_sent += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_ACK_FAILOVERS, 1);
+                obs::metric_add!(self.agent.id(), ctr::NW_FORWARDS, 1);
+                obs::trace_event!(
+                    self.agent.id(),
+                    Layer::News,
+                    kind::HANDOFF_FAILOVER,
+                    handoff.env.msg_id,
+                    rep
+                );
                 self.log.record(LogRecord {
                     at_us: now_us,
                     msg_id: handoff.env.msg_id,
@@ -734,6 +797,14 @@ impl NewsWireNode {
             }
             None => {
                 self.stats.handoffs_abandoned += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_HANDOFFS_ABANDONED, 1);
+                obs::trace_event!(
+                    self.agent.id(),
+                    Layer::News,
+                    kind::HANDOFF_ABANDON,
+                    handoff.env.msg_id,
+                    handoff.rep
+                );
                 self.log.record(LogRecord {
                     at_us: now_us,
                     msg_id: handoff.env.msg_id,
@@ -764,6 +835,7 @@ impl NewsWireNode {
             .into_iter()
             .map(|(p, hw)| (p, hw.saturating_sub(margin)))
             .collect();
+        obs::trace_event!(self.agent.id(), Layer::News, kind::REPAIR_REQUEST, peer.0);
         ctx.send(
             peer,
             NewsWireMsg::RepairRequest { highwater, want_snapshot: self.cache.is_empty() },
@@ -884,6 +956,8 @@ impl NewsWireNode {
             .map(|log| (log.epoch(), log.next_seq()))
             .unwrap_or((0, 0));
         self.stats.reconcile_requests += 1;
+        obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_REQUESTS, 1);
+        obs::trace_event!(self.agent.id(), Layer::News, kind::AE_REQUEST, peer.0, publisher.0);
         ctx.send(
             peer,
             NewsWireMsg::ReconcileRequest { publisher, epoch, ranges: ranges.clone(), tail_from },
@@ -932,6 +1006,14 @@ impl NewsWireNode {
             self.stats.reconcile_items_sent += items.len() as u64;
             self.stats.reconcile_bytes_sent +=
                 items.iter().map(|i| i.wire_size() as u64).sum::<u64>();
+            obs::metric_add!(self.agent.id(), ctr::NW_RECONCILES_SERVED, 1);
+            obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_ITEMS_SENT, items.len());
+            obs::metric_add!(
+                self.agent.id(),
+                ctr::NW_RECONCILE_BYTES_SENT,
+                items.iter().map(|i| i.wire_size() as u64).sum::<u64>()
+            );
+            obs::trace_event!(self.agent.id(), Layer::News, kind::AE_REPLY, from.0, items.len());
         }
         // Reply even when empty: the summary lets the requester settle
         // unservable holes, and the reply itself proves liveness.
@@ -960,6 +1042,7 @@ impl NewsWireNode {
         };
         let now = ctx.now();
         self.stats.reconcile_items_recv += items.len() as u64;
+        obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_ITEMS_RECV, items.len());
         let log =
             self.article_logs.entry(publisher).or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
         if summary.epoch > log.epoch() {
@@ -1013,6 +1096,7 @@ impl Node for NewsWireNode {
             NewsWireMsg::Forward { env, zone } => {
                 if !self.verify(&env) {
                     self.stats.auth_rejects += 1;
+                    obs::metric_add!(self.agent.id(), ctr::NW_AUTH_REJECTS, 1);
                     self.log.record(LogRecord {
                         at_us: ctx.now().as_micros(),
                         msg_id: env.msg_id,
@@ -1035,11 +1119,20 @@ impl Node for NewsWireNode {
                     self.process_duty(ctx, env, zone);
                 } else {
                     self.stats.duplicates += 1;
+                    obs::metric_add!(self.agent.id(), ctr::NW_DUPLICATES, 1);
                 }
             }
             NewsWireMsg::ForwardAck { msg_id, zone } => {
                 if let Some(tags) = self.ack_index.remove(&(msg_id, zone)) {
                     self.stats.acks_received += 1;
+                    obs::metric_add!(self.agent.id(), ctr::NW_ACKS_RECEIVED, 1);
+                    obs::trace_event!(
+                        self.agent.id(),
+                        Layer::News,
+                        kind::HANDOFF_ACK,
+                        msg_id,
+                        from.0
+                    );
                     for tag in tags {
                         if let Some(h) = self.pending.remove(&tag) {
                             ctx.cancel_timer(h.timer);
@@ -1050,6 +1143,7 @@ impl Node for NewsWireNode {
             NewsWireMsg::Deliver { env } => {
                 if !self.verify(&env) {
                     self.stats.auth_rejects += 1;
+                    obs::metric_add!(self.agent.id(), ctr::NW_AUTH_REJECTS, 1);
                     return;
                 }
                 let now = ctx.now();
@@ -1077,6 +1171,15 @@ impl Node for NewsWireNode {
                 if !items.is_empty() {
                     self.stats.repairs_served += 1;
                     self.stats.repair_items_sent += items.len() as u64;
+                    obs::metric_add!(self.agent.id(), ctr::NW_REPAIRS_SERVED, 1);
+                    obs::metric_add!(self.agent.id(), ctr::NW_REPAIR_ITEMS_SENT, items.len());
+                    obs::trace_event!(
+                        self.agent.id(),
+                        Layer::News,
+                        kind::REPAIR_REPLY,
+                        from.0,
+                        items.len()
+                    );
                 }
                 // Reply even when empty: an empty reply tells the requester
                 // "I'm alive and have nothing for you", so its reply timeout
@@ -1130,6 +1233,13 @@ impl Node for NewsWireNode {
                     if let (Some(timeout), NewsWireMsg::Forward { env, zone }) =
                         (self.cfg.ack_timeout, &msg)
                     {
+                        obs::trace_event!(
+                            self.agent.id(),
+                            Layer::News,
+                            kind::HANDOFF_ARM,
+                            env.msg_id,
+                            dst.0
+                        );
                         self.arm_handoff(
                             ctx,
                             timeout,
@@ -1143,6 +1253,7 @@ impl Node for NewsWireNode {
                     }
                     ctx.send(dst, msg);
                     self.stats.forwards_sent += 1;
+                    obs::metric_add!(self.agent.id(), ctr::NW_FORWARDS, 1);
                 }
                 if self.queues.is_empty() {
                     self.draining = false;
@@ -1170,6 +1281,7 @@ impl Node for NewsWireNode {
                     return;
                 }
                 self.stats.repair_retargets += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_REPAIR_RETARGETS, 1);
                 let now = ctx.now();
                 for _ in 0..4 {
                     match self.repair_peer(ctx.rng(), now) {
@@ -1195,6 +1307,7 @@ impl Node for NewsWireNode {
                     match self.cross_zone_peer(ctx.rng(), now) {
                         Some(peer) if peer != p.peer => {
                             self.stats.reconcile_retargets += 1;
+                            obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_RETARGETS, 1);
                             self.send_reconcile_request(
                                 ctx,
                                 peer,
@@ -1312,6 +1425,36 @@ mod tests {
         assert!(!n.dissemination_admits(&bad));
         // No predicate: admitted.
         assert!(n.dissemination_admits(&tech_item(2)));
+    }
+
+    #[test]
+    fn dissemination_scope_confines_every_delivery_path() {
+        // 16 agents, branching 4: agent 0's leaf zone is /0.
+        let layout = ZoneLayout::new(16, 4);
+        let agent = Agent::new(0, &layout, Config::standard(), vec![]);
+        let mut n =
+            NewsWireNode::new(agent, NewsWireConfig::tech_news(), Arc::new(TrustRegistry::new(1)));
+        n.set_subscription(tech_sub());
+        let mut in_zone = tech_item(0);
+        in_zone.meta.push((DISSEMINATION_SCOPE.to_owned(), "/0".to_owned()));
+        assert!(n.dissemination_admits(&in_zone));
+        let mut out_of_zone = tech_item(1);
+        out_of_zone.meta.push((DISSEMINATION_SCOPE.to_owned(), "/1".to_owned()));
+        assert!(!n.dissemination_admits(&out_of_zone));
+        // A garbage scope fails closed, like a malformed predicate.
+        let mut bad = tech_item(2);
+        bad.meta.push((DISSEMINATION_SCOPE.to_owned(), "asia".to_owned()));
+        assert!(!n.dissemination_admits(&bad));
+        // handle_delivery with via_repair=true models the reconcile/repair
+        // paths, which ship bare items: the scope must still confine them.
+        let now = SimTime::from_secs(1);
+        n.handle_delivery(now, out_of_zone.clone(), true);
+        assert!(!n.has_item(out_of_zone.id), "repair must not leak scoped items");
+        assert_eq!(n.stats.predicate_filtered, 1);
+        // …but the seq was still *seen*, so reconcile won't re-request it.
+        assert!(n.article_log(PublisherId(0)).is_some_and(|l| l.contains(1)));
+        n.handle_delivery(now, in_zone.clone(), true);
+        assert!(n.has_item(in_zone.id), "in-zone repair still delivers");
     }
 
     #[test]

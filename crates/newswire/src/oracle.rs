@@ -221,5 +221,20 @@ pub fn check_invariants(
             }
         }
     }
+
+    // Verdict counters land in the deployment's global metric set so the
+    // drained telemetry carries the oracle's conclusion alongside the raw
+    // traffic it judged.
+    {
+        use obs::ctr;
+        let hub = deployment.sim.telemetry();
+        let mut hub = hub.borrow_mut();
+        let g = hub.global_mut();
+        g.ctr_add(ctr::ORACLE_RUNS, 1);
+        g.ctr_add(ctr::ORACLE_DUP_VIOLATIONS, report.duplicate_deliveries.len() as u64);
+        g.ctr_add(ctr::ORACLE_UNWANTED_VIOLATIONS, report.unwanted_deliveries.len() as u64);
+        g.ctr_add(ctr::ORACLE_MISSED_VIOLATIONS, report.missed_deliveries.len() as u64);
+        g.ctr_add(ctr::ORACLE_UNCONVERGED_LOGS, report.unconverged_logs.len() as u64);
+    }
     report
 }

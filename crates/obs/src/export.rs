@@ -1,0 +1,303 @@
+//! Deterministic telemetry export.
+//!
+//! Exports are consumed by CI determinism gates (same seed ⇒ byte-identical
+//! JSON), so everything here is integer-valued, ordered by slot id and node
+//! id, and hand-serialized — no hash-map iteration, no floats, no locale.
+
+use crate::metrics::{MetricSet, Schema};
+use crate::trace::{kind, TraceEvent};
+
+/// Summary of a raw-sample series (integers only; exact quantiles are
+/// computed by consumers from the raw samples, not here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeriesStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl SeriesStats {
+    /// Summarizes a sample slice.
+    pub fn of(samples: &[u64]) -> SeriesStats {
+        SeriesStats {
+            count: samples.len() as u64,
+            sum: samples.iter().sum(),
+            min: samples.iter().copied().min().unwrap_or(0),
+            max: samples.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// One node's non-zero metrics with names resolved against the schema.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// The node id ([`TraceEvent::GLOBAL`] for the simulation-global set).
+    pub node: u32,
+    /// Non-zero counters, in slot order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Non-zero gauges, in slot order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Non-empty histograms (bucket arrays), in slot order.
+    pub hists: Vec<(&'static str, Vec<u64>)>,
+    /// Non-empty series summaries, in slot order.
+    pub series: Vec<(&'static str, SeriesStats)>,
+}
+
+impl NodeMetrics {
+    /// Extracts the non-zero slots of `set` under `schema`'s names.
+    pub fn from_set(node: u32, set: &MetricSet, schema: &Schema) -> NodeMetrics {
+        NodeMetrics {
+            node,
+            counters: set.counters_nonzero().map(|(id, v)| (schema.counter_name(id), v)).collect(),
+            gauges: set.gauges_nonzero().map(|(id, v)| (schema.gauge_name(id), v)).collect(),
+            hists: set
+                .hists_nonzero()
+                .map(|(id, h)| (schema.hist_def(id).name, h.to_vec()))
+                .collect(),
+            series: set
+                .series_nonzero()
+                .map(|(id, s)| (schema.series_name(id), SeriesStats::of(s)))
+                .collect(),
+        }
+    }
+
+    /// True when the set held nothing worth exporting.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.series.is_empty()
+    }
+}
+
+/// A reconstructed interval between two paired trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Node of the *end* record (for publish→deliver, the subscriber).
+    pub node: u32,
+    /// The correlation key (the `a` operand shared by both records).
+    pub key: u64,
+    /// Timestamp of the start record, µs.
+    pub start_us: u64,
+    /// Timestamp of the end record, µs.
+    pub end_us: u64,
+}
+
+impl Span {
+    /// Span length in µs.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A drained (or snapshotted) telemetry timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Master seed of the simulation that produced this.
+    pub seed: u64,
+    /// Simulated time at drain, µs.
+    pub now_us: u64,
+    /// Trace records shed by the ring's drop-oldest policy.
+    pub events_dropped: u64,
+    /// Retained trace records, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Per-node metrics (nodes with at least one non-zero slot), by node id.
+    pub nodes: Vec<NodeMetrics>,
+    /// The simulation-global metric set.
+    pub global: NodeMetrics,
+}
+
+fn push_metric_obj(out: &mut String, m: &NodeMetrics) {
+    out.push_str("{\"node\":");
+    if m.node == TraceEvent::GLOBAL {
+        out.push_str("\"global\"");
+    } else {
+        out.push_str(&m.node.to_string());
+    }
+    out.push_str(",\"counters\":{");
+    for (i, (name, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push_str("},\"hists\":{");
+    for (i, (name, buckets)) in m.hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":["));
+        for (j, b) in buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("},\"series\":{");
+    for (i, (name, s)) in m.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+            s.count, s.sum, s.min, s.max
+        ));
+    }
+    out.push_str("}}");
+}
+
+impl Telemetry {
+    /// Serializes the full timeline as deterministic JSON.
+    ///
+    /// Key order, node order and slot order are all fixed; values are all
+    /// integers or fixed strings, so two same-seed runs produce the same
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.events.len() * 64);
+        out.push_str(&format!(
+            "{{\"seed\":{},\"now_us\":{},\"events_dropped\":{},\"events\":[",
+            self.seed, self.now_us, self.events_dropped
+        ));
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t_us\":{},\"node\":{},\"layer\":\"{}\",\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                e.t_us,
+                e.node,
+                e.layer.name(),
+                kind::name(e.kind),
+                e.a,
+                e.b
+            ));
+        }
+        out.push_str("],\"nodes\":[");
+        for (i, m) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_metric_obj(&mut out, m);
+        }
+        out.push_str("],\"global\":");
+        push_metric_obj(&mut out, &self.global);
+        out.push('}');
+        out
+    }
+
+    /// Serializes the trace timeline as CSV (`t_us,node,layer,kind,a,b`),
+    /// one record per line, with a header row.
+    pub fn events_csv(&self) -> String {
+        let mut out = String::with_capacity(32 + self.events.len() * 40);
+        out.push_str("t_us,node,layer,kind,a,b\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                e.t_us,
+                e.node,
+                e.layer.name(),
+                kind::name(e.kind),
+                e.a,
+                e.b
+            ));
+        }
+        out
+    }
+
+    /// Pairs `start_kind` records with later `end_kind` records sharing the
+    /// same `a` operand (the correlation key), returning one [`Span`] per
+    /// end record. A single start may anchor many ends (e.g. one
+    /// `NW_PUBLISH` fanning out to many `NW_DELIVER`s); ends with no
+    /// recorded start are skipped (their start fell off the ring).
+    pub fn pair_spans(&self, start_kind: u8, end_kind: u8) -> Vec<Span> {
+        let mut starts: Vec<(u64, u64)> = Vec::new(); // (key, t_us), first wins
+        let mut out = Vec::new();
+        for e in &self.events {
+            if e.kind == start_kind {
+                if !starts.iter().any(|&(k, _)| k == e.a) {
+                    starts.push((e.a, e.t_us));
+                }
+            } else if e.kind == end_kind {
+                if let Some(&(_, t0)) = starts.iter().find(|&&(k, _)| k == e.a) {
+                    out.push(Span { node: e.node, key: e.a, start_us: t0, end_us: e.t_us });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::TelemetryHub;
+    use crate::metrics::{ctr, series};
+    use crate::trace::Layer;
+
+    fn sample_hub() -> TelemetryHub {
+        let mut hub = TelemetryHub::new(42);
+        hub.ensure_nodes(2);
+        hub.set_now_us(5_000);
+        hub.node_mut(0).unwrap().ctr_add(ctr::MSGS_SENT, 3);
+        hub.node_mut(1).unwrap().series_push(series::DELIVERY_LATENCY_US, 250);
+        hub.global_mut().ctr_add(ctr::DROPS_LOSS, 1);
+        hub.trace(0, Layer::News, kind::NW_PUBLISH, 77, 0);
+        hub.trace(1, Layer::News, kind::NW_DELIVER, 77, 250);
+        hub
+    }
+
+    #[test]
+    fn json_is_deterministic_and_wellformed() {
+        let a = sample_hub().snapshot().to_json();
+        let b = sample_hub().snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"seed\":42,"));
+        assert!(a.contains("\"kind\":\"nw_publish\""));
+        assert!(a.contains("\"msgs_sent\":3"));
+        assert!(
+            a.contains("\"delivery_latency_us\":{\"count\":1,\"sum\":250,\"min\":250,\"max\":250}")
+        );
+        assert!(a.contains("\"node\":\"global\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn csv_lists_events_in_order() {
+        let csv = sample_hub().snapshot().events_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_us,node,layer,kind,a,b");
+        assert_eq!(lines[1], "5000,0,news,nw_publish,77,0");
+        assert_eq!(lines[2], "5000,1,news,nw_deliver,77,250");
+    }
+
+    #[test]
+    fn spans_pair_on_key() {
+        let mut hub = TelemetryHub::new(0);
+        hub.set_now_us(100);
+        hub.trace(0, Layer::News, kind::NW_PUBLISH, 9, 0);
+        hub.set_now_us(350);
+        hub.trace(4, Layer::News, kind::NW_DELIVER, 9, 250);
+        hub.set_now_us(400);
+        hub.trace(5, Layer::News, kind::NW_DELIVER, 9, 300);
+        // An end with no matching start is skipped.
+        hub.trace(6, Layer::News, kind::NW_DELIVER, 1234, 0);
+        let spans = hub.snapshot().pair_spans(kind::NW_PUBLISH, kind::NW_DELIVER);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0], Span { node: 4, key: 9, start_us: 100, end_us: 350 });
+        assert_eq!(spans[1].duration_us(), 300);
+    }
+}

@@ -23,7 +23,11 @@
 //!   (Hayashibara et al.), shared by protocols that must distinguish
 //!   "slow" from "gone" without a fixed timeout cliff.
 //! * [`Summary`] / [`Histogram`] / [`TrafficCounters`] /
-//!   [`FaultCounters`] — the measurement toolkit experiments use.
+//!   [`FaultCounters`] — the measurement toolkit experiments use. Since the
+//!   observability PR these are views over the per-simulation telemetry
+//!   hub ([`Simulation::telemetry`]); the full registry plus the structured
+//!   trace ring drain via [`Simulation::drain_telemetry`] into a
+//!   deterministic JSON/CSV [`Telemetry`] timeline.
 //!
 //! # Example
 //!
@@ -61,6 +65,7 @@ mod topology;
 
 pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec, PartitionSpec};
 pub use node::{Context, Node, NodeId, Payload, TimerId};
+pub use obs::{Telemetry, TelemetryHub};
 pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use rng::{exp_sample, fork, splitmix64};
 pub use sim::Simulation;

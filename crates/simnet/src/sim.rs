@@ -5,8 +5,11 @@
 //! run is a pure function of the master seed and the schedule of external
 //! inputs — the determinism every experiment in this reproduction relies on.
 
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
+use obs::{ctr, kind, Layer, Telemetry, TelemetryHub};
 use rand::rngs::SmallRng;
 
 use crate::node::{Context, Effect, Node, NodeId, Payload, TimerId};
@@ -14,6 +17,29 @@ use crate::rng::fork;
 use crate::stats::{FaultCounters, TrafficCounters};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{DropCause, GrayProfile, NetworkModel, Partition, RouteOutcome};
+
+/// Trace operand code for a [`DropCause`] (stable across runs; part of the
+/// telemetry encoding).
+fn drop_cause_code(cause: DropCause) -> u64 {
+    match cause {
+        DropCause::Partition => 0,
+        DropCause::LinkCut => 1,
+        DropCause::Loss => 2,
+        DropCause::GraySend => 3,
+        DropCause::GrayRecv => 4,
+    }
+}
+
+/// The registry slot a [`DropCause`] tallies into (on the global set).
+fn drop_cause_slot(cause: DropCause) -> obs::CtrId {
+    match cause {
+        DropCause::Partition => ctr::DROPS_PARTITION,
+        DropCause::LinkCut => ctr::DROPS_LINK_CUT,
+        DropCause::Loss => ctr::DROPS_LOSS,
+        DropCause::GraySend => ctr::DROPS_GRAY_SEND,
+        DropCause::GrayRecv => ctr::DROPS_GRAY_RECV,
+    }
+}
 
 enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
@@ -84,7 +110,11 @@ pub struct Simulation<N: Node> {
     nodes: Vec<N>,
     down: Vec<bool>,
     node_rngs: Vec<SmallRng>,
-    counters: Vec<TrafficCounters>,
+    /// All traffic/fault accounting and trace records live here; the legacy
+    /// [`TrafficCounters`]/[`FaultCounters`] accessors are views over it.
+    /// Shared (`Rc`) so the thread-local collector can reach it from inside
+    /// node callbacks.
+    hub: Rc<RefCell<TelemetryHub>>,
     net: NetworkModel,
     net_rng: SmallRng,
     queue: BinaryHeap<QueuedEvent<N::Msg>>,
@@ -101,7 +131,6 @@ pub struct Simulation<N: Node> {
     seed: u64,
     events_processed: u64,
     peak_queue: usize,
-    faults: FaultCounters,
 }
 
 impl<N: Node> std::fmt::Debug for Simulation<N> {
@@ -123,7 +152,7 @@ impl<N: Node> Simulation<N> {
             nodes: Vec::new(),
             down: Vec::new(),
             node_rngs: Vec::new(),
-            counters: Vec::new(),
+            hub: Rc::new(RefCell::new(TelemetryHub::new(seed))),
             net,
             net_rng: fork(seed, u64::MAX),
             queue: BinaryHeap::new(),
@@ -136,7 +165,6 @@ impl<N: Node> Simulation<N> {
             seed,
             events_processed: 0,
             peak_queue: 0,
-            faults: FaultCounters::default(),
         }
     }
 
@@ -145,9 +173,57 @@ impl<N: Node> Simulation<N> {
         self.seed
     }
 
-    /// What the fault-injection machinery actually did to this run so far.
+    /// What the fault-injection machinery actually did to this run so far
+    /// (a view over the telemetry registry's global metric set).
     pub fn fault_counters(&self) -> FaultCounters {
-        self.faults
+        let hub = self.hub.borrow();
+        let g = hub.global();
+        FaultCounters {
+            drops_partition: g.ctr(ctr::DROPS_PARTITION),
+            drops_link_cut: g.ctr(ctr::DROPS_LINK_CUT),
+            drops_loss: g.ctr(ctr::DROPS_LOSS),
+            drops_gray_send: g.ctr(ctr::DROPS_GRAY_SEND),
+            drops_gray_recv: g.ctr(ctr::DROPS_GRAY_RECV),
+            msgs_duplicated: g.ctr(ctr::MSGS_DUPLICATED),
+            msgs_jittered: g.ctr(ctr::MSGS_JITTERED),
+            crashes: g.ctr(ctr::CRASHES),
+            recoveries: g.ctr(ctr::RECOVERIES),
+            partitions_started: g.ctr(ctr::PARTITIONS_STARTED),
+            partitions_healed: g.ctr(ctr::PARTITIONS_HEALED),
+        }
+    }
+
+    /// Shared handle to this simulation's telemetry hub (the metrics
+    /// registry plus the trace ring). Experiment harnesses read registry
+    /// slots through this; protocol code inside callbacks reaches the same
+    /// hub through the `obs` thread-local collector.
+    pub fn telemetry(&self) -> Rc<RefCell<TelemetryHub>> {
+        Rc::clone(&self.hub)
+    }
+
+    /// A non-destructive telemetry snapshot: every non-zero registry slot
+    /// plus the retained trace records, stamped with the current simulated
+    /// time. Deterministic — same seed, same schedule ⇒ same snapshot.
+    pub fn snapshot_telemetry(&self) -> Telemetry {
+        let mut hub = self.hub.borrow_mut();
+        hub.set_now_us(self.now.as_micros());
+        hub.snapshot()
+    }
+
+    /// Drains the telemetry hub: returns the full timeline and **resets
+    /// every registry slot and the trace ring**. Because the traffic and
+    /// fault counters are views over the registry, they read zero after a
+    /// drain — use [`Simulation::snapshot_telemetry`] for a non-destructive
+    /// read, and drain only at window boundaries or end of run.
+    pub fn drain_telemetry(&mut self) -> Telemetry {
+        let mut hub = self.hub.borrow_mut();
+        hub.set_now_us(self.now.as_micros());
+        hub.drain()
+    }
+
+    /// Caps the trace ring at `capacity` records (drop-oldest beyond it).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.hub.borrow_mut().set_ring_capacity(capacity);
     }
 
     /// Adds a node, returning its id. Ids are assigned densely from 0 in
@@ -162,7 +238,7 @@ impl<N: Node> Simulation<N> {
         self.node_rngs.push(fork(self.seed, id.0 as u64));
         self.nodes.push(node);
         self.down.push(false);
-        self.counters.push(TrafficCounters::default());
+        self.hub.borrow_mut().ensure_nodes(self.nodes.len());
         id
     }
 
@@ -220,18 +296,35 @@ impl<N: Node> Simulation<N> {
         self.down[id.index()]
     }
 
-    /// Traffic counters for one node.
+    /// Traffic counters for one node (a view over the telemetry registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
     pub fn counters(&self, id: NodeId) -> TrafficCounters {
-        self.counters[id.index()]
+        let hub = self.hub.borrow();
+        let m = hub.node(id.index()).expect("node id out of range");
+        TrafficCounters {
+            msgs_sent: m.ctr(ctr::MSGS_SENT),
+            bytes_sent: m.ctr(ctr::BYTES_SENT),
+            msgs_recv: m.ctr(ctr::MSGS_RECV),
+            bytes_recv: m.ctr(ctr::BYTES_RECV),
+            msgs_lost: m.ctr(ctr::MSGS_LOST),
+            timers_fired: m.ctr(ctr::TIMERS_FIRED),
+        }
     }
 
     /// Sum of all nodes' traffic counters.
     pub fn total_counters(&self) -> TrafficCounters {
-        let mut t = TrafficCounters::default();
-        for c in &self.counters {
-            t.merge(c);
+        let hub = self.hub.borrow();
+        TrafficCounters {
+            msgs_sent: hub.counter_total(ctr::MSGS_SENT),
+            bytes_sent: hub.counter_total(ctr::BYTES_SENT),
+            msgs_recv: hub.counter_total(ctr::MSGS_RECV),
+            bytes_recv: hub.counter_total(ctr::BYTES_RECV),
+            msgs_lost: hub.counter_total(ctr::MSGS_LOST),
+            timers_fired: hub.counter_total(ctr::TIMERS_FIRED),
         }
-        t
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
@@ -339,6 +432,17 @@ impl<N: Node> Simulation<N> {
     fn dispatch_callback(&mut self, id: NodeId, cb: Callback<N::Msg>) {
         let mut effects: Vec<Effect<N::Msg>> = Vec::new();
         {
+            // With tracing on, expose the hub to protocol code for the span
+            // of the callback (callbacks are instantaneous in sim time, so
+            // stamping the clock once here is exact).
+            let _obs_guard = if obs::ENABLED {
+                self.hub.borrow_mut().set_now_us(self.now.as_micros());
+                // Usually a no-op pointer check: the run loops install the
+                // hub once for their whole duration (see `run_until`).
+                obs::collector::install_if_needed(&self.hub)
+            } else {
+                None
+            };
             let node = &mut self.nodes[id.index()];
             let mut ctx = Context {
                 id,
@@ -358,15 +462,23 @@ impl<N: Node> Simulation<N> {
             match eff {
                 Effect::Send { to, msg } => {
                     let size = msg.wire_size();
-                    let c = &mut self.counters[id.index()];
-                    c.msgs_sent += 1;
-                    c.bytes_sent += size as u64;
+                    {
+                        let mut hub = self.hub.borrow_mut();
+                        if let Some(c) = hub.node_mut(id.index()) {
+                            c.ctr_add(ctr::MSGS_SENT, 1);
+                            c.ctr_add(ctr::BYTES_SENT, size as u64);
+                        }
+                    }
                     match self.net.route(id, to, &mut self.net_rng) {
                         RouteOutcome::Deliver { copies, jittered } => {
-                            if jittered {
-                                self.faults.msgs_jittered += 1;
+                            if jittered || copies.len() > 1 {
+                                let mut hub = self.hub.borrow_mut();
+                                let g = hub.global_mut();
+                                if jittered {
+                                    g.ctr_add(ctr::MSGS_JITTERED, 1);
+                                }
+                                g.ctr_add(ctr::MSGS_DUPLICATED, copies.len() as u64 - 1);
                             }
-                            self.faults.msgs_duplicated += copies.len() as u64 - 1;
                             for &lat in copies.iter().skip(1) {
                                 let at = self.now + lat;
                                 let copy = msg.clone();
@@ -376,15 +488,20 @@ impl<N: Node> Simulation<N> {
                             self.push(at, EventKind::Deliver { from: id, to, msg, size });
                         }
                         RouteOutcome::Drop(cause) => {
-                            match cause {
-                                DropCause::Partition => self.faults.drops_partition += 1,
-                                DropCause::LinkCut => self.faults.drops_link_cut += 1,
-                                DropCause::Loss => self.faults.drops_loss += 1,
-                                DropCause::GraySend => self.faults.drops_gray_send += 1,
-                                DropCause::GrayRecv => self.faults.drops_gray_recv += 1,
+                            let mut hub = self.hub.borrow_mut();
+                            hub.global_mut().ctr_add(drop_cause_slot(cause), 1);
+                            if let Some(c) = hub.node_mut(to.index()) {
+                                c.ctr_add(ctr::MSGS_LOST, 1);
                             }
-                            if let Some(c) = self.counters.get_mut(to.index()) {
-                                c.msgs_lost += 1;
+                            if obs::ENABLED {
+                                hub.trace_at(
+                                    self.now.as_micros(),
+                                    id.0,
+                                    Layer::Sim,
+                                    kind::MSG_DROP,
+                                    u64::from(to.0),
+                                    drop_cause_code(cause),
+                                );
                             }
                         }
                     }
@@ -418,14 +535,29 @@ impl<N: Node> Simulation<N> {
             EventKind::Deliver { from, to, msg, size } => {
                 let idx = to.index();
                 if idx >= self.nodes.len() || self.down[idx] {
-                    if let Some(c) = self.counters.get_mut(idx) {
-                        c.msgs_lost += 1;
+                    let mut hub = self.hub.borrow_mut();
+                    if let Some(c) = hub.node_mut(idx) {
+                        c.ctr_add(ctr::MSGS_LOST, 1);
                     }
                     return true;
                 }
-                let c = &mut self.counters[idx];
-                c.msgs_recv += 1;
-                c.bytes_recv += size as u64;
+                {
+                    let mut hub = self.hub.borrow_mut();
+                    if let Some(c) = hub.node_mut(idx) {
+                        c.ctr_add(ctr::MSGS_RECV, 1);
+                        c.ctr_add(ctr::BYTES_RECV, size as u64);
+                    }
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            to.0,
+                            Layer::Sim,
+                            kind::MSG_DELIVER,
+                            u64::from(from.0),
+                            size as u64,
+                        );
+                    }
+                }
                 self.dispatch_callback(to, Callback::Message { from, msg });
             }
             EventKind::Timer { node, id, tag } => {
@@ -437,14 +569,29 @@ impl<N: Node> Simulation<N> {
                 if self.down[idx] {
                     return true; // timers expiring while down are lost
                 }
-                self.counters[idx].timers_fired += 1;
+                if let Some(c) = self.hub.borrow_mut().node_mut(idx) {
+                    c.ctr_add(ctr::TIMERS_FIRED, 1);
+                }
                 self.dispatch_callback(node, Callback::Timer { timer: id, tag });
             }
             EventKind::Crash(node) => {
                 let idx = node.index();
                 if !self.down[idx] {
                     self.down[idx] = true;
-                    self.faults.crashes += 1;
+                    {
+                        let mut hub = self.hub.borrow_mut();
+                        hub.global_mut().ctr_add(ctr::CRASHES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::NODE_CRASH,
+                                0,
+                                0,
+                            );
+                        }
+                    }
                     self.nodes[idx].on_crash();
                 }
             }
@@ -452,15 +599,43 @@ impl<N: Node> Simulation<N> {
                 let idx = node.index();
                 if self.down[idx] {
                     self.down[idx] = false;
-                    self.faults.recoveries += 1;
+                    {
+                        let mut hub = self.hub.borrow_mut();
+                        hub.global_mut().ctr_add(ctr::RECOVERIES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::NODE_RECOVER,
+                                0,
+                                0,
+                            );
+                        }
+                    }
                     self.dispatch_callback(node, Callback::Recover);
                 }
             }
             EventKind::SetPartition(p) => {
-                match p {
-                    Some(_) => self.faults.partitions_started += 1,
-                    None if self.net.partition.is_some() => self.faults.partitions_healed += 1,
-                    None => {}
+                let healed = p.is_none() && self.net.partition.is_some();
+                if p.is_some() || healed {
+                    let mut hub = self.hub.borrow_mut();
+                    let (slot, k) = if p.is_some() {
+                        (ctr::PARTITIONS_STARTED, kind::PARTITION_START)
+                    } else {
+                        (ctr::PARTITIONS_HEALED, kind::PARTITION_HEAL)
+                    };
+                    hub.global_mut().ctr_add(slot, 1);
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            obs::TraceEvent::GLOBAL,
+                            Layer::Sim,
+                            k,
+                            0,
+                            0,
+                        );
+                    }
                 }
                 self.net.partition = p;
             }
@@ -493,6 +668,10 @@ impl<N: Node> Simulation<N> {
     /// `deadline` are processed) or the queue drains. The clock is left at
     /// `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        // Install the hub once for the whole loop so per-event dispatch
+        // skips the thread-local swap (it still restamps the clock).
+        let _obs_guard =
+            if obs::ENABLED { obs::collector::install_if_needed(&self.hub) } else { None };
         self.start_if_needed();
         while let Some(ev) = self.queue.peek() {
             if ev.time > deadline {
@@ -520,6 +699,8 @@ impl<N: Node> Simulation<N> {
     /// Runs until the event queue is empty or `max_events` have been
     /// processed, returning the number of events processed.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let _obs_guard =
+            if obs::ENABLED { obs::collector::install_if_needed(&self.hub) } else { None };
         let before = self.events_processed;
         while self.events_processed - before < max_events && self.step() {}
         self.events_processed - before

@@ -9,7 +9,7 @@
 //! interested node got every story — the churned ones too, since they all
 //! recovered and anti-entropy backfilled them.
 //!
-//! Run with: `cargo run --release --example chaos_day`
+//! Run with: `cargo run --release --example chaos_day [seed]`
 
 use std::collections::BTreeSet;
 
@@ -20,9 +20,12 @@ use simnet::{
 };
 
 fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0xC4A05);
     let subscribers = 150u32;
-    let mut d = tech_news_deployment(subscribers, 0xC4A05);
-    println!("chaos day: {subscribers} subscribers, 2 publishers; letting gossip converge…");
+    let mut d = tech_news_deployment(subscribers, seed);
+    println!(
+        "chaos day: {subscribers} subscribers, 2 publishers, seed {seed:#x}; letting gossip converge…"
+    );
     d.settle(90);
 
     // The incident, declared up front: ten minutes of rolling churn over a

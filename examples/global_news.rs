@@ -3,13 +3,14 @@
 //! regional publishing (§8: "disseminate localized news items in Asia") and
 //! SQL subscription predicates (§8).
 //!
-//! Run with: `cargo run --release --example global_news`
+//! Run with: `cargo run --release --example global_news [seed]`
 
 use newsml::{Category, NewsItem, PublisherId, PublisherProfile};
 use newswire::{DeploymentBuilder, NewsWireConfig, PublisherSpec};
 use simnet::SimTime;
 
 fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(11);
     let mut config = NewsWireConfig::global_news();
     // Premium tier: a SUM(premium) aggregation lets publishers target
     // paying subscribers only (the §8 extension).
@@ -17,7 +18,7 @@ fn main() {
         .astrolabe
         .aggregations
         .push(astrolabe::AggSpec::new("premium", "SELECT SUM(premium) AS premium"));
-    let mut deployment = DeploymentBuilder::new(200, 11)
+    let mut deployment = DeploymentBuilder::new(200, seed)
         .branching(8)
         .config(config)
         .wan(0.01) // regioned latencies + 1% loss
@@ -30,6 +31,7 @@ fn main() {
         .cats_per_subscriber(3)
         .build();
 
+    println!("global news: 200 subscribers, seed {seed:#x}");
     println!("settling 90 simulated seconds on a lossy WAN…");
     deployment.settle(90);
 

@@ -1,0 +1,33 @@
+//! Telemetry dump: run a small deployment, drain the observability layer,
+//! and print the deterministic JSON snapshot plus the trace-event CSV.
+//!
+//! The output is byte-for-byte reproducible for a given seed — CI diffs two
+//! runs of this example to enforce telemetry determinism. With the `obs`
+//! feature disabled (`--no-default-features`) the dump is empty but still
+//! well-formed.
+//!
+//! Run with: `cargo run --release --example telemetry_dump [seed]`
+
+use newsml::{Category, NewsItem, PublisherId};
+use newswire::tech_news_deployment;
+use simnet::SimTime;
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let mut deployment = tech_news_deployment(120, seed);
+    deployment.settle(60);
+
+    for seq in 0..3u64 {
+        let item = NewsItem::builder(PublisherId(0), seq)
+            .headline("telemetry sample")
+            .category(Category::Technology)
+            .build();
+        deployment.publish(SimTime::from_secs(60 + 2 * seq), item);
+    }
+    deployment.settle(25);
+
+    let telemetry = deployment.sim.drain_telemetry();
+    println!("{}", telemetry.to_json());
+    eprintln!("--- trace events (CSV, stderr) ---");
+    eprint!("{}", telemetry.events_csv());
+}

@@ -4,15 +4,23 @@
 //! ```text
 //! cargo test --release --test stress -- --ignored
 //! ```
+//!
+//! Setting `NEWSWIRE_STRESS_QUICK=1` shrinks the deployments roughly 10×
+//! so CI can exercise the same code paths in bounded time.
 
 use newsml::{Category, NewsItem, PublisherId, PublisherProfile};
 use newswire::{DeploymentBuilder, NewsWireConfig, PublisherSpec};
 use simnet::SimTime;
 
+/// True when `NEWSWIRE_STRESS_QUICK` is set to a non-empty, non-`0` value.
+fn quick() -> bool {
+    std::env::var("NEWSWIRE_STRESS_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 #[test]
-#[ignore = "multi-minute: 10k-node deployment"]
+#[ignore = "multi-minute: 10k-node deployment (NEWSWIRE_STRESS_QUICK=1 shrinks it)"]
 fn ten_thousand_subscribers_exact_delivery() {
-    let n = 10_000;
+    let n = if quick() { 1_000 } else { 10_000 };
     let mut d = DeploymentBuilder::new(n, 1)
         .branching(64)
         .config(NewsWireConfig::tech_news())
@@ -35,9 +43,9 @@ fn ten_thousand_subscribers_exact_delivery() {
 }
 
 #[test]
-#[ignore = "multi-minute: churn at 2k nodes"]
+#[ignore = "multi-minute: churn at 2k nodes (NEWSWIRE_STRESS_QUICK=1 shrinks it)"]
 fn two_thousand_nodes_with_churn_converge() {
-    let n = 2_000u32;
+    let n = if quick() { 400 } else { 2_000u32 };
     let mut d = DeploymentBuilder::new(n, 2)
         .branching(32)
         .config(NewsWireConfig::tech_news())

@@ -1,0 +1,93 @@
+//! End-to-end checks of the observability layer over a full NewsWire
+//! deployment: the metrics registry must agree with the ground-truth node
+//! state it mirrors, and a drained telemetry snapshot must be byte-for-byte
+//! deterministic for a given seed (the property CI enforces).
+
+use newsml::{Category, NewsItem, PublisherId};
+use newswire::{tech_news_deployment, Deployment};
+use simnet::SimTime;
+
+/// A small churn-free run: settle, publish a handful of items, settle.
+fn sample_run(seed: u64) -> Deployment {
+    let mut d = tech_news_deployment(100, seed);
+    d.settle(60);
+    for seq in 0..4u64 {
+        let item = NewsItem::builder(PublisherId(0), seq)
+            .headline("telemetry e2e")
+            .category(Category::Technology)
+            .build();
+        d.publish(SimTime::from_secs(60 + 2 * seq), item);
+    }
+    d.settle(25);
+    d
+}
+
+/// The registry-derived latency summary must agree with the authoritative
+/// per-node delivery-log walk on a churn-free run (no node ever cleared its
+/// log, so the two views see the identical sample set).
+#[test]
+#[cfg(feature = "obs")]
+fn registry_latency_matches_delivery_log_walk() {
+    let d = sample_run(0x0B5);
+    let mut walk = d.delivery_latency_summary();
+    let mut reg = d.delivery_latency_from_registry().expect("obs is on and items delivered");
+    assert!(!walk.is_empty(), "workload sanity: something delivered");
+    assert_eq!(walk.len(), reg.len(), "sample counts differ");
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        let (w, r) = (walk.quantile(q), reg.quantile(q));
+        // Registry samples are recorded in whole microseconds; the walk
+        // computes the same microsecond difference, so they match exactly.
+        assert!((w - r).abs() < 1e-9, "q{q}: walk {w} vs registry {r}");
+    }
+    assert!((walk.max() - reg.max()).abs() < 1e-9);
+}
+
+/// Registry counters mirror the authoritative `NodeStats` totals exactly:
+/// neither resets while a node stays in the simulation.
+#[test]
+#[cfg(feature = "obs")]
+fn registry_counters_match_node_stats() {
+    let d = sample_run(0x0B6);
+    let stats = d.total_stats();
+    let hub = d.sim.telemetry();
+    let hub = hub.borrow();
+    use obs::ctr;
+    for (label, slot, want) in [
+        ("delivered", ctr::NW_DELIVERED, stats.delivered),
+        ("duplicates", ctr::NW_DUPLICATES, stats.duplicates),
+        ("forwards", ctr::NW_FORWARDS, stats.forwards_sent),
+        ("acks", ctr::NW_ACKS_RECEIVED, stats.acks_received),
+        ("repairs_served", ctr::NW_REPAIRS_SERVED, stats.repairs_served),
+    ] {
+        assert_eq!(hub.counter_total(slot), want, "{label} counter diverged from NodeStats");
+    }
+}
+
+/// Two runs with the same seed drain byte-identical telemetry JSON and
+/// trace CSV. This is the exact property the CI telemetry-determinism gate
+/// checks; it must hold whether or not `obs` is enabled (obs-off drains an
+/// empty but well-formed snapshot).
+#[test]
+fn same_seed_drains_identical_telemetry() {
+    let mut a = sample_run(0xD37);
+    let mut b = sample_run(0xD37);
+    let ta = a.sim.drain_telemetry();
+    let tb = b.sim.drain_telemetry();
+    assert_eq!(ta.to_json(), tb.to_json(), "same-seed telemetry JSON diverged");
+    assert_eq!(ta.events_csv(), tb.events_csv(), "same-seed trace CSV diverged");
+}
+
+/// Draining is destructive: a second drain yields an empty snapshot, while
+/// `snapshot_telemetry` leaves state in place.
+#[test]
+#[cfg(feature = "obs")]
+fn drain_resets_snapshot_does_not() {
+    let mut d = sample_run(0xD38);
+    let snap1 = d.sim.snapshot_telemetry();
+    let snap2 = d.sim.snapshot_telemetry();
+    assert_eq!(snap1.to_json(), snap2.to_json(), "snapshot must be non-destructive");
+    let drained = d.sim.drain_telemetry();
+    assert_eq!(drained.to_json(), snap1.to_json(), "drain returns what snapshot saw");
+    let after = d.sim.snapshot_telemetry();
+    assert!(after.events.is_empty(), "drain must clear the trace ring");
+}

@@ -41,7 +41,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Debug)]
 pub struct VecStrategy<S> {
     element: S,
