@@ -208,6 +208,38 @@ impl<T> SeqLog<T> {
         out
     }
 
+    /// Encodes the structural coverage state — `epoch:floor:next:total` —
+    /// for stable-storage snapshots. Entry *values* are persisted by the
+    /// owning layer (they may be arbitrarily large); after re-inserting
+    /// them, [`SeqLog::restore_coverage`] re-imposes this structure so the
+    /// restored log reports the same summary, floor and gaps as the
+    /// snapshotted one.
+    pub fn encode_coverage(&self) -> String {
+        format!("{}:{}:{}:{}", self.epoch, self.floor, self.next, self.total)
+    }
+
+    /// Re-imposes snapshotted coverage on a log whose surviving entries have
+    /// been re-inserted: adopts the epoch, floor and highwater, prunes any
+    /// entry below the snapshot floor, and restores the lifetime insert
+    /// count. Entries the snapshot claimed but the caller could not restore
+    /// simply become gaps — exactly what anti-entropy repairs. Returns
+    /// `false` (leaving the log untouched) on malformed input.
+    pub fn restore_coverage(&mut self, s: &str) -> bool {
+        let mut parts = s.split(':');
+        let Some(epoch) = parts.next().and_then(|p| p.parse().ok()) else { return false };
+        let Some(floor) = parts.next().and_then(|p| p.parse::<u64>().ok()) else { return false };
+        let Some(next) = parts.next().and_then(|p| p.parse::<u64>().ok()) else { return false };
+        let Some(total) = parts.next().and_then(|p| p.parse::<u64>().ok()) else { return false };
+        if parts.next().is_some() || next < floor {
+            return false;
+        }
+        self.epoch = epoch;
+        self.prune_below(floor);
+        self.next = self.next.max(next);
+        self.total = self.total.max(total);
+        true
+    }
+
     /// The sequence numbers we should pull from a peer advertising `peer`,
     /// as inclusive `(lo, hi)` ranges: our internal holes that fall inside
     /// the peer's window, plus the tail the peer has seen beyond our
@@ -362,6 +394,56 @@ mod tests {
         for bad in ["", "1:2:3", "1:2:3:4:5", "a:0:0:0", "0:9:3:0", "0:0:4:9"] {
             assert_eq!(RangeSummary::decode(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn coverage_roundtrip_restores_summary_and_gaps() {
+        let mut log = SeqLog::new(4);
+        log.bump_epoch();
+        log.bump_epoch();
+        for seq in [0, 1, 2, 3, 4, 5, 8] {
+            log.insert(seq, seq * 10);
+        }
+        assert!(log.floor() > 0, "eviction must have raised the floor");
+        let snap = log.encode_coverage();
+        let retained: Vec<(u64, u64)> = log.range(0, u64::MAX).map(|(s, v)| (s, *v)).collect();
+
+        // Cold restart: re-insert the surviving values, then re-impose the
+        // snapshot structure.
+        let mut restored = SeqLog::new(4);
+        for (seq, v) in retained {
+            restored.insert(seq, v);
+        }
+        assert!(restored.restore_coverage(&snap));
+        assert_eq!(restored.summary(), log.summary());
+        assert_eq!(restored.gaps(), log.gaps());
+        assert_eq!(restored.total_written(), log.total_written());
+    }
+
+    #[test]
+    fn coverage_restore_with_lost_entries_reports_gaps() {
+        let mut log = SeqLog::new(64);
+        for seq in 0..5 {
+            log.insert(seq, ());
+        }
+        let snap = log.encode_coverage();
+        // Only seqs 0 and 1 survived the crash (the rest were unsynced).
+        let mut restored = SeqLog::new(64);
+        restored.insert(0, ());
+        restored.insert(1, ());
+        assert!(restored.restore_coverage(&snap));
+        assert_eq!(restored.summary().next, 5, "highwater survives the losses");
+        assert_eq!(restored.gaps(), vec![(2, 4)], "lost entries surface as repairable gaps");
+    }
+
+    #[test]
+    fn coverage_restore_rejects_malformed() {
+        let mut log: SeqLog<()> = SeqLog::new(8);
+        log.insert(0, ());
+        for bad in ["", "1:2:3", "1:2:3:4:5", "x:0:0:0", "0:9:3:0"] {
+            assert!(!log.restore_coverage(bad), "{bad:?}");
+        }
+        assert_eq!(log.summary(), RangeSummary { epoch: 0, floor: 0, next: 1, present: 1 });
     }
 
     #[test]

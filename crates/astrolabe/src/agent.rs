@@ -187,6 +187,20 @@ pub struct Agent {
     /// resurrected by a replica that has not evicted it yet. A genuinely
     /// alive member re-enters with its next, newer stamp.
     tombstones: HashMap<(usize, u16), u64>,
+    /// This node's own incarnation number: persisted by the host and bumped
+    /// on every cold restart. Carried in the own leaf row as the `incar`
+    /// attribute (only when non-zero, so pre-recovery deployments gossip
+    /// byte-identical rows).
+    incarnation: u64,
+    /// Highest incarnation observed per leaf-table label. Rows carrying an
+    /// older incarnation are stale gossip from before that peer's cold
+    /// restart and are fenced (dropped) regardless of stamp.
+    incar_seen: HashMap<u16, u64>,
+    /// Node ids observed under a *newer* incarnation since the last drain —
+    /// the host resets its own per-peer failure detectors for these (a
+    /// restarted peer must be immediately selectable again, not held hostage
+    /// by suspicion accrued against its previous life).
+    incarnation_bumps: Vec<u32>,
 }
 
 impl Agent {
@@ -228,6 +242,9 @@ impl Agent {
             peers_cache: vec![None; levels],
             detectors: vec![Vec::new(); levels],
             tombstones: HashMap::new(),
+            incarnation: 0,
+            incar_seen: HashMap::new(),
+            incarnation_bumps: Vec::new(),
         }
     }
 
@@ -285,6 +302,43 @@ impl Agent {
     /// Reads back a locally set attribute (the node's own MIB values).
     pub fn local_attr(&self, name: &str) -> Option<&AttrValue> {
         self.local.get(name)
+    }
+
+    /// Removes every locally set attribute whose name starts with `prefix`,
+    /// returning how many were dropped. Hosts call this on cold restart to
+    /// retract stale advertisements (anti-entropy digests, coverage claims)
+    /// that describe state the restarted process no longer holds.
+    pub fn remove_local_attrs(&mut self, prefix: &str) -> usize {
+        let removed = self.local.remove_prefix(prefix);
+        if removed > 0 {
+            self.local_gen += 1;
+        }
+        removed
+    }
+
+    /// Sets this node's incarnation number (bumped by the host on every cold
+    /// restart, persisted to stable storage). A non-zero incarnation rides in
+    /// the own leaf row as the `incar` attribute; peers fence any row still
+    /// carrying an older incarnation and reset their suspicion of this node.
+    pub fn set_incarnation(&mut self, incarnation: u64) {
+        if self.incarnation != incarnation {
+            self.incarnation = incarnation;
+            self.local_gen += 1;
+        }
+    }
+
+    /// This node's current incarnation number.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Drains the node ids observed under a newer incarnation since the last
+    /// call. Hosts use this to reset per-peer failure-detector state so a
+    /// freshly restarted peer is immediately eligible again (for ack
+    /// forwarding, repair, gossip) instead of inheriting the suspicion its
+    /// previous life accrued.
+    pub fn take_incarnation_bumps(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.incarnation_bumps)
     }
 
     /// Installs a dynamic aggregation program (mobile code). It propagates
@@ -349,6 +403,10 @@ impl Agent {
             b.set("load", 0.0f64);
         }
         b.set("id", i64::from(self.id));
+        if self.incarnation > 0 {
+            // i64 holds microsecond incarnations for ~292k simulated years.
+            b.set("incar", self.incarnation as i64);
+        }
         let mut reps = std::collections::BTreeSet::new();
         reps.insert(u64::from(self.id));
         b.set("reps", AttrValue::Set(reps));
@@ -680,6 +738,36 @@ impl Agent {
                         }
                     }
                 }
+                // Incarnation fence (leaf rows only — that is where nodes
+                // publish `incar`): a row from before the peer's last cold
+                // restart is dropped outright, and the first row of a *newer*
+                // incarnation resets the peer's suspicion state so it is
+                // selectable again within one gossip round.
+                if level == 0 && *label != own {
+                    let incar = row.get("incar").and_then(AttrValue::as_i64).unwrap_or(0) as u64;
+                    let seen = self.incar_seen.get(label).copied().unwrap_or(0);
+                    if incar < seen {
+                        continue;
+                    }
+                    if incar > seen {
+                        self.incar_seen.insert(*label, incar);
+                        self.tombstones.remove(&(level, *label));
+                        if let Some(d) = self.detectors[0].get_mut(usize::from(*label)) {
+                            *d = None;
+                        }
+                        let peer =
+                            row.get("id").and_then(AttrValue::as_i64).unwrap_or(-1).max(0) as u32;
+                        self.incarnation_bumps.push(peer);
+                        obs::metric_add!(self.id, ctr::INCARNATION_BUMPS, 1);
+                        obs::trace_event!(
+                            self.id,
+                            Layer::Astro,
+                            kind::INCARNATION_BUMP,
+                            peer,
+                            incar
+                        );
+                    }
+                }
                 let (advanced, old_carried_agg) =
                     match self.tables[level].merge_row_outcome(*label, Arc::clone(row)) {
                         MergeOutcome::Rejected => continue,
@@ -834,6 +922,8 @@ impl Agent {
         self.version = 0;
         self.detectors.iter_mut().for_each(Vec::clear);
         self.tombstones.clear();
+        self.incar_seen.clear();
+        self.incarnation_bumps.clear();
         // Table generations restart at zero, so cached digests, summaries
         // and peer lists keyed on the old counters must go; the mobile-code
         // scope shrank to the locally installed programs, so the round state
@@ -1078,6 +1168,53 @@ mod tests {
         agents[2].reset();
         assert_eq!(agents[2].table(0).len(), 0);
         assert_eq!(agents[2].id(), 2);
+    }
+
+    #[test]
+    fn incarnation_attr_only_when_nonzero() {
+        let layout = ZoneLayout::new(4, 4);
+        let mut a = Agent::new(2, &layout, small_config(), vec![]);
+        let mut rng = fork(0, 0);
+        a.on_tick(SimTime::from_secs(1), &mut rng);
+        assert!(
+            a.table(0).get(2).unwrap().get("incar").is_none(),
+            "incarnation 0 must not appear on the wire (legacy byte-compat)"
+        );
+        a.set_incarnation(77);
+        assert_eq!(a.incarnation(), 77);
+        a.on_tick(SimTime::from_secs(2), &mut rng);
+        assert_eq!(a.table(0).get(2).unwrap().get("incar").and_then(|v| v.as_i64()), Some(77));
+    }
+
+    #[test]
+    fn newer_incarnation_fences_stale_rows_and_reports_bump() {
+        let mut agents = make_agents(4, 4);
+        let t = run_rounds(&mut agents, 6, 0);
+        assert!(agents[0].table(0).get(1).unwrap().get("incar").is_none());
+        // Cold restart of agent 1: replicated state gone, incarnation bumped.
+        agents[1].reset();
+        agents[1].set_incarnation(t + 1);
+        let t2 = run_rounds(&mut agents, 4, t);
+        let row = agents[0].table(0).get(1).expect("restarted node re-joined");
+        assert_eq!(row.get("incar").and_then(|v| v.as_i64()), Some((t + 1) as i64));
+        let bumps = agents[0].take_incarnation_bumps();
+        assert!(bumps.contains(&1), "host must observe the bump: {bumps:?}");
+        assert!(agents[0].take_incarnation_bumps().is_empty(), "drain empties the list");
+        // Forge a pre-restart (incarnation-0) row with an artificially newer
+        // stamp: newest-wins would admit it, the incarnation fence must not.
+        let mut b = MibBuilder::new();
+        b.set("id", 1i64);
+        let forged = Arc::new(Mib::new(
+            Stamp { issued_us: t2 + 10_000_000, version: 9_999, origin: 1 },
+            b.into_attrs(),
+        ));
+        let zone = agents[0].chain()[0].clone();
+        let changed = agents[0].merge_rows(
+            SimTime::from_micros(t2 + 1),
+            &[TableRows { zone, rows: vec![(1, forged)] }],
+        );
+        assert_eq!(changed, 0, "stale-incarnation row must be fenced");
+        assert!(agents[0].table(0).get(1).unwrap().get("incar").is_some());
     }
 
     #[test]

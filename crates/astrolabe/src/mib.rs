@@ -179,6 +179,16 @@ impl MibBuilder {
         self.attrs.binary_search_by(|(n, _)| n.as_ref().cmp(name)).ok().map(|i| &self.attrs[i].1)
     }
 
+    /// Removes every attribute whose name starts with `prefix`, returning
+    /// how many were dropped. Used by hosts on cold restart to retract
+    /// volatile advertisements (e.g. anti-entropy digests) that no longer
+    /// describe any state the process holds.
+    pub fn remove_prefix(&mut self, prefix: &str) -> usize {
+        let before = self.attrs.len();
+        self.attrs.retain(|(n, _)| !n.as_ref().starts_with(prefix));
+        before - self.attrs.len()
+    }
+
     /// Finishes the row with the given stamp.
     pub fn build(self, stamp: Stamp) -> Mib {
         Mib::new(stamp, self.attrs)

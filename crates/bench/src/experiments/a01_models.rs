@@ -41,6 +41,10 @@ fn topic_subject(topic: u16) -> Subject {
 
 fn run_model(n: u32, model: Model, seed: u64) -> Outcome {
     let mut config = NewsWireConfig::tech_news();
+    // Log reconciliation backfills whole publisher logs regardless of topic
+    // interest, which would charge unwanted arrivals to every model alike —
+    // keep it out so the summaries' expressiveness is the only variable.
+    config.anti_entropy = false;
     if model == Model::Masks {
         config.model = SubscriptionModel::CategoryMask;
     }

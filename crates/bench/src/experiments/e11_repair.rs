@@ -19,6 +19,9 @@ use crate::Table;
 
 fn deployment(n: u32, repair: bool, seed: u64) -> newswire::Deployment {
     let mut config = NewsWireConfig::tech_news();
+    // Log reconciliation (E14/E16) would close these holes too and mask the
+    // margin-repair path this experiment isolates — keep it out of the frame.
+    config.anti_entropy = false;
     config.redundancy = 1; // expose losses so repair has work to do
     if !repair {
         config.repair_interval = None;

@@ -91,6 +91,7 @@ fn run_point(n: u32, churn: bool, gray_pct: u32, ack: bool, seed: u64) -> Point 
             mean_up_secs: 30.0,
             mean_down_secs: 10.0,
             recover_at_end: true,
+            restart: simnet::RestartMode::Freeze,
         });
     }
     d.sim.apply_fault_plan(&plan);

@@ -138,6 +138,7 @@ pub fn newswire_chaos(n: u32, seed: u64) -> PerfResult {
             mean_up_secs: 30.0,
             mean_down_secs: 10.0,
             recover_at_end: true,
+            restart: simnet::RestartMode::Freeze,
         }],
         ..FaultPlan::default()
     };

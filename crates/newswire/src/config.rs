@@ -83,6 +83,13 @@ pub struct NewsWireConfig {
     /// items near the high-water mark, while reconciliation closes
     /// arbitrarily deep holes (e.g. everything missed during a partition).
     pub anti_entropy: bool,
+    /// Persist protocol state to simulated stable storage (subscription,
+    /// incarnation, article-log coverage, cached items, delivery log) so a
+    /// `RestartMode::ColdDurable` restart recovers it instead of rejoining
+    /// amnesiac. Off by default: write-behind persistence adds disk traffic
+    /// every gossip round, and deployments that only ever freeze-restart
+    /// (the legacy fault model) get nothing for it.
+    pub durable_state: bool,
 }
 
 impl NewsWireConfig {
@@ -105,6 +112,7 @@ impl NewsWireConfig {
             ack_max_failovers: 2,
             repair_reply_timeout: Some(SimDuration::from_secs(3)),
             anti_entropy: true,
+            durable_state: false,
         }
     }
 

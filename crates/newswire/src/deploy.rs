@@ -374,6 +374,9 @@ impl Deployment {
             t.reconcile_items_sent += s.reconcile_items_sent;
             t.reconcile_bytes_sent += s.reconcile_bytes_sent;
             t.reconcile_retargets += s.reconcile_retargets;
+            t.cold_restarts += s.cold_restarts;
+            t.recoveries_completed += s.recoveries_completed;
+            t.recovery_backfill_items += s.recovery_backfill_items;
             t.peak_queue = t.peak_queue.max(s.peak_queue);
         }
         t

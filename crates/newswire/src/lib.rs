@@ -55,6 +55,7 @@ mod deploy;
 mod flow;
 mod node;
 mod oracle;
+mod persist;
 mod subscription;
 mod wire;
 pub mod xmlrpc;

@@ -22,12 +22,16 @@ use newsml::{ItemId, NewsItem, PublisherId};
 use obs::{ctr, gauge, kind, series, Layer};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use simnet::{Context, Node, NodeId, PhiAccrualDetector, PhiConfig, SimDuration, SimTime, TimerId};
+use simnet::{
+    Context, Node, NodeId, PhiAccrualDetector, PhiConfig, RestartMode, SimDuration, SimTime,
+    TimerId,
+};
 
 use crate::auth::{verify_item, PublisherCredential};
 use crate::cache::{CacheOutcome, MessageCache};
 use crate::config::{NewsWireConfig, SubscriptionModel};
 use crate::flow::TokenBucket;
+use crate::persist;
 use crate::subscription::{item_position_groups, Subscription};
 use crate::wire::{msg_id_of, Envelope, NewsWireMsg};
 
@@ -112,6 +116,14 @@ pub struct NodeStats {
     pub reconcile_bytes_sent: u64,
     /// Reconcile requests re-targeted after a reply timeout.
     pub reconcile_retargets: u64,
+    /// Cold restarts survived (durable or amnesiac — not freezes).
+    pub cold_restarts: u64,
+    /// Cold-restart recoveries that reached the caught-up criterion (log
+    /// hole-free and at the neighborhood high-water mark).
+    pub recoveries_completed: u64,
+    /// Items backfilled through repair/reconcile while recovering from a
+    /// cold restart.
+    pub recovery_backfill_items: u64,
 }
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
@@ -141,6 +153,18 @@ pub const AE_ATTR_PREFIX: &str = "sys$ae:";
 
 /// Entries retained per per-publisher article log.
 const ARTICLE_LOG_CAPACITY: usize = 8192;
+
+/// Disk record keys (see `persist` for the formats). `incar` and `sub` are
+/// written once and fsynced immediately; `state` is written write-behind on
+/// gossip ticks and fsynced every [`STATE_FSYNC_TICKS`]th tick, so a crash
+/// can lose the newest unsynced snapshots (the honest price of write-behind
+/// durability — anti-entropy repairs the difference).
+const DISK_KEY_INCAR: &str = "incar";
+const DISK_KEY_SUB: &str = "sub";
+const DISK_KEY_STATE: &str = "state";
+
+/// Gossip ticks between fsyncs of the `state` record.
+const STATE_FSYNC_TICKS: u64 = 4;
 
 /// One outstanding reconcile request awaiting its `ReconcileReply`.
 #[derive(Debug)]
@@ -214,6 +238,15 @@ pub struct NewsWireNode {
     awaiting_reconcile: Option<PendingReconcile>,
     /// Round-robin cursor over publishers for reconcile target selection.
     reconcile_cursor: usize,
+    /// When a cold restart began, while its recovery is still in progress.
+    recovering_since: Option<SimTime>,
+    /// Items backfilled during the current recovery (for the done trace).
+    backfill_this_recovery: u64,
+    /// Gossip ticks since start/restart (drives the `state` fsync cadence).
+    gossip_ticks: u64,
+    /// Fingerprint of the last `state` snapshot written to disk; snapshots
+    /// are skipped while the durable state has not moved.
+    persisted_fingerprint: u64,
 }
 
 impl NewsWireNode {
@@ -243,6 +276,10 @@ impl NewsWireNode {
             peer_health: HashMap::new(),
             awaiting_reconcile: None,
             reconcile_cursor: 0,
+            recovering_since: None,
+            backfill_this_recovery: 0,
+            gossip_ticks: 0,
+            persisted_fingerprint: 0,
         }
     }
 
@@ -419,6 +456,11 @@ impl NewsWireNode {
             }
             CacheOutcome::Obsolete => return,
             CacheOutcome::Stored | CacheOutcome::Fused => {}
+        }
+        if via_repair && self.recovering_since.is_some() {
+            self.stats.recovery_backfill_items += 1;
+            self.backfill_this_recovery += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_BACKFILL_ITEMS, 1);
         }
         if matches {
             self.stats.delivered += 1;
@@ -1056,14 +1098,158 @@ impl NewsWireNode {
                 .article_logs
                 .entry(publisher)
                 .or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
-            if summary.epoch == log.epoch() && summary.contiguous() {
+            // An empty summary vouches for nothing: a peer that has no log
+            // (say, a fresh amnesiac rejoiner picked through a stale digest)
+            // must not settle anyone's seq 0 — `0..=next-1` would otherwise
+            // saturate into the single-element range `0..=0`.
+            if summary.epoch == log.epoch() && summary.contiguous() && !summary.is_empty() {
                 for (lo, hi) in ranges {
-                    for seq in lo..=hi.min(summary.next.saturating_sub(1)) {
+                    if lo >= summary.next {
+                        continue;
+                    }
+                    for seq in lo..=hi.min(summary.next - 1) {
                         log.insert(seq, ());
                     }
                 }
             }
         }
+    }
+
+    /// Drains incarnation bumps observed by the embedded agent and forgets
+    /// the phi-accrual history of each bumped peer: the suspicion belonged
+    /// to the peer's previous life, and a freshly restarted peer must be
+    /// immediately eligible again as an ack-failover / repair / reconcile
+    /// target (its next message seeds a fresh detector).
+    fn absorb_incarnation_bumps(&mut self) {
+        for peer in self.agent.take_incarnation_bumps() {
+            self.peer_health.remove(&peer);
+        }
+    }
+
+    /// The durable protocol state for the `state` disk record: article-log
+    /// coverage (with the present sequence ranges), cached items, and the
+    /// application delivery log. Cache and deliveries persist *together* —
+    /// the cache is the dedup barrier and the delivery log is the
+    /// completeness substrate, and restoring one without the other would
+    /// either re-deliver everything or forget what was delivered.
+    fn durable_state(&self) -> persist::NodeState {
+        let logs = self
+            .article_logs
+            .iter()
+            .map(|(p, log)| persist::LogState {
+                publisher: *p,
+                coverage: log.encode_coverage(),
+                present: persist::compress_ranges(
+                    log.range(log.floor(), log.next_seq().saturating_sub(1)).map(|(s, _)| s),
+                ),
+            })
+            .collect();
+        persist::NodeState {
+            logs,
+            items: self.cache.iter().cloned().collect(),
+            deliveries: self.deliveries.clone(),
+        }
+    }
+
+    /// Cheap change detector over the durable state: structure and counts,
+    /// not content. Skipping unchanged snapshots keeps steady-state disk
+    /// traffic near zero without diffing item payloads.
+    fn state_fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = mix(h, self.cache.len() as u64);
+        h = mix(h, self.deliveries.len() as u64);
+        for (p, log) in &self.article_logs {
+            h = mix(h, u64::from(p.0));
+            h = mix(h, u64::from(log.epoch()));
+            h = mix(h, log.floor());
+            h = mix(h, log.next_seq());
+            h = mix(h, log.len() as u64);
+        }
+        h
+    }
+
+    /// Write-behind persistence, called once per gossip tick when
+    /// `durable_state` is configured: snapshot the `state` record when the
+    /// fingerprint moved, fsync every [`STATE_FSYNC_TICKS`]th tick. The
+    /// window between write and fsync is exactly what the engine's
+    /// `crash_unsynced_loss` knob destroys on crash.
+    fn persist_state(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
+        self.gossip_ticks += 1;
+        let fp = self.state_fingerprint();
+        if fp != self.persisted_fingerprint {
+            let blob = persist::encode_state(&self.durable_state());
+            ctx.disk().write(DISK_KEY_STATE, blob);
+            self.persisted_fingerprint = fp;
+        }
+        if self.gossip_ticks.is_multiple_of(STATE_FSYNC_TICKS) {
+            ctx.disk().fsync();
+        }
+    }
+
+    /// Checks whether an in-progress cold-restart recovery has caught up:
+    /// no pull in flight, every article log hole-free, and — for every
+    /// publisher this node subscribes to — the log's high-water mark at or
+    /// past the highest mark any leaf neighbour advertises in its gossiped
+    /// anti-entropy digest. The last clause is what makes the criterion
+    /// meaningful for an amnesiac rejoin, whose freshly empty logs would
+    /// otherwise be vacuously hole-free.
+    fn check_recovery_done(&mut self, now: SimTime) {
+        let Some(started) = self.recovering_since else { return };
+        if self.awaiting_repair.is_some() || self.awaiting_reconcile.is_some() {
+            return;
+        }
+        if self.article_logs.values().any(|log| !log.gaps().is_empty()) {
+            return;
+        }
+        // A freshly reset membership view is vacuously consistent — an
+        // amnesiac node that has not yet heard from anyone would sail
+        // through the digest comparison below. Refuse to declare victory
+        // until the node has dwelt at least two gossip rounds and holds at
+        // least one leaf-neighbour row learned since the restart.
+        let dwell = 2 * self.cfg.astrolabe.gossip_interval.as_micros();
+        if now.as_micros() < started.as_micros().saturating_add(dwell) {
+            return;
+        }
+        let own = self.agent.own_label(0);
+        if !self.agent.table(0).iter().any(|(label, _)| label != own) {
+            return;
+        }
+        for (p, _) in &self.subscription.publishers {
+            let attr = format!("{AE_ATTR_PREFIX}{}", p.0);
+            let mut neighborhood_next = 0u64;
+            for (label, row) in self.agent.table(0).iter() {
+                if label == own {
+                    continue;
+                }
+                if let Some(s) =
+                    row.get(&attr).and_then(|v| v.as_str()).and_then(RangeSummary::decode)
+                {
+                    neighborhood_next = neighborhood_next.max(s.next);
+                }
+            }
+            let reached = self
+                .article_logs
+                .get(p)
+                .map_or(neighborhood_next == 0, |log| log.next_seq() >= neighborhood_next);
+            if !reached {
+                return;
+            }
+        }
+        let duration = now.as_micros().saturating_sub(started.as_micros());
+        self.recovering_since = None;
+        self.stats.recoveries_completed += 1;
+        obs::metric_add!(self.agent.id(), ctr::NW_RECOVERIES, 1);
+        obs::series_record!(self.agent.id(), series::RECOVERY_DURATION_US, duration);
+        obs::trace_event!(
+            self.agent.id(),
+            Layer::News,
+            kind::NW_RECOVERY_DONE,
+            duration,
+            self.backfill_this_recovery
+        );
     }
 }
 
@@ -1078,6 +1264,14 @@ impl Node for NewsWireNode {
             let first = SimDuration::from_micros(ctx.rng().gen_range(0..repair.as_micros().max(1)));
             ctx.set_timer(first, REPAIR_TIMER);
         }
+        if self.cfg.durable_state {
+            // The subscription is configuration, not protocol state: write
+            // it once, synced, so a durable restart re-derives the exact
+            // interests (predicate included) from disk.
+            let blob = persist::encode_subscription(&self.subscription);
+            ctx.disk().write(DISK_KEY_SUB, blob);
+            ctx.disk().fsync();
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, NewsWireMsg>, from: NodeId, msg: NewsWireMsg) {
@@ -1089,6 +1283,10 @@ impl Node for NewsWireNode {
                 for (to, g) in out {
                     ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
                 }
+                // Any incarnation bumps the merge just surfaced clear peer
+                // suspicion immediately — within the same gossip round, not
+                // a tick later.
+                self.absorb_incarnation_bumps();
             }
             NewsWireMsg::PublishRequest { item, scope, predicate } => {
                 self.handle_publish(ctx, item, scope, predicate)
@@ -1221,7 +1419,12 @@ impl Node for NewsWireNode {
                     ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
                 }
                 self.cache.gc(now);
+                self.absorb_incarnation_bumps();
                 self.maybe_reconcile(ctx);
+                self.check_recovery_done(now);
+                if self.cfg.durable_state {
+                    self.persist_state(ctx);
+                }
                 ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
             }
             DRAIN_TIMER => {
@@ -1328,11 +1531,13 @@ impl Node for NewsWireNode {
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
-        // Cold restart: tables, cache and the application's delivery log
-        // are gone (it is a new process incarnation); the subscription
-        // attributes survive in the local MIB builder, standing in for the
-        // user's configuration file. State transfer (`want_snapshot`)
-        // refills the cache and re-delivers what the subscription matches.
+        // The legacy `Freeze` recovery: protocol state is wiped as if the
+        // process restarted, but ambient memory survives — the subscription
+        // attributes stay in the local MIB builder (standing in for the
+        // user's configuration file), queues and the duty dedup window keep
+        // their contents, and no incarnation is burned. State transfer
+        // (`want_snapshot`) refills the cache and re-delivers what the
+        // subscription matches. Cold restarts go through `on_restart`.
         self.agent.reset();
         self.cache = MessageCache::new(self.cfg.cache);
         self.deliveries.clear();
@@ -1343,6 +1548,112 @@ impl Node for NewsWireNode {
         self.article_logs.clear();
         self.peer_health.clear();
         self.awaiting_reconcile = None;
+        ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
+        if let Some(repair) = self.cfg.repair_interval {
+            ctx.set_timer(repair, REPAIR_TIMER);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, NewsWireMsg>, mode: RestartMode) {
+        if mode == RestartMode::Freeze {
+            self.on_recover(ctx);
+            return;
+        }
+        let now = ctx.now();
+        // The process is dead: everything volatile goes, including what a
+        // freeze keeps (forwarding queues, the duty dedup window). Stats
+        // and the forward log are measurement instrumentation, not process
+        // state, and survive in every mode.
+        self.agent.reset();
+        self.cache = MessageCache::new(self.cfg.cache);
+        self.coverage = CoverageWindow::new(8192);
+        self.queues = ForwardingQueues::new(self.cfg.strategy);
+        self.deliveries.clear();
+        self.draining = false;
+        self.pending.clear();
+        self.ack_index.clear();
+        self.awaiting_repair = None;
+        self.article_logs.clear();
+        self.peer_health.clear();
+        self.awaiting_reconcile = None;
+        self.reconcile_cursor = 0;
+        self.gossip_ticks = 0;
+        self.persisted_fingerprint = 0;
+        self.backfill_this_recovery = 0;
+        // Retract gossiped advertisements describing pre-crash state the
+        // new process does not hold; they are rebuilt below from whatever
+        // the disk gives back.
+        self.agent.remove_local_attrs(AE_ATTR_PREFIX);
+
+        // Incarnation: read-modify-write against stable storage, floored
+        // by simulated time so even an amnesiac restart (blank disk) moves
+        // strictly forward. Synced immediately — losing the bump would let
+        // pre-crash gossip about this node outrank its new life.
+        let stored = ctx.disk().read(DISK_KEY_INCAR).and_then(persist::decode_incarnation);
+        let incarnation = match (mode, stored) {
+            (RestartMode::ColdDurable, Some(s)) => s.saturating_add(1).max(now.as_micros()),
+            _ => now.as_micros(),
+        }
+        .max(1);
+        self.agent.set_incarnation(incarnation);
+        ctx.disk().write(DISK_KEY_INCAR, persist::encode_incarnation(incarnation));
+        ctx.disk().fsync();
+
+        // Re-derive the subscription: from disk under a durable restart,
+        // from the user's re-entered configuration (the retained field)
+        // under amnesia or when the disk record is missing or torn.
+        let from_disk = match mode {
+            RestartMode::ColdDurable => {
+                ctx.disk().read(DISK_KEY_SUB).and_then(persist::decode_subscription)
+            }
+            _ => None,
+        };
+        let sub = from_disk.unwrap_or_else(|| self.subscription.clone());
+        self.set_subscription(sub);
+        ctx.disk().write(DISK_KEY_SUB, persist::encode_subscription(&self.subscription));
+
+        // Durable restart: restore the last synced `state` snapshot. Writes
+        // lost between the last fsync and the crash surface as honest log
+        // gaps, which the recovery pulls (and PR-2 anti-entropy) backfill.
+        let mut restored = 0u64;
+        if mode == RestartMode::ColdDurable {
+            if let Some(state) = ctx.disk().read(DISK_KEY_STATE).and_then(persist::decode_state) {
+                for item in state.items {
+                    self.log_seen(item.id);
+                    self.cache.insert(item, now);
+                    restored += 1;
+                }
+                self.deliveries = state.deliveries;
+                for ls in state.logs {
+                    let log = self
+                        .article_logs
+                        .entry(ls.publisher)
+                        .or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
+                    for (lo, hi) in ls.present {
+                        for seq in lo..=hi {
+                            log.insert(seq, ());
+                        }
+                    }
+                    log.restore_coverage(&ls.coverage);
+                }
+            }
+        }
+        // Re-advertise coverage from what actually came back.
+        self.publish_ae_digests();
+        ctx.disk().fsync();
+
+        self.stats.cold_restarts += 1;
+        self.recovering_since = Some(now);
+        obs::trace_event!(
+            self.agent.id(),
+            Layer::News,
+            kind::NW_RECOVERY_START,
+            mode.discriminant(),
+            restored
+        );
+        // Same re-arm cadence as a freeze; the randomized first tick is an
+        // on_start-only affordance, so the cold path stays deterministic
+        // relative to the legacy one.
         ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
         if let Some(repair) = self.cfg.repair_interval {
             ctx.set_timer(repair, REPAIR_TIMER);
@@ -1568,5 +1879,67 @@ mod tests {
         let mut only = vec![8];
         n.prefer_unsuspected(&mut only, now);
         assert_eq!(only, vec![8]);
+    }
+
+    #[test]
+    fn incarnation_bump_makes_recovered_peer_a_failover_target_again() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        use rand::SeedableRng;
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        // Peer 2 (a leaf-zone neighbour) heartbeats, then goes silent long
+        // enough for phi-accrual to suspect it.
+        for s in 0..20 {
+            n.note_alive(NodeId(2), SimTime::from_secs(s));
+        }
+        let now = SimTime::from_secs(60);
+        assert!(n.peer_suspect(2, now), "silence made the peer suspect");
+        let mut candidates = vec![1, 2];
+        n.prefer_unsuspected(&mut candidates, now);
+        assert_eq!(candidates, vec![1], "suspect peer dropped from failover candidates");
+        // The peer cold-restarts; the very next gossip round carries its
+        // row under a new incarnation. The suspicion belonged to its
+        // previous life and must clear within that same round.
+        let row = MibBuilder::new().attr("id", 2i64).attr("incar", 5i64).build(Stamp {
+            issued_us: now.as_micros(),
+            version: 1,
+            origin: 2,
+        });
+        let msg = GossipMsg::Rows {
+            rows: vec![TableRows {
+                zone: n.agent.chain()[0].clone(),
+                rows: vec![(2, Arc::new(row))],
+            }],
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        n.agent.on_message(now, 2, msg, &mut rng);
+        n.absorb_incarnation_bumps();
+        assert!(!n.peer_suspect(2, now), "new incarnation cleared the stale suspicion");
+        let mut candidates = vec![1, 2];
+        n.prefer_unsuspected(&mut candidates, now);
+        assert_eq!(candidates, vec![1, 2], "recovered peer selectable as failover target");
+    }
+
+    #[test]
+    fn durable_state_snapshot_roundtrips_through_the_codec() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        for seq in [0, 1, 4] {
+            n.handle_delivery(now, tech_item(seq), false);
+        }
+        let fp = n.state_fingerprint();
+        let state = n.durable_state();
+        assert_eq!(state.items.len(), 3);
+        assert_eq!(state.deliveries.len(), 3);
+        assert_eq!(state.logs.len(), 1);
+        assert_eq!(state.logs[0].present, vec![(0, 1), (4, 4)]);
+        let decoded = crate::persist::decode_state(&crate::persist::encode_state(&state)).unwrap();
+        assert_eq!(decoded, state);
+        // The fingerprint is stable while nothing changes and moves when
+        // the durable state does.
+        assert_eq!(n.state_fingerprint(), fp);
+        n.handle_delivery(now, tech_item(5), false);
+        assert_ne!(n.state_fingerprint(), fp);
     }
 }

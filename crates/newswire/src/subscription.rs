@@ -39,6 +39,10 @@ pub struct Subscription {
     pub subjects: Vec<Subject>,
     /// Optional SQL predicate over item metadata, applied at the leaf.
     predicate: Option<Expr>,
+    /// The SQL source the predicate was parsed from, retained verbatim so
+    /// the subscription can be persisted to stable storage and re-derived
+    /// on a cold restart.
+    predicate_sql: Option<String>,
 }
 
 impl Subscription {
@@ -73,7 +77,15 @@ impl Subscription {
     /// Returns the parse error for malformed SQL.
     pub fn set_predicate(&mut self, sql: &str) -> Result<(), ParseAggError> {
         self.predicate = Some(parse_predicate(sql)?);
+        self.predicate_sql = Some(sql.to_owned());
         Ok(())
+    }
+
+    /// The SQL source of the current predicate, if one is set — what a node
+    /// writes to stable storage so a cold restart can re-derive the exact
+    /// filter it was running before the crash.
+    pub fn predicate_sql(&self) -> Option<&str> {
+        self.predicate_sql.as_deref()
     }
 
     /// True when no interest at all has been expressed.

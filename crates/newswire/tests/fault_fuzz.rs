@@ -51,6 +51,7 @@ fn plan_for(seed: u64) -> FaultPlan {
             mean_up_secs: 20.0,
             mean_down_secs: 12.0,
             recover_at_end: true,
+            restart: simnet::RestartMode::Freeze,
         }],
         gray: vec![GraySpec {
             nodes: browned,

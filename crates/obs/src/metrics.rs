@@ -161,6 +161,19 @@ pub mod ctr {
         ORACLE_MISSED_VIOLATIONS = 56, "oracle_missed_violations";
         /// Survivor article logs left unconverged.
         ORACLE_UNCONVERGED_LOGS = 57, "oracle_unconverged_logs";
+        // -- crash recovery --
+        /// Cold restarts with stable storage intact (`ColdDurable`).
+        COLD_RESTARTS_DURABLE = 58, "cold_restarts_durable";
+        /// Cold restarts with everything wiped (`ColdAmnesia`).
+        COLD_RESTARTS_AMNESIA = 59, "cold_restarts_amnesia";
+        /// Unsynced disk writes lost at crash time.
+        DISK_WRITES_LOST = 60, "disk_writes_lost";
+        /// Newer peer incarnations observed in gossip (fence + φ reset).
+        INCARNATION_BUMPS = 61, "incarnation_bumps";
+        /// Recovery protocols run to completion (article logs hole-free).
+        NW_RECOVERIES = 62, "nw_recoveries";
+        /// Items re-acquired from peers while a node was recovering.
+        NW_BACKFILL_ITEMS = 63, "nw_backfill_items";
     }
 }
 
@@ -196,6 +209,8 @@ pub mod series {
     slots! { SeriesId,
         /// Publish→deliver latency of each application delivery, in µs.
         DELIVERY_LATENCY_US = 0, "delivery_latency_us";
+        /// Cold-restart → logs-hole-free recovery duration, in µs.
+        RECOVERY_DURATION_US = 1, "recovery_duration_us";
     }
 }
 
@@ -524,9 +539,11 @@ mod tests {
         let s = Schema::stack();
         assert_eq!(s.counter_name(ctr::MSGS_SENT), "msgs_sent");
         assert_eq!(s.counter_name(ctr::ORACLE_UNCONVERGED_LOGS), "oracle_unconverged_logs");
+        assert_eq!(s.counter_name(ctr::NW_BACKFILL_ITEMS), "nw_backfill_items");
         assert_eq!(s.gauge_name(gauge::ASTRO_ROWS_HELD), "astro_rows_held");
         assert_eq!(s.hist_def(hist::GOSSIP_DIGEST_BYTES).name, "gossip_digest_bytes");
         assert_eq!(s.series_name(series::DELIVERY_LATENCY_US), "delivery_latency_us");
+        assert_eq!(s.series_name(series::RECOVERY_DURATION_US), "recovery_duration_us");
         assert_eq!(s.counter_slots(), ctr::NAMES.len());
     }
 

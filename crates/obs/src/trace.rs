@@ -53,6 +53,11 @@ pub mod kind {
     pub const PARTITION_START: u8 = 5;
     /// The network partition healed.
     pub const PARTITION_HEAL: u8 = 6;
+    /// The node restarted cold (`a` = restart mode discriminant: 1 =
+    /// durable, 2 = amnesia; `b` = total unsynced disk writes this node has
+    /// lost to crashes so far). Emitted *in addition to* [`NODE_RECOVER`],
+    /// which fires for every recovery regardless of mode.
+    pub const NODE_RESTART: u8 = 7;
 
     /// One gossip round executed (`a` = rows held, `b` = digests sent).
     pub const GOSSIP_ROUND: u8 = 16;
@@ -64,6 +69,10 @@ pub mod kind {
     pub const GOSSIP_MERGE: u8 = 19;
     /// φ-accrual declared a peer suspect (`a` = peer or row label hash).
     pub const PHI_SUSPECT: u8 = 20;
+    /// A newer incarnation of a peer was observed in gossip (`a` = peer id,
+    /// `b` = the incarnation number). Stale-incarnation fencing and φ reset
+    /// key off this observation.
+    pub const INCARNATION_BUMP: u8 = 21;
 
     /// A multicast message hopped down the tree (`a` = next hop, `b` = key).
     pub const MCAST_HOP: u8 = 32;
@@ -98,6 +107,13 @@ pub mod kind {
     pub const AE_REPLY: u8 = 58;
     /// A subscription digest was (re)published into gossip (`a` = bytes).
     pub const SUB_PROPAGATE: u8 = 59;
+    /// A cold restart began its recovery protocol (`a` = restart mode
+    /// discriminant, `b` = items restored from stable storage).
+    pub const NW_RECOVERY_START: u8 = 60;
+    /// The recovery protocol finished — every tracked article log is
+    /// hole-free again (`a` = recovery duration in µs, `b` = items
+    /// backfilled from peers since the restart).
+    pub const NW_RECOVERY_DONE: u8 = 61;
 
     /// Stable lowercase name of a kind (used in exports).
     pub fn name(k: u8) -> &'static str {
@@ -108,11 +124,13 @@ pub mod kind {
             NODE_RECOVER => "node_recover",
             PARTITION_START => "partition_start",
             PARTITION_HEAL => "partition_heal",
+            NODE_RESTART => "node_restart",
             GOSSIP_ROUND => "gossip_round",
             GOSSIP_DIGEST => "gossip_digest",
             GOSSIP_DIFF => "gossip_diff",
             GOSSIP_MERGE => "gossip_merge",
             PHI_SUSPECT => "phi_suspect",
+            INCARNATION_BUMP => "incarnation_bump",
             MCAST_HOP => "mcast_hop",
             MCAST_DELIVER_LOCAL => "mcast_deliver_local",
             NW_PUBLISH => "nw_publish",
@@ -127,6 +145,8 @@ pub mod kind {
             AE_REQUEST => "ae_request",
             AE_REPLY => "ae_reply",
             SUB_PROPAGATE => "sub_propagate",
+            NW_RECOVERY_START => "nw_recovery_start",
+            NW_RECOVERY_DONE => "nw_recovery_done",
             _ => "unknown",
         }
     }
@@ -342,6 +362,9 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(kind::name(kind::MSG_DELIVER), "msg_deliver");
         assert_eq!(kind::name(kind::AE_REPLY), "ae_reply");
+        assert_eq!(kind::name(kind::NODE_RESTART), "node_restart");
+        assert_eq!(kind::name(kind::INCARNATION_BUMP), "incarnation_bump");
+        assert_eq!(kind::name(kind::NW_RECOVERY_DONE), "nw_recovery_done");
         assert_eq!(kind::name(250), "unknown");
         assert_eq!(Layer::from_u8(2), Some(Layer::Amcast));
         assert_eq!(Layer::from_u8(9), None);

@@ -30,6 +30,7 @@
 //!         mean_up_secs: 20.0,
 //!         mean_down_secs: 5.0,
 //!         recover_at_end: true,
+//!         restart: RestartMode::Freeze,
 //!     }],
 //!     ..FaultPlan::default()
 //! };
@@ -40,6 +41,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::disk::RestartMode;
 use crate::node::{Node, NodeId};
 use crate::rng::{exp_sample, fork};
 use crate::sim::Simulation;
@@ -67,6 +69,11 @@ pub struct ChurnSpec {
     /// Recover any node still down at `end` (so post-churn liveness checks
     /// see every churned node back up).
     pub recover_at_end: bool,
+    /// What each recovery in this process restores: `Freeze` (legacy —
+    /// volatile state survives), `ColdDurable` (rebuild from disk), or
+    /// `ColdAmnesia` (rejoin from nothing). Applies to every recovery the
+    /// process schedules, including the `recover_at_end` one.
+    pub restart: RestartMode,
 }
 
 /// A gray brownout: the nodes degrade (but stay alive) for a window.
@@ -190,11 +197,11 @@ impl<N: Node> Simulation<N> {
                     let down_until = t + exp_sample(&mut rng, spec.mean_down_secs);
                     if down_until >= end {
                         if spec.recover_at_end {
-                            self.schedule_recover(spec.end, node);
+                            self.schedule_restart(spec.end, node, spec.restart);
                         }
                         break;
                     }
-                    self.schedule_recover(at_secs(down_until), node);
+                    self.schedule_restart(at_secs(down_until), node, spec.restart);
                     t = down_until + exp_sample(&mut rng, spec.mean_up_secs);
                 }
             }

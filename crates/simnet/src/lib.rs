@@ -10,7 +10,11 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time.
 //! * [`Node`] — the callback interface protocols implement
-//!   (`on_start`/`on_message`/`on_timer`, plus crash/recover hooks).
+//!   (`on_start`/`on_message`/`on_timer`, plus crash/restart hooks).
+//! * [`Disk`] / [`RestartMode`] — per-node simulated stable storage
+//!   (write/fsync/read, newest unsynced writes lost on crash) and the three
+//!   recovery regimes: `Freeze` (volatile state survives), `ColdDurable`
+//!   (rebuild from disk), `ColdAmnesia` (rejoin from nothing).
 //! * [`Simulation`] — the engine: a priority queue of events ordered by
 //!   `(time, seq)`, per-node deterministic RNGs, traffic accounting.
 //! * [`NetworkModel`] — pluggable latency ([`LatencyModel`]), loss,
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod disk;
 mod faults;
 mod node;
 mod phi;
@@ -63,6 +68,7 @@ mod stats;
 mod time;
 mod topology;
 
+pub use disk::{Disk, RestartMode};
 pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec, PartitionSpec};
 pub use node::{Context, Node, NodeId, Payload, TimerId};
 pub use obs::{Telemetry, TelemetryHub};

@@ -4,6 +4,7 @@ use std::fmt;
 
 use rand::rngs::SmallRng;
 
+use crate::disk::{Disk, RestartMode};
 use crate::time::{SimDuration, SimTime};
 
 /// Dense identifier of a simulated node (index into the node table).
@@ -86,13 +87,48 @@ pub trait Node {
 
     /// Invoked when the engine crashes this node. Default: do nothing.
     ///
-    /// While down the node receives no messages or timers. State is retained
-    /// (a "process freeze"); protocols wanting cold-restart semantics should
-    /// reset their state in [`Node::on_recover`].
+    /// While down the node receives no messages or timers; timers that
+    /// expire during the outage are lost. What the node gets back at
+    /// recovery is decided by the [`RestartMode`] of the recovery event, not
+    /// here: the in-memory value always survives in the engine's node table,
+    /// but under a cold restart [`Node::on_restart`] is responsible for
+    /// discarding it. The engine applies the disk failure model (losing the
+    /// newest unsynced writes) immediately after this hook returns.
     fn on_crash(&mut self) {}
 
-    /// Invoked when the engine recovers this node. Default: do nothing.
+    /// Invoked when the engine recovers this node under the legacy
+    /// "process freeze" model ([`RestartMode::Freeze`]): all volatile state
+    /// survived the outage. Default: do nothing.
+    ///
+    /// Protocols that support cold restarts should override
+    /// [`Node::on_restart`] instead, which receives the restart mode and can
+    /// reach stable storage through [`Context::disk`]; its default delegates
+    /// `Freeze` recoveries here.
     fn on_recover(&mut self, _ctx: &mut Context<'_, Self::Msg>) {}
+
+    /// Invoked when the engine recovers this node, with the restart mode the
+    /// recovery was scheduled under (see
+    /// [`Simulation::schedule_restart`](crate::Simulation::schedule_restart)
+    /// and `ChurnSpec::restart`).
+    ///
+    /// The contract per mode:
+    ///
+    /// - [`RestartMode::Freeze`] — volatile state survived; resume.
+    /// - [`RestartMode::ColdDurable`] — the process died: the node must
+    ///   discard all volatile state and rebuild from [`Context::disk`],
+    ///   which holds everything fsynced before the crash (minus the
+    ///   configured number of lost unsynced writes).
+    /// - [`RestartMode::ColdAmnesia`] — the machine died: the engine has
+    ///   already wiped the disk; the node must discard everything and
+    ///   rejoin as if newly installed.
+    ///
+    /// The default delegates to [`Node::on_recover`] for *every* mode, which
+    /// preserves the legacy freeze semantics for nodes that predate cold
+    /// restarts; override this to honor the cold modes.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>, mode: RestartMode) {
+        let _ = mode;
+        self.on_recover(ctx);
+    }
 }
 
 /// One message or timer the node asked the engine to schedule.
@@ -114,6 +150,7 @@ pub struct Context<'a, M> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
     pub(crate) next_timer: &'a mut u64,
+    pub(crate) disk: &'a mut Disk,
 }
 
 impl<M> fmt::Debug for Context<'_, M> {
@@ -136,6 +173,13 @@ impl<M> Context<'_, M> {
     /// This node's private deterministic random generator.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// This node's simulated stable storage. Writes are volatile until
+    /// [`Disk::fsync`]; a crash loses the newest unsynced writes (see
+    /// [`Simulation::set_crash_unsynced_loss`](crate::Simulation::set_crash_unsynced_loss)).
+    pub fn disk(&mut self) -> &mut Disk {
+        self.disk
     }
 
     /// Sends `msg` to `to`. Delivery latency, loss and partitions are applied

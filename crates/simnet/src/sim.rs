@@ -12,6 +12,7 @@ use std::rc::Rc;
 use obs::{ctr, kind, Layer, Telemetry, TelemetryHub};
 use rand::rngs::SmallRng;
 
+use crate::disk::{Disk, RestartMode};
 use crate::node::{Context, Effect, Node, NodeId, Payload, TimerId};
 use crate::rng::fork;
 use crate::stats::{FaultCounters, TrafficCounters};
@@ -45,7 +46,7 @@ enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
     Timer { node: NodeId, id: TimerId, tag: u64 },
     Crash(NodeId),
-    Recover(NodeId),
+    Recover(NodeId, RestartMode),
     SetPartition(Option<Partition>),
     SetDropProb(f64),
     SetGray(NodeId, Option<GrayProfile>),
@@ -110,6 +111,11 @@ pub struct Simulation<N: Node> {
     nodes: Vec<N>,
     down: Vec<bool>,
     node_rngs: Vec<SmallRng>,
+    /// Per-node simulated stable storage (see [`Disk`]).
+    disks: Vec<Disk>,
+    /// How many of the newest unsynced disk writes a crash destroys
+    /// (default: all of them).
+    crash_unsynced_loss: usize,
     /// All traffic/fault accounting and trace records live here; the legacy
     /// [`TrafficCounters`]/[`FaultCounters`] accessors are views over it.
     /// Shared (`Rc`) so the thread-local collector can reach it from inside
@@ -152,6 +158,8 @@ impl<N: Node> Simulation<N> {
             nodes: Vec::new(),
             down: Vec::new(),
             node_rngs: Vec::new(),
+            disks: Vec::new(),
+            crash_unsynced_loss: usize::MAX,
             hub: Rc::new(RefCell::new(TelemetryHub::new(seed))),
             net,
             net_rng: fork(seed, u64::MAX),
@@ -238,8 +246,25 @@ impl<N: Node> Simulation<N> {
         self.node_rngs.push(fork(self.seed, id.0 as u64));
         self.nodes.push(node);
         self.down.push(false);
+        self.disks.push(Disk::new());
         self.hub.borrow_mut().ensure_nodes(self.nodes.len());
         id
+    }
+
+    /// A node's simulated stable storage (inspection between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn disk(&self, id: NodeId) -> &Disk {
+        &self.disks[id.index()]
+    }
+
+    /// Sets how many of the newest unsynced disk writes a crash destroys.
+    /// `usize::MAX` (the default) loses every unsynced write; `0` models a
+    /// write-through disk that never loses anything.
+    pub fn set_crash_unsynced_loss(&mut self, k: usize) {
+        self.crash_unsynced_loss = k;
     }
 
     /// Number of nodes.
@@ -356,15 +381,24 @@ impl<N: Node> Simulation<N> {
         self.push(at, EventKind::Crash(node));
     }
 
-    /// Schedules a recovery of `node` at `at`.
+    /// Schedules a recovery of `node` at `at` under the legacy
+    /// "process freeze" model (equivalent to
+    /// [`Simulation::schedule_restart`] with [`RestartMode::Freeze`]).
     pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_restart(at, node, RestartMode::Freeze);
+    }
+
+    /// Schedules a recovery of `node` at `at` under the given restart mode.
+    /// `ColdAmnesia` wipes the node's disk before the
+    /// [`Node::on_restart`] hook runs.
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeId, mode: RestartMode) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
             node.index() < self.nodes.len(),
-            "schedule_recover: node {node} out of range (have {})",
+            "schedule_restart: node {node} out of range (have {})",
             self.nodes.len()
         );
-        self.push(at, EventKind::Recover(node));
+        self.push(at, EventKind::Recover(node, mode));
     }
 
     /// Schedules a gray-degradation change of `node` at `at` (`None` heals).
@@ -450,12 +484,13 @@ impl<N: Node> Simulation<N> {
                 rng: &mut self.node_rngs[id.index()],
                 effects: &mut effects,
                 next_timer: &mut self.next_timer,
+                disk: &mut self.disks[id.index()],
             };
             match cb {
                 Callback::Start => node.on_start(&mut ctx),
                 Callback::Message { from, msg } => node.on_message(&mut ctx, from, msg),
                 Callback::Timer { timer, tag } => node.on_timer(&mut ctx, timer, tag),
-                Callback::Recover => node.on_recover(&mut ctx),
+                Callback::Recover(mode) => node.on_restart(&mut ctx, mode),
             }
         }
         for eff in effects {
@@ -593,9 +628,19 @@ impl<N: Node> Simulation<N> {
                         }
                     }
                     self.nodes[idx].on_crash();
+                    // The crash failure model for stable storage: the newest
+                    // unsynced writes are destroyed, anything older is
+                    // considered to have reached the platter in time.
+                    let lost = self.disks[idx].crash(self.crash_unsynced_loss);
+                    if lost > 0 {
+                        let mut hub = self.hub.borrow_mut();
+                        if let Some(c) = hub.node_mut(idx) {
+                            c.ctr_add(ctr::DISK_WRITES_LOST, lost as u64);
+                        }
+                    }
                 }
             }
-            EventKind::Recover(node) => {
+            EventKind::Recover(node, mode) => {
                 let idx = node.index();
                 if self.down[idx] {
                     self.down[idx] = false;
@@ -612,8 +657,29 @@ impl<N: Node> Simulation<N> {
                                 0,
                             );
                         }
+                        if mode != RestartMode::Freeze {
+                            let slot = if mode == RestartMode::ColdDurable {
+                                ctr::COLD_RESTARTS_DURABLE
+                            } else {
+                                ctr::COLD_RESTARTS_AMNESIA
+                            };
+                            hub.global_mut().ctr_add(slot, 1);
+                            if obs::ENABLED {
+                                hub.trace_at(
+                                    self.now.as_micros(),
+                                    node.0,
+                                    Layer::Sim,
+                                    kind::NODE_RESTART,
+                                    mode.discriminant(),
+                                    self.disks[idx].total_lost(),
+                                );
+                            }
+                        }
                     }
-                    self.dispatch_callback(node, Callback::Recover);
+                    if mode == RestartMode::ColdAmnesia {
+                        self.disks[idx].wipe();
+                    }
+                    self.dispatch_callback(node, Callback::Recover(mode));
                 }
             }
             EventKind::SetPartition(p) => {
@@ -711,7 +777,7 @@ enum Callback<M> {
     Start,
     Message { from: NodeId, msg: M },
     Timer { timer: TimerId, tag: u64 },
-    Recover,
+    Recover(RestartMode),
 }
 
 #[cfg(test)]

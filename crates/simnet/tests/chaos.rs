@@ -3,8 +3,8 @@
 
 use simnet::{
     ChurnSpec, Context, FaultPlan, GrayProfile, GraySpec, LinkCutSpec, MessageChaosSpec,
-    NetworkModel, Node, NodeId, Partition, PartitionSpec, SimDuration, SimTime, Simulation,
-    TimerId,
+    NetworkModel, Node, NodeId, Partition, PartitionSpec, RestartMode, SimDuration, SimTime,
+    Simulation, TimerId,
 };
 
 /// Every node pings a random neighbour once a second and counts echoes.
@@ -73,6 +73,7 @@ fn stress_plan(n: u32) -> FaultPlan {
             mean_up_secs: 25.0,
             mean_down_secs: 8.0,
             recover_at_end: true,
+            restart: RestartMode::Freeze,
         }],
         gray: vec![GraySpec {
             nodes: (n / 2..n / 2 + n / 5).map(NodeId).collect(),
@@ -125,6 +126,7 @@ fn churn_plan_crashes_and_recovers_nodes() {
             mean_up_secs: 15.0,
             mean_down_secs: 5.0,
             recover_at_end: true,
+            restart: RestartMode::Freeze,
         }],
         ..FaultPlan::default()
     };
@@ -193,6 +195,106 @@ fn duplication_window_inflates_deliveries() {
         totals.msgs_sent + faults.msgs_duplicated,
         "every copy (original or duplicate) is delivered on a lossless net"
     );
+}
+
+/// Writes a durable marker at start and records, for every restart, the mode
+/// the engine delivered and whether the marker was still on disk.
+struct Probe {
+    restarts: Vec<(RestartMode, bool)>,
+}
+
+impl Node for Probe {
+    type Msg = ();
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        ctx.disk().write("boot", b"installed".to_vec());
+        ctx.disk().fsync();
+        ctx.disk().write("scratch", b"unsynced".to_vec());
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _m: ()) {}
+    fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _t: TimerId, _tag: u64) {}
+    fn on_restart(&mut self, ctx: &mut Context<'_, ()>, mode: RestartMode) {
+        let has_boot = ctx.disk().read("boot").is_some();
+        self.restarts.push((mode, has_boot));
+    }
+}
+
+/// Runs a churn plan whose down-dwell is far longer than the window, so the
+/// node is (almost always) still down at `end` and `recover_at_end` does the
+/// final restart. Returns node 1's recorded restarts.
+fn run_recover_at_end(mode: RestartMode) -> Vec<(RestartMode, bool)> {
+    let mut sim = Simulation::new(NetworkModel::default(), 21);
+    for _ in 0..3 {
+        sim.add_node(Probe { restarts: Vec::new() });
+    }
+    sim.apply_fault_plan(&FaultPlan {
+        churn: vec![ChurnSpec {
+            nodes: vec![NodeId(1)],
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(30),
+            mean_up_secs: 0.5,
+            mean_down_secs: 120.0,
+            recover_at_end: true,
+            restart: mode,
+        }],
+        ..FaultPlan::default()
+    });
+    sim.run_until(SimTime::from_secs(40));
+    assert!(!sim.is_down(NodeId(1)), "recover_at_end left the node down");
+    sim.node(NodeId(1)).restarts.clone()
+}
+
+#[test]
+fn recover_at_end_honors_freeze_mode() {
+    let restarts = run_recover_at_end(RestartMode::Freeze);
+    assert!(!restarts.is_empty(), "churn never crashed the node");
+    for (mode, has_boot) in restarts {
+        assert_eq!(mode, RestartMode::Freeze);
+        assert!(has_boot, "freeze must leave the disk untouched");
+    }
+}
+
+#[test]
+fn recover_at_end_honors_cold_durable_mode() {
+    let restarts = run_recover_at_end(RestartMode::ColdDurable);
+    assert!(!restarts.is_empty(), "churn never crashed the node");
+    for (mode, has_boot) in restarts {
+        assert_eq!(mode, RestartMode::ColdDurable);
+        assert!(has_boot, "cold-durable must keep fsynced state");
+    }
+}
+
+#[test]
+fn recover_at_end_honors_cold_amnesia_mode() {
+    let restarts = run_recover_at_end(RestartMode::ColdAmnesia);
+    assert!(!restarts.is_empty(), "churn never crashed the node");
+    for (mode, has_boot) in restarts {
+        assert_eq!(mode, RestartMode::ColdAmnesia);
+        assert!(!has_boot, "amnesia must wipe the disk before on_restart");
+    }
+}
+
+#[test]
+fn crash_destroys_unsynced_writes_by_default() {
+    let mut sim = Simulation::new(NetworkModel::default(), 17);
+    let n = sim.add_node(Probe { restarts: Vec::new() });
+    sim.schedule_crash(SimTime::from_secs(1), n);
+    sim.schedule_restart(SimTime::from_secs(2), n, RestartMode::ColdDurable);
+    sim.run_until(SimTime::from_secs(3));
+    assert_eq!(sim.disk(n).read("boot"), Some(&b"installed"[..]), "fsynced data survives");
+    assert_eq!(sim.disk(n).read("scratch"), None, "unsynced write lost in the crash");
+    assert_eq!(sim.disk(n).total_lost(), 1);
+}
+
+#[test]
+fn crash_unsynced_loss_zero_models_write_through() {
+    let mut sim = Simulation::new(NetworkModel::default(), 17);
+    let n = sim.add_node(Probe { restarts: Vec::new() });
+    sim.set_crash_unsynced_loss(0);
+    sim.schedule_crash(SimTime::from_secs(1), n);
+    sim.schedule_restart(SimTime::from_secs(2), n, RestartMode::ColdDurable);
+    sim.run_until(SimTime::from_secs(3));
+    assert_eq!(sim.disk(n).read("scratch"), Some(&b"unsynced"[..]), "k=0 loses nothing");
+    assert_eq!(sim.disk(n).total_lost(), 0);
 }
 
 #[test]

@@ -43,6 +43,7 @@ fn main() {
             mean_up_secs: 60.0,
             mean_down_secs: 20.0,
             recover_at_end: true,
+            restart: simnet::RestartMode::Freeze,
         }],
         gray: vec![GraySpec {
             nodes: browned.clone(),

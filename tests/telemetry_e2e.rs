@@ -3,9 +3,11 @@
 //! state it mirrors, and a drained telemetry snapshot must be byte-for-byte
 //! deterministic for a given seed (the property CI enforces).
 
-use newsml::{Category, NewsItem, PublisherId};
-use newswire::{tech_news_deployment, Deployment};
-use simnet::SimTime;
+use newsml::{Category, NewsItem, PublisherId, PublisherProfile};
+use newswire::{
+    tech_news_deployment, Deployment, DeploymentBuilder, NewsWireConfig, PublisherSpec,
+};
+use simnet::{ChurnSpec, FaultPlan, NodeId, RestartMode, SimTime};
 
 /// A small churn-free run: settle, publish a handful of items, settle.
 fn sample_run(seed: u64) -> Deployment {
@@ -75,6 +77,62 @@ fn same_seed_drains_identical_telemetry() {
     let tb = b.sim.drain_telemetry();
     assert_eq!(ta.to_json(), tb.to_json(), "same-seed telemetry JSON diverged");
     assert_eq!(ta.events_csv(), tb.events_csv(), "same-seed trace CSV diverged");
+}
+
+/// A durable-state churn run exercising all three restart modes — the
+/// `cold_restart` example's scenario in miniature. Disk writes, cold
+/// restarts, incarnation bumps and recovery backfill must all replay
+/// bit-for-bit: the persistence and recovery paths draw no randomness of
+/// their own. This is the property the CI determinism matrix pins for the
+/// `cold_restart` example.
+#[test]
+fn same_seed_cold_restart_run_drains_identical_telemetry() {
+    fn cold_run(seed: u64) -> (String, String) {
+        let mut config = NewsWireConfig::tech_news();
+        config.durable_state = true;
+        let mut d = DeploymentBuilder::new(30, seed)
+            .branching(4)
+            .config(config)
+            .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+            .build();
+        d.settle(60);
+        let spec = |rem: u32, restart: RestartMode| ChurnSpec {
+            // 30 subscribers + 1 publisher = node ids 0..=30; spare node 0.
+            nodes: (1..31).filter(|i| i % 3 == rem).map(NodeId).collect(),
+            start: SimTime::from_secs(60),
+            end: SimTime::from_secs(180),
+            mean_up_secs: 40.0,
+            mean_down_secs: 15.0,
+            recover_at_end: true,
+            restart,
+        };
+        d.sim.apply_fault_plan(&FaultPlan {
+            salt: 0xC0,
+            churn: vec![
+                spec(0, RestartMode::Freeze),
+                spec(1, RestartMode::ColdDurable),
+                spec(2, RestartMode::ColdAmnesia),
+            ],
+            gray: vec![],
+            link_cuts: vec![],
+            partitions: vec![],
+            message_chaos: vec![],
+        });
+        for seq in 0..6u64 {
+            let item = NewsItem::builder(PublisherId(0), seq)
+                .headline(format!("cold determinism {seq}"))
+                .category(Category::Technology)
+                .build();
+            d.publish(SimTime::from_secs(65 + 15 * seq), item);
+        }
+        d.settle(200);
+        let t = d.sim.drain_telemetry();
+        (t.to_json(), t.events_csv())
+    }
+    let (ja, ca) = cold_run(0xC0DE);
+    let (jb, cb) = cold_run(0xC0DE);
+    assert_eq!(ja, jb, "same-seed cold-restart telemetry JSON diverged");
+    assert_eq!(ca, cb, "same-seed cold-restart trace CSV diverged");
 }
 
 /// Draining is destructive: a second drain yields an empty snapshot, while
