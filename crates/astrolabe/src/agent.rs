@@ -39,6 +39,11 @@ use crate::zone::{ZoneId, ZoneLayout};
 
 pub use crate::mib::AGG_ATTR_PREFIX;
 
+/// Defense-in-depth bound on attributes per ingested row: honest rows carry
+/// a couple of dozen attributes (locals, core aggregates, mobile code), so
+/// anything past this is a memory-amplification attempt, not data.
+const MAX_ROW_ATTRS: usize = 256;
+
 /// Digest of one table for anti-entropy exchange.
 ///
 /// The row digests are shared (`Arc`): an agent fanning the same digest out
@@ -201,6 +206,12 @@ pub struct Agent {
     /// restarted peer must be immediately selectable again, not held hostage
     /// by suspicion accrued against its previous life).
     incarnation_bumps: Vec<u32>,
+    /// When set, gossiped rows are structurally validated before merging
+    /// (see [`Agent::row_is_valid`]); malformed rows are rejected and
+    /// counted instead of silently merged. Off by default — the bare
+    /// Astrolabe protocol trusts its peers, matching the paper; hosts that
+    /// face an adversarial fault model (the NewsWire node) switch it on.
+    validate_ingest: bool,
 }
 
 impl Agent {
@@ -245,6 +256,7 @@ impl Agent {
             incarnation: 0,
             incar_seen: HashMap::new(),
             incarnation_bumps: Vec::new(),
+            validate_ingest: false,
         }
     }
 
@@ -339,6 +351,13 @@ impl Agent {
     /// previous life accrued.
     pub fn take_incarnation_bumps(&mut self) -> Vec<u32> {
         std::mem::take(&mut self.incarnation_bumps)
+    }
+
+    /// Enables (or disables) structural validation of gossiped rows before
+    /// they are merged. See [`Agent::scrub`] for the matching self-audit
+    /// sweep over rows that were admitted before validation was on.
+    pub fn set_ingest_validation(&mut self, on: bool) {
+        self.validate_ingest = on;
     }
 
     /// Installs a dynamic aggregation program (mobile code). It propagates
@@ -726,6 +745,17 @@ impl Agent {
             let Some(level) = self.level_of(&batch.zone) else { continue };
             let own = self.own_label(level);
             for (label, row) in &batch.rows {
+                if self.validate_ingest && !self.row_is_valid(now, level, *label, row) {
+                    obs::metric_add!(self.id, ctr::CORRUPT_ROWS_REJECTED, 1);
+                    obs::trace_event!(
+                        self.id,
+                        Layer::Astro,
+                        kind::CORRUPT_ROW_REJECT,
+                        level,
+                        *label
+                    );
+                    continue;
+                }
                 if row.stamp.issued_us < cutoff {
                     continue;
                 }
@@ -802,6 +832,107 @@ impl Agent {
             obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_MERGE, changed);
         }
         changed
+    }
+
+    /// Structural sanity of a gossiped row — the ingest validator behind
+    /// [`Agent::set_ingest_validation`]. Checks are *shape* checks only,
+    /// bounds a replica can verify locally without trusting the sender: the
+    /// label must fit the zone branching factor, the stamp must not be from
+    /// the future (beyond one gossip interval of slack), the attribute count
+    /// must be bounded, a leaf row must carry a plausible `id`, and a
+    /// claimed membership count must be positive. Value-level lies (a wrong
+    /// aggregate under a legitimate stamp) are out of scope here; those are
+    /// the host's self-audit problem.
+    fn row_is_valid(&self, now: SimTime, level: usize, label: u16, row: &Mib) -> bool {
+        if label >= self.config.branching {
+            return false;
+        }
+        let slack = self.config.gossip_interval.as_micros();
+        if row.stamp.issued_us > now.as_micros().saturating_add(slack) {
+            return false;
+        }
+        if row.len() > MAX_ROW_ATTRS {
+            return false;
+        }
+        if let Some(v) = row.get("nmembers") {
+            if !matches!(v.as_i64(), Some(n) if n >= 1) {
+                return false;
+            }
+        }
+        if level == 0 {
+            let Some(id) = row.get("id").and_then(AttrValue::as_i64) else { return false };
+            if id < 0 || id > i64::from(u32::MAX) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Self-audit sweep: evicts held rows (never the agent's own) that fail
+    /// the structural validator of [`Agent::set_ingest_validation`]. The
+    /// target is corruption anti-entropy cannot see: a row scrambled in
+    /// place under its original stamp matches every replica's digest, so no
+    /// peer ever re-offers the intact bytes. Evicting the row makes the
+    /// label *missing* here, and the next digest exchange re-fetches the
+    /// good row from any neighbor. Deliberately no tombstone — the intact
+    /// row carries the very stamp a tombstone would fence out. Returns how
+    /// many rows were evicted.
+    pub fn scrub(&mut self, now: SimTime) -> u64 {
+        let mut evicted = 0u64;
+        for level in 0..self.tables.len() {
+            let own = self.own_label(level);
+            let bad: Vec<(u16, bool)> = self.tables[level]
+                .iter()
+                .filter(|&(label, row)| label != own && !self.row_is_valid(now, level, label, row))
+                .map(|(label, row)| (label, row.carries_mobile_code()))
+                .collect();
+            for (label, carried_agg) in bad {
+                self.tables[level].remove(label);
+                if let Some(d) = self.detectors[level].get_mut(usize::from(label)) {
+                    *d = None;
+                }
+                if carried_agg {
+                    self.scope_epoch += 1;
+                }
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            obs::metric_add!(self.id, ctr::SELF_AUDIT_REPAIRS, evicted);
+            // a=1: zone-table scrub repair site (hosts use other codes).
+            obs::trace_event!(self.id, Layer::Astro, kind::SELF_AUDIT_REPAIR, 1, evicted);
+        }
+        evicted
+    }
+
+    /// Fault injection: scrambles up to `n` randomly chosen held rows
+    /// (never the agent's own) *in place*, keeping each row's stamp so the
+    /// corruption is invisible to digest-driven anti-entropy. The scramble
+    /// is structural — the `id` attribute vanishes and `nmembers` goes
+    /// negative — so the ingest validator and [`Agent::scrub`] can detect
+    /// it; all other attributes (including mobile code) are preserved.
+    /// Returns how many rows were actually changed.
+    pub fn corrupt_rows(&mut self, rng: &mut SmallRng, n: u32) -> u64 {
+        let mut candidates: Vec<(usize, u16)> = Vec::new();
+        for level in 0..self.tables.len() {
+            let own = self.own_label(level);
+            candidates.extend(
+                self.tables[level].iter().filter(|&(l, _)| l != own).map(|(l, _)| (level, l)),
+            );
+        }
+        candidates.shuffle(rng);
+        candidates.truncate(n as usize);
+        let mut scrambled = 0u64;
+        for (level, label) in candidates {
+            let old = Arc::clone(self.tables[level].get(label).expect("candidate row is held"));
+            let mut attrs: Vec<(AttrName, AttrValue)> =
+                old.attrs().iter().filter(|(name, _)| name.as_ref() != "id").cloned().collect();
+            attrs.push((AttrName::from("nmembers"), AttrValue::Int(-1)));
+            if self.tables[level].force_replace(label, Arc::new(Mib::new(old.stamp, attrs))) {
+                scrambled += 1;
+            }
+        }
+        scrambled
     }
 
     /// Index of `zone` within this agent's chain, if replicated here.
@@ -1215,6 +1346,90 @@ mod tests {
         );
         assert_eq!(changed, 0, "stale-incarnation row must be fenced");
         assert!(agents[0].table(0).get(1).unwrap().get("incar").is_some());
+    }
+
+    /// A hand-crafted malformed row batch: out-of-range label, future
+    /// stamp, and a leaf row with no `id`.
+    fn malformed_batch(zone: ZoneId) -> GossipMsg {
+        let stamp = |t: u64, o: u32| Stamp { issued_us: t, version: 1, origin: o };
+        GossipMsg::Rows {
+            rows: vec![TableRows {
+                zone,
+                rows: vec![
+                    (63, Arc::new(MibBuilder::new().attr("id", 2i64).build(stamp(1_000_000, 2)))),
+                    (2, Arc::new(MibBuilder::new().attr("id", 2i64).build(stamp(999_000_000, 2)))),
+                    (
+                        3,
+                        Arc::new(MibBuilder::new().attr("load", 0.5f64).build(stamp(1_000_000, 3))),
+                    ),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn ingest_validation_rejects_malformed_rows() {
+        let layout = ZoneLayout::new(4, 4);
+        let mut b = Agent::new(1, &layout, small_config(), vec![0]);
+        b.set_ingest_validation(true);
+        let mut rng = fork(9, 0);
+        let now = SimTime::from_secs(1);
+        b.on_tick(now, &mut rng);
+        let held = b.table(0).len();
+        b.on_message(now, 2, malformed_batch(b.chain()[0].clone()), &mut rng);
+        assert_eq!(b.table(0).len(), held, "malformed rows must not merge");
+        // A well-formed row from the same sender still merges.
+        let good =
+            Arc::new(MibBuilder::new().attr("id", 2i64).attr("nmembers", 1i64).build(Stamp {
+                issued_us: 900_000,
+                version: 1,
+                origin: 2,
+            }));
+        let msg = GossipMsg::Rows {
+            rows: vec![TableRows { zone: b.chain()[0].clone(), rows: vec![(2, good)] }],
+        };
+        b.on_message(now, 2, msg, &mut rng);
+        assert_eq!(b.table(0).len(), held + 1, "validation must not block honest rows");
+    }
+
+    #[test]
+    fn validation_off_admits_what_validation_on_rejects() {
+        // Control for the test above: the same malformed batch merges when
+        // validation is off (the pre-hardening behavior), so the test is
+        // exercising the validator and not some other fence.
+        let layout = ZoneLayout::new(4, 4);
+        let mut b = Agent::new(1, &layout, small_config(), vec![0]);
+        let mut rng = fork(9, 0);
+        let now = SimTime::from_secs(1);
+        b.on_tick(now, &mut rng);
+        let held = b.table(0).len();
+        b.on_message(now, 2, malformed_batch(b.chain()[0].clone()), &mut rng);
+        assert!(b.table(0).len() > held, "without validation the malformed rows merge");
+    }
+
+    #[test]
+    fn scrub_evicts_in_place_corruption_and_gossip_reheals() {
+        let mut agents = make_agents(4, 4);
+        let t = run_rounds(&mut agents, 6, 0);
+        let now = SimTime::from_micros(t);
+        assert_eq!(agents[0].table(0).len(), 4);
+        assert_eq!(agents[0].scrub(now), 0, "healthy state needs no repair");
+
+        let mut rng = fork(5, 1);
+        let hit = agents[0].corrupt_rows(&mut rng, 2);
+        assert_eq!(hit, 2);
+        let evicted = agents[0].scrub(now);
+        assert_eq!(evicted, hit, "scrub evicts exactly the scrambled rows");
+        assert_eq!(agents[0].table(0).len(), 2);
+
+        // The evicted labels are missing (not tombstoned), so anti-entropy
+        // re-learns the intact rows from any neighbor.
+        let t = run_rounds(&mut agents, 4, t);
+        assert_eq!(agents[0].table(0).len(), 4);
+        for (_, row) in agents[0].table(0).iter() {
+            assert!(row.get("id").is_some(), "re-learned rows are intact");
+        }
+        assert_eq!(agents[0].scrub(SimTime::from_micros(t)), 0);
     }
 
     #[test]

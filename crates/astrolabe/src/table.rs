@@ -129,6 +129,33 @@ impl ZoneTable {
         }
     }
 
+    /// Unconditionally installs `row` for `label`, bypassing the
+    /// newest-wins fence of [`ZoneTable::merge_row`]. Fault injection only:
+    /// a corruption strike must scramble a held row *without* advancing its
+    /// stamp — an advanced stamp would both propagate through digests and be
+    /// healed by the next legitimate heartbeat, whereas an in-place scramble
+    /// models silent memory corruption that anti-entropy cannot see.
+    /// Returns `true` when the attribute values changed.
+    pub fn force_replace(&mut self, label: u16, row: Arc<Mib>) -> bool {
+        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+            Ok(i) => {
+                let changed = !row.same_attrs(&self.rows[i].1);
+                if changed {
+                    self.content_gen += 1;
+                }
+                self.rows[i].1 = row;
+                self.generation += 1;
+                changed
+            }
+            Err(i) => {
+                self.rows.insert(i, (label, row));
+                self.generation += 1;
+                self.content_gen += 1;
+                true
+            }
+        }
+    }
+
     /// Unconditionally removes the row for `label` (failure GC).
     /// Returns `true` when a row was removed.
     pub fn remove(&mut self, label: u16) -> bool {
@@ -299,6 +326,28 @@ mod tests {
         assert!(t.remove(1));
         assert!(!t.remove(1));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn force_replace_bypasses_stamp_fence() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        t.merge_row(3, row(10, 0));
+        let gen = t.generation();
+        // Same stamp, different attrs: merge_row refuses, force_replace wins.
+        let scrambled = Arc::new(MibBuilder::new().attr("t", -1i64).build(Stamp {
+            issued_us: 10,
+            version: 0,
+            origin: 0,
+        }));
+        assert!(!t.merge_row(3, Arc::clone(&scrambled)));
+        assert!(t.force_replace(3, scrambled));
+        assert_eq!(t.get(3).unwrap().get("t").unwrap().as_i64(), Some(-1));
+        assert!(t.generation() > gen, "forced replace must invalidate digest caches");
+        // Identical attrs report no value change but still bump generation.
+        let same = Arc::clone(t.get(3).unwrap());
+        let content = t.content_generation();
+        assert!(!t.force_replace(3, same));
+        assert_eq!(t.content_generation(), content);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Production-shaped workload schedules (experiment E17): the
+//! breaking-news flash crowd and sustained subscription churn.
+//!
+//! Both are *closed-form and deterministic* — each schedule is a pure
+//! function of its parameters, drawing no randomness — so the adversary
+//! experiments can hold the workload fixed while sweeping corruption, and
+//! the CI determinism gates can bit-diff whole runs.
+
+use simnet::{SimDuration, SimTime};
+
+/// A breaking-news flash crowd: publish spacing tightens linearly from
+/// `calm_spacing` down to `peak_spacing` over the first half of the burst
+/// and relaxes back over the second half — the ramp-crest-decay shape of
+/// a story breaking, crowding the wire, and cooling off.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdSpec {
+    /// When the first item publishes.
+    pub onset: SimTime,
+    /// Total items in the burst.
+    pub items: u32,
+    /// Inter-publish spacing at the edges of the burst.
+    pub calm_spacing: SimDuration,
+    /// Inter-publish spacing at the crest.
+    pub peak_spacing: SimDuration,
+}
+
+impl FlashCrowdSpec {
+    /// The E17 default: two dozen items, 20 s spacing at the edges
+    /// compressing to 2 s at the crest — a 10× rate spike.
+    pub fn breaking_news(onset: SimTime) -> Self {
+        FlashCrowdSpec {
+            onset,
+            items: 24,
+            calm_spacing: SimDuration::from_secs(20),
+            peak_spacing: SimDuration::from_secs(2),
+        }
+    }
+
+    /// The publish instants, strictly increasing, `items` long.
+    pub fn schedule(&self) -> Vec<SimTime> {
+        let n = u64::from(self.items);
+        let mut out = Vec::with_capacity(self.items as usize);
+        if n == 0 {
+            return out;
+        }
+        let calm = self.calm_spacing.as_micros();
+        let peak = self.peak_spacing.as_micros().min(calm);
+        // Gap k (between items k-1 and k) gets a spacing proportional to
+        // its distance from the crest gap, in integer microseconds.
+        let crest = n / 2;
+        // Largest crest distance any gap attains (gaps run 1..n), so the
+        // edge gaps land exactly on `calm_spacing`.
+        let reach = crest.saturating_sub(1).max(n.saturating_sub(1).saturating_sub(crest)).max(1);
+        let mut t = self.onset;
+        out.push(t);
+        for k in 1..n {
+            let d = crest.abs_diff(k);
+            let spacing = peak + (calm - peak) * d / reach;
+            t += SimDuration::from_micros(spacing.max(1));
+            out.push(t);
+        }
+        out
+    }
+
+    /// When the last item publishes (`onset` for an empty burst).
+    pub fn last_publish(&self) -> SimTime {
+        self.schedule().last().copied().unwrap_or(self.onset)
+    }
+}
+
+/// One step of a subscription-churn schedule: flip `subscriber` (an index
+/// into the driver's subscriber list) off or back on at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnFlip {
+    /// When the flip happens.
+    pub at: SimTime,
+    /// Index into the driver's subscriber list.
+    pub subscriber: u32,
+    /// True to (re-)subscribe, false to unsubscribe.
+    pub subscribe: bool,
+}
+
+/// Sustained subscription churn: every `period`, the next subscriber in
+/// round-robin order unsubscribes, staying gone for `off_for` before
+/// re-subscribing. Every departure is paired with a return — possibly
+/// after `end` — so a run that rides out the schedule finishes with the
+/// full subscriber population restored (what the delivery oracle expects).
+#[derive(Debug, Clone)]
+pub struct SubscriptionChurnSpec {
+    /// When churn starts.
+    pub start: SimTime,
+    /// No unsubscribes at or after this time (returns may land later).
+    pub end: SimTime,
+    /// Size of the subscriber list being churned over.
+    pub subscribers: u32,
+    /// One unsubscribe per `period`, round-robin.
+    pub period: SimDuration,
+    /// How long each churner stays unsubscribed.
+    pub off_for: SimDuration,
+}
+
+impl SubscriptionChurnSpec {
+    /// The E17 default: one departure every 5 s, each gone for 15 s — at
+    /// steady state three subscribers are always missing and the Bloom
+    /// summaries up the tree never stop moving.
+    pub fn sustained(start: SimTime, end: SimTime, subscribers: u32) -> Self {
+        SubscriptionChurnSpec {
+            start,
+            end,
+            subscribers,
+            period: SimDuration::from_secs(5),
+            off_for: SimDuration::from_secs(15),
+        }
+    }
+
+    /// The flips, sorted by time (departures before returns on a tie).
+    pub fn schedule(&self) -> Vec<ChurnFlip> {
+        let mut out = Vec::new();
+        if self.subscribers == 0 {
+            return out;
+        }
+        let mut t = self.start;
+        let mut i = 0u32;
+        while t < self.end {
+            out.push(ChurnFlip { at: t, subscriber: i % self.subscribers, subscribe: false });
+            out.push(ChurnFlip {
+                at: t + self.off_for,
+                subscriber: i % self.subscribers,
+                subscribe: true,
+            });
+            i += 1;
+            t += self.period;
+        }
+        out.sort_by_key(|f| (f.at, f.subscribe, f.subscriber));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_crowd_ramps_to_the_crest_and_back() {
+        let spec = FlashCrowdSpec::breaking_news(SimTime::from_secs(100));
+        let times = spec.schedule();
+        assert_eq!(times.len(), 24);
+        assert_eq!(times[0], SimTime::from_secs(100));
+        let gaps: Vec<u64> =
+            times.windows(2).map(|w| w[1].as_micros() - w[0].as_micros()).collect();
+        // Strictly increasing times, spacing tightening into the crest and
+        // relaxing after it.
+        assert!(gaps.iter().all(|&g| g > 0));
+        let crest = gaps.iter().enumerate().min_by_key(|&(_, g)| g).unwrap().0;
+        assert!(gaps[..crest].windows(2).all(|w| w[0] >= w[1]), "ramp in tightens");
+        assert!(gaps[crest..].windows(2).all(|w| w[0] <= w[1]), "ramp out relaxes");
+        assert_eq!(*gaps.iter().min().unwrap(), spec.peak_spacing.as_micros());
+        assert_eq!(*gaps.iter().max().unwrap(), spec.calm_spacing.as_micros());
+        assert_eq!(spec.last_publish(), *times.last().unwrap());
+    }
+
+    #[test]
+    fn flash_crowd_schedule_is_deterministic_and_total() {
+        let spec = FlashCrowdSpec::breaking_news(SimTime::from_secs(7));
+        assert_eq!(spec.schedule(), spec.schedule());
+        // Degenerate shapes stay well-formed.
+        let one = FlashCrowdSpec { items: 1, ..spec.clone() };
+        assert_eq!(one.schedule(), vec![SimTime::from_secs(7)]);
+        let none = FlashCrowdSpec { items: 0, ..spec };
+        assert!(none.schedule().is_empty());
+    }
+
+    #[test]
+    fn churn_pairs_every_departure_with_a_later_return() {
+        let spec =
+            SubscriptionChurnSpec::sustained(SimTime::from_secs(60), SimTime::from_secs(120), 8);
+        let flips = spec.schedule();
+        assert_eq!(flips, spec.schedule(), "schedule is deterministic");
+        let departures: Vec<&ChurnFlip> = flips.iter().filter(|f| !f.subscribe).collect();
+        let returns: Vec<&ChurnFlip> = flips.iter().filter(|f| f.subscribe).collect();
+        assert_eq!(departures.len(), 12, "one per period across the window");
+        assert_eq!(departures.len(), returns.len(), "everyone comes back");
+        for d in &departures {
+            assert!(d.at < spec.end, "no departures past the window");
+            assert!(
+                returns.iter().any(|r| r.subscriber == d.subscriber && r.at > d.at),
+                "subscriber {} never returns",
+                d.subscriber
+            );
+        }
+        // Round-robin: the first `subscribers` departures cover everyone.
+        let first: Vec<u32> = departures.iter().take(8).map(|f| f.subscriber).collect();
+        assert_eq!(first, (0..8).collect::<Vec<_>>());
+        // Sorted by time.
+        assert!(flips.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

@@ -13,13 +13,18 @@
 //!   (E4).
 //! * Centralized push — a [`WebServer`] with `push_subscribers`, paying
 //!   O(N) per story (experiment E2's upper line).
+//! * [`FlashCrowdSpec`] / [`SubscriptionChurnSpec`] — production-shaped
+//!   workload schedules (the breaking-news flash crowd and sustained
+//!   subscription churn) driving the adversary experiment (E17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flashcrowd;
 mod frontpage;
 mod web;
 
+pub use flashcrowd::{ChurnFlip, FlashCrowdSpec, SubscriptionChurnSpec};
 pub use frontpage::{simulate_polling, FrontPage, RedundancyReport};
 pub use web::{
     AttackClient, ClientStats, FetchMode, ServerStats, WebClient, WebMsg, WebNode, WebServer,

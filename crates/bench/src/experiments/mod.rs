@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E16). Each module reproduces one quantitative
+//! The experiment suite (E1–E17). Each module reproduces one quantitative
 //! claim of the paper; DESIGN.md §3 is the index, EXPERIMENTS.md records
 //! paper-vs-measured.
 
@@ -18,6 +18,7 @@ pub mod e12_gossip_cost;
 pub mod e13_chaos;
 pub mod e14_partition;
 pub mod e16_recovery;
+pub mod e17_adversary;
 
 pub(crate) mod support {
     //! Shared deployment builders for the experiments.

@@ -90,6 +90,14 @@ pub struct NewsWireConfig {
     /// every gossip round, and deployments that only ever freeze-restart
     /// (the legacy fault model) get nothing for it.
     pub durable_state: bool,
+    /// State-corruption defenses: structural validation of gossiped zone
+    /// rows at ingest, a periodic self-audit that re-derives this node's
+    /// own advertisements from ground truth and scrubs rows that cannot be
+    /// honest, and an epoch fence that refuses log-epoch adoption beyond
+    /// the consensus of the node's peers. On by default — the defenses are
+    /// deterministic and cost one table sweep per few gossip rounds; E17
+    /// runs the ablation with them off.
+    pub defenses: bool,
 }
 
 impl NewsWireConfig {
@@ -113,6 +121,7 @@ impl NewsWireConfig {
             repair_reply_timeout: Some(SimDuration::from_secs(3)),
             anti_entropy: true,
             durable_state: false,
+            defenses: true,
         }
     }
 

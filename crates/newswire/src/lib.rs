@@ -67,7 +67,7 @@ pub use config::{NewsWireConfig, SubscriptionModel};
 pub use deploy::{tech_news_deployment, Deployment, DeploymentBuilder, PublisherSpec};
 pub use flow::TokenBucket;
 pub use node::{DeliveryRecord, NewsWireNode, NodeStats, PublisherState, AE_ATTR_PREFIX};
-pub use oracle::{check_invariants, OracleReport, Violation};
+pub use oracle::{check_invariants, self_stabilized, OracleReport, StabilizationReport, Violation};
 pub use subscription::{item_position_groups, ItemRow, Subscription};
 pub use wire::{msg_id_of, Envelope, NewsWireMsg};
 

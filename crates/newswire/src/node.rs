@@ -17,14 +17,16 @@ use amcast::{
     route, zone_reps, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
     ForwardingQueues, LogRecord, RangeSummary, SeqLog,
 };
-use astrolabe::{Agent, TrustRegistry, ZoneId};
+use astrolabe::{Agent, AttrValue, GossipMsg, Mib, TrustRegistry, ZoneId};
+use filters::BitArray;
 use newsml::{ItemId, NewsItem, PublisherId};
 use obs::{ctr, gauge, kind, series, Layer};
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use simnet::{
-    Context, Node, NodeId, PhiAccrualDetector, PhiConfig, RestartMode, SimDuration, SimTime,
-    TimerId,
+    Context, CorruptionOp, LiarAction, LiarMode, Node, NodeId, PhiAccrualDetector, PhiConfig,
+    RestartMode, SimDuration, SimTime, TimerId,
 };
 
 use crate::auth::{verify_item, PublisherCredential};
@@ -166,6 +168,13 @@ const DISK_KEY_STATE: &str = "state";
 /// Gossip ticks between fsyncs of the `state` record.
 const STATE_FSYNC_TICKS: u64 = 4;
 
+/// Gossip ticks between self-audit sweeps when defenses are on: scrub
+/// structurally corrupt zone rows, re-derive the own subscription
+/// advertisement from ground truth, and fence article logs back to the
+/// neighbour-consensus epoch. Every few rounds rather than every round —
+/// the audit is a full-table sweep plus a Bloom re-render.
+const SELF_AUDIT_TICKS: u64 = 5;
+
 /// One outstanding reconcile request awaiting its `ReconcileReply`.
 #[derive(Debug)]
 struct PendingReconcile {
@@ -251,9 +260,10 @@ pub struct NewsWireNode {
 
 impl NewsWireNode {
     /// Creates a subscriber node.
-    pub fn new(agent: Agent, cfg: NewsWireConfig, registry: Arc<TrustRegistry>) -> Self {
+    pub fn new(mut agent: Agent, cfg: NewsWireConfig, registry: Arc<TrustRegistry>) -> Self {
         let strategy = cfg.strategy;
         let cache = MessageCache::new(cfg.cache);
+        agent.set_ingest_validation(cfg.defenses);
         NewsWireNode {
             agent,
             cfg,
@@ -1085,9 +1095,21 @@ impl NewsWireNode {
         let now = ctx.now();
         self.stats.reconcile_items_recv += items.len() as u64;
         obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_ITEMS_RECV, items.len());
+        // Epoch fence: adopting a newer epoch wipes this log, and a reply
+        // summary is a single peer's unverified claim — the contagion vector
+        // for fabricated epochs. With defenses on, adoption beyond the
+        // neighbour-consensus epoch is refused; a genuine publisher restart
+        // reaches consensus within a round or two and is then adopted.
+        let cur_epoch = self.article_logs.get(&publisher).map_or(0, |l| l.epoch());
+        let fenced = summary.epoch > cur_epoch
+            && self.cfg.defenses
+            && matches!(self.consensus_epoch(publisher), Some(ce) if summary.epoch > ce);
+        if fenced {
+            obs::metric_add!(self.agent.id(), ctr::CORRUPT_ROWS_REJECTED, 1);
+        }
         let log =
             self.article_logs.entry(publisher).or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
-        if summary.epoch > log.epoch() {
+        if summary.epoch > log.epoch() && !fenced {
             log.adopt_epoch(summary.epoch);
         }
         for item in items {
@@ -1123,6 +1145,92 @@ impl NewsWireNode {
     fn absorb_incarnation_bumps(&mut self) {
         for peer in self.agent.take_incarnation_bumps() {
             self.peer_health.remove(&peer);
+        }
+    }
+
+    /// The epoch most of this node's leaf neighbours advertise for
+    /// `publisher` in their gossiped `sys$ae:` digests — the reference the
+    /// epoch fence trusts. A genuine publisher restart reaches every
+    /// neighbour within a gossip round or two, so the mode tracks honest
+    /// epoch bumps; a fabricated epoch stays a minority of one. Ties break
+    /// *low* (never fence up to a contested epoch). `None` when no
+    /// neighbour advertises a digest. This is corruption tolerance under a
+    /// majority-honest leaf zone, not Byzantine agreement — a colluding
+    /// majority defeats it (see DESIGN §11).
+    fn consensus_epoch(&self, publisher: PublisherId) -> Option<u32> {
+        let attr = format!("{AE_ATTR_PREFIX}{}", publisher.0);
+        let own = self.agent.own_label(0);
+        let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+        for (label, row) in self.agent.table(0).iter() {
+            if label == own {
+                continue;
+            }
+            let summary = row.get(&attr).and_then(|v| v.as_str()).and_then(RangeSummary::decode);
+            if let Some(s) = summary {
+                *counts.entry(s.epoch).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().max_by_key(|&(epoch, n)| (n, std::cmp::Reverse(epoch))).map(|(e, _)| e)
+    }
+
+    /// The subscription summary attributes this node *should* advertise,
+    /// re-derived from the [`Subscription`] ground truth — the self-audit
+    /// compares these against what is actually installed in the MIB row.
+    fn derived_sub_attrs(&self) -> Vec<(String, AttrValue)> {
+        match self.cfg.model {
+            SubscriptionModel::Bloom { bits, hashes } => {
+                vec![("subs".to_owned(), AttrValue::from(self.subscription.to_bloom(bits, hashes)))]
+            }
+            SubscriptionModel::CategoryMask => self
+                .subscription
+                .publishers
+                .iter()
+                .map(|(p, _)| {
+                    let mask = self.subscription.mask_for(*p).0 as i64;
+                    (self.cfg.model.attr_for(*p), AttrValue::Int(mask))
+                })
+                .collect(),
+        }
+    }
+
+    /// Periodic self-audit, the repair half of the corruption defenses
+    /// (the ingest validator is the rejection half). Three sweeps, each
+    /// against ground truth the adversary cannot reach: scrub held zone
+    /// rows that cannot be structurally honest, re-install the subscription
+    /// advertisement when it diverged from the `subscription` object, and
+    /// rebuild any article log claiming an epoch beyond what this node's
+    /// neighbours agree on (rebuilt from cached items at the consensus
+    /// epoch; honest holes refill through ordinary reconciliation). A
+    /// healthy node audits to zero — the sweep itself never perturbs
+    /// converged state, which is what keeps defenses-on runs bit-identical
+    /// across same-seed replays.
+    fn self_audit(&mut self, now: SimTime) {
+        self.agent.scrub(now);
+        let mut repairs = 0u64;
+        for (attr, want) in self.derived_sub_attrs() {
+            if self.agent.local_attr(&attr) != Some(&want) {
+                self.agent.set_local_attr(&attr, want);
+                repairs += 1;
+                obs::trace_event!(self.agent.id(), Layer::Astro, kind::SELF_AUDIT_REPAIR, 2, 1);
+            }
+        }
+        let publishers: Vec<PublisherId> = self.article_logs.keys().copied().collect();
+        for publisher in publishers {
+            let Some(ce) = self.consensus_epoch(publisher) else { continue };
+            if self.article_logs[&publisher].epoch() <= ce {
+                continue;
+            }
+            let mut rebuilt = SeqLog::new(ARTICLE_LOG_CAPACITY);
+            rebuilt.adopt_epoch(ce);
+            for item in self.cache.iter().filter(|i| i.id.publisher == publisher) {
+                rebuilt.insert(item.id.seq, ());
+            }
+            self.article_logs.insert(publisher, rebuilt);
+            repairs += 1;
+            obs::trace_event!(self.agent.id(), Layer::Astro, kind::SELF_AUDIT_REPAIR, 3, 1);
+        }
+        if repairs > 0 {
+            obs::metric_add!(self.agent.id(), ctr::SELF_AUDIT_REPAIRS, repairs);
         }
     }
 
@@ -1177,7 +1285,6 @@ impl NewsWireNode {
     /// window between write and fsync is exactly what the engine's
     /// `crash_unsynced_loss` knob destroys on crash.
     fn persist_state(&mut self, ctx: &mut Context<'_, NewsWireMsg>) {
-        self.gossip_ticks += 1;
         let fp = self.state_fingerprint();
         if fp != self.persisted_fingerprint {
             let blob = persist::encode_state(&self.durable_state());
@@ -1412,8 +1519,14 @@ impl Node for NewsWireNode {
                 // around busy nodes (paper §5).
                 let load = self.load_bias + self.queues.len() as f64;
                 self.agent.set_local_attr("load", load);
-                self.publish_ae_digests();
                 let now = ctx.now();
+                self.gossip_ticks += 1;
+                // Audit before digests and the agent tick, so repaired
+                // state is what this round advertises and gossips.
+                if self.cfg.defenses && self.gossip_ticks.is_multiple_of(SELF_AUDIT_TICKS) {
+                    self.self_audit(now);
+                }
+                self.publish_ae_digests();
                 let out = self.agent.on_tick(now, ctx.rng());
                 for (to, g) in out {
                     ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
@@ -1659,6 +1772,153 @@ impl Node for NewsWireNode {
             ctx.set_timer(repair, REPAIR_TIMER);
         }
     }
+
+    fn apply_corruption(&mut self, op: &CorruptionOp, rng: &mut SmallRng) -> u64 {
+        match *op {
+            CorruptionOp::ZoneRows { rows } => {
+                // Two prongs. First: scramble this node's own subscription
+                // advertisement — poison that propagates upward under
+                // perfectly legitimate stamps until the self-audit
+                // re-derives it from the subscription object.
+                let mut hit = 0u64;
+                for (attr, want) in self.derived_sub_attrs() {
+                    let zeroed = match want {
+                        AttrValue::Bits(b) => AttrValue::from(BitArray::new(b.len())),
+                        _ => AttrValue::Int(0),
+                    };
+                    self.agent.set_local_attr(&attr, zeroed);
+                    hit += 1;
+                }
+                // Second: scramble held replicas in place, stamps kept —
+                // corruption digest-driven anti-entropy cannot see.
+                hit + self.agent.corrupt_rows(rng, rows)
+            }
+            CorruptionOp::LogEpoch { entries } => {
+                // Poison one article log with a fabricated newer epoch plus
+                // phantom coverage. The next digest publication advertises
+                // it; with defenses off the fake epoch spreads by reconcile
+                // contagion (every absorber adopts and wipes its log).
+                let publishers: Vec<PublisherId> = self.article_logs.keys().copied().collect();
+                let Some(&publisher) = publishers.as_slice().choose(rng) else { return 0 };
+                let log = self.article_logs.get_mut(&publisher).expect("key just listed");
+                let fake = log.epoch() + 1;
+                log.adopt_epoch(fake);
+                for seq in 0..u64::from(entries) {
+                    log.insert(seq, ());
+                }
+                u64::from(entries) + 1
+            }
+            // Torn disk bytes are flipped by the engine (`Disk::corrupt`)
+            // without consulting the node.
+            CorruptionOp::DiskBytes { .. } => 0,
+        }
+    }
+
+    fn tamper_outbound(
+        &mut self,
+        _to: NodeId,
+        msg: &mut NewsWireMsg,
+        mode: LiarMode,
+        _rng: &mut SmallRng,
+    ) -> LiarAction {
+        match mode {
+            // A lying representative mis-aggregates: the subscription
+            // summaries in every row it gossips are zeroed (under the
+            // rows' legitimate stamps), steering forwarding away from the
+            // subtrees those rows summarize.
+            LiarMode::MisSummarize => tamper_gossip_rows(msg, mis_summarized),
+            // A lying forwarder silently swallows the news itself while
+            // staying a lively, cooperative gossip participant.
+            LiarMode::SelectiveDrop => match msg {
+                NewsWireMsg::Forward { .. } | NewsWireMsg::Deliver { .. } => LiarAction::Dropped,
+                _ => LiarAction::Pass,
+            },
+            // A liar re-advertising empty anti-entropy digests: peers never
+            // select it as a reconcile source and reconciliation pressure
+            // shifts onto the honest rest of the zone.
+            LiarMode::StaleDigest => tamper_gossip_rows(msg, stale_digested),
+        }
+    }
+}
+
+/// Applies a per-row tampering function to every row batch of an outbound
+/// gossip message. Returns `Tampered` when any row was rewritten.
+fn tamper_gossip_rows(msg: &mut NewsWireMsg, lie: impl Fn(&Mib) -> Option<Arc<Mib>>) -> LiarAction {
+    let NewsWireMsg::Gossip(g) = msg else { return LiarAction::Pass };
+    let batches = match g {
+        GossipMsg::DigestReply { rows, .. } | GossipMsg::Rows { rows } => rows,
+        GossipMsg::Digest { .. } => return LiarAction::Pass,
+    };
+    let mut tampered = false;
+    for batch in batches.iter_mut() {
+        for (_, row) in batch.rows.iter_mut() {
+            if let Some(fake) = lie(row) {
+                *row = fake;
+                tampered = true;
+            }
+        }
+    }
+    if tampered {
+        LiarAction::Tampered
+    } else {
+        LiarAction::Pass
+    }
+}
+
+/// A mis-aggregated copy of `row`: subscription summaries (`subs` Bloom
+/// bits, `cats$` masks) zeroed, stamp kept — indistinguishable from the
+/// honest version by version vector. `None` when the row carries none.
+fn mis_summarized(row: &Mib) -> Option<Arc<Mib>> {
+    let mut changed = false;
+    let attrs = row
+        .attrs()
+        .iter()
+        .map(|(name, value)| {
+            let zero = if name.as_ref() == "subs" {
+                match value {
+                    AttrValue::Bits(b) if !b.is_zero() => {
+                        Some(AttrValue::from(BitArray::new(b.len())))
+                    }
+                    _ => None,
+                }
+            } else if name.starts_with("cats$") {
+                match value {
+                    AttrValue::Int(n) if *n != 0 => Some(AttrValue::Int(0)),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            match zero {
+                Some(z) => {
+                    changed = true;
+                    (Arc::clone(name), z)
+                }
+                None => (Arc::clone(name), value.clone()),
+            }
+        })
+        .collect();
+    changed.then(|| Arc::new(Mib::new(row.stamp, attrs)))
+}
+
+/// A stale-digest copy of `row`: every `sys$ae:` advertisement replaced
+/// with an empty-coverage summary, stamp kept. `None` when nothing to fake.
+fn stale_digested(row: &Mib) -> Option<Arc<Mib>> {
+    let empty = RangeSummary::default().encode();
+    let mut changed = false;
+    let attrs = row
+        .attrs()
+        .iter()
+        .map(|(name, value)| {
+            if name.starts_with(AE_ATTR_PREFIX) && value.as_str() != Some(empty.as_str()) {
+                changed = true;
+                (Arc::clone(name), AttrValue::Str(empty.clone()))
+            } else {
+                (Arc::clone(name), value.clone())
+            }
+        })
+        .collect();
+    changed.then(|| Arc::new(Mib::new(row.stamp, attrs)))
 }
 
 #[cfg(test)]
@@ -1941,5 +2201,101 @@ mod tests {
         assert_eq!(n.state_fingerprint(), fp);
         n.handle_delivery(now, tech_item(5), false);
         assert_ne!(n.state_fingerprint(), fp);
+    }
+
+    /// A malformed gossip batch — out-of-range label, future-dated stamp,
+    /// leaf row with no `id` — must neither panic nor silently merge when
+    /// defenses are on (the config default), and the same batch is what a
+    /// defenses-off node happily admits (the E17 ablation in miniature).
+    #[test]
+    fn defenses_reject_malformed_gossip_rows_at_ingest() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        use rand::SeedableRng;
+        let stamp = |t: u64, o: u32| Stamp { issued_us: t, version: 1, origin: o };
+        let malformed = |zone: astrolabe::ZoneId| GossipMsg::Rows {
+            rows: vec![TableRows {
+                zone,
+                rows: vec![
+                    (200, Arc::new(MibBuilder::new().attr("id", 2i64).build(stamp(1_000_000, 2)))),
+                    (2, Arc::new(MibBuilder::new().attr("id", 2i64).build(stamp(999_000_000, 2)))),
+                    (
+                        3,
+                        Arc::new(MibBuilder::new().attr("load", 0.5f64).build(stamp(1_000_000, 3))),
+                    ),
+                ],
+            }],
+        };
+        let now = SimTime::from_secs(1);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+
+        let mut n = node_with(NewsWireConfig::tech_news());
+        assert!(n.cfg.defenses, "defenses are the default");
+        let held = n.agent.table(0).len();
+        n.agent.on_message(now, 2, malformed(n.agent.chain()[0].clone()), &mut rng);
+        assert_eq!(n.agent.table(0).len(), held, "malformed rows must not merge");
+
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.defenses = false;
+        let mut open = node_with(cfg);
+        open.agent.on_message(now, 2, malformed(open.agent.chain()[0].clone()), &mut rng);
+        assert!(open.agent.table(0).len() > held, "defenses off admits the poison");
+    }
+
+    /// The self-audit's epoch fence: an article log poisoned with a
+    /// fabricated newer epoch (plus phantom coverage) is rebuilt at the
+    /// epoch this node's leaf neighbours agree on, re-seeded from the
+    /// item cache — and a healthy log is left untouched.
+    #[test]
+    fn self_audit_rebuilds_log_poisoned_beyond_consensus_epoch() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        use rand::SeedableRng;
+        use simnet::CorruptionOp;
+        let mut n = node_with(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(5);
+        for seq in 0..3u64 {
+            n.handle_delivery(now, tech_item(seq), false);
+        }
+        // Two leaf neighbours advertise epoch-0 digests: the consensus.
+        let digest = RangeSummary::default().encode();
+        let rows: Vec<(u16, Arc<Mib>)> = [2u16, 3]
+            .iter()
+            .map(|&l| {
+                let row = MibBuilder::new()
+                    .attr("id", i64::from(l))
+                    .attr(format!("{AE_ATTR_PREFIX}0"), digest.clone())
+                    .build(Stamp { issued_us: now.as_micros(), version: 1, origin: u32::from(l) });
+                (l, Arc::new(row))
+            })
+            .collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let msg =
+            GossipMsg::Rows { rows: vec![TableRows { zone: n.agent.chain()[0].clone(), rows }] };
+        n.agent.on_message(now, 2, msg, &mut rng);
+
+        // A healthy audit is a no-op: same epoch, same coverage.
+        n.self_audit(now);
+        assert_eq!(n.article_logs[&PublisherId(0)].epoch(), 0);
+        assert!(n.article_logs[&PublisherId(0)].contains(2));
+
+        // The adversary fabricates a newer epoch plus phantom coverage…
+        let hit = simnet::Node::apply_corruption(
+            &mut n,
+            &CorruptionOp::LogEpoch { entries: 4 },
+            &mut rng,
+        );
+        assert!(hit > 0, "corruption must land");
+        assert_eq!(n.article_logs[&PublisherId(0)].epoch(), 1);
+
+        // …and the audit fences it back to the neighbours' consensus,
+        // rebuilt from the cache: the three delivered items are present,
+        // the phantom fourth is gone.
+        n.self_audit(now);
+        let log = &n.article_logs[&PublisherId(0)];
+        assert_eq!(log.epoch(), 0, "fenced back to the consensus epoch");
+        for seq in 0..3u64 {
+            assert!(log.contains(seq), "cached item {seq} re-seeded");
+        }
+        assert!(!log.contains(3), "phantom coverage dropped by the rebuild");
     }
 }

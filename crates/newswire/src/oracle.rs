@@ -152,6 +152,16 @@ pub fn check_invariants(
         let e = max_seq.entry(item.id.publisher).or_insert(item.id.seq);
         *e = (*e).max(item.id.seq);
     }
+    // The authoritative log epoch per publisher: whatever the publisher's
+    // own node holds. A fabricated epoch that spread by reconciliation
+    // contagion leaves subscribers sequencing a history the publisher
+    // never started — coverage can look hole-free at the fake epoch, so
+    // convergence must also mean epoch agreement with the authority.
+    let authority_epoch: HashMap<newsml::PublisherId, u32> = deployment
+        .publishers
+        .iter()
+        .map(|&(p, nid)| (p, deployment.sim.node(nid).article_log(p).map_or(0, |log| log.epoch())))
+        .collect();
     let mut report = OracleReport {
         items_checked: items.len(),
         exempt_nodes: exempt.len(),
@@ -207,7 +217,12 @@ pub fn check_invariants(
                         .push(Violation { node: node_id, item: ItemId::new(publisher, 0) });
                 }
                 Some(log) => {
-                    if let Some(&(lo, _)) = log.gaps().first() {
+                    if authority_epoch.get(&publisher).is_some_and(|&e| e != log.epoch()) {
+                        report.unconverged_logs.push(Violation {
+                            node: node_id,
+                            item: ItemId::new(publisher, u64::from(log.epoch())),
+                        });
+                    } else if let Some(&(lo, _)) = log.gaps().first() {
                         report
                             .unconverged_logs
                             .push(Violation { node: node_id, item: ItemId::new(publisher, lo) });
@@ -237,4 +252,74 @@ pub fn check_invariants(
         g.ctr_add(ctr::ORACLE_UNCONVERGED_LOGS, report.unconverged_logs.len() as u64);
     }
     report
+}
+
+/// The verdict of [`self_stabilized`]: whether every invariant was restored
+/// within the allotted number of gossip rounds after a corruption window.
+#[derive(Debug, Clone)]
+pub struct StabilizationReport {
+    /// True when all invariants held (and logs converged) within budget.
+    pub stabilized: bool,
+    /// Gossip rounds actually stepped before the verdict (0 if the system
+    /// was already clean when called).
+    pub rounds_used: u32,
+    /// The round budget the caller allowed.
+    pub rounds_budget: u32,
+    /// The oracle report from the final round checked.
+    pub report: OracleReport,
+}
+
+impl fmt::Display for StabilizationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "self-stabilization: {} in {}/{} gossip rounds",
+            if self.stabilized { "RESTORED" } else { "NOT RESTORED" },
+            self.rounds_used,
+            self.rounds_budget,
+        )?;
+        self.report.fmt(f)
+    }
+}
+
+/// The self-stabilization oracle: steps the deployment one gossip round at
+/// a time — call it *after* every corruption/liar window has closed — until
+/// the three invariants hold and all article logs have converged, or
+/// `within_rounds` rounds elapse.
+///
+/// A round is one Astrolabe gossip interval of simulated time; the verdict
+/// is recorded in the global metric set (`oracle_stabilization_runs`) and
+/// as a `self_stabilized` trace event (`a` = rounds used, `b` = 1 when
+/// stabilized) so drained telemetry carries it.
+pub fn self_stabilized(
+    deployment: &mut Deployment,
+    items: &[NewsItem],
+    exempt: &BTreeSet<NodeId>,
+    within_rounds: u32,
+) -> StabilizationReport {
+    let interval = deployment.config.astrolabe.gossip_interval;
+    let mut rounds_used = 0u32;
+    let mut report = check_invariants(deployment, items, exempt);
+    while rounds_used < within_rounds && !(report.holds() && report.converged()) {
+        let deadline = deployment.sim.now() + interval;
+        deployment.sim.run_until(deadline);
+        rounds_used += 1;
+        report = check_invariants(deployment, items, exempt);
+    }
+    let stabilized = report.holds() && report.converged();
+    if obs::ENABLED {
+        let now_us = deployment.sim.now().as_micros();
+        let hub = deployment.sim.telemetry();
+        let mut hub = hub.borrow_mut();
+        hub.global_mut().ctr_add(obs::ctr::ORACLE_STABILIZATION_RUNS, 1);
+        hub.trace_at(
+            now_us,
+            u32::MAX,
+            obs::Layer::News,
+            obs::kind::SELF_STABILIZED,
+            rounds_used as u64,
+            stabilized as u64,
+        );
+    }
+    StabilizationReport { stabilized, rounds_used, rounds_budget: within_rounds, report }
 }

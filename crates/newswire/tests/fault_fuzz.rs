@@ -68,6 +68,8 @@ fn plan_for(seed: u64) -> FaultPlan {
             reorder_prob: 0.25,
             reorder_jitter: SimDuration::from_millis(40),
         }],
+        corruption: vec![],
+        liars: vec![],
     }
 }
 

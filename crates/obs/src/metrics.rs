@@ -174,6 +174,17 @@ pub mod ctr {
         NW_RECOVERIES = 62, "nw_recoveries";
         /// Items re-acquired from peers while a node was recovering.
         NW_BACKFILL_ITEMS = 63, "nw_backfill_items";
+        // -- adversarial faults + self-stabilization --
+        /// State-corruption strikes executed by the fault engine.
+        STATE_CORRUPTIONS = 64, "state_corruptions";
+        /// Gossip rows rejected by defensive ingest validation.
+        CORRUPT_ROWS_REJECTED = 65, "corrupt_rows_rejected";
+        /// Divergences repaired by the periodic local-state self-audit.
+        SELF_AUDIT_REPAIRS = 66, "self_audit_repairs";
+        /// Outbound messages tampered with or dropped by a liar intercept.
+        LIAR_MESSAGES_INTERCEPTED = 67, "liar_messages_intercepted";
+        /// Self-stabilization verdicts recorded by the oracle.
+        ORACLE_STABILIZATION_RUNS = 68, "oracle_stabilization_runs";
     }
 }
 
@@ -540,6 +551,8 @@ mod tests {
         assert_eq!(s.counter_name(ctr::MSGS_SENT), "msgs_sent");
         assert_eq!(s.counter_name(ctr::ORACLE_UNCONVERGED_LOGS), "oracle_unconverged_logs");
         assert_eq!(s.counter_name(ctr::NW_BACKFILL_ITEMS), "nw_backfill_items");
+        assert_eq!(s.counter_name(ctr::CORRUPT_ROWS_REJECTED), "corrupt_rows_rejected");
+        assert_eq!(s.counter_name(ctr::LIAR_MESSAGES_INTERCEPTED), "liar_messages_intercepted");
         assert_eq!(s.gauge_name(gauge::ASTRO_ROWS_HELD), "astro_rows_held");
         assert_eq!(s.hist_def(hist::GOSSIP_DIGEST_BYTES).name, "gossip_digest_bytes");
         assert_eq!(s.series_name(series::DELIVERY_LATENCY_US), "delivery_latency_us");

@@ -58,6 +58,12 @@ pub mod kind {
     /// lost to crashes so far). Emitted *in addition to* [`NODE_RECOVER`],
     /// which fires for every recovery regardless of mode.
     pub const NODE_RESTART: u8 = 7;
+    /// A state-corruption strike hit the node (`a` = corruption op
+    /// discriminant, `b` = units corrupted — rows, entries, or bit flips).
+    pub const STATE_CORRUPT: u8 = 8;
+    /// An outbound message was intercepted by a liar behavior
+    /// (`a` = destination, `b` = 1 if tampered, 2 if dropped).
+    pub const LIAR_INTERCEPT: u8 = 9;
 
     /// One gossip round executed (`a` = rows held, `b` = digests sent).
     pub const GOSSIP_ROUND: u8 = 16;
@@ -73,6 +79,12 @@ pub mod kind {
     /// `b` = the incarnation number). Stale-incarnation fencing and φ reset
     /// key off this observation.
     pub const INCARNATION_BUMP: u8 = 21;
+    /// Defensive ingest validation rejected a gossip row (`a` = zone level,
+    /// `b` = row label).
+    pub const CORRUPT_ROW_REJECT: u8 = 22;
+    /// The periodic self-audit repaired diverged local state (`a` = repair
+    /// site code, `b` = units repaired).
+    pub const SELF_AUDIT_REPAIR: u8 = 23;
 
     /// A multicast message hopped down the tree (`a` = next hop, `b` = key).
     pub const MCAST_HOP: u8 = 32;
@@ -114,6 +126,9 @@ pub mod kind {
     /// hole-free again (`a` = recovery duration in µs, `b` = items
     /// backfilled from peers since the restart).
     pub const NW_RECOVERY_DONE: u8 = 61;
+    /// The oracle ruled on self-stabilization (`a` = rounds used,
+    /// `b` = 1 if every invariant was restored within the budget).
+    pub const SELF_STABILIZED: u8 = 62;
 
     /// Stable lowercase name of a kind (used in exports).
     pub fn name(k: u8) -> &'static str {
@@ -125,12 +140,16 @@ pub mod kind {
             PARTITION_START => "partition_start",
             PARTITION_HEAL => "partition_heal",
             NODE_RESTART => "node_restart",
+            STATE_CORRUPT => "state_corrupt",
+            LIAR_INTERCEPT => "liar_intercept",
             GOSSIP_ROUND => "gossip_round",
             GOSSIP_DIGEST => "gossip_digest",
             GOSSIP_DIFF => "gossip_diff",
             GOSSIP_MERGE => "gossip_merge",
             PHI_SUSPECT => "phi_suspect",
             INCARNATION_BUMP => "incarnation_bump",
+            CORRUPT_ROW_REJECT => "corrupt_row_reject",
+            SELF_AUDIT_REPAIR => "self_audit_repair",
             MCAST_HOP => "mcast_hop",
             MCAST_DELIVER_LOCAL => "mcast_deliver_local",
             NW_PUBLISH => "nw_publish",
@@ -147,6 +166,7 @@ pub mod kind {
             SUB_PROPAGATE => "sub_propagate",
             NW_RECOVERY_START => "nw_recovery_start",
             NW_RECOVERY_DONE => "nw_recovery_done",
+            SELF_STABILIZED => "self_stabilized",
             _ => "unknown",
         }
     }

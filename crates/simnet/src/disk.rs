@@ -121,6 +121,35 @@ impl Disk {
         lost
     }
 
+    /// Flips `flips` random bits across the stored values — torn state, the
+    /// adversarial complement of [`Disk::crash`]'s *lost* state. Buffered
+    /// writes are torn too (the page cache is memory like any other).
+    /// Deterministic for a given `rng` state: targets are drawn over the
+    /// `BTreeMap`'s stable iteration order. Returns how many bits were
+    /// actually flipped (zero on an empty disk).
+    pub fn corrupt(&mut self, rng: &mut rand::rngs::SmallRng, flips: u32) -> u64 {
+        use rand::Rng;
+        let mut targets: Vec<&mut Vec<u8>> = self
+            .durable
+            .values_mut()
+            .chain(self.pending.iter_mut().map(|(_, v)| v))
+            .filter(|v| !v.is_empty())
+            .collect();
+        if targets.is_empty() {
+            return 0;
+        }
+        let mut flipped = 0u64;
+        for _ in 0..flips {
+            let t = rng.gen_range(0..targets.len());
+            let buf = &mut targets[t];
+            let byte = rng.gen_range(0..buf.len());
+            let bit = rng.gen_range(0..8u8);
+            buf[byte] ^= 1 << bit;
+            flipped += 1;
+        }
+        flipped
+    }
+
     /// Erases everything — durable area, buffer, and counters stay; the
     /// data is gone (the `ColdAmnesia` model).
     pub fn wipe(&mut self) {
@@ -221,6 +250,28 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.read("k"), None);
         assert_eq!(d.read("l"), None);
+    }
+
+    #[test]
+    fn corrupt_flips_bits_deterministically() {
+        let build = || {
+            let mut d = Disk::new();
+            d.write("a", vec![0u8; 16]);
+            d.fsync();
+            d.write("b", vec![0u8; 16]);
+            d
+        };
+        let (mut d1, mut d2) = (build(), build());
+        let mut r1 = crate::rng::fork(7, 3);
+        let mut r2 = crate::rng::fork(7, 3);
+        assert_eq!(d1.corrupt(&mut r1, 5), 5);
+        assert_eq!(d2.corrupt(&mut r2, 5), 5);
+        assert_eq!(d1.read("a"), d2.read("a"), "same rng, same torn bytes");
+        assert_eq!(d1.read("b"), d2.read("b"));
+        let torn = d1.read("a") != Some(&[0u8; 16][..]) || d1.read("b") != Some(&[0u8; 16][..]);
+        assert!(torn, "five flips must tear something");
+        // An empty disk has nothing to tear.
+        assert_eq!(Disk::new().corrupt(&mut r1, 3), 0);
     }
 
     #[test]

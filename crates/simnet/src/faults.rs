@@ -41,8 +41,10 @@
 
 use std::collections::BTreeSet;
 
+use rand::Rng;
+
 use crate::disk::RestartMode;
-use crate::node::{Node, NodeId};
+use crate::node::{CorruptionOp, LiarBehavior, Node, NodeId};
 use crate::rng::{exp_sample, fork};
 use crate::sim::Simulation;
 use crate::time::{SimDuration, SimTime};
@@ -135,6 +137,40 @@ pub struct MessageChaosSpec {
     pub reorder_jitter: SimDuration,
 }
 
+/// A Poisson process of adversarial state-corruption strikes over a set of
+/// nodes: within `[start, end)`, each node is struck at exponentially
+/// distributed intervals, each strike applying `op` to its live state (or
+/// its disk, for [`CorruptionOp::DiskBytes`]). Every strike carries its own
+/// seed drawn from the plan-expansion stream, so the schedule *and* the
+/// damage replay bit-for-bit for a given `(seed, plan)` pair.
+#[derive(Debug, Clone)]
+pub struct CorruptionSpec {
+    /// Nodes subjected to corruption strikes.
+    pub nodes: Vec<NodeId>,
+    /// When the corruption window opens.
+    pub start: SimTime,
+    /// When it closes (no strikes at or after this time).
+    pub end: SimTime,
+    /// Mean seconds between strikes against one node.
+    pub mean_interval_secs: f64,
+    /// What each strike does.
+    pub op: CorruptionOp,
+}
+
+/// A liar window: the nodes run their outbound traffic through the
+/// protocol's `tamper_outbound` interceptor for the duration.
+#[derive(Debug, Clone)]
+pub struct LiarSpec {
+    /// Nodes that lie.
+    pub nodes: Vec<NodeId>,
+    /// When the lying starts.
+    pub start: SimTime,
+    /// When it stops; `None` leaves the behavior installed forever.
+    pub end: Option<SimTime>,
+    /// What the lie does and how often.
+    pub behavior: LiarBehavior,
+}
+
 /// A declarative, seeded schedule of faults.
 ///
 /// Build one with struct-update syntax over [`FaultPlan::default`], then
@@ -155,6 +191,10 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionSpec>,
     /// Duplication/reordering windows.
     pub message_chaos: Vec<MessageChaosSpec>,
+    /// Adversarial state-corruption processes.
+    pub corruption: Vec<CorruptionSpec>,
+    /// Liar windows.
+    pub liars: Vec<LiarSpec>,
 }
 
 impl FaultPlan {
@@ -167,6 +207,16 @@ impl FaultPlan {
     /// Every node any brownout degrades.
     pub fn grayed_nodes(&self) -> BTreeSet<NodeId> {
         self.gray.iter().flat_map(|g| g.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any corruption process may strike.
+    pub fn corrupted_nodes(&self) -> BTreeSet<NodeId> {
+        self.corruption.iter().flat_map(|c| c.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any liar window covers.
+    pub fn liar_nodes(&self) -> BTreeSet<NodeId> {
+        self.liars.iter().flat_map(|l| l.nodes.iter().copied()).collect()
     }
 }
 
@@ -233,6 +283,33 @@ impl<N: Node> Simulation<N> {
                 self.schedule_reorder(end, 0.0, SimDuration::ZERO);
             }
         }
+        for spec in &plan.corruption {
+            assert!(
+                spec.mean_interval_secs > 0.0,
+                "corruption spec needs a positive mean interval"
+            );
+            let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+            for &node in &spec.nodes {
+                let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                    + exp_sample(&mut rng, spec.mean_interval_secs);
+                while t < end {
+                    let strike_seed: u64 = rng.gen();
+                    self.schedule_corruption(at_secs(t), node, spec.op, strike_seed);
+                    t += exp_sample(&mut rng, spec.mean_interval_secs);
+                }
+            }
+        }
+        for spec in &plan.liars {
+            if let Some(end) = spec.end {
+                assert!(spec.start < end, "liar window must end after it starts");
+            }
+            for &node in &spec.nodes {
+                self.schedule_liar(spec.start, node, Some(spec.behavior));
+                if let Some(end) = spec.end {
+                    self.schedule_liar(end, node, None);
+                }
+            }
+        }
     }
 }
 
@@ -243,9 +320,10 @@ fn at_secs(secs: f64) -> SimTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Context;
     use crate::node::TimerId;
+    use crate::node::{Context, LiarAction, LiarMode};
     use crate::topology::NetworkModel;
+    use rand::rngs::SmallRng;
 
     struct Echo {
         seen: u32,
@@ -257,6 +335,156 @@ mod tests {
             self.seen += 1;
         }
         fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _t: TimerId, _tag: u64) {}
+    }
+
+    /// A chatty node that records exactly what the adversary did to it:
+    /// every corruption draw, every tampered byte it received.
+    struct Chatty {
+        peer: NodeId,
+        draws: Vec<u64>,
+        got: Vec<u8>,
+    }
+    impl Node for Chatty {
+        type Msg = Vec<u8>;
+        fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Vec<u8>>, _from: NodeId, m: Vec<u8>) {
+            self.got.push(m[0]);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, Vec<u8>>, _t: TimerId, _tag: u64) {
+            ctx.send(self.peer, vec![7]);
+            ctx.set_timer(SimDuration::from_secs(1), 0);
+        }
+        fn apply_corruption(&mut self, op: &CorruptionOp, rng: &mut SmallRng) -> u64 {
+            if let CorruptionOp::ZoneRows { rows } = op {
+                for _ in 0..*rows {
+                    self.draws.push(rng.gen());
+                }
+                u64::from(*rows)
+            } else {
+                0
+            }
+        }
+        fn tamper_outbound(
+            &mut self,
+            _to: NodeId,
+            msg: &mut Vec<u8>,
+            mode: LiarMode,
+            rng: &mut SmallRng,
+        ) -> LiarAction {
+            match mode {
+                LiarMode::MisSummarize => {
+                    msg[0] = rng.gen();
+                    LiarAction::Tampered
+                }
+                LiarMode::SelectiveDrop => LiarAction::Dropped,
+                LiarMode::StaleDigest => LiarAction::Pass,
+            }
+        }
+    }
+
+    fn chatty_pair(seed: u64, plan: &FaultPlan) -> Simulation<Chatty> {
+        let mut sim = Simulation::new(NetworkModel::default(), seed);
+        let a = sim.add_node(Chatty { peer: NodeId(1), draws: Vec::new(), got: Vec::new() });
+        let b = sim.add_node(Chatty { peer: NodeId(0), draws: Vec::new(), got: Vec::new() });
+        assert_eq!((a, b), (NodeId(0), NodeId(1)));
+        sim.apply_fault_plan(plan);
+        sim.run_until(SimTime::from_secs(40));
+        sim
+    }
+
+    #[test]
+    fn corruption_spec_schedule_is_seed_deterministic() {
+        let plan = FaultPlan {
+            salt: 0xBAD,
+            corruption: vec![CorruptionSpec {
+                nodes: vec![NodeId(0), NodeId(1)],
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(30),
+                mean_interval_secs: 4.0,
+                op: CorruptionOp::ZoneRows { rows: 3 },
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(11, &plan);
+        let s2 = chatty_pair(11, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.state_corruptions > 0, "the window must actually strike");
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical fault counters");
+        for n in [NodeId(0), NodeId(1)] {
+            assert_eq!(
+                s1.node(n).draws,
+                s2.node(n).draws,
+                "same seed ⇒ identical corruption draws on {n}"
+            );
+        }
+        assert!(!s1.node(NodeId(0)).draws.is_empty() || !s1.node(NodeId(1)).draws.is_empty());
+        // A different salt draws a different schedule.
+        let s3 = chatty_pair(11, &FaultPlan { salt: 0xF00D, ..plan.clone() });
+        assert_ne!(
+            (s1.node(NodeId(0)).draws.clone(), s1.node(NodeId(1)).draws.clone()),
+            (s3.node(NodeId(0)).draws.clone(), s3.node(NodeId(1)).draws.clone()),
+            "salt must re-randomize the schedule"
+        );
+    }
+
+    #[test]
+    fn liar_spec_windows_and_determinism() {
+        let plan = FaultPlan {
+            salt: 0x11A2,
+            liars: vec![LiarSpec {
+                nodes: vec![NodeId(0)],
+                start: SimTime::from_secs(5),
+                end: Some(SimTime::from_secs(20)),
+                behavior: LiarBehavior { mode: LiarMode::SelectiveDrop, prob: 1.0 },
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(13, &plan);
+        let s2 = chatty_pair(13, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.liar_intercepts > 0, "the liar must intercept inside its window");
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical intercepts");
+        assert_eq!(s1.node(NodeId(1)).got, s2.node(NodeId(1)).got);
+        // Messages sent outside the window still flow: ~39 ticks minus the
+        // 15-second drop window must leave plenty delivered.
+        assert!(!s1.node(NodeId(1)).got.is_empty(), "traffic outside the liar window must survive");
+        // Tampering (as opposed to dropping) rewrites payloads in place.
+        let tamper_plan = FaultPlan {
+            salt: 0x11A2,
+            liars: vec![LiarSpec {
+                nodes: vec![NodeId(0)],
+                start: SimTime::from_secs(5),
+                end: None,
+                behavior: LiarBehavior { mode: LiarMode::MisSummarize, prob: 1.0 },
+            }],
+            ..FaultPlan::default()
+        };
+        let s4 = chatty_pair(13, &tamper_plan);
+        assert!(
+            s4.node(NodeId(1)).got.iter().any(|&b| b != 7),
+            "a mis-summarizing liar must corrupt payloads on the wire"
+        );
+        assert_eq!(
+            s4.fault_counters().liar_intercepts,
+            chatty_pair(13, &tamper_plan).fault_counters().liar_intercepts
+        );
+    }
+
+    #[test]
+    fn inert_adversary_layer_draws_nothing() {
+        // A plan with no corruption or liars must leave the run identical
+        // to one never touched by the adversary machinery at all.
+        let empty = FaultPlan::default();
+        let s1 = chatty_pair(17, &empty);
+        let mut s2 = Simulation::new(NetworkModel::default(), 17);
+        s2.add_node(Chatty { peer: NodeId(1), draws: Vec::new(), got: Vec::new() });
+        s2.add_node(Chatty { peer: NodeId(0), draws: Vec::new(), got: Vec::new() });
+        s2.run_until(SimTime::from_secs(40));
+        assert_eq!(s1.node(NodeId(1)).got, s2.node(NodeId(1)).got);
+        assert_eq!(s1.fault_counters().state_corruptions, 0);
+        assert_eq!(s1.fault_counters().liar_intercepts, 0);
     }
 
     #[test]

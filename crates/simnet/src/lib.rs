@@ -69,8 +69,13 @@ mod time;
 mod topology;
 
 pub use disk::{Disk, RestartMode};
-pub use faults::{ChurnSpec, FaultPlan, GraySpec, LinkCutSpec, MessageChaosSpec, PartitionSpec};
-pub use node::{Context, Node, NodeId, Payload, TimerId};
+pub use faults::{
+    ChurnSpec, CorruptionSpec, FaultPlan, GraySpec, LiarSpec, LinkCutSpec, MessageChaosSpec,
+    PartitionSpec,
+};
+pub use node::{
+    Context, CorruptionOp, LiarAction, LiarBehavior, LiarMode, Node, NodeId, Payload, TimerId,
+};
 pub use obs::{Telemetry, TelemetryHub};
 pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use rng::{exp_sample, fork, splitmix64};

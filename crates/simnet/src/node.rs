@@ -43,6 +43,98 @@ impl From<u32> for NodeId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerId(pub(crate) u64);
 
+/// One flavor of adversarial state corruption the fault engine can inflict
+/// on a node (see `CorruptionSpec`). The engine handles [`DiskBytes`]
+/// itself (it owns the disks); the in-memory flavors are dispatched to the
+/// protocol through [`Node::apply_corruption`], so the engine stays generic
+/// over what a node's state looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionOp {
+    /// Scramble live membership/aggregation state: subscription summary
+    /// attributes in the node's own MIB row plus up to `rows` held zone-table
+    /// rows (stamps preserved, so gossip's stamp-diff repair is blind to it).
+    ZoneRows {
+        /// Held rows to scramble.
+        rows: u32,
+    },
+    /// Corrupt a sequenced log: bump its epoch past the legitimate one and
+    /// insert `entries` phantom entries (state the node never actually saw).
+    LogEpoch {
+        /// Phantom entries to insert.
+        entries: u32,
+    },
+    /// Flip `flips` random bits across the node's fsynced disk records
+    /// (torn state — complements the crash model's *lost* state).
+    DiskBytes {
+        /// Bits to flip.
+        flips: u32,
+    },
+}
+
+impl CorruptionOp {
+    /// Stable discriminant for traces.
+    pub fn discriminant(self) -> u64 {
+        match self {
+            CorruptionOp::ZoneRows { .. } => 1,
+            CorruptionOp::LogEpoch { .. } => 2,
+            CorruptionOp::DiskBytes { .. } => 3,
+        }
+    }
+
+    /// Stable lowercase name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptionOp::ZoneRows { .. } => "zone_rows",
+            CorruptionOp::LogEpoch { .. } => "log_epoch",
+            CorruptionOp::DiskBytes { .. } => "disk_bytes",
+        }
+    }
+}
+
+/// What a lying node does to its own outbound traffic (see `LiarSpec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiarMode {
+    /// Mis-aggregate: rewrite subscription summaries (Bloom bits, category
+    /// masks) in outbound gossip rows to wrong values.
+    MisSummarize,
+    /// Selectively drop outbound payload messages by subject.
+    SelectiveDrop,
+    /// Re-advertise stale anti-entropy digests (claim to know nothing).
+    StaleDigest,
+}
+
+impl LiarMode {
+    /// Stable lowercase name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LiarMode::MisSummarize => "mis_summarize",
+            LiarMode::SelectiveDrop => "selective_drop",
+            LiarMode::StaleDigest => "stale_digest",
+        }
+    }
+}
+
+/// A liar assignment: the mode plus the per-message probability that an
+/// outbound message is intercepted while the behavior is installed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiarBehavior {
+    /// What the lie does.
+    pub mode: LiarMode,
+    /// Probability an outbound message is run through the interceptor.
+    pub prob: f64,
+}
+
+/// Outcome of a liar intercept, reported by [`Node::tamper_outbound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiarAction {
+    /// The message was not touched (the lie does not apply to it).
+    Pass,
+    /// The message was modified in place and should still be routed.
+    Tampered,
+    /// The message must be silently dropped.
+    Dropped,
+}
+
 /// Messages must report their wire size so the engine can account bandwidth.
 ///
 /// Implementations should return the approximate serialized size; the engine
@@ -128,6 +220,38 @@ pub trait Node {
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>, mode: RestartMode) {
         let _ = mode;
         self.on_recover(ctx);
+    }
+
+    /// Invoked when a scheduled in-memory corruption strike hits this node
+    /// (see `CorruptionSpec`). The implementation scrambles its own live
+    /// state as `op` directs, drawing any randomness it needs from `rng`
+    /// (a stream private to the strike — never the node's protocol RNG).
+    /// Returns how many units (rows, entries) were actually corrupted.
+    ///
+    /// The default ignores the strike: protocols that predate the
+    /// adversarial fault layer are simply immune.
+    fn apply_corruption(&mut self, op: &CorruptionOp, rng: &mut SmallRng) -> u64 {
+        let _ = (op, rng);
+        0
+    }
+
+    /// Invoked for each outbound message selected for interception while a
+    /// liar behavior is installed on this node (see `LiarSpec`). The
+    /// implementation may rewrite `msg` in place ([`LiarAction::Tampered`]),
+    /// ask for it to be silently dropped ([`LiarAction::Dropped`]), or leave
+    /// it alone ([`LiarAction::Pass`]). `rng` is the engine's dedicated liar
+    /// stream.
+    ///
+    /// The default never lies.
+    fn tamper_outbound(
+        &mut self,
+        to: NodeId,
+        msg: &mut Self::Msg,
+        mode: LiarMode,
+        rng: &mut SmallRng,
+    ) -> LiarAction {
+        let _ = (to, msg, mode, rng);
+        LiarAction::Pass
     }
 }
 

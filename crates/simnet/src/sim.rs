@@ -13,7 +13,9 @@ use obs::{ctr, kind, Layer, Telemetry, TelemetryHub};
 use rand::rngs::SmallRng;
 
 use crate::disk::{Disk, RestartMode};
-use crate::node::{Context, Effect, Node, NodeId, Payload, TimerId};
+use crate::node::{
+    Context, CorruptionOp, Effect, LiarAction, LiarBehavior, Node, NodeId, Payload, TimerId,
+};
 use crate::rng::fork;
 use crate::stats::{FaultCounters, TrafficCounters};
 use crate::time::{SimDuration, SimTime};
@@ -30,6 +32,11 @@ fn drop_cause_code(cause: DropCause) -> u64 {
         DropCause::GrayRecv => 4,
     }
 }
+
+/// Stream tag for the engine's dedicated liar RNG: interception draws must
+/// never touch the node or network streams, so an inert liar layer leaves
+/// every legacy run bit-identical.
+const LIAR_STREAM: u64 = 0x11A2_11A2_11A2_11A2;
 
 /// The registry slot a [`DropCause`] tallies into (on the global set).
 fn drop_cause_slot(cause: DropCause) -> obs::CtrId {
@@ -53,6 +60,8 @@ enum EventKind<M> {
     SetLink { from: NodeId, to: NodeId, cut: bool },
     SetDupProb(f64),
     SetReorder { prob: f64, jitter: SimDuration },
+    Corrupt { node: NodeId, op: CorruptionOp, seed: u64 },
+    SetLiar(NodeId, Option<LiarBehavior>),
 }
 
 struct QueuedEvent<M> {
@@ -137,6 +146,12 @@ pub struct Simulation<N: Node> {
     seed: u64,
     events_processed: u64,
     peak_queue: usize,
+    /// Liar behaviors currently installed, by node id (see `LiarSpec`).
+    liars: HashMap<u32, LiarBehavior>,
+    /// Dedicated RNG stream for liar interception decisions. Only drawn
+    /// from while a liar behavior is installed, so configuring no liars
+    /// leaves every other stream — and thus the whole run — untouched.
+    liar_rng: SmallRng,
 }
 
 impl<N: Node> std::fmt::Debug for Simulation<N> {
@@ -173,6 +188,8 @@ impl<N: Node> Simulation<N> {
             seed,
             events_processed: 0,
             peak_queue: 0,
+            liars: HashMap::new(),
+            liar_rng: fork(seed, LIAR_STREAM),
         }
     }
 
@@ -198,6 +215,8 @@ impl<N: Node> Simulation<N> {
             recoveries: g.ctr(ctr::RECOVERIES),
             partitions_started: g.ctr(ctr::PARTITIONS_STARTED),
             partitions_healed: g.ctr(ctr::PARTITIONS_HEALED),
+            state_corruptions: g.ctr(ctr::STATE_CORRUPTIONS),
+            liar_intercepts: g.ctr(ctr::LIAR_MESSAGES_INTERCEPTED),
         }
     }
 
@@ -452,6 +471,35 @@ impl<N: Node> Simulation<N> {
         self.push(at, EventKind::SetDropProb(p));
     }
 
+    /// Schedules an adversarial state-corruption strike against `node` at
+    /// `at`. `seed` feeds the strike's private RNG stream (forked with the
+    /// node id at dispatch), so a schedule of strikes replays bit-for-bit
+    /// and never perturbs protocol randomness. Strikes against a crashed
+    /// node are silently skipped — there is no state to corrupt.
+    pub fn schedule_corruption(&mut self, at: SimTime, node: NodeId, op: CorruptionOp, seed: u64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_corruption: node {node} out of range (have {})",
+            self.nodes.len()
+        );
+        self.push(at, EventKind::Corrupt { node, op, seed });
+    }
+
+    /// Schedules the installation (`Some`) or removal (`None`) of a liar
+    /// behavior on `node` at `at`. While installed, the node's outbound
+    /// messages are run through [`Node::tamper_outbound`] with the given
+    /// per-message probability.
+    pub fn schedule_liar(&mut self, at: SimTime, node: NodeId, behavior: Option<LiarBehavior>) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_liar: node {node} out of range (have {})",
+            self.nodes.len()
+        );
+        self.push(at, EventKind::SetLiar(node, behavior));
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -495,7 +543,39 @@ impl<N: Node> Simulation<N> {
         }
         for eff in effects {
             match eff {
-                Effect::Send { to, msg } => {
+                Effect::Send { to, mut msg } => {
+                    // Liar interception sits at the node boundary: the
+                    // protocol built an honest message; an installed liar
+                    // behavior may rewrite or swallow it on the way out.
+                    if let Some(b) = self.liars.get(&id.0).copied() {
+                        use rand::Rng;
+                        if self.liar_rng.gen::<f64>() < b.prob {
+                            let action = self.nodes[id.index()].tamper_outbound(
+                                to,
+                                &mut msg,
+                                b.mode,
+                                &mut self.liar_rng,
+                            );
+                            if action != LiarAction::Pass {
+                                let mut hub = self.hub.borrow_mut();
+                                hub.global_mut().ctr_add(ctr::LIAR_MESSAGES_INTERCEPTED, 1);
+                                if obs::ENABLED {
+                                    let what = if action == LiarAction::Tampered { 1 } else { 2 };
+                                    hub.trace_at(
+                                        self.now.as_micros(),
+                                        id.0,
+                                        Layer::Sim,
+                                        kind::LIAR_INTERCEPT,
+                                        u64::from(to.0),
+                                        what,
+                                    );
+                                }
+                            }
+                            if action == LiarAction::Dropped {
+                                continue;
+                            }
+                        }
+                    }
                     let size = msg.wire_size();
                     {
                         let mut hub = self.hub.borrow_mut();
@@ -726,6 +806,42 @@ impl<N: Node> Simulation<N> {
                 self.net.reorder_prob = prob;
                 self.net.reorder_jitter = jitter;
             }
+            EventKind::Corrupt { node, op, seed } => {
+                let idx = node.index();
+                if !self.down[idx] {
+                    // Each strike carries its own seed: the RNG handed to
+                    // the node (or disk) is private to this event, so the
+                    // strike schedule and the damage it does replay
+                    // bit-for-bit regardless of what else the run contains.
+                    let mut rng = fork(seed, u64::from(node.0));
+                    let units = match op {
+                        CorruptionOp::DiskBytes { flips } => {
+                            self.disks[idx].corrupt(&mut rng, flips)
+                        }
+                        _ => self.nodes[idx].apply_corruption(&op, &mut rng),
+                    };
+                    let mut hub = self.hub.borrow_mut();
+                    hub.global_mut().ctr_add(ctr::STATE_CORRUPTIONS, 1);
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            node.0,
+                            Layer::Sim,
+                            kind::STATE_CORRUPT,
+                            op.discriminant(),
+                            units,
+                        );
+                    }
+                }
+            }
+            EventKind::SetLiar(node, behavior) => match behavior {
+                Some(b) => {
+                    self.liars.insert(node.0, b);
+                }
+                None => {
+                    self.liars.remove(&node.0);
+                }
+            },
         }
         true
     }

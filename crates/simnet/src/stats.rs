@@ -65,6 +65,10 @@ pub struct FaultCounters {
     pub partitions_started: u64,
     /// Partition changes that removed the active assignment (heals).
     pub partitions_healed: u64,
+    /// Adversarial state-corruption strikes executed against live nodes.
+    pub state_corruptions: u64,
+    /// Outbound messages tampered with or dropped by liar interception.
+    pub liar_intercepts: u64,
 }
 
 impl FaultCounters {
@@ -90,6 +94,8 @@ impl FaultCounters {
         self.recoveries += other.recoveries;
         self.partitions_started += other.partitions_started;
         self.partitions_healed += other.partitions_healed;
+        self.state_corruptions += other.state_corruptions;
+        self.liar_intercepts += other.liar_intercepts;
     }
 }
 

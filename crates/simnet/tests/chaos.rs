@@ -99,6 +99,7 @@ fn stress_plan(n: u32) -> FaultPlan {
             reorder_prob: 0.10,
             reorder_jitter: SimDuration::from_millis(250),
         }],
+        ..FaultPlan::default()
     }
 }
 

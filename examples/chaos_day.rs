@@ -60,6 +60,7 @@ fn main() {
             reorder_prob: 0.10,
             reorder_jitter: SimDuration::from_millis(25),
         }],
+        ..FaultPlan::default()
     };
     d.sim.apply_fault_plan(&plan);
     println!(

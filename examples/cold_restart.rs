@@ -69,6 +69,7 @@ fn main() {
         link_cuts: vec![],
         partitions: vec![],
         message_chaos: vec![],
+        ..FaultPlan::default()
     };
     d.sim.apply_fault_plan(&plan);
     println!(

@@ -117,6 +117,7 @@ fn same_seed_cold_restart_run_drains_identical_telemetry() {
             link_cuts: vec![],
             partitions: vec![],
             message_chaos: vec![],
+            ..FaultPlan::default()
         });
         for seq in 0..6u64 {
             let item = NewsItem::builder(PublisherId(0), seq)
@@ -133,6 +134,81 @@ fn same_seed_cold_restart_run_drains_identical_telemetry() {
     let (jb, cb) = cold_run(0xC0DE);
     assert_eq!(ja, jb, "same-seed cold-restart telemetry JSON diverged");
     assert_eq!(ca, cb, "same-seed cold-restart trace CSV diverged");
+}
+
+/// An adversary run — corruption strikes, a liar window, the
+/// self-stabilization verdict — replays bit-for-bit: strike expansion,
+/// per-strike RNG forks, liar interception and the defenses (ingest
+/// validation, self-audit, epoch fence) draw no nondeterminism. This is
+/// the property the CI determinism matrix pins for the `adversary_day`
+/// example.
+#[test]
+fn same_seed_adversary_run_drains_identical_telemetry() {
+    use newswire::self_stabilized;
+    use simnet::{CorruptionOp, CorruptionSpec, LiarBehavior, LiarMode, LiarSpec};
+
+    fn adversary_run(seed: u64) -> (String, String) {
+        let mut d = tech_news_deployment(40, seed);
+        d.settle(60);
+        d.sim.apply_fault_plan(&FaultPlan {
+            salt: 0xAD,
+            corruption: vec![
+                CorruptionSpec {
+                    nodes: vec![NodeId(4), NodeId(19)],
+                    start: SimTime::from_secs(65),
+                    end: SimTime::from_secs(95),
+                    mean_interval_secs: 5.0,
+                    op: CorruptionOp::ZoneRows { rows: 2 },
+                },
+                CorruptionSpec {
+                    nodes: vec![NodeId(9)],
+                    start: SimTime::from_secs(65),
+                    end: SimTime::from_secs(95),
+                    mean_interval_secs: 9.0,
+                    op: CorruptionOp::LogEpoch { entries: 3 },
+                },
+            ],
+            liars: vec![LiarSpec {
+                nodes: vec![NodeId(14)],
+                start: SimTime::from_secs(65),
+                end: Some(SimTime::from_secs(95)),
+                behavior: LiarBehavior { mode: LiarMode::MisSummarize, prob: 1.0 },
+            }],
+            ..FaultPlan::default()
+        });
+        let items: Vec<NewsItem> = (0..6u64)
+            .map(|seq| {
+                NewsItem::builder(PublisherId(0), seq)
+                    .headline(format!("adversary determinism {seq}"))
+                    .category(Category::Technology)
+                    .build()
+            })
+            .collect();
+        for (i, item) in items.iter().enumerate() {
+            d.publish(SimTime::from_secs(66 + 5 * i as u64), item.clone());
+        }
+        d.settle(55); // rides out the corruption window to t=115
+        let verdict = self_stabilized(&mut d, &items, &std::collections::BTreeSet::new(), 30);
+        assert!(verdict.stabilized, "defenses-on adversary run must stabilize");
+        let t = d.sim.drain_telemetry();
+        (t.to_json(), t.events_csv())
+    }
+    let (ja, ca) = adversary_run(0xAD5);
+    let (jb, cb) = adversary_run(0xAD5);
+    assert_eq!(ja, jb, "same-seed adversary telemetry JSON diverged");
+    assert_eq!(ca, cb, "same-seed adversary trace CSV diverged");
+    // The adversary counters and the oracle verdict are part of the
+    // drained snapshot (slot coverage for the new instrumentation).
+    #[cfg(feature = "obs")]
+    for name in [
+        "state_corruptions",
+        "liar_messages_intercepted",
+        "corrupt_rows_rejected",
+        "self_audit_repairs",
+        "oracle_stabilization_runs",
+    ] {
+        assert!(ja.contains(name), "drained telemetry must carry `{name}`");
+    }
 }
 
 /// Draining is destructive: a second drain yields an empty snapshot, while
