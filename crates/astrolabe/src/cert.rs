@@ -146,6 +146,14 @@ impl TrustRegistry {
         let bytes = Certificate::canonical_bytes(&cert.subject, cert.key, &cert.claims);
         self.verify(self.ca.id, &bytes, cert.ca_sig)
     }
+
+    /// Verifies `sig` over `msg` under a certificate in one step: the
+    /// certificate must chain to the CA *and* the signature must verify
+    /// under the certificate's key. A valid signature paired with a forged
+    /// certificate (or vice versa) fails.
+    pub fn verify_with_certificate(&self, cert: &Certificate, msg: &[u8], sig: Signature) -> bool {
+        self.verify_certificate(cert) && self.verify(cert.key, msg, sig)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +202,20 @@ mod tests {
         let mut resubject = cert;
         resubject.subject = "publisher:mallory".into();
         assert!(!reg.verify_certificate(&resubject));
+    }
+
+    #[test]
+    fn verify_with_certificate_needs_both_halves() {
+        let mut reg = TrustRegistry::new(9);
+        let (cert, key) = reg.issue_certificate("publisher:reuters", vec![]);
+        let sig = key.sign(b"bulletin");
+        assert!(reg.verify_with_certificate(&cert, b"bulletin", sig));
+        assert!(!reg.verify_with_certificate(&cert, b"tampered", sig));
+        let mut forged = cert.clone();
+        forged.subject = "publisher:mallory".into();
+        assert!(!reg.verify_with_certificate(&forged, b"bulletin", sig));
+        let (other_cert, _) = reg.issue_certificate("publisher:other", vec![]);
+        assert!(!reg.verify_with_certificate(&other_cert, b"bulletin", sig));
     }
 
     #[test]

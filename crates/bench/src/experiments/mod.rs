@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E17). Each module reproduces one quantitative
+//! The experiment suite (E1–E18). Each module reproduces one quantitative
 //! claim of the paper; DESIGN.md §3 is the index, EXPERIMENTS.md records
 //! paper-vs-measured.
 
@@ -19,6 +19,7 @@ pub mod e13_chaos;
 pub mod e14_partition;
 pub mod e16_recovery;
 pub mod e17_adversary;
+pub mod e18_byzantine;
 
 pub(crate) mod support {
     //! Shared deployment builders for the experiments.

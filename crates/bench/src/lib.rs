@@ -20,12 +20,12 @@ mod table;
 pub use table::Table;
 
 /// Experiment ids in run order.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e16",
-    "e17", "a1",
+    "e17", "e18", "a1",
 ];
 
-/// Runs one experiment by id (`"e1"`…`"e17"`); `quick` shrinks problem
+/// Runs one experiment by id (`"e1"`…`"e18"`); `quick` shrinks problem
 /// sizes for smoke runs. Returns `false` for an unknown id.
 pub fn run(id: &str, quick: bool) -> bool {
     match id {
@@ -45,6 +45,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e14" => experiments::e14_partition::run(quick),
         "e16" => experiments::e16_recovery::run(quick),
         "e17" => experiments::e17_adversary::run(quick),
+        "e18" => experiments::e18_byzantine::run(quick),
         "a1" => experiments::a01_models::run(quick),
         _ => return false,
     }

@@ -45,6 +45,64 @@ fn item_bytes(item: &NewsItem) -> Vec<u8> {
     out
 }
 
+/// Canonical byte encoding of a signed epoch attestation (DESIGN §12): the
+/// publisher's statement "my log is at epoch `e`", which the epoch fence
+/// trusts over any unsigned neighbor consensus.
+fn epoch_bytes(publisher: PublisherId, epoch: u32) -> [u8; 10] {
+    let mut out = [0u8; 10];
+    out[..4].copy_from_slice(b"ep$\0");
+    out[4..6].copy_from_slice(&publisher.0.to_le_bytes());
+    out[6..].copy_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+/// A publisher-signed epoch attestation. Carried on every envelope a
+/// publisher emits and echoed in reconcile replies, so signed epoch
+/// authority reaches every node that has ever heard from the publisher —
+/// and a colluding zone majority voting a fabricated epoch has nothing to
+/// show for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochAttest {
+    /// The attesting publisher.
+    pub publisher: PublisherId,
+    /// The attested log epoch.
+    pub epoch: u32,
+    /// Signing key id.
+    pub key: KeyId,
+    /// Signature over the canonical `ep$` epoch byte encoding.
+    pub signature: Signature,
+}
+
+impl EpochAttest {
+    /// Simulated wire size: publisher + epoch + key + signature.
+    pub fn wire_size(&self) -> usize {
+        2 + 4 + 8 + 8
+    }
+}
+
+/// Verifies an epoch attestation against the publisher's known certificate.
+/// The certificate must be one already trusted for `attest.publisher` — an
+/// attacker cannot smuggle authority by pairing a fabricated attestation
+/// with its own (valid) certificate for a different publisher id.
+pub fn verify_epoch_attest(
+    registry: &TrustRegistry,
+    cert: &Certificate,
+    attest: &EpochAttest,
+) -> bool {
+    if cert.key != attest.key {
+        return false;
+    }
+    match cert.claim("publisher").and_then(|v| v.parse::<u16>().ok()) {
+        Some(p) if PublisherId(p) == attest.publisher => {}
+        _ => return false,
+    }
+    registry.verify_with_certificate(
+        cert,
+        &epoch_bytes(attest.publisher, attest.epoch),
+        attest.signature,
+    )
+}
+
 impl PublisherCredential {
     /// The publisher id bound into the certificate.
     ///
@@ -69,6 +127,17 @@ impl PublisherCredential {
     /// The key id forwarders verify against.
     pub fn key_id(&self) -> KeyId {
         self.key.id
+    }
+
+    /// Signs an epoch attestation for the publisher's current log epoch.
+    pub fn attest_epoch(&self, epoch: u32) -> EpochAttest {
+        let publisher = self.publisher();
+        EpochAttest {
+            publisher,
+            epoch,
+            key: self.key.id,
+            signature: self.key.sign(&epoch_bytes(publisher, epoch)),
+        }
     }
 }
 
@@ -118,6 +187,30 @@ pub fn verify_item(
         _ => return false,
     }
     registry.verify(key, &item_bytes(item), sig)
+}
+
+/// Verification for *bare* items — the cache-to-cache paths (repair
+/// replies, anti-entropy reconcile replies, joiner state transfer, stable
+/// storage restore) that ship items without an envelope. Same chain as
+/// [`verify_item`] minus the envelope-scope clause: a bare item carries no
+/// routing scope to check, and `dissemination_admits` independently
+/// re-checks the §8 `ds$scope` embedded in the item at every admission, so
+/// a bare item cannot launder itself out of zone.
+pub fn verify_bare_item(
+    registry: &TrustRegistry,
+    cert: &Certificate,
+    item: &NewsItem,
+    key: KeyId,
+    sig: Signature,
+) -> bool {
+    if cert.key != key {
+        return false;
+    }
+    match cert.claim("publisher").and_then(|v| v.parse::<u16>().ok()) {
+        Some(p) if PublisherId(p) == item.id.publisher => {}
+        _ => return false,
+    }
+    registry.verify_with_certificate(cert, &item_bytes(item), sig)
 }
 
 /// Parses the `/a/b` zone syntax used in certificate claims.
@@ -221,6 +314,47 @@ mod tests {
             cred.key_id(),
             sig
         ));
+    }
+
+    #[test]
+    fn bare_item_verification_ignores_scope_but_nothing_else() {
+        let mut reg = TrustRegistry::new(6);
+        let asia = ZoneId::root().child(2);
+        let cred = issue_publisher(&mut reg, PublisherId(4), "regional", &asia, 60);
+        let it = item();
+        let sig = cred.sign(&it);
+        // A bare item has no envelope scope to check…
+        assert!(verify_bare_item(&reg, &cred.certificate, &it, cred.key_id(), sig));
+        // …but tampering, key mismatch, and impersonation still fail.
+        let mut tampered = it.clone();
+        tampered.headline = "FORGED".into();
+        assert!(!verify_bare_item(&reg, &cred.certificate, &tampered, cred.key_id(), sig));
+        assert!(!verify_bare_item(&reg, &cred.certificate, &it, KeyId(0), sig));
+        let mallory = issue_publisher(&mut reg, PublisherId(9), "mallory", &ZoneId::root(), 60);
+        let msig = mallory.sign(&it);
+        assert!(!verify_bare_item(&reg, &mallory.certificate, &it, mallory.key_id(), msig));
+    }
+
+    #[test]
+    fn epoch_attest_roundtrip_and_forgery() {
+        let (reg, cred) = setup();
+        let attest = cred.attest_epoch(3);
+        assert_eq!(attest.publisher, PublisherId(4));
+        assert!(verify_epoch_attest(&reg, &cred.certificate, &attest));
+        // Raising the claimed epoch without re-signing fails.
+        let bumped = EpochAttest { epoch: 100, ..attest };
+        assert!(!verify_epoch_attest(&reg, &cred.certificate, &bumped));
+        // An attestation for publisher 4 cannot ride Mallory's certificate.
+        let mut reg2 = TrustRegistry::new(5);
+        let _ = issue_publisher(&mut reg2, PublisherId(4), "reuters", &ZoneId::root(), 600);
+        let mallory = issue_publisher(&mut reg2, PublisherId(9), "mallory", &ZoneId::root(), 600);
+        let forged = EpochAttest {
+            publisher: PublisherId(4),
+            epoch: 100,
+            key: mallory.key_id(),
+            signature: mallory.key.sign(&epoch_bytes(PublisherId(4), 100)),
+        };
+        assert!(!verify_epoch_attest(&reg2, &mallory.certificate, &forged));
     }
 
     #[test]

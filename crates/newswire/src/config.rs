@@ -98,6 +98,13 @@ pub struct NewsWireConfig {
     /// deterministic and cost one table sweep per few gossip rounds; E17
     /// runs the ablation with them off.
     pub defenses: bool,
+    /// Misbehavior score at which a peer is quarantined (DESIGN §12):
+    /// invalid signatures score 2, refused epoch-fence replies and digest
+    /// contradictions score 1 each, and a peer at or past this threshold is
+    /// treated as suspect for repair, reconciliation, and hand-off
+    /// failover until it restarts under a fresh incarnation. Only consulted
+    /// when `defenses` is on.
+    pub quarantine_threshold: u32,
 }
 
 impl NewsWireConfig {
@@ -122,6 +129,7 @@ impl NewsWireConfig {
             anti_entropy: true,
             durable_state: false,
             defenses: true,
+            quarantine_threshold: 3,
         }
     }
 

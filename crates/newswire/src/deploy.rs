@@ -132,6 +132,13 @@ impl DeploymentBuilder {
             ));
         }
         let registry = Arc::new(registry);
+        // Signed epoch authority (DESIGN §12): every node ships with the
+        // publishers' certificates and epoch-0 attestations pre-installed,
+        // the way a real deployment bakes trust anchors into the binary.
+        // Later epochs propagate via signed attestations on envelopes and
+        // reconcile replies.
+        let authority: Vec<_> =
+            creds.iter().map(|c| (c.certificate.clone(), c.attest_epoch(0))).collect();
 
         let publisher_ids: Vec<PublisherId> =
             self.publishers.iter().map(|s| s.profile.id).collect();
@@ -164,6 +171,9 @@ impl DeploymentBuilder {
                 (0..astro_cfg.contact_fanout).map(|_| contact_rng.gen_range(0..n)).collect();
             let agent = astrolabe::Agent::new(i, &layout, astro_cfg.clone(), contacts);
             let mut node = NewsWireNode::new(agent, self.config.clone(), Arc::clone(&registry));
+            for (cert, attest) in &authority {
+                node.install_publisher_authority(cert.clone(), *attest);
+            }
             if (i as usize) < self.publishers.len() {
                 let spec_idx = i as usize;
                 let spec = &self.publishers[spec_idx];
@@ -377,6 +387,9 @@ impl Deployment {
             t.cold_restarts += s.cold_restarts;
             t.recoveries_completed += s.recoveries_completed;
             t.recovery_backfill_items += s.recovery_backfill_items;
+            t.forged_rejects += s.forged_rejects;
+            t.signed_epoch_refusals += s.signed_epoch_refusals;
+            t.peers_quarantined += s.peers_quarantined;
             t.peak_queue = t.peak_queue.max(s.peak_queue);
         }
         t

@@ -61,15 +61,21 @@ mod wire;
 pub mod xmlrpc;
 
 pub use agents::{RssChannel, RssEntry, RssIngestAgent};
-pub use auth::{issue_publisher, verify_item, PublisherCredential};
+pub use auth::{
+    issue_publisher, verify_bare_item, verify_epoch_attest, verify_item, EpochAttest,
+    PublisherCredential,
+};
 pub use cache::{CacheOutcome, CachePolicy, MessageCache};
 pub use config::{NewsWireConfig, SubscriptionModel};
 pub use deploy::{tech_news_deployment, Deployment, DeploymentBuilder, PublisherSpec};
 pub use flow::TokenBucket;
 pub use node::{DeliveryRecord, NewsWireNode, NodeStats, PublisherState, AE_ATTR_PREFIX};
-pub use oracle::{check_invariants, self_stabilized, OracleReport, StabilizationReport, Violation};
+pub use oracle::{
+    check_invariants, collusion_breaking_point, self_stabilized, OracleReport, StabilizationReport,
+    Violation,
+};
 pub use subscription::{item_position_groups, ItemRow, Subscription};
-pub use wire::{msg_id_of, Envelope, NewsWireMsg};
+pub use wire::{msg_id_of, Envelope, NewsWireMsg, SignedItem};
 
 #[cfg(test)]
 mod proptests {

@@ -17,9 +17,11 @@ use amcast::{
     route, zone_reps, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
     ForwardingQueues, LogRecord, RangeSummary, SeqLog,
 };
-use astrolabe::{Agent, AttrValue, GossipMsg, Mib, TrustRegistry, ZoneId};
+use astrolabe::{
+    Agent, AttrValue, Certificate, GossipMsg, KeyId, Mib, Signature, TrustRegistry, ZoneId,
+};
 use filters::BitArray;
-use newsml::{ItemId, NewsItem, PublisherId};
+use newsml::{Category, ItemId, NewsItem, PublisherId};
 use obs::{ctr, gauge, kind, series, Layer};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -29,13 +31,15 @@ use simnet::{
     RestartMode, SimDuration, SimTime, TimerId,
 };
 
-use crate::auth::{verify_item, PublisherCredential};
+use crate::auth::{
+    verify_bare_item, verify_epoch_attest, verify_item, EpochAttest, PublisherCredential,
+};
 use crate::cache::{CacheOutcome, MessageCache};
 use crate::config::{NewsWireConfig, SubscriptionModel};
 use crate::flow::TokenBucket;
 use crate::persist;
 use crate::subscription::{item_position_groups, Subscription};
-use crate::wire::{msg_id_of, Envelope, NewsWireMsg};
+use crate::wire::{msg_id_of, Envelope, NewsWireMsg, SignedItem};
 
 /// Publisher-side state (present only on publisher nodes).
 #[derive(Debug)]
@@ -126,6 +130,16 @@ pub struct NodeStats {
     /// Items backfilled through repair/reconcile while recovering from a
     /// cold restart.
     pub recovery_backfill_items: u64,
+    /// Bare items (repair/reconcile/restore paths) refused because their
+    /// detached signature did not verify — forged or tampered content
+    /// stopped at the admission funnel (DESIGN §12).
+    pub forged_rejects: u64,
+    /// Epoch adoptions refused because the claimed epoch exceeded the
+    /// publisher's signed attestation.
+    pub signed_epoch_refusals: u64,
+    /// Peers quarantined after their misbehavior score crossed the
+    /// threshold.
+    pub peers_quarantined: u64,
 }
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
@@ -175,6 +189,17 @@ const STATE_FSYNC_TICKS: u64 = 4;
 /// the audit is a full-table sweep plus a Bloom re-render.
 const SELF_AUDIT_TICKS: u64 = 5;
 
+/// Misbehavior weight of an unverifiable signature (envelope or bare item)
+/// from a peer — the strongest evidence of lying, since honest relays never
+/// alter signed bytes.
+const MISBEHAVIOR_FORGED: u32 = 2;
+/// Misbehavior weight of a reply claiming an epoch beyond the publisher's
+/// signed attestation.
+const MISBEHAVIOR_FENCE: u32 = 1;
+/// Misbehavior weight of a digest contradiction: a peer whose gossiped
+/// digest advertised coverage for our holes replies with an empty log.
+const MISBEHAVIOR_CONTRADICTION: u32 = 1;
+
 /// One outstanding reconcile request awaiting its `ReconcileReply`.
 #[derive(Debug)]
 struct PendingReconcile {
@@ -184,6 +209,10 @@ struct PendingReconcile {
     ranges: Vec<(u64, u64)>,
     timer: TimerId,
     retargets: u32,
+    /// True when the peer was chosen because its *gossiped digest* vouched
+    /// coverage for our holes (as opposed to a blind cross-zone ask) — an
+    /// empty reply then contradicts the advertisement.
+    via_digest: bool,
 }
 
 /// One unacknowledged tree hand-off awaiting its `ForwardAck`.
@@ -256,6 +285,24 @@ pub struct NewsWireNode {
     /// Fingerprint of the last `state` snapshot written to disk; snapshots
     /// are skipped while the durable state has not moved.
     persisted_fingerprint: u64,
+    /// Last observed simulated time (updated on every message and timer);
+    /// what state-corruption strikes — which carry no clock — use to stamp
+    /// fabricated cache inserts.
+    clock: SimTime,
+    /// Certificates of known publishers: pre-installed at deployment build
+    /// (out-of-band trust distribution) and learned from verified
+    /// envelopes. What lets the bare-item paths verify without an envelope.
+    publisher_certs: HashMap<PublisherId, Certificate>,
+    /// Detached `(key, signature)` per cached item, recorded at admission
+    /// and served alongside bare items so receivers can verify in turn.
+    item_sigs: HashMap<ItemId, (KeyId, Signature)>,
+    /// Highest verified publisher-signed epoch attestation per publisher —
+    /// the authority the epoch fence trusts over neighbor consensus.
+    authority: HashMap<PublisherId, EpochAttest>,
+    /// Per-peer misbehavior score (invalid signatures, refused-fence
+    /// replies, digest contradictions). Crossing
+    /// `cfg.quarantine_threshold` quarantines the peer from selection.
+    misbehavior: HashMap<u32, u32>,
 }
 
 impl NewsWireNode {
@@ -290,6 +337,11 @@ impl NewsWireNode {
             backfill_this_recovery: 0,
             gossip_ticks: 0,
             persisted_fingerprint: 0,
+            clock: SimTime::ZERO,
+            publisher_certs: HashMap::new(),
+            item_sigs: HashMap::new(),
+            authority: HashMap::new(),
+            misbehavior: HashMap::new(),
         }
     }
 
@@ -304,6 +356,12 @@ impl NewsWireNode {
         rate_per_min: u32,
         burst: u32,
     ) -> Self {
+        // A publisher trusts itself: its own certificate and a fresh
+        // epoch-0 attestation anchor the signed-authority maps.
+        self.install_publisher_authority(
+            credential.certificate.clone(),
+            credential.attest_epoch(0),
+        );
         self.publisher = Some(PublisherState {
             credential,
             bucket: TokenBucket::new(rate_per_min, burst),
@@ -312,6 +370,36 @@ impl NewsWireNode {
             rate_limited: 0,
         });
         self
+    }
+
+    /// Pre-installs a publisher's certificate and signed epoch attestation
+    /// — the out-of-band trust distribution a real deployment performs
+    /// through its software package or directory service. With these in
+    /// place every bare-item admission can verify from the first message
+    /// and the epoch fence has signed authority from the start.
+    pub fn install_publisher_authority(&mut self, certificate: Certificate, attest: EpochAttest) {
+        self.publisher_certs.insert(attest.publisher, certificate);
+        self.absorb_attest(&attest);
+    }
+
+    /// Verifies and adopts a publisher-signed epoch attestation when it is
+    /// newer than the one held. Only a certificate already trusted for the
+    /// attesting publisher anchors the check — an attacker cannot smuggle
+    /// authority by pairing a fabricated attestation with its own (valid)
+    /// certificate for a different publisher id.
+    fn absorb_attest(&mut self, attest: &EpochAttest) {
+        if self.authority.get(&attest.publisher).is_some_and(|held| held.epoch >= attest.epoch) {
+            return;
+        }
+        let Some(cert) = self.publisher_certs.get(&attest.publisher) else { return };
+        if verify_epoch_attest(&self.registry, cert, attest) {
+            self.authority.insert(attest.publisher, *attest);
+        }
+    }
+
+    /// The publisher-signed authority epoch, when an attestation is held.
+    fn authority_epoch(&self, publisher: PublisherId) -> Option<u32> {
+        self.authority.get(&publisher).map(|a| a.epoch)
     }
 
     /// Publisher-side state, when this node is a publisher.
@@ -389,10 +477,47 @@ impl NewsWireNode {
             .heartbeat(now);
     }
 
-    /// True when the phi detector suspects `peer`. Unobserved peers are
-    /// unknown, not suspect.
+    /// True when the phi detector suspects `peer` — or the misbehavior
+    /// score has quarantined it. Folding quarantine in here covers every
+    /// selection path at once (repair peers, cross-zone peers, ack
+    /// failovers, reconcile sources). Unobserved peers are unknown, not
+    /// suspect.
     fn peer_suspect(&self, peer: u32, now: SimTime) -> bool {
-        self.peer_health.get(&peer).is_some_and(|d| d.is_suspect(now))
+        self.quarantined(peer) || self.peer_health.get(&peer).is_some_and(|d| d.is_suspect(now))
+    }
+
+    /// True when `peer`'s misbehavior score has crossed the quarantine
+    /// threshold (defenses on only).
+    fn quarantined(&self, peer: u32) -> bool {
+        self.cfg.defenses
+            && self.misbehavior.get(&peer).is_some_and(|&s| s >= self.cfg.quarantine_threshold)
+    }
+
+    /// Records a misbehavior strike against `peer`, tracing the quarantine
+    /// transition when the score crosses the threshold. Unlike phi
+    /// suspicion — which is about *silence* and decays as soon as the peer
+    /// talks again — misbehavior is about *lying* and only clears when the
+    /// peer restarts into a new incarnation.
+    fn note_misbehavior(&mut self, peer: NodeId, weight: u32) {
+        if peer == NodeId::EXTERNAL || !self.cfg.defenses {
+            return;
+        }
+        let threshold = self.cfg.quarantine_threshold;
+        let score = self.misbehavior.entry(peer.0).or_insert(0);
+        let before = *score;
+        *score = score.saturating_add(weight);
+        if before < threshold && *score >= threshold {
+            let after = u64::from(*score);
+            self.stats.peers_quarantined += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_QUARANTINES, 1);
+            obs::trace_event!(
+                self.agent.id(),
+                Layer::News,
+                kind::PEER_QUARANTINE,
+                u64::from(peer.0),
+                after
+            );
+        }
     }
 
     /// Drops phi-suspect entries from a candidate list — unless that would
@@ -587,6 +712,9 @@ impl NewsWireNode {
                 return;
             }
         };
+        // The publisher's current log epoch, attested under its key on
+        // every envelope it emits (DESIGN §12).
+        let attest_epoch = self.article_logs.get(&item.id.publisher).map_or(0, |l| l.epoch());
         let Some(publisher) = &mut self.publisher else {
             self.stats.publish_denied += 1;
             obs::metric_add!(self.agent.id(), ctr::NW_PUBLISH_DENIED, 1);
@@ -618,6 +746,7 @@ impl NewsWireNode {
         let signature = publisher.credential.sign(&item);
         let key = publisher.credential.key_id();
         let certificate = publisher.credential.certificate.clone();
+        let attest = publisher.credential.attest_epoch(attest_epoch);
         let mut filter = self.filter_for(&item);
         if let Some(p) = predicate_filter {
             filter = filter.and(p);
@@ -630,6 +759,7 @@ impl NewsWireNode {
             certificate,
             key,
             signature,
+            attest,
         };
         obs::metric_add!(self.agent.id(), ctr::NW_PUBLISHED, 1);
         obs::trace_event!(self.agent.id(), Layer::News, kind::NW_PUBLISH, env.msg_id);
@@ -639,6 +769,8 @@ impl NewsWireNode {
         // partition, side A's publishers are authoritative reconcile sources
         // for everything the other side missed.
         self.log_seen(env.item.id);
+        self.item_sigs.insert(env.item.id, (key, signature));
+        self.absorb_attest(&attest);
         self.cache.insert(env.item.clone(), now);
         self.process_duty(ctx, env, scope);
     }
@@ -653,6 +785,108 @@ impl NewsWireNode {
                 env.key,
                 env.signature,
             )
+    }
+
+    /// After a verified envelope: remember the publisher's certificate (so
+    /// later bare items can verify), the item's detached signature (so this
+    /// node can serve the item onward with proof), and the envelope's
+    /// signed epoch attestation when it is newer than the one held.
+    fn learn_from_envelope(&mut self, env: &Envelope) {
+        self.publisher_certs
+            .entry(env.item.id.publisher)
+            .or_insert_with(|| env.certificate.clone());
+        self.item_sigs.insert(env.item.id, (env.key, env.signature));
+        self.absorb_attest(&env.attest);
+    }
+
+    /// True when `item`'s detached signature verifies against the known
+    /// certificate for its publisher (false when no certificate is known —
+    /// fail closed: defended nodes are deployed with the certificates).
+    fn bare_item_ok(&self, item: &NewsItem, key: KeyId, sig: Signature) -> bool {
+        self.publisher_certs
+            .get(&item.id.publisher)
+            .is_some_and(|cert| verify_bare_item(&self.registry, cert, item, key, sig))
+    }
+
+    /// The single admission funnel for bare items arriving off the network
+    /// — repair replies (`path` 2) and reconcile replies (`path` 3);
+    /// envelopes (1) verify in `on_message` and stable-storage restores (4)
+    /// in `restore_cached_items`. With defenses on, an item whose detached
+    /// signature does not verify is refused before it touches the log or
+    /// cache, and the sender takes a misbehavior strike.
+    fn admit_bare_item(
+        &mut self,
+        now: SimTime,
+        item: NewsItem,
+        key: KeyId,
+        sig: Signature,
+        from: NodeId,
+        path: u64,
+    ) {
+        if self.cfg.defenses && self.cfg.verify_signatures && !self.bare_item_ok(&item, key, sig) {
+            self.stats.forged_rejects += 1;
+            obs::metric_add!(self.agent.id(), ctr::NW_FORGED_REJECTS, 1);
+            obs::trace_event!(
+                self.agent.id(),
+                Layer::News,
+                kind::FORGED_REJECT,
+                path,
+                u64::from(item.id.publisher.0)
+            );
+            self.note_misbehavior(from, MISBEHAVIOR_FORGED);
+            return;
+        }
+        self.item_sigs.insert(item.id, (key, sig));
+        self.handle_delivery(now, item, true);
+    }
+
+    /// Restores cached items from a decoded stable-storage snapshot,
+    /// re-verifying each signature: a tampered disk (or a forged item that
+    /// slipped in before defenses were on) must not resurrect into the
+    /// cache. Returns the number of items restored.
+    fn restore_cached_items(
+        &mut self,
+        items: Vec<(NewsItem, KeyId, Signature)>,
+        now: SimTime,
+    ) -> u64 {
+        let mut restored = 0u64;
+        for (item, key, sig) in items {
+            if self.cfg.defenses
+                && self.cfg.verify_signatures
+                && !self.bare_item_ok(&item, key, sig)
+            {
+                self.stats.forged_rejects += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_FORGED_REJECTS, 1);
+                obs::trace_event!(
+                    self.agent.id(),
+                    Layer::News,
+                    kind::FORGED_REJECT,
+                    4,
+                    u64::from(item.id.publisher.0)
+                );
+                continue;
+            }
+            self.log_seen(item.id);
+            self.item_sigs.insert(item.id, (key, sig));
+            self.cache.insert(item, now);
+            restored += 1;
+        }
+        restored
+    }
+
+    /// Wraps cached items with their recorded detached signatures for a
+    /// bare-item reply. An item with no recorded signature (possible only
+    /// on nodes that themselves admitted unverified content) ships a null
+    /// signature, which defended receivers refuse.
+    fn sign_items(&self, items: Vec<NewsItem>) -> Vec<SignedItem> {
+        items
+            .into_iter()
+            .map(|item| {
+                let (key, signature) =
+                    self.item_sigs.get(&item.id).copied().unwrap_or((KeyId(0), Signature(0)));
+                SignedItem { item, key, signature }
+            })
+            .collect()
     }
 
     /// Random peer for cache repair: usually a leaf-zone neighbour (cheap,
@@ -969,9 +1203,9 @@ impl NewsWireNode {
                     best = Some((summary, peer));
                 }
             }
-            let (peer, ranges) = match best {
+            let (peer, ranges, via_digest) = match best {
                 Some((summary, peer)) => {
-                    (NodeId(peer), self.article_logs[&publisher].missing_given(&summary))
+                    (NodeId(peer), self.article_logs[&publisher].missing_given(&summary), true)
                 }
                 None => {
                     // No leaf neighbour is ahead of us. If our own log has
@@ -981,13 +1215,13 @@ impl NewsWireNode {
                         continue;
                     }
                     match self.cross_zone_peer(ctx.rng(), now) {
-                        Some(peer) => (peer, gaps),
+                        Some(peer) => (peer, gaps, false),
                         None => continue,
                     }
                 }
             };
             self.reconcile_cursor = (self.reconcile_cursor + step + 1) % publishers.len();
-            self.send_reconcile_request(ctx, peer, publisher, ranges, 0);
+            self.send_reconcile_request(ctx, peer, publisher, ranges, 0, via_digest);
             return;
         }
         self.reconcile_cursor = (self.reconcile_cursor + 1) % publishers.len();
@@ -1001,6 +1235,7 @@ impl NewsWireNode {
         publisher: PublisherId,
         ranges: Vec<(u64, u64)>,
         retargets: u32,
+        via_digest: bool,
     ) {
         let (epoch, tail_from) = self
             .article_logs
@@ -1019,7 +1254,7 @@ impl NewsWireNode {
             let delay = wait.checked_mul(backoff).unwrap_or(wait);
             let timer = ctx.set_timer(delay, RECONCILE_WAIT_TIMER);
             self.awaiting_reconcile =
-                Some(PendingReconcile { peer, publisher, ranges, timer, retargets });
+                Some(PendingReconcile { peer, publisher, ranges, timer, retargets, via_digest });
         }
     }
 
@@ -1068,8 +1303,12 @@ impl NewsWireNode {
             obs::trace_event!(self.agent.id(), Layer::News, kind::AE_REPLY, from.0, items.len());
         }
         // Reply even when empty: the summary lets the requester settle
-        // unservable holes, and the reply itself proves liveness.
-        ctx.send(from, NewsWireMsg::ReconcileReply { publisher, summary, items });
+        // unservable holes, and the reply itself proves liveness. The
+        // stored attestation rides along so signed epoch authority spreads
+        // to nodes the publisher's own envelopes have not reached.
+        let attest = self.authority.get(&publisher).copied();
+        let items = self.sign_items(items);
+        ctx.send(from, NewsWireMsg::ReconcileReply { publisher, summary, attest, items });
     }
 
     /// Absorbs a `ReconcileReply`: deliver the recovered items, then settle
@@ -1082,40 +1321,79 @@ impl NewsWireNode {
         from: NodeId,
         publisher: PublisherId,
         summary: RangeSummary,
-        items: Vec<NewsItem>,
+        attest: Option<EpochAttest>,
+        items: Vec<SignedItem>,
     ) {
-        let requested = match &self.awaiting_reconcile {
+        // Absorb the rider attestation first: a genuine publisher epoch
+        // bump raises our signed authority *before* the fence judges the
+        // reply's claimed epoch.
+        if let Some(a) = &attest {
+            if a.publisher == publisher {
+                self.absorb_attest(a);
+            }
+        }
+        let pending = match &self.awaiting_reconcile {
             Some(p) if p.peer == from && p.publisher == publisher => {
                 let p = self.awaiting_reconcile.take().unwrap();
                 ctx.cancel_timer(p.timer);
-                Some(p.ranges)
+                Some(p)
             }
             _ => None,
         };
         let now = ctx.now();
         self.stats.reconcile_items_recv += items.len() as u64;
         obs::metric_add!(self.agent.id(), ctr::NW_RECONCILE_ITEMS_RECV, items.len());
-        // Epoch fence: adopting a newer epoch wipes this log, and a reply
-        // summary is a single peer's unverified claim — the contagion vector
-        // for fabricated epochs. With defenses on, adoption beyond the
-        // neighbour-consensus epoch is refused; a genuine publisher restart
-        // reaches consensus within a round or two and is then adopted.
+        // Digest contradiction: this peer was selected because its gossiped
+        // digest vouched coverage for our holes, yet it replies with an
+        // empty log and no items — the advertisement and the reply cannot
+        // both be honest (split-brain lying looks exactly like this).
+        if let Some(p) = &pending {
+            if p.via_digest && items.is_empty() && summary.is_empty() {
+                self.note_misbehavior(from, MISBEHAVIOR_CONTRADICTION);
+            }
+        }
+        // Epoch fence (DESIGN §12): adopting a newer epoch wipes this log,
+        // and a reply summary is a single peer's unverified claim — the
+        // contagion vector for fabricated epochs. With defenses on, the
+        // publisher-signed attestation is the reference wherever one is
+        // held: a colluding leaf-zone majority can capture the unsigned
+        // neighbour consensus, but it cannot sign as the publisher. The
+        // consensus mode remains the fallback for publishers no attestation
+        // has reached yet (majority-honest assumption, DESIGN §11).
         let cur_epoch = self.article_logs.get(&publisher).map_or(0, |l| l.epoch());
+        let authority = self.authority_epoch(publisher);
         let fenced = summary.epoch > cur_epoch
             && self.cfg.defenses
-            && matches!(self.consensus_epoch(publisher), Some(ce) if summary.epoch > ce);
+            && match authority {
+                Some(ae) => summary.epoch > ae,
+                None => {
+                    matches!(self.consensus_epoch(publisher), Some(ce) if summary.epoch > ce)
+                }
+            };
         if fenced {
             obs::metric_add!(self.agent.id(), ctr::CORRUPT_ROWS_REJECTED, 1);
+            if authority.is_some() {
+                self.stats.signed_epoch_refusals += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_SIGNED_EPOCH_REFUSALS, 1);
+                obs::trace_event!(
+                    self.agent.id(),
+                    Layer::News,
+                    kind::SIGNED_EPOCH_REFUSAL,
+                    u64::from(summary.epoch),
+                    u64::from(publisher.0)
+                );
+            }
+            self.note_misbehavior(from, MISBEHAVIOR_FENCE);
         }
         let log =
             self.article_logs.entry(publisher).or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
         if summary.epoch > log.epoch() && !fenced {
             log.adopt_epoch(summary.epoch);
         }
-        for item in items {
-            self.handle_delivery(now, item, true);
+        for SignedItem { item, key, signature } in items {
+            self.admit_bare_item(now, item, key, signature, from, 3);
         }
-        if let Some(ranges) = requested {
+        if let Some(ranges) = pending.map(|p| p.ranges) {
             let log = self
                 .article_logs
                 .entry(publisher)
@@ -1145,6 +1423,9 @@ impl NewsWireNode {
     fn absorb_incarnation_bumps(&mut self) {
         for peer in self.agent.take_incarnation_bumps() {
             self.peer_health.remove(&peer);
+            // Misbehavior belonged to the previous life too: a reinstalled
+            // node is not the liar its predecessor was.
+            self.misbehavior.remove(&peer);
         }
     }
 
@@ -1156,7 +1437,10 @@ impl NewsWireNode {
     /// *low* (never fence up to a contested epoch). `None` when no
     /// neighbour advertises a digest. This is corruption tolerance under a
     /// majority-honest leaf zone, not Byzantine agreement — a colluding
-    /// majority defeats it (see DESIGN §11).
+    /// majority defeats it, which is why the epoch fence prefers the
+    /// publisher-signed attestation whenever one is held and falls back to
+    /// this mode only before any attestation arrives (see DESIGN §12; the
+    /// §11 caveat describes the fallback's limits).
     fn consensus_epoch(&self, publisher: PublisherId) -> Option<u32> {
         let attr = format!("{AE_ATTR_PREFIX}{}", publisher.0);
         let own = self.agent.own_label(0);
@@ -1216,7 +1500,13 @@ impl NewsWireNode {
         }
         let publishers: Vec<PublisherId> = self.article_logs.keys().copied().collect();
         for publisher in publishers {
-            let Some(ce) = self.consensus_epoch(publisher) else { continue };
+            // The fence reference: the publisher's signed attestation when
+            // held (collusion-proof), neighbour consensus otherwise.
+            let Some(ce) =
+                self.authority_epoch(publisher).or_else(|| self.consensus_epoch(publisher))
+            else {
+                continue;
+            };
             if self.article_logs[&publisher].epoch() <= ce {
                 continue;
             }
@@ -1254,7 +1544,18 @@ impl NewsWireNode {
             .collect();
         persist::NodeState {
             logs,
-            items: self.cache.iter().cloned().collect(),
+            // Each item persists with its detached signature, so a durable
+            // restore can re-verify: a disk snapshot is just another
+            // admission path (see `restore_cached_items`).
+            items: self
+                .cache
+                .iter()
+                .map(|item| {
+                    let (key, sig) =
+                        self.item_sigs.get(&item.id).copied().unwrap_or((KeyId(0), Signature(0)));
+                    (item.clone(), key, sig)
+                })
+                .collect(),
             deliveries: self.deliveries.clone(),
         }
     }
@@ -1382,6 +1683,7 @@ impl Node for NewsWireNode {
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, NewsWireMsg>, from: NodeId, msg: NewsWireMsg) {
+        self.clock = ctx.now();
         self.note_alive(from, ctx.now());
         match msg {
             NewsWireMsg::Gossip(g) => {
@@ -1409,8 +1711,10 @@ impl Node for NewsWireNode {
                         peer: Some(from.0),
                         event: ForwardEvent::AuthRejected,
                     });
+                    self.note_misbehavior(from, MISBEHAVIOR_FORGED);
                     return;
                 }
+                self.learn_from_envelope(&env);
                 // Receipt first: whether this is fresh duty or a duplicate,
                 // this representative covers the zone — the sender must stop
                 // retrying. Only real (simulated) node senders are acked.
@@ -1449,8 +1753,10 @@ impl Node for NewsWireNode {
                 if !self.verify(&env) {
                     self.stats.auth_rejects += 1;
                     obs::metric_add!(self.agent.id(), ctr::NW_AUTH_REJECTS, 1);
+                    self.note_misbehavior(from, MISBEHAVIOR_FORGED);
                     return;
                 }
+                self.learn_from_envelope(&env);
                 let now = ctx.now();
                 self.handle_delivery(now, env.item, false);
             }
@@ -1489,6 +1795,7 @@ impl Node for NewsWireNode {
                 // Reply even when empty: an empty reply tells the requester
                 // "I'm alive and have nothing for you", so its reply timeout
                 // distinguishes dead peers from up-to-date ones.
+                let items = self.sign_items(items);
                 ctx.send(from, NewsWireMsg::RepairReply { items });
             }
             NewsWireMsg::RepairReply { items } => {
@@ -1499,20 +1806,21 @@ impl Node for NewsWireNode {
                     }
                 }
                 let now = ctx.now();
-                for item in items {
-                    self.handle_delivery(now, item, true);
+                for SignedItem { item, key, signature } in items {
+                    self.admit_bare_item(now, item, key, signature, from, 2);
                 }
             }
             NewsWireMsg::ReconcileRequest { publisher, epoch, ranges, tail_from } => {
                 self.serve_reconcile(ctx, from, publisher, epoch, &ranges, tail_from);
             }
-            NewsWireMsg::ReconcileReply { publisher, summary, items } => {
-                self.absorb_reconcile_reply(ctx, from, publisher, summary, items);
+            NewsWireMsg::ReconcileReply { publisher, summary, attest, items } => {
+                self.absorb_reconcile_reply(ctx, from, publisher, summary, attest, items);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, NewsWireMsg>, _t: TimerId, tag: u64) {
+        self.clock = ctx.now();
         match tag {
             GOSSIP_TIMER => {
                 // Publish forwarding load so representative election steers
@@ -1531,7 +1839,11 @@ impl Node for NewsWireNode {
                 for (to, g) in out {
                     ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
                 }
-                self.cache.gc(now);
+                if self.cache.gc(now) > 0 {
+                    // Signatures of evicted items are dead weight.
+                    let cache = &self.cache;
+                    self.item_sigs.retain(|id, _| cache.contains(*id));
+                }
                 self.absorb_incarnation_bumps();
                 self.maybe_reconcile(ctx);
                 self.check_recovery_done(now);
@@ -1630,6 +1942,7 @@ impl Node for NewsWireNode {
                                 p.publisher,
                                 p.ranges,
                                 p.retargets + 1,
+                                false,
                             );
                             return;
                         }
@@ -1660,6 +1973,8 @@ impl Node for NewsWireNode {
         self.awaiting_repair = None;
         self.article_logs.clear();
         self.peer_health.clear();
+        self.misbehavior.clear();
+        self.item_sigs.clear();
         self.awaiting_reconcile = None;
         ctx.set_timer(self.agent.config().gossip_interval, GOSSIP_TIMER);
         if let Some(repair) = self.cfg.repair_interval {
@@ -1688,6 +2003,11 @@ impl Node for NewsWireNode {
         self.awaiting_repair = None;
         self.article_logs.clear();
         self.peer_health.clear();
+        self.misbehavior.clear();
+        // Signatures go with the cache; publisher certificates and signed
+        // attestations survive every restart mode — they ship with the
+        // binary (deployment pre-install), not with protocol state.
+        self.item_sigs.clear();
         self.awaiting_reconcile = None;
         self.reconcile_cursor = 0;
         self.gossip_ticks = 0;
@@ -1731,11 +2051,7 @@ impl Node for NewsWireNode {
         let mut restored = 0u64;
         if mode == RestartMode::ColdDurable {
             if let Some(state) = ctx.disk().read(DISK_KEY_STATE).and_then(persist::decode_state) {
-                for item in state.items {
-                    self.log_seen(item.id);
-                    self.cache.insert(item, now);
-                    restored += 1;
-                }
+                restored = self.restore_cached_items(state.items, now);
                 self.deliveries = state.deliveries;
                 for ls in state.logs {
                     let log = self
@@ -1793,6 +2109,50 @@ impl Node for NewsWireNode {
                 // corruption digest-driven anti-entropy cannot see.
                 hit + self.agent.corrupt_rows(rng, rows)
             }
+            CorruptionOp::ForgeItems { items, publisher } => {
+                // A Byzantine cache: fabricate items impersonating
+                // `publisher`, planted just past the local log head —
+                // exactly where honest tail catch-up and repair look next.
+                // The forger's own log and gossiped digest advertise them
+                // as real coverage; the bogus signatures drawn from the
+                // strike stream are what defended receivers refuse.
+                let publisher = PublisherId(publisher);
+                let base = self.article_logs.get(&publisher).map_or(0, |l| l.next_seq());
+                let now = self.clock;
+                let mut injected = 0u64;
+                for k in 0..u64::from(items) {
+                    let seq = base + k;
+                    let item = NewsItem::builder(publisher, seq)
+                        .headline(format!("FORGED dispatch {seq}"))
+                        .category(Category::Technology)
+                        .build();
+                    self.log_seen(item.id);
+                    self.item_sigs.insert(item.id, (KeyId(rng.gen()), Signature(rng.gen())));
+                    self.cache.insert(item, now);
+                    injected += 1;
+                }
+                injected
+            }
+            CorruptionOp::VoteEpoch { publisher, epoch } => {
+                // A colluder votes the group's shared fabricated epoch into
+                // its own article log and digest. Enough same-zone voters
+                // capture the unsigned neighbour-consensus mode that the
+                // legacy epoch fence trusts; phantom head coverage makes
+                // the captured digest look fresher than any honest one.
+                let publisher = PublisherId(publisher);
+                let log = self
+                    .article_logs
+                    .entry(publisher)
+                    .or_insert_with(|| SeqLog::new(ARTICLE_LOG_CAPACITY));
+                if epoch <= log.epoch() {
+                    return 0;
+                }
+                log.adopt_epoch(epoch);
+                for seq in 0..8 {
+                    log.insert(seq, ());
+                }
+                9
+            }
             CorruptionOp::LogEpoch { entries } => {
                 // Poison one article log with a fabricated newer epoch plus
                 // phantom coverage. The next digest publication advertises
@@ -1816,7 +2176,7 @@ impl Node for NewsWireNode {
 
     fn tamper_outbound(
         &mut self,
-        _to: NodeId,
+        to: NodeId,
         msg: &mut NewsWireMsg,
         mode: LiarMode,
         _rng: &mut SmallRng,
@@ -1837,6 +2197,19 @@ impl Node for NewsWireNode {
             // select it as a reconcile source and reconciliation pressure
             // shifts onto the honest rest of the zone.
             LiarMode::StaleDigest => tamper_gossip_rows(msg, stale_digested),
+            // Split-brain lying: different stories to different
+            // destinations. Half the peer space sees this node's true
+            // digests, the other half sees empty ones — no single receiver
+            // can observe the inconsistency, only the digest-contradiction
+            // strike (request what was advertised, get an empty reply)
+            // catches it.
+            LiarMode::SplitBrain => {
+                if to.0 % 2 == 1 {
+                    tamper_gossip_rows(msg, stale_digested)
+                } else {
+                    LiarAction::Pass
+                }
+            }
         }
     }
 }
@@ -2297,5 +2670,281 @@ mod tests {
             assert!(log.contains(seq), "cached item {seq} re-seeded");
         }
         assert!(!log.contains(3), "phantom coverage dropped by the rebuild");
+    }
+
+    /// A node whose trust registry issued publisher 0's credential, with the
+    /// certificate and epoch-0 attestation pre-installed the way
+    /// `DeploymentBuilder::build` does it.
+    fn node_with_authority(
+        cfg: NewsWireConfig,
+    ) -> (NewsWireNode, crate::auth::PublisherCredential) {
+        let mut registry = TrustRegistry::new(1);
+        let cred = crate::auth::issue_publisher(
+            &mut registry,
+            PublisherId(0),
+            "slashdot",
+            &astrolabe::ZoneId::root(),
+            6000,
+        );
+        let layout = ZoneLayout::new(4, 4);
+        let agent = Agent::new(0, &layout, Config::standard(), vec![]);
+        let mut n = NewsWireNode::new(agent, cfg, Arc::new(registry));
+        n.install_publisher_authority(cred.certificate.clone(), cred.attest_epoch(0));
+        (n, cred)
+    }
+
+    /// The bare-item admission funnel (repair replies, path 2; reconcile
+    /// replies, path 3): a genuine detached signature admits, a forgery is
+    /// refused before it touches log or cache, a tampered item cannot reuse
+    /// a genuine signature, and a forged revision cannot displace the real
+    /// story. The defenses-off ablation admits the same forgery.
+    #[test]
+    fn bare_item_admission_refuses_forgeries_on_repair_and_reconcile_paths() {
+        let (mut n, cred) = node_with_authority(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+
+        let real = tech_item(0);
+        let sig = cred.sign(&real);
+        n.admit_bare_item(now, real.clone(), cred.key_id(), sig, NodeId(5), 2);
+        assert!(n.has_item(real.id), "a genuinely signed bare item admits");
+        assert_eq!(n.stats.forged_rejects, 0);
+
+        // A fabricated item under an invented signature is refused — and
+        // leaves no trace in the article log (a forged seq must not poison
+        // reconciliation into thinking it was seen).
+        let forged = tech_item(1);
+        n.admit_bare_item(now, forged.clone(), KeyId(99), Signature(77), NodeId(5), 2);
+        assert!(!n.has_item(forged.id));
+        assert!(!n.cache.contains(forged.id));
+        assert!(!n.article_logs[&PublisherId(0)].contains(1), "forged seq not logged as seen");
+        assert_eq!(n.stats.forged_rejects, 1);
+        assert_eq!(n.misbehavior.get(&5), Some(&MISBEHAVIOR_FORGED), "the sender took a strike");
+
+        // Tampering with a signed item invalidates its signature — the
+        // reconcile path (3) runs the same funnel.
+        let original = tech_item(2);
+        let sig2 = cred.sign(&original);
+        let mut tampered = original.clone();
+        tampered.headline = "FAKE: markets collapse".into();
+        n.admit_bare_item(now, tampered.clone(), cred.key_id(), sig2, NodeId(6), 3);
+        assert!(!n.has_item(tampered.id));
+        assert_eq!(n.stats.forged_rejects, 2);
+
+        // A forged revision of a real slug is refused; revision 0 stays.
+        let rev0 = NewsItem::builder(PublisherId(0), 3)
+            .headline("story")
+            .slug("the-story")
+            .category(Category::Technology)
+            .build();
+        let rev0_sig = cred.sign(&rev0);
+        n.admit_bare_item(now, rev0.clone(), cred.key_id(), rev0_sig, NodeId(5), 2);
+        assert!(n.cache.contains(rev0.id));
+        let fake_rev = NewsItem::builder(PublisherId(0), 4)
+            .headline("story, rewritten")
+            .slug("the-story")
+            .revision(1, Some(rev0.id))
+            .category(Category::Technology)
+            .build();
+        n.admit_bare_item(now, fake_rev.clone(), KeyId(1), Signature(2), NodeId(5), 2);
+        assert!(n.cache.contains(rev0.id), "the real revision 0 survives");
+        assert!(!n.cache.contains(fake_rev.id), "the forged revision is refused");
+
+        // The ablation: defenses off admits the same forgery (what E18's
+        // undefended arms measure).
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.defenses = false;
+        let (mut open, _) = node_with_authority(cfg);
+        open.set_subscription(tech_sub());
+        open.admit_bare_item(now, forged.clone(), KeyId(99), Signature(77), NodeId(5), 2);
+        assert!(open.has_item(forged.id), "defenses off admits the forgery");
+        assert_eq!(open.stats.forged_rejects, 0);
+    }
+
+    /// Stable-storage restore (path 4) re-verifies every item: a tampered
+    /// disk blob cannot resurrect forged content into the cache.
+    #[test]
+    fn stable_storage_restore_reverifies_signatures() {
+        let (mut n, cred) = node_with_authority(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        let good = tech_item(0);
+        let sig = cred.sign(&good);
+        let bad = tech_item(1);
+        let restored = n.restore_cached_items(
+            vec![(good.clone(), cred.key_id(), sig), (bad.clone(), KeyId(9), Signature(9))],
+            now,
+        );
+        assert_eq!(restored, 1, "only the verifiable item restores");
+        assert!(n.cache.contains(good.id));
+        assert!(!n.cache.contains(bad.id));
+        assert_eq!(n.stats.forged_rejects, 1);
+    }
+
+    /// The misbehavior score: strikes accumulate, the quarantine transition
+    /// fires exactly once at the threshold, a quarantined peer is suspect
+    /// without any phi history, and external inputs / defenses-off nodes
+    /// never quarantine.
+    #[test]
+    fn misbehavior_quarantine_crosses_threshold_once() {
+        let mut n = node_with(NewsWireConfig::tech_news());
+        let now = SimTime::from_secs(1);
+        assert_eq!(n.cfg.quarantine_threshold, 3);
+        n.note_misbehavior(NodeId(7), MISBEHAVIOR_FORGED);
+        assert!(!n.quarantined(7), "one forged strike (weight 2) is below threshold");
+        n.note_misbehavior(NodeId(7), MISBEHAVIOR_FENCE);
+        assert!(n.quarantined(7));
+        assert!(n.peer_suspect(7, now), "quarantine shows through peer_suspect without phi");
+        assert_eq!(n.stats.peers_quarantined, 1);
+        n.note_misbehavior(NodeId(7), MISBEHAVIOR_CONTRADICTION);
+        assert_eq!(n.stats.peers_quarantined, 1, "crossing the threshold counts once");
+        // Selection drops the quarantined peer while alternatives exist.
+        let mut candidates = vec![5, 7];
+        n.prefer_unsuspected(&mut candidates, now);
+        assert_eq!(candidates, vec![5]);
+        // External inputs never take strikes.
+        n.note_misbehavior(NodeId::EXTERNAL, 10);
+        assert!(!n.misbehavior.contains_key(&NodeId::EXTERNAL.0));
+        // Defenses off: scores accrue nowhere and nothing quarantines.
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.defenses = false;
+        let mut open = node_with(cfg);
+        open.note_misbehavior(NodeId(7), 10);
+        assert!(!open.quarantined(7));
+    }
+
+    /// Signed epoch authority: fabricated attestations (wrong signature, or
+    /// a publisher this node holds no certificate for) are never absorbed,
+    /// genuine bumps are, and authority never moves backwards.
+    #[test]
+    fn signed_authority_ignores_unsigned_epoch_claims() {
+        let (mut n, cred) = node_with_authority(NewsWireConfig::tech_news());
+        assert_eq!(n.authority_epoch(PublisherId(0)), Some(0));
+        // Claiming epoch 100 without the publisher's key goes nowhere.
+        n.absorb_attest(&EpochAttest {
+            publisher: PublisherId(0),
+            epoch: 100,
+            key: cred.key_id(),
+            signature: Signature(0xBAD),
+        });
+        assert_eq!(n.authority_epoch(PublisherId(0)), Some(0));
+        // A genuine re-signed bump is adopted…
+        n.absorb_attest(&cred.attest_epoch(2));
+        assert_eq!(n.authority_epoch(PublisherId(0)), Some(2));
+        // …and a stale genuine attestation never lowers it.
+        n.absorb_attest(&cred.attest_epoch(1));
+        assert_eq!(n.authority_epoch(PublisherId(0)), Some(2));
+        // No certificate held for the claimed publisher: fail closed.
+        n.absorb_attest(&EpochAttest {
+            publisher: PublisherId(7),
+            epoch: 1,
+            key: cred.key_id(),
+            signature: Signature(1),
+        });
+        assert_eq!(n.authority_epoch(PublisherId(7)), None);
+    }
+
+    /// With a publisher-signed attestation installed, the self-audit fences
+    /// a jointly-voted fabricated epoch back WITHOUT any neighbour rows —
+    /// the collusion scenario where the unsigned leaf-zone consensus is
+    /// exactly what the adversary captured.
+    #[test]
+    fn self_audit_fences_captured_epoch_with_signed_authority_alone() {
+        use rand::SeedableRng;
+        use simnet::CorruptionOp;
+        let (mut n, _cred) = node_with_authority(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(5);
+        for seq in 0..3u64 {
+            n.handle_delivery(now, tech_item(seq), false);
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let hit = simnet::Node::apply_corruption(
+            &mut n,
+            &CorruptionOp::VoteEpoch { publisher: 0, epoch: 60 },
+            &mut rng,
+        );
+        assert!(hit > 0, "the vote must land");
+        assert_eq!(n.article_logs[&PublisherId(0)].epoch(), 60);
+        // No gossip rows were ever absorbed: the unsigned consensus is
+        // unavailable (or capturable). The signed authority still fences.
+        n.self_audit(now);
+        let log = &n.article_logs[&PublisherId(0)];
+        assert_eq!(log.epoch(), 0, "fenced back to the signed authority epoch");
+        for seq in 0..3u64 {
+            assert!(log.contains(seq), "cached item {seq} re-seeded");
+        }
+    }
+
+    /// `ForgeItems` corruption plants fabricated items in the victim's own
+    /// cache — and a defended peer refuses every one of them when the
+    /// victim's repair traffic offers them onward.
+    #[test]
+    fn forged_items_never_cross_to_a_defended_peer() {
+        use rand::SeedableRng;
+        use simnet::CorruptionOp;
+        let (mut forger, _) = node_with_authority(NewsWireConfig::tech_news());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let injected = simnet::Node::apply_corruption(
+            &mut forger,
+            &CorruptionOp::ForgeItems { items: 3, publisher: 0 },
+            &mut rng,
+        );
+        assert_eq!(injected, 3);
+        let forged: Vec<NewsItem> = forger.cache.iter().cloned().collect();
+        assert_eq!(forged.len(), 3, "the forger's cache holds the fabrications");
+
+        let (mut honest, _) = node_with_authority(NewsWireConfig::tech_news());
+        honest.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+        // The forger serves its cache the way a repair reply would: items
+        // wrapped with whatever signatures it recorded (bogus ones).
+        for si in forger.sign_items(forged) {
+            honest.admit_bare_item(now, si.item, si.key, si.signature, NodeId(1), 2);
+        }
+        assert_eq!(honest.stats.forged_rejects, 3, "every fabrication refused");
+        assert!(honest.deliveries.is_empty());
+        assert!(honest.quarantined(1), "three forged strikes quarantine the forger");
+    }
+
+    /// Split-brain lying is destination-dependent: odd-numbered peers get
+    /// stale-digested gossip rows, even-numbered peers the truth — no
+    /// single receiver can observe the inconsistency.
+    #[test]
+    fn split_brain_liar_tells_destinations_different_stories() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        use rand::SeedableRng;
+        use simnet::{LiarAction, LiarMode};
+        let mut n = node_with(NewsWireConfig::tech_news());
+        let digest = RangeSummary { epoch: 0, floor: 0, next: 3, present: 3 }.encode();
+        let leaf_zone = n.agent.chain()[0].clone();
+        let make = || {
+            let row = MibBuilder::new()
+                .attr("id", 2i64)
+                .attr(format!("{AE_ATTR_PREFIX}0"), digest.clone())
+                .build(Stamp { issued_us: 1_000_000, version: 1, origin: 2 });
+            NewsWireMsg::Gossip(GossipMsg::Rows {
+                rows: vec![TableRows { zone: leaf_zone.clone(), rows: vec![(2, Arc::new(row))] }],
+            })
+        };
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let mut to_odd = make();
+        let act = simnet::Node::tamper_outbound(
+            &mut n,
+            NodeId(1),
+            &mut to_odd,
+            LiarMode::SplitBrain,
+            &mut rng,
+        );
+        assert!(matches!(act, LiarAction::Tampered), "odd destinations get the stale story");
+        let mut to_even = make();
+        let act = simnet::Node::tamper_outbound(
+            &mut n,
+            NodeId(2),
+            &mut to_even,
+            LiarMode::SplitBrain,
+            &mut rng,
+        );
+        assert!(matches!(act, LiarAction::Pass), "even destinations get the truth");
     }
 }

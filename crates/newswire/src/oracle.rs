@@ -61,6 +61,11 @@ pub struct OracleReport {
     /// damage anti-entropy never reconciled. One violation per
     /// `(node, first missing seq)` pair.
     pub unconverged_logs: Vec<Violation>,
+    /// Items an application delivered that no publisher ever published —
+    /// fabricated content that slipped past signature verification (DESIGN
+    /// §12). Empty on every defended run; the Byzantine ablations exist to
+    /// make this list fill up.
+    pub forged_deliveries: Vec<Violation>,
 }
 
 impl OracleReport {
@@ -78,6 +83,16 @@ impl OracleReport {
     /// partition experiments deliberately run without it.
     pub fn converged(&self) -> bool {
         self.unconverged_logs.is_empty()
+    }
+
+    /// True when no application delivered an item outside the ground-truth
+    /// published set — the whole-run forgery-safety verdict (DESIGN §12).
+    /// Kept separate from [`OracleReport::holds`] for the same reason as
+    /// [`OracleReport::converged`]: the forgery experiments' ablation arms
+    /// run with signature enforcement off, and their oracle reports must
+    /// still distinguish "missed a delivery" from "admitted a fake".
+    pub fn no_forged_delivery(&self) -> bool {
+        self.forged_deliveries.is_empty()
     }
 
     /// Fraction of `(survivor, matching item)` pairs that delivered
@@ -116,11 +131,15 @@ impl fmt::Display for OracleReport {
         if !self.converged() {
             writeln!(f, "  ({} unconverged article logs)", self.unconverged_logs.len())?;
         }
+        if !self.no_forged_delivery() {
+            writeln!(f, "  ({} forged deliveries)", self.forged_deliveries.len())?;
+        }
         for (label, list) in [
             ("duplicate delivery", &self.duplicate_deliveries),
             ("unwanted delivery", &self.unwanted_deliveries),
             ("missed delivery", &self.missed_deliveries),
             ("unconverged log", &self.unconverged_logs),
+            ("forged delivery", &self.forged_deliveries),
         ] {
             for v in list.iter().take(8) {
                 writeln!(f, "  {label}: {v}")?;
@@ -178,11 +197,17 @@ pub fn check_invariants(
                 report.duplicate_deliveries.push(Violation { node: node_id, item: d.item });
             }
             // Invariant 2: the exact subscription admits everything the
-            // application saw. Unknown items (not in the ground-truth set)
-            // are skipped rather than guessed at.
-            if let Some(item) = by_id.get(&d.item) {
-                if !node.subscription.matches(item) {
-                    report.unwanted_deliveries.push(Violation { node: node_id, item: d.item });
+            // application saw. A delivered id absent from the ground-truth
+            // set is fabricated content — no publisher ever issued it — and
+            // lands in the forgery-safety verdict (DESIGN §12).
+            match by_id.get(&d.item) {
+                Some(item) => {
+                    if !node.subscription.matches(item) {
+                        report.unwanted_deliveries.push(Violation { node: node_id, item: d.item });
+                    }
+                }
+                None => {
+                    report.forged_deliveries.push(Violation { node: node_id, item: d.item });
                 }
             }
         }
@@ -250,6 +275,7 @@ pub fn check_invariants(
         g.ctr_add(ctr::ORACLE_UNWANTED_VIOLATIONS, report.unwanted_deliveries.len() as u64);
         g.ctr_add(ctr::ORACLE_MISSED_VIOLATIONS, report.missed_deliveries.len() as u64);
         g.ctr_add(ctr::ORACLE_UNCONVERGED_LOGS, report.unconverged_logs.len() as u64);
+        g.ctr_add(ctr::ORACLE_FORGED_VIOLATIONS, report.forged_deliveries.len() as u64);
     }
     report
 }
@@ -299,14 +325,15 @@ pub fn self_stabilized(
 ) -> StabilizationReport {
     let interval = deployment.config.astrolabe.gossip_interval;
     let mut rounds_used = 0u32;
+    let clean = |r: &OracleReport| r.holds() && r.converged() && r.no_forged_delivery();
     let mut report = check_invariants(deployment, items, exempt);
-    while rounds_used < within_rounds && !(report.holds() && report.converged()) {
+    while rounds_used < within_rounds && !clean(&report) {
         let deadline = deployment.sim.now() + interval;
         deployment.sim.run_until(deadline);
         rounds_used += 1;
         report = check_invariants(deployment, items, exempt);
     }
-    let stabilized = report.holds() && report.converged();
+    let stabilized = clean(&report);
     if obs::ENABLED {
         let now_us = deployment.sim.now().as_micros();
         let hub = deployment.sim.telemetry();
@@ -322,4 +349,19 @@ pub fn self_stabilized(
         );
     }
     StabilizationReport { stabilized, rounds_used, rounds_budget: within_rounds, report }
+}
+
+/// Distills a collusion sweep into its breaking point: the smallest colluding
+/// fraction at which the system failed to self-stabilize. `samples` pairs
+/// each run's colluding fraction with its stabilization verdict; the result
+/// is `None` when every sampled fraction stabilized (no breaking point found
+/// within the sweep). E18 reports this per adversary script, defended and
+/// undefended — the defended column should be `None` up to the largest
+/// fraction swept, the ablation column should break early.
+pub fn collusion_breaking_point(samples: &[(f64, bool)]) -> Option<f64> {
+    samples
+        .iter()
+        .filter(|(_, stabilized)| !stabilized)
+        .map(|&(fraction, _)| fraction)
+        .min_by(|a, b| a.total_cmp(b))
 }

@@ -10,6 +10,7 @@
 //! detectable: any decode failure makes the node fall back to an amnesiac
 //! rejoin, which anti-entropy then repairs.
 
+use astrolabe::{KeyId, Signature};
 use newsml::{Category, ItemId, NewsItem, PublisherId, Subject, Urgency};
 use simnet::SimTime;
 
@@ -231,14 +232,17 @@ pub(crate) struct LogState {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct NodeState {
     pub(crate) logs: Vec<LogState>,
-    pub(crate) items: Vec<NewsItem>,
+    /// Cached items with their publisher signatures, so a cold restart can
+    /// re-verify every restored item instead of trusting the disk blob
+    /// (DESIGN §12 — stable storage is just another admission path).
+    pub(crate) items: Vec<(NewsItem, KeyId, Signature)>,
     pub(crate) deliveries: Vec<DeliveryRecord>,
 }
 
 /// Encodes the `state` disk record.
 pub(crate) fn encode_state(state: &NodeState) -> Vec<u8> {
     let mut w = TokenWriter::new();
-    w.push("nwstate1");
+    w.push("nwstate2");
     w.push_u64(state.logs.len() as u64);
     for log in &state.logs {
         w.push_u64(u64::from(log.publisher.0));
@@ -247,8 +251,10 @@ pub(crate) fn encode_state(state: &NodeState) -> Vec<u8> {
         w.push(&ranges.join(","));
     }
     w.push_u64(state.items.len() as u64);
-    for item in &state.items {
+    for (item, key, sig) in &state.items {
         encode_item(&mut w, item);
+        w.push_u64(key.0);
+        w.push_u64(sig.0);
     }
     w.push_u64(state.deliveries.len() as u64);
     for d in &state.deliveries {
@@ -266,7 +272,7 @@ pub(crate) fn encode_state(state: &NodeState) -> Vec<u8> {
 /// rejoins amnesiac and lets anti-entropy backfill).
 pub(crate) fn decode_state(bytes: &[u8]) -> Option<NodeState> {
     let mut r = TokenReader::new(std::str::from_utf8(bytes).ok()?);
-    if r.next()? != "nwstate1" {
+    if r.next()? != "nwstate2" {
         return None;
     }
     let mut state = NodeState::default();
@@ -287,7 +293,10 @@ pub(crate) fn decode_state(bytes: &[u8]) -> Option<NodeState> {
     }
     let nitems = r.next_u64()?;
     for _ in 0..nitems {
-        state.items.push(decode_item(&mut r)?);
+        let item = decode_item(&mut r)?;
+        let key = KeyId(r.next_u64()?);
+        let sig = Signature(r.next_u64()?);
+        state.items.push((item, key, sig));
     }
     let ndeliveries = r.next_u64()?;
     for _ in 0..ndeliveries {
@@ -408,7 +417,7 @@ mod tests {
                 coverage: "1:2:20:15".to_owned(),
                 present: vec![(2, 9), (12, 19)],
             }],
-            items: vec![item.clone()],
+            items: vec![(item.clone(), KeyId(11), Signature(22))],
             deliveries: vec![DeliveryRecord {
                 item: item.id,
                 msg_id: 777,
@@ -419,7 +428,8 @@ mod tests {
         };
         let decoded = decode_state(&encode_state(&state)).unwrap();
         assert_eq!(decoded, state);
-        assert_eq!(decoded.items[0], item, "full NewsItem fidelity incl. meta/supersedes");
+        assert_eq!(decoded.items[0].0, item, "full NewsItem fidelity incl. meta/supersedes");
+        assert_eq!((decoded.items[0].1, decoded.items[0].2), (KeyId(11), Signature(22)));
     }
 
     #[test]

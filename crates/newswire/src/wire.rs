@@ -6,6 +6,8 @@ use filters::fnv1a;
 use newsml::{ItemId, NewsItem, PublisherId};
 use simnet::Payload;
 
+use crate::auth::EpochAttest;
+
 /// A signed, routable news item.
 #[derive(Debug, Clone)]
 pub struct Envelope {
@@ -23,13 +25,43 @@ pub struct Envelope {
     pub key: KeyId,
     /// Signature over the item.
     pub signature: Signature,
+    /// The publisher's signed epoch attestation at publish time (DESIGN
+    /// §12): every envelope refreshes the receivers' signed epoch
+    /// authority, starving fabricated-epoch collusion of oxygen.
+    pub attest: EpochAttest,
 }
 
 impl Envelope {
     /// Approximate serialized size.
     pub fn wire_size(&self) -> usize {
-        self.item.wire_size() + 8 + self.filter.wire_size() + 2 * self.scope.depth() + 96
+        self.item.wire_size()
+            + 8
+            + self.filter.wire_size()
+            + 2 * self.scope.depth()
+            + 96
+            + self.attest.wire_size()
         // certificate + signature + key id
+    }
+}
+
+/// A bare item traveling outside an envelope — repair replies, reconcile
+/// replies, joiner state transfer — with the publisher's detached signature
+/// attached, so every admission path can verify before caching (DESIGN
+/// §12). Before this, bare-item paths were an unsigned side door.
+#[derive(Debug, Clone)]
+pub struct SignedItem {
+    /// The item.
+    pub item: NewsItem,
+    /// Signing key id.
+    pub key: KeyId,
+    /// The publisher's signature over the item bytes.
+    pub signature: Signature,
+}
+
+impl SignedItem {
+    /// Approximate serialized size: item + key id + signature.
+    pub fn wire_size(&self) -> usize {
+        self.item.wire_size() + 16
     }
 }
 
@@ -87,10 +119,11 @@ pub enum NewsWireMsg {
         /// (the §9 "limited state transfer").
         want_snapshot: bool,
     },
-    /// Items the responder holds beyond the requester's marks.
+    /// Items the responder holds beyond the requester's marks, each with
+    /// its publisher signature so the requester can verify before caching.
     RepairReply {
         /// The repair batch.
-        items: Vec<NewsItem>,
+        items: Vec<SignedItem>,
     },
     /// Log anti-entropy pull: "ship me these sequence ranges of
     /// `publisher`'s articles". Sent when a gossiped `sys$ae:` digest (or
@@ -116,8 +149,12 @@ pub enum NewsWireMsg {
         publisher: PublisherId,
         /// The responder's digest at reply time.
         summary: RangeSummary,
-        /// The recovered items.
-        items: Vec<NewsItem>,
+        /// The responder's stored publisher-signed epoch attestation, when
+        /// it holds one — how signed epoch authority propagates to nodes
+        /// the publisher's own envelopes have not reached.
+        attest: Option<EpochAttest>,
+        /// The recovered items, signed.
+        items: Vec<SignedItem>,
     },
 }
 
@@ -134,8 +171,10 @@ impl Payload for NewsWireMsg {
                 items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
             NewsWireMsg::ReconcileRequest { ranges, .. } => 2 + 4 + 8 + ranges.len() * 16,
-            NewsWireMsg::ReconcileReply { items, .. } => {
-                2 + 16 + items.iter().map(|i| i.wire_size()).sum::<usize>()
+            NewsWireMsg::ReconcileReply { items, attest, .. } => {
+                2 + 16
+                    + attest.map_or(0, |a| a.wire_size())
+                    + items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
         }
     }
@@ -159,7 +198,11 @@ mod tests {
     fn wire_sizes_scale_with_item() {
         let small = NewsWireMsg::RepairRequest { highwater: vec![], want_snapshot: false };
         let big = NewsWireMsg::RepairReply {
-            items: vec![NewsItem::builder(PublisherId(0), 0).body_len(5000).build()],
+            items: vec![SignedItem {
+                item: NewsItem::builder(PublisherId(0), 0).body_len(5000).build(),
+                key: KeyId(1),
+                signature: Signature(2),
+            }],
         };
         assert!(small.wire_size() < 16);
         assert!(big.wire_size() > 5000);

@@ -12,8 +12,8 @@ use newsml::{Category, NewsItem, PublisherId, PublisherProfile};
 use newswire::{check_invariants, DeploymentBuilder, NewsWireConfig, PublisherSpec};
 use rand::Rng;
 use simnet::{
-    fork, ChurnSpec, FaultCounters, FaultPlan, GrayProfile, GraySpec, MessageChaosSpec, NodeId,
-    SimDuration, SimTime,
+    fork, ChurnSpec, CollusionScript, CollusionSpec, FaultCounters, FaultPlan, ForgeSpec,
+    GrayProfile, GraySpec, MessageChaosSpec, NodeId, SimDuration, SimTime,
 };
 
 /// Subscriber count; the deployment adds one publisher at node 0.
@@ -70,7 +70,109 @@ fn plan_for(seed: u64) -> FaultPlan {
         }],
         corruption: vec![],
         liars: vec![],
+        collusion: vec![],
+        forgery: vec![],
     }
+}
+
+/// Draws the seeded Byzantine plan for one fuzz run: a colluding group
+/// jointly capturing publisher 0's log epoch, plus a separate clique of
+/// forgers fabricating items under bogus signatures. Node 0 (the publisher)
+/// is spared, and colluders/forgers are disjoint.
+fn byzantine_plan_for(seed: u64) -> FaultPlan {
+    let mut rng = fork(seed, 0xB7);
+    let mut picked: HashSet<u32> = HashSet::new();
+    let draw = |rng: &mut _, picked: &mut HashSet<u32>, n: usize| {
+        let mut out = Vec::new();
+        while out.len() < n {
+            let v: u32 = rand::Rng::gen_range(rng, 1..N);
+            if picked.insert(v) {
+                out.push(NodeId(v));
+            }
+        }
+        out
+    };
+    let colluders = draw(&mut rng, &mut picked, 5);
+    let forgers = draw(&mut rng, &mut picked, 3);
+    FaultPlan {
+        salt: seed,
+        churn: vec![],
+        gray: vec![],
+        link_cuts: vec![],
+        partitions: vec![],
+        message_chaos: vec![],
+        corruption: vec![],
+        liars: vec![],
+        collusion: vec![CollusionSpec {
+            nodes: colluders,
+            start: SimTime::from_secs(90),
+            end: SimTime::from_secs(140),
+            mean_interval_secs: 6.0,
+            script: CollusionScript::EpochCapture { publisher: 0 },
+        }],
+        forgery: vec![ForgeSpec {
+            nodes: forgers,
+            start: SimTime::from_secs(90),
+            end: SimTime::from_secs(140),
+            mean_interval_secs: 8.0,
+            items_per_strike: 3,
+            publisher: 0,
+        }],
+    }
+}
+
+/// One Byzantine chaos run with defenses on. Returns the same replayable
+/// fingerprint as [`fuzz_once`]; asserts the forgery-safety verdict and
+/// that the adversary actually struck.
+fn byzantine_once(seed: u64) -> (Vec<(u32, u64, u64)>, FaultCounters) {
+    let mut config = NewsWireConfig::tech_news();
+    config.redundancy = 2;
+    let mut d = DeploymentBuilder::new(N, seed)
+        .branching(8)
+        .config(config)
+        .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+        .build();
+    d.settle(90);
+
+    let plan = byzantine_plan_for(seed);
+    d.sim.apply_fault_plan(&plan);
+
+    let items: Vec<NewsItem> = (0..12u64)
+        .map(|s| {
+            NewsItem::builder(PublisherId(0), s)
+                .headline(format!("byz {s}"))
+                .category(Category::Technology)
+                .build()
+        })
+        .collect();
+    for (i, item) in items.iter().enumerate() {
+        d.publish(SimTime::from_secs(92 + 3 * i as u64), item.clone());
+    }
+    d.settle(150);
+
+    let counters = d.sim.fault_counters();
+    assert!(counters.collusion_strikes > 0, "seed {seed}: collusion never struck");
+    assert!(counters.forged_items_injected > 0, "seed {seed}: forgery never injected");
+
+    // Byzantine nodes are exempt from eventual delivery (their own state
+    // was puppeted — e.g. an epoch-captured log dedups real items as
+    // already-seen) but every honest node is held to every invariant, and
+    // with defenses on, no forged item may have reached ANY application —
+    // colluders and forgers included.
+    let mut exempt: BTreeSet<NodeId> = plan.colluding_nodes();
+    exempt.extend(plan.forging_nodes());
+    let report = check_invariants(&d, &items, &exempt);
+    assert!(report.survivor_expected > 0, "seed {seed}: vacuous oracle run");
+    assert!(report.no_forged_delivery(), "seed {seed}: forged delivery: {report}");
+    assert!(report.holds(), "seed {seed}: {report}");
+
+    let mut fingerprint = Vec::new();
+    for (id, node) in d.sim.iter() {
+        for rec in &node.deliveries {
+            fingerprint.push((id.0, rec.msg_id, rec.delivered.since(SimTime::ZERO).as_micros()));
+        }
+    }
+    (fingerprint, counters)
 }
 
 /// One full chaos run. Returns a fingerprint of every application delivery
@@ -152,4 +254,24 @@ fn fuzz_runs_replay_bit_for_bit() {
     assert_eq!(first, again, "same seed must replay identically");
     let other = fuzz_once(43);
     assert_ne!(first.0, other.0, "different seeds must diverge");
+}
+
+#[test]
+fn byzantine_fuzz_upholds_forgery_safety() {
+    for seed in 1..=3u64 {
+        byzantine_once(seed);
+    }
+}
+
+#[test]
+fn byzantine_fuzz_replays_bit_for_bit() {
+    let first = byzantine_once(42);
+    let again = byzantine_once(42);
+    assert_eq!(first, again, "same seed must replay identically, strikes included");
+    let other = byzantine_once(43);
+    assert_ne!(
+        (&first.1.collusion_strikes, &first.1.forged_items_injected, &first.0),
+        (&other.1.collusion_strikes, &other.1.forged_items_injected, &other.0),
+        "different seeds must diverge"
+    );
 }

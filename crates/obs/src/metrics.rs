@@ -185,6 +185,22 @@ pub mod ctr {
         LIAR_MESSAGES_INTERCEPTED = 67, "liar_messages_intercepted";
         /// Self-stabilization verdicts recorded by the oracle.
         ORACLE_STABILIZATION_RUNS = 68, "oracle_stabilization_runs";
+        // -- Byzantine zones: collusion, forgery, signed-authority defenses --
+        /// Items rejected by signature verification on an admission path.
+        NW_FORGED_REJECTS = 69, "forged_rejects";
+        /// Peers quarantined out of peer selection by misbehavior score.
+        NW_QUARANTINES = 70, "quarantines";
+        /// Epoch claims refused for lacking (or failing) publisher-signed
+        /// authority.
+        NW_SIGNED_EPOCH_REFUSALS = 71, "signed_epoch_refusals";
+        /// Collusion-script strikes executed against colluding members.
+        COLLUSION_STRIKES = 72, "collusion_strikes";
+        /// Outbound messages tampered or dropped by a colluding member.
+        COLLUSION_INTERCEPTS = 73, "collusion_intercepts";
+        /// Forged items fabricated into node state by `ForgeItems` strikes.
+        FORGED_ITEMS_INJECTED = 74, "forged_items_injected";
+        /// Forged-delivery violations found by the oracle.
+        ORACLE_FORGED_VIOLATIONS = 75, "oracle_forged_violations";
     }
 }
 
@@ -553,6 +569,12 @@ mod tests {
         assert_eq!(s.counter_name(ctr::NW_BACKFILL_ITEMS), "nw_backfill_items");
         assert_eq!(s.counter_name(ctr::CORRUPT_ROWS_REJECTED), "corrupt_rows_rejected");
         assert_eq!(s.counter_name(ctr::LIAR_MESSAGES_INTERCEPTED), "liar_messages_intercepted");
+        assert_eq!(s.counter_name(ctr::NW_FORGED_REJECTS), "forged_rejects");
+        assert_eq!(s.counter_name(ctr::NW_QUARANTINES), "quarantines");
+        assert_eq!(s.counter_name(ctr::NW_SIGNED_EPOCH_REFUSALS), "signed_epoch_refusals");
+        assert_eq!(s.counter_name(ctr::COLLUSION_STRIKES), "collusion_strikes");
+        assert_eq!(s.counter_name(ctr::COLLUSION_INTERCEPTS), "collusion_intercepts");
+        assert_eq!(s.counter_name(ctr::FORGED_ITEMS_INJECTED), "forged_items_injected");
         assert_eq!(s.gauge_name(gauge::ASTRO_ROWS_HELD), "astro_rows_held");
         assert_eq!(s.hist_def(hist::GOSSIP_DIGEST_BYTES).name, "gossip_digest_bytes");
         assert_eq!(s.series_name(series::DELIVERY_LATENCY_US), "delivery_latency_us");

@@ -64,6 +64,9 @@ pub mod kind {
     /// An outbound message was intercepted by a liar behavior
     /// (`a` = destination, `b` = 1 if tampered, 2 if dropped).
     pub const LIAR_INTERCEPT: u8 = 9;
+    /// A collusion-script strike executed on a colluding member
+    /// (`a` = corruption op discriminant, `b` = units affected).
+    pub const COLLUSION_STRIKE: u8 = 10;
 
     /// One gossip round executed (`a` = rows held, `b` = digests sent).
     pub const GOSSIP_ROUND: u8 = 16;
@@ -129,6 +132,16 @@ pub mod kind {
     /// The oracle ruled on self-stabilization (`a` = rounds used,
     /// `b` = 1 if every invariant was restored within the budget).
     pub const SELF_STABILIZED: u8 = 62;
+    /// An item failed signature verification at an admission path
+    /// (`a` = path discriminant: 1 = envelope, 2 = repair reply,
+    /// 3 = reconcile reply, 4 = stable-storage restore; `b` = publisher).
+    pub const FORGED_REJECT: u8 = 63;
+    /// A peer crossed the misbehavior threshold and was quarantined out of
+    /// peer selection (`a` = peer, `b` = accumulated score).
+    pub const PEER_QUARANTINE: u8 = 64;
+    /// An epoch claim above the publisher's signed authority was refused
+    /// (`a` = claimed epoch, `b` = publisher).
+    pub const SIGNED_EPOCH_REFUSAL: u8 = 65;
 
     /// Stable lowercase name of a kind (used in exports).
     pub fn name(k: u8) -> &'static str {
@@ -142,6 +155,7 @@ pub mod kind {
             NODE_RESTART => "node_restart",
             STATE_CORRUPT => "state_corrupt",
             LIAR_INTERCEPT => "liar_intercept",
+            COLLUSION_STRIKE => "collusion_strike",
             GOSSIP_ROUND => "gossip_round",
             GOSSIP_DIGEST => "gossip_digest",
             GOSSIP_DIFF => "gossip_diff",
@@ -167,6 +181,9 @@ pub mod kind {
             NW_RECOVERY_START => "nw_recovery_start",
             NW_RECOVERY_DONE => "nw_recovery_done",
             SELF_STABILIZED => "self_stabilized",
+            FORGED_REJECT => "forged_reject",
+            PEER_QUARANTINE => "peer_quarantine",
+            SIGNED_EPOCH_REFUSAL => "signed_epoch_refusal",
             _ => "unknown",
         }
     }
@@ -385,6 +402,10 @@ mod tests {
         assert_eq!(kind::name(kind::NODE_RESTART), "node_restart");
         assert_eq!(kind::name(kind::INCARNATION_BUMP), "incarnation_bump");
         assert_eq!(kind::name(kind::NW_RECOVERY_DONE), "nw_recovery_done");
+        assert_eq!(kind::name(kind::COLLUSION_STRIKE), "collusion_strike");
+        assert_eq!(kind::name(kind::FORGED_REJECT), "forged_reject");
+        assert_eq!(kind::name(kind::PEER_QUARANTINE), "peer_quarantine");
+        assert_eq!(kind::name(kind::SIGNED_EPOCH_REFUSAL), "signed_epoch_refusal");
         assert_eq!(kind::name(250), "unknown");
         assert_eq!(Layer::from_u8(2), Some(Layer::Amcast));
         assert_eq!(Layer::from_u8(9), None);

@@ -44,7 +44,7 @@ use std::collections::BTreeSet;
 use rand::Rng;
 
 use crate::disk::RestartMode;
-use crate::node::{CorruptionOp, LiarBehavior, Node, NodeId};
+use crate::node::{CorruptionOp, LiarBehavior, LiarMode, Node, NodeId};
 use crate::rng::{exp_sample, fork};
 use crate::sim::Simulation;
 use crate::time::{SimDuration, SimTime};
@@ -157,6 +157,84 @@ pub struct CorruptionSpec {
     pub op: CorruptionOp,
 }
 
+/// The shared script a colluding group executes (see [`CollusionSpec`]).
+/// Every member runs the *same* script with *jointly chosen* fabricated
+/// values, which is what distinguishes collusion from independent
+/// corruption: an unsigned neighborhood vote can be captured only when the
+/// liars agree with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollusionScript {
+    /// Jointly vote the consensus epoch upward: every member repeatedly
+    /// asserts the same fabricated log epoch for `publisher` (drawn once
+    /// per spec from the plan stream) and advertises it, so the group forms
+    /// a leaf-zone majority behind a history that never happened.
+    EpochCapture {
+        /// Raw id of the publisher whose epoch the group captures.
+        publisher: u16,
+    },
+    /// Coordinated `SelectiveDrop` along a publisher→subscriber routing
+    /// path: every member silently drops the outbound payload traffic it
+    /// was trusted to forward, for the whole window.
+    RoutePartition,
+    /// Split-brain lying: each member tells different peers different
+    /// stories about its anti-entropy digests (inflated to one half of the
+    /// destination space, stale to the other).
+    SplitBrain,
+}
+
+impl CollusionScript {
+    /// Stable lowercase name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollusionScript::EpochCapture { .. } => "epoch_capture",
+            CollusionScript::RoutePartition => "route_partition",
+            CollusionScript::SplitBrain => "split_brain",
+        }
+    }
+}
+
+/// A seeded group of nodes bound to a shared Byzantine script for a window.
+/// Strike cadence (for episodic scripts like
+/// [`CollusionScript::EpochCapture`]) is Poisson per member; behavioral
+/// scripts install liar behaviors for the window. The group membership is
+/// marked in the engine so its strikes and intercepts are tallied as
+/// *collusion* (not independent corruption) and harnesses can sweep the
+/// colluding fraction.
+#[derive(Debug, Clone)]
+pub struct CollusionSpec {
+    /// The colluding members.
+    pub nodes: Vec<NodeId>,
+    /// When the script starts.
+    pub start: SimTime,
+    /// When it stops.
+    pub end: SimTime,
+    /// Mean seconds between strikes against one member (episodic scripts).
+    pub mean_interval_secs: f64,
+    /// What the group jointly does.
+    pub script: CollusionScript,
+}
+
+/// A Poisson process of item-forgery strikes: each strike fabricates
+/// `items_per_strike` forged payload items (invented content under bogus
+/// signatures, impersonating `publisher`) directly into the victim's own
+/// state, where repair and anti-entropy traffic will offer them to honest
+/// peers. Expands to [`CorruptionOp::ForgeItems`] strikes.
+#[derive(Debug, Clone)]
+pub struct ForgeSpec {
+    /// Nodes that fabricate forged items.
+    pub nodes: Vec<NodeId>,
+    /// When the forgery window opens.
+    pub start: SimTime,
+    /// When it closes.
+    pub end: SimTime,
+    /// Mean seconds between strikes against one node.
+    pub mean_interval_secs: f64,
+    /// Forged items fabricated per strike.
+    pub items_per_strike: u32,
+    /// Raw id of the publisher being impersonated.
+    pub publisher: u16,
+}
+
 /// A liar window: the nodes run their outbound traffic through the
 /// protocol's `tamper_outbound` interceptor for the duration.
 #[derive(Debug, Clone)]
@@ -195,6 +273,10 @@ pub struct FaultPlan {
     pub corruption: Vec<CorruptionSpec>,
     /// Liar windows.
     pub liars: Vec<LiarSpec>,
+    /// Colluding-group scripts.
+    pub collusion: Vec<CollusionSpec>,
+    /// Item-forgery processes.
+    pub forgery: Vec<ForgeSpec>,
 }
 
 impl FaultPlan {
@@ -217,6 +299,16 @@ impl FaultPlan {
     /// Every node any liar window covers.
     pub fn liar_nodes(&self) -> BTreeSet<NodeId> {
         self.liars.iter().flat_map(|l| l.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any collusion script binds.
+    pub fn colluding_nodes(&self) -> BTreeSet<NodeId> {
+        self.collusion.iter().flat_map(|c| c.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any forgery process may strike.
+    pub fn forging_nodes(&self) -> BTreeSet<NodeId> {
+        self.forgery.iter().flat_map(|f| f.nodes.iter().copied()).collect()
     }
 }
 
@@ -310,6 +402,67 @@ impl<N: Node> Simulation<N> {
                 }
             }
         }
+        for spec in &plan.collusion {
+            assert!(spec.start < spec.end, "collusion window must end after it starts");
+            for &node in &spec.nodes {
+                self.schedule_colluder(spec.start, node, true);
+                self.schedule_colluder(spec.end, node, false);
+            }
+            match spec.script {
+                CollusionScript::EpochCapture { publisher } => {
+                    assert!(
+                        spec.mean_interval_secs > 0.0,
+                        "epoch-capture script needs a positive mean interval"
+                    );
+                    // The joint vote: one fabricated epoch, drawn once from
+                    // the plan stream, asserted by every member. High enough
+                    // that no legitimate restart history reaches it.
+                    let epoch: u32 = 100 + rng.gen_range(0u32..64);
+                    let op = CorruptionOp::VoteEpoch { publisher, epoch };
+                    let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+                    for &node in &spec.nodes {
+                        let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                            + exp_sample(&mut rng, spec.mean_interval_secs);
+                        while t < end {
+                            let strike_seed: u64 = rng.gen();
+                            self.schedule_corruption(at_secs(t), node, op, strike_seed);
+                            t += exp_sample(&mut rng, spec.mean_interval_secs);
+                        }
+                    }
+                }
+                CollusionScript::RoutePartition => {
+                    let behavior = LiarBehavior { mode: LiarMode::SelectiveDrop, prob: 1.0 };
+                    for &node in &spec.nodes {
+                        self.schedule_liar(spec.start, node, Some(behavior));
+                        self.schedule_liar(spec.end, node, None);
+                    }
+                }
+                CollusionScript::SplitBrain => {
+                    let behavior = LiarBehavior { mode: LiarMode::SplitBrain, prob: 1.0 };
+                    for &node in &spec.nodes {
+                        self.schedule_liar(spec.start, node, Some(behavior));
+                        self.schedule_liar(spec.end, node, None);
+                    }
+                }
+            }
+        }
+        for spec in &plan.forgery {
+            assert!(spec.mean_interval_secs > 0.0, "forge spec needs a positive mean interval");
+            let op = CorruptionOp::ForgeItems {
+                items: spec.items_per_strike,
+                publisher: spec.publisher,
+            };
+            let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+            for &node in &spec.nodes {
+                let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                    + exp_sample(&mut rng, spec.mean_interval_secs);
+                while t < end {
+                    let strike_seed: u64 = rng.gen();
+                    self.schedule_corruption(at_secs(t), node, op, strike_seed);
+                    t += exp_sample(&mut rng, spec.mean_interval_secs);
+                }
+            }
+        }
     }
 }
 
@@ -357,18 +510,29 @@ mod tests {
             ctx.set_timer(SimDuration::from_secs(1), 0);
         }
         fn apply_corruption(&mut self, op: &CorruptionOp, rng: &mut SmallRng) -> u64 {
-            if let CorruptionOp::ZoneRows { rows } = op {
-                for _ in 0..*rows {
-                    self.draws.push(rng.gen());
+            match op {
+                CorruptionOp::ZoneRows { rows } => {
+                    for _ in 0..*rows {
+                        self.draws.push(rng.gen());
+                    }
+                    u64::from(*rows)
                 }
-                u64::from(*rows)
-            } else {
-                0
+                CorruptionOp::ForgeItems { items, .. } => {
+                    for _ in 0..*items {
+                        self.draws.push(rng.gen());
+                    }
+                    u64::from(*items)
+                }
+                CorruptionOp::VoteEpoch { epoch, .. } => {
+                    self.draws.push(u64::from(*epoch));
+                    1
+                }
+                _ => 0,
             }
         }
         fn tamper_outbound(
             &mut self,
-            _to: NodeId,
+            to: NodeId,
             msg: &mut Vec<u8>,
             mode: LiarMode,
             rng: &mut SmallRng,
@@ -380,6 +544,10 @@ mod tests {
                 }
                 LiarMode::SelectiveDrop => LiarAction::Dropped,
                 LiarMode::StaleDigest => LiarAction::Pass,
+                LiarMode::SplitBrain => {
+                    msg[0] = if to.0.is_multiple_of(2) { 101 } else { 102 };
+                    LiarAction::Tampered
+                }
             }
         }
     }
@@ -485,6 +653,104 @@ mod tests {
         assert_eq!(s1.node(NodeId(1)).got, s2.node(NodeId(1)).got);
         assert_eq!(s1.fault_counters().state_corruptions, 0);
         assert_eq!(s1.fault_counters().liar_intercepts, 0);
+        assert_eq!(s1.fault_counters().collusion_strikes, 0);
+        assert_eq!(s1.fault_counters().collusion_intercepts, 0);
+        assert_eq!(s1.fault_counters().forged_items_injected, 0);
+    }
+
+    #[test]
+    fn collusion_epoch_capture_is_seed_deterministic() {
+        let plan = FaultPlan {
+            salt: 0xC0117,
+            collusion: vec![CollusionSpec {
+                nodes: vec![NodeId(0), NodeId(1)],
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(30),
+                mean_interval_secs: 5.0,
+                script: CollusionScript::EpochCapture { publisher: 0 },
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(21, &plan);
+        let s2 = chatty_pair(21, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.collusion_strikes > 0, "the script must actually strike");
+        assert_eq!(
+            f1.state_corruptions, f1.collusion_strikes,
+            "colluder strikes are also state corruptions"
+        );
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical strike counters");
+        // The vote is *joint*: both members assert the identical fabricated
+        // epoch, every strike.
+        let all: Vec<u64> = s1
+            .node(NodeId(0))
+            .draws
+            .iter()
+            .chain(s1.node(NodeId(1)).draws.iter())
+            .copied()
+            .collect();
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|&e| e == all[0]), "colluders must vote the same epoch");
+        assert!(all[0] >= 100, "the fabricated epoch sits above any legitimate history");
+        assert_eq!(s1.node(NodeId(0)).draws, s2.node(NodeId(0)).draws);
+        // A different salt draws a different schedule (and usually epoch).
+        let s3 = chatty_pair(21, &FaultPlan { salt: 0xD00D, ..plan.clone() });
+        assert_ne!(
+            (s1.node(NodeId(0)).draws.clone(), s1.fault_counters().collusion_strikes),
+            (s3.node(NodeId(0)).draws.clone(), s3.fault_counters().collusion_strikes),
+            "salt must re-randomize the script"
+        );
+    }
+
+    #[test]
+    fn collusion_split_brain_lies_by_destination() {
+        let plan = FaultPlan {
+            salt: 0x5B,
+            collusion: vec![CollusionSpec {
+                nodes: vec![NodeId(0)],
+                start: SimTime::from_secs(2),
+                end: SimTime::from_secs(30),
+                mean_interval_secs: 5.0,
+                script: CollusionScript::SplitBrain,
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(23, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.collusion_intercepts > 0, "the colluder must intercept");
+        assert_eq!(f1.liar_intercepts, 0, "colluder intercepts are tallied separately");
+        // Node 1 is an odd destination: it sees the odd-half story only.
+        assert!(s1.node(NodeId(1)).got.contains(&102));
+        assert!(s1.node(NodeId(1)).got.iter().all(|&b| b != 101));
+        assert_eq!(s1.fault_counters(), chatty_pair(23, &plan).fault_counters());
+    }
+
+    #[test]
+    fn forge_spec_schedule_is_seed_deterministic() {
+        let plan = FaultPlan {
+            salt: 0xF06E,
+            forgery: vec![ForgeSpec {
+                nodes: vec![NodeId(1)],
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(35),
+                mean_interval_secs: 6.0,
+                items_per_strike: 2,
+                publisher: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(29, &plan);
+        let s2 = chatty_pair(29, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.forged_items_injected > 0, "forgery must actually inject");
+        assert_eq!(f1.collusion_strikes, 0, "a lone forger is not a collusion");
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical forge counters");
+        assert_eq!(s1.node(NodeId(1)).draws, s2.node(NodeId(1)).draws);
+        assert_eq!(
+            f1.forged_items_injected,
+            s1.node(NodeId(1)).draws.len() as u64,
+            "every fabricated item was drawn from the strike stream"
+        );
     }
 
     #[test]

@@ -70,8 +70,8 @@ mod topology;
 
 pub use disk::{Disk, RestartMode};
 pub use faults::{
-    ChurnSpec, CorruptionSpec, FaultPlan, GraySpec, LiarSpec, LinkCutSpec, MessageChaosSpec,
-    PartitionSpec,
+    ChurnSpec, CollusionScript, CollusionSpec, CorruptionSpec, FaultPlan, ForgeSpec, GraySpec,
+    LiarSpec, LinkCutSpec, MessageChaosSpec, PartitionSpec,
 };
 pub use node::{
     Context, CorruptionOp, LiarAction, LiarBehavior, LiarMode, Node, NodeId, Payload, TimerId,

@@ -44,7 +44,7 @@ impl From<u32> for NodeId {
 pub struct TimerId(pub(crate) u64);
 
 /// One flavor of adversarial state corruption the fault engine can inflict
-/// on a node (see `CorruptionSpec`). The engine handles [`DiskBytes`]
+/// on a node (see `CorruptionSpec`). The engine handles [`CorruptionOp::DiskBytes`]
 /// itself (it owns the disks); the in-memory flavors are dispatched to the
 /// protocol through [`Node::apply_corruption`], so the engine stays generic
 /// over what a node's state looks like.
@@ -69,6 +69,26 @@ pub enum CorruptionOp {
         /// Bits to flip.
         flips: u32,
     },
+    /// Fabricate `items` forged payload items (bogus content under invented
+    /// or tampered signatures) directly into the node's own state, where
+    /// anti-entropy and repair traffic will offer them to honest peers.
+    /// `publisher` is the raw id of the authority being impersonated.
+    ForgeItems {
+        /// Forged items to fabricate per strike.
+        items: u32,
+        /// Raw id of the publisher being impersonated.
+        publisher: u16,
+    },
+    /// Assert a jointly-fabricated log epoch for `publisher` and advertise
+    /// it: the collusion script's vote. Every colluding member asserts the
+    /// *same* `epoch`, so an unsigned neighborhood mode can be captured by
+    /// a majority while signed authority cannot.
+    VoteEpoch {
+        /// Raw id of the publisher whose history is being rewritten.
+        publisher: u16,
+        /// The fabricated epoch the group jointly claims.
+        epoch: u32,
+    },
 }
 
 impl CorruptionOp {
@@ -78,6 +98,8 @@ impl CorruptionOp {
             CorruptionOp::ZoneRows { .. } => 1,
             CorruptionOp::LogEpoch { .. } => 2,
             CorruptionOp::DiskBytes { .. } => 3,
+            CorruptionOp::ForgeItems { .. } => 4,
+            CorruptionOp::VoteEpoch { .. } => 5,
         }
     }
 
@@ -87,6 +109,8 @@ impl CorruptionOp {
             CorruptionOp::ZoneRows { .. } => "zone_rows",
             CorruptionOp::LogEpoch { .. } => "log_epoch",
             CorruptionOp::DiskBytes { .. } => "disk_bytes",
+            CorruptionOp::ForgeItems { .. } => "forge_items",
+            CorruptionOp::VoteEpoch { .. } => "vote_epoch",
         }
     }
 }
@@ -101,6 +125,11 @@ pub enum LiarMode {
     SelectiveDrop,
     /// Re-advertise stale anti-entropy digests (claim to know nothing).
     StaleDigest,
+    /// Split-brain lying: tell *different* stories to different peers —
+    /// inflated anti-entropy digests to one half of the destination space,
+    /// stale ones to the other — so no single observer sees a
+    /// contradiction, only the neighborhood in aggregate does.
+    SplitBrain,
 }
 
 impl LiarMode {
@@ -110,6 +139,7 @@ impl LiarMode {
             LiarMode::MisSummarize => "mis_summarize",
             LiarMode::SelectiveDrop => "selective_drop",
             LiarMode::StaleDigest => "stale_digest",
+            LiarMode::SplitBrain => "split_brain",
         }
     }
 }

@@ -6,7 +6,7 @@
 //! inputs — the determinism every experiment in this reproduction relies on.
 
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::rc::Rc;
 
 use obs::{ctr, kind, Layer, Telemetry, TelemetryHub};
@@ -62,6 +62,7 @@ enum EventKind<M> {
     SetReorder { prob: f64, jitter: SimDuration },
     Corrupt { node: NodeId, op: CorruptionOp, seed: u64 },
     SetLiar(NodeId, Option<LiarBehavior>),
+    SetColluder(NodeId, bool),
 }
 
 struct QueuedEvent<M> {
@@ -148,6 +149,11 @@ pub struct Simulation<N: Node> {
     peak_queue: usize,
     /// Liar behaviors currently installed, by node id (see `LiarSpec`).
     liars: HashMap<u32, LiarBehavior>,
+    /// Nodes currently marked as members of a collusion group. Membership
+    /// only changes *attribution* — strikes and intercepts by colluders
+    /// tally into the collusion counters — never behavior, so an empty set
+    /// leaves every legacy run bit-identical.
+    colluders: HashSet<u32>,
     /// Dedicated RNG stream for liar interception decisions. Only drawn
     /// from while a liar behavior is installed, so configuring no liars
     /// leaves every other stream — and thus the whole run — untouched.
@@ -189,6 +195,7 @@ impl<N: Node> Simulation<N> {
             events_processed: 0,
             peak_queue: 0,
             liars: HashMap::new(),
+            colluders: HashSet::new(),
             liar_rng: fork(seed, LIAR_STREAM),
         }
     }
@@ -217,6 +224,9 @@ impl<N: Node> Simulation<N> {
             partitions_healed: g.ctr(ctr::PARTITIONS_HEALED),
             state_corruptions: g.ctr(ctr::STATE_CORRUPTIONS),
             liar_intercepts: g.ctr(ctr::LIAR_MESSAGES_INTERCEPTED),
+            collusion_strikes: g.ctr(ctr::COLLUSION_STRIKES),
+            collusion_intercepts: g.ctr(ctr::COLLUSION_INTERCEPTS),
+            forged_items_injected: g.ctr(ctr::FORGED_ITEMS_INJECTED),
         }
     }
 
@@ -500,6 +510,20 @@ impl<N: Node> Simulation<N> {
         self.push(at, EventKind::SetLiar(node, behavior));
     }
 
+    /// Schedules `node` joining (`true`) or leaving (`false`) the collusion
+    /// set at `at`. Membership changes attribution only: corruption strikes
+    /// and liar intercepts by a member tally into the `collusion_*` counters
+    /// instead of (intercepts) or in addition to (strikes) the solo ones.
+    pub fn schedule_colluder(&mut self, at: SimTime, node: NodeId, on: bool) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        debug_assert!(
+            node.index() < self.nodes.len(),
+            "schedule_colluder: node {node} out of range (have {})",
+            self.nodes.len()
+        );
+        self.push(at, EventKind::SetColluder(node, on));
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -558,7 +582,14 @@ impl<N: Node> Simulation<N> {
                             );
                             if action != LiarAction::Pass {
                                 let mut hub = self.hub.borrow_mut();
-                                hub.global_mut().ctr_add(ctr::LIAR_MESSAGES_INTERCEPTED, 1);
+                                // A coordinated lie is attributed to the
+                                // collusion group, not the solo-liar tally.
+                                let slot = if self.colluders.contains(&id.0) {
+                                    ctr::COLLUSION_INTERCEPTS
+                                } else {
+                                    ctr::LIAR_MESSAGES_INTERCEPTED
+                                };
+                                hub.global_mut().ctr_add(slot, 1);
                                 if obs::ENABLED {
                                     let what = if action == LiarAction::Tampered { 1 } else { 2 };
                                     hub.trace_at(
@@ -822,6 +853,9 @@ impl<N: Node> Simulation<N> {
                     };
                     let mut hub = self.hub.borrow_mut();
                     hub.global_mut().ctr_add(ctr::STATE_CORRUPTIONS, 1);
+                    if matches!(op, CorruptionOp::ForgeItems { .. }) {
+                        hub.global_mut().ctr_add(ctr::FORGED_ITEMS_INJECTED, units);
+                    }
                     if obs::ENABLED {
                         hub.trace_at(
                             self.now.as_micros(),
@@ -831,6 +865,19 @@ impl<N: Node> Simulation<N> {
                             op.discriminant(),
                             units,
                         );
+                    }
+                    if self.colluders.contains(&node.0) {
+                        hub.global_mut().ctr_add(ctr::COLLUSION_STRIKES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::COLLUSION_STRIKE,
+                                op.discriminant(),
+                                units,
+                            );
+                        }
                     }
                 }
             }
@@ -842,6 +889,13 @@ impl<N: Node> Simulation<N> {
                     self.liars.remove(&node.0);
                 }
             },
+            EventKind::SetColluder(node, on) => {
+                if on {
+                    self.colluders.insert(node.0);
+                } else {
+                    self.colluders.remove(&node.0);
+                }
+            }
         }
         true
     }

@@ -69,6 +69,14 @@ pub struct FaultCounters {
     pub state_corruptions: u64,
     /// Outbound messages tampered with or dropped by liar interception.
     pub liar_intercepts: u64,
+    /// Corruption strikes executed by members of a collusion group
+    /// (counted in addition to `state_corruptions`).
+    pub collusion_strikes: u64,
+    /// Liar intercepts executed by members of a collusion group (these do
+    /// *not* also count into `liar_intercepts`; the two partition the total).
+    pub collusion_intercepts: u64,
+    /// Forged news items fabricated into node state by `ForgeItems` strikes.
+    pub forged_items_injected: u64,
 }
 
 impl FaultCounters {
@@ -96,6 +104,9 @@ impl FaultCounters {
         self.partitions_healed += other.partitions_healed;
         self.state_corruptions += other.state_corruptions;
         self.liar_intercepts += other.liar_intercepts;
+        self.collusion_strikes += other.collusion_strikes;
+        self.collusion_intercepts += other.collusion_intercepts;
+        self.forged_items_injected += other.forged_items_injected;
     }
 }
 
