@@ -126,14 +126,15 @@ struct RoundState {
     agg_attrs: Arc<[(AttrName, AttrValue)]>,
 }
 
-/// One cached aggregate summary (see [`Agent::recompute_level`]): the
-/// attribute list last computed over `tables[level]`, valid while the source
-/// table's content generation and the mobile-code scope both stand still.
+/// One cached aggregate summary (see [`Agent::recompute_level`]): the row
+/// last computed over `tables[level]`, valid while the source table's
+/// content generation and the mobile-code scope both stand still. Re-issuing
+/// it is [`Mib::restamped`] — the attribute payload is shared, not copied.
 #[derive(Debug)]
 struct AggCache {
     content_gen: u64,
     epoch: u64,
-    attrs: Vec<(AttrName, AttrValue)>,
+    proto: Arc<Mib>,
 }
 
 /// One node's Astrolabe state machine. See the module docs for the protocol.
@@ -173,9 +174,9 @@ pub struct Agent {
     agg_cache: Vec<Option<AggCache>>,
     /// Bumped whenever `local` changes; keys `own_row_cache`.
     local_gen: u64,
-    /// The fully decorated own-row attributes (locals + `id`/`reps`/
-    /// `nmembers`), rebuilt only when `local` changed.
-    own_row_cache: Option<(u64, Vec<(AttrName, AttrValue)>)>,
+    /// The fully decorated own row (locals + `id`/`reps`/`nmembers`),
+    /// rebuilt only when `local` changed; heartbeats re-stamp it in place.
+    own_row_cache: Option<(u64, Arc<Mib>)>,
     /// Per-level gossip peer candidates, keyed on the content generations of
     /// the level's table and its parent (the two inputs of
     /// [`Agent::peers_at`]).
@@ -201,6 +202,13 @@ pub struct Agent {
     /// older incarnation are stale gossip from before that peer's cold
     /// restart and are fenced (dropped) regardless of stamp.
     incar_seen: HashMap<u16, u64>,
+    /// Memoized `incar` attribute reads for the leaf fence, one slot per
+    /// leaf label: the last row examined (the `Arc` pins its attribute
+    /// allocation, so pointer identity can never alias a freed block) and
+    /// its incarnation. Steady-state heartbeats share the held row's
+    /// attribute allocation via [`Mib::restamped`], so the fence becomes a
+    /// pointer compare instead of a per-row attribute lookup.
+    incar_cache: Vec<Option<(Arc<Mib>, u64)>>,
     /// Node ids observed under a *newer* incarnation since the last drain —
     /// the host resets its own per-peer failure detectors for these (a
     /// restarted peer must be immediately selectable again, not held hostage
@@ -255,6 +263,7 @@ impl Agent {
             tombstones: HashMap::new(),
             incarnation: 0,
             incar_seen: HashMap::new(),
+            incar_cache: Vec::new(),
             incarnation_bumps: Vec::new(),
             validate_ingest: false,
         }
@@ -406,11 +415,11 @@ impl Agent {
 
     fn refresh_own_row(&mut self, now: SimTime) {
         let stamp = self.next_stamp(now);
-        if let Some((gen, attrs)) = &self.own_row_cache {
+        if let Some((gen, proto)) = &self.own_row_cache {
             if *gen == self.local_gen {
-                // Heartbeat of an unchanged row: re-stamp the cached
-                // attribute list (already sorted, so `Mib::new` is a copy).
-                let row = Arc::new(Mib::new(stamp, attrs.clone()));
+                // Heartbeat of an unchanged row: re-stamp the cached row,
+                // sharing its attribute allocation.
+                let row = Arc::new(proto.restamped(stamp));
                 self.tables[0].merge_row(self.own_slot, row);
                 return;
             }
@@ -430,9 +439,9 @@ impl Agent {
         reps.insert(u64::from(self.id));
         b.set("reps", AttrValue::Set(reps));
         b.set("nmembers", 1i64);
-        let attrs = b.into_attrs();
-        self.own_row_cache = Some((self.local_gen, attrs.clone()));
-        self.tables[0].merge_row(self.own_slot, Arc::new(Mib::new(stamp, attrs)));
+        let row = Arc::new(Mib::new(stamp, b.into_attrs()));
+        self.own_row_cache = Some((self.local_gen, Arc::clone(&row)));
+        self.tables[0].merge_row(self.own_slot, row);
     }
 
     /// Tuning for the per-row failure detectors, derived from the gossip
@@ -541,17 +550,21 @@ impl Agent {
 
         let label = self.own_label(parent);
         let content = self.tables[level].content_generation();
-        if let Some(c) = &self.agg_cache[level] {
-            if c.content_gen == content && c.epoch == self.scope_epoch {
-                // Source rows were only re-stamped since the last round: the
-                // summary values are unchanged, so re-issue them under a
-                // fresh stamp without re-running the programs.
-                obs::metric_add!(self.id, ctr::AGG_CACHE_HITS, 1);
-                let attrs = c.attrs.clone();
-                let stamp = self.next_stamp(now);
-                self.tables[parent].merge_row(label, Arc::new(Mib::new(stamp, attrs)));
-                return;
+        let cached = match &self.agg_cache[level] {
+            Some(c) if c.content_gen == content && c.epoch == self.scope_epoch => {
+                Some(Arc::clone(&c.proto))
             }
+            _ => None,
+        };
+        if let Some(proto) = cached {
+            // Source rows were only re-stamped since the last round: the
+            // summary values are unchanged, so re-issue the cached row under
+            // a fresh stamp without re-running the programs (and without
+            // copying or re-measuring its attributes).
+            obs::metric_add!(self.id, ctr::AGG_CACHE_HITS, 1);
+            let stamp = self.next_stamp(now);
+            self.tables[parent].merge_row(label, Arc::new(proto.restamped(stamp)));
+            return;
         }
 
         obs::metric_add!(self.id, ctr::AGG_RECOMPUTES, 1);
@@ -575,11 +588,14 @@ impl Agent {
             out.set(Arc::clone(name), src.clone());
         }
 
-        let attrs = out.into_attrs();
-        self.agg_cache[level] =
-            Some(AggCache { content_gen: content, epoch: self.scope_epoch, attrs: attrs.clone() });
         let stamp = self.next_stamp(now);
-        self.tables[parent].merge_row(label, Arc::new(Mib::new(stamp, attrs)));
+        let row = Arc::new(Mib::new(stamp, out.into_attrs()));
+        self.agg_cache[level] = Some(AggCache {
+            content_gen: content,
+            epoch: self.scope_epoch,
+            proto: Arc::clone(&row),
+        });
+        self.tables[parent].merge_row(label, row);
     }
 
     /// Candidate gossip targets at `level`: node ids advertised in `reps`
@@ -774,7 +790,19 @@ impl Agent {
                 // incarnation resets the peer's suspicion state so it is
                 // selectable again within one gossip round.
                 if level == 0 && *label != own {
-                    let incar = row.get("incar").and_then(AttrValue::as_i64).unwrap_or(0) as u64;
+                    let slot_idx = usize::from(*label);
+                    if self.incar_cache.len() <= slot_idx {
+                        self.incar_cache.resize(slot_idx + 1, None);
+                    }
+                    let incar = match &self.incar_cache[slot_idx] {
+                        Some((m, v)) if row.shares_attrs(m) => *v,
+                        _ => {
+                            let v =
+                                row.get("incar").and_then(AttrValue::as_i64).unwrap_or(0) as u64;
+                            self.incar_cache[slot_idx] = Some((Arc::clone(row), v));
+                            v
+                        }
+                    };
                     let seen = self.incar_seen.get(label).copied().unwrap_or(0);
                     if incar < seen {
                         continue;
@@ -1054,6 +1082,7 @@ impl Agent {
         self.detectors.iter_mut().for_each(Vec::clear);
         self.tombstones.clear();
         self.incar_seen.clear();
+        self.incar_cache.clear();
         self.incarnation_bumps.clear();
         // Table generations restart at zero, so cached digests, summaries
         // and peer lists keyed on the old counters must go; the mobile-code

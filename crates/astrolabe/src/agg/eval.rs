@@ -11,6 +11,7 @@
 //! NULL semantics follow SQL: a missing column is NULL, NULL propagates
 //! through operators, and a NULL predicate excludes the row.
 
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -18,34 +19,47 @@ use super::ast::{AggFn, AggProgram, BinOp, Expr, Literal};
 use crate::value::AttrValue;
 
 /// Anything a scalar expression can read columns from.
+///
+/// Columns are returned as [`Cow`] so table-backed rows hand out borrows —
+/// the evaluator never deep-clones `Str`/`Set`/`Bits` values just to compare
+/// them — while synthetic adapters (e.g. a news item viewed as a row) can
+/// still materialize values on the fly.
 pub trait RowSource {
     /// The value of column `name`, or `None` when absent (SQL NULL).
-    fn col(&self, name: &str) -> Option<AttrValue>;
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>>;
 }
 
 impl RowSource for crate::mib::Mib {
-    fn col(&self, name: &str) -> Option<AttrValue> {
-        self.get(name).cloned()
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>> {
+        self.get(name).map(Cow::Borrowed)
     }
 }
 
 impl<T: RowSource + ?Sized> RowSource for &T {
-    fn col(&self, name: &str) -> Option<AttrValue> {
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>> {
         (**self).col(name)
     }
 }
 
 impl RowSource for std::sync::Arc<crate::mib::Mib> {
-    fn col(&self, name: &str) -> Option<AttrValue> {
-        self.get(name).cloned()
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>> {
+        self.get(name).map(Cow::Borrowed)
     }
 }
 
-/// Zone-table rows aggregate directly as `(label, row)` pairs, so the agent
-/// can run programs over `ZoneTable::rows()` without cloning each `Mib`.
+/// Zone-table rows aggregate directly as `(label, row)` pairs — the wire
+/// shape gossip batches use.
 impl RowSource for (u16, std::sync::Arc<crate::mib::Mib>) {
-    fn col(&self, name: &str) -> Option<AttrValue> {
-        self.1.get(name).cloned()
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>> {
+        self.1.get(name).map(Cow::Borrowed)
+    }
+}
+
+/// Zone-table slots aggregate in place, so the agent can run programs over
+/// `ZoneTable::rows()` without cloning each `Mib`.
+impl RowSource for crate::table::Row {
+    fn col(&self, name: &str) -> Option<Cow<'_, AttrValue>> {
+        self.mib.get(name).map(Cow::Borrowed)
     }
 }
 
@@ -54,7 +68,7 @@ impl RowSource for (u16, std::sync::Arc<crate::mib::Mib>) {
 pub struct EmptyRow;
 
 impl RowSource for EmptyRow {
-    fn col(&self, _name: &str) -> Option<AttrValue> {
+    fn col(&self, _name: &str) -> Option<Cow<'_, AttrValue>> {
         None
     }
 }
@@ -98,22 +112,29 @@ fn lit_value(l: &Literal) -> AttrValue {
 
 /// Evaluates a scalar expression against one row; `Ok(None)` is SQL NULL.
 ///
+/// Column reads borrow from the row ([`Cow::Borrowed`]); computed results
+/// are [`Cow::Owned`]. Call `.into_owned()` on the result when ownership is
+/// needed.
+///
 /// # Errors
 ///
 /// Returns [`EvalError`] on type mismatches or unknown functions.
-pub fn eval_scalar<R: RowSource>(expr: &Expr, row: &R) -> Result<Option<AttrValue>, EvalError> {
+pub fn eval_scalar<'r, R: RowSource>(
+    expr: &Expr,
+    row: &'r R,
+) -> Result<Option<Cow<'r, AttrValue>>, EvalError> {
     match expr {
         Expr::Column(name) => Ok(row.col(name)),
-        Expr::Lit(l) => Ok(Some(lit_value(l))),
-        Expr::Neg(e) => match eval_scalar(e, row)? {
+        Expr::Lit(l) => Ok(Some(Cow::Owned(lit_value(l)))),
+        Expr::Neg(e) => match eval_scalar(e, row)?.as_deref() {
             None => Ok(None),
-            Some(AttrValue::Int(i)) => Ok(Some(AttrValue::Int(-i))),
-            Some(AttrValue::Float(x)) => Ok(Some(AttrValue::Float(-x))),
+            Some(AttrValue::Int(i)) => Ok(Some(Cow::Owned(AttrValue::Int(-i)))),
+            Some(AttrValue::Float(x)) => Ok(Some(Cow::Owned(AttrValue::Float(-x)))),
             Some(v) => Err(EvalError::TypeMismatch(format!("cannot negate {}", v.type_name()))),
         },
-        Expr::Not(e) => match eval_scalar(e, row)? {
+        Expr::Not(e) => match eval_scalar(e, row)?.as_deref() {
             None => Ok(None),
-            Some(AttrValue::Bool(b)) => Ok(Some(AttrValue::Bool(!b))),
+            Some(AttrValue::Bool(b)) => Ok(Some(Cow::Owned(AttrValue::Bool(!b)))),
             Some(v) => {
                 Err(EvalError::TypeMismatch(format!("NOT needs bool, got {}", v.type_name())))
             }
@@ -123,19 +144,19 @@ pub fn eval_scalar<R: RowSource>(expr: &Expr, row: &R) -> Result<Option<AttrValu
     }
 }
 
-fn eval_bin<R: RowSource>(
+fn eval_bin<'r, R: RowSource>(
     op: BinOp,
     l: &Expr,
     r: &Expr,
-    row: &R,
-) -> Result<Option<AttrValue>, EvalError> {
+    row: &'r R,
+) -> Result<Option<Cow<'r, AttrValue>>, EvalError> {
     use BinOp::*;
     // Three-valued logic needs asymmetric NULL handling, so AND/OR first.
     if matches!(op, And | Or) {
         let lv = eval_scalar(l, row)?;
         let rv = eval_scalar(r, row)?;
-        let as_bool = |v: &Option<AttrValue>| -> Result<Option<bool>, EvalError> {
-            match v {
+        let as_bool = |v: &Option<Cow<'_, AttrValue>>| -> Result<Option<bool>, EvalError> {
+            match v.as_deref() {
                 None => Ok(None),
                 Some(AttrValue::Bool(b)) => Ok(Some(*b)),
                 Some(v) => Err(EvalError::TypeMismatch(format!(
@@ -152,7 +173,7 @@ fn eval_bin<R: RowSource>(
             (Or, Some(false), Some(false)) => Some(false),
             _ => None,
         };
-        return Ok(out.map(AttrValue::Bool));
+        return Ok(out.map(|b| Cow::Owned(AttrValue::Bool(b))));
     }
 
     let (Some(lv), Some(rv)) = (eval_scalar(l, row)?, eval_scalar(r, row)?) else {
@@ -161,7 +182,7 @@ fn eval_bin<R: RowSource>(
 
     match op {
         Add | Sub | Mul | Div | Mod => {
-            if let (AttrValue::Int(a), AttrValue::Int(b)) = (&lv, &rv) {
+            if let (AttrValue::Int(a), AttrValue::Int(b)) = (&*lv, &*rv) {
                 let out = match op {
                     Add => a.checked_add(*b),
                     Sub => a.checked_sub(*b),
@@ -171,7 +192,7 @@ fn eval_bin<R: RowSource>(
                     _ => unreachable!(),
                 };
                 // Overflow and division by zero are NULL, as in lenient SQL.
-                return Ok(out.map(AttrValue::Int));
+                return Ok(out.map(|i| Cow::Owned(AttrValue::Int(i))));
             }
             let (a, b) = match (lv.as_f64(), rv.as_f64()) {
                 (Some(a), Some(b)) => (a, b),
@@ -191,7 +212,7 @@ fn eval_bin<R: RowSource>(
                 Mod => a % b,
                 _ => unreachable!(),
             };
-            Ok(out.is_finite().then_some(AttrValue::Float(out)))
+            Ok(out.is_finite().then_some(Cow::Owned(AttrValue::Float(out))))
         }
         Eq | Ne | Lt | Le | Gt | Ge => {
             let ord = lv.partial_cmp_value(&rv).ok_or_else(|| {
@@ -210,17 +231,17 @@ fn eval_bin<R: RowSource>(
                 Ge => ord != std::cmp::Ordering::Less,
                 _ => unreachable!(),
             };
-            Ok(Some(AttrValue::Bool(b)))
+            Ok(Some(Cow::Owned(AttrValue::Bool(b))))
         }
         And | Or => unreachable!("handled above"),
     }
 }
 
-fn eval_call<R: RowSource>(
+fn eval_call<'r, R: RowSource>(
     name: &str,
     args: &[Expr],
-    row: &R,
-) -> Result<Option<AttrValue>, EvalError> {
+    row: &'r R,
+) -> Result<Option<Cow<'r, AttrValue>>, EvalError> {
     let arity = |n: usize| -> Result<(), EvalError> {
         if args.len() == n {
             Ok(())
@@ -235,11 +256,13 @@ fn eval_call<R: RowSource>(
             else {
                 return Ok(None);
             };
-            match (a, b) {
-                (AttrValue::Str(a), AttrValue::Str(b)) => Ok(Some(AttrValue::Bool(match name {
-                    "CONTAINS" => a.contains(&b),
-                    _ => a.starts_with(&b),
-                }))),
+            match (&*a, &*b) {
+                (AttrValue::Str(a), AttrValue::Str(b)) => {
+                    Ok(Some(Cow::Owned(AttrValue::Bool(match name {
+                        "CONTAINS" => a.contains(b.as_str()),
+                        _ => a.starts_with(b.as_str()),
+                    }))))
+                }
                 (a, b) => Err(EvalError::TypeMismatch(format!(
                     "{name} needs strings, got {} and {}",
                     a.type_name(),
@@ -250,21 +273,21 @@ fn eval_call<R: RowSource>(
         "LEN" => {
             arity(1)?;
             Ok(eval_scalar(&args[0], row)?.map(|v| {
-                AttrValue::Int(match v {
+                Cow::Owned(AttrValue::Int(match &*v {
                     AttrValue::Str(s) => s.len() as i64,
                     AttrValue::Set(s) => s.len() as i64,
                     AttrValue::Bits(b) => b.count_ones() as i64,
                     AttrValue::Bytes(b) => b.len() as i64,
                     _ => 1,
-                })
+                }))
             }))
         }
         "ABS" => {
             arity(1)?;
-            match eval_scalar(&args[0], row)? {
+            match eval_scalar(&args[0], row)?.as_deref() {
                 None => Ok(None),
-                Some(AttrValue::Int(i)) => Ok(Some(AttrValue::Int(i.abs()))),
-                Some(AttrValue::Float(x)) => Ok(Some(AttrValue::Float(x.abs()))),
+                Some(AttrValue::Int(i)) => Ok(Some(Cow::Owned(AttrValue::Int(i.abs())))),
+                Some(AttrValue::Float(x)) => Ok(Some(Cow::Owned(AttrValue::Float(x.abs())))),
                 Some(v) => {
                     Err(EvalError::TypeMismatch(format!("ABS needs number, got {}", v.type_name())))
                 }
@@ -288,10 +311,10 @@ fn eval_call<R: RowSource>(
             else {
                 return Ok(None);
             };
-            match (bits, idx) {
+            match (&*bits, &*idx) {
                 (AttrValue::Bits(b), AttrValue::Int(i)) => {
-                    let i = usize::try_from(i).unwrap_or(usize::MAX);
-                    Ok(Some(AttrValue::Bool(i < b.len() && b.get(i))))
+                    let i = usize::try_from(*i).unwrap_or(usize::MAX);
+                    Ok(Some(Cow::Owned(AttrValue::Bool(i < b.len() && b.get(i)))))
                 }
                 (a, b) => Err(EvalError::TypeMismatch(format!(
                     "BIT needs (bits, int), got ({}, {})",
@@ -302,7 +325,7 @@ fn eval_call<R: RowSource>(
         }
         "IF" => {
             arity(3)?;
-            match eval_scalar(&args[0], row)? {
+            match eval_scalar(&args[0], row)?.as_deref() {
                 Some(AttrValue::Bool(true)) => eval_scalar(&args[1], row),
                 Some(AttrValue::Bool(false)) | None => eval_scalar(&args[2], row),
                 Some(v) => Err(EvalError::TypeMismatch(format!(
@@ -323,9 +346,9 @@ fn eval_call<R: RowSource>(
 /// Returns [`EvalError`] if the expression yields a non-boolean value or
 /// fails to evaluate.
 pub fn eval_predicate<R: RowSource>(expr: &Expr, row: &R) -> Result<bool, EvalError> {
-    match eval_scalar(expr, row)? {
+    match eval_scalar(expr, row)?.as_deref() {
         None => Ok(false),
-        Some(AttrValue::Bool(b)) => Ok(b),
+        Some(AttrValue::Bool(b)) => Ok(*b),
         Some(v) => Err(EvalError::TypeMismatch(format!("predicate yielded {}", v.type_name()))),
     }
 }
@@ -372,7 +395,7 @@ fn eval_aggregate<R: RowSource>(
     match func {
         AggFn::Count => Ok(Some(AttrValue::Int(rows.len() as i64))),
         AggFn::Min | AggFn::Max => {
-            let mut best: Option<AttrValue> = None;
+            let mut best: Option<Cow<'_, AttrValue>> = None;
             for r in rows {
                 let Some(v) = eval_scalar(&args[0], r)? else { continue };
                 best = Some(match best {
@@ -393,7 +416,7 @@ fn eval_aggregate<R: RowSource>(
                     }
                 });
             }
-            Ok(best)
+            Ok(best.map(Cow::into_owned))
         }
         AggFn::Sum | AggFn::Avg => {
             let mut sum_i: i64 = 0;
@@ -401,11 +424,11 @@ fn eval_aggregate<R: RowSource>(
             let mut any_float = false;
             let mut n = 0u64;
             for r in rows {
-                match eval_scalar(&args[0], r)? {
+                match eval_scalar(&args[0], r)?.as_deref() {
                     None => {}
                     Some(AttrValue::Int(i)) => {
-                        sum_i = sum_i.saturating_add(i);
-                        sum_f += i as f64;
+                        sum_i = sum_i.saturating_add(*i);
+                        sum_f += *i as f64;
                         n += 1;
                     }
                     Some(AttrValue::Float(x)) => {
@@ -433,7 +456,7 @@ fn eval_aggregate<R: RowSource>(
         AggFn::First => {
             for r in rows {
                 if let Some(v) = eval_scalar(&args[0], r)? {
-                    return Ok(Some(v));
+                    return Ok(Some(v.into_owned()));
                 }
             }
             Ok(None)
@@ -442,16 +465,16 @@ fn eval_aggregate<R: RowSource>(
             let mut acc: Option<filters::BitArray> = None;
             for r in rows {
                 let Some(v) = eval_scalar(&args[0], r)? else { continue };
-                let AttrValue::Bits(b) = v else {
+                let AttrValue::Bits(b) = &*v else {
                     return Err(EvalError::TypeMismatch(format!("ORBITS over {}", v.type_name())));
                 };
                 acc = Some(match acc {
-                    None => b,
+                    None => b.clone(),
                     Some(mut a) => {
                         if a.len() != b.len() {
                             return Err(EvalError::BitsLenMismatch);
                         }
-                        a.or_assign(&b);
+                        a.or_assign(b);
                         a
                     }
                 });
@@ -462,7 +485,7 @@ fn eval_aggregate<R: RowSource>(
             let mut acc: Option<i64> = None;
             for r in rows {
                 let Some(v) = eval_scalar(&args[0], r)? else { continue };
-                let AttrValue::Int(i) = v else {
+                let AttrValue::Int(i) = &*v else {
                     return Err(EvalError::TypeMismatch(format!("ORINT over {}", v.type_name())));
                 };
                 acc = Some(acc.unwrap_or(0) | i);
@@ -473,13 +496,13 @@ fn eval_aggregate<R: RowSource>(
             let mut acc: Option<BTreeSet<u64>> = None;
             for r in rows {
                 let Some(v) = eval_scalar(&args[0], r)? else { continue };
-                let AttrValue::Set(s) = v else {
+                let AttrValue::Set(s) = &*v else {
                     return Err(EvalError::TypeMismatch(format!("UNION over {}", v.type_name())));
                 };
                 acc = Some(match acc {
-                    None => s,
+                    None => s.clone(),
                     Some(mut a) => {
-                        a.extend(s);
+                        a.extend(s.iter().copied());
                         a
                     }
                 });
@@ -487,8 +510,8 @@ fn eval_aggregate<R: RowSource>(
             Ok(acc.map(AttrValue::Set))
         }
         AggFn::RepSel => {
-            let k = match eval_scalar(&args[0], &EmptyRow)? {
-                Some(AttrValue::Int(k)) if k > 0 => k as usize,
+            let k = match eval_scalar(&args[0], &EmptyRow)?.as_deref() {
+                Some(AttrValue::Int(k)) if *k > 0 => *k as usize,
                 _ => return Err(EvalError::BadRepSelK),
             };
             // Collect (score, set) per row, drop rows lacking either.
@@ -498,14 +521,14 @@ fn eval_aggregate<R: RowSource>(
                     continue;
                 };
                 let Some(v) = eval_scalar(&args[2], r)? else { continue };
-                let AttrValue::Set(s) = v else {
+                let AttrValue::Set(s) = &*v else {
                     return Err(EvalError::TypeMismatch(format!(
                         "REPSEL set argument is {}",
                         v.type_name()
                     )));
                 };
                 if !s.is_empty() {
-                    entries.push((score, s));
+                    entries.push((score, s.clone()));
                 }
             }
             // Sort by score, then deterministically by smallest member.
@@ -599,9 +622,9 @@ mod tests {
         assert!(eval_predicate(&parse_predicate("BIT(bits, 3)").unwrap(), &r).unwrap());
         assert!(!eval_predicate(&parse_predicate("BIT(bits, 4)").unwrap(), &r).unwrap());
         let v = eval_scalar(&parse_predicate("COALESCE(nope, 7)").unwrap(), &r).unwrap();
-        assert_eq!(v, Some(AttrValue::Int(7)));
+        assert_eq!(v.map(Cow::into_owned), Some(AttrValue::Int(7)));
         let v = eval_scalar(&parse_predicate("IF(BIT(bits,3), 1, 2)").unwrap(), &r).unwrap();
-        assert_eq!(v, Some(AttrValue::Int(1)));
+        assert_eq!(v.map(Cow::into_owned), Some(AttrValue::Int(1)));
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub use cert::{Certificate, KeyId, SecretKey, Signature, TrustRegistry};
 pub use config::{AggSpec, Config};
 pub use mib::{AttrName, Mib, MibBuilder, Stamp};
 pub use simnode::AstroNode;
-pub use table::{MergeOutcome, RowDigest, ZoneTable};
+pub use table::{MergeOutcome, Row, RowDigest, ZoneTable};
 pub use value::AttrValue;
 pub use zone::{ZoneId, ZoneLayout, DEFAULT_BRANCHING};
 

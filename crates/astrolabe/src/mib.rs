@@ -44,12 +44,19 @@ impl fmt::Display for Stamp {
 pub const AGG_ATTR_PREFIX: &str = "sys$agg:";
 
 /// One immutable row version.
+///
+/// The attribute list sits behind its own `Arc`, separate from the
+/// `Arc<Mib>` replicas share: a re-stamped heartbeat of an unchanged row
+/// ([`Mib::restamped`]) is a new `Mib` (new stamp) sharing the old
+/// attribute allocation, so the steady-state gossip path neither copies
+/// attribute values nor compares them ([`Mib::same_attrs`] short-circuits
+/// on pointer identity).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mib {
     /// Version stamp used for newest-wins merging.
     pub stamp: Stamp,
     /// Attributes, sorted by name.
-    attrs: Vec<(AttrName, AttrValue)>,
+    attrs: Arc<[(AttrName, AttrValue)]>,
     /// Precomputed [`Mib::wire_size`]; rows are immutable, and traffic
     /// accounting reads the size of every row of every gossip batch.
     wire: u32,
@@ -83,7 +90,21 @@ impl Mib {
         let wire = 24 + attrs.iter().map(|(n, v)| n.len() + 1 + v.wire_size()).sum::<usize>();
         let at = attrs.partition_point(|(n, _)| n.as_ref() < AGG_ATTR_PREFIX);
         let carries_agg = attrs.get(at).is_some_and(|(n, _)| n.starts_with(AGG_ATTR_PREFIX));
-        Mib { stamp, attrs, wire: wire as u32, carries_agg }
+        Mib { stamp, attrs: attrs.into(), wire: wire as u32, carries_agg }
+    }
+
+    /// A fresh row version carrying the same attributes under a new stamp —
+    /// the steady-state heartbeat. Shares the attribute allocation (two
+    /// refcount bumps, no copy, no wire-size recomputation), which is also
+    /// what lets [`Mib::same_attrs`] recognize the re-issue by pointer
+    /// identity on the receiving replica.
+    pub fn restamped(&self, stamp: Stamp) -> Mib {
+        Mib {
+            stamp,
+            attrs: Arc::clone(&self.attrs),
+            wire: self.wire,
+            carries_agg: self.carries_agg,
+        }
     }
 
     /// Attribute lookup.
@@ -127,9 +148,19 @@ impl Mib {
     /// differ). Drives [`ZoneTable`](crate::ZoneTable) content generations:
     /// a re-stamped heartbeat of an unchanged row must not invalidate
     /// value-derived caches. The precomputed wire size acts as a cheap
-    /// first-pass filter.
+    /// first-pass filter, and attribute lists shared via [`Mib::restamped`]
+    /// are recognized by pointer identity without touching the values.
     pub fn same_attrs(&self, other: &Mib) -> bool {
-        self.wire == other.wire && self.attrs == other.attrs
+        Arc::ptr_eq(&self.attrs, &other.attrs)
+            || (self.wire == other.wire && self.attrs == other.attrs)
+    }
+
+    /// True only when `other` *shares this row's attribute allocation* (the
+    /// [`Mib::restamped`] heartbeat path). Unlike [`Mib::same_attrs`] this
+    /// never falls back to a value comparison, so it is a single pointer
+    /// test — suitable for per-row hot paths that memoize attribute reads.
+    pub fn shares_attrs(&self, other: &Mib) -> bool {
+        Arc::ptr_eq(&self.attrs, &other.attrs)
     }
 }
 

@@ -35,12 +35,26 @@ pub struct RowDigest {
     pub stamp: Stamp,
 }
 
+/// One table slot, laid out for the scan-heavy paths: the label and a copy
+/// of the row's stamp sit inline, so digesting, diffing, GC sweeps and
+/// eviction walk a contiguous array without chasing the `Arc` — the shared
+/// attribute payload is only dereferenced when values are actually read.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Child label of the row.
+    pub label: u16,
+    /// Inline copy of `mib.stamp` (kept in sync by every mutation path).
+    pub stamp: Stamp,
+    /// The shared row version.
+    pub mib: Arc<Mib>,
+}
+
 /// A replica of one zone's table.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneTable {
     /// The zone this table describes; rows summarize its children.
     pub zone: ZoneId,
-    rows: Vec<(u16, Arc<Mib>)>,
+    rows: Vec<Row>,
     generation: u64,
     content_gen: u64,
 }
@@ -68,8 +82,8 @@ impl ZoneTable {
         self.content_gen
     }
 
-    /// All `(label, row)` pairs in label order, without cloning.
-    pub fn rows(&self) -> &[(u16, Arc<Mib>)] {
+    /// All rows in label order, without cloning.
+    pub fn rows(&self) -> &[Row] {
         &self.rows
     }
 
@@ -85,12 +99,12 @@ impl ZoneTable {
 
     /// The row for child `label`.
     pub fn get(&self, label: u16) -> Option<&Arc<Mib>> {
-        self.rows.binary_search_by_key(&label, |(l, _)| *l).ok().map(|i| &self.rows[i].1)
+        self.rows.binary_search_by_key(&label, |r| r.label).ok().map(|i| &self.rows[i].mib)
     }
 
     /// Iterates `(label, row)` in label order.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &Arc<Mib>)> {
-        self.rows.iter().map(|(l, r)| (*l, r))
+        self.rows.iter().map(|r| (r.label, &r.mib))
     }
 
     /// Inserts `row` for `label` if it is newer than what is present.
@@ -102,18 +116,21 @@ impl ZoneTable {
     /// [`ZoneTable::merge_row`] reporting what happened to the previous row,
     /// so the gossip merge loop learns everything in one binary search.
     pub fn merge_row_outcome(&mut self, label: u16, row: Arc<Mib>) -> MergeOutcome {
-        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+        match self.rows.binary_search_by_key(&label, |r| r.label) {
             Ok(i) => {
-                let old = &self.rows[i].1;
-                if row.newer_than(old) {
+                let slot = &mut self.rows[i];
+                // The inline stamp answers newest-wins without touching the
+                // old row's payload.
+                if row.stamp > slot.stamp {
                     let outcome = MergeOutcome::Replaced {
-                        advanced_time: row.stamp.issued_us > old.stamp.issued_us,
-                        old_carried_agg: old.carries_mobile_code(),
+                        advanced_time: row.stamp.issued_us > slot.stamp.issued_us,
+                        old_carried_agg: slot.mib.carries_mobile_code(),
                     };
-                    if !row.same_attrs(old) {
+                    if !row.same_attrs(&slot.mib) {
                         self.content_gen += 1;
                     }
-                    self.rows[i].1 = row;
+                    slot.stamp = row.stamp;
+                    slot.mib = row;
                     self.generation += 1;
                     outcome
                 } else {
@@ -121,7 +138,7 @@ impl ZoneTable {
                 }
             }
             Err(i) => {
-                self.rows.insert(i, (label, row));
+                self.rows.insert(i, Row { label, stamp: row.stamp, mib: row });
                 self.generation += 1;
                 self.content_gen += 1;
                 MergeOutcome::Inserted
@@ -137,18 +154,20 @@ impl ZoneTable {
     /// models silent memory corruption that anti-entropy cannot see.
     /// Returns `true` when the attribute values changed.
     pub fn force_replace(&mut self, label: u16, row: Arc<Mib>) -> bool {
-        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+        match self.rows.binary_search_by_key(&label, |r| r.label) {
             Ok(i) => {
-                let changed = !row.same_attrs(&self.rows[i].1);
+                let slot = &mut self.rows[i];
+                let changed = !row.same_attrs(&slot.mib);
                 if changed {
                     self.content_gen += 1;
                 }
-                self.rows[i].1 = row;
+                slot.stamp = row.stamp;
+                slot.mib = row;
                 self.generation += 1;
                 changed
             }
             Err(i) => {
-                self.rows.insert(i, (label, row));
+                self.rows.insert(i, Row { label, stamp: row.stamp, mib: row });
                 self.generation += 1;
                 self.content_gen += 1;
                 true
@@ -159,7 +178,7 @@ impl ZoneTable {
     /// Unconditionally removes the row for `label` (failure GC).
     /// Returns `true` when a row was removed.
     pub fn remove(&mut self, label: u16) -> bool {
-        match self.rows.binary_search_by_key(&label, |(l, _)| *l) {
+        match self.rows.binary_search_by_key(&label, |r| r.label) {
             Ok(i) => {
                 self.rows.remove(i);
                 self.generation += 1;
@@ -173,13 +192,15 @@ impl ZoneTable {
     /// Removes rows issued before `cutoff_us`, except the row `keep` (an
     /// agent never evicts its own row). Returns the evicted labels.
     pub fn evict_stale(&mut self, cutoff_us: u64, keep: Option<u16>) -> Vec<u16> {
+        // Both passes read only the inline (label, stamp) fields: one
+        // contiguous scan, no payload dereference.
         let evicted: Vec<u16> = self
             .rows
             .iter()
-            .filter(|(l, r)| Some(*l) != keep && r.stamp.issued_us < cutoff_us)
-            .map(|(l, _)| *l)
+            .filter(|r| Some(r.label) != keep && r.stamp.issued_us < cutoff_us)
+            .map(|r| r.label)
             .collect();
-        self.rows.retain(|(l, r)| Some(*l) == keep || r.stamp.issued_us >= cutoff_us);
+        self.rows.retain(|r| Some(r.label) == keep || r.stamp.issued_us >= cutoff_us);
         if !evicted.is_empty() {
             self.generation += 1;
             self.content_gen += 1;
@@ -188,9 +209,10 @@ impl ZoneTable {
         evicted
     }
 
-    /// Digest of every row (for anti-entropy exchange).
+    /// Digest of every row (for anti-entropy exchange) — a contiguous copy
+    /// of the inline `(label, stamp)` columns.
     pub fn digest(&self) -> Vec<RowDigest> {
-        self.rows.iter().map(|(l, r)| RowDigest { label: *l, stamp: r.stamp }).collect()
+        self.rows.iter().map(|r| RowDigest { label: r.label, stamp: r.stamp }).collect()
     }
 
     /// Compares a peer digest against this replica.
@@ -220,20 +242,21 @@ impl ZoneTable {
         // the nested label scan below beats a sorted merge-walk in practice:
         // it is branch-predictable `u16` compares over one cache line.
         for d in peer {
-            match self.get(d.label) {
-                Some(row) => {
-                    if row.stamp > d.stamp {
+            match self.rows.binary_search_by_key(&d.label, |r| r.label) {
+                Ok(i) => {
+                    let held = self.rows[i].stamp;
+                    if held > d.stamp {
                         newer_here.push(d.label);
-                    } else if d.stamp > row.stamp {
+                    } else if d.stamp > held {
                         missing_here.push(d.label);
                     }
                 }
-                None => missing_here.push(d.label),
+                Err(_) => missing_here.push(d.label),
             }
         }
-        for (l, _) in &self.rows {
-            if !peer.iter().any(|d| d.label == *l) {
-                newer_here.push(*l);
+        for r in &self.rows {
+            if !peer.iter().any(|d| d.label == r.label) {
+                newer_here.push(r.label);
             }
         }
         newer_here.sort_unstable();
@@ -242,7 +265,7 @@ impl ZoneTable {
 
     /// Approximate serialized size of the whole table.
     pub fn wire_size(&self) -> usize {
-        self.rows.iter().map(|(_, r)| 2 + r.wire_size()).sum()
+        self.rows.iter().map(|r| 2 + r.mib.wire_size()).sum()
     }
 }
 

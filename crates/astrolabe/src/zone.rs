@@ -10,6 +10,7 @@
 //! given branching factor, and maps agents to leaf zones and back.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum children per zone the paper suggests (and we default to).
 pub const DEFAULT_BRANCHING: u16 = 64;
@@ -23,28 +24,39 @@ pub const DEFAULT_BRANCHING: u16 = 64;
 /// assert_eq!(z.parent(), Some(ZoneId::root().child(3)));
 /// assert!(ZoneId::root().is_ancestor_of(&z));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+/// The path is frozen behind `Arc` once built: zone ids travel in every
+/// gossip digest and table-rows batch, so cloning one is a refcount bump
+/// rather than a heap copy. Derived comparisons and hashing see through the
+/// `Arc` to the label path, so semantics are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ZoneId {
-    path: Vec<u16>,
+    path: Arc<[u16]>,
+}
+
+impl Default for ZoneId {
+    fn default() -> Self {
+        ZoneId::root()
+    }
 }
 
 impl ZoneId {
     /// The root zone.
     pub fn root() -> Self {
-        ZoneId { path: Vec::new() }
+        ZoneId { path: Arc::from([]) }
     }
 
     /// Builds a zone from a label path (root = empty).
     pub fn from_path(path: Vec<u16>) -> Self {
-        ZoneId { path }
+        ZoneId { path: path.into() }
     }
 
     /// The child of this zone with the given label.
     #[must_use]
     pub fn child(&self, label: u16) -> ZoneId {
-        let mut path = self.path.clone();
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.extend_from_slice(&self.path);
         path.push(label);
-        ZoneId { path }
+        ZoneId { path: path.into() }
     }
 
     /// The parent, or `None` for the root.
@@ -52,7 +64,7 @@ impl ZoneId {
         if self.path.is_empty() {
             None
         } else {
-            Some(ZoneId { path: self.path[..self.path.len() - 1].to_vec() })
+            Some(ZoneId { path: self.path[..self.path.len() - 1].into() })
         }
     }
 
@@ -88,7 +100,7 @@ impl ZoneId {
     /// Panics if `depth` exceeds this zone's depth.
     pub fn ancestor_at(&self, depth: usize) -> ZoneId {
         assert!(depth <= self.depth(), "no ancestor at depth {depth}");
-        ZoneId { path: self.path[..depth].to_vec() }
+        ZoneId { path: self.path[..depth].into() }
     }
 
     /// Parses the [`Display`](fmt::Display) form back into a zone:
@@ -102,7 +114,7 @@ impl ZoneId {
         let rest = s.strip_prefix('/')?;
         let path =
             rest.split('/').map(|label| label.parse::<u16>().ok()).collect::<Option<Vec<u16>>>()?;
-        Some(ZoneId { path })
+        Some(ZoneId { path: path.into() })
     }
 }
 
@@ -111,7 +123,7 @@ impl fmt::Display for ZoneId {
         if self.path.is_empty() {
             return f.write_str("/");
         }
-        for p in &self.path {
+        for p in self.path.iter() {
             write!(f, "/{p}")?;
         }
         Ok(())

@@ -128,6 +128,109 @@ fn bench_table(c: &mut Criterion) {
     g.finish();
 }
 
+/// Calendar queue vs a plain `BinaryHeap` at steady queue depths — the
+/// scheduler's hot loop (one pop, one push at a later time) with ~100-byte
+/// bodies, the shape the simulator actually queues.
+fn bench_sched(c: &mut Criterion) {
+    use simnet::EventQueue;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    type Body = [u64; 12];
+    let mut g = c.benchmark_group("sched");
+    for depth in [1_000u64, 10_000, 100_000] {
+        g.bench_function(format!("calendar_pop_push_d{depth}"), |b| {
+            let mut q: EventQueue<Body> = EventQueue::new();
+            let mut seq = 0u64;
+            for _ in 0..depth {
+                seq += 1;
+                q.push((seq * 37) % 4_000_000, 0, seq, [seq; 12]);
+            }
+            b.iter(|| {
+                let (t, _a, _b, body) = q.pop().unwrap();
+                seq += 1;
+                q.push(t + 1 + (seq * 37) % 2_000_000, 0, seq, body);
+                black_box(t)
+            });
+        });
+        g.bench_function(format!("binheap_pop_push_d{depth}"), |b| {
+            let mut q: BinaryHeap<Reverse<(u64, u64, Body)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for _ in 0..depth {
+                seq += 1;
+                q.push(Reverse(((seq * 37) % 4_000_000, seq, [seq; 12])));
+            }
+            b.iter(|| {
+                let Reverse((t, _s, body)) = q.pop().unwrap();
+                seq += 1;
+                q.push(Reverse((t + 1 + (seq * 37) % 2_000_000, seq, body)));
+                black_box(t)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The gossip heartbeat hot path: re-merging all 64 rows of a zone table
+/// with fresh stamps. `restamped` shares the attrs allocation (the new flat
+/// layout); `rebuilt` reconstructs every attribute per round (the old
+/// per-heartbeat cost).
+fn bench_flat_rows(c: &mut Criterion) {
+    use astrolabe::AttrValue;
+    let mut g = c.benchmark_group("flat_rows");
+    let mk_attrs = |i: u64| {
+        let mut reps = std::collections::BTreeSet::new();
+        reps.insert(i);
+        reps.insert(i + 64);
+        (format!("host-{i}"), reps)
+    };
+    let rows: Vec<Arc<Mib>> = (0..64u64)
+        .map(|i| {
+            let (name, reps) = mk_attrs(i);
+            Arc::new(
+                MibBuilder::new()
+                    .attr("load", i as f64 / 64.0)
+                    .attr("name", name.as_str())
+                    .attr("reps", AttrValue::Set(reps))
+                    .build(Stamp { issued_us: 1, version: i, origin: i as u32 }),
+            )
+        })
+        .collect();
+    let mut table = ZoneTable::new(ZoneId::root());
+    for (l, r) in rows.iter().enumerate() {
+        table.merge_row(l as u16, Arc::clone(r));
+    }
+
+    g.bench_function("heartbeat_restamped_64", |b| {
+        let mut v = 1_000u64;
+        b.iter(|| {
+            v += 1;
+            for (l, r) in rows.iter().enumerate() {
+                let s = Stamp { issued_us: v, version: v, origin: l as u32 };
+                table.merge_row(l as u16, Arc::new(r.restamped(s)));
+            }
+            black_box(table.digest().len())
+        })
+    });
+    g.bench_function("heartbeat_rebuilt_64", |b| {
+        let mut v = 100_000_000u64;
+        b.iter(|| {
+            v += 1;
+            for i in 0..64u64 {
+                let (name, reps) = mk_attrs(i);
+                let s = Stamp { issued_us: v, version: v, origin: i as u32 };
+                let m = MibBuilder::new()
+                    .attr("load", i as f64 / 64.0)
+                    .attr("name", name.as_str())
+                    .attr("reps", AttrValue::Set(reps))
+                    .build(s);
+                table.merge_row(i as u16, Arc::new(m));
+            }
+            black_box(table.digest().len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_seqlog(c: &mut Criterion) {
     use amcast::SeqLog;
     let mut g = c.benchmark_group("seqlog");
@@ -283,7 +386,7 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(800))
         .sample_size(30);
-    targets = bench_bloom, bench_agg, bench_table, bench_seqlog, bench_nitf, bench_queues,
-        bench_simnet, bench_route
+    targets = bench_bloom, bench_agg, bench_table, bench_sched, bench_flat_rows, bench_seqlog,
+        bench_nitf, bench_queues, bench_simnet, bench_route
 }
 criterion_main!(benches);

@@ -18,25 +18,29 @@ use bench::perf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
+    let mut opts = perf::RunOpts::default();
     let mut out = String::from("BENCH.json");
     let mut compare_with: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" => opts.quick = true,
+            "--slow" => opts.slow = true,
+            "--only" => opts.only = Some(it.next().expect("--only needs a substring").clone()),
             "--out" => out = it.next().expect("--out needs a path").clone(),
             "--compare" => compare_with = Some(it.next().expect("--compare needs a path").clone()),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf [--quick] [--out PATH] [--compare BASELINE]");
+                eprintln!(
+                    "usage: perf [--quick] [--slow] [--only SUBSTR] [--out PATH] [--compare BASELINE]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let results = perf::run_all(quick);
-    let json = perf::to_json(&results, quick);
+    let results = perf::run_all(&opts);
+    let json = perf::to_json(&results, opts.quick);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
 

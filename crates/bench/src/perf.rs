@@ -34,10 +34,28 @@ pub struct PerfResult {
     pub events_per_s: f64,
     /// High-water mark of the simulator's event queue.
     pub peak_queue_depth: usize,
+    /// Process peak RSS (`VmHWM`) in MiB as of the end of this scenario.
+    /// The kernel counter is monotone across the process lifetime, so within
+    /// one suite run a scenario's figure is "largest footprint so far" — the
+    /// biggest scenario dominates, earlier ones bound it from below.
+    pub peak_rss_mb: f64,
     /// Seed-stable check value (simulated outcome, not timing) — identical
     /// across machines for the same code and seed, so a behavior change
     /// shows up as a `detail` diff even when timings drift.
     pub detail: String,
+}
+
+/// Process peak resident-set size in MiB, from `/proc/self/status` `VmHWM`
+/// (0.0 where procfs is unavailable).
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
 }
 
 /// Astrolabe membership convergence from cold start: `n` agents gossip
@@ -63,16 +81,27 @@ pub fn astro_convergence(n: u32, branching: u16, seed: u64) -> PerfResult {
             .sum()
     };
 
+    // Sharded runs (SIMNET_SHARDS > 1) go through the threaded window
+    // executor; its output is byte-identical to the sequential sharded path.
+    let parallel = sim.shard_count() > 1;
     let start = Instant::now();
     let mut converged_at = None;
     for t in 1..=600u64 {
-        sim.run_until(SimTime::from_secs(t));
+        if parallel {
+            sim.run_until_parallel(SimTime::from_secs(t));
+        } else {
+            sim.run_until(SimTime::from_secs(t));
+        }
         if probes.iter().all(|&p| members_at_root(&sim, p) == i64::from(n)) {
             converged_at = Some(t);
             break;
         }
     }
-    sim.run_for(SimDuration::from_secs(30));
+    if parallel {
+        sim.run_for_parallel(SimDuration::from_secs(30));
+    } else {
+        sim.run_for(SimDuration::from_secs(30));
+    }
     let wall = start.elapsed().as_secs_f64();
 
     let events = sim.events_processed();
@@ -82,6 +111,7 @@ pub fn astro_convergence(n: u32, branching: u16, seed: u64) -> PerfResult {
         events,
         events_per_s: events as f64 / wall,
         peak_queue_depth: sim.peak_queue_depth(),
+        peak_rss_mb: peak_rss_mb(),
         detail: format!(
             "converged_sim_s={}",
             converged_at.map_or("never".into(), |t| t.to_string())
@@ -167,6 +197,7 @@ pub fn newswire_chaos(n: u32, seed: u64) -> PerfResult {
         events,
         events_per_s: events as f64 / wall,
         peak_queue_depth: d.sim.peak_queue_depth(),
+        peak_rss_mb: peak_rss_mb(),
         detail: format!("survivor_pct={:.1}", 100.0 * report.survivor_delivery_ratio()),
     }
 }
@@ -208,37 +239,70 @@ pub fn simnet_ring(tokens: u32, seed: u64) -> PerfResult {
         events,
         events_per_s: events as f64 / wall,
         peak_queue_depth: sim.peak_queue_depth(),
+        peak_rss_mb: peak_rss_mb(),
         detail: format!("events={events}"),
     }
 }
 
-/// Runs the suite. `quick` runs the small sizes only (CI smoke); the full
-/// suite is a superset, so every quick scenario name exists in a committed
-/// full baseline and CI deltas always find their counterpart.
-pub fn run_all(quick: bool) -> Vec<PerfResult> {
+/// Scenario selection for [`run_all`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Small sizes only (CI smoke). The full suite is a superset, so every
+    /// quick scenario name exists in a committed full baseline and CI deltas
+    /// always find their counterpart.
+    pub quick: bool,
+    /// Also run the stretch sizes (n = 1M convergence) — minutes of wall
+    /// clock; excluded from the committed baseline by default.
+    pub slow: bool,
+    /// Run only scenarios whose name contains this substring.
+    pub only: Option<String>,
+}
+
+/// Runs the suite per `opts`.
+pub fn run_all(opts: &RunOpts) -> Vec<PerfResult> {
+    type Spec = (&'static str, Box<dyn FnOnce() -> PerfResult>);
+    let mut specs: Vec<Spec> = Vec::new();
+    specs.push(("astro_convergence_n1000_b16", Box::new(|| astro_convergence(1_000, 16, 0xA57))));
+    if !opts.quick {
+        specs.push((
+            "astro_convergence_n10000_b16",
+            Box::new(|| astro_convergence(10_000, 16, 0xA57)),
+        ));
+        specs.push((
+            "astro_convergence_n100000_b16",
+            Box::new(|| astro_convergence(100_000, 16, 0xA57)),
+        ));
+    }
+    if opts.slow {
+        specs.push((
+            "astro_convergence_n1000000_b16",
+            Box::new(|| astro_convergence(1_000_000, 16, 0xA57)),
+        ));
+    }
+    specs.push(("newswire_chaos_n200", Box::new(|| newswire_chaos(200, 0xFA11))));
+    if !opts.quick {
+        specs.push(("newswire_chaos_n400", Box::new(|| newswire_chaos(400, 0xFA11))));
+    }
+    specs.push(("simnet_ring_500tok", Box::new(|| simnet_ring(500, 0x516))));
+    if !opts.quick {
+        specs.push(("simnet_ring_5000tok", Box::new(|| simnet_ring(5_000, 0x516))));
+    }
+
+    eprintln!("perf suite ({}):", if opts.quick { "quick" } else { "full" });
     let mut out = Vec::new();
-    let log = |r: &PerfResult| {
+    for (name, run) in specs {
+        if let Some(f) = &opts.only {
+            if !name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let r = run();
+        debug_assert_eq!(r.name, name, "spec label out of sync with scenario name");
         eprintln!(
-            "  {:<32} {:>8.3}s  {:>12.0} ev/s  peak_q {:>8}  {}",
-            r.name, r.wall_s, r.events_per_s, r.peak_queue_depth, r.detail
+            "  {:<32} {:>8.3}s  {:>12.0} ev/s  peak_q {:>8}  rss {:>6.0}MB  {}",
+            r.name, r.wall_s, r.events_per_s, r.peak_queue_depth, r.peak_rss_mb, r.detail
         );
-    };
-    eprintln!("perf suite ({}):", if quick { "quick" } else { "full" });
-    let mut push = |r: PerfResult| {
-        log(&r);
         out.push(r);
-    };
-    push(astro_convergence(1_000, 16, 0xA57));
-    if !quick {
-        push(astro_convergence(10_000, 16, 0xA57));
-    }
-    push(newswire_chaos(200, 0xFA11));
-    if !quick {
-        push(newswire_chaos(400, 0xFA11));
-    }
-    push(simnet_ring(500, 0x516));
-    if !quick {
-        push(simnet_ring(5_000, 0x516));
     }
     out
 }
@@ -255,12 +319,13 @@ pub fn to_json(results: &[PerfResult], quick: bool) -> String {
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, \"peak_queue_depth\": {}, \"detail\": \"{}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, \"peak_queue_depth\": {}, \"peak_rss_mb\": {:.0}, \"detail\": \"{}\"}}{}\n",
             r.name,
             r.wall_s,
             r.events,
             r.events_per_s,
             r.peak_queue_depth,
+            r.peak_rss_mb,
             r.detail,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -332,6 +397,7 @@ mod tests {
             events: 100,
             events_per_s: 66.7,
             peak_queue_depth: 9,
+            peak_rss_mb: 12.0,
             detail: "converged_sim_s=12".into(),
         };
         let json = to_json(std::slice::from_ref(&r), true);
@@ -353,6 +419,7 @@ mod tests {
             events: 1,
             events_per_s: 1.0,
             peak_queue_depth: 1,
+            peak_rss_mb: 1.0,
             detail: "v=1".into(),
         };
         let mut b = a.clone();
@@ -373,6 +440,7 @@ mod tests {
             events: 10,
             events_per_s: 5.0,
             peak_queue_depth: 3,
+            peak_rss_mb: 2.0,
             detail: "v=1".into(),
         };
         // The committed BENCH.json format: one field per line.

@@ -556,8 +556,8 @@ impl NewsWireNode {
         let Some(src) = item.field(DISSEMINATION_PREDICATE) else { return true };
         struct LocalAttrs<'a>(&'a Agent);
         impl astrolabe::RowSource for LocalAttrs<'_> {
-            fn col(&self, name: &str) -> Option<astrolabe::AttrValue> {
-                self.0.local_attr(name).cloned()
+            fn col(&self, name: &str) -> Option<std::borrow::Cow<'_, astrolabe::AttrValue>> {
+                self.0.local_attr(name).map(std::borrow::Cow::Borrowed)
             }
         }
         match astrolabe::parse_predicate(&src) {

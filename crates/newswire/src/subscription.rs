@@ -17,16 +17,17 @@ use newsml::{Category, NewsItem, PublisherId, Subject};
 pub struct ItemRow<'a>(pub &'a NewsItem);
 
 impl RowSource for ItemRow<'_> {
-    fn col(&self, name: &str) -> Option<AttrValue> {
-        match name {
-            "urgency" => Some(AttrValue::Int(i64::from(self.0.urgency.level()))),
-            "publisher" => Some(AttrValue::Int(i64::from(self.0.id.publisher.0))),
-            "revision" => Some(AttrValue::Int(i64::from(self.0.revision))),
-            "body_len" => Some(AttrValue::Int(i64::from(self.0.body_len))),
-            "headline" => Some(AttrValue::Str(self.0.headline.clone())),
-            "slug" => Some(AttrValue::Str(self.0.slug.clone())),
-            _ => self.0.field(name).map(AttrValue::Str),
-        }
+    fn col(&self, name: &str) -> Option<std::borrow::Cow<'_, AttrValue>> {
+        let v = match name {
+            "urgency" => AttrValue::Int(i64::from(self.0.urgency.level())),
+            "publisher" => AttrValue::Int(i64::from(self.0.id.publisher.0)),
+            "revision" => AttrValue::Int(i64::from(self.0.revision)),
+            "body_len" => AttrValue::Int(i64::from(self.0.body_len)),
+            "headline" => AttrValue::Str(self.0.headline.clone()),
+            "slug" => AttrValue::Str(self.0.slug.clone()),
+            _ => AttrValue::Str(self.0.field(name)?),
+        };
+        Some(std::borrow::Cow::Owned(v))
     }
 }
 
@@ -266,9 +267,10 @@ mod tests {
     fn item_row_exposes_builtin_and_meta_columns() {
         let it = item();
         let row = ItemRow(&it);
-        assert_eq!(row.col("urgency"), Some(AttrValue::Int(2)));
-        assert_eq!(row.col("publisher"), Some(AttrValue::Int(1)));
-        assert_eq!(row.col("source"), Some(AttrValue::Str("slashdot".into())));
-        assert_eq!(row.col("nope"), None);
+        let col = |name: &str| row.col(name).map(|c| c.into_owned());
+        assert_eq!(col("urgency"), Some(AttrValue::Int(2)));
+        assert_eq!(col("publisher"), Some(AttrValue::Int(1)));
+        assert_eq!(col("source"), Some(AttrValue::Str("slashdot".into())));
+        assert_eq!(col("nope"), None);
     }
 }

@@ -63,6 +63,7 @@ mod faults;
 mod node;
 mod phi;
 mod rng;
+mod sched;
 mod sim;
 mod stats;
 mod time;
@@ -79,6 +80,7 @@ pub use node::{
 pub use obs::{Telemetry, TelemetryHub};
 pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use rng::{exp_sample, fork, splitmix64};
+pub use sched::EventQueue;
 pub use sim::Simulation;
 pub use stats::{FaultCounters, Histogram, Summary, TrafficCounters};
 pub use time::{SimDuration, SimTime};

@@ -1,15 +1,35 @@
 //! The discrete-event engine.
 //!
-//! [`Simulation`] owns the nodes, the event queue, the network model and all
-//! randomness. Events are totally ordered by `(time, sequence-number)`, so a
-//! run is a pure function of the master seed and the schedule of external
+//! [`Simulation`] owns the nodes, the event queues, the network model and all
+//! randomness. Events are totally ordered by a `(time, a, b)` key, so a run
+//! is a pure function of the master seed and the schedule of external
 //! inputs — the determinism every experiment in this reproduction relies on.
+//!
+//! # Execution modes
+//!
+//! The engine always runs over one or more internal **shards**, each owning a
+//! contiguous range of node ids with its own calendar-queue scheduler (see
+//! [`crate::sched`]), network-model copy and RNG streams.
+//!
+//! * **Legacy mode** (the default): one shard, events keyed
+//!   `(time, 0, global sequence)` — bit-identical to the historical single
+//!   `BinaryHeap` engine, preserving every recorded experiment.
+//! * **Sharded mode** ([`Simulation::set_shards`] or the `SIMNET_SHARDS`
+//!   environment variable): events carry *shard-count-invariant* keys and all
+//!   randomness is split into per-node streams, so the same seed produces
+//!   byte-identical telemetry whether the run uses 1 shard or 16. Shards
+//!   synchronize conservatively at windows bounded by the network's minimum
+//!   latency (the lookahead): a message sent in window `[W, W+L)` cannot
+//!   arrive before `W+L`, so shards never see each other's events early.
+//!   [`Simulation::run_until_parallel`] executes the same window plan with
+//!   one thread per shard and is byte-identical to the sequential path by
+//!   construction.
 
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use obs::{ctr, kind, Layer, Telemetry, TelemetryHub};
+use obs::{ctr, kind, Layer, Telemetry, TelemetryHub, TraceEvent};
 use rand::rngs::SmallRng;
 
 use crate::disk::{Disk, RestartMode};
@@ -17,6 +37,7 @@ use crate::node::{
     Context, CorruptionOp, Effect, LiarAction, LiarBehavior, Node, NodeId, Payload, TimerId,
 };
 use crate::rng::fork;
+use crate::sched::EventQueue;
 use crate::stats::{FaultCounters, TrafficCounters};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{DropCause, GrayProfile, NetworkModel, Partition, RouteOutcome};
@@ -38,17 +59,34 @@ fn drop_cause_code(cause: DropCause) -> u64 {
 /// every legacy run bit-identical.
 const LIAR_STREAM: u64 = 0x11A2_11A2_11A2_11A2;
 
-/// The registry slot a [`DropCause`] tallies into (on the global set).
-fn drop_cause_slot(cause: DropCause) -> obs::CtrId {
-    match cause {
-        DropCause::Partition => ctr::DROPS_PARTITION,
-        DropCause::LinkCut => ctr::DROPS_LINK_CUT,
-        DropCause::Loss => ctr::DROPS_LOSS,
-        DropCause::GraySend => ctr::DROPS_GRAY_SEND,
-        DropCause::GrayRecv => ctr::DROPS_GRAY_RECV,
-    }
+/// Base of the per-sender network RNG streams used in sharded mode (stream
+/// tag = base + sender id). Disjoint from the per-node protocol streams
+/// (small integers) and the legacy network stream (`u64::MAX`).
+const NET_STREAM_BASE: u64 = 0x4E45_5452_0000_0000;
+
+/// Base of the per-node liar RNG streams used in sharded mode.
+const LIAR_STREAM_BASE: u64 = 0x11A2_0000_0000_0000;
+
+/// `a`-key of network-global control events in sharded mode: sorts after
+/// every node event at the same instant, in every shard's queue.
+const KEY_CONTROL: u64 = u64::MAX;
+
+/// Lane marker distinguishing externally injected events from node-emitted
+/// ones in the sharded `a`-key (no real node id equals it).
+const EXT_LANE: u64 = 0xFFFF_FFFF;
+
+/// Sharded-mode `a`-key of a node-emitted event: destination-major so all of
+/// one node's inbound traffic shares a lane, sub-ordered by source.
+fn key_local(dest: u32, src: u32) -> u64 {
+    (u64::from(dest) << 32) | u64::from(src)
 }
 
+/// Sharded-mode `a`-key of an externally injected per-node event.
+fn key_external(dest: u32) -> u64 {
+    (u64::from(dest) << 32) | EXT_LANE
+}
+
+#[derive(Clone)]
 enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M, size: usize },
     Timer { node: NodeId, id: TimerId, tag: u64 },
@@ -65,28 +103,619 @@ enum EventKind<M> {
     SetColluder(NodeId, bool),
 }
 
-struct QueuedEvent<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// The shard that must process an event: `Some(node)` for per-node events
+/// (owner shard), `None` for network-global control events (broadcast — every
+/// shard applies them to its network-model copy).
+fn event_target<M>(kind: &EventKind<M>) -> Option<NodeId> {
+    match kind {
+        EventKind::Deliver { to, .. } => Some(*to),
+        EventKind::Timer { node, .. } => Some(*node),
+        EventKind::Crash(n) => Some(*n),
+        EventKind::Recover(n, _) => Some(*n),
+        EventKind::Corrupt { node, .. } => Some(*node),
+        EventKind::SetLiar(n, _) => Some(*n),
+        EventKind::SetColluder(n, _) => Some(*n),
+        EventKind::SetPartition(_)
+        | EventKind::SetDropProb(_)
+        | EventKind::SetGray(..)
+        | EventKind::SetLink { .. }
+        | EventKind::SetDupProb(_)
+        | EventKind::SetReorder { .. } => None,
+    }
 }
 
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+enum Callback<M> {
+    Start,
+    Message { from: NodeId, msg: M },
+    Timer { timer: TimerId, tag: u64 },
+    Recover(RestartMode),
+}
+
+/// The registry slot a [`DropCause`] tallies into (on the global set).
+fn drop_cause_slot(cause: DropCause) -> obs::CtrId {
+    match cause {
+        DropCause::Partition => ctr::DROPS_PARTITION,
+        DropCause::LinkCut => ctr::DROPS_LINK_CUT,
+        DropCause::Loss => ctr::DROPS_LOSS,
+        DropCause::GraySend => ctr::DROPS_GRAY_SEND,
+        DropCause::GrayRecv => ctr::DROPS_GRAY_RECV,
     }
 }
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// One execution shard: a contiguous range of nodes, their queue, and every
+/// piece of state their events touch. In legacy mode there is exactly one.
+struct Shard<N: Node> {
+    index: usize,
+    base: u32,
+    nodes: Vec<N>,
+    down: Vec<bool>,
+    node_rngs: Vec<SmallRng>,
+    disks: Vec<Disk>,
+    crash_unsynced_loss: usize,
+    /// This shard's copy of the network model (control events are broadcast,
+    /// so every copy applies the same mutations in the same key order).
+    net: NetworkModel,
+    /// Legacy-mode network stream (single, shared).
+    net_rng: SmallRng,
+    /// Sharded-mode per-sender network streams (indexed by local id).
+    net_rngs: Vec<SmallRng>,
+    /// Legacy-mode liar stream (single, shared).
+    liar_rng: SmallRng,
+    /// Sharded-mode per-node liar streams, created lazily on first draw.
+    liar_rngs: HashMap<u32, SmallRng>,
+    queue: EventQueue<EventKind<N::Msg>>,
+    now: SimTime,
+    /// Legacy-mode global sequence counter (shard 0 only).
+    seq: u64,
+    /// Sharded-mode per-source `b`-key counters (indexed by local id).
+    src_seq: Vec<u64>,
+    /// Timer-id allocator slots: one shared slot in legacy mode, one per
+    /// node (pre-seeded to disjoint ranges) in sharded mode.
+    next_timer: Vec<u64>,
+    /// Fire times of timers still queued, so a cancellation can be bounded
+    /// to the timer's lifetime (entries leave when the timer event pops).
+    pending_timers: HashMap<TimerId, SimTime>,
+    /// Cancelled-but-not-yet-popped timers, keyed to their fire time so
+    /// stale entries can be purged once that time has passed.
+    cancelled: HashMap<TimerId, SimTime>,
+    liars: HashMap<u32, LiarBehavior>,
+    colluders: HashSet<u32>,
+    events_processed: u64,
+    peak_queue: usize,
+    seed: u64,
+    invariant: bool,
+    per: u32,
+    nshards: usize,
+    /// Sharded-mode scratch telemetry hub (owned, so the shard is `Send`);
+    /// drained into the master hub at window boundaries. `None` in legacy
+    /// mode — shard 0 writes straight into the master hub.
+    scratch: Option<TelemetryHub>,
+    /// Cross-shard sends parked until the window barrier, one box per
+    /// destination shard.
+    outboxes: Vec<Outbox<N::Msg>>,
+}
+
+/// A parked cross-shard event: `(arrival µs, a, b, event)`.
+type Outbox<M> = Vec<(u64, u64, u64, EventKind<M>)>;
+
+impl<N: Node> Shard<N> {
+    fn shard_of(&self, id: NodeId) -> usize {
+        ((id.0 / self.per) as usize).min(self.nshards - 1)
+    }
+
+    fn push_keyed(&mut self, at: SimTime, a: u64, b: u64, kind: EventKind<N::Msg>) {
+        self.queue.push(at.as_micros(), a, b, kind);
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Allocates the ordering key for an event emitted by `src` toward
+    /// `dest` (timers use `dest == src`).
+    fn key_for_emit(&mut self, src: NodeId, dest: NodeId) -> (u64, u64) {
+        if self.invariant {
+            let li = (src.0 - self.base) as usize;
+            self.src_seq[li] += 1;
+            (key_local(dest.0, src.0), self.src_seq[li])
+        } else {
+            self.seq += 1;
+            (0, self.seq)
+        }
+    }
+
+    /// Queues a delivery locally or parks it in the outbox of the owner
+    /// shard (cross-shard arrivals are always at or beyond the window
+    /// barrier, because every latency is at least the lookahead).
+    fn emit_deliver(&mut self, from: NodeId, to: NodeId, msg: N::Msg, size: usize, at: SimTime) {
+        let (a, b) = self.key_for_emit(from, to);
+        let dst = self.shard_of(to);
+        let kind = EventKind::Deliver { from, to, msg, size };
+        if dst == self.index {
+            self.push_keyed(at, a, b, kind);
+        } else {
+            self.outboxes[dst].push((at.as_micros(), a, b, kind));
+        }
+    }
+
+    /// Runs the node callback and then applies the effects it requested.
+    fn dispatch_callback(
+        &mut self,
+        hub: &Rc<RefCell<TelemetryHub>>,
+        id: NodeId,
+        cb: Callback<N::Msg>,
+    ) {
+        let li = (id.0 - self.base) as usize;
+        let mut effects: Vec<Effect<N::Msg>> = Vec::new();
+        {
+            // With tracing on, expose the hub to protocol code for the span
+            // of the callback (callbacks are instantaneous in sim time, so
+            // stamping the clock once here is exact).
+            let _obs_guard = if obs::ENABLED {
+                hub.borrow_mut().set_now_us(self.now.as_micros());
+                // Usually a no-op pointer check: the run loops install the
+                // hub once per window (see `run_window`).
+                obs::collector::install_if_needed(hub)
+            } else {
+                None
+            };
+            let node = &mut self.nodes[li];
+            let tslot =
+                if self.invariant { &mut self.next_timer[li] } else { &mut self.next_timer[0] };
+            let mut ctx = Context {
+                id,
+                now: self.now,
+                rng: &mut self.node_rngs[li],
+                effects: &mut effects,
+                next_timer: tslot,
+                disk: &mut self.disks[li],
+            };
+            match cb {
+                Callback::Start => node.on_start(&mut ctx),
+                Callback::Message { from, msg } => node.on_message(&mut ctx, from, msg),
+                Callback::Timer { timer, tag } => node.on_timer(&mut ctx, timer, tag),
+                Callback::Recover(mode) => node.on_restart(&mut ctx, mode),
+            }
+        }
+        for eff in effects {
+            match eff {
+                Effect::Send { to, mut msg } => {
+                    // Liar interception sits at the node boundary: the
+                    // protocol built an honest message; an installed liar
+                    // behavior may rewrite or swallow it on the way out.
+                    if let Some(b) = self.liars.get(&id.0).copied() {
+                        use rand::Rng;
+                        let invariant = self.invariant;
+                        let seed = self.seed;
+                        let roll = {
+                            let r: &mut SmallRng = if invariant {
+                                self.liar_rngs.entry(id.0).or_insert_with(|| {
+                                    fork(seed, LIAR_STREAM_BASE + u64::from(id.0))
+                                })
+                            } else {
+                                &mut self.liar_rng
+                            };
+                            r.gen::<f64>() < b.prob
+                        };
+                        if roll {
+                            let action = if invariant {
+                                let r = self.liar_rngs.get_mut(&id.0).expect("liar rng installed");
+                                self.nodes[li].tamper_outbound(to, &mut msg, b.mode, r)
+                            } else {
+                                self.nodes[li].tamper_outbound(
+                                    to,
+                                    &mut msg,
+                                    b.mode,
+                                    &mut self.liar_rng,
+                                )
+                            };
+                            if action != LiarAction::Pass {
+                                let mut hub = hub.borrow_mut();
+                                // A coordinated lie is attributed to the
+                                // collusion group, not the solo-liar tally.
+                                let slot = if self.colluders.contains(&id.0) {
+                                    ctr::COLLUSION_INTERCEPTS
+                                } else {
+                                    ctr::LIAR_MESSAGES_INTERCEPTED
+                                };
+                                hub.global_mut().ctr_add(slot, 1);
+                                if obs::ENABLED {
+                                    let what = if action == LiarAction::Tampered { 1 } else { 2 };
+                                    hub.trace_at(
+                                        self.now.as_micros(),
+                                        id.0,
+                                        Layer::Sim,
+                                        kind::LIAR_INTERCEPT,
+                                        u64::from(to.0),
+                                        what,
+                                    );
+                                }
+                            }
+                            if action == LiarAction::Dropped {
+                                continue;
+                            }
+                        }
+                    }
+                    let size = msg.wire_size();
+                    {
+                        let mut hub = hub.borrow_mut();
+                        if let Some(c) = hub.node_mut(id.index()) {
+                            c.ctr_add(ctr::MSGS_SENT, 1);
+                            c.ctr_add(ctr::BYTES_SENT, size as u64);
+                        }
+                    }
+                    let route = {
+                        let r =
+                            if self.invariant { &mut self.net_rngs[li] } else { &mut self.net_rng };
+                        self.net.route(id, to, r)
+                    };
+                    match route {
+                        RouteOutcome::Deliver { copies, jittered } => {
+                            if jittered || copies.len() > 1 {
+                                let mut hub = hub.borrow_mut();
+                                let g = hub.global_mut();
+                                if jittered {
+                                    g.ctr_add(ctr::MSGS_JITTERED, 1);
+                                }
+                                g.ctr_add(ctr::MSGS_DUPLICATED, copies.len() as u64 - 1);
+                            }
+                            for &lat in copies.iter().skip(1) {
+                                let at = self.now + lat;
+                                let copy = msg.clone();
+                                self.emit_deliver(id, to, copy, size, at);
+                            }
+                            let at = self.now + copies[0];
+                            self.emit_deliver(id, to, msg, size, at);
+                        }
+                        RouteOutcome::Drop(cause) => {
+                            let mut hub = hub.borrow_mut();
+                            hub.global_mut().ctr_add(drop_cause_slot(cause), 1);
+                            if let Some(c) = hub.node_mut(to.index()) {
+                                c.ctr_add(ctr::MSGS_LOST, 1);
+                            }
+                            if obs::ENABLED {
+                                hub.trace_at(
+                                    self.now.as_micros(),
+                                    id.0,
+                                    Layer::Sim,
+                                    kind::MSG_DROP,
+                                    u64::from(to.0),
+                                    drop_cause_code(cause),
+                                );
+                            }
+                        }
+                    }
+                }
+                Effect::SetTimer { id: tid, delay, tag } => {
+                    let at = self.now + delay;
+                    self.pending_timers.insert(tid, at);
+                    let (a, b) = self.key_for_emit(id, id);
+                    self.push_keyed(at, a, b, EventKind::Timer { node: id, id: tid, tag });
+                }
+                Effect::CancelTimer { id: tid } => {
+                    // Cancelling an already-fired (or never-set) timer must
+                    // not grow the set forever: only timers still queued are
+                    // recorded, keyed to the time their entry self-expires.
+                    if let Some(&fire) = self.pending_timers.get(&tid) {
+                        self.cancelled.insert(tid, fire);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one popped event to this shard's state.
+    fn process_event(
+        &mut self,
+        hub: &Rc<RefCell<TelemetryHub>>,
+        t: SimTime,
+        kind_ev: EventKind<N::Msg>,
+    ) {
+        debug_assert!(t >= self.now, "event queue went backwards");
+        self.now = t;
+        // Network-global control events are broadcast to every shard's queue
+        // in sharded mode; tally the logical event once (on shard 0) so
+        // `events_processed` stays shard-count-invariant.
+        if !self.invariant || self.index == 0 || event_target(&kind_ev).is_some() {
+            self.events_processed += 1;
+        }
+        match kind_ev {
+            EventKind::Deliver { from, to, msg, size } => {
+                let li = (to.0 as usize).wrapping_sub(self.base as usize);
+                if li >= self.nodes.len() || self.down[li] {
+                    let mut hub = hub.borrow_mut();
+                    if let Some(c) = hub.node_mut(to.index()) {
+                        c.ctr_add(ctr::MSGS_LOST, 1);
+                    }
+                    return;
+                }
+                {
+                    let mut hub = hub.borrow_mut();
+                    if let Some(c) = hub.node_mut(to.index()) {
+                        c.ctr_add(ctr::MSGS_RECV, 1);
+                        c.ctr_add(ctr::BYTES_RECV, size as u64);
+                    }
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            to.0,
+                            Layer::Sim,
+                            kind::MSG_DELIVER,
+                            u64::from(from.0),
+                            size as u64,
+                        );
+                    }
+                }
+                self.dispatch_callback(hub, to, Callback::Message { from, msg });
+            }
+            EventKind::Timer { node, id, tag } => {
+                self.pending_timers.remove(&id);
+                if self.cancelled.remove(&id).is_some() {
+                    return;
+                }
+                let li = (node.0 - self.base) as usize;
+                if self.down[li] {
+                    return; // timers expiring while down are lost
+                }
+                if let Some(c) = hub.borrow_mut().node_mut(node.index()) {
+                    c.ctr_add(ctr::TIMERS_FIRED, 1);
+                }
+                self.dispatch_callback(hub, node, Callback::Timer { timer: id, tag });
+            }
+            EventKind::Crash(node) => {
+                let li = (node.0 - self.base) as usize;
+                if !self.down[li] {
+                    self.down[li] = true;
+                    {
+                        let mut hub = hub.borrow_mut();
+                        hub.global_mut().ctr_add(ctr::CRASHES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::NODE_CRASH,
+                                0,
+                                0,
+                            );
+                        }
+                    }
+                    self.nodes[li].on_crash();
+                    // The crash failure model for stable storage: the newest
+                    // unsynced writes are destroyed, anything older is
+                    // considered to have reached the platter in time.
+                    let lost = self.disks[li].crash(self.crash_unsynced_loss);
+                    if lost > 0 {
+                        let mut hub = hub.borrow_mut();
+                        if let Some(c) = hub.node_mut(node.index()) {
+                            c.ctr_add(ctr::DISK_WRITES_LOST, lost as u64);
+                        }
+                    }
+                }
+            }
+            EventKind::Recover(node, mode) => {
+                let li = (node.0 - self.base) as usize;
+                if self.down[li] {
+                    self.down[li] = false;
+                    {
+                        let mut hub = hub.borrow_mut();
+                        hub.global_mut().ctr_add(ctr::RECOVERIES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::NODE_RECOVER,
+                                0,
+                                0,
+                            );
+                        }
+                        if mode != RestartMode::Freeze {
+                            let slot = if mode == RestartMode::ColdDurable {
+                                ctr::COLD_RESTARTS_DURABLE
+                            } else {
+                                ctr::COLD_RESTARTS_AMNESIA
+                            };
+                            hub.global_mut().ctr_add(slot, 1);
+                            if obs::ENABLED {
+                                hub.trace_at(
+                                    self.now.as_micros(),
+                                    node.0,
+                                    Layer::Sim,
+                                    kind::NODE_RESTART,
+                                    mode.discriminant(),
+                                    self.disks[li].total_lost(),
+                                );
+                            }
+                        }
+                    }
+                    if mode == RestartMode::ColdAmnesia {
+                        self.disks[li].wipe();
+                    }
+                    self.dispatch_callback(hub, node, Callback::Recover(mode));
+                }
+            }
+            EventKind::SetPartition(p) => {
+                let healed = p.is_none() && self.net.partition.is_some();
+                // Control events are broadcast to every shard; only shard 0
+                // tallies, so the merged telemetry counts each change once.
+                if self.index == 0 && (p.is_some() || healed) {
+                    let mut hub = hub.borrow_mut();
+                    let (slot, k) = if p.is_some() {
+                        (ctr::PARTITIONS_STARTED, kind::PARTITION_START)
+                    } else {
+                        (ctr::PARTITIONS_HEALED, kind::PARTITION_HEAL)
+                    };
+                    hub.global_mut().ctr_add(slot, 1);
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            obs::TraceEvent::GLOBAL,
+                            Layer::Sim,
+                            k,
+                            0,
+                            0,
+                        );
+                    }
+                }
+                self.net.partition = p;
+            }
+            EventKind::SetDropProb(p) => self.net.drop_prob = p,
+            EventKind::SetGray(node, profile) => match profile {
+                Some(g) => {
+                    self.net.gray.insert(node, g);
+                }
+                None => {
+                    self.net.gray.remove(&node);
+                }
+            },
+            EventKind::SetLink { from, to, cut } => {
+                if cut {
+                    self.net.cut_links.insert((from, to));
+                } else {
+                    self.net.cut_links.remove(&(from, to));
+                }
+            }
+            EventKind::SetDupProb(p) => self.net.dup_prob = p,
+            EventKind::SetReorder { prob, jitter } => {
+                self.net.reorder_prob = prob;
+                self.net.reorder_jitter = jitter;
+            }
+            EventKind::Corrupt { node, op, seed } => {
+                let li = (node.0 - self.base) as usize;
+                if !self.down[li] {
+                    // Each strike carries its own seed: the RNG handed to
+                    // the node (or disk) is private to this event, so the
+                    // strike schedule and the damage it does replay
+                    // bit-for-bit regardless of what else the run contains.
+                    let mut rng = fork(seed, u64::from(node.0));
+                    let units = match op {
+                        CorruptionOp::DiskBytes { flips } => {
+                            self.disks[li].corrupt(&mut rng, flips)
+                        }
+                        _ => self.nodes[li].apply_corruption(&op, &mut rng),
+                    };
+                    let mut hub = hub.borrow_mut();
+                    hub.global_mut().ctr_add(ctr::STATE_CORRUPTIONS, 1);
+                    if matches!(op, CorruptionOp::ForgeItems { .. }) {
+                        hub.global_mut().ctr_add(ctr::FORGED_ITEMS_INJECTED, units);
+                    }
+                    if obs::ENABLED {
+                        hub.trace_at(
+                            self.now.as_micros(),
+                            node.0,
+                            Layer::Sim,
+                            kind::STATE_CORRUPT,
+                            op.discriminant(),
+                            units,
+                        );
+                    }
+                    if self.colluders.contains(&node.0) {
+                        hub.global_mut().ctr_add(ctr::COLLUSION_STRIKES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::COLLUSION_STRIKE,
+                                op.discriminant(),
+                                units,
+                            );
+                        }
+                    }
+                }
+            }
+            EventKind::SetLiar(node, behavior) => match behavior {
+                Some(b) => {
+                    self.liars.insert(node.0, b);
+                }
+                None => {
+                    self.liars.remove(&node.0);
+                }
+            },
+            EventKind::SetColluder(node, on) => {
+                if on {
+                    self.colluders.insert(node.0);
+                } else {
+                    self.colluders.remove(&node.0);
+                }
+            }
+        }
+    }
+
+    /// Pops and processes every queued event with `t < bound_us`.
+    fn drain_window(&mut self, hub: &Rc<RefCell<TelemetryHub>>, bound_us: u64) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= bound_us {
+                break;
+            }
+            let (t, a, b, kind_ev) = self.queue.pop().expect("peeked entry vanished");
+            if self.invariant {
+                hub.borrow_mut().set_event_key(a, b);
+            }
+            self.process_event(hub, SimTime::from_micros(t), kind_ev);
+        }
+    }
+
+    /// Runs a closure against this shard's effective hub: the scratch hub
+    /// (re-wrapped in a transient `Rc` so the thread-local collector can
+    /// hold it) when sharded, the master hub in legacy mode.
+    fn with_hub<R>(
+        &mut self,
+        master: &Rc<RefCell<TelemetryHub>>,
+        f: impl FnOnce(&mut Self, &Rc<RefCell<TelemetryHub>>) -> R,
+    ) -> R {
+        if let Some(scr) = self.scratch.take() {
+            let rc = Rc::new(RefCell::new(scr));
+            let r = f(self, &rc);
+            self.scratch = Some(
+                Rc::try_unwrap(rc)
+                    .map(RefCell::into_inner)
+                    .unwrap_or_else(|_| panic!("scratch hub retained")),
+            );
+            r
+        } else {
+            f(self, master)
+        }
+    }
+
+    /// Processes one window sequentially (hub installed once for the span).
+    fn run_window(&mut self, master: &Rc<RefCell<TelemetryHub>>, bound_us: u64) {
+        self.with_hub(master, |sh, hub| {
+            let _g = if obs::ENABLED { obs::collector::install_if_needed(hub) } else { None };
+            sh.drain_window(hub, bound_us);
+        });
+    }
+
+    /// Processes one window on a worker thread (sharded mode only; never
+    /// touches the master hub, so the closure is `Send`).
+    fn run_window_owned(&mut self, bound_us: u64) {
+        let scr = self.scratch.take().expect("parallel run requires scratch hubs");
+        let rc = Rc::new(RefCell::new(scr));
+        {
+            let _g = if obs::ENABLED { obs::collector::install_if_needed(&rc) } else { None };
+            self.drain_window(&rc, bound_us);
+        }
+        self.scratch = Some(
+            Rc::try_unwrap(rc)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|_| panic!("scratch hub retained")),
+        );
     }
 }
-impl<M> Ord for QueuedEvent<M> {
-    // Reversed so the BinaryHeap (a max-heap) pops the *earliest* event.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
+
+/// Pre-start state: nodes and externally scheduled events accumulate here
+/// until the first run call freezes the shard layout.
+struct Staging<N: Node> {
+    nodes: Vec<N>,
+    node_rngs: Vec<SmallRng>,
+    disks: Vec<Disk>,
+    events: Vec<StagedEvent<N::Msg>>,
+    peak: usize,
+    seq: u64,
+}
+
+struct StagedEvent<M> {
+    time: SimTime,
+    legacy_seq: u64,
+    kind: EventKind<M>,
 }
 
 /// A deterministic discrete-event simulation over nodes of type `N`.
@@ -118,55 +747,40 @@ impl<M> Ord for QueuedEvent<M> {
 /// assert_eq!(sim.node(NodeId(0)).pings + sim.node(NodeId(1)).pings, 4);
 /// ```
 pub struct Simulation<N: Node> {
-    nodes: Vec<N>,
-    down: Vec<bool>,
-    node_rngs: Vec<SmallRng>,
-    /// Per-node simulated stable storage (see [`Disk`]).
-    disks: Vec<Disk>,
-    /// How many of the newest unsynced disk writes a crash destroys
-    /// (default: all of them).
-    crash_unsynced_loss: usize,
     /// All traffic/fault accounting and trace records live here; the legacy
     /// [`TrafficCounters`]/[`FaultCounters`] accessors are views over it.
     /// Shared (`Rc`) so the thread-local collector can reach it from inside
     /// node callbacks.
     hub: Rc<RefCell<TelemetryHub>>,
+    shards: Vec<Shard<N>>,
+    staging: Option<Staging<N>>,
     net: NetworkModel,
-    net_rng: SmallRng,
-    queue: BinaryHeap<QueuedEvent<N::Msg>>,
     now: SimTime,
-    seq: u64,
-    next_timer: u64,
-    /// Fire times of timers still queued, so a cancellation can be bounded
-    /// to the timer's lifetime (entries leave when the timer event pops).
-    pending_timers: HashMap<TimerId, SimTime>,
-    /// Cancelled-but-not-yet-popped timers, keyed to their fire time so
-    /// stale entries can be purged once that time has passed.
-    cancelled: HashMap<TimerId, SimTime>,
-    started: bool,
     seed: u64,
-    events_processed: u64,
-    peak_queue: usize,
-    /// Liar behaviors currently installed, by node id (see `LiarSpec`).
-    liars: HashMap<u32, LiarBehavior>,
-    /// Nodes currently marked as members of a collusion group. Membership
-    /// only changes *attribution* — strikes and intercepts by colluders
-    /// tally into the collusion counters — never behavior, so an empty set
-    /// leaves every legacy run bit-identical.
-    colluders: HashSet<u32>,
-    /// Dedicated RNG stream for liar interception decisions. Only drawn
-    /// from while a liar behavior is installed, so configuring no liars
-    /// leaves every other stream — and thus the whole run — untouched.
-    liar_rng: SmallRng,
+    started: bool,
+    /// Sharded (shard-count-invariant) mode flag; false = legacy keys.
+    invariant: bool,
+    shard_target: usize,
+    /// How many of the newest unsynced disk writes a crash destroys
+    /// (default: all of them).
+    crash_unsynced_loss: usize,
+    /// Sharded-mode `b`-key counter for externally scheduled events.
+    ext_seq: u64,
+    total: u32,
+    per: u32,
+    /// Conservative-synchronization lookahead: the network's minimum
+    /// latency, in µs (frozen at start).
+    lookahead_us: u64,
 }
 
 impl<N: Node> std::fmt::Debug for Simulation<N> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.len())
             .field("now", &self.now)
-            .field("queued", &self.queue.len())
-            .field("events_processed", &self.events_processed)
+            .field("queued", &self.queued_len())
+            .field("shards", &self.shards.len().max(1))
+            .field("events_processed", &self.events_processed())
             .finish()
     }
 }
@@ -174,29 +788,71 @@ impl<N: Node> std::fmt::Debug for Simulation<N> {
 impl<N: Node> Simulation<N> {
     /// Creates an empty simulation over the given network model, with all
     /// randomness derived from `seed`.
+    ///
+    /// If the `SIMNET_SHARDS` environment variable is set to an integer
+    /// `k ≥ 1`, the simulation starts in sharded mode with that shard count,
+    /// exactly as if [`Simulation::set_shards`]`(k)` had been called.
     pub fn new(net: NetworkModel, seed: u64) -> Self {
+        let mut invariant = false;
+        let mut shard_target = 1usize;
+        if let Ok(v) = std::env::var("SIMNET_SHARDS") {
+            if let Ok(k) = v.trim().parse::<usize>() {
+                if k >= 1 {
+                    invariant = true;
+                    shard_target = k;
+                }
+            }
+        }
         Simulation {
-            nodes: Vec::new(),
-            down: Vec::new(),
-            node_rngs: Vec::new(),
-            disks: Vec::new(),
-            crash_unsynced_loss: usize::MAX,
             hub: Rc::new(RefCell::new(TelemetryHub::new(seed))),
+            shards: Vec::new(),
+            staging: Some(Staging {
+                nodes: Vec::new(),
+                node_rngs: Vec::new(),
+                disks: Vec::new(),
+                events: Vec::new(),
+                peak: 0,
+                seq: 0,
+            }),
             net,
-            net_rng: fork(seed, u64::MAX),
-            queue: BinaryHeap::new(),
             now: SimTime::ZERO,
-            seq: 0,
-            next_timer: 0,
-            pending_timers: HashMap::new(),
-            cancelled: HashMap::new(),
-            started: false,
             seed,
-            events_processed: 0,
-            peak_queue: 0,
-            liars: HashMap::new(),
-            colluders: HashSet::new(),
-            liar_rng: fork(seed, LIAR_STREAM),
+            started: false,
+            invariant,
+            shard_target,
+            crash_unsynced_loss: usize::MAX,
+            ext_seq: 0,
+            total: 0,
+            per: 1,
+            lookahead_us: 0,
+        }
+    }
+
+    /// Switches the simulation into sharded mode with `k` execution shards
+    /// (contiguous node-id ranges). In this mode event keys and RNG streams
+    /// are *shard-count-invariant*: the same seed yields byte-identical
+    /// telemetry for any `k`, including `k = 1` — but **not** identical to
+    /// legacy (default) mode, which keeps the historical single-heap
+    /// ordering. The effective count is clamped to the node count, and to 1
+    /// when the network's minimum latency is zero (no lookahead, no safe
+    /// window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running.
+    pub fn set_shards(&mut self, k: usize) {
+        assert!(!self.started, "cannot reconfigure shards after the simulation started");
+        self.shard_target = k.max(1);
+        self.invariant = true;
+    }
+
+    /// The number of execution shards: the configured target before start,
+    /// the effective (clamped) count after.
+    pub fn shard_count(&self) -> usize {
+        if self.started {
+            self.shards.len()
+        } else {
+            self.shard_target
         }
     }
 
@@ -233,14 +889,16 @@ impl<N: Node> Simulation<N> {
     /// Shared handle to this simulation's telemetry hub (the metrics
     /// registry plus the trace ring). Experiment harnesses read registry
     /// slots through this; protocol code inside callbacks reaches the same
-    /// hub through the `obs` thread-local collector.
+    /// hub through the `obs` thread-local collector. In sharded mode the
+    /// hub reflects merged shard state as of the last completed run call.
     pub fn telemetry(&self) -> Rc<RefCell<TelemetryHub>> {
         Rc::clone(&self.hub)
     }
 
     /// A non-destructive telemetry snapshot: every non-zero registry slot
     /// plus the retained trace records, stamped with the current simulated
-    /// time. Deterministic — same seed, same schedule ⇒ same snapshot.
+    /// time. Deterministic — same seed, same schedule ⇒ same snapshot (and
+    /// in sharded mode, the same bytes for any shard count).
     pub fn snapshot_telemetry(&self) -> Telemetry {
         let mut hub = self.hub.borrow_mut();
         hub.set_now_us(self.now.as_micros());
@@ -259,6 +917,8 @@ impl<N: Node> Simulation<N> {
     }
 
     /// Caps the trace ring at `capacity` records (drop-oldest beyond it).
+    /// In sharded mode the cap applies to the *merged* ring, so retention is
+    /// identical for every shard count.
     pub fn set_trace_capacity(&mut self, capacity: usize) {
         self.hub.borrow_mut().set_ring_capacity(capacity);
     }
@@ -271,13 +931,18 @@ impl<N: Node> Simulation<N> {
     /// Panics if called after the simulation has started running.
     pub fn add_node(&mut self, node: N) -> NodeId {
         assert!(!self.started, "cannot add nodes after the simulation started");
-        let id = NodeId(self.nodes.len() as u32);
-        self.node_rngs.push(fork(self.seed, id.0 as u64));
-        self.nodes.push(node);
-        self.down.push(false);
-        self.disks.push(Disk::new());
-        self.hub.borrow_mut().ensure_nodes(self.nodes.len());
+        let st = self.staging.as_mut().expect("staging present before start");
+        let id = NodeId(st.nodes.len() as u32);
+        st.node_rngs.push(fork(self.seed, u64::from(id.0)));
+        st.nodes.push(node);
+        st.disks.push(Disk::new());
+        self.hub.borrow_mut().ensure_nodes(st.nodes.len());
         id
+    }
+
+    /// Shard index owning a node id (valid post-start).
+    fn shard_index_of(&self, id: NodeId) -> usize {
+        ((id.0 / self.per) as usize).min(self.shards.len().saturating_sub(1))
     }
 
     /// A node's simulated stable storage (inspection between runs).
@@ -286,7 +951,12 @@ impl<N: Node> Simulation<N> {
     ///
     /// Panics if `id` is out of range.
     pub fn disk(&self, id: NodeId) -> &Disk {
-        &self.disks[id.index()]
+        if let Some(st) = &self.staging {
+            &st.disks[id.index()]
+        } else {
+            let sh = &self.shards[self.shard_index_of(id)];
+            &sh.disks[(id.0 - sh.base) as usize]
+        }
     }
 
     /// Sets how many of the newest unsynced disk writes a crash destroys.
@@ -294,16 +964,23 @@ impl<N: Node> Simulation<N> {
     /// write-through disk that never loses anything.
     pub fn set_crash_unsynced_loss(&mut self, k: usize) {
         self.crash_unsynced_loss = k;
+        for sh in &mut self.shards {
+            sh.crash_unsynced_loss = k;
+        }
     }
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        if let Some(st) = &self.staging {
+            st.nodes.len()
+        } else {
+            self.total as usize
+        }
     }
 
     /// True when the simulation holds no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Current simulated time.
@@ -313,12 +990,26 @@ impl<N: Node> Simulation<N> {
 
     /// Total events processed so far (for throughput benchmarks).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    fn queued_len(&self) -> usize {
+        if let Some(st) = &self.staging {
+            st.events.len()
+        } else {
+            self.shards.iter().map(|s| s.queue.len()).sum()
+        }
     }
 
     /// High-water mark of the event queue length (for capacity benchmarks).
+    /// In sharded mode this is the sum of per-shard high-water marks — an
+    /// upper bound on the true global peak.
     pub fn peak_queue_depth(&self) -> usize {
-        self.peak_queue
+        if let Some(st) = &self.staging {
+            st.peak
+        } else {
+            self.shards.iter().map(|s| s.peak_queue).sum()
+        }
     }
 
     /// Immutable access to a node's protocol state.
@@ -327,7 +1018,12 @@ impl<N: Node> Simulation<N> {
     ///
     /// Panics if `id` is out of range.
     pub fn node(&self, id: NodeId) -> &N {
-        &self.nodes[id.index()]
+        if let Some(st) = &self.staging {
+            &st.nodes[id.index()]
+        } else {
+            let sh = &self.shards[self.shard_index_of(id)];
+            &sh.nodes[(id.0 - sh.base) as usize]
+        }
     }
 
     /// Mutable access to a node's protocol state (configuration between runs,
@@ -337,17 +1033,34 @@ impl<N: Node> Simulation<N> {
     ///
     /// Panics if `id` is out of range.
     pub fn node_mut(&mut self, id: NodeId) -> &mut N {
-        &mut self.nodes[id.index()]
+        if self.staging.is_none() {
+            let si = self.shard_index_of(id);
+            let sh = &mut self.shards[si];
+            return &mut sh.nodes[(id.0 - sh.base) as usize];
+        }
+        let st = self.staging.as_mut().expect("staging present (checked above)");
+        &mut st.nodes[id.index()]
     }
 
     /// Iterates over `(id, node)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.staging
+            .as_ref()
+            .map(|st| st.nodes.iter())
+            .into_iter()
+            .flatten()
+            .chain(self.shards.iter().flat_map(|sh| sh.nodes.iter()))
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Whether `id` is currently crashed.
     pub fn is_down(&self, id: NodeId) -> bool {
-        self.down[id.index()]
+        if self.staging.is_some() {
+            return false;
+        }
+        let sh = &self.shards[self.shard_index_of(id)];
+        sh.down[(id.0 - sh.base) as usize]
     }
 
     /// Traffic counters for one node (a view over the telemetry registry).
@@ -381,10 +1094,35 @@ impl<N: Node> Simulation<N> {
         }
     }
 
+    /// Queues an externally scheduled event (staged pre-start; routed to the
+    /// owner shard or broadcast post-start).
     fn push(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
-        self.seq += 1;
-        self.queue.push(QueuedEvent { time, seq: self.seq, kind });
-        self.peak_queue = self.peak_queue.max(self.queue.len());
+        if let Some(st) = self.staging.as_mut() {
+            st.seq += 1;
+            st.events.push(StagedEvent { time, legacy_seq: st.seq, kind });
+            st.peak = st.peak.max(st.events.len());
+            return;
+        }
+        if !self.invariant {
+            let sh = &mut self.shards[0];
+            sh.seq += 1;
+            let b = sh.seq;
+            sh.push_keyed(time, 0, b, kind);
+            return;
+        }
+        self.ext_seq += 1;
+        let b = self.ext_seq;
+        match event_target(&kind) {
+            Some(nid) => {
+                let si = self.shard_index_of(nid);
+                self.shards[si].push_keyed(time, key_external(nid.0), b, kind);
+            }
+            None => {
+                for sh in &mut self.shards {
+                    sh.push_keyed(time, KEY_CONTROL, b, kind.clone());
+                }
+            }
+        }
     }
 
     /// Delivers `msg` to `to` at exactly `at`, as if from
@@ -403,9 +1141,9 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_crash: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::Crash(node));
     }
@@ -423,9 +1161,9 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_restart(&mut self, at: SimTime, node: NodeId, mode: RestartMode) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_restart: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::Recover(node, mode));
     }
@@ -434,9 +1172,9 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_gray(&mut self, at: SimTime, node: NodeId, profile: Option<GrayProfile>) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_gray: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::SetGray(node, profile));
     }
@@ -489,9 +1227,9 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_corruption(&mut self, at: SimTime, node: NodeId, op: CorruptionOp, seed: u64) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_corruption: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::Corrupt { node, op, seed });
     }
@@ -503,9 +1241,9 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_liar(&mut self, at: SimTime, node: NodeId, behavior: Option<LiarBehavior>) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_liar: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::SetLiar(node, behavior));
     }
@@ -517,386 +1255,281 @@ impl<N: Node> Simulation<N> {
     pub fn schedule_colluder(&mut self, at: SimTime, node: NodeId, on: bool) {
         assert!(at >= self.now, "cannot schedule in the past");
         debug_assert!(
-            node.index() < self.nodes.len(),
+            node.index() < self.len(),
             "schedule_colluder: node {node} out of range (have {})",
-            self.nodes.len()
+            self.len()
         );
         self.push(at, EventKind::SetColluder(node, on));
     }
 
+    /// Freezes the shard layout, distributes staged state and dispatches
+    /// every node's `on_start` in global id order.
     fn start_if_needed(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
-        for i in 0..self.nodes.len() {
-            self.dispatch_callback(NodeId(i as u32), Callback::Start);
+        let st = self.staging.take().expect("staging present before start");
+        let n = st.nodes.len();
+        self.total = n as u32;
+        self.lookahead_us = self.net.min_latency().as_micros();
+        let mut k = if self.invariant { self.shard_target } else { 1 };
+        if self.lookahead_us == 0 {
+            // Zero lookahead admits no safe window: fall back to one shard
+            // (the key scheme stays invariant, so telemetry is unchanged).
+            k = 1;
         }
-    }
+        k = k.clamp(1, n.max(1));
+        let per = n.max(1).div_ceil(k);
+        self.per = per as u32;
 
-    /// Runs the node callback and then applies the effects it requested.
-    fn dispatch_callback(&mut self, id: NodeId, cb: Callback<N::Msg>) {
-        let mut effects: Vec<Effect<N::Msg>> = Vec::new();
-        {
-            // With tracing on, expose the hub to protocol code for the span
-            // of the callback (callbacks are instantaneous in sim time, so
-            // stamping the clock once here is exact).
-            let _obs_guard = if obs::ENABLED {
-                self.hub.borrow_mut().set_now_us(self.now.as_micros());
-                // Usually a no-op pointer check: the run loops install the
-                // hub once for their whole duration (see `run_until`).
-                obs::collector::install_if_needed(&self.hub)
-            } else {
-                None
+        let mut nodes = st.nodes.into_iter();
+        let mut rngs = st.node_rngs.into_iter();
+        let mut disks = st.disks.into_iter();
+        for si in 0..k {
+            let base = si * per;
+            let count = per.min(n - base);
+            let shard = Shard {
+                index: si,
+                base: base as u32,
+                nodes: nodes.by_ref().take(count).collect(),
+                down: vec![false; count],
+                node_rngs: rngs.by_ref().take(count).collect(),
+                disks: disks.by_ref().take(count).collect(),
+                crash_unsynced_loss: self.crash_unsynced_loss,
+                net: self.net.clone(),
+                net_rng: fork(self.seed, u64::MAX),
+                net_rngs: if self.invariant {
+                    (base..base + count)
+                        .map(|g| fork(self.seed, NET_STREAM_BASE + g as u64))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                liar_rng: fork(self.seed, LIAR_STREAM),
+                liar_rngs: HashMap::new(),
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+                src_seq: vec![0; count],
+                next_timer: if self.invariant {
+                    (base..base + count).map(|g| ((g as u64) + 1) << 32).collect()
+                } else {
+                    vec![0]
+                },
+                pending_timers: HashMap::new(),
+                cancelled: HashMap::new(),
+                liars: HashMap::new(),
+                colluders: HashSet::new(),
+                events_processed: 0,
+                peak_queue: 0,
+                seed: self.seed,
+                invariant: self.invariant,
+                per: per as u32,
+                nshards: k,
+                scratch: if self.invariant {
+                    let mut h = TelemetryHub::new(self.seed);
+                    h.ensure_nodes(n);
+                    h.configure_as_scratch();
+                    Some(h)
+                } else {
+                    None
+                },
+                outboxes: (0..k).map(|_| Vec::new()).collect(),
             };
-            let node = &mut self.nodes[id.index()];
-            let mut ctx = Context {
-                id,
-                now: self.now,
-                rng: &mut self.node_rngs[id.index()],
-                effects: &mut effects,
-                next_timer: &mut self.next_timer,
-                disk: &mut self.disks[id.index()],
-            };
-            match cb {
-                Callback::Start => node.on_start(&mut ctx),
-                Callback::Message { from, msg } => node.on_message(&mut ctx, from, msg),
-                Callback::Timer { timer, tag } => node.on_timer(&mut ctx, timer, tag),
-                Callback::Recover(mode) => node.on_restart(&mut ctx, mode),
-            }
+            self.shards.push(shard);
         }
-        for eff in effects {
-            match eff {
-                Effect::Send { to, mut msg } => {
-                    // Liar interception sits at the node boundary: the
-                    // protocol built an honest message; an installed liar
-                    // behavior may rewrite or swallow it on the way out.
-                    if let Some(b) = self.liars.get(&id.0).copied() {
-                        use rand::Rng;
-                        if self.liar_rng.gen::<f64>() < b.prob {
-                            let action = self.nodes[id.index()].tamper_outbound(
-                                to,
-                                &mut msg,
-                                b.mode,
-                                &mut self.liar_rng,
-                            );
-                            if action != LiarAction::Pass {
-                                let mut hub = self.hub.borrow_mut();
-                                // A coordinated lie is attributed to the
-                                // collusion group, not the solo-liar tally.
-                                let slot = if self.colluders.contains(&id.0) {
-                                    ctr::COLLUSION_INTERCEPTS
-                                } else {
-                                    ctr::LIAR_MESSAGES_INTERCEPTED
-                                };
-                                hub.global_mut().ctr_add(slot, 1);
-                                if obs::ENABLED {
-                                    let what = if action == LiarAction::Tampered { 1 } else { 2 };
-                                    hub.trace_at(
-                                        self.now.as_micros(),
-                                        id.0,
-                                        Layer::Sim,
-                                        kind::LIAR_INTERCEPT,
-                                        u64::from(to.0),
-                                        what,
-                                    );
-                                }
-                            }
-                            if action == LiarAction::Dropped {
-                                continue;
-                            }
-                        }
-                    }
-                    let size = msg.wire_size();
-                    {
-                        let mut hub = self.hub.borrow_mut();
-                        if let Some(c) = hub.node_mut(id.index()) {
-                            c.ctr_add(ctr::MSGS_SENT, 1);
-                            c.ctr_add(ctr::BYTES_SENT, size as u64);
-                        }
-                    }
-                    match self.net.route(id, to, &mut self.net_rng) {
-                        RouteOutcome::Deliver { copies, jittered } => {
-                            if jittered || copies.len() > 1 {
-                                let mut hub = self.hub.borrow_mut();
-                                let g = hub.global_mut();
-                                if jittered {
-                                    g.ctr_add(ctr::MSGS_JITTERED, 1);
-                                }
-                                g.ctr_add(ctr::MSGS_DUPLICATED, copies.len() as u64 - 1);
-                            }
-                            for &lat in copies.iter().skip(1) {
-                                let at = self.now + lat;
-                                let copy = msg.clone();
-                                self.push(at, EventKind::Deliver { from: id, to, msg: copy, size });
-                            }
-                            let at = self.now + copies[0];
-                            self.push(at, EventKind::Deliver { from: id, to, msg, size });
-                        }
-                        RouteOutcome::Drop(cause) => {
-                            let mut hub = self.hub.borrow_mut();
-                            hub.global_mut().ctr_add(drop_cause_slot(cause), 1);
-                            if let Some(c) = hub.node_mut(to.index()) {
-                                c.ctr_add(ctr::MSGS_LOST, 1);
-                            }
-                            if obs::ENABLED {
-                                hub.trace_at(
-                                    self.now.as_micros(),
-                                    id.0,
-                                    Layer::Sim,
-                                    kind::MSG_DROP,
-                                    u64::from(to.0),
-                                    drop_cause_code(cause),
-                                );
-                            }
-                        }
-                    }
+        if !self.invariant {
+            self.shards[0].seq = st.seq;
+            self.shards[0].peak_queue = st.peak;
+        }
+
+        // Distribute the staged schedule. Legacy keys were assigned at
+        // schedule time; invariant keys are assigned here, in schedule
+        // order, from the external counter.
+        for ev in st.events {
+            if !self.invariant {
+                self.shards[0].push_keyed(ev.time, 0, ev.legacy_seq, ev.kind);
+                continue;
+            }
+            self.ext_seq += 1;
+            let b = self.ext_seq;
+            match event_target(&ev.kind) {
+                Some(nid) => {
+                    let si = self.shard_index_of(nid);
+                    self.shards[si].push_keyed(ev.time, key_external(nid.0), b, ev.kind);
                 }
-                Effect::SetTimer { id: tid, delay, tag } => {
-                    let at = self.now + delay;
-                    self.pending_timers.insert(tid, at);
-                    self.push(at, EventKind::Timer { node: id, id: tid, tag });
-                }
-                Effect::CancelTimer { id: tid } => {
-                    // Cancelling an already-fired (or never-set) timer must
-                    // not grow the set forever: only timers still queued are
-                    // recorded, keyed to the time their entry self-expires.
-                    if let Some(&fire) = self.pending_timers.get(&tid) {
-                        self.cancelled.insert(tid, fire);
+                None => {
+                    for sh in &mut self.shards {
+                        sh.push_keyed(ev.time, KEY_CONTROL, b, ev.kind.clone());
                     }
                 }
             }
         }
+
+        // Start callbacks in global id order (shard ranges are contiguous,
+        // so per-shard iteration preserves the global order).
+        let master = Rc::clone(&self.hub);
+        for si in 0..k {
+            let count = self.shards[si].nodes.len();
+            let base = self.shards[si].base;
+            self.shards[si].with_hub(&master, |sh, hub| {
+                let _g = if obs::ENABLED { obs::collector::install_if_needed(hub) } else { None };
+                for li in 0..count {
+                    let gid = base + li as u32;
+                    if sh.invariant {
+                        hub.borrow_mut().set_event_key(key_local(gid, gid), 0);
+                    }
+                    sh.dispatch_callback(hub, NodeId(gid), Callback::Start);
+                }
+            });
+        }
+        self.flush_outboxes();
+        if self.invariant {
+            self.merge_window_traces();
+        }
     }
 
-    /// Processes the single earliest event. Returns `false` when the queue is
-    /// empty.
+    /// Moves every parked cross-shard event into its owner shard's queue.
+    fn flush_outboxes(&mut self) {
+        let k = self.shards.len();
+        if k <= 1 {
+            return;
+        }
+        for src in 0..k {
+            for dst in 0..k {
+                if src == dst || self.shards[src].outboxes[dst].is_empty() {
+                    continue;
+                }
+                let moved = std::mem::take(&mut self.shards[src].outboxes[dst]);
+                for (t, a, b, kind_ev) in moved {
+                    // Conservative-sync invariant: a cross-shard arrival is
+                    // always at or beyond the window barrier, so it can
+                    // never land in the owner's past.
+                    debug_assert!(
+                        t >= self.shards[dst].now.as_micros(),
+                        "outbox flush into the past: shard {src} -> {dst}, \
+                         event t={t} but dst now={} (key a={a:#x} b={b})",
+                        self.shards[dst].now.as_micros()
+                    );
+                    self.shards[dst].push_keyed(SimTime::from_micros(t), a, b, kind_ev);
+                }
+            }
+        }
+    }
+
+    /// Drains every shard's scratch trace ring and replays the records into
+    /// the master ring in global `(time, key)` order. The sort is stable and
+    /// keys are unique per event, so records emitted while processing one
+    /// event stay in emission order — the merged stream is byte-identical
+    /// for every shard count.
+    fn merge_window_traces(&mut self) {
+        let mut all: Vec<(TraceEvent, (u64, u64))> = Vec::new();
+        for sh in &mut self.shards {
+            if let Some(scr) = sh.scratch.as_mut() {
+                all.extend(scr.drain_trace_keyed());
+            }
+        }
+        if all.is_empty() {
+            return;
+        }
+        all.sort_by_key(|(ev, key)| (ev.t_us, key.0, key.1));
+        let mut hub = self.hub.borrow_mut();
+        for (ev, _) in all {
+            hub.push_record(ev);
+        }
+    }
+
+    /// Folds every shard's scratch metric sets into the master hub
+    /// (counters/histograms/series add, gauges take the max — all
+    /// placement-insensitive, so the totals are shard-count-invariant).
+    fn merge_shard_sets(&mut self) {
+        let mut hub = self.hub.borrow_mut();
+        for sh in &mut self.shards {
+            if let Some(scr) = sh.scratch.as_mut() {
+                hub.merge_sets_from(scr);
+            }
+        }
+    }
+
+    /// Earliest queued event time across all shards.
+    fn earliest_time(&mut self) -> Option<u64> {
+        let mut w: Option<u64> = None;
+        for sh in &mut self.shards {
+            if let Some(t) = sh.queue.peek_time() {
+                w = Some(w.map_or(t, |x| x.min(t)));
+            }
+        }
+        w
+    }
+
+    /// Purges dead cancelled-timer entries once the set outgrows the live
+    /// queue (a cancelled timer whose fire time has passed can never pop
+    /// again, so its entry is pure dead weight).
+    fn compact_cancelled(&mut self) {
+        let now = self.now;
+        for sh in &mut self.shards {
+            if sh.cancelled.len() > 64 || sh.cancelled.len() > sh.queue.len() {
+                sh.cancelled.retain(|_, &mut fire| fire > now);
+            }
+        }
+    }
+
+    /// Runs windows sequentially until every queue is past `deadline_us`.
+    fn run_windows(&mut self, deadline_us: u64) {
+        let master = Rc::clone(&self.hub);
+        while let Some(w) = self.earliest_time() {
+            if w > deadline_us {
+                break;
+            }
+            let bound =
+                w.saturating_add(self.lookahead_us.max(1)).min(deadline_us.saturating_add(1));
+            for sh in &mut self.shards {
+                sh.run_window(&master, bound);
+            }
+            self.flush_outboxes();
+            self.merge_window_traces();
+        }
+        let latest = self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO);
+        self.now = self.now.max(latest);
+    }
+
+    /// Processes the single earliest event. Returns `false` when the queues
+    /// are empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Some(ev) = self.queue.pop() else { return false };
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
-        self.events_processed += 1;
-        match ev.kind {
-            EventKind::Deliver { from, to, msg, size } => {
-                let idx = to.index();
-                if idx >= self.nodes.len() || self.down[idx] {
-                    let mut hub = self.hub.borrow_mut();
-                    if let Some(c) = hub.node_mut(idx) {
-                        c.ctr_add(ctr::MSGS_LOST, 1);
-                    }
-                    return true;
-                }
-                {
-                    let mut hub = self.hub.borrow_mut();
-                    if let Some(c) = hub.node_mut(idx) {
-                        c.ctr_add(ctr::MSGS_RECV, 1);
-                        c.ctr_add(ctr::BYTES_RECV, size as u64);
-                    }
-                    if obs::ENABLED {
-                        hub.trace_at(
-                            self.now.as_micros(),
-                            to.0,
-                            Layer::Sim,
-                            kind::MSG_DELIVER,
-                            u64::from(from.0),
-                            size as u64,
-                        );
-                    }
-                }
-                self.dispatch_callback(to, Callback::Message { from, msg });
-            }
-            EventKind::Timer { node, id, tag } => {
-                self.pending_timers.remove(&id);
-                if self.cancelled.remove(&id).is_some() {
-                    return true;
-                }
-                let idx = node.index();
-                if self.down[idx] {
-                    return true; // timers expiring while down are lost
-                }
-                if let Some(c) = self.hub.borrow_mut().node_mut(idx) {
-                    c.ctr_add(ctr::TIMERS_FIRED, 1);
-                }
-                self.dispatch_callback(node, Callback::Timer { timer: id, tag });
-            }
-            EventKind::Crash(node) => {
-                let idx = node.index();
-                if !self.down[idx] {
-                    self.down[idx] = true;
-                    {
-                        let mut hub = self.hub.borrow_mut();
-                        hub.global_mut().ctr_add(ctr::CRASHES, 1);
-                        if obs::ENABLED {
-                            hub.trace_at(
-                                self.now.as_micros(),
-                                node.0,
-                                Layer::Sim,
-                                kind::NODE_CRASH,
-                                0,
-                                0,
-                            );
-                        }
-                    }
-                    self.nodes[idx].on_crash();
-                    // The crash failure model for stable storage: the newest
-                    // unsynced writes are destroyed, anything older is
-                    // considered to have reached the platter in time.
-                    let lost = self.disks[idx].crash(self.crash_unsynced_loss);
-                    if lost > 0 {
-                        let mut hub = self.hub.borrow_mut();
-                        if let Some(c) = hub.node_mut(idx) {
-                            c.ctr_add(ctr::DISK_WRITES_LOST, lost as u64);
-                        }
-                    }
-                }
-            }
-            EventKind::Recover(node, mode) => {
-                let idx = node.index();
-                if self.down[idx] {
-                    self.down[idx] = false;
-                    {
-                        let mut hub = self.hub.borrow_mut();
-                        hub.global_mut().ctr_add(ctr::RECOVERIES, 1);
-                        if obs::ENABLED {
-                            hub.trace_at(
-                                self.now.as_micros(),
-                                node.0,
-                                Layer::Sim,
-                                kind::NODE_RECOVER,
-                                0,
-                                0,
-                            );
-                        }
-                        if mode != RestartMode::Freeze {
-                            let slot = if mode == RestartMode::ColdDurable {
-                                ctr::COLD_RESTARTS_DURABLE
-                            } else {
-                                ctr::COLD_RESTARTS_AMNESIA
-                            };
-                            hub.global_mut().ctr_add(slot, 1);
-                            if obs::ENABLED {
-                                hub.trace_at(
-                                    self.now.as_micros(),
-                                    node.0,
-                                    Layer::Sim,
-                                    kind::NODE_RESTART,
-                                    mode.discriminant(),
-                                    self.disks[idx].total_lost(),
-                                );
-                            }
-                        }
-                    }
-                    if mode == RestartMode::ColdAmnesia {
-                        self.disks[idx].wipe();
-                    }
-                    self.dispatch_callback(node, Callback::Recover(mode));
-                }
-            }
-            EventKind::SetPartition(p) => {
-                let healed = p.is_none() && self.net.partition.is_some();
-                if p.is_some() || healed {
-                    let mut hub = self.hub.borrow_mut();
-                    let (slot, k) = if p.is_some() {
-                        (ctr::PARTITIONS_STARTED, kind::PARTITION_START)
-                    } else {
-                        (ctr::PARTITIONS_HEALED, kind::PARTITION_HEAL)
-                    };
-                    hub.global_mut().ctr_add(slot, 1);
-                    if obs::ENABLED {
-                        hub.trace_at(
-                            self.now.as_micros(),
-                            obs::TraceEvent::GLOBAL,
-                            Layer::Sim,
-                            k,
-                            0,
-                            0,
-                        );
-                    }
-                }
-                self.net.partition = p;
-            }
-            EventKind::SetDropProb(p) => self.net.drop_prob = p,
-            EventKind::SetGray(node, profile) => match profile {
-                Some(g) => {
-                    self.net.gray.insert(node, g);
-                }
-                None => {
-                    self.net.gray.remove(&node);
-                }
-            },
-            EventKind::SetLink { from, to, cut } => {
-                if cut {
-                    self.net.cut_links.insert((from, to));
-                } else {
-                    self.net.cut_links.remove(&(from, to));
-                }
-            }
-            EventKind::SetDupProb(p) => self.net.dup_prob = p,
-            EventKind::SetReorder { prob, jitter } => {
-                self.net.reorder_prob = prob;
-                self.net.reorder_jitter = jitter;
-            }
-            EventKind::Corrupt { node, op, seed } => {
-                let idx = node.index();
-                if !self.down[idx] {
-                    // Each strike carries its own seed: the RNG handed to
-                    // the node (or disk) is private to this event, so the
-                    // strike schedule and the damage it does replay
-                    // bit-for-bit regardless of what else the run contains.
-                    let mut rng = fork(seed, u64::from(node.0));
-                    let units = match op {
-                        CorruptionOp::DiskBytes { flips } => {
-                            self.disks[idx].corrupt(&mut rng, flips)
-                        }
-                        _ => self.nodes[idx].apply_corruption(&op, &mut rng),
-                    };
-                    let mut hub = self.hub.borrow_mut();
-                    hub.global_mut().ctr_add(ctr::STATE_CORRUPTIONS, 1);
-                    if matches!(op, CorruptionOp::ForgeItems { .. }) {
-                        hub.global_mut().ctr_add(ctr::FORGED_ITEMS_INJECTED, units);
-                    }
-                    if obs::ENABLED {
-                        hub.trace_at(
-                            self.now.as_micros(),
-                            node.0,
-                            Layer::Sim,
-                            kind::STATE_CORRUPT,
-                            op.discriminant(),
-                            units,
-                        );
-                    }
-                    if self.colluders.contains(&node.0) {
-                        hub.global_mut().ctr_add(ctr::COLLUSION_STRIKES, 1);
-                        if obs::ENABLED {
-                            hub.trace_at(
-                                self.now.as_micros(),
-                                node.0,
-                                Layer::Sim,
-                                kind::COLLUSION_STRIKE,
-                                op.discriminant(),
-                                units,
-                            );
-                        }
-                    }
-                }
-            }
-            EventKind::SetLiar(node, behavior) => match behavior {
-                Some(b) => {
-                    self.liars.insert(node.0, b);
-                }
-                None => {
-                    self.liars.remove(&node.0);
-                }
-            },
-            EventKind::SetColluder(node, on) => {
-                if on {
-                    self.colluders.insert(node.0);
-                } else {
-                    self.colluders.remove(&node.0);
+        if !self.invariant {
+            let master = Rc::clone(&self.hub);
+            let sh = &mut self.shards[0];
+            let Some((t, _a, _b, kind_ev)) = sh.queue.pop() else { return false };
+            sh.process_event(&master, SimTime::from_micros(t), kind_ev);
+            self.now = self.now.max(sh.now);
+            return true;
+        }
+        // Sharded mode: pick the globally earliest key across shard queues,
+        // process just that event, then synchronize immediately (arrivals
+        // are at least one lookahead ahead, so the flush is always safe).
+        let mut best: Option<(usize, (u64, u64, u64))> = None;
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            if let Some(key) = sh.queue.peek_key() {
+                if best.is_none_or(|(_, bk)| key < bk) {
+                    best = Some((i, key));
                 }
             }
         }
+        let Some((si, _)) = best else { return false };
+        let master = Rc::clone(&self.hub);
+        self.shards[si].with_hub(&master, |sh, hub| {
+            let _g = if obs::ENABLED { obs::collector::install_if_needed(hub) } else { None };
+            let (t, a, b, kind_ev) = sh.queue.pop().expect("peeked entry vanished");
+            hub.borrow_mut().set_event_key(a, b);
+            sh.process_event(hub, SimTime::from_micros(t), kind_ev);
+        });
+        self.flush_outboxes();
+        self.merge_window_traces();
+        self.merge_shard_sets();
+        let latest = self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO);
+        self.now = self.now.max(latest);
         true
     }
 
@@ -904,26 +1537,21 @@ impl<N: Node> Simulation<N> {
     /// `deadline` are processed) or the queue drains. The clock is left at
     /// `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        // Install the hub once for the whole loop so per-event dispatch
-        // skips the thread-local swap (it still restamps the clock).
-        let _obs_guard =
-            if obs::ENABLED { obs::collector::install_if_needed(&self.hub) } else { None };
         self.start_if_needed();
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline {
-                break;
-            }
-            self.step();
+        let deadline_us = deadline.as_micros();
+        if !self.invariant {
+            let master = Rc::clone(&self.hub);
+            let sh = &mut self.shards[0];
+            sh.run_window(&master, deadline_us.saturating_add(1));
+            self.now = self.now.max(sh.now);
+        } else {
+            self.run_windows(deadline_us);
+            self.merge_shard_sets();
         }
         if self.now < deadline {
             self.now = deadline;
         }
-        // Defensive bound for long chaos runs: a cancelled timer whose fire
-        // time has passed can never pop again, so its entry is dead weight.
-        if self.cancelled.len() > 64 {
-            let now = self.now;
-            self.cancelled.retain(|_, &mut fire| fire > now);
-        }
+        self.compact_cancelled();
     }
 
     /// Runs for `d` of simulated time from the current instant.
@@ -932,22 +1560,92 @@ impl<N: Node> Simulation<N> {
         self.run_until(deadline);
     }
 
-    /// Runs until the event queue is empty or `max_events` have been
-    /// processed, returning the number of events processed.
+    /// Runs until the event queue is empty or at least `max_events` have
+    /// been processed, returning the number of events processed. In sharded
+    /// mode the budget is checked at synchronization-window granularity, so
+    /// the count may overshoot `max_events` by up to one window.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
-        let _obs_guard =
-            if obs::ENABLED { obs::collector::install_if_needed(&self.hub) } else { None };
-        let before = self.events_processed;
-        while self.events_processed - before < max_events && self.step() {}
-        self.events_processed - before
+        self.start_if_needed();
+        let before = self.events_processed();
+        if !self.invariant {
+            let master = Rc::clone(&self.hub);
+            let _obs_guard =
+                if obs::ENABLED { obs::collector::install_if_needed(&master) } else { None };
+            let sh = &mut self.shards[0];
+            while sh.events_processed - before < max_events {
+                let Some((t, _a, _b, kind_ev)) = sh.queue.pop() else { break };
+                sh.process_event(&master, SimTime::from_micros(t), kind_ev);
+            }
+            self.now = self.now.max(sh.now);
+        } else {
+            loop {
+                if self.events_processed() - before >= max_events {
+                    break;
+                }
+                let Some(w) = self.earliest_time() else { break };
+                let bound = w.saturating_add(self.lookahead_us.max(1));
+                let master = Rc::clone(&self.hub);
+                for sh in &mut self.shards {
+                    sh.run_window(&master, bound);
+                }
+                self.flush_outboxes();
+                self.merge_window_traces();
+            }
+            self.merge_shard_sets();
+            let latest = self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO);
+            self.now = self.now.max(latest);
+        }
+        self.events_processed() - before
     }
 }
 
-enum Callback<M> {
-    Start,
-    Message { from: NodeId, msg: M },
-    Timer { timer: TimerId, tag: u64 },
-    Recover(RestartMode),
+impl<N> Simulation<N>
+where
+    N: Node + Send,
+    N::Msg: Send,
+{
+    /// Like [`Simulation::run_until`], but executes each synchronization
+    /// window with one thread per shard. Byte-identical to the sequential
+    /// path by construction: the window plan is the same, shards share no
+    /// mutable state within a window, and the cross-shard merge orders
+    /// records by their shard-count-invariant keys. Falls back to
+    /// [`Simulation::run_until`] when there is only one shard.
+    pub fn run_until_parallel(&mut self, deadline: SimTime) {
+        self.start_if_needed();
+        if self.shards.len() <= 1 {
+            self.run_until(deadline);
+            return;
+        }
+        let deadline_us = deadline.as_micros();
+        while let Some(w) = self.earliest_time() {
+            if w > deadline_us {
+                break;
+            }
+            let bound =
+                w.saturating_add(self.lookahead_us.max(1)).min(deadline_us.saturating_add(1));
+            let shards = &mut self.shards;
+            std::thread::scope(|scope| {
+                for sh in shards.iter_mut() {
+                    scope.spawn(move || sh.run_window_owned(bound));
+                }
+            });
+            self.flush_outboxes();
+            self.merge_window_traces();
+        }
+        self.merge_shard_sets();
+        let latest = self.shards.iter().map(|s| s.now).max().unwrap_or(SimTime::ZERO);
+        self.now = self.now.max(latest);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.compact_cancelled();
+    }
+
+    /// Like [`Simulation::run_for`], but parallel across shards.
+    pub fn run_for_parallel(&mut self, d: SimDuration) {
+        let deadline = self.now + d;
+        self.run_until_parallel(deadline);
+    }
 }
 
 #[cfg(test)]
@@ -1087,8 +1785,66 @@ mod tests {
         for t in 1..=200u64 {
             sim.run_until(SimTime::from_micros(t * 10_000));
         }
-        assert!(sim.cancelled.len() <= 1, "cancelled set leaked: {} entries", sim.cancelled.len());
-        assert!(sim.pending_timers.len() <= 1, "pending map leaked");
+        let sh = &sim.shards[0];
+        assert!(sh.cancelled.len() <= 1, "cancelled set leaked: {} entries", sh.cancelled.len());
+        assert!(sh.pending_timers.len() <= 1, "pending map leaked");
+    }
+
+    #[test]
+    fn cancelled_set_compacts_against_live_queue() {
+        // Cancel a burst of still-pending far-future timers: each entry must
+        // vanish when its timer event pops, and the set never outlives the
+        // live queue.
+        struct Burst {
+            pending: Vec<TimerId>,
+            fired: Vec<u64>,
+        }
+        impl Node for Burst {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                for i in 0..200u64 {
+                    self.pending.push(ctx.set_timer(SimDuration::from_secs(10), i));
+                }
+                ctx.set_timer(SimDuration::from_millis(1), 999);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, ()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _t: TimerId, tag: u64) {
+                self.fired.push(tag);
+                if tag == 999 {
+                    for id in self.pending.drain(..) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulation::new(NetworkModel::default(), 11);
+        let id = sim.add_node(Burst { pending: Vec::new(), fired: Vec::new() });
+        sim.run_until(SimTime::from_secs(1));
+        {
+            let sh = &sim.shards[0];
+            assert_eq!(sh.cancelled.len(), 200, "cancellations of pending timers are recorded");
+            assert!(sh.cancelled.len() <= sh.queue.len(), "cancelled set outgrew the live queue");
+        }
+        sim.run_until(SimTime::from_secs(20));
+        let sh = &sim.shards[0];
+        assert_eq!(sh.cancelled.len(), 0, "popped timer events must clear their entries");
+        assert_eq!(sim.node(id).fired, vec![999], "cancelled timers must not fire");
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_high_water() {
+        // Ten staged externals at distinct times, each forwarded once on
+        // delivery: the queue refills to exactly 10 after each pop until the
+        // injections drain, so the high-water mark is exactly 10 — staged
+        // events and batch-scheduled deliveries both counted.
+        let mut sim = two_node_sim();
+        for i in 0..10u64 {
+            sim.schedule_external(SimTime::from_micros(i * 1000 + 1), NodeId(0), Msg::Ping(0));
+        }
+        assert_eq!(sim.peak_queue_depth(), 10, "staged events count toward the peak");
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.peak_queue_depth(), 10);
+        assert_eq!(sim.node(NodeId(1)).got.len(), 10);
     }
 
     #[test]
@@ -1145,6 +1901,80 @@ mod tests {
         };
         assert_eq!(run(77), run(77));
         assert_ne!(run(77), run(78));
+    }
+
+    /// A fault-heavy scenario (chaos + partition + crash/recover + liar +
+    /// colluder + corruption) whose telemetry must be byte-identical for
+    /// every shard count in invariant mode.
+    fn chaos_scenario(shards: usize, parallel: bool) -> (String, Vec<Vec<(NodeId, u32)>>) {
+        let mut sim = Simulation::new(
+            NetworkModel {
+                latency: crate::topology::LatencyModel::Uniform {
+                    min: SimDuration::from_millis(2),
+                    max: SimDuration::from_millis(20),
+                },
+                drop_prob: 0.05,
+                ..NetworkModel::default()
+            },
+            4242,
+        );
+        sim.set_shards(shards);
+        let n = 8u32;
+        for i in 0..n {
+            sim.add_node(Echo { peer: Some(NodeId((i + 1) % n)), ..Default::default() });
+        }
+        for i in 0..48u32 {
+            sim.schedule_external(
+                SimTime::from_micros(u64::from(i) * 700),
+                NodeId(i % n),
+                Msg::Ping(4),
+            );
+        }
+        sim.schedule_crash(SimTime::from_millis_t(30), NodeId(2));
+        sim.schedule_restart(SimTime::from_millis_t(200), NodeId(2), RestartMode::ColdDurable);
+        sim.schedule_partition(
+            SimTime::from_millis_t(50),
+            Some(Partition::split_at(n as usize, (n / 2) as usize)),
+        );
+        sim.schedule_partition(SimTime::from_millis_t(300), None);
+        sim.schedule_liar(
+            SimTime::from_millis_t(10),
+            NodeId(5),
+            Some(LiarBehavior { mode: crate::node::LiarMode::MisSummarize, prob: 0.5 }),
+        );
+        sim.schedule_colluder(SimTime::from_millis_t(10), NodeId(5), true);
+        sim.schedule_corruption(
+            SimTime::from_millis_t(120),
+            NodeId(1),
+            CorruptionOp::DiskBytes { flips: 4 },
+            77,
+        );
+        sim.schedule_dup_prob(SimTime::from_millis_t(40), 0.1);
+        sim.schedule_reorder(SimTime::from_millis_t(40), 0.2, SimDuration::from_millis(5));
+        if parallel {
+            sim.run_until_parallel(SimTime::from_secs(2));
+        } else {
+            sim.run_until(SimTime::from_secs(2));
+        }
+        let t = sim.drain_telemetry();
+        let states = (0..n).map(|i| sim.node(NodeId(i)).got.clone()).collect();
+        (t.to_json(), states)
+    }
+
+    #[test]
+    fn sharded_invariant_mode_matches_across_shard_counts() {
+        let one = chaos_scenario(1, false);
+        let four = chaos_scenario(4, false);
+        assert_eq!(one.1, four.1, "node states diverged between shard counts");
+        assert_eq!(one.0, four.0, "telemetry diverged between shard counts");
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_sequential() {
+        let seq = chaos_scenario(4, false);
+        let par = chaos_scenario(4, true);
+        assert_eq!(seq.1, par.1, "node states diverged under parallel execution");
+        assert_eq!(seq.0, par.0, "telemetry diverged under parallel execution");
     }
 
     #[test]
