@@ -72,7 +72,7 @@ pub use log::{ForwardEvent, ForwardLog, LogRecord};
 pub use mcast::{route, zone_reps, Action, FilterSpec, McastData};
 pub use node::{McastConfig, McastMsg, McastNode, McastStats};
 pub use queues::{ForwardingQueues, Queued, Strategy};
-pub use seqlog::{RangeSummary, SeqLog};
+pub use seqlog::{BaselineHint, RangeSummary, SeqLog};
 
 #[cfg(test)]
 mod proptests {

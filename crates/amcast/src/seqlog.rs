@@ -65,6 +65,49 @@ impl RangeSummary {
     }
 }
 
+/// A requester-held baseline for one story line, piggybacked on repair and
+/// reconcile requests next to the [`RangeSummary`].
+///
+/// The summary tells a responder *which sequence numbers* the requester
+/// lacks; a baseline hint additionally tells it *which revision of the
+/// story* the requester already holds, so the reply can ship a chunk delta
+/// against that revision instead of the full body. `key` is a stable
+/// 64-bit hash of `(publisher, slug)` (see `newsml::cdc::slug_key`);
+/// `body_len` rides along because the synthetic body derivation — shared
+/// by both endpoints — is a function of revision *and* length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineHint {
+    /// Stable hash of the story line `(publisher, slug)`.
+    pub key: u64,
+    /// Highest revision of the story the requester holds.
+    pub revision: u32,
+    /// Body length of that held revision, in bytes.
+    pub body_len: u32,
+}
+
+impl BaselineHint {
+    /// Serialized size: key + revision + length.
+    pub const WIRE_SIZE: usize = 16;
+
+    /// Encodes as a compact `key:revision:body_len` string (hex key), the
+    /// same attribute-friendly shape as [`RangeSummary::encode`].
+    pub fn encode(&self) -> String {
+        format!("{:x}:{}:{}", self.key, self.revision, self.body_len)
+    }
+
+    /// Decodes [`BaselineHint::encode`] output; `None` on malformed input.
+    pub fn decode(s: &str) -> Option<BaselineHint> {
+        let mut parts = s.split(':');
+        let key = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let revision = parts.next()?.parse().ok()?;
+        let body_len = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(BaselineHint { key, revision, body_len })
+    }
+}
+
 /// A bounded, epoch-aware log of sequence-numbered entries from one source.
 ///
 /// Entries are keyed by sequence number; capacity eviction removes the
@@ -286,6 +329,17 @@ mod tests {
             log.insert(s, s * 10);
         }
         log
+    }
+
+    #[test]
+    fn baseline_hint_roundtrip_and_rejection() {
+        let h = BaselineHint { key: 0xDEAD_BEEF_1234_5678, revision: 7, body_len: 4_096 };
+        assert_eq!(BaselineHint::decode(&h.encode()), Some(h));
+        assert_eq!(BaselineHint::decode(""), None);
+        assert_eq!(BaselineHint::decode("zz:1:2"), None);
+        assert_eq!(BaselineHint::decode("ff:1"), None);
+        assert_eq!(BaselineHint::decode("ff:1:2:3"), None);
+        assert_eq!(BaselineHint::WIRE_SIZE, 16);
     }
 
     #[test]

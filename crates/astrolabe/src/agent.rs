@@ -54,6 +54,16 @@ pub struct TableDigest {
     pub zone: ZoneId,
     /// Per-row version stamps.
     pub rows: Arc<[RowDigest]>,
+    /// Delta gossip only: table generation this digest is relative to.
+    /// `0` means the digest is *full* (covers every held row — also the
+    /// invariant shape when delta gossip is off); non-zero means it covers
+    /// only rows changed after that generation of the sender's table.
+    pub since: u64,
+    /// Delta gossip only: the sender's table generation at send time, so
+    /// the receiver can detect a missed delta (`since` beyond the last
+    /// generation it processed) and ask for a full exchange. `0` when
+    /// delta gossip is off.
+    pub gen: u64,
 }
 
 /// A batch of rows from one table.
@@ -79,6 +89,16 @@ pub enum GossipMsg {
         rows: Vec<TableRows>,
         /// `(zone, labels)` the replier wants.
         want: Vec<(ZoneId, Vec<u16>)>,
+        /// Delta gossip only: stamp-refresh records for rows where the
+        /// replier was newer but the digest's content hash proved the
+        /// values identical — the receiver re-stamps in place instead of
+        /// getting the row re-shipped. Always empty when delta gossip is
+        /// off (zero wire cost).
+        refresh: Vec<(ZoneId, Vec<(u16, Stamp)>)>,
+        /// Delta gossip only: zones where the replier detected a missed
+        /// delta digest and needs the sender's next digest to be full.
+        /// Always empty when delta gossip is off.
+        want_full: Vec<ZoneId>,
     },
     /// Hop 3: the wanted rows.
     Rows {
@@ -102,12 +122,24 @@ impl GossipMsg {
                 .sum()
         }
         8 + match self {
-            GossipMsg::Digest { digests } => {
-                digests.iter().map(|d| zone_size(&d.zone) + d.rows.len() * 22).sum::<usize>()
-            }
-            GossipMsg::DigestReply { rows, want } => {
+            GossipMsg::Digest { digests } => digests
+                .iter()
+                .map(|d| {
+                    // Delta-mode digests (recognizable by a non-zero
+                    // generation) carry an 8-byte content hash per row on
+                    // top of the 22-byte label+stamp entry, plus the
+                    // since/gen pair. Off-mode digests stay at the
+                    // historical 22 bytes per row.
+                    let per_row = if d.gen > 0 { 30 } else { 22 };
+                    let header = if d.gen > 0 { 16 } else { 0 };
+                    zone_size(&d.zone) + header + d.rows.len() * per_row
+                })
+                .sum::<usize>(),
+            GossipMsg::DigestReply { rows, want, refresh, want_full } => {
                 rows_size(rows)
                     + want.iter().map(|(z, ls)| zone_size(z) + ls.len() * 2).sum::<usize>()
+                    + refresh.iter().map(|(z, rs)| zone_size(z) + rs.len() * 22).sum::<usize>()
+                    + want_full.iter().map(zone_size).sum::<usize>()
             }
             GossipMsg::Rows { rows } => rows_size(rows),
         }
@@ -220,6 +252,25 @@ pub struct Agent {
     /// Astrolabe protocol trusts its peers, matching the paper; hosts that
     /// face an adversarial fault model (the NewsWire node) switch it on.
     validate_ingest: bool,
+    /// Delta gossip, sender side: per `(peer, level)`, the table generation
+    /// covered by the last digest sent there and a countdown to the next
+    /// forced full exchange. Advanced optimistically (no ack): a dropped
+    /// partial digest is healed by the periodic full digest, never by
+    /// retransmission.
+    delta_sent: HashMap<(u32, usize), DeltaPeerState>,
+    /// Delta gossip, receiver side: highest digest generation processed per
+    /// `(peer, level)`. A partial digest whose `since` exceeds this means a
+    /// delta was missed; the reply then carries `want_full`.
+    peer_gen_seen: HashMap<(u32, usize), u64>,
+}
+
+/// Sender-side delta gossip bookkeeping for one `(peer, level)` lane.
+#[derive(Debug, Clone, Copy)]
+struct DeltaPeerState {
+    /// Table generation the last digest to this peer covered through.
+    sent_gen: u64,
+    /// Digests remaining until the next forced full exchange.
+    rounds_to_full: u32,
 }
 
 impl Agent {
@@ -266,6 +317,8 @@ impl Agent {
             incar_cache: Vec::new(),
             incarnation_bumps: Vec::new(),
             validate_ingest: false,
+            delta_sent: HashMap::new(),
+            peer_gen_seen: HashMap::new(),
         }
     }
 
@@ -652,10 +705,69 @@ impl Agent {
         out
     }
 
-    fn digests_from(&mut self, level: usize) -> Vec<TableDigest> {
-        (level..self.tables.len())
-            .map(|i| TableDigest { zone: self.tables[i].zone.clone(), rows: self.digest_at(i) })
-            .collect()
+    fn digests_from(&mut self, level: usize, peer: u32) -> Vec<TableDigest> {
+        if !self.config.delta_gossip {
+            return (level..self.tables.len())
+                .map(|i| TableDigest {
+                    zone: self.tables[i].zone.clone(),
+                    rows: self.digest_at(i),
+                    since: 0,
+                    gen: 0,
+                })
+                .collect();
+        }
+        let mut out = Vec::with_capacity(self.tables.len() - level);
+        for i in level..self.tables.len() {
+            let gen = self.tables[i].generation();
+            // Full digest when: first contact with this peer on this lane,
+            // the periodic safety-net exchange is due, the peer asked for
+            // one (missed delta), or our table generation regressed past
+            // the marker (reset/restart) — a partial against a vanished
+            // baseline would advertise nothing.
+            let state = self.delta_sent.get(&(peer, i)).copied();
+            let full = match state {
+                None => true,
+                Some(s) => s.rounds_to_full == 0 || s.sent_gen > gen,
+            };
+            if full {
+                if state.is_some() {
+                    obs::metric_add!(self.id, ctr::GOSSIP_FULL_FALLBACKS, 1);
+                }
+                self.delta_sent.insert(
+                    (peer, i),
+                    DeltaPeerState {
+                        sent_gen: gen,
+                        rounds_to_full: crate::config::DELTA_FULL_EXCHANGE_PERIOD - 1,
+                    },
+                );
+                out.push(TableDigest {
+                    zone: self.tables[i].zone.clone(),
+                    rows: self.digest_at(i),
+                    since: 0,
+                    gen,
+                });
+            } else {
+                let s = state.expect("partial digest requires prior state");
+                let rows: Arc<[RowDigest]> = self.tables[i].digest_since(s.sent_gen).into();
+                self.delta_sent.insert(
+                    (peer, i),
+                    DeltaPeerState { sent_gen: gen, rounds_to_full: s.rounds_to_full - 1 },
+                );
+                // An empty partial digest advertises nothing and triggers
+                // nothing — skip it (the marker above still advanced, which
+                // is correct: nothing changed, so nothing was skipped).
+                if !rows.is_empty() {
+                    obs::metric_add!(self.id, ctr::GOSSIP_DELTA_DIGESTS, 1);
+                    out.push(TableDigest {
+                        zone: self.tables[i].zone.clone(),
+                        rows,
+                        since: s.sent_gen,
+                        gen,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// The digest of `tables[i]`, reusing the cached copy while the table's
@@ -703,7 +815,7 @@ impl Agent {
                 None => None,
             };
             if let Some(peer) = target {
-                out.push((peer, GossipMsg::Digest { digests: self.digests_from(level) }));
+                out.push((peer, GossipMsg::Digest { digests: self.digests_from(level, peer) }));
             }
         }
         // Anti-clique measure: the peer selection above only reaches nodes
@@ -721,13 +833,16 @@ impl Agent {
         if let Some(range) = self.layout.agent_range(&self.chain[bridge_level]) {
             let peer = rand::Rng::gen_range(rng, range.clone());
             if peer != self.id {
-                out.push((peer, GossipMsg::Digest { digests: self.digests_from(bridge_level) }));
+                out.push((
+                    peer,
+                    GossipMsg::Digest { digests: self.digests_from(bridge_level, peer) },
+                ));
             }
         }
         // Also keep pinging configured contacts occasionally (join seeds).
         if rand::Rng::gen_bool(rng, 0.25) {
             if let Some(&peer) = self.contacts.as_slice().choose(rng) {
-                out.push((peer, GossipMsg::Digest { digests: self.digests_from(0) }));
+                out.push((peer, GossipMsg::Digest { digests: self.digests_from(0, peer) }));
             }
         }
         if obs::ENABLED {
@@ -985,6 +1100,9 @@ impl Agent {
         match msg {
             GossipMsg::Digest { digests } => {
                 obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_DIGEST, from, digests.len());
+                if self.config.delta_gossip {
+                    return self.on_delta_digest(now, from, &digests);
+                }
                 let mut reply_rows = Vec::new();
                 let mut want = Vec::new();
                 // Reuse the scratch buffers across digests; the want-list
@@ -1020,11 +1138,27 @@ impl Agent {
                 if reply_rows.is_empty() && want.is_empty() {
                     Vec::new()
                 } else {
-                    vec![(from, GossipMsg::DigestReply { rows: reply_rows, want })]
+                    vec![(
+                        from,
+                        GossipMsg::DigestReply {
+                            rows: reply_rows,
+                            want,
+                            refresh: Vec::new(),
+                            want_full: Vec::new(),
+                        },
+                    )]
                 }
             }
-            GossipMsg::DigestReply { rows, want } => {
+            GossipMsg::DigestReply { rows, want, refresh, want_full } => {
                 self.merge_rows(now, &rows);
+                self.apply_refresh_batches(now, &refresh);
+                for zone in &want_full {
+                    // The peer missed a delta: drop the lane state so our
+                    // next digest to it is full.
+                    if let Some(level) = self.level_of(zone) {
+                        self.delta_sent.remove(&(from, level));
+                    }
+                }
                 let mut send = Vec::new();
                 for (zone, labels) in &want {
                     let Some(level) = self.level_of(zone) else { continue };
@@ -1047,6 +1181,196 @@ impl Agent {
                 Vec::new()
             }
         }
+    }
+
+    /// Delta-gossip handling of an incoming digest (hop 1, delta arm).
+    ///
+    /// Differences from the classic path: digest entries carry content
+    /// hashes, so a hash match lets this replica adopt a newer stamp
+    /// straight from the digest (no want, no row transfer) and lets the
+    /// reply ship 22-byte refresh records instead of full rows where this
+    /// replica is newer on stamp but identical on values. Partial digests
+    /// (`since > 0`) only speak for the rows they list — the reverse sweep
+    /// over unlisted held rows applies to full digests alone — and a
+    /// partial whose baseline we never saw triggers a `want_full` request.
+    fn on_delta_digest(
+        &mut self,
+        now: SimTime,
+        from: u32,
+        digests: &[TableDigest],
+    ) -> Vec<(u32, GossipMsg)> {
+        let mut reply_rows = Vec::new();
+        let mut want = Vec::new();
+        let mut refresh = Vec::new();
+        let mut want_full = Vec::new();
+        for d in digests {
+            let Some(level) = self.level_of(&d.zone) else { continue };
+            if d.since > 0 {
+                let seen = self.peer_gen_seen.get(&(from, level)).copied().unwrap_or(0);
+                if seen < d.since {
+                    // We missed the delta(s) between `seen` and `since`
+                    // (or never exchanged with this peer): rows changed in
+                    // that window are not in this digest. Ask for a full
+                    // exchange; still process what *is* listed.
+                    want_full.push(d.zone.clone());
+                }
+            }
+            let seen = self.peer_gen_seen.entry((from, level)).or_insert(0);
+            *seen = (*seen).max(d.gen);
+            let own = self.own_label(level);
+            let mut newer_full = Vec::new();
+            let mut newer_refresh = Vec::new();
+            let mut missing = Vec::new();
+            let mut adopted = 0u64;
+            let mut adopted_saved = 0u64;
+            for e in d.rows.iter() {
+                match self.tables[level].get(e.label) {
+                    None => missing.push(e.label),
+                    Some(row) => {
+                        let held_stamp = row.stamp;
+                        let held_hash = row.content_hash();
+                        let held_wire = row.wire_size();
+                        if e.stamp > held_stamp {
+                            if e.chash == held_hash
+                                && e.label != own
+                                && self.apply_refresh(now, level, e.label, e.stamp)
+                            {
+                                // Heartbeat re-stamp of content we hold:
+                                // adopted from the digest itself, saving the
+                                // want + full-row round trip.
+                                adopted += 1;
+                                adopted_saved += (held_wire + 2).saturating_sub(8) as u64;
+                            } else {
+                                missing.push(e.label);
+                            }
+                        } else if held_stamp > e.stamp {
+                            if e.chash == held_hash {
+                                newer_refresh.push((e.label, held_stamp));
+                            } else {
+                                newer_full.push(e.label);
+                            }
+                        }
+                    }
+                }
+            }
+            if d.since == 0 {
+                // Full digest: rows we hold that the peer did not list are
+                // unknown to it — ship them whole.
+                for (label, _) in self.tables[level].iter() {
+                    if d.rows.iter().all(|e| e.label != label) {
+                        newer_full.push(label);
+                    }
+                }
+                newer_full.sort_unstable();
+                newer_full.dedup();
+            }
+            if adopted > 0 {
+                obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_ROWS, adopted);
+                obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_BYTES_SAVED, adopted_saved);
+            }
+            if !newer_full.is_empty() {
+                let rows = newer_full
+                    .iter()
+                    .filter_map(|&l| self.tables[level].get(l).map(|r| (l, Arc::clone(r))))
+                    .collect();
+                reply_rows.push(TableRows { zone: d.zone.clone(), rows });
+            }
+            if !newer_refresh.is_empty() {
+                if obs::ENABLED {
+                    let saved: usize = newer_refresh
+                        .iter()
+                        .filter_map(|&(l, _)| self.tables[level].get(l))
+                        .map(|r| (r.wire_size() + 2).saturating_sub(22))
+                        .sum();
+                    obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_ROWS, newer_refresh.len());
+                    obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_BYTES_SAVED, saved);
+                }
+                refresh.push((d.zone.clone(), newer_refresh));
+            }
+            if !missing.is_empty() {
+                want.push((d.zone.clone(), missing));
+            }
+        }
+        if obs::ENABLED {
+            let sent: usize = reply_rows.iter().map(|t| t.rows.len()).sum();
+            let wanted: usize = want.iter().map(|(_, ls)| ls.len()).sum();
+            if sent + wanted > 0 {
+                obs::metric_add!(self.id, ctr::GOSSIP_DIFF_ROWS, sent + wanted);
+                obs::hist_record!(self.id, hist::GOSSIP_DIFF_ROWS, sent + wanted);
+                obs::trace_event!(self.id, Layer::Astro, kind::GOSSIP_DIFF, sent, wanted);
+            }
+        }
+        if reply_rows.is_empty() && want.is_empty() && refresh.is_empty() && want_full.is_empty() {
+            Vec::new()
+        } else {
+            vec![(from, GossipMsg::DigestReply { rows: reply_rows, want, refresh, want_full })]
+        }
+    }
+
+    /// Applies stamp-refresh batches from a digest reply (delta gossip).
+    fn apply_refresh_batches(&mut self, now: SimTime, batches: &[(ZoneId, Vec<(u16, Stamp)>)]) {
+        for (zone, records) in batches {
+            let Some(level) = self.level_of(zone) else { continue };
+            let own = self.own_label(level);
+            let mut applied = 0u64;
+            let mut saved = 0u64;
+            for &(label, stamp) in records {
+                if label == own {
+                    continue;
+                }
+                if self.apply_refresh(now, level, label, stamp) {
+                    applied += 1;
+                    if obs::ENABLED {
+                        if let Some(r) = self.tables[level].get(label) {
+                            saved += (r.wire_size() + 2).saturating_sub(22) as u64;
+                        }
+                    }
+                }
+            }
+            if applied > 0 {
+                obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_ROWS, applied);
+                obs::metric_add!(self.id, ctr::GOSSIP_REFRESH_BYTES_SAVED, saved);
+            }
+        }
+    }
+
+    /// Re-stamps a held row in place, mirroring every admission fence of
+    /// [`Agent::merge_rows`] for the content-unchanged case: TTL cutoff,
+    /// tombstone watermark, the future-stamp bound when ingest validation
+    /// is on, and the phi heartbeat on success (a refresh *is* the
+    /// heartbeat, no less than a full row).
+    fn apply_refresh(&mut self, now: SimTime, level: usize, label: u16, stamp: Stamp) -> bool {
+        let cutoff = now.as_micros().saturating_sub(self.config.row_ttl.as_micros());
+        if stamp.issued_us < cutoff {
+            return false;
+        }
+        if self.validate_ingest {
+            let slack = self.config.gossip_interval.as_micros();
+            if stamp.issued_us > now.as_micros().saturating_add(slack) {
+                return false;
+            }
+        }
+        if !self.tombstones.is_empty() {
+            if let Some(&watermark) = self.tombstones.get(&(level, label)) {
+                if stamp.issued_us <= watermark {
+                    return false;
+                }
+            }
+        }
+        if !self.tables[level].restamp(label, stamp) {
+            return false;
+        }
+        if !self.tombstones.is_empty() {
+            self.tombstones.remove(&(level, label));
+        }
+        let phi_config = self.phi_config();
+        let lane = &mut self.detectors[level];
+        let slot = usize::from(label);
+        if lane.len() <= slot {
+            lane.resize_with(slot + 1, || None);
+        }
+        lane[slot].get_or_insert_with(|| PhiAccrualDetector::new(phi_config)).heartbeat(now);
+        true
     }
 
     /// Evaluates an ad-hoc aggregation program against this agent's replica
@@ -1094,6 +1418,11 @@ impl Agent {
         self.peers_cache.fill(None);
         self.scope_epoch += 1;
         self.scope_cache = None;
+        // Delta-gossip lanes reference the old generation counters on both
+        // sides; a partial digest against a pre-reset baseline would be
+        // silently wrong, so force full exchanges all around.
+        self.delta_sent.clear();
+        self.peer_gen_seen.clear();
     }
 
     /// Current phi suspicion level for the row at `(level, label)`, if a
@@ -1132,6 +1461,10 @@ mod tests {
             branching: 4,
             gossip_interval: SimDuration::from_secs(1),
             row_ttl: SimDuration::from_secs(20),
+            // Pinned so unit tests measure the same wire format regardless
+            // of the ambient NEWSWIRE_DELTAS switch; the delta path is
+            // covered explicitly by the make_delta_agents tests.
+            delta_gossip: false,
             ..Config::standard()
         }
     }
@@ -1172,6 +1505,115 @@ mod tests {
                 Agent::new(i, &layout, config.clone(), vec![0])
             })
             .collect()
+    }
+
+    fn make_delta_agents(n: u32, branching: u16) -> Vec<Agent> {
+        let layout = ZoneLayout::new(n, branching);
+        let mut config = small_config();
+        config.branching = branching;
+        config.delta_gossip = true;
+        (0..n).map(|i| Agent::new(i, &layout, config.clone(), vec![0])).collect()
+    }
+
+    #[test]
+    fn delta_gossip_converges_like_full() {
+        let mut agents = make_delta_agents(12, 4);
+        run_rounds(&mut agents, 12, 0);
+        for a in &agents {
+            let total: i64 = a
+                .root_table()
+                .iter()
+                .filter_map(|(_, r)| r.get("nmembers").and_then(|v| v.as_i64()))
+                .sum();
+            assert_eq!(total, 12, "agent {} sees nmembers {total}", a.id());
+        }
+    }
+
+    #[test]
+    fn delta_digest_goes_partial_then_full_on_generation_gap() {
+        let mut agents = make_delta_agents(2, 4);
+        let t = run_rounds(&mut agents, 4, 0);
+        let (left, right) = agents.split_at_mut(1);
+        let (a, b) = (&mut left[0], &mut right[0]);
+        let mut rng = fork(7, 0);
+
+        a.delta_sent.clear(); // normalize: next digest to b is full
+        let full = a.digests_from(0, b.id());
+        assert!(full.iter().all(|d| d.since == 0), "first digest after reset is full");
+        assert!(full.iter().all(|d| d.gen > 0), "delta digests carry the generation");
+
+        // Change a's table, build a partial digest... and lose it.
+        a.refresh_own_row(SimTime::from_micros(t + 1_000_000));
+        let lost = a.digests_from(0, b.id());
+        assert!(lost.iter().all(|d| d.since > 0), "second digest is partial");
+
+        // The next partial's baseline is a generation b never processed.
+        a.refresh_own_row(SimTime::from_micros(t + 2_000_000));
+        let gapped = a.digests_from(0, b.id());
+        assert!(gapped.iter().all(|d| d.since > 0));
+        let now = SimTime::from_micros(t + 2_000_000);
+        let out = b.on_message(now, a.id(), GossipMsg::Digest { digests: gapped }, &mut rng);
+        let Some((to, GossipMsg::DigestReply { want_full, .. })) = out.first() else {
+            panic!("gap must produce a reply");
+        };
+        assert_eq!(*to, a.id());
+        assert!(!want_full.is_empty(), "missed delta must request a full exchange");
+
+        // Receiving want_full drops the lane state: next digest is full.
+        let reply = out.into_iter().next().unwrap().1;
+        a.on_message(now, b.id(), reply, &mut rng);
+        let healed = a.digests_from(0, b.id());
+        assert!(healed.iter().all(|d| d.since == 0), "want_full forces a full digest");
+    }
+
+    #[test]
+    fn delta_full_exchange_period_bounds_partial_streak() {
+        let mut agents = make_delta_agents(2, 4);
+        let t = run_rounds(&mut agents, 4, 0);
+        let a = &mut agents[0];
+        a.delta_sent.clear();
+        let mut fulls = 0;
+        for i in 0..=crate::config::DELTA_FULL_EXCHANGE_PERIOD {
+            a.refresh_own_row(SimTime::from_micros(t + u64::from(i + 1) * 1_000_000));
+            let ds = a.digests_from(0, 1);
+            if ds.iter().all(|d| d.since == 0) {
+                fulls += 1;
+            }
+        }
+        assert_eq!(fulls, 2, "first digest and the periodic safety net are full");
+    }
+
+    #[test]
+    fn delta_digest_restamps_matching_content_in_place() {
+        let mut agents = make_delta_agents(2, 4);
+        let t = run_rounds(&mut agents, 4, 0);
+        let (left, right) = agents.split_at_mut(1);
+        let (a, b) = (&mut left[0], &mut right[0]);
+        let mut rng = fork(9, 0);
+        let label = a.own_label(0);
+
+        // A heartbeat re-stamp of a's own row: same attrs, newer stamp.
+        a.refresh_own_row(SimTime::from_micros(t + 1_000_000));
+        let stamp = a.table(0).get(label).unwrap().stamp;
+        assert!(stamp > b.table(0).get(label).unwrap().stamp);
+
+        a.delta_sent.clear();
+        let digests = a.digests_from(0, b.id());
+        let now = SimTime::from_micros(t + 1_000_000);
+        let out = b.on_message(now, a.id(), GossipMsg::Digest { digests }, &mut rng);
+        assert_eq!(
+            b.table(0).get(label).unwrap().stamp,
+            stamp,
+            "receiver adopts the stamp straight from the digest"
+        );
+        for (_, msg) in &out {
+            if let GossipMsg::DigestReply { want, .. } = msg {
+                assert!(
+                    want.iter().all(|(_, ls)| !ls.contains(&label)),
+                    "no row transfer for a content-identical re-stamp"
+                );
+            }
+        }
     }
 
     #[test]
@@ -1494,6 +1936,15 @@ mod tests {
         assert!(!out.is_empty());
         for (_, m) in &out {
             assert!(m.wire_size() > 8);
+        }
+        // Delta gossip may legitimately shrink a round to a digest-only
+        // exchange, but never to a free one.
+        let mut agents = make_delta_agents(8, 4);
+        let mut rng = fork(1, 1);
+        let out = agents[0].on_tick(SimTime::from_secs(1), &mut rng);
+        assert!(!out.is_empty());
+        for (_, m) in &out {
+            assert!(m.wire_size() > 0);
         }
     }
 }

@@ -43,7 +43,20 @@ pub struct Config {
     pub aggregations: Vec<AggSpec>,
     /// How many random global contacts each agent keeps for bootstrap.
     pub contact_fanout: usize,
+    /// Delta-encoded gossip (the `NEWSWIRE_DELTAS=1` arm): digests carry
+    /// content hashes and may cover only rows changed since the last
+    /// exchange with the peer, replies re-stamp unchanged rows instead of
+    /// re-shipping them, and every [`DELTA_FULL_EXCHANGE_PERIOD`]-th digest
+    /// to a peer is forced full so a dropped delta can never strand it.
+    /// Off by default; runs with it off are byte-identical to builds
+    /// without the delta protocol.
+    pub delta_gossip: bool,
 }
+
+/// In delta-gossip mode, every n-th digest to a given peer is a full
+/// digest — the safety net that re-advertises rows a lost partial digest
+/// may have skipped.
+pub const DELTA_FULL_EXCHANGE_PERIOD: u32 = 8;
 
 impl Config {
     /// The standard configuration: the core management aggregation
@@ -69,6 +82,7 @@ impl Config {
             reps_per_zone: k,
             aggregations: vec![AggSpec::new("core", Self::core_program(k))],
             contact_fanout: 3,
+            delta_gossip: simnet::delta_mode(),
         }
     }
 

@@ -64,6 +64,11 @@ pub struct Mib {
     /// precomputed so the merge path can test mobile-code carriage without a
     /// per-row string search.
     carries_agg: bool,
+    /// Stamp-independent FNV hash of the sorted attribute list, precomputed
+    /// at construction and shared by [`Mib::restamped`]. Delta gossip
+    /// advertises it in digests so peers can recognize a heartbeat re-stamp
+    /// of content they already hold.
+    chash: u64,
 }
 
 impl Mib {
@@ -90,7 +95,8 @@ impl Mib {
         let wire = 24 + attrs.iter().map(|(n, v)| n.len() + 1 + v.wire_size()).sum::<usize>();
         let at = attrs.partition_point(|(n, _)| n.as_ref() < AGG_ATTR_PREFIX);
         let carries_agg = attrs.get(at).is_some_and(|(n, _)| n.starts_with(AGG_ATTR_PREFIX));
-        Mib { stamp, attrs: attrs.into(), wire: wire as u32, carries_agg }
+        let chash = content_hash(&attrs);
+        Mib { stamp, attrs: attrs.into(), wire: wire as u32, carries_agg, chash }
     }
 
     /// A fresh row version carrying the same attributes under a new stamp —
@@ -104,7 +110,15 @@ impl Mib {
             attrs: Arc::clone(&self.attrs),
             wire: self.wire,
             carries_agg: self.carries_agg,
+            chash: self.chash,
         }
+    }
+
+    /// Stamp-independent hash of the attribute list (precomputed). Two rows
+    /// with equal hashes are treated by delta gossip as carrying the same
+    /// values, so a peer can adopt a newer stamp without pulling the row.
+    pub fn content_hash(&self) -> u64 {
+        self.chash
     }
 
     /// Attribute lookup.
@@ -162,6 +176,45 @@ impl Mib {
     pub fn shares_attrs(&self, other: &Mib) -> bool {
         Arc::ptr_eq(&self.attrs, &other.attrs)
     }
+}
+
+/// FNV-1a over the sorted attribute list: names, type tags and canonical
+/// value bytes. Deterministic across processes (no pointer or layout
+/// input), allocation-free, and independent of the stamp by construction.
+fn content_hash(attrs: &[(AttrName, AttrValue)]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let feed = |bytes: &[u8], h: &mut u64| {
+        for &b in bytes {
+            *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for (name, value) in attrs {
+        feed(name.as_bytes(), &mut h);
+        feed(&[0xFF], &mut h); // name/value separator
+        match value {
+            AttrValue::Int(i) => feed(&i.to_le_bytes(), &mut h),
+            AttrValue::Float(f) => feed(&f.to_bits().to_le_bytes(), &mut h),
+            AttrValue::Str(s) => feed(s.as_bytes(), &mut h),
+            AttrValue::Bool(b) => feed(&[u8::from(*b)], &mut h),
+            AttrValue::Set(s) => {
+                for v in s {
+                    feed(&v.to_le_bytes(), &mut h);
+                }
+            }
+            AttrValue::Bits(b) => {
+                feed(&(b.len() as u64).to_le_bytes(), &mut h);
+                for i in b.ones() {
+                    feed(&(i as u64).to_le_bytes(), &mut h);
+                }
+            }
+            AttrValue::Bytes(v) => feed(v, &mut h),
+        }
+        // Type tag keeps e.g. Int(0) and Bool(false) encodings distinct.
+        feed(value.type_name().as_bytes(), &mut h);
+        feed(&[0xFE], &mut h); // attribute separator
+    }
+    h
 }
 
 /// Incremental builder for rows, reusing interned attribute names.
@@ -287,6 +340,20 @@ mod tests {
         assert!(b.newer_than(&a));
         assert!(!a.newer_than(&b));
         assert!(!a.newer_than(&a));
+    }
+
+    #[test]
+    fn content_hash_ignores_stamp_tracks_values() {
+        let a = MibBuilder::new().attr("load", 0.5).attr("id", 7i64).build(stamp(1, 0, 0));
+        let b = MibBuilder::new().attr("id", 7i64).attr("load", 0.5).build(stamp(9, 4, 2));
+        assert_eq!(a.content_hash(), b.content_hash(), "order/stamp independent");
+        assert_eq!(a.restamped(stamp(3, 0, 0)).content_hash(), a.content_hash());
+        let c = MibBuilder::new().attr("load", 0.75).attr("id", 7i64).build(stamp(1, 0, 0));
+        assert_ne!(a.content_hash(), c.content_hash());
+        // Same encoded bytes under different types must not collide.
+        let i = MibBuilder::new().attr("x", 0i64).build(stamp(0, 0, 0));
+        let f = MibBuilder::new().attr("x", 0.0).build(stamp(0, 0, 0));
+        assert_ne!(i.content_hash(), f.content_hash());
     }
 
     #[test]

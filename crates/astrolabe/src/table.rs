@@ -33,6 +33,11 @@ pub struct RowDigest {
     pub label: u16,
     /// The advertised version stamp.
     pub stamp: Stamp,
+    /// Content hash of the row's attributes (stamp-independent). Carried
+    /// on the wire only in delta-gossip mode, where a matching hash lets a
+    /// peer adopt the stamp from the digest itself instead of pulling the
+    /// full row; `wire_size` accounts for it accordingly.
+    pub chash: u64,
 }
 
 /// One table slot, laid out for the scan-heavy paths: the label and a copy
@@ -45,6 +50,10 @@ pub struct Row {
     pub label: u16,
     /// Inline copy of `mib.stamp` (kept in sync by every mutation path).
     pub stamp: Stamp,
+    /// Table generation at which this row last changed (stamp or content).
+    /// Partial digests cover exactly the rows with `gen` past a peer's
+    /// last-synced generation.
+    pub gen: u64,
     /// The shared row version.
     pub mib: Arc<Mib>,
 }
@@ -132,15 +141,17 @@ impl ZoneTable {
                     slot.stamp = row.stamp;
                     slot.mib = row;
                     self.generation += 1;
+                    self.rows[i].gen = self.generation;
                     outcome
                 } else {
                     MergeOutcome::Rejected
                 }
             }
             Err(i) => {
-                self.rows.insert(i, Row { label, stamp: row.stamp, mib: row });
                 self.generation += 1;
                 self.content_gen += 1;
+                self.rows
+                    .insert(i, Row { label, stamp: row.stamp, gen: self.generation, mib: row });
                 MergeOutcome::Inserted
             }
         }
@@ -164,12 +175,14 @@ impl ZoneTable {
                 slot.stamp = row.stamp;
                 slot.mib = row;
                 self.generation += 1;
+                self.rows[i].gen = self.generation;
                 changed
             }
             Err(i) => {
-                self.rows.insert(i, Row { label, stamp: row.stamp, mib: row });
                 self.generation += 1;
                 self.content_gen += 1;
+                self.rows
+                    .insert(i, Row { label, stamp: row.stamp, gen: self.generation, mib: row });
                 true
             }
         }
@@ -209,10 +222,43 @@ impl ZoneTable {
         evicted
     }
 
+    /// Advances the stamp of a held row in place, leaving its attributes
+    /// untouched — the delta-gossip refresh path, equivalent to merging a
+    /// full row whose content is known (by hash) to match what is held.
+    /// Bumps [`Self::generation`] but not [`Self::content_generation`],
+    /// exactly like a same-attrs [`ZoneTable::merge_row`]. Returns `false`
+    /// when the label is absent or the stamp does not advance.
+    pub fn restamp(&mut self, label: u16, stamp: Stamp) -> bool {
+        match self.rows.binary_search_by_key(&label, |r| r.label) {
+            Ok(i) if stamp > self.rows[i].stamp => {
+                let slot = &mut self.rows[i];
+                slot.stamp = stamp;
+                slot.mib = Arc::new(slot.mib.restamped(stamp));
+                self.generation += 1;
+                self.rows[i].gen = self.generation;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Digest of every row (for anti-entropy exchange) — a contiguous copy
     /// of the inline `(label, stamp)` columns.
     pub fn digest(&self) -> Vec<RowDigest> {
-        self.rows.iter().map(|r| RowDigest { label: r.label, stamp: r.stamp }).collect()
+        self.rows
+            .iter()
+            .map(|r| RowDigest { label: r.label, stamp: r.stamp, chash: r.mib.content_hash() })
+            .collect()
+    }
+
+    /// Digest of only the rows that changed after table generation `since`
+    /// (delta gossip). `digest_since(0)` equals [`ZoneTable::digest`].
+    pub fn digest_since(&self, since: u64) -> Vec<RowDigest> {
+        self.rows
+            .iter()
+            .filter(|r| r.gen > since)
+            .map(|r| RowDigest { label: r.label, stamp: r.stamp, chash: r.mib.content_hash() })
+            .collect()
     }
 
     /// Compares a peer digest against this replica.
@@ -371,6 +417,37 @@ mod tests {
         let content = t.content_generation();
         assert!(!t.force_replace(3, same));
         assert_eq!(t.content_generation(), content);
+    }
+
+    #[test]
+    fn restamp_advances_stamp_not_content() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        t.merge_row(3, row(10, 0));
+        let (gen, content) = (t.generation(), t.content_generation());
+        let newer = Stamp { issued_us: 20, version: 0, origin: 0 };
+        assert!(t.restamp(3, newer));
+        assert_eq!(t.get(3).unwrap().stamp, newer);
+        assert!(t.generation() > gen, "digest caches must see the new stamp");
+        assert_eq!(t.content_generation(), content, "values did not change");
+        // Regressions and unknown labels are refused.
+        assert!(!t.restamp(3, Stamp { issued_us: 5, version: 0, origin: 0 }));
+        assert!(!t.restamp(9, newer));
+    }
+
+    #[test]
+    fn digest_since_covers_only_changed_rows() {
+        let mut t = ZoneTable::new(ZoneId::root());
+        t.merge_row(1, row(10, 0));
+        t.merge_row(2, row(10, 0));
+        let mark = t.generation();
+        t.merge_row(2, row(20, 0));
+        let partial = t.digest_since(mark);
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].label, 2);
+        assert_eq!(t.digest_since(0), t.digest());
+        assert!(t.digest_since(t.generation()).is_empty());
+        // Digest entries carry the stamp-independent content hash.
+        assert_eq!(t.digest()[0].chash, t.get(1).unwrap().content_hash());
     }
 
     #[test]

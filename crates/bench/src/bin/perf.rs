@@ -43,6 +43,7 @@ fn main() {
     let json = perf::to_json(&results, opts.quick);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
+    print!("{}", perf::wire_table(&results));
 
     if let Some(path) = compare_with {
         match std::fs::read_to_string(&path) {

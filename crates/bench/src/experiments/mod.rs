@@ -20,6 +20,7 @@ pub mod e14_partition;
 pub mod e16_recovery;
 pub mod e17_adversary;
 pub mod e18_byzantine;
+pub mod e20_wire;
 
 pub(crate) mod support {
     //! Shared deployment builders for the experiments.

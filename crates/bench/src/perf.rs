@@ -39,10 +39,35 @@ pub struct PerfResult {
     /// one suite run a scenario's figure is "largest footprint so far" — the
     /// biggest scenario dominates, earlier ones bound it from below.
     pub peak_rss_mb: f64,
+    /// Bytes the accounting model says crossed the simulated network: the
+    /// compressed `bytes_wire` lane when delta accounting ran, the
+    /// full-price `bytes_sent` figure otherwise.
+    pub wire_bytes_total: u64,
+    /// Bytes the delta protocol avoided sending (`bytes_sent -
+    /// bytes_wire`); 0 whenever delta accounting was off.
+    pub wire_bytes_saved: u64,
     /// Seed-stable check value (simulated outcome, not timing) — identical
     /// across machines for the same code and seed, so a behavior change
     /// shows up as a `detail` diff even when timings drift.
     pub detail: String,
+}
+
+/// Wire-byte totals for a finished simulation: `(total, saved)`. The total
+/// is the compressed `bytes_wire` lane when delta accounting tallied it,
+/// else the full-price `bytes_sent` figure (so the field is comparable
+/// across modes); `saved` is the difference.
+fn wire_totals<N: Node>(sim: &Simulation<N>) -> (u64, u64) {
+    let sent = sim.total_counters().bytes_sent;
+    if !obs::ENABLED {
+        return (sent, 0);
+    }
+    let hub = sim.telemetry();
+    let wire = hub.borrow().counter_total(obs::ctr::BYTES_WIRE);
+    if wire == 0 {
+        (sent, 0)
+    } else {
+        (wire, sent.saturating_sub(wire))
+    }
 }
 
 /// Process peak resident-set size in MiB, from `/proc/self/status` `VmHWM`
@@ -105,6 +130,7 @@ pub fn astro_convergence(n: u32, branching: u16, seed: u64) -> PerfResult {
     let wall = start.elapsed().as_secs_f64();
 
     let events = sim.events_processed();
+    let (wire_bytes_total, wire_bytes_saved) = wire_totals(&sim);
     PerfResult {
         name: format!("astro_convergence_n{n}_b{branching}"),
         wall_s: wall,
@@ -112,6 +138,8 @@ pub fn astro_convergence(n: u32, branching: u16, seed: u64) -> PerfResult {
         events_per_s: events as f64 / wall,
         peak_queue_depth: sim.peak_queue_depth(),
         peak_rss_mb: peak_rss_mb(),
+        wire_bytes_total,
+        wire_bytes_saved,
         detail: format!(
             "converged_sim_s={}",
             converged_at.map_or("never".into(), |t| t.to_string())
@@ -191,6 +219,7 @@ pub fn newswire_chaos(n: u32, seed: u64) -> PerfResult {
 
     let report = check_invariants(&d, &items, &plan.churned_nodes());
     let events = d.sim.events_processed();
+    let (wire_bytes_total, wire_bytes_saved) = wire_totals(&d.sim);
     PerfResult {
         name: format!("newswire_chaos_n{n}"),
         wall_s: wall,
@@ -198,7 +227,84 @@ pub fn newswire_chaos(n: u32, seed: u64) -> PerfResult {
         events_per_s: events as f64 / wall,
         peak_queue_depth: d.sim.peak_queue_depth(),
         peak_rss_mb: peak_rss_mb(),
+        wire_bytes_total,
+        wire_bytes_saved,
         detail: format!("survivor_pct={:.1}", 100.0 * report.survivor_delivery_ratio()),
+    }
+}
+
+/// The delta wire protocol under a revision-heavy feed: eight stories each
+/// revised four times, so forwarding, repair and reconciliation traffic in
+/// bodies the receivers mostly already hold. The delta protocol is forced
+/// on through explicit configuration (not the `NEWSWIRE_DELTAS` switch) so
+/// the scenario measures the same thing in every CI arm; `wire_bytes_total`
+/// / `wire_bytes_saved` report the compressed accounting lane.
+pub fn wire_deltas(n: u32, seed: u64) -> PerfResult {
+    let start = Instant::now();
+    let mut config = NewsWireConfig::tech_news();
+    config.deltas = true;
+    config.astrolabe.delta_gossip = true;
+    let mut d = DeploymentBuilder::new(n, seed)
+        .branching(8)
+        .config(config)
+        .wan(0.01)
+        .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+        .cats_per_subscriber(2)
+        .build();
+    d.sim.set_delta_accounting(true);
+    d.settle(60);
+
+    let stories = 8u32;
+    let revs = 4u32;
+    let mut items = Vec::new();
+    let mut prev: Vec<Option<newsml::ItemId>> = vec![None; stories as usize];
+    for rev in 0..revs {
+        for story in 0..stories {
+            let seq = u64::from(rev * stories + story);
+            let item = NewsItem::builder(PublisherId(0), seq)
+                .headline(format!("story {story} rev {rev}"))
+                .slug(format!("wire-story-{story}"))
+                .category(Category::Technology)
+                .revision(rev, prev[story as usize])
+                .body_len(6_000 + 120 * rev)
+                .build();
+            prev[story as usize] = Some(item.id);
+            d.publish(
+                SimTime::from_secs(60 + 20 * u64::from(rev) + u64::from(story)),
+                item.clone(),
+            );
+            items.push(item);
+        }
+    }
+    d.settle(100);
+    let wall = start.elapsed().as_secs_f64();
+
+    // Completeness over *final* revisions: older tellings are revision-fused
+    // away, so holding the last revision is the meaningful endpoint.
+    let (mut want, mut have) = (0u64, 0u64);
+    for item in items.iter().filter(|i| i.revision == revs - 1) {
+        for node in d.interested_nodes(item) {
+            want += 1;
+            have += u64::from(d.sim.node(node).has_item(item.id));
+        }
+    }
+    let events = d.sim.events_processed();
+    let (wire_bytes_total, wire_bytes_saved) = wire_totals(&d.sim);
+    let full = wire_bytes_total + wire_bytes_saved;
+    PerfResult {
+        name: format!("wire_deltas_n{n}"),
+        wall_s: wall,
+        events,
+        events_per_s: events as f64 / wall,
+        peak_queue_depth: d.sim.peak_queue_depth(),
+        peak_rss_mb: peak_rss_mb(),
+        wire_bytes_total,
+        wire_bytes_saved,
+        detail: format!(
+            "saved_pct={:.1} final_rev_pct={:.1}",
+            100.0 * wire_bytes_saved as f64 / full.max(1) as f64,
+            if want == 0 { 100.0 } else { 100.0 * have as f64 / want as f64 },
+        ),
     }
 }
 
@@ -233,6 +339,7 @@ pub fn simnet_ring(tokens: u32, seed: u64) -> PerfResult {
     sim.run_to_quiescence(u64::MAX);
     let wall = start.elapsed().as_secs_f64();
     let events = sim.events_processed();
+    let (wire_bytes_total, wire_bytes_saved) = wire_totals(&sim);
     PerfResult {
         name: format!("simnet_ring_{tokens}tok"),
         wall_s: wall,
@@ -240,6 +347,8 @@ pub fn simnet_ring(tokens: u32, seed: u64) -> PerfResult {
         events_per_s: events as f64 / wall,
         peak_queue_depth: sim.peak_queue_depth(),
         peak_rss_mb: peak_rss_mb(),
+        wire_bytes_total,
+        wire_bytes_saved,
         detail: format!("events={events}"),
     }
 }
@@ -287,6 +396,10 @@ pub fn run_all(opts: &RunOpts) -> Vec<PerfResult> {
     if !opts.quick {
         specs.push(("simnet_ring_5000tok", Box::new(|| simnet_ring(5_000, 0x516))));
     }
+    specs.push(("wire_deltas_n150", Box::new(|| wire_deltas(150, 0xDE17A))));
+    if !opts.quick {
+        specs.push(("wire_deltas_n300", Box::new(|| wire_deltas(300, 0xDE17A))));
+    }
 
     eprintln!("perf suite ({}):", if opts.quick { "quick" } else { "full" });
     let mut out = Vec::new();
@@ -319,18 +432,41 @@ pub fn to_json(results: &[PerfResult], quick: bool) -> String {
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, \"peak_queue_depth\": {}, \"peak_rss_mb\": {:.0}, \"detail\": \"{}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {:.0}, \"peak_queue_depth\": {}, \"peak_rss_mb\": {:.0}, \"wire_bytes_total\": {}, \"wire_bytes_saved\": {}, \"detail\": \"{}\"}}{}\n",
             r.name,
             r.wall_s,
             r.events,
             r.events_per_s,
             r.peak_queue_depth,
             r.peak_rss_mb,
+            r.wire_bytes_total,
+            r.wire_bytes_saved,
             r.detail,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// Per-scenario wire-byte table: what crossed the simulated network, what
+/// the delta protocol avoided sending, and the savings percentage. Printed
+/// by the `perf` binary after every run (`--only wire --quick` gives just
+/// the delta scenario); the perf CI job uploads it as an artifact.
+pub fn wire_table(results: &[PerfResult]) -> String {
+    let mut s = String::from("wire bytes by scenario:\n");
+    s.push_str(&format!(
+        "  {:<32} {:>14} {:>14} {:>7}\n",
+        "scenario", "wire_bytes", "saved", "saved%"
+    ));
+    for r in results {
+        let full = r.wire_bytes_total + r.wire_bytes_saved;
+        let pct = 100.0 * r.wire_bytes_saved as f64 / full.max(1) as f64;
+        s.push_str(&format!(
+            "  {:<32} {:>14} {:>14} {:>6.1}%\n",
+            r.name, r.wire_bytes_total, r.wire_bytes_saved, pct
+        ));
+    }
     s
 }
 
@@ -398,6 +534,8 @@ mod tests {
             events_per_s: 66.7,
             peak_queue_depth: 9,
             peak_rss_mb: 12.0,
+            wire_bytes_total: 420,
+            wire_bytes_saved: 80,
             detail: "converged_sim_s=12".into(),
         };
         let json = to_json(std::slice::from_ref(&r), true);
@@ -420,6 +558,8 @@ mod tests {
             events_per_s: 1.0,
             peak_queue_depth: 1,
             peak_rss_mb: 1.0,
+            wire_bytes_total: 10,
+            wire_bytes_saved: 0,
             detail: "v=1".into(),
         };
         let mut b = a.clone();
@@ -441,6 +581,8 @@ mod tests {
             events_per_s: 5.0,
             peak_queue_depth: 3,
             peak_rss_mb: 2.0,
+            wire_bytes_total: 10,
+            wire_bytes_saved: 0,
             detail: "v=1".into(),
         };
         // The committed BENCH.json format: one field per line.

@@ -1,0 +1,369 @@
+//! Content-defined chunking (CDC) for article revision deltas.
+//!
+//! News items in this reproduction carry only a `body_len` — the prose
+//! itself never materializes in the simulator. To model delta encoding
+//! honestly anyway, both endpoints derive the *same* deterministic
+//! synthetic body from `(publisher, slug, revision, body_len)` via
+//! [`synthetic_body`], chunk it with a Gear rolling hash ([`chunk`]), and
+//! price a revision-to-revision transfer as "changed chunks + chunk
+//! references" via [`delta_cost`]. Because the derivation is a pure
+//! function of item metadata, a sender can compute exactly what a
+//! receiver holding revision `r` would need — no real bytes ever cross
+//! the wire, only an accounting of how many would have.
+//!
+//! The chunker is standard Gear CDC: roll `h = (h << 1) + GEAR[byte]`,
+//! cut when the top bits of `h` are zero, clamp chunk sizes to
+//! `[CDC_MIN, CDC_MAX]`. Boundaries are content-defined, so an insert,
+//! delete, or prepend only disturbs the chunks overlapping the edit —
+//! every other chunk keeps its hash (tested below).
+
+use crate::item::PublisherId;
+
+/// Minimum chunk length in bytes.
+pub const CDC_MIN: usize = 64;
+/// Average chunk length is `1 << CDC_AVG_BITS` bytes (256).
+pub const CDC_AVG_BITS: u32 = 8;
+/// Maximum chunk length in bytes (forced cut).
+pub const CDC_MAX: usize = 1024;
+
+/// Per-chunk wire overhead when a chunk is shipped literally
+/// (offset + length header).
+pub const CHUNK_LITERAL_OVERHEAD: usize = 4;
+/// Wire cost of referencing a chunk the receiver already holds (its hash).
+pub const CHUNK_REF_COST: usize = 8;
+/// Fixed per-delta header (baseline revision + chunk count).
+pub const DELTA_HEADER: usize = 8;
+
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const fn gear_table() -> [u64; 256] {
+    let mut t = [0u64; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        // Chain splitmix64 so every entry mixes all 64 bits.
+        t[i] = splitmix64((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x6E65_7773_6D6C_2121);
+        i += 1;
+    }
+    t
+}
+
+static GEAR: [u64; 256] = gear_table();
+
+/// FNV-1a over a byte slice (chunk fingerprints, slug keys).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Stable 64-bit key for a story line: hashes `(publisher, slug)`.
+/// Used as the compact identifier in baseline hints so a requester can
+/// tell a responder which revision of which story it already holds.
+pub fn slug_key(publisher: PublisherId, slug: &str) -> u64 {
+    let mut h = fnv64(slug.as_bytes());
+    h ^= u64::from(publisher.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(h)
+}
+
+/// One content-defined chunk of a body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Byte offset of the chunk within the body.
+    pub offset: u32,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// FNV-1a fingerprint of the chunk's bytes.
+    pub hash: u64,
+}
+
+/// Splits `data` into content-defined chunks with the Gear rolling hash.
+///
+/// Deterministic: the same bytes always produce the same boundaries and
+/// fingerprints, and a local edit only moves boundaries inside the
+/// `[CDC_MIN, CDC_MAX]` window around it.
+pub fn chunk(data: &[u8]) -> Vec<Chunk> {
+    let mask: u64 = !0u64 << (64 - CDC_AVG_BITS);
+    let mut out = Vec::with_capacity(data.len() / (1 << CDC_AVG_BITS) + 1);
+    let mut start = 0usize;
+    while start < data.len() {
+        let end_max = (start + CDC_MAX).min(data.len());
+        let mut h = 0u64;
+        let mut cut = end_max;
+        let mut i = start;
+        while i < end_max {
+            h = (h << 1).wrapping_add(GEAR[data[i] as usize]);
+            i += 1;
+            if i - start >= CDC_MIN && h & mask == 0 {
+                cut = i;
+                break;
+            }
+        }
+        out.push(Chunk {
+            offset: start as u32,
+            len: (cut - start) as u32,
+            hash: fnv64(&data[start..cut]),
+        });
+        start = cut;
+    }
+    out
+}
+
+/// Derives the deterministic synthetic body for one revision of a story.
+///
+/// The base stream is positional — byte block `i` depends only on the
+/// `(publisher, slug)` seed and `i` — so two revisions of different
+/// lengths share their common prefix. Each revision `1..=revision` then
+/// overwrites a few seeded edit windows in place, modelling editorial
+/// changes that leave most of the article untouched.
+pub fn synthetic_body(publisher: PublisherId, slug: &str, revision: u32, body_len: u32) -> Vec<u8> {
+    let len = body_len as usize;
+    let seed = slug_key(publisher, slug);
+    let mut body = vec![0u8; len];
+    for (i, block) in body.chunks_mut(8).enumerate() {
+        let w = splitmix64(seed ^ (i as u64)).to_le_bytes();
+        block.copy_from_slice(&w[..block.len()]);
+    }
+    for r in 1..=u64::from(revision) {
+        let h = splitmix64(seed ^ r.wrapping_mul(0xA24B_AED4_963E_E407));
+        let edits = 1 + (h % 2) as usize;
+        for e in 0..edits as u64 {
+            let eh = splitmix64(h ^ e.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+            let window = 48 + (eh % 144) as usize;
+            if len <= window {
+                // Tiny bodies: rewrite everything for this edit.
+                for (i, b) in body.iter_mut().enumerate() {
+                    *b = splitmix64(eh ^ (i as u64)).to_le_bytes()[0];
+                }
+                continue;
+            }
+            let pos = (eh >> 32) as usize % (len - window);
+            for (i, b) in body[pos..pos + window].iter_mut().enumerate() {
+                *b = splitmix64(eh ^ 0x5851_F42D_4C95_7F2D ^ (i as u64)).to_le_bytes()[0];
+            }
+        }
+    }
+    body
+}
+
+/// Priced outcome of shipping one revision as a delta against a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaCost {
+    /// Bytes to ship the body whole (`cur_len`).
+    pub full: usize,
+    /// Bytes to ship as a delta: header + per-chunk references for reused
+    /// chunks + literal bytes for changed chunks. May exceed `full` when
+    /// the revisions share little; use [`DeltaCost::effective`].
+    pub delta: usize,
+    /// Chunk count of the current revision.
+    pub chunks_total: usize,
+    /// Chunks of the current revision absent from the baseline.
+    pub chunks_changed: usize,
+}
+
+impl DeltaCost {
+    /// Bytes actually sent: a sender falls back to the full body whenever
+    /// the delta would not be smaller.
+    pub fn effective(&self) -> usize {
+        self.delta.min(self.full)
+    }
+
+    /// Bytes saved relative to shipping the full body.
+    pub fn saved(&self) -> usize {
+        self.full - self.effective()
+    }
+}
+
+/// Prices shipping revision `cur_rev` (length `cur_len`) of a story to a
+/// receiver known to hold revision `base_rev` (length `base_len`).
+///
+/// Both bodies are derived with [`synthetic_body`] and chunked; the delta
+/// ships literally only the chunks whose fingerprints the baseline lacks.
+/// Pure function of its arguments — sender-side accounting needs no
+/// receiver round-trip.
+pub fn delta_cost(
+    publisher: PublisherId,
+    slug: &str,
+    base_rev: u32,
+    base_len: u32,
+    cur_rev: u32,
+    cur_len: u32,
+) -> DeltaCost {
+    let cur = synthetic_body(publisher, slug, cur_rev, cur_len);
+    let cur_chunks = chunk(&cur);
+    let base = synthetic_body(publisher, slug, base_rev, base_len);
+    let base_hashes: std::collections::HashSet<u64> = chunk(&base).iter().map(|c| c.hash).collect();
+    let mut delta = DELTA_HEADER;
+    let mut changed = 0usize;
+    for c in &cur_chunks {
+        if base_hashes.contains(&c.hash) {
+            delta += CHUNK_REF_COST;
+        } else {
+            changed += 1;
+            delta += CHUNK_LITERAL_OVERHEAD + c.len as usize;
+        }
+    }
+    DeltaCost {
+        full: cur_len as usize,
+        delta,
+        chunks_total: cur_chunks.len(),
+        chunks_changed: changed,
+    }
+}
+
+/// Memoized [`delta_cost`]: wire-byte accounting calls this per message
+/// *send*, and a revised story crosses hundreds of tree hops with the same
+/// `(baseline, current)` pair — deriving and chunking both bodies each time
+/// would dominate the simulation. Keyed by `(slug_key, revisions, lengths)`;
+/// the cache is global and append-only (the function is pure).
+pub fn delta_cost_memo(
+    publisher: PublisherId,
+    slug: &str,
+    base_rev: u32,
+    base_len: u32,
+    cur_rev: u32,
+    cur_len: u32,
+) -> DeltaCost {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type MemoKey = (u64, u32, u32, u32, u32);
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, DeltaCost>>> = OnceLock::new();
+    let key = (slug_key(publisher, slug), base_rev, base_len, cur_rev, cur_len);
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = memo.lock().unwrap().get(&key) {
+        return *hit;
+    }
+    let cost = delta_cost(publisher, slug, base_rev, base_len, cur_rev, cur_len);
+    memo.lock().unwrap().insert(key, cost);
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn body(n: usize, seed: u64) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = splitmix64(seed ^ (i as u64)).to_le_bytes()[0];
+        }
+        v
+    }
+
+    #[test]
+    fn chunks_tile_the_input_exactly() {
+        let data = body(10_000, 7);
+        let chunks = chunk(&data);
+        let mut pos = 0u32;
+        for c in &chunks {
+            assert_eq!(c.offset, pos);
+            assert!(c.len as usize >= CDC_MIN || (c.offset + c.len) as usize == data.len());
+            assert!(c.len as usize <= CDC_MAX);
+            pos += c.len;
+        }
+        assert_eq!(pos as usize, data.len());
+        // Average should be loosely around the 256-byte target.
+        let avg = data.len() / chunks.len();
+        assert!((96..=640).contains(&avg), "average chunk {avg}");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(chunk(&[]).is_empty());
+        let c = chunk(&[1, 2, 3]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].len, 3);
+    }
+
+    #[test]
+    fn insert_keeps_unrelated_chunk_hashes() {
+        let base = body(8_192, 42);
+        let mut edited = base.clone();
+        edited.splice(4_000..4_000, [0xAAu8; 37]); // 37-byte insert mid-stream
+        let a: HashSet<u64> = chunk(&base).iter().map(|c| c.hash).collect();
+        let b: Vec<Chunk> = chunk(&edited);
+        let reused = b.iter().filter(|c| a.contains(&c.hash)).count();
+        // Everything except the handful of chunks around the edit survives.
+        assert!(reused >= b.len() - 4, "reused {reused} of {}", b.len());
+        assert!(b.iter().any(|c| !a.contains(&c.hash)));
+    }
+
+    #[test]
+    fn delete_keeps_unrelated_chunk_hashes() {
+        let base = body(8_192, 43);
+        let mut edited = base.clone();
+        edited.drain(2_000..2_120);
+        let a: HashSet<u64> = chunk(&base).iter().map(|c| c.hash).collect();
+        let b: Vec<Chunk> = chunk(&edited);
+        let reused = b.iter().filter(|c| a.contains(&c.hash)).count();
+        assert!(reused >= b.len() - 4, "reused {reused} of {}", b.len());
+    }
+
+    #[test]
+    fn prepend_keeps_unrelated_chunk_hashes() {
+        let base = body(8_192, 44);
+        let mut edited = vec![0x55u8; 300];
+        edited.extend_from_slice(&base);
+        let a: HashSet<u64> = chunk(&base).iter().map(|c| c.hash).collect();
+        let b: Vec<Chunk> = chunk(&edited);
+        let reused = b.iter().filter(|c| a.contains(&c.hash)).count();
+        // The prepended run plus at most the straddling chunk differ.
+        assert!(reused >= b.len() - 4, "reused {reused} of {}", b.len());
+    }
+
+    #[test]
+    fn synthetic_body_deterministic_and_prefix_stable() {
+        let p = PublisherId(3);
+        let a = synthetic_body(p, "quake", 2, 4_096);
+        let b = synthetic_body(p, "quake", 2, 4_096);
+        assert_eq!(a, b);
+        // Revision 0 of different lengths shares the common prefix.
+        let short = synthetic_body(p, "quake", 0, 1_000);
+        let long = synthetic_body(p, "quake", 0, 2_000);
+        assert_eq!(short[..], long[..1_000]);
+        // Different slugs diverge.
+        assert_ne!(synthetic_body(p, "storm", 2, 4_096), a);
+    }
+
+    #[test]
+    fn adjacent_revisions_delta_small_distant_large() {
+        let p = PublisherId(9);
+        let near = delta_cost(p, "merger", 3, 6_000, 4, 6_000);
+        assert!(near.effective() < near.full / 3, "near delta {near:?}");
+        assert!(near.chunks_changed < near.chunks_total);
+        // Same revision → pure references, tiny.
+        let same = delta_cost(p, "merger", 4, 6_000, 4, 6_000);
+        assert_eq!(same.chunks_changed, 0);
+        assert!(same.effective() < same.full / 10);
+        // A different slug's baseline shares nothing; effective cost caps
+        // at the full body.
+        let cold = delta_cost(p, "merger", 0, 50, 4, 6_000);
+        assert!(cold.effective() <= cold.full);
+        assert_eq!(same.saved() + same.effective(), same.full);
+    }
+
+    #[test]
+    fn delta_cost_memo_matches_direct() {
+        let p = PublisherId(3);
+        let direct = delta_cost(p, "memo", 1, 4_000, 2, 4_100);
+        assert_eq!(delta_cost_memo(p, "memo", 1, 4_000, 2, 4_100), direct);
+        assert_eq!(delta_cost_memo(p, "memo", 1, 4_000, 2, 4_100), direct, "cached hit");
+    }
+
+    #[test]
+    fn slug_key_mixes_publisher_and_slug() {
+        let k = slug_key(PublisherId(1), "alpha");
+        assert_ne!(k, slug_key(PublisherId(2), "alpha"));
+        assert_ne!(k, slug_key(PublisherId(1), "beta"));
+        assert_eq!(k, slug_key(PublisherId(1), "alpha"));
+    }
+}

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cdc;
 mod gen;
 mod item;
 mod newsml_fmt;

@@ -93,6 +93,40 @@ impl MessageCache {
         self.highwater.iter().map(|(&p, &s)| (p, s)).collect()
     }
 
+    /// The latest cached revision of `publisher`'s story `slug`, if any
+    /// (the delta-encoding baseline lookup).
+    pub fn latest_for_slug(&self, publisher: PublisherId, slug: &str) -> Option<&NewsItem> {
+        let id = self.latest_by_slug.get(&(publisher, slug.to_owned()))?;
+        self.get(*id)
+    }
+
+    /// Baseline hints for the revisions this cache holds — what a repair or
+    /// reconcile requester declares so the responder can delta-encode its
+    /// reply. Restricted to `publisher` when given; sorted by key (the
+    /// backing map iterates in arbitrary order) and capped at `cap` so the
+    /// request stays small.
+    pub fn baselines(
+        &self,
+        publisher: Option<PublisherId>,
+        cap: usize,
+    ) -> Vec<amcast::BaselineHint> {
+        let mut hints: Vec<amcast::BaselineHint> = self
+            .latest_by_slug
+            .iter()
+            .filter(|((p, _), _)| publisher.is_none_or(|want| *p == want))
+            .filter_map(|((p, slug), id)| {
+                self.get(*id).map(|item| amcast::BaselineHint {
+                    key: newsml::cdc::slug_key(*p, slug),
+                    revision: item.revision,
+                    body_len: item.body_len,
+                })
+            })
+            .collect();
+        hints.sort_by_key(|h| h.key);
+        hints.truncate(cap);
+        hints
+    }
+
     /// Offers an item to the cache, applying revision fusion.
     pub fn insert(&mut self, item: NewsItem, now: SimTime) -> CacheOutcome {
         if self.items.contains_key(&item.id) {

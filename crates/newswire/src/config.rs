@@ -105,6 +105,14 @@ pub struct NewsWireConfig {
     /// failover until it restarts under a fresh incarnation. Only consulted
     /// when `defenses` is on.
     pub quarantine_threshold: u32,
+    /// The delta-everything wire protocol (`NEWSWIRE_DELTAS=1`): revised
+    /// envelopes and repair/reconcile replies carry CDC delta annotations
+    /// against baselines the receiver holds, requests declare held
+    /// revisions as [`amcast::BaselineHint`]s, and the embedded Astrolabe
+    /// agent gossips row diffs instead of full digests. Off by default;
+    /// with it off every message is byte-identical to builds without the
+    /// delta protocol.
+    pub deltas: bool,
 }
 
 impl NewsWireConfig {
@@ -130,6 +138,7 @@ impl NewsWireConfig {
             durable_state: false,
             defenses: true,
             quarantine_threshold: 3,
+            deltas: simnet::delta_mode(),
         }
     }
 

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use amcast::{
-    route, zone_reps, Action, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
+    route, zone_reps, Action, BaselineHint, CoverageWindow, FilterSpec, ForwardEvent, ForwardLog,
     ForwardingQueues, LogRecord, RangeSummary, SeqLog,
 };
 use astrolabe::{
@@ -39,7 +39,7 @@ use crate::config::{NewsWireConfig, SubscriptionModel};
 use crate::flow::TokenBucket;
 use crate::persist;
 use crate::subscription::{item_position_groups, Subscription};
-use crate::wire::{msg_id_of, Envelope, NewsWireMsg, SignedItem};
+use crate::wire::{msg_id_of, DeltaBasis, Envelope, NewsWireMsg, SignedItem};
 
 /// Publisher-side state (present only on publisher nodes).
 #[derive(Debug)]
@@ -199,6 +199,11 @@ const MISBEHAVIOR_FENCE: u32 = 1;
 /// Misbehavior weight of a digest contradiction: a peer whose gossiped
 /// digest advertised coverage for our holes replies with an empty log.
 const MISBEHAVIOR_CONTRADICTION: u32 = 1;
+
+/// Most baseline hints a repair/reconcile request carries (16 bytes each):
+/// enough to cover every live story line in the target configurations
+/// without letting the request itself outgrow the reply it is optimizing.
+const MAX_BASELINES: usize = 256;
 
 /// One outstanding reconcile request awaiting its `ReconcileReply`.
 #[derive(Debug)]
@@ -668,7 +673,10 @@ impl NewsWireNode {
         });
         for action in actions {
             match action {
-                Action::DeliverLocal => self.handle_delivery(now, env.item.clone(), false),
+                Action::DeliverLocal => {
+                    self.delta_makeup(&env.item, env.basis.as_ref());
+                    self.handle_delivery(now, env.item.clone(), false)
+                }
                 Action::Deliver { member } => {
                     self.log.record(LogRecord {
                         at_us: now.as_micros(),
@@ -751,6 +759,18 @@ impl NewsWireNode {
         if let Some(p) = predicate_filter {
             filter = filter.and(p);
         }
+        // Delta-encode a revised story against the revision this publisher
+        // disseminated before (still in its own cache — inserted below,
+        // *after* this lookup): every subscriber that received the earlier
+        // telling decodes from what it holds.
+        let basis = if self.cfg.deltas && item.revision > 0 {
+            self.cache
+                .latest_for_slug(item.id.publisher, &item.slug)
+                .map(|prev| (prev.revision, prev.body_len))
+                .and_then(|(rev, len)| self.price_basis(&item, rev, len))
+        } else {
+            None
+        };
         let env = Envelope {
             msg_id: msg_id_of(item.id),
             filter,
@@ -760,6 +780,7 @@ impl NewsWireNode {
             key,
             signature,
             attest,
+            basis,
         };
         obs::metric_add!(self.agent.id(), ctr::NW_PUBLISHED, 1);
         obs::trace_event!(self.agent.id(), Layer::News, kind::NW_PUBLISH, env.msg_id);
@@ -875,18 +896,92 @@ impl NewsWireNode {
     }
 
     /// Wraps cached items with their recorded detached signatures for a
-    /// bare-item reply. An item with no recorded signature (possible only
-    /// on nodes that themselves admitted unverified content) ships a null
-    /// signature, which defended receivers refuse.
-    fn sign_items(&self, items: Vec<NewsItem>) -> Vec<SignedItem> {
+    /// bare-item reply, delta-annotating each item whose story the
+    /// requester declared an earlier revision of (`baselines`). An item
+    /// with no recorded signature (possible only on nodes that themselves
+    /// admitted unverified content) ships a null signature, which defended
+    /// receivers refuse.
+    fn sign_items(&self, items: Vec<NewsItem>, baselines: &[BaselineHint]) -> Vec<SignedItem> {
+        let held: HashMap<u64, &BaselineHint> = baselines.iter().map(|b| (b.key, b)).collect();
         items
             .into_iter()
             .map(|item| {
                 let (key, signature) =
                     self.item_sigs.get(&item.id).copied().unwrap_or((KeyId(0), Signature(0)));
-                SignedItem { item, key, signature }
+                let basis = if self.cfg.deltas && !held.is_empty() {
+                    held.get(&newsml::cdc::slug_key(item.id.publisher, &item.slug))
+                        .copied()
+                        .and_then(|b| self.price_basis(&item, b.revision, b.body_len))
+                } else {
+                    None
+                };
+                SignedItem { item, key, signature, basis }
             })
             .collect()
+    }
+
+    /// Prices `item` against a candidate baseline and returns the basis
+    /// annotation when a delta actually wins — the sender falls back to the
+    /// full body (and counts the deferral) when the revisions share too
+    /// little. An equal-or-newer baseline deltas hardest of all: the
+    /// receiver already holds the content, so a re-offer (margin repair,
+    /// reconcile) collapses to chunk references it can satisfy locally.
+    fn price_basis(&self, item: &NewsItem, base_rev: u32, base_len: u32) -> Option<DeltaBasis> {
+        let cost = newsml::cdc::delta_cost_memo(
+            item.id.publisher,
+            &item.slug,
+            base_rev,
+            base_len,
+            item.revision,
+            item.body_len,
+        );
+        if cost.saved() <= DeltaBasis::WIRE_SIZE {
+            obs::metric_add!(self.agent.id(), ctr::DELTA_DEFERRED, 1);
+            return None;
+        }
+        obs::metric_add!(self.agent.id(), ctr::DELTA_ITEMS_SENT, 1);
+        obs::metric_add!(self.agent.id(), ctr::DELTA_ITEM_BYTES_SAVED, cost.saved() as u64);
+        Some(DeltaBasis { revision: base_rev, body_len: base_len })
+    }
+
+    /// The baseline hints a repair or reconcile request declares: what this
+    /// cache holds, so the responder can delta-encode. Empty with deltas
+    /// off — the request is then byte-identical to the pre-delta wire.
+    fn request_baselines(&self, publisher: Option<PublisherId>) -> Vec<BaselineHint> {
+        if !self.cfg.deltas {
+            return Vec::new();
+        }
+        self.cache.baselines(publisher, MAX_BASELINES)
+    }
+
+    /// Receiver-side honesty for the `bytes_wire` model: an item that
+    /// arrived delta-encoded against a basis this node cannot reconstruct
+    /// from (it holds neither the baseline revision nor the content
+    /// itself) would have to fetch the missing chunks — charge the full
+    /// minus delta difference back so the compressed accounting never
+    /// under-counts.
+    fn delta_makeup(&self, item: &NewsItem, basis: Option<&DeltaBasis>) {
+        let Some(b) = basis else { return };
+        if !self.cfg.deltas {
+            return;
+        }
+        let decodable = self
+            .cache
+            .latest_for_slug(item.id.publisher, &item.slug)
+            .is_some_and(|held| held.revision == b.revision || held.revision >= item.revision);
+        if decodable {
+            return;
+        }
+        let cost = newsml::cdc::delta_cost_memo(
+            item.id.publisher,
+            &item.slug,
+            b.revision,
+            b.body_len,
+            item.revision,
+            item.body_len,
+        );
+        obs::metric_add!(self.agent.id(), ctr::DELTA_FALLBACK_FULL, 1);
+        obs::metric_add!(self.agent.id(), ctr::BYTES_WIRE, cost.saved() as u64);
     }
 
     /// Random peer for cache repair: usually a leaf-zone neighbour (cheap,
@@ -1124,7 +1219,11 @@ impl NewsWireNode {
         obs::trace_event!(self.agent.id(), Layer::News, kind::REPAIR_REQUEST, peer.0);
         ctx.send(
             peer,
-            NewsWireMsg::RepairRequest { highwater, want_snapshot: self.cache.is_empty() },
+            NewsWireMsg::RepairRequest {
+                highwater,
+                want_snapshot: self.cache.is_empty(),
+                baselines: self.request_baselines(None),
+            },
         );
         if let Some(wait) = self.cfg.repair_reply_timeout {
             if let Some((_, old_timer, _)) = self.awaiting_repair.take() {
@@ -1247,7 +1346,13 @@ impl NewsWireNode {
         obs::trace_event!(self.agent.id(), Layer::News, kind::AE_REQUEST, peer.0, publisher.0);
         ctx.send(
             peer,
-            NewsWireMsg::ReconcileRequest { publisher, epoch, ranges: ranges.clone(), tail_from },
+            NewsWireMsg::ReconcileRequest {
+                publisher,
+                epoch,
+                ranges: ranges.clone(),
+                tail_from,
+                baselines: self.request_baselines(Some(publisher)),
+            },
         );
         if let Some(wait) = self.cfg.repair_reply_timeout {
             let backoff = u64::from(self.cfg.ack_backoff.max(1)).pow(retargets);
@@ -1258,7 +1363,12 @@ impl NewsWireNode {
         }
     }
 
-    /// Serves a `ReconcileRequest` from the cache.
+    /// Serves a `ReconcileRequest` from the cache. The requester's baseline
+    /// hints let the reply delta-encode revised stories: before them, a
+    /// reconcile reply re-shipped the full `SignedItem` body even when the
+    /// requester's digest proved it held an earlier revision of the same
+    /// story.
+    #[allow(clippy::too_many_arguments)]
     fn serve_reconcile(
         &mut self,
         ctx: &mut Context<'_, NewsWireMsg>,
@@ -1267,6 +1377,7 @@ impl NewsWireNode {
         epoch: u32,
         ranges: &[(u64, u64)],
         tail_from: u64,
+        baselines: &[BaselineHint],
     ) {
         let summary =
             self.article_logs.get(&publisher).map(|log| log.summary()).unwrap_or_default();
@@ -1307,7 +1418,7 @@ impl NewsWireNode {
         // stored attestation rides along so signed epoch authority spreads
         // to nodes the publisher's own envelopes have not reached.
         let attest = self.authority.get(&publisher).copied();
-        let items = self.sign_items(items);
+        let items = self.sign_items(items, baselines);
         ctx.send(from, NewsWireMsg::ReconcileReply { publisher, summary, attest, items });
     }
 
@@ -1390,7 +1501,8 @@ impl NewsWireNode {
         if summary.epoch > log.epoch() && !fenced {
             log.adopt_epoch(summary.epoch);
         }
-        for SignedItem { item, key, signature } in items {
+        for SignedItem { item, key, signature, basis } in items {
+            self.delta_makeup(&item, basis.as_ref());
             self.admit_bare_item(now, item, key, signature, from, 3);
         }
         if let Some(ranges) = pending.map(|p| p.ranges) {
@@ -1758,9 +1870,10 @@ impl Node for NewsWireNode {
                 }
                 self.learn_from_envelope(&env);
                 let now = ctx.now();
+                self.delta_makeup(&env.item, env.basis.as_ref());
                 self.handle_delivery(now, env.item, false);
             }
-            NewsWireMsg::RepairRequest { highwater, want_snapshot } => {
+            NewsWireMsg::RepairRequest { highwater, want_snapshot, baselines } => {
                 let mut items: Vec<NewsItem> = Vec::new();
                 // Everything at or past the requester's (margin-backed)
                 // marks…
@@ -1795,7 +1908,7 @@ impl Node for NewsWireNode {
                 // Reply even when empty: an empty reply tells the requester
                 // "I'm alive and have nothing for you", so its reply timeout
                 // distinguishes dead peers from up-to-date ones.
-                let items = self.sign_items(items);
+                let items = self.sign_items(items, &baselines);
                 ctx.send(from, NewsWireMsg::RepairReply { items });
             }
             NewsWireMsg::RepairReply { items } => {
@@ -1806,12 +1919,13 @@ impl Node for NewsWireNode {
                     }
                 }
                 let now = ctx.now();
-                for SignedItem { item, key, signature } in items {
+                for SignedItem { item, key, signature, basis } in items {
+                    self.delta_makeup(&item, basis.as_ref());
                     self.admit_bare_item(now, item, key, signature, from, 2);
                 }
             }
-            NewsWireMsg::ReconcileRequest { publisher, epoch, ranges, tail_from } => {
-                self.serve_reconcile(ctx, from, publisher, epoch, &ranges, tail_from);
+            NewsWireMsg::ReconcileRequest { publisher, epoch, ranges, tail_from, baselines } => {
+                self.serve_reconcile(ctx, from, publisher, epoch, &ranges, tail_from, &baselines);
             }
             NewsWireMsg::ReconcileReply { publisher, summary, attest, items } => {
                 self.absorb_reconcile_reply(ctx, from, publisher, summary, attest, items);
@@ -2402,6 +2516,49 @@ mod tests {
     }
 
     #[test]
+    fn replies_delta_encode_against_declared_baselines() {
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.deltas = true;
+        let mut n = node_with(cfg);
+        let now = SimTime::from_secs(1);
+        let rev3 = NewsItem::builder(PublisherId(0), 5)
+            .slug("merger")
+            .revision(3, None)
+            .body_len(6000)
+            .build();
+        n.cache.insert(rev3.clone(), now);
+
+        // A requester declaring revision 2 gets a delta-annotated reply…
+        let hint = BaselineHint {
+            key: newsml::cdc::slug_key(PublisherId(0), "merger"),
+            revision: 2,
+            body_len: 6000,
+        };
+        let signed = n.sign_items(vec![rev3.clone()], &[hint]);
+        assert_eq!(signed[0].basis, Some(DeltaBasis { revision: 2, body_len: 6000 }));
+        assert!(signed[0].compressed_wire_size() < signed[0].wire_size() / 2);
+
+        // …a requester already on revision 3 deltas hardest of all: the
+        // re-offer collapses to chunk references the receiver satisfies
+        // from its own cache.
+        let even = BaselineHint { revision: 3, ..hint };
+        let dup = n.sign_items(vec![rev3.clone()], &[even]);
+        assert_eq!(dup[0].basis, Some(DeltaBasis { revision: 3, body_len: 6000 }));
+        assert!(dup[0].compressed_wire_size() < signed[0].compressed_wire_size());
+        // …and a requester that declared nothing gets the full body.
+        assert_eq!(n.sign_items(vec![rev3.clone()], &[])[0].basis, None);
+
+        // The node's own requests declare its cache as baselines, sorted;
+        // with deltas off they stay empty so the wire is byte-identical.
+        let hints = n.request_baselines(None);
+        assert_eq!(hints.len(), 1);
+        assert_eq!(hints[0].revision, 3);
+        n.cfg.deltas = false;
+        assert!(n.request_baselines(None).is_empty());
+        assert_eq!(n.sign_items(vec![rev3], &[hint])[0].basis, None, "deltas off: never annotate");
+    }
+
+    #[test]
     fn handle_delivery_classifies_outcomes() {
         let mut n = node_with(NewsWireConfig::tech_news());
         n.set_subscription(tech_sub());
@@ -2899,7 +3056,7 @@ mod tests {
         let now = SimTime::from_secs(1);
         // The forger serves its cache the way a repair reply would: items
         // wrapped with whatever signatures it recorded (bogus ones).
-        for si in forger.sign_items(forged) {
+        for si in forger.sign_items(forged, &[]) {
             honest.admit_bare_item(now, si.item, si.key, si.signature, NodeId(1), 2);
         }
         assert_eq!(honest.stats.forged_rejects, 3, "every fabrication refused");

@@ -1,12 +1,51 @@
 //! Wire messages of the NewsWire protocol.
 
-use amcast::{FilterSpec, RangeSummary};
+use amcast::{BaselineHint, FilterSpec, RangeSummary};
 use astrolabe::{Certificate, GossipMsg, KeyId, Signature, ZoneId};
 use filters::fnv1a;
+use newsml::cdc;
 use newsml::{ItemId, NewsItem, PublisherId};
 use simnet::Payload;
 
 use crate::auth::EpochAttest;
+
+/// Delta-encoding annotation on an item-bearing message: "this body is
+/// encoded as a CDC delta against revision `revision` (length `body_len`)
+/// of the same story". The sender only attaches one when it believes the
+/// receiver holds that baseline (its own prior publication on the tree
+/// path, or a [`BaselineHint`] the requester declared); a receiver that
+/// does not is charged the chunk-miss makeup (see `bytes_wire`). `None`
+/// everywhere when deltas are off, keeping the wire byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaBasis {
+    /// Baseline revision the delta references.
+    pub revision: u32,
+    /// Baseline body length (needed to re-derive the synthetic body).
+    pub body_len: u32,
+}
+
+impl DeltaBasis {
+    /// Serialized size of the annotation (revision + baseline length).
+    pub const WIRE_SIZE: usize = 8;
+}
+
+/// Effective encoded size of `item`'s body given an optional delta basis:
+/// the full body when unannotated, the priced CDC delta when annotated
+/// (never larger than full — senders fall back).
+fn body_cost(item: &NewsItem, basis: Option<&DeltaBasis>) -> usize {
+    match basis {
+        None => item.body_len as usize,
+        Some(b) => cdc::delta_cost_memo(
+            item.id.publisher,
+            &item.slug,
+            b.revision,
+            b.body_len,
+            item.revision,
+            item.body_len,
+        )
+        .effective(),
+    }
+}
 
 /// A signed, routable news item.
 #[derive(Debug, Clone)]
@@ -29,10 +68,13 @@ pub struct Envelope {
     /// §12): every envelope refreshes the receivers' signed epoch
     /// authority, starving fabricated-epoch collusion of oxygen.
     pub attest: EpochAttest,
+    /// Delta-encoding basis: the publisher's previously disseminated
+    /// revision of the same story, which tree receivers hold.
+    pub basis: Option<DeltaBasis>,
 }
 
 impl Envelope {
-    /// Approximate serialized size.
+    /// Approximate serialized size (full body — the `bytes_sent` model).
     pub fn wire_size(&self) -> usize {
         self.item.wire_size()
             + 8
@@ -40,7 +82,15 @@ impl Envelope {
             + 2 * self.scope.depth()
             + 96
             + self.attest.wire_size()
+            + self.basis.map_or(0, |_| DeltaBasis::WIRE_SIZE)
         // certificate + signature + key id
+    }
+
+    /// Serialized size with the body delta-encoded against the basis
+    /// (the `bytes_wire` model; equals [`Envelope::wire_size`] when
+    /// unannotated).
+    pub fn compressed_wire_size(&self) -> usize {
+        self.wire_size() - self.item.body_len as usize + body_cost(&self.item, self.basis.as_ref())
     }
 }
 
@@ -56,12 +106,22 @@ pub struct SignedItem {
     pub key: KeyId,
     /// The publisher's signature over the item bytes.
     pub signature: Signature,
+    /// Delta-encoding basis: the baseline the requester declared holding
+    /// (via [`BaselineHint`]) that this item was encoded against.
+    pub basis: Option<DeltaBasis>,
 }
 
 impl SignedItem {
-    /// Approximate serialized size: item + key id + signature.
+    /// Approximate serialized size: item + key id + signature (full body —
+    /// the `bytes_sent` model).
     pub fn wire_size(&self) -> usize {
-        self.item.wire_size() + 16
+        self.item.wire_size() + 16 + self.basis.map_or(0, |_| DeltaBasis::WIRE_SIZE)
+    }
+
+    /// Serialized size with the body delta-encoded against the basis
+    /// (the `bytes_wire` model).
+    pub fn compressed_wire_size(&self) -> usize {
+        self.wire_size() - self.item.body_len as usize + body_cost(&self.item, self.basis.as_ref())
     }
 }
 
@@ -118,6 +178,9 @@ pub enum NewsWireMsg {
         /// Set by (re)joining nodes to receive a recent-window snapshot
         /// (the §9 "limited state transfer").
         want_snapshot: bool,
+        /// Revisions the requester already holds, so the responder can
+        /// delta-encode its reply. Empty with deltas off.
+        baselines: Vec<BaselineHint>,
     },
     /// Items the responder holds beyond the requester's marks, each with
     /// its publisher signature so the requester can verify before caching.
@@ -140,6 +203,12 @@ pub enum NewsWireMsg {
         /// Also ship anything at or past this mark — tail catch-up for
         /// items the requester does not yet know exist.
         tail_from: u64,
+        /// Revisions of this publisher's stories the requester already
+        /// holds: the responder delta-encodes any item whose story the
+        /// requester has an earlier telling of, instead of re-shipping the
+        /// full body a digest already proved mostly redundant. Empty with
+        /// deltas off.
+        baselines: Vec<BaselineHint>,
     },
     /// The responder's answer: whatever it still holds of the requested
     /// ranges, plus its own digest so the requester can settle holes the
@@ -166,16 +235,41 @@ impl Payload for NewsWireMsg {
             NewsWireMsg::Forward { env, zone } => env.wire_size() + 2 * zone.depth(),
             NewsWireMsg::Deliver { env } => env.wire_size(),
             NewsWireMsg::ForwardAck { zone, .. } => 8 + 2 * zone.depth(),
-            NewsWireMsg::RepairRequest { highwater, .. } => 1 + highwater.len() * 10,
+            NewsWireMsg::RepairRequest { highwater, baselines, .. } => {
+                1 + highwater.len() * 10 + baselines.len() * BaselineHint::WIRE_SIZE
+            }
             NewsWireMsg::RepairReply { items } => {
                 items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
-            NewsWireMsg::ReconcileRequest { ranges, .. } => 2 + 4 + 8 + ranges.len() * 16,
+            NewsWireMsg::ReconcileRequest { ranges, baselines, .. } => {
+                2 + 4 + 8 + ranges.len() * 16 + baselines.len() * BaselineHint::WIRE_SIZE
+            }
             NewsWireMsg::ReconcileReply { items, attest, .. } => {
                 2 + 16
                     + attest.map_or(0, |a| a.wire_size())
                     + items.iter().map(|i| i.wire_size()).sum::<usize>()
             }
+        }
+    }
+
+    fn compressed_wire_size(&self) -> usize {
+        // Only item-bearing messages shrink under delta encoding; every
+        // other variant (and every unannotated item) prices identically to
+        // `wire_size`, so `bytes_wire == bytes_sent` wherever no delta
+        // applies.
+        match self {
+            NewsWireMsg::Forward { env, zone } => 4 + env.compressed_wire_size() + 2 * zone.depth(),
+            NewsWireMsg::Deliver { env } => 4 + env.compressed_wire_size(),
+            NewsWireMsg::RepairReply { items } => {
+                4 + items.iter().map(|i| i.compressed_wire_size()).sum::<usize>()
+            }
+            NewsWireMsg::ReconcileReply { items, attest, .. } => {
+                4 + 2
+                    + 16
+                    + attest.map_or(0, |a| a.wire_size())
+                    + items.iter().map(|i| i.compressed_wire_size()).sum::<usize>()
+            }
+            other => other.wire_size(),
         }
     }
 }
@@ -196,15 +290,51 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_item() {
-        let small = NewsWireMsg::RepairRequest { highwater: vec![], want_snapshot: false };
+        let small = NewsWireMsg::RepairRequest {
+            highwater: vec![],
+            want_snapshot: false,
+            baselines: vec![],
+        };
         let big = NewsWireMsg::RepairReply {
             items: vec![SignedItem {
                 item: NewsItem::builder(PublisherId(0), 0).body_len(5000).build(),
                 key: KeyId(1),
                 signature: Signature(2),
+                basis: None,
             }],
         };
         assert!(small.wire_size() < 16);
         assert!(big.wire_size() > 5000);
+        assert_eq!(small.compressed_wire_size(), small.wire_size());
+        assert_eq!(big.compressed_wire_size(), big.wire_size(), "no basis, no delta");
+    }
+
+    #[test]
+    fn delta_basis_shrinks_compressed_size_only() {
+        let item = NewsItem::builder(PublisherId(2), 9)
+            .slug("merger")
+            .revision(3, None)
+            .body_len(6000)
+            .build();
+        let full =
+            SignedItem { item: item.clone(), key: KeyId(1), signature: Signature(2), basis: None };
+        let delta = SignedItem {
+            item,
+            key: KeyId(1),
+            signature: Signature(2),
+            basis: Some(DeltaBasis { revision: 2, body_len: 6000 }),
+        };
+        // `bytes_sent` prices the full body either way (plus the tiny
+        // annotation); `bytes_wire` collapses to the changed chunks.
+        assert_eq!(delta.wire_size(), full.wire_size() + DeltaBasis::WIRE_SIZE);
+        assert_eq!(full.compressed_wire_size(), full.wire_size());
+        assert!(
+            delta.compressed_wire_size() < full.wire_size() / 2,
+            "adjacent-revision delta: {} vs {}",
+            delta.compressed_wire_size(),
+            full.wire_size()
+        );
+        let msg = NewsWireMsg::RepairReply { items: vec![delta] };
+        assert!(msg.compressed_wire_size() < msg.wire_size());
     }
 }

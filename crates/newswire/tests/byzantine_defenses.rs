@@ -103,8 +103,18 @@ fn repair_reply_funnel_refuses_forged_items_but_admits_signed_ones() {
     let genuine_sig = cred.sign(&genuine);
     let reply = NewsWireMsg::RepairReply {
         items: vec![
-            SignedItem { item: forged.clone(), key: KeyId(123), signature: Signature(456) },
-            SignedItem { item: genuine.clone(), key: cred.key_id(), signature: genuine_sig },
+            SignedItem {
+                item: forged.clone(),
+                key: KeyId(123),
+                signature: Signature(456),
+                basis: None,
+            },
+            SignedItem {
+                item: genuine.clone(),
+                key: cred.key_id(),
+                signature: genuine_sig,
+                basis: None,
+            },
         ],
     };
     let before = d.sim.node(VICTIM).stats.forged_rejects;

@@ -201,6 +201,27 @@ pub mod ctr {
         FORGED_ITEMS_INJECTED = 74, "forged_items_injected";
         /// Forged-delivery violations found by the oracle.
         ORACLE_FORGED_VIOLATIONS = 75, "oracle_forged_violations";
+        // -- delta wire protocol (all zero unless NEWSWIRE_DELTAS=1) --
+        /// Compressed wire bytes actually shipped (delta accounting model);
+        /// compare against `bytes_sent`, which always prices full bodies.
+        BYTES_WIRE = 76, "bytes_wire";
+        /// Item payloads sent as chunk deltas instead of full bodies.
+        DELTA_ITEMS_SENT = 77, "delta_items_sent";
+        /// Bytes saved by item chunk deltas vs full bodies.
+        DELTA_ITEM_BYTES_SAVED = 78, "delta_item_bytes_saved";
+        /// Item sends that fell back to full bodies (no usable baseline).
+        DELTA_FALLBACK_FULL = 79, "delta_fallback_full";
+        /// Delta envelopes deferred at delivery for lack of the baseline
+        /// (recovered later through anti-entropy).
+        DELTA_DEFERRED = 80, "delta_deferred";
+        /// Gossip rows shipped as stamp-refresh records (content unchanged).
+        GOSSIP_REFRESH_ROWS = 81, "gossip_refresh_rows";
+        /// Bytes saved by stamp-refresh records vs full row bodies.
+        GOSSIP_REFRESH_BYTES_SAVED = 82, "gossip_refresh_bytes_saved";
+        /// Partial (delta) digests sent in place of full digests.
+        GOSSIP_DELTA_DIGESTS = 83, "gossip_delta_digests";
+        /// Full-digest fallbacks (periodic safety net or generation gap).
+        GOSSIP_FULL_FALLBACKS = 84, "gossip_full_fallbacks";
     }
 }
 

@@ -86,6 +86,19 @@ pub use stats::{FaultCounters, Histogram, Summary, TrafficCounters};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DropCause, GrayProfile, LatencyModel, NetworkModel, Partition, RouteOutcome};
 
+/// True when the delta wire protocol is enabled for this process
+/// (`NEWSWIRE_DELTAS=1`).
+///
+/// Read once and cached: the flag selects a *deterministic arm* of the
+/// simulation (delta-encoded gossip, item chunk deltas, compressed-wire
+/// accounting), so flipping it mid-run is not supported. With the flag
+/// off, every delta code path is skipped and runs are byte-identical to
+/// builds that predate the delta protocol.
+pub fn delta_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::var("NEWSWIRE_DELTAS").is_ok_and(|v| v == "1"))
+}
+
 #[cfg(test)]
 mod proptests {
     use super::*;

@@ -173,6 +173,18 @@ pub enum LiarAction {
 pub trait Payload {
     /// Approximate serialized size of this message, in bytes.
     fn wire_size(&self) -> usize;
+
+    /// Size after the delta/compression accounting model, in bytes.
+    ///
+    /// Defaults to [`Payload::wire_size`]; message types that can ship a
+    /// payload as a delta against receiver-held state (see the newswire
+    /// delta protocol) override this to report the smaller figure. The
+    /// engine tallies it into the `bytes_wire` counter only when
+    /// [`delta_mode`](crate::delta_mode) is on, so deltas-off runs stay
+    /// byte-identical.
+    fn compressed_wire_size(&self) -> usize {
+        self.wire_size()
+    }
 }
 
 impl Payload for () {

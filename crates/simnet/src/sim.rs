@@ -152,6 +152,11 @@ struct Shard<N: Node> {
     node_rngs: Vec<SmallRng>,
     disks: Vec<Disk>,
     crash_unsynced_loss: usize,
+    /// Whether `BYTES_WIRE` (the compressed-wire accounting lane) is
+    /// tallied alongside `BYTES_SENT`. Defaults to [`crate::delta_mode`];
+    /// overridable per instance so one process can compare delta-on and
+    /// delta-off arms.
+    delta_accounting: bool,
     /// This shard's copy of the network model (control events are broadcast,
     /// so every copy applies the same mutations in the same key order).
     net: NetworkModel,
@@ -339,6 +344,15 @@ impl<N: Node> Shard<N> {
                         if let Some(c) = hub.node_mut(id.index()) {
                             c.ctr_add(ctr::MSGS_SENT, 1);
                             c.ctr_add(ctr::BYTES_SENT, size as u64);
+                            // `bytes_sent` always prices full payloads;
+                            // `bytes_wire` is what the delta accounting
+                            // model says actually crossed the wire. Only
+                            // tallied in delta mode so deltas-off telemetry
+                            // stays byte-identical (zero counters are
+                            // skipped by every exporter).
+                            if self.delta_accounting {
+                                c.ctr_add(ctr::BYTES_WIRE, msg.compressed_wire_size() as u64);
+                            }
                         }
                     }
                     let route = {
@@ -764,6 +778,8 @@ pub struct Simulation<N: Node> {
     /// How many of the newest unsynced disk writes a crash destroys
     /// (default: all of them).
     crash_unsynced_loss: usize,
+    /// Whether sends also tally `BYTES_WIRE` (compressed-wire accounting).
+    delta_accounting: bool,
     /// Sharded-mode `b`-key counter for externally scheduled events.
     ext_seq: u64,
     total: u32,
@@ -821,6 +837,7 @@ impl<N: Node> Simulation<N> {
             invariant,
             shard_target,
             crash_unsynced_loss: usize::MAX,
+            delta_accounting: crate::delta_mode(),
             ext_seq: 0,
             total: 0,
             per: 1,
@@ -966,6 +983,17 @@ impl<N: Node> Simulation<N> {
         self.crash_unsynced_loss = k;
         for sh in &mut self.shards {
             sh.crash_unsynced_loss = k;
+        }
+    }
+
+    /// Enables or disables the compressed-wire accounting lane
+    /// (`BYTES_WIRE`) independently of the `NEWSWIRE_DELTAS` environment
+    /// switch, so one process can run a delta arm and a full arm
+    /// back-to-back (E20). Defaults to [`crate::delta_mode`].
+    pub fn set_delta_accounting(&mut self, on: bool) {
+        self.delta_accounting = on;
+        for sh in &mut self.shards {
+            sh.delta_accounting = on;
         }
     }
 
@@ -1297,6 +1325,7 @@ impl<N: Node> Simulation<N> {
                 node_rngs: rngs.by_ref().take(count).collect(),
                 disks: disks.by_ref().take(count).collect(),
                 crash_unsynced_loss: self.crash_unsynced_loss,
+                delta_accounting: self.delta_accounting,
                 net: self.net.clone(),
                 net_rng: fork(self.seed, u64::MAX),
                 net_rngs: if self.invariant {

@@ -284,6 +284,7 @@ fn same_seed_byzantine_run_drains_identical_telemetry() {
                     item: forged,
                     key: KeyId(123),
                     signature: Signature(456),
+                    basis: None,
                 }],
             },
         );
