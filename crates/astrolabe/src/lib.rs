@@ -68,7 +68,7 @@ pub use agg::{
     eval_predicate, eval_scalar, parse_predicate, parse_program, run_program, AggProgram,
     EvalError, Expr, ParseAggError, RowSource,
 };
-pub use cert::{Certificate, KeyId, SecretKey, Signature, TrustRegistry};
+pub use cert::{Certificate, KeyId, RotationRecord, SecretKey, Signature, TrustRegistry};
 pub use config::{AggSpec, Config, DELTA_FULL_EXCHANGE_PERIOD};
 pub use mib::{AttrName, Mib, MibBuilder, Stamp};
 pub use simnode::AstroNode;

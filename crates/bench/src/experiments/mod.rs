@@ -21,6 +21,7 @@ pub mod e16_recovery;
 pub mod e17_adversary;
 pub mod e18_byzantine;
 pub mod e20_wire;
+pub mod e21_trust_rotation;
 
 pub(crate) mod support {
     //! Shared deployment builders for the experiments.

@@ -20,9 +20,9 @@ mod table;
 pub use table::Table;
 
 /// Experiment ids in run order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e16",
-    "e17", "e18", "e20", "a1",
+    "e17", "e18", "e20", "e21", "a1",
 ];
 
 /// Runs one experiment by id (`"e1"`…`"e18"`); `quick` shrinks problem
@@ -47,6 +47,7 @@ pub fn run(id: &str, quick: bool) -> bool {
         "e17" => experiments::e17_adversary::run(quick),
         "e18" => experiments::e18_byzantine::run(quick),
         "e20" => experiments::e20_wire::run(quick),
+        "e21" => experiments::e21_trust_rotation::run(quick),
         "a1" => experiments::a01_models::run(quick),
         _ => return false,
     }

@@ -104,6 +104,17 @@ pub fn verify_epoch_attest(
 }
 
 impl PublisherCredential {
+    /// Assembles a credential from a certificate and its secret key.
+    ///
+    /// Two callers: the deployment builder pairing a rotation record's
+    /// successor certificate with its key, and the fault engine pairing a
+    /// publisher's real certificate with a key *stolen* from the registry
+    /// (the signatures it produces are indistinguishable from the
+    /// publisher's own — that is the attack).
+    pub fn from_parts(certificate: Certificate, key: SecretKey) -> Self {
+        PublisherCredential { certificate, key }
+    }
+
     /// The publisher id bound into the certificate.
     ///
     /// # Panics

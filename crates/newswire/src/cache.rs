@@ -177,6 +177,17 @@ impl MessageCache {
         }
     }
 
+    /// Evicts `id` unconditionally, bypassing policy. Used by the
+    /// trust-root rotation retroactive purge (DESIGN §15): items admitted
+    /// under a key that has since been revoked are unverifiable history and
+    /// must not be served to repair or reconcile peers. Returns whether the
+    /// item was present.
+    pub fn purge(&mut self, id: ItemId) -> bool {
+        let present = self.items.contains_key(&id);
+        self.remove(id);
+        present
+    }
+
     /// Garbage-collects items older than the policy's `max_age`.
     /// Returns how many were collected.
     pub fn gc(&mut self, now: SimTime) -> usize {

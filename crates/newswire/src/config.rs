@@ -113,6 +113,17 @@ pub struct NewsWireConfig {
     /// with it off every message is byte-identical to builds without the
     /// delta protocol.
     pub deltas: bool,
+    /// Sybil admission control (DESIGN §15): leaf-zone member rows must
+    /// carry a registry-endorsed join ticket (`sys$jt` attribute), rows
+    /// without one are refused at gossip ingest and tracked in a bounded
+    /// probation set, and brand-new identities are refused outright once
+    /// the leaf zone holds `zone_quota` members. Off by default — it adds
+    /// a ticket attribute to every member row, so legacy runs stay
+    /// byte-identical.
+    pub admission: bool,
+    /// Maximum leaf-zone identities admitted when `admission` is on;
+    /// beyond this, previously unseen member rows are refused.
+    pub zone_quota: usize,
 }
 
 impl NewsWireConfig {
@@ -139,6 +150,8 @@ impl NewsWireConfig {
             defenses: true,
             quarantine_threshold: 3,
             deltas: simnet::delta_mode(),
+            admission: false,
+            zone_quota: 64,
         }
     }
 

@@ -7,13 +7,13 @@
 
 use std::sync::Arc;
 
-use astrolabe::{TrustRegistry, ZoneId, ZoneLayout};
+use astrolabe::{RotationRecord, TrustRegistry, ZoneId, ZoneLayout};
 use newsml::{Category, NewsItem, PublisherId, PublisherProfile, Zipf};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use simnet::{fork, LatencyModel, NetworkModel, NodeId, SimDuration, SimTime, Simulation, Summary};
 
-use crate::auth::issue_publisher;
+use crate::auth::{issue_publisher, PublisherCredential};
 use crate::config::NewsWireConfig;
 use crate::node::{NewsWireNode, NodeStats};
 use crate::subscription::Subscription;
@@ -131,6 +131,31 @@ impl DeploymentBuilder {
                 spec.rate_per_min,
             ));
         }
+        // Trust-root rotation (DESIGN §15): while the registry is still
+        // mutable, pre-issue one signed rotation record per publisher —
+        // revoking the launch key and endorsing a successor whose claims
+        // mirror the original credential's. The records sit inert in the
+        // deployment until `schedule_rotation` injects one; deployments
+        // that never rotate behave exactly as before (issuance touches
+        // only the registry's own counter, not the simulation's seed
+        // streams).
+        let mut rotations = Vec::new();
+        for (spec, cred) in self.publishers.iter().zip(&creds) {
+            let claims = vec![
+                ("publisher".to_owned(), spec.profile.id.0.to_string()),
+                ("scope".to_owned(), spec.scope.to_string()),
+                ("rate".to_owned(), spec.rate_per_min.to_string()),
+            ];
+            let (record, key) = registry.issue_rotation(
+                cred.certificate.subject.clone(),
+                cred.certificate.key,
+                0,
+                1,
+                claims,
+            );
+            let successor = PublisherCredential::from_parts(record.successor.clone(), key);
+            rotations.push((spec.profile.id, record, successor));
+        }
         let registry = Arc::new(registry);
         // Signed epoch authority (DESIGN §12): every node ships with the
         // publishers' certificates and epoch-0 attestations pre-installed,
@@ -200,7 +225,15 @@ impl DeploymentBuilder {
             sim.add_node(node);
         }
 
-        Deployment { sim, layout, publishers, config: self.config, specs: self.publishers }
+        Deployment {
+            sim,
+            layout,
+            publishers,
+            config: self.config,
+            specs: self.publishers,
+            rotations,
+            revocation_at: None,
+        }
     }
 }
 
@@ -248,6 +281,13 @@ pub struct Deployment {
     /// The configuration the deployment was built with.
     pub config: NewsWireConfig,
     specs: Vec<PublisherSpec>,
+    /// Pre-issued rotation records and successor credentials, one per
+    /// publisher, injectable via [`Deployment::schedule_rotation`].
+    rotations: Vec<(PublisherId, RotationRecord, PublisherCredential)>,
+    /// When a rotation was injected (the revocation instant), if any. The
+    /// invariant oracle reads this to split forged deliveries into
+    /// pre-revocation exposure and post-revocation violations.
+    pub revocation_at: Option<SimTime>,
 }
 
 impl Deployment {
@@ -309,6 +349,54 @@ impl Deployment {
                 predicate: Some(predicate.to_owned()),
             },
         );
+    }
+
+    /// Injects `publisher`'s pre-issued rotation record at `at`: the
+    /// successor credential goes to the publisher node (which re-keys and
+    /// re-attests its current epoch), and bare records go to `seeds`
+    /// evenly-spaced subscriber nodes, from which the revocation spreads
+    /// epidemically (gossip rider plus `sys$rot:` row attributes). Records
+    /// [`Deployment::revocation_at`] for the oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the publisher is not part of this deployment.
+    pub fn schedule_rotation(&mut self, at: SimTime, publisher: PublisherId, seeds: u32) {
+        let (_, record, successor) = self
+            .rotations
+            .iter()
+            .find(|(p, _, _)| *p == publisher)
+            .expect("unknown publisher")
+            .clone();
+        let publisher_node = self.publisher_node(publisher);
+        self.sim.schedule_external(
+            at,
+            publisher_node,
+            NewsWireMsg::Rotate { record: record.clone(), credential: Some(successor) },
+        );
+        let n = self.sim.len() as u32;
+        let first_sub = self.publishers.len() as u32;
+        let subs = n.saturating_sub(first_sub);
+        for k in 0..seeds.min(subs) {
+            let node = NodeId(first_sub + k * subs / seeds.max(1));
+            self.sim.schedule_external(
+                at,
+                node,
+                NewsWireMsg::Rotate { record: record.clone(), credential: None },
+            );
+        }
+        self.revocation_at = Some(at);
+    }
+
+    /// How long the trust root stayed exposed after the revocation was
+    /// injected: the time from [`Deployment::revocation_at`] to the last
+    /// node's adoption of a rotation record — the epidemic propagation lag
+    /// during which not-yet-reached nodes still honor the stolen key.
+    /// `None` before any rotation was scheduled.
+    pub fn compromise_exposure_window(&self) -> Option<SimDuration> {
+        let at = self.revocation_at?;
+        let last = self.sim.iter().filter_map(|(_, n)| n.rotation_adopted_at).max().unwrap_or(at);
+        Some(last.saturating_since(at))
     }
 
     /// Nodes whose subscription matches `item` (ground truth, exact).
@@ -390,6 +478,9 @@ impl Deployment {
             t.forged_rejects += s.forged_rejects;
             t.signed_epoch_refusals += s.signed_epoch_refusals;
             t.peers_quarantined += s.peers_quarantined;
+            t.revoked_key_rejects += s.revoked_key_rejects;
+            t.retro_purged += s.retro_purged;
+            t.probation_holds += s.probation_holds;
             t.peak_queue = t.peak_queue.max(s.peak_queue);
         }
         t

@@ -10,7 +10,7 @@
 //! [`PublisherCredential`] — the restricted publisher application of §8
 //! (authentication, flow control, scoped publishing).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 use amcast::{
@@ -18,7 +18,8 @@ use amcast::{
     ForwardingQueues, LogRecord, RangeSummary, SeqLog,
 };
 use astrolabe::{
-    Agent, AttrValue, Certificate, GossipMsg, KeyId, Mib, Signature, TrustRegistry, ZoneId,
+    Agent, AttrValue, Certificate, GossipMsg, KeyId, Mib, MibBuilder, RotationRecord, Signature,
+    Stamp, TableRows, TrustRegistry, ZoneId,
 };
 use filters::BitArray;
 use newsml::{Category, ItemId, NewsItem, PublisherId};
@@ -140,6 +141,17 @@ pub struct NodeStats {
     /// Peers quarantined after their misbehavior score crossed the
     /// threshold.
     pub peers_quarantined: u64,
+    /// Admissions refused because the signing key-epoch was revoked by an
+    /// adopted rotation record — any of the five admission paths (DESIGN
+    /// §15). Distinct from `forged_rejects`: the signature *verifies*, the
+    /// key is just no longer trusted.
+    pub revoked_key_rejects: u64,
+    /// Cached items retroactively purged because the key that signed them
+    /// was revoked after their admission.
+    pub retro_purged: u64,
+    /// Unendorsed identities placed in the bounded probation set by Sybil
+    /// admission control.
+    pub probation_holds: u64,
 }
 
 /// Metadata key carrying the publisher's §8 dissemination predicate.
@@ -166,6 +178,24 @@ const ACK_TAG_BASE: u64 = 1 << 32;
 /// digests ride on the rows Astrolabe already gossips — anti-entropy hole
 /// detection costs no extra message types.
 pub const AE_ATTR_PREFIX: &str = "sys$ae:";
+
+/// Prefix of the gossip-row attributes carrying adopted trust-root
+/// rotation records (`sys$rot:<publisher>` → [`RotationRecord::encode`]
+/// output). Revocation propagates on the rows Astrolabe already gossips,
+/// doubled by a rider on every outgoing gossip message (DESIGN §15).
+pub const ROT_ATTR_PREFIX: &str = "sys$rot:";
+
+/// Row attribute carrying a node's registry-endorsed join ticket — the CA
+/// signature over its identity, hex-encoded. Consulted by Sybil admission
+/// control when `admission` is on.
+pub const JOIN_TICKET_ATTR: &str = "sys$jt";
+
+/// Identity base used by the Sybil-flood adversary for fabricated member
+/// rows; experiment verdicts scan honest tables for ids at or above this.
+pub const SYBIL_ID_BASE: u32 = 0x5B11_0000;
+
+/// Bound on the probation set tracking refused unendorsed identities.
+const PROBATION_CAP: usize = 256;
 
 /// Entries retained per per-publisher article log.
 const ARTICLE_LOG_CAPACITY: usize = 8192;
@@ -308,6 +338,38 @@ pub struct NewsWireNode {
     /// replies, digest contradictions). Crossing
     /// `cfg.quarantine_threshold` quarantines the peer from selection.
     misbehavior: HashMap<u32, u32>,
+    /// Revoked `(publisher, key)` pairs from adopted rotation records —
+    /// the fence every admission path consults *before* signature
+    /// verification (a stolen key signs validly; DESIGN §15).
+    revoked: HashSet<(PublisherId, KeyId)>,
+    /// Highest rotation serial adopted per publisher: the freshness fence
+    /// (an older record cannot un-revoke a newer one).
+    rotation_serials: HashMap<PublisherId, u32>,
+    /// Adopted rotation records, in deterministic publisher order for
+    /// persistence and re-publication.
+    rotations: BTreeMap<PublisherId, Arc<RotationRecord>>,
+    /// The most recently adopted record, re-announced as a rider on every
+    /// outgoing gossip message.
+    rotation_rider: Option<Arc<RotationRecord>>,
+    /// Trusted certificates per `(publisher, key)` beyond the primary —
+    /// how a successor certificate learned from a verified envelope
+    /// coexists with a not-yet-rotated primary, so honest relays of
+    /// new-key items never take forgery strikes.
+    alt_certs: HashMap<(PublisherId, KeyId), Certificate>,
+    /// Pre-rotation primaries, retained for the `StolenKey` adversary arm
+    /// (the attacker keeps the compromised key after the victim re-keys);
+    /// never consulted by any admission path.
+    retired_certs: HashMap<PublisherId, Certificate>,
+    /// Unendorsed identities refused by Sybil admission control, bounded
+    /// by [`PROBATION_CAP`]. Refused rows never enter the tables, so
+    /// probationers cannot influence epoch consensus, representative
+    /// election, or repair/reconcile peer selection.
+    probation: BTreeSet<u32>,
+    /// When this node last adopted a rotation record (simulated time).
+    /// The oracle uses it to split forged deliveries into sanctioned
+    /// exposure (before the revocation reached this node) and true
+    /// violations (the fence was armed and failed anyway).
+    pub rotation_adopted_at: Option<SimTime>,
 }
 
 impl NewsWireNode {
@@ -316,7 +378,7 @@ impl NewsWireNode {
         let strategy = cfg.strategy;
         let cache = MessageCache::new(cfg.cache);
         agent.set_ingest_validation(cfg.defenses);
-        NewsWireNode {
+        let mut node = NewsWireNode {
             agent,
             cfg,
             registry,
@@ -347,7 +409,31 @@ impl NewsWireNode {
             item_sigs: HashMap::new(),
             authority: HashMap::new(),
             misbehavior: HashMap::new(),
+            revoked: HashSet::new(),
+            rotation_serials: HashMap::new(),
+            rotations: BTreeMap::new(),
+            rotation_rider: None,
+            alt_certs: HashMap::new(),
+            retired_certs: HashMap::new(),
+            probation: BTreeSet::new(),
+            rotation_adopted_at: None,
+        };
+        node.publish_join_ticket();
+        node
+    }
+
+    /// Publishes this node's registry-endorsed join ticket (`sys$jt`) into
+    /// its own MIB row — the credential Sybil admission control demands of
+    /// every leaf-zone member. The registry stands in for the CA: a real
+    /// node obtained its endorsement at join time; fabricated identities
+    /// have no ticket to show. No-op with admission off, keeping legacy
+    /// rows (and wire bytes) unchanged.
+    fn publish_join_ticket(&mut self) {
+        if !self.cfg.admission {
+            return;
         }
+        let ticket = self.registry.endorse_join(self.agent.id());
+        self.agent.set_local_attr(JOIN_TICKET_ATTR, format!("{:016x}", ticket.0));
     }
 
     /// Equips the node as a publisher (the §8 producer application).
@@ -393,6 +479,13 @@ impl NewsWireNode {
     /// authority by pairing a fabricated attestation with its own (valid)
     /// certificate for a different publisher id.
     fn absorb_attest(&mut self, attest: &EpochAttest) {
+        // Admission path 5: an attestation signed by a revoked key-epoch
+        // carries no authority, however valid the signature (a compromised
+        // key attests bogus epochs that verify).
+        if self.cfg.defenses && self.key_revoked(attest.publisher, attest.key) {
+            self.note_revoked_reject(5, attest.publisher);
+            return;
+        }
         if self.authority.get(&attest.publisher).is_some_and(|held| held.epoch >= attest.epoch) {
             return;
         }
@@ -405,6 +498,267 @@ impl NewsWireNode {
     /// The publisher-signed authority epoch, when an attestation is held.
     fn authority_epoch(&self, publisher: PublisherId) -> Option<u32> {
         self.authority.get(&publisher).map(|a| a.epoch)
+    }
+
+    /// True when `key` for `publisher` has been revoked by an adopted
+    /// rotation record. Every admission path checks this *before*
+    /// signature verification — a compromised key signs validly, so the
+    /// registry check alone cannot refuse it.
+    fn key_revoked(&self, publisher: PublisherId, key: KeyId) -> bool {
+        self.revoked.contains(&(publisher, key))
+    }
+
+    /// Accounts a revoked-key rejection on admission `path` (1 envelopes,
+    /// 2 repair replies, 3 reconcile replies, 4 disk restore, 5 epoch
+    /// attestations). Deliberately no misbehavior strike: honest peers
+    /// keep relaying items they admitted before the revocation reached
+    /// them, and striking them would quarantine the honest majority.
+    fn note_revoked_reject(&mut self, path: u64, publisher: PublisherId) {
+        self.stats.revoked_key_rejects += 1;
+        obs::metric_add!(self.agent.id(), ctr::NW_REVOKED_KEY_REJECTS, 1);
+        obs::trace_event!(
+            self.agent.id(),
+            Layer::News,
+            kind::REVOKED_KEY_REJECT,
+            path,
+            u64::from(publisher.0)
+        );
+    }
+
+    /// Admission path 1 (tree envelopes, `Forward` and `Deliver`): true
+    /// when the envelope's signing key is revoked and the envelope must be
+    /// dropped before verification — a revoked key-epoch signs *validly*.
+    /// Takes no misbehavior strike: the relay may be honest but behind on
+    /// the rotation.
+    fn envelope_fenced(&mut self, env: &Envelope) -> bool {
+        if self.cfg.defenses && self.key_revoked(env.item.id.publisher, env.key) {
+            self.note_revoked_reject(1, env.item.id.publisher);
+            return true;
+        }
+        false
+    }
+
+    /// The trusted certificate for `(publisher, key)`: the primary when
+    /// its key matches, otherwise an alternate learned from a verified
+    /// envelope (e.g. the rotation successor before this node adopts the
+    /// record).
+    fn cert_for(&self, publisher: PublisherId, key: KeyId) -> Option<&Certificate> {
+        match self.publisher_certs.get(&publisher) {
+            Some(cert) if cert.key == key => Some(cert),
+            _ => self.alt_certs.get(&(publisher, key)),
+        }
+    }
+
+    /// Verifies and adopts a trust-root rotation record (DESIGN §15).
+    /// Serial-fenced — an older record cannot un-revoke a newer one — and
+    /// registry-verified end to end (CA signature over the record plus the
+    /// successor certificate's own chain). On adoption: the revoked key
+    /// joins the fence set, the successor becomes the primary certificate
+    /// (the old primary retires), any held epoch attestation signed by the
+    /// revoked key is dropped, cached items admitted under the revoked key
+    /// are retroactively purged, and the record is re-published for
+    /// epidemic propagation (a `sys$rot:` row attribute plus the gossip
+    /// rider). Returns whether the record was adopted.
+    fn adopt_rotation(&mut self, record: &RotationRecord) -> bool {
+        if !self.cfg.defenses {
+            return false;
+        }
+        let Some(publisher) = record
+            .successor
+            .claim("publisher")
+            .and_then(|v| v.parse::<u16>().ok())
+            .map(PublisherId)
+        else {
+            return false;
+        };
+        if self.rotation_serials.get(&publisher).is_some_and(|&held| record.serial <= held) {
+            return false;
+        }
+        if !self.registry.verify_rotation(record) {
+            return false;
+        }
+        self.rotation_serials.insert(publisher, record.serial);
+        self.revoked.insert((publisher, record.revoked));
+        self.alt_certs.remove(&(publisher, record.revoked));
+        if let Some(primary) = self.publisher_certs.get(&publisher) {
+            if primary.key == record.revoked {
+                self.retired_certs.insert(publisher, primary.clone());
+            }
+        }
+        self.publisher_certs.insert(publisher, record.successor.clone());
+        if self.authority.get(&publisher).is_some_and(|a| a.key == record.revoked) {
+            self.authority.remove(&publisher);
+        }
+        // Retroactive purge: items admitted under the key before its
+        // revocation horizon are unverifiable history and must not be
+        // served onward. Deliveries already made and the seen-log stay —
+        // the oracle accounts the exposure window separately.
+        let victims: Vec<ItemId> = self
+            .item_sigs
+            .iter()
+            .filter(|&(id, &(key, _))| id.publisher == publisher && key == record.revoked)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut purged = 0u64;
+        for id in victims {
+            self.item_sigs.remove(&id);
+            if self.cache.purge(id) {
+                purged += 1;
+            }
+        }
+        if purged > 0 {
+            self.stats.retro_purged += purged;
+            obs::metric_add!(self.agent.id(), ctr::NW_RETRO_PURGED_ITEMS, purged);
+            obs::trace_event!(
+                self.agent.id(),
+                Layer::News,
+                kind::RETRO_PURGE,
+                u64::from(publisher.0),
+                purged
+            );
+        }
+        obs::metric_add!(self.agent.id(), ctr::CERT_REVOCATIONS_SEEN, 1);
+        obs::trace_event!(
+            self.agent.id(),
+            Layer::News,
+            kind::CERT_REVOKED,
+            u64::from(publisher.0),
+            u64::from(record.serial)
+        );
+        let record = Arc::new(record.clone());
+        self.agent.set_local_attr(&format!("{ROT_ATTR_PREFIX}{}", publisher.0), record.encode());
+        self.rotations.insert(publisher, Arc::clone(&record));
+        self.rotation_rider = Some(record);
+        self.rotation_adopted_at = Some(self.clock);
+        true
+    }
+
+    /// Scans an incoming gossip exchange for `sys$rot:` row attributes and
+    /// adopts any record that verifies — epidemic revocation propagation
+    /// on the rows Astrolabe already gossips, at no extra message cost.
+    fn scan_rotations(&mut self, g: &GossipMsg) {
+        if !self.cfg.defenses {
+            return;
+        }
+        let batches = match g {
+            GossipMsg::DigestReply { rows, .. } | GossipMsg::Rows { rows } => rows,
+            GossipMsg::Digest { .. } => return,
+        };
+        let mut found: Vec<RotationRecord> = Vec::new();
+        for batch in batches {
+            for (_, row) in &batch.rows {
+                for (name, value) in row.attrs() {
+                    if name.starts_with(ROT_ATTR_PREFIX) {
+                        if let Some(rec) = value.as_str().and_then(RotationRecord::decode) {
+                            found.push(rec);
+                        }
+                    }
+                }
+            }
+        }
+        for rec in found {
+            self.adopt_rotation(&rec);
+        }
+    }
+
+    /// Wraps an outgoing Astrolabe exchange with the rotation rider.
+    fn gossip_msg(&self, g: GossipMsg) -> NewsWireMsg {
+        NewsWireMsg::Gossip { g, rot: self.rotation_rider.clone() }
+    }
+
+    /// Sybil admission control (DESIGN §15), applied to incoming gossip
+    /// *before* the embedded agent merges it: leaf-zone member rows must
+    /// carry a registry-endorsed join ticket, and previously unseen
+    /// identities are refused outright once the zone is at quota. Only
+    /// this node's own leaf zone is filtered — higher-level rows are
+    /// aggregates, not identities — and the single choke point protects
+    /// everything downstream that reads the leaf table: epoch consensus,
+    /// representative election, and repair/reconcile peer selection.
+    fn filter_sybil_rows(&mut self, g: &mut GossipMsg) {
+        if !self.cfg.admission {
+            return;
+        }
+        let batches = match g {
+            GossipMsg::DigestReply { rows, .. } | GossipMsg::Rows { rows } => rows,
+            GossipMsg::Digest { .. } => return,
+        };
+        let leaf = self.agent.chain()[0].clone();
+        let own_id = self.agent.id();
+        let known: HashSet<u32> = self
+            .agent
+            .table(0)
+            .iter()
+            .filter_map(|(_, row)| row.get("id").and_then(|v| v.as_i64()))
+            .filter_map(|v| u32::try_from(v).ok())
+            .collect();
+        let quota = self.cfg.zone_quota;
+        let mut members = known.len();
+        let mut refused: Vec<u32> = Vec::new();
+        let registry = &self.registry;
+        for batch in batches.iter_mut() {
+            if batch.zone != leaf {
+                continue;
+            }
+            batch.rows.retain(|(_, row)| {
+                let Some(id) =
+                    row.get("id").and_then(|v| v.as_i64()).and_then(|v| u32::try_from(v).ok())
+                else {
+                    // Structurally invalid rows are the ingest validator's
+                    // problem, not admission control's.
+                    return true;
+                };
+                if id == own_id {
+                    return true;
+                }
+                let endorsed = row
+                    .get(JOIN_TICKET_ATTR)
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .is_some_and(|sig| registry.verify_join(id, Signature(sig)));
+                if !endorsed {
+                    refused.push(id);
+                    return false;
+                }
+                if !known.contains(&id) {
+                    if members >= quota {
+                        refused.push(id);
+                        return false;
+                    }
+                    members += 1;
+                }
+                true
+            });
+        }
+        for id in refused {
+            obs::metric_add!(self.agent.id(), ctr::SYBIL_JOINS_REFUSED, 1);
+            if self.probation.len() < PROBATION_CAP && self.probation.insert(id) {
+                self.stats.probation_holds += 1;
+                obs::metric_add!(self.agent.id(), ctr::NW_PROBATION_HOLDS, 1);
+                obs::trace_event!(
+                    self.agent.id(),
+                    Layer::News,
+                    kind::PROBATION_HOLD,
+                    u64::from(id),
+                    self.probation.len() as u64
+                );
+            }
+        }
+    }
+
+    /// True when `peer` currently holds a leaf-table row carrying a valid
+    /// registry-endorsed join ticket. Vacuously true with admission off.
+    fn peer_endorsed(&self, peer: u32) -> bool {
+        if !self.cfg.admission {
+            return true;
+        }
+        self.agent.table(0).iter().any(|(_, row)| {
+            row.get("id").and_then(|v| v.as_i64()).and_then(|v| u32::try_from(v).ok()) == Some(peer)
+                && row
+                    .get(JOIN_TICKET_ATTR)
+                    .and_then(|v| v.as_str())
+                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                    .is_some_and(|sig| self.registry.verify_join(peer, Signature(sig)))
+        })
     }
 
     /// Publisher-side state, when this node is a publisher.
@@ -436,6 +790,23 @@ impl NewsWireNode {
     /// True when the item with `id` has been delivered to the application.
     pub fn has_item(&self, id: ItemId) -> bool {
         self.deliveries.iter().any(|d| d.item == id)
+    }
+
+    /// Snapshot of the servable article state: every cached item paired
+    /// with the key and signature vouching for it, sorted by id. Two nodes
+    /// with equal snapshots serve byte-identical content onward — the
+    /// comparison surface for the post-revocation equivalence test
+    /// (`tests/revocation.rs`): after a retroactive purge, nothing signed
+    /// by the revoked key may remain servable, compromised run or not.
+    pub fn served_articles(&self) -> Vec<(ItemId, u64, u64)> {
+        let mut out: Vec<(ItemId, u64, u64)> = self
+            .item_sigs
+            .iter()
+            .filter(|(id, _)| self.cache.contains(**id))
+            .map(|(&id, &(key, sig))| (id, key.0, sig.0))
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// The per-publisher article log, when anything from `publisher` has
@@ -813,9 +1184,23 @@ impl NewsWireNode {
     /// node can serve the item onward with proof), and the envelope's
     /// signed epoch attestation when it is newer than the one held.
     fn learn_from_envelope(&mut self, env: &Envelope) {
-        self.publisher_certs
-            .entry(env.item.id.publisher)
-            .or_insert_with(|| env.certificate.clone());
+        let publisher = env.item.id.publisher;
+        match self.publisher_certs.get(&publisher) {
+            None => {
+                self.publisher_certs.insert(publisher, env.certificate.clone());
+            }
+            Some(held) if held.key != env.certificate.key => {
+                // A verified envelope under a key other than the held
+                // primary — e.g. the rotation successor reaching this node
+                // before the rotation record does. Trust it as an
+                // alternate so bare items under the new key verify without
+                // forgery strikes against honest relays.
+                self.alt_certs
+                    .entry((publisher, env.certificate.key))
+                    .or_insert_with(|| env.certificate.clone());
+            }
+            Some(_) => {}
+        }
         self.item_sigs.insert(env.item.id, (env.key, env.signature));
         self.absorb_attest(&env.attest);
     }
@@ -824,8 +1209,7 @@ impl NewsWireNode {
     /// certificate for its publisher (false when no certificate is known —
     /// fail closed: defended nodes are deployed with the certificates).
     fn bare_item_ok(&self, item: &NewsItem, key: KeyId, sig: Signature) -> bool {
-        self.publisher_certs
-            .get(&item.id.publisher)
+        self.cert_for(item.id.publisher, key)
             .is_some_and(|cert| verify_bare_item(&self.registry, cert, item, key, sig))
     }
 
@@ -844,6 +1228,13 @@ impl NewsWireNode {
         from: NodeId,
         path: u64,
     ) {
+        // Revoked key-epoch first (paths 2 and 3): the signature would
+        // *verify* — the key is just no longer trusted — so this fence
+        // must come before the forgery check, and without a strike.
+        if self.cfg.defenses && self.key_revoked(item.id.publisher, key) {
+            self.note_revoked_reject(path, item.id.publisher);
+            return;
+        }
         if self.cfg.defenses && self.cfg.verify_signatures && !self.bare_item_ok(&item, key, sig) {
             self.stats.forged_rejects += 1;
             obs::metric_add!(self.agent.id(), ctr::NW_FORGED_REJECTS, 1);
@@ -872,6 +1263,14 @@ impl NewsWireNode {
     ) -> u64 {
         let mut restored = 0u64;
         for (item, key, sig) in items {
+            // Admission path 4: a disk snapshot written before a
+            // revocation must not resurrect items signed by the revoked
+            // key-epoch (rotations restore *before* items, so the fence is
+            // armed when this runs).
+            if self.cfg.defenses && self.key_revoked(item.id.publisher, key) {
+                self.note_revoked_reject(4, item.id.publisher);
+                continue;
+            }
             if self.cfg.defenses
                 && self.cfg.verify_signatures
                 && !self.bare_item_ok(&item, key, sig)
@@ -1536,8 +1935,13 @@ impl NewsWireNode {
         for peer in self.agent.take_incarnation_bumps() {
             self.peer_health.remove(&peer);
             // Misbehavior belonged to the previous life too: a reinstalled
-            // node is not the liar its predecessor was.
-            self.misbehavior.remove(&peer);
+            // node is not the liar its predecessor was. But only an
+            // identity the registry still endorses earns the clean slate —
+            // before this check, any quarantined node could self-clear by
+            // restarting under a fresh incarnation (the §15 loophole).
+            if self.peer_endorsed(peer) {
+                self.misbehavior.remove(&peer);
+            }
         }
     }
 
@@ -1669,6 +2073,7 @@ impl NewsWireNode {
                 })
                 .collect(),
             deliveries: self.deliveries.clone(),
+            rotations: self.rotations.values().map(|r| r.encode()).collect(),
         }
     }
 
@@ -1688,6 +2093,10 @@ impl NewsWireNode {
             h = mix(h, log.floor());
             h = mix(h, log.next_seq());
             h = mix(h, log.len() as u64);
+        }
+        for (p, rec) in &self.rotations {
+            h = mix(h, u64::from(p.0));
+            h = mix(h, u64::from(rec.serial));
         }
         h
     }
@@ -1798,21 +2207,63 @@ impl Node for NewsWireNode {
         self.clock = ctx.now();
         self.note_alive(from, ctx.now());
         match msg {
-            NewsWireMsg::Gossip(g) => {
+            NewsWireMsg::Gossip { g, rot } => {
                 let now = ctx.now();
+                // Rider first, then row attributes: a revocation arriving
+                // with this very exchange fences its rows' attestations in
+                // the same round.
+                if let Some(rec) = rot {
+                    self.adopt_rotation(&rec);
+                }
+                self.scan_rotations(&g);
+                let mut g = g;
+                self.filter_sybil_rows(&mut g);
                 let out = self.agent.on_message(now, from.0, g, ctx.rng());
                 for (to, g) in out {
-                    ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
+                    let msg = self.gossip_msg(g);
+                    ctx.send(NodeId(to), msg);
                 }
                 // Any incarnation bumps the merge just surfaced clear peer
                 // suspicion immediately — within the same gossip round, not
                 // a tick later.
                 self.absorb_incarnation_bumps();
             }
+            NewsWireMsg::Rotate { record, credential } => {
+                // Ablation: with defenses off the rotation is a dead
+                // letter — the publisher keeps its compromised key and
+                // forged items verify for the full window.
+                if !self.cfg.defenses {
+                    return;
+                }
+                self.adopt_rotation(&record);
+                if let Some(cred) = credential {
+                    let matches_self = self
+                        .publisher
+                        .as_ref()
+                        .is_some_and(|p| p.credential.publisher() == cred.publisher());
+                    if matches_self {
+                        // The publisher itself re-keys: successor
+                        // certificate and a fresh attestation at the
+                        // current log epoch anchor the new authority, and
+                        // every item published from here signs with the
+                        // successor key.
+                        let publisher = cred.publisher();
+                        let epoch = self.article_logs.get(&publisher).map_or(0, |l| l.epoch());
+                        self.install_publisher_authority(
+                            cred.certificate.clone(),
+                            cred.attest_epoch(epoch),
+                        );
+                        self.publisher.as_mut().expect("publisher matched above").credential = cred;
+                    }
+                }
+            }
             NewsWireMsg::PublishRequest { item, scope, predicate } => {
                 self.handle_publish(ctx, item, scope, predicate)
             }
             NewsWireMsg::Forward { env, zone } => {
+                if self.envelope_fenced(&env) {
+                    return;
+                }
                 if !self.verify(&env) {
                     self.stats.auth_rejects += 1;
                     obs::metric_add!(self.agent.id(), ctr::NW_AUTH_REJECTS, 1);
@@ -1862,6 +2313,9 @@ impl Node for NewsWireNode {
                 }
             }
             NewsWireMsg::Deliver { env } => {
+                if self.envelope_fenced(&env) {
+                    return;
+                }
                 if !self.verify(&env) {
                     self.stats.auth_rejects += 1;
                     obs::metric_add!(self.agent.id(), ctr::NW_AUTH_REJECTS, 1);
@@ -1951,7 +2405,8 @@ impl Node for NewsWireNode {
                 self.publish_ae_digests();
                 let out = self.agent.on_tick(now, ctx.rng());
                 for (to, g) in out {
-                    ctx.send(NodeId(to), NewsWireMsg::Gossip(g));
+                    let msg = self.gossip_msg(g);
+                    ctx.send(NodeId(to), msg);
                 }
                 if self.cache.gc(now) > 0 {
                     // Signatures of evicted items are dead weight.
@@ -2127,10 +2582,25 @@ impl Node for NewsWireNode {
         self.gossip_ticks = 0;
         self.persisted_fingerprint = 0;
         self.backfill_this_recovery = 0;
+        // Rotation state is protocol state, not binary state: a cold
+        // process forgets adopted revocations and relearns them from disk
+        // (durable) or gossip (amnesiac). Forgetting is safe — the
+        // surviving `publisher_certs` primary is already the successor, and
+        // clearing `alt_certs`/`retired_certs` means old-key signatures
+        // simply fail certificate lookup instead of needing the fence.
+        self.revoked.clear();
+        self.rotation_serials.clear();
+        self.rotations.clear();
+        self.rotation_rider = None;
+        self.alt_certs.clear();
+        self.retired_certs.clear();
+        self.probation.clear();
+        self.rotation_adopted_at = None;
         // Retract gossiped advertisements describing pre-crash state the
         // new process does not hold; they are rebuilt below from whatever
         // the disk gives back.
         self.agent.remove_local_attrs(AE_ATTR_PREFIX);
+        self.agent.remove_local_attrs(ROT_ATTR_PREFIX);
 
         // Incarnation: read-modify-write against stable storage, floored
         // by simulated time so even an amnesiac restart (blank disk) moves
@@ -2157,6 +2627,9 @@ impl Node for NewsWireNode {
         };
         let sub = from_disk.unwrap_or_else(|| self.subscription.clone());
         self.set_subscription(sub);
+        // The join endorsement is identity-bound, not process-bound: the
+        // reborn process re-presents it or admission control refuses it.
+        self.publish_join_ticket();
         ctx.disk().write(DISK_KEY_SUB, persist::encode_subscription(&self.subscription));
 
         // Durable restart: restore the last synced `state` snapshot. Writes
@@ -2165,6 +2638,14 @@ impl Node for NewsWireNode {
         let mut restored = 0u64;
         if mode == RestartMode::ColdDurable {
             if let Some(state) = ctx.disk().read(DISK_KEY_STATE).and_then(persist::decode_state) {
+                // Re-arm the revocation fence *before* re-admitting items:
+                // restore is admission path 4, and a rotation adopted from
+                // disk must fence the very blob it rode in on.
+                for enc in &state.rotations {
+                    if let Some(rec) = RotationRecord::decode(enc) {
+                        self.adopt_rotation(&rec);
+                    }
+                }
                 restored = self.restore_cached_items(state.items, now);
                 self.deliveries = state.deliveries;
                 for ls in state.logs {
@@ -2282,6 +2763,96 @@ impl Node for NewsWireNode {
                 }
                 u64::from(entries) + 1
             }
+            CorruptionOp::StolenKey { publisher, items, attest_bump } => {
+                // The adversary holds the publisher's *real* signing key.
+                // Preferring the retired certificate over the primary keeps
+                // the attack honest across a rotation: after the victim
+                // re-keys, the stolen key is the *old* one, so its
+                // forgeries only verify on nodes that have not yet adopted
+                // the rotation.
+                let publisher = PublisherId(publisher);
+                let Some(cert) = self
+                    .retired_certs
+                    .get(&publisher)
+                    .or_else(|| self.publisher_certs.get(&publisher))
+                    .cloned()
+                else {
+                    return 0;
+                };
+                let Some(stolen) = self.registry.exfiltrate_key(cert.key) else { return 0 };
+                let cred = PublisherCredential::from_parts(cert, stolen);
+                let base = self.article_logs.get(&publisher).map_or(0, |l| l.next_seq());
+                let now = self.clock;
+                let mut hit = 0u64;
+                for k in 0..u64::from(items) {
+                    let seq = base + k;
+                    let item = NewsItem::builder(publisher, seq)
+                        .headline(format!("STOLEN-KEY dispatch {seq}"))
+                        .category(Category::Technology)
+                        .build();
+                    let sig = cred.sign(&item);
+                    self.log_seen(item.id);
+                    self.item_sigs.insert(item.id, (cred.key_id(), sig));
+                    self.cache.insert(item, now);
+                    hit += 1;
+                }
+                if attest_bump > 0 {
+                    // A bogus epoch attestation, validly signed with the
+                    // stolen key: the signed-authority defense *verifies*
+                    // it — only revocation (admission path 5) stops it.
+                    let log_epoch = self.article_logs.get(&publisher).map_or(0, |l| l.epoch());
+                    let epoch = self
+                        .authority_epoch(publisher)
+                        .unwrap_or(0)
+                        .max(log_epoch)
+                        .saturating_add(attest_bump);
+                    let attest = cred.attest_epoch(epoch);
+                    self.absorb_attest(&attest);
+                    hit += 1;
+                }
+                hit
+            }
+            CorruptionOp::SybilFlood { identities, publisher, epoch } => {
+                // Fabricated identities injected into this node's own leaf
+                // table under perfectly valid row structure: in-range
+                // label, required `id` attribute, fresh (non-future) stamp.
+                // The corrupt node merges its own message unconditionally;
+                // honest receivers with admission control on refuse the
+                // rows at gossip ingest for lacking a join ticket. Each
+                // Sybil advertises phantom coverage under the jointly
+                // fabricated epoch, pulling the unsigned neighbour
+                // consensus toward it.
+                let now = self.clock;
+                let branching = self.agent.config().branching;
+                let own = self.agent.own_label(0);
+                let digest = RangeSummary { epoch, floor: 0, next: 8, present: 8 }.encode();
+                let salt: u32 = rng.gen_range(0..0x1000);
+                let mut rows: Vec<(u16, Arc<Mib>)> = Vec::new();
+                let mut label = 0u16;
+                for k in 0..identities {
+                    if label == own {
+                        label += 1;
+                    }
+                    if label >= branching {
+                        break; // a leaf zone has only `branching` slots
+                    }
+                    let id = SYBIL_ID_BASE + salt * 64 + k;
+                    let row = MibBuilder::new()
+                        .attr("id", i64::from(id))
+                        .attr(format!("{AE_ATTR_PREFIX}{publisher}"), digest.clone())
+                        .build(Stamp { issued_us: now.as_micros(), version: 1, origin: id });
+                    rows.push((label, Arc::new(row)));
+                    label += 1;
+                }
+                if rows.is_empty() {
+                    return 0;
+                }
+                let injected = rows.len() as u64;
+                let zone = self.agent.chain()[0].clone();
+                let msg = GossipMsg::Rows { rows: vec![TableRows { zone, rows }] };
+                let _ = self.agent.on_message(now, self.agent.id(), msg, rng);
+                injected
+            }
             // Torn disk bytes are flipped by the engine (`Disk::corrupt`)
             // without consulting the node.
             CorruptionOp::DiskBytes { .. } => 0,
@@ -2331,7 +2902,7 @@ impl Node for NewsWireNode {
 /// Applies a per-row tampering function to every row batch of an outbound
 /// gossip message. Returns `Tampered` when any row was rewritten.
 fn tamper_gossip_rows(msg: &mut NewsWireMsg, lie: impl Fn(&Mib) -> Option<Arc<Mib>>) -> LiarAction {
-    let NewsWireMsg::Gossip(g) = msg else { return LiarAction::Pass };
+    let NewsWireMsg::Gossip { g, .. } = msg else { return LiarAction::Pass };
     let batches = match g {
         GossipMsg::DigestReply { rows, .. } | GossipMsg::Rows { rows } => rows,
         GossipMsg::Digest { .. } => return LiarAction::Pass,
@@ -2938,6 +3509,269 @@ mod tests {
         assert_eq!(n.stats.forged_rejects, 1);
     }
 
+    /// A node plus a pre-issued rotation for publisher 0: the original
+    /// credential, the signed revocation record, and the successor
+    /// credential — the unit-scale mirror of `DeploymentBuilder::build`.
+    fn node_with_rotation(
+        cfg: NewsWireConfig,
+    ) -> (
+        NewsWireNode,
+        crate::auth::PublisherCredential,
+        RotationRecord,
+        crate::auth::PublisherCredential,
+    ) {
+        let mut registry = TrustRegistry::new(1);
+        let cred = crate::auth::issue_publisher(
+            &mut registry,
+            PublisherId(0),
+            "slashdot",
+            &astrolabe::ZoneId::root(),
+            6000,
+        );
+        let claims = vec![
+            ("publisher".to_owned(), "0".to_owned()),
+            ("scope".to_owned(), astrolabe::ZoneId::root().to_string()),
+            ("rate".to_owned(), "6000".to_owned()),
+        ];
+        let (record, key) = registry.issue_rotation(
+            cred.certificate.subject.clone(),
+            cred.certificate.key,
+            0,
+            1,
+            claims,
+        );
+        let successor = crate::auth::PublisherCredential::from_parts(record.successor.clone(), key);
+        let layout = ZoneLayout::new(4, 4);
+        let agent = Agent::new(0, &layout, Config::standard(), vec![]);
+        let mut n = NewsWireNode::new(agent, cfg, Arc::new(registry));
+        n.install_publisher_authority(cred.certificate.clone(), cred.attest_epoch(0));
+        (n, cred, record, successor)
+    }
+
+    /// Adopting a rotation retires the old primary, installs the successor,
+    /// retroactively purges revoked-key items, and fences every admission
+    /// path — envelopes (1), repair replies (2), reconcile replies (3),
+    /// disk restore (4), and epoch attestations (5) — against signatures
+    /// that still verify under the stolen key. No path takes a misbehavior
+    /// strike (an honest relay may simply be behind on the rotation), and
+    /// the successor key is immediately live.
+    #[test]
+    fn adopt_rotation_fences_every_admission_path() {
+        let (mut n, cred, record, successor) = node_with_rotation(NewsWireConfig::tech_news());
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(1);
+
+        // Pre-revocation the compromised key IS the publisher's key: its
+        // items admit (the exposure the oracle sanctions) and its
+        // envelopes pass the fence.
+        let old = tech_item(0);
+        let old_sig = cred.sign(&old);
+        n.admit_bare_item(now, old.clone(), cred.key_id(), old_sig, NodeId(5), 2);
+        assert!(n.cache.contains(old.id));
+        let probe = tech_item(9);
+        let env = Envelope {
+            msg_id: msg_id_of(probe.id),
+            filter: FilterSpec::All,
+            scope: astrolabe::ZoneId::root(),
+            certificate: cred.certificate.clone(),
+            key: cred.key_id(),
+            signature: cred.sign(&probe),
+            attest: cred.attest_epoch(0),
+            basis: None,
+            item: probe,
+        };
+        assert!(!n.envelope_fenced(&env), "pre-revocation envelopes pass");
+
+        assert!(n.adopt_rotation(&record), "a genuine record adopts");
+        assert!(n.rotation_adopted_at.is_some());
+        assert_eq!(n.publisher_certs[&PublisherId(0)].key, successor.key_id());
+        assert_eq!(n.retired_certs[&PublisherId(0)].key, cred.key_id());
+        assert!(!n.cache.contains(old.id), "the retroactive purge scrubbed the item");
+        assert_eq!(n.stats.retro_purged, 1);
+        assert_eq!(n.authority_epoch(PublisherId(0)), None, "revoked-key authority dropped");
+
+        // Path 1: the same envelope is now fenced before verification.
+        assert!(n.envelope_fenced(&env), "path 1 drops revoked-key envelopes");
+        // Paths 2 and 3: a validly signed revoked-key item cannot re-enter
+        // through repair or reconcile replies.
+        let replay = tech_item(1);
+        let replay_sig = cred.sign(&replay);
+        n.admit_bare_item(now, replay.clone(), cred.key_id(), replay_sig, NodeId(5), 2);
+        assert!(!n.cache.contains(replay.id));
+        n.admit_bare_item(now, replay.clone(), cred.key_id(), replay_sig, NodeId(6), 3);
+        assert!(!n.cache.contains(replay.id));
+        // Path 4: the revoked-key blob is dropped on disk restore.
+        let restored =
+            n.restore_cached_items(vec![(replay.clone(), cred.key_id(), replay_sig)], now);
+        assert_eq!(restored, 0, "disk restore re-checks the fence");
+        // Path 5: a bogus epoch bump signed by the stolen key carries no
+        // authority.
+        n.absorb_attest(&cred.attest_epoch(40));
+        assert_eq!(n.authority_epoch(PublisherId(0)), None);
+        assert_eq!(n.stats.revoked_key_rejects, 5);
+        assert!(n.misbehavior.is_empty(), "revoked-key rejects never strike the relay");
+
+        // The successor credential is live on every path.
+        let fresh = tech_item(2);
+        let fresh_sig = successor.sign(&fresh);
+        n.admit_bare_item(now, fresh.clone(), successor.key_id(), fresh_sig, NodeId(5), 2);
+        assert!(n.cache.contains(fresh.id));
+        n.absorb_attest(&successor.attest_epoch(1));
+        assert_eq!(n.authority_epoch(PublisherId(0)), Some(1));
+    }
+
+    /// The freshness fence: rotation serials are monotonic per publisher —
+    /// an older (replayed) record cannot un-revoke a newer one, and a
+    /// record never adopts twice.
+    #[test]
+    fn rotation_freshness_fence_never_unrevokes() {
+        let (mut n, cred, older, _succ1) = node_with_rotation(NewsWireConfig::tech_news());
+        // A second, newer rotation for the same revoked key (serial 2).
+        let mut registry = TrustRegistry::new(1);
+        let cred2 = crate::auth::issue_publisher(
+            &mut registry,
+            PublisherId(0),
+            "slashdot",
+            &astrolabe::ZoneId::root(),
+            6000,
+        );
+        assert_eq!(cred2.certificate.key, cred.certificate.key, "issuance is deterministic");
+        let claims = vec![
+            ("publisher".to_owned(), "0".to_owned()),
+            ("scope".to_owned(), astrolabe::ZoneId::root().to_string()),
+            ("rate".to_owned(), "6000".to_owned()),
+        ];
+        let (newer, _) = registry.issue_rotation(
+            "publisher:slashdot".to_owned(),
+            cred2.certificate.key,
+            0,
+            2,
+            {
+                let mut c = claims.clone();
+                c.push(("note".to_owned(), "second".to_owned()));
+                c
+            },
+        );
+        assert!(n.adopt_rotation(&newer), "the serial-2 record adopts");
+        let primary = n.publisher_certs[&PublisherId(0)].key;
+        assert_eq!(primary, newer.successor.key);
+        assert!(!n.adopt_rotation(&older), "a replayed older serial is a no-op");
+        assert_eq!(n.publisher_certs[&PublisherId(0)].key, primary, "primary unchanged");
+        assert!(n.key_revoked(PublisherId(0), cred.key_id()), "the key stays revoked");
+        assert!(!n.adopt_rotation(&newer), "the same serial never adopts twice");
+        assert_eq!(n.rotation_serials[&PublisherId(0)], 2);
+    }
+
+    /// The §15 quarantine loophole, closed: with admission control on, an
+    /// incarnation bump clears phi suspicion but launders the misbehavior
+    /// score only when the restarted identity still holds a valid
+    /// registry-endorsed join ticket. A quarantined peer restarting
+    /// without one stays quarantined.
+    #[test]
+    fn unendorsed_restart_cannot_launder_quarantine() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        use rand::SeedableRng;
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.admission = true;
+        let (mut n, _cred, _rec, _succ) = node_with_rotation(cfg);
+        n.set_subscription(tech_sub());
+        let now = SimTime::from_secs(60);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+
+        n.note_misbehavior(NodeId(2), MISBEHAVIOR_FORGED);
+        n.note_misbehavior(NodeId(2), MISBEHAVIOR_FENCE);
+        assert!(n.quarantined(2));
+
+        // Restart under a fresh incarnation, no join ticket in the row.
+        let bare = MibBuilder::new().attr("id", 2i64).attr("incar", 5i64).build(Stamp {
+            issued_us: now.as_micros(),
+            version: 1,
+            origin: 2,
+        });
+        let leaf = n.agent.chain()[0].clone();
+        let msg = GossipMsg::Rows {
+            rows: vec![TableRows { zone: leaf.clone(), rows: vec![(2, Arc::new(bare))] }],
+        };
+        n.agent.on_message(now, 2, msg, &mut rng);
+        n.absorb_incarnation_bumps();
+        assert!(n.quarantined(2), "an unendorsed restart keeps its quarantine");
+
+        // The same restart carrying a valid ticket earns the clean slate.
+        let ticket = n.registry.endorse_join(2);
+        let endorsed = MibBuilder::new()
+            .attr("id", 2i64)
+            .attr("incar", 6i64)
+            .attr(JOIN_TICKET_ATTR, format!("{:016x}", ticket.0))
+            .build(Stamp { issued_us: now.as_micros() + 1, version: 2, origin: 2 });
+        let msg = GossipMsg::Rows {
+            rows: vec![TableRows { zone: leaf, rows: vec![(2, Arc::new(endorsed))] }],
+        };
+        n.agent.on_message(now, 2, msg, &mut rng);
+        n.absorb_incarnation_bumps();
+        assert!(!n.quarantined(2), "an endorsed restart clears the previous life's score");
+    }
+
+    /// Sybil admission control: leaf-zone rows without a valid
+    /// registry-endorsed join ticket are stripped from incoming gossip and
+    /// their ids held in the bounded probation set; endorsed rows pass
+    /// until the per-zone quota fills.
+    #[test]
+    fn sybil_rows_refused_and_held_in_probation() {
+        use astrolabe::{GossipMsg, MibBuilder, Stamp, TableRows};
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.admission = true;
+        let (mut n, _cred, _rec, _succ) = node_with_rotation(cfg);
+        let now = SimTime::from_secs(1);
+        let leaf = n.agent.chain()[0].clone();
+        let row = |id: u32, label: u16, ticket: Option<String>| {
+            let mut b = MibBuilder::new().attr("id", i64::from(id));
+            if let Some(t) = ticket {
+                b = b.attr(JOIN_TICKET_ATTR, t);
+            }
+            (label, Arc::new(b.build(Stamp { issued_us: now.as_micros(), version: 1, origin: id })))
+        };
+        let good = n.registry.endorse_join(31);
+        let mut g = GossipMsg::Rows {
+            rows: vec![TableRows {
+                zone: leaf.clone(),
+                rows: vec![
+                    row(30, 1, None),
+                    row(31, 2, Some(format!("{:016x}", good.0))),
+                    row(32, 3, Some("junk".to_owned())),
+                ],
+            }],
+        };
+        n.filter_sybil_rows(&mut g);
+        let GossipMsg::Rows { rows } = &g else { unreachable!() };
+        let kept: Vec<u32> = rows[0]
+            .rows
+            .iter()
+            .filter_map(|(_, r)| r.get("id").and_then(|v| v.as_i64()))
+            .map(|v| v as u32)
+            .collect();
+        assert_eq!(kept, vec![31], "only the endorsed row survives");
+        assert!(n.probation.contains(&30) && n.probation.contains(&32));
+        assert_eq!(n.stats.probation_holds, 2);
+
+        // Quota: even an endorsed identity is refused once the zone is
+        // full — a registry leak cannot flood a zone past its cap.
+        let mut cfg = NewsWireConfig::tech_news();
+        cfg.admission = true;
+        cfg.zone_quota = 0;
+        let (mut tight, _c, _r, _s) = node_with_rotation(cfg);
+        let endorsed = tight.registry.endorse_join(40);
+        let mut g = GossipMsg::Rows {
+            rows: vec![TableRows {
+                zone: tight.agent.chain()[0].clone(),
+                rows: vec![row(40, 1, Some(format!("{:016x}", endorsed.0)))],
+            }],
+        };
+        tight.filter_sybil_rows(&mut g);
+        let GossipMsg::Rows { rows } = &g else { unreachable!() };
+        assert!(rows[0].rows.is_empty(), "quota-full zone refuses even endorsed joiners");
+        assert!(tight.probation.contains(&40));
+    }
+
     /// The misbehavior score: strikes accumulate, the quarantine transition
     /// fires exactly once at the threshold, a quarantined peer is suspect
     /// without any phi history, and external inputs / defenses-off nodes
@@ -3080,9 +3914,15 @@ mod tests {
                 .attr("id", 2i64)
                 .attr(format!("{AE_ATTR_PREFIX}0"), digest.clone())
                 .build(Stamp { issued_us: 1_000_000, version: 1, origin: 2 });
-            NewsWireMsg::Gossip(GossipMsg::Rows {
-                rows: vec![TableRows { zone: leaf_zone.clone(), rows: vec![(2, Arc::new(row))] }],
-            })
+            NewsWireMsg::Gossip {
+                g: GossipMsg::Rows {
+                    rows: vec![TableRows {
+                        zone: leaf_zone.clone(),
+                        rows: vec![(2, Arc::new(row))],
+                    }],
+                },
+                rot: None,
+            }
         };
         let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
         let mut to_odd = make();

@@ -66,6 +66,24 @@ pub struct OracleReport {
     /// §12). Empty on every defended run; the Byzantine ablations exist to
     /// make this list fill up.
     pub forged_deliveries: Vec<Violation>,
+    /// Forged deliveries during the sanctioned key-compromise exposure
+    /// window (DESIGN §15): the delivering node had not yet adopted the
+    /// rotation record, so the stolen key was — from its vantage — still
+    /// the publisher's valid key. Not a violation; the run's exposure
+    /// metric. Only populated when the deployment scheduled a rotation.
+    pub compromise_exposure: Vec<Violation>,
+    /// Forged deliveries made by a node *after* it adopted the rotation
+    /// record revoking the forger's key — the fence was armed and failed
+    /// anyway. Always a violation; defended runs must keep this empty.
+    pub post_revocation_forged: Vec<Violation>,
+    /// Sanctioned re-deliveries after a retroactive purge (DESIGN §15): a
+    /// stolen key can squat the publisher's *future* sequence numbers, so
+    /// when the genuine item for such an id arrives post-rotation, the node
+    /// — whose tainted copy was purged — correctly admits and delivers it
+    /// again. At most one re-delivery per id is sanctioned, and only when
+    /// the first delivery predates the node's rotation adoption; anything
+    /// beyond that is a plain duplicate violation.
+    pub purge_redeliveries: Vec<Violation>,
 }
 
 impl OracleReport {
@@ -93,6 +111,15 @@ impl OracleReport {
     /// still distinguish "missed a delivery" from "admitted a fake".
     pub fn no_forged_delivery(&self) -> bool {
         self.forged_deliveries.is_empty()
+    }
+
+    /// True when no node delivered forged content after adopting the
+    /// revocation that outlawed its signing key — the trust-root rotation
+    /// verdict (DESIGN §15). Vacuously true when no rotation was
+    /// scheduled; deliveries inside the sanctioned exposure window (see
+    /// [`OracleReport::compromise_exposure`]) do not count against it.
+    pub fn no_post_revocation_delivery(&self) -> bool {
+        self.post_revocation_forged.is_empty()
     }
 
     /// Fraction of `(survivor, matching item)` pairs that delivered
@@ -134,12 +161,27 @@ impl fmt::Display for OracleReport {
         if !self.no_forged_delivery() {
             writeln!(f, "  ({} forged deliveries)", self.forged_deliveries.len())?;
         }
+        if !self.compromise_exposure.is_empty() {
+            writeln!(
+                f,
+                "  ({} forged deliveries inside the sanctioned exposure window)",
+                self.compromise_exposure.len()
+            )?;
+        }
+        if !self.purge_redeliveries.is_empty() {
+            writeln!(
+                f,
+                "  ({} sanctioned re-deliveries after retroactive purge)",
+                self.purge_redeliveries.len()
+            )?;
+        }
         for (label, list) in [
             ("duplicate delivery", &self.duplicate_deliveries),
             ("unwanted delivery", &self.unwanted_deliveries),
             ("missed delivery", &self.missed_deliveries),
             ("unconverged log", &self.unconverged_logs),
             ("forged delivery", &self.forged_deliveries),
+            ("post-revocation forged delivery", &self.post_revocation_forged),
         ] {
             for v in list.iter().take(8) {
                 writeln!(f, "  {label}: {v}")?;
@@ -190,11 +232,29 @@ pub fn check_invariants(
     for (node_id, node) in deployment.sim.iter() {
         report.nodes_checked += 1;
 
-        // Invariant 1: at most one application delivery per item.
+        // Invariant 1: at most one application delivery per item. One
+        // exception, only with a rotation in flight: an id first delivered
+        // before this node adopted the revocation may be delivered once
+        // more afterwards — the retroactive purge scrubbed the tainted
+        // copy, and the genuine successor-key item takes its place.
         let mut seen: HashSet<ItemId> = HashSet::with_capacity(node.deliveries.len());
+        let mut pre_adoption: HashSet<ItemId> = HashSet::new();
         for d in &node.deliveries {
+            // Strictly after: a delivery stamped at the adoption instant
+            // itself was admitted before the fence armed within that tick
+            // (an armed fence would have refused it outright).
+            let adopted_after = node.rotation_adopted_at.is_some_and(|t| d.delivered > t);
             if !seen.insert(d.item) {
-                report.duplicate_deliveries.push(Violation { node: node_id, item: d.item });
+                let sanctioned = deployment.revocation_at.is_some()
+                    && adopted_after
+                    && pre_adoption.remove(&d.item);
+                if sanctioned {
+                    report.purge_redeliveries.push(Violation { node: node_id, item: d.item });
+                } else {
+                    report.duplicate_deliveries.push(Violation { node: node_id, item: d.item });
+                }
+            } else if !adopted_after {
+                pre_adoption.insert(d.item);
             }
             // Invariant 2: the exact subscription admits everything the
             // application saw. A delivered id absent from the ground-truth
@@ -207,7 +267,24 @@ pub fn check_invariants(
                     }
                 }
                 None => {
-                    report.forged_deliveries.push(Violation { node: node_id, item: d.item });
+                    // With a rotation in flight, split by whether THIS
+                    // node's fence was armed when it delivered: before
+                    // adoption (inclusive — admissions stamped at the
+                    // adoption instant preceded the fence within that tick)
+                    // the stolen key was locally valid (exposure, DESIGN
+                    // §15); after adoption it is a hard violation.
+                    let sanctioned = deployment.revocation_at.is_some()
+                        && node.rotation_adopted_at.is_none_or(|t| d.delivered <= t);
+                    if sanctioned {
+                        report.compromise_exposure.push(Violation { node: node_id, item: d.item });
+                    } else {
+                        report.forged_deliveries.push(Violation { node: node_id, item: d.item });
+                        if deployment.revocation_at.is_some() {
+                            report
+                                .post_revocation_forged
+                                .push(Violation { node: node_id, item: d.item });
+                        }
+                    }
                 }
             }
         }
@@ -325,7 +402,9 @@ pub fn self_stabilized(
 ) -> StabilizationReport {
     let interval = deployment.config.astrolabe.gossip_interval;
     let mut rounds_used = 0u32;
-    let clean = |r: &OracleReport| r.holds() && r.converged() && r.no_forged_delivery();
+    let clean = |r: &OracleReport| {
+        r.holds() && r.converged() && r.no_forged_delivery() && r.no_post_revocation_delivery()
+    };
     let mut report = check_invariants(deployment, items, exempt);
     while rounds_used < within_rounds && !clean(&report) {
         let deadline = deployment.sim.now() + interval;

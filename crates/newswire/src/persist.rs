@@ -237,6 +237,13 @@ pub(crate) struct NodeState {
     /// (DESIGN §12 — stable storage is just another admission path).
     pub(crate) items: Vec<(NewsItem, KeyId, Signature)>,
     pub(crate) deliveries: Vec<DeliveryRecord>,
+    /// Adopted trust-root rotation records (encoded), persisted so a
+    /// durable cold restart re-arms the revocation fence *before* it
+    /// re-admits cached items — otherwise a reboot would resurrect items
+    /// signed by a key revoked while the node was up. Written as an
+    /// optional trailing section: nodes that never saw a rotation produce
+    /// blobs byte-identical to the pre-rotation format.
+    pub(crate) rotations: Vec<String>,
 }
 
 /// Encodes the `state` disk record.
@@ -264,6 +271,13 @@ pub(crate) fn encode_state(state: &NodeState) -> Vec<u8> {
         w.push_u64(d.published.as_micros());
         w.push_u64(d.delivered.as_micros());
         w.push(if d.via_repair { "1" } else { "0" });
+    }
+    if !state.rotations.is_empty() {
+        w.push("rot");
+        w.push_u64(state.rotations.len() as u64);
+        for r in &state.rotations {
+            w.push(r);
+        }
     }
     w.finish().into_bytes()
 }
@@ -317,6 +331,16 @@ pub(crate) fn decode_state(bytes: &[u8]) -> Option<NodeState> {
             delivered,
             via_repair,
         });
+    }
+    // Optional trailing rotation section; absent in pre-rotation blobs.
+    if let Some(tag) = r.next() {
+        if tag != "rot" {
+            return None;
+        }
+        let nrot = r.next_u64()?;
+        for _ in 0..nrot {
+            state.rotations.push(r.next()?.to_owned());
+        }
     }
     Some(state)
 }
@@ -425,6 +449,7 @@ mod tests {
                 delivered: SimTime::from_micros(95_420_000),
                 via_repair: true,
             }],
+            rotations: vec!["rot1|publisher:3|fake|record".to_owned()],
         };
         let decoded = decode_state(&encode_state(&state)).unwrap();
         assert_eq!(decoded, state);

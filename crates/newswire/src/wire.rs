@@ -1,13 +1,15 @@
 //! Wire messages of the NewsWire protocol.
 
+use std::sync::Arc;
+
 use amcast::{BaselineHint, FilterSpec, RangeSummary};
-use astrolabe::{Certificate, GossipMsg, KeyId, Signature, ZoneId};
+use astrolabe::{Certificate, GossipMsg, KeyId, RotationRecord, Signature, ZoneId};
 use filters::fnv1a;
 use newsml::cdc;
 use newsml::{ItemId, NewsItem, PublisherId};
 use simnet::Payload;
 
-use crate::auth::EpochAttest;
+use crate::auth::{EpochAttest, PublisherCredential};
 
 /// Delta-encoding annotation on an item-bearing message: "this body is
 /// encoded as a CDC delta against revision `revision` (length `body_len`)
@@ -136,8 +138,32 @@ pub fn msg_id_of(id: ItemId) -> u64 {
 /// NewsWire protocol messages.
 #[derive(Debug, Clone)]
 pub enum NewsWireMsg {
-    /// Astrolabe gossip.
-    Gossip(GossipMsg),
+    /// Astrolabe gossip, optionally carrying the sender's most recently
+    /// adopted trust-root rotation record as a rider (DESIGN §15). `None`
+    /// in runs with no rotations — the wire stays byte-identical to builds
+    /// that predate trust-root rotation.
+    Gossip {
+        /// The embedded Astrolabe exchange.
+        g: GossipMsg,
+        /// Rotation rider: the newest revocation/rotation record this node
+        /// has adopted, re-announced on every gossip exchange so revocation
+        /// reaches even nodes whose zone rows never carry the `sys$rot:`
+        /// attribute.
+        rot: Option<Arc<RotationRecord>>,
+    },
+    /// Trust-root rotation: a registry-endorsed record revoking a
+    /// publisher's key epoch and endorsing its successor certificate.
+    /// Injected externally at the publisher (with the replacement
+    /// credential) and at a few seed subscribers (record only); from there
+    /// the record propagates epidemically via gossip riders and `sys$rot:`
+    /// row attributes.
+    Rotate {
+        /// The signed revocation/rotation record.
+        record: RotationRecord,
+        /// The successor signing credential — only for the publisher node
+        /// itself, which must re-key before its next publish.
+        credential: Option<PublisherCredential>,
+    },
     /// External input to a publisher node: publish this item.
     PublishRequest {
         /// The item (the publisher stamps issue time and signs it).
@@ -230,7 +256,12 @@ pub enum NewsWireMsg {
 impl Payload for NewsWireMsg {
     fn wire_size(&self) -> usize {
         4 + match self {
-            NewsWireMsg::Gossip(g) => g.wire_size(),
+            NewsWireMsg::Gossip { g, rot } => {
+                g.wire_size() + rot.as_ref().map_or(0, |r| r.encode().len())
+            }
+            NewsWireMsg::Rotate { record, credential } => {
+                record.encode().len() + credential.as_ref().map_or(0, |_| 96)
+            }
             NewsWireMsg::PublishRequest { item, .. } => item.wire_size(),
             NewsWireMsg::Forward { env, zone } => env.wire_size() + 2 * zone.depth(),
             NewsWireMsg::Deliver { env } => env.wire_size(),

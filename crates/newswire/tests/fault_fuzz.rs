@@ -13,7 +13,8 @@ use newswire::{check_invariants, DeploymentBuilder, NewsWireConfig, PublisherSpe
 use rand::Rng;
 use simnet::{
     fork, ChurnSpec, CollusionScript, CollusionSpec, FaultCounters, FaultPlan, ForgeSpec,
-    GrayProfile, GraySpec, MessageChaosSpec, NodeId, SimDuration, SimTime,
+    GrayProfile, GraySpec, KeyCompromiseSpec, MessageChaosSpec, NodeId, SimDuration, SimTime,
+    SybilSpec,
 };
 
 /// Subscriber count; the deployment adds one publisher at node 0.
@@ -72,6 +73,8 @@ fn plan_for(seed: u64) -> FaultPlan {
         liars: vec![],
         collusion: vec![],
         forgery: vec![],
+        key_compromise: vec![],
+        sybil: vec![],
     }
 }
 
@@ -118,6 +121,8 @@ fn byzantine_plan_for(seed: u64) -> FaultPlan {
             items_per_strike: 3,
             publisher: 0,
         }],
+        key_compromise: vec![],
+        sybil: vec![],
     }
 }
 
@@ -164,6 +169,128 @@ fn byzantine_once(seed: u64) -> (Vec<(u32, u64, u64)>, FaultCounters) {
     let report = check_invariants(&d, &items, &exempt);
     assert!(report.survivor_expected > 0, "seed {seed}: vacuous oracle run");
     assert!(report.no_forged_delivery(), "seed {seed}: forged delivery: {report}");
+    assert!(report.holds(), "seed {seed}: {report}");
+
+    let mut fingerprint = Vec::new();
+    for (id, node) in d.sim.iter() {
+        for rec in &node.deliveries {
+            fingerprint.push((id.0, rec.msg_id, rec.delivered.since(SimTime::ZERO).as_micros()));
+        }
+    }
+    (fingerprint, counters)
+}
+
+/// Draws the seeded trust-root plan for one fuzz run: a stolen-key window
+/// (the adversary signs forgeries and bogus attestations with publisher 0's
+/// real key) plus a Sybil identity burst. Node 0 (the publisher) is spared,
+/// and thieves/Sybil strikers are disjoint.
+fn trust_plan_for(seed: u64) -> FaultPlan {
+    let mut rng = fork(seed, 0x7A);
+    let mut picked: HashSet<u32> = HashSet::new();
+    let draw = |rng: &mut _, picked: &mut HashSet<u32>, n: usize| {
+        let mut out = Vec::new();
+        while out.len() < n {
+            let v: u32 = rand::Rng::gen_range(rng, 1..N);
+            if picked.insert(v) {
+                out.push(NodeId(v));
+            }
+        }
+        out
+    };
+    let thieves = draw(&mut rng, &mut picked, 3);
+    let sybils = draw(&mut rng, &mut picked, 2);
+    FaultPlan {
+        salt: seed,
+        churn: vec![],
+        gray: vec![],
+        link_cuts: vec![],
+        partitions: vec![],
+        message_chaos: vec![],
+        corruption: vec![],
+        liars: vec![],
+        collusion: vec![],
+        forgery: vec![],
+        // The window opens at t=105, after the real stream has circulated,
+        // so forged seqs land beyond the published range and stay visible
+        // to the oracle as forgeries rather than colliding with real ids.
+        key_compromise: vec![KeyCompromiseSpec {
+            nodes: thieves,
+            start: SimTime::from_secs(105),
+            end: SimTime::from_secs(135),
+            mean_interval_secs: 6.0,
+            items_per_strike: 2,
+            attest_bump: 2,
+            publisher: 0,
+        }],
+        sybil: vec![SybilSpec {
+            nodes: sybils,
+            start: SimTime::from_secs(95),
+            end: SimTime::from_secs(140),
+            mean_interval_secs: 7.0,
+            identities_per_strike: 6,
+            publisher: 0,
+        }],
+    }
+}
+
+/// One trust-root chaos run with defenses and admission control on: the
+/// adversary holds publisher 0's real signing key mid-run, the registry
+/// revokes it at t=125, and the revocation record must propagate and fence
+/// every admission path. Returns the same replayable fingerprint as
+/// [`fuzz_once`]; asserts the revocation-safety verdict and that both
+/// adversaries actually struck.
+fn trust_once(seed: u64) -> (Vec<(u32, u64, u64)>, FaultCounters) {
+    let mut config = NewsWireConfig::tech_news();
+    config.redundancy = 2;
+    config.admission = true;
+    let mut d = DeploymentBuilder::new(N, seed)
+        .branching(8)
+        .config(config)
+        .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+        .build();
+    d.settle(90);
+
+    let plan = trust_plan_for(seed);
+    d.sim.apply_fault_plan(&plan);
+
+    let items: Vec<NewsItem> = (0..12u64)
+        .map(|s| {
+            NewsItem::builder(PublisherId(0), s)
+                .headline(format!("trust {s}"))
+                .category(Category::Technology)
+                .build()
+        })
+        .collect();
+    for (i, item) in items.iter().enumerate() {
+        d.publish(SimTime::from_secs(92 + i as u64), item.clone());
+    }
+    // Revocation lands mid-window: strikes before t=125 are the sanctioned
+    // exposure, strikes after it must bounce off every fence.
+    d.schedule_rotation(SimTime::from_secs(125), PublisherId(0), 4);
+    d.settle(200);
+
+    let counters = d.sim.fault_counters();
+    assert!(counters.key_compromise_strikes > 0, "seed {seed}: stolen key never struck");
+    assert!(counters.sybil_joins_attempted > 0, "seed {seed}: Sybil burst never struck");
+
+    for (id, node) in d.sim.iter() {
+        assert!(
+            node.rotation_adopted_at.is_some(),
+            "seed {seed}: node {id} never adopted the rotation"
+        );
+    }
+
+    // Thieves and Sybil strikers are exempt from eventual delivery (their
+    // own state was puppeted), but no node — them included — may deliver
+    // forged content after adopting the revocation.
+    let mut exempt: BTreeSet<NodeId> = plan.compromised_nodes();
+    exempt.extend(plan.sybil_nodes());
+    let report = check_invariants(&d, &items, &exempt);
+    assert!(report.survivor_expected > 0, "seed {seed}: vacuous oracle run");
+    assert!(
+        report.no_post_revocation_delivery(),
+        "seed {seed}: post-revocation forged delivery: {report}"
+    );
     assert!(report.holds(), "seed {seed}: {report}");
 
     let mut fingerprint = Vec::new();
@@ -254,6 +381,26 @@ fn fuzz_runs_replay_bit_for_bit() {
     assert_eq!(first, again, "same seed must replay identically");
     let other = fuzz_once(43);
     assert_ne!(first.0, other.0, "different seeds must diverge");
+}
+
+#[test]
+fn trust_fuzz_upholds_revocation_safety() {
+    for seed in 1..=3u64 {
+        trust_once(seed);
+    }
+}
+
+#[test]
+fn trust_fuzz_replays_bit_for_bit() {
+    let first = trust_once(42);
+    let again = trust_once(42);
+    assert_eq!(first, again, "same seed must replay identically, strikes included");
+    let other = trust_once(43);
+    assert_ne!(
+        (&first.1.key_compromise_strikes, &first.1.sybil_joins_attempted, &first.0),
+        (&other.1.key_compromise_strikes, &other.1.sybil_joins_attempted, &other.0),
+        "different seeds must diverge"
+    );
 }
 
 #[test]

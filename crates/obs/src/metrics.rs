@@ -222,6 +222,22 @@ pub mod ctr {
         GOSSIP_DELTA_DIGESTS = 83, "gossip_delta_digests";
         /// Full-digest fallbacks (periodic safety net or generation gap).
         GOSSIP_FULL_FALLBACKS = 84, "gossip_full_fallbacks";
+        // -- trust-root rotation: key compromise, revocation, Sybil
+        //    admission --
+        /// Stolen-key strikes executed against compromised members.
+        KEY_COMPROMISE_STRIKES = 85, "key_compromise_strikes";
+        /// Fabricated identities injected by `SybilFlood` strikes.
+        SYBIL_JOINS_ATTEMPTED = 86, "sybil_joins_attempted";
+        /// Unendorsed member rows refused at gossip admission.
+        SYBIL_JOINS_REFUSED = 87, "sybil_joins_refused";
+        /// Rotation/revocation records verified and adopted.
+        CERT_REVOCATIONS_SEEN = 88, "cert_revocations_seen";
+        /// Admissions refused because the signing key-epoch was revoked.
+        NW_REVOKED_KEY_REJECTS = 89, "revoked_key_rejects";
+        /// Cached items retroactively purged after their key was revoked.
+        NW_RETRO_PURGED_ITEMS = 90, "retro_purged_items";
+        /// Identities first held in the bounded probation set.
+        NW_PROBATION_HOLDS = 91, "probation_holds";
     }
 }
 
@@ -596,6 +612,13 @@ mod tests {
         assert_eq!(s.counter_name(ctr::COLLUSION_STRIKES), "collusion_strikes");
         assert_eq!(s.counter_name(ctr::COLLUSION_INTERCEPTS), "collusion_intercepts");
         assert_eq!(s.counter_name(ctr::FORGED_ITEMS_INJECTED), "forged_items_injected");
+        assert_eq!(s.counter_name(ctr::KEY_COMPROMISE_STRIKES), "key_compromise_strikes");
+        assert_eq!(s.counter_name(ctr::SYBIL_JOINS_ATTEMPTED), "sybil_joins_attempted");
+        assert_eq!(s.counter_name(ctr::SYBIL_JOINS_REFUSED), "sybil_joins_refused");
+        assert_eq!(s.counter_name(ctr::CERT_REVOCATIONS_SEEN), "cert_revocations_seen");
+        assert_eq!(s.counter_name(ctr::NW_REVOKED_KEY_REJECTS), "revoked_key_rejects");
+        assert_eq!(s.counter_name(ctr::NW_RETRO_PURGED_ITEMS), "retro_purged_items");
+        assert_eq!(s.counter_name(ctr::NW_PROBATION_HOLDS), "probation_holds");
         assert_eq!(s.gauge_name(gauge::ASTRO_ROWS_HELD), "astro_rows_held");
         assert_eq!(s.hist_def(hist::GOSSIP_DIGEST_BYTES).name, "gossip_digest_bytes");
         assert_eq!(s.series_name(series::DELIVERY_LATENCY_US), "delivery_latency_us");

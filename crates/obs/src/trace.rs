@@ -67,6 +67,12 @@ pub mod kind {
     /// A collusion-script strike executed on a colluding member
     /// (`a` = corruption op discriminant, `b` = units affected).
     pub const COLLUSION_STRIKE: u8 = 10;
+    /// A stolen-key strike executed on a compromised member
+    /// (`a` = publisher whose key is held, `b` = items signed).
+    pub const KEY_COMPROMISE_STRIKE: u8 = 11;
+    /// A Sybil-flood strike executed on an adversary member
+    /// (`a` = fabricated identities injected, `b` = claimed epoch).
+    pub const SYBIL_STRIKE: u8 = 12;
 
     /// One gossip round executed (`a` = rows held, `b` = digests sent).
     pub const GOSSIP_ROUND: u8 = 16;
@@ -142,6 +148,20 @@ pub mod kind {
     /// An epoch claim above the publisher's signed authority was refused
     /// (`a` = claimed epoch, `b` = publisher).
     pub const SIGNED_EPOCH_REFUSAL: u8 = 65;
+    /// A rotation/revocation record was verified and adopted
+    /// (`a` = publisher, `b` = rotation serial).
+    pub const CERT_REVOKED: u8 = 66;
+    /// An admission was refused because its signing key-epoch is revoked
+    /// (`a` = path discriminant: 1 = envelope, 2 = repair reply,
+    /// 3 = reconcile reply, 4 = stable-storage restore, 5 = epoch
+    /// attestation; `b` = publisher).
+    pub const REVOKED_KEY_REJECT: u8 = 67;
+    /// Cached items admitted under a key were retroactively purged after
+    /// its revocation (`a` = publisher, `b` = items purged).
+    pub const RETRO_PURGE: u8 = 68;
+    /// An unendorsed identity was first held in the bounded probation set
+    /// (`a` = identity, `b` = probation set size after the hold).
+    pub const PROBATION_HOLD: u8 = 69;
 
     /// Stable lowercase name of a kind (used in exports).
     pub fn name(k: u8) -> &'static str {
@@ -156,6 +176,8 @@ pub mod kind {
             STATE_CORRUPT => "state_corrupt",
             LIAR_INTERCEPT => "liar_intercept",
             COLLUSION_STRIKE => "collusion_strike",
+            KEY_COMPROMISE_STRIKE => "key_compromise_strike",
+            SYBIL_STRIKE => "sybil_strike",
             GOSSIP_ROUND => "gossip_round",
             GOSSIP_DIGEST => "gossip_digest",
             GOSSIP_DIFF => "gossip_diff",
@@ -184,6 +206,10 @@ pub mod kind {
             FORGED_REJECT => "forged_reject",
             PEER_QUARANTINE => "peer_quarantine",
             SIGNED_EPOCH_REFUSAL => "signed_epoch_refusal",
+            CERT_REVOKED => "cert_revoked",
+            REVOKED_KEY_REJECT => "revoked_key_reject",
+            RETRO_PURGE => "retro_purge",
+            PROBATION_HOLD => "probation_hold",
             _ => "unknown",
         }
     }
@@ -473,6 +499,12 @@ mod tests {
         assert_eq!(kind::name(kind::FORGED_REJECT), "forged_reject");
         assert_eq!(kind::name(kind::PEER_QUARANTINE), "peer_quarantine");
         assert_eq!(kind::name(kind::SIGNED_EPOCH_REFUSAL), "signed_epoch_refusal");
+        assert_eq!(kind::name(kind::KEY_COMPROMISE_STRIKE), "key_compromise_strike");
+        assert_eq!(kind::name(kind::SYBIL_STRIKE), "sybil_strike");
+        assert_eq!(kind::name(kind::CERT_REVOKED), "cert_revoked");
+        assert_eq!(kind::name(kind::REVOKED_KEY_REJECT), "revoked_key_reject");
+        assert_eq!(kind::name(kind::RETRO_PURGE), "retro_purge");
+        assert_eq!(kind::name(kind::PROBATION_HOLD), "probation_hold");
         assert_eq!(kind::name(250), "unknown");
         assert_eq!(Layer::from_u8(2), Some(Layer::Amcast));
         assert_eq!(Layer::from_u8(9), None);

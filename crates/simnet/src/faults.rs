@@ -235,6 +235,54 @@ pub struct ForgeSpec {
     pub publisher: u16,
 }
 
+/// A key-compromise window: the adversary holds `publisher`'s *real*
+/// signing key (exfiltrated from the trust registry) and, at Poisson
+/// intervals within `[start, end)`, strikes the listed nodes with
+/// [`CorruptionOp::StolenKey`] — fabricating validly-signed forged items
+/// and a bogus epoch attestation that verify correctly until the
+/// key-epoch is revoked. Expands exactly like [`ForgeSpec`], so the
+/// schedule replays bit-for-bit for a given `(seed, plan)` pair.
+#[derive(Debug, Clone)]
+pub struct KeyCompromiseSpec {
+    /// Nodes the adversary operates from during the window.
+    pub nodes: Vec<NodeId>,
+    /// When the key is stolen (first possible strike).
+    pub start: SimTime,
+    /// When the window closes (no strikes at or after this time).
+    pub end: SimTime,
+    /// Mean seconds between strikes against one node.
+    pub mean_interval_secs: f64,
+    /// Forged (validly signed) items fabricated per strike.
+    pub items_per_strike: u32,
+    /// How far above the signed authority each bogus attestation claims.
+    pub attest_bump: u32,
+    /// Raw id of the publisher whose key the adversary holds.
+    pub publisher: u16,
+}
+
+/// A Sybil burst: within `[start, end)`, the listed nodes are struck at
+/// Poisson intervals with [`CorruptionOp::SybilFlood`], each strike
+/// injecting `identities_per_strike` fabricated member identities into the
+/// striker's own leaf-zone table — where gossip, join, and reconcile
+/// peer-selection paths will encounter them. All Sybils in one spec vote
+/// the same fabricated epoch (drawn once from the plan stream, like
+/// [`CollusionScript::EpochCapture`]'s joint vote).
+#[derive(Debug, Clone)]
+pub struct SybilSpec {
+    /// Nodes that fabricate identities.
+    pub nodes: Vec<NodeId>,
+    /// When the burst starts.
+    pub start: SimTime,
+    /// When it stops.
+    pub end: SimTime,
+    /// Mean seconds between strikes against one node.
+    pub mean_interval_secs: f64,
+    /// Fabricated identities injected per strike.
+    pub identities_per_strike: u32,
+    /// Raw id of the publisher whose epoch the Sybils jointly vote.
+    pub publisher: u16,
+}
+
 /// A liar window: the nodes run their outbound traffic through the
 /// protocol's `tamper_outbound` interceptor for the duration.
 #[derive(Debug, Clone)]
@@ -277,6 +325,10 @@ pub struct FaultPlan {
     pub collusion: Vec<CollusionSpec>,
     /// Item-forgery processes.
     pub forgery: Vec<ForgeSpec>,
+    /// Key-compromise windows (stolen-key forgeries).
+    pub key_compromise: Vec<KeyCompromiseSpec>,
+    /// Sybil identity bursts.
+    pub sybil: Vec<SybilSpec>,
 }
 
 impl FaultPlan {
@@ -309,6 +361,16 @@ impl FaultPlan {
     /// Every node any forgery process may strike.
     pub fn forging_nodes(&self) -> BTreeSet<NodeId> {
         self.forgery.iter().flat_map(|f| f.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any key-compromise window operates from.
+    pub fn compromised_nodes(&self) -> BTreeSet<NodeId> {
+        self.key_compromise.iter().flat_map(|k| k.nodes.iter().copied()).collect()
+    }
+
+    /// Every node any Sybil burst strikes.
+    pub fn sybil_nodes(&self) -> BTreeSet<NodeId> {
+        self.sybil.iter().flat_map(|s| s.nodes.iter().copied()).collect()
     }
 }
 
@@ -463,6 +525,48 @@ impl<N: Node> Simulation<N> {
                 }
             }
         }
+        for spec in &plan.key_compromise {
+            assert!(
+                spec.mean_interval_secs > 0.0,
+                "key-compromise spec needs a positive mean interval"
+            );
+            let op = CorruptionOp::StolenKey {
+                publisher: spec.publisher,
+                items: spec.items_per_strike,
+                attest_bump: spec.attest_bump,
+            };
+            let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+            for &node in &spec.nodes {
+                let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                    + exp_sample(&mut rng, spec.mean_interval_secs);
+                while t < end {
+                    let strike_seed: u64 = rng.gen();
+                    self.schedule_corruption(at_secs(t), node, op, strike_seed);
+                    t += exp_sample(&mut rng, spec.mean_interval_secs);
+                }
+            }
+        }
+        for spec in &plan.sybil {
+            assert!(spec.mean_interval_secs > 0.0, "sybil spec needs a positive mean interval");
+            // Like the epoch-capture joint vote: one fabricated epoch per
+            // spec, drawn once from the plan stream, claimed by every Sybil.
+            let epoch: u32 = 100 + rng.gen_range(0u32..64);
+            let op = CorruptionOp::SybilFlood {
+                identities: spec.identities_per_strike,
+                publisher: spec.publisher,
+                epoch,
+            };
+            let end = spec.end.since(SimTime::ZERO).as_secs_f64();
+            for &node in &spec.nodes {
+                let mut t = spec.start.since(SimTime::ZERO).as_secs_f64()
+                    + exp_sample(&mut rng, spec.mean_interval_secs);
+                while t < end {
+                    let strike_seed: u64 = rng.gen();
+                    self.schedule_corruption(at_secs(t), node, op, strike_seed);
+                    t += exp_sample(&mut rng, spec.mean_interval_secs);
+                }
+            }
+        }
     }
 }
 
@@ -526,6 +630,18 @@ mod tests {
                 CorruptionOp::VoteEpoch { epoch, .. } => {
                     self.draws.push(u64::from(*epoch));
                     1
+                }
+                CorruptionOp::StolenKey { items, .. } => {
+                    for _ in 0..*items {
+                        self.draws.push(rng.gen());
+                    }
+                    u64::from(*items)
+                }
+                CorruptionOp::SybilFlood { identities, epoch, .. } => {
+                    for _ in 0..*identities {
+                        self.draws.push(u64::from(*epoch));
+                    }
+                    u64::from(*identities)
                 }
                 _ => 0,
             }
@@ -656,6 +772,8 @@ mod tests {
         assert_eq!(s1.fault_counters().collusion_strikes, 0);
         assert_eq!(s1.fault_counters().collusion_intercepts, 0);
         assert_eq!(s1.fault_counters().forged_items_injected, 0);
+        assert_eq!(s1.fault_counters().key_compromise_strikes, 0);
+        assert_eq!(s1.fault_counters().sybil_joins_attempted, 0);
     }
 
     #[test]
@@ -751,6 +869,71 @@ mod tests {
             s1.node(NodeId(1)).draws.len() as u64,
             "every fabricated item was drawn from the strike stream"
         );
+    }
+
+    #[test]
+    fn key_compromise_spec_schedule_is_seed_deterministic() {
+        let plan = FaultPlan {
+            salt: 0x5701E,
+            key_compromise: vec![KeyCompromiseSpec {
+                nodes: vec![NodeId(1)],
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(35),
+                mean_interval_secs: 6.0,
+                items_per_strike: 2,
+                attest_bump: 3,
+                publisher: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(31, &plan);
+        let s2 = chatty_pair(31, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.key_compromise_strikes > 0, "the stolen key must actually strike");
+        assert_eq!(f1.forged_items_injected, 0, "stolen-key forgeries are tallied separately");
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical strike counters");
+        assert_eq!(s1.node(NodeId(1)).draws, s2.node(NodeId(1)).draws);
+        assert_eq!(
+            s1.node(NodeId(1)).draws.len() as u64,
+            f1.key_compromise_strikes * 2,
+            "every strike fabricates items_per_strike items"
+        );
+        // A different salt draws a different schedule.
+        let s3 = chatty_pair(31, &FaultPlan { salt: 0xD1FF, ..plan.clone() });
+        assert_ne!(s1.node(NodeId(1)).draws, s3.node(NodeId(1)).draws);
+    }
+
+    #[test]
+    fn sybil_spec_votes_one_epoch_and_replays() {
+        let plan = FaultPlan {
+            salt: 0x5B11,
+            sybil: vec![SybilSpec {
+                nodes: vec![NodeId(0), NodeId(1)],
+                start: SimTime::from_secs(5),
+                end: SimTime::from_secs(30),
+                mean_interval_secs: 5.0,
+                identities_per_strike: 4,
+                publisher: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        let s1 = chatty_pair(37, &plan);
+        let s2 = chatty_pair(37, &plan);
+        let f1 = s1.fault_counters();
+        assert!(f1.sybil_joins_attempted > 0, "the burst must actually inject");
+        assert_eq!(f1, s2.fault_counters(), "same seed ⇒ identical injection counters");
+        // The Sybils vote *jointly*: every fabricated identity across every
+        // striker claims the identical epoch, drawn once per spec.
+        let all: Vec<u64> = s1
+            .node(NodeId(0))
+            .draws
+            .iter()
+            .chain(s1.node(NodeId(1)).draws.iter())
+            .copied()
+            .collect();
+        assert_eq!(all.len() as u64, f1.sybil_joins_attempted);
+        assert!(all.iter().all(|&e| e == all[0]), "sybils must vote the same epoch");
+        assert!((100..164).contains(&(all[0] as u32)));
     }
 
     #[test]

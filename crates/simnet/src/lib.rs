@@ -72,7 +72,7 @@ mod topology;
 pub use disk::{Disk, RestartMode};
 pub use faults::{
     ChurnSpec, CollusionScript, CollusionSpec, CorruptionSpec, FaultPlan, ForgeSpec, GraySpec,
-    LiarSpec, LinkCutSpec, MessageChaosSpec, PartitionSpec,
+    KeyCompromiseSpec, LiarSpec, LinkCutSpec, MessageChaosSpec, PartitionSpec, SybilSpec,
 };
 pub use node::{
     Context, CorruptionOp, LiarAction, LiarBehavior, LiarMode, Node, NodeId, Payload, TimerId,

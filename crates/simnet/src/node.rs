@@ -89,6 +89,31 @@ pub enum CorruptionOp {
         /// The fabricated epoch the group jointly claims.
         epoch: u32,
     },
+    /// Sign forgeries with a *stolen real key*: the adversary holds
+    /// `publisher`'s current signing key (exfiltrated from the trust
+    /// registry) and fabricates `items` items plus a bogus epoch
+    /// attestation bumped `attest_bump` above the signed authority — all
+    /// of which verify correctly until the key-epoch is revoked.
+    StolenKey {
+        /// Raw id of the publisher whose key the adversary holds.
+        publisher: u16,
+        /// Forged (validly signed) items fabricated per strike.
+        items: u32,
+        /// How far above the current authority the bogus attestation
+        /// claims.
+        attest_bump: u32,
+    },
+    /// Inject `identities` fabricated member identities into the node's own
+    /// leaf-zone table, where gossip will spread them: the Sybil burst.
+    /// Each fake row votes the fabricated `epoch` for `publisher`.
+    SybilFlood {
+        /// Fabricated identities injected per strike.
+        identities: u32,
+        /// Raw id of the publisher whose epoch the Sybils vote.
+        publisher: u16,
+        /// The fabricated epoch the Sybils jointly claim.
+        epoch: u32,
+    },
 }
 
 impl CorruptionOp {
@@ -100,6 +125,8 @@ impl CorruptionOp {
             CorruptionOp::DiskBytes { .. } => 3,
             CorruptionOp::ForgeItems { .. } => 4,
             CorruptionOp::VoteEpoch { .. } => 5,
+            CorruptionOp::StolenKey { .. } => 6,
+            CorruptionOp::SybilFlood { .. } => 7,
         }
     }
 
@@ -111,6 +138,8 @@ impl CorruptionOp {
             CorruptionOp::DiskBytes { .. } => "disk_bytes",
             CorruptionOp::ForgeItems { .. } => "forge_items",
             CorruptionOp::VoteEpoch { .. } => "vote_epoch",
+            CorruptionOp::StolenKey { .. } => "stolen_key",
+            CorruptionOp::SybilFlood { .. } => "sybil_flood",
         }
     }
 }

@@ -611,6 +611,32 @@ impl<N: Node> Shard<N> {
                     if matches!(op, CorruptionOp::ForgeItems { .. }) {
                         hub.global_mut().ctr_add(ctr::FORGED_ITEMS_INJECTED, units);
                     }
+                    if let CorruptionOp::StolenKey { publisher, .. } = op {
+                        hub.global_mut().ctr_add(ctr::KEY_COMPROMISE_STRIKES, 1);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::KEY_COMPROMISE_STRIKE,
+                                u64::from(publisher),
+                                units,
+                            );
+                        }
+                    }
+                    if let CorruptionOp::SybilFlood { epoch, .. } = op {
+                        hub.global_mut().ctr_add(ctr::SYBIL_JOINS_ATTEMPTED, units);
+                        if obs::ENABLED {
+                            hub.trace_at(
+                                self.now.as_micros(),
+                                node.0,
+                                Layer::Sim,
+                                kind::SYBIL_STRIKE,
+                                units,
+                                u64::from(epoch),
+                            );
+                        }
+                    }
                     if obs::ENABLED {
                         hub.trace_at(
                             self.now.as_micros(),
@@ -900,6 +926,8 @@ impl<N: Node> Simulation<N> {
             collusion_strikes: g.ctr(ctr::COLLUSION_STRIKES),
             collusion_intercepts: g.ctr(ctr::COLLUSION_INTERCEPTS),
             forged_items_injected: g.ctr(ctr::FORGED_ITEMS_INJECTED),
+            key_compromise_strikes: g.ctr(ctr::KEY_COMPROMISE_STRIKES),
+            sybil_joins_attempted: g.ctr(ctr::SYBIL_JOINS_ATTEMPTED),
         }
     }
 

@@ -77,6 +77,11 @@ pub struct FaultCounters {
     pub collusion_intercepts: u64,
     /// Forged news items fabricated into node state by `ForgeItems` strikes.
     pub forged_items_injected: u64,
+    /// Stolen-key strikes executed by `StolenKey` corruption (validly
+    /// signed forgeries; counted in addition to `state_corruptions`).
+    pub key_compromise_strikes: u64,
+    /// Fabricated identities injected by `SybilFlood` strikes.
+    pub sybil_joins_attempted: u64,
 }
 
 impl FaultCounters {
@@ -107,6 +112,8 @@ impl FaultCounters {
         self.collusion_strikes += other.collusion_strikes;
         self.collusion_intercepts += other.collusion_intercepts;
         self.forged_items_injected += other.forged_items_injected;
+        self.key_compromise_strikes += other.key_compromise_strikes;
+        self.sybil_joins_attempted += other.sybil_joins_attempted;
     }
 }
 

@@ -335,6 +335,111 @@ fn same_seed_byzantine_run_drains_identical_telemetry() {
     let _ = (ca, cb);
 }
 
+/// A trust-root rotation run — a stolen-key window straddling the
+/// revocation, a Sybil identity burst, admission control on — replays
+/// bit-for-bit, and the drained snapshot carries every counter and trace
+/// kind the E21 nightly gate reads. Strike expansion, rotation adoption,
+/// the admission-path fences, retroactive purges and probation bookkeeping
+/// draw no nondeterminism of their own. This is the property the CI
+/// determinism matrix pins for the `key_compromise_day` example.
+#[test]
+fn same_seed_trust_rotation_run_drains_identical_telemetry() {
+    use newswire::self_stabilized;
+    use simnet::{KeyCompromiseSpec, SybilSpec};
+    use std::collections::BTreeSet;
+
+    fn trust_run(seed: u64) -> (String, String) {
+        let mut config = NewsWireConfig::tech_news();
+        config.admission = true;
+        let mut d = DeploymentBuilder::new(40, seed)
+            .branching(4)
+            .config(config)
+            .publisher(PublisherSpec::global(PublisherProfile::slashdot(PublisherId(0))))
+            .build();
+        d.settle(60);
+        let plan = FaultPlan {
+            salt: 0x15,
+            key_compromise: vec![KeyCompromiseSpec {
+                nodes: vec![NodeId(6), NodeId(21)],
+                start: SimTime::from_secs(70),
+                end: SimTime::from_secs(110),
+                mean_interval_secs: 4.0,
+                items_per_strike: 2,
+                attest_bump: 1,
+                publisher: 0,
+            }],
+            sybil: vec![SybilSpec {
+                nodes: vec![NodeId(13)],
+                start: SimTime::from_secs(65),
+                end: SimTime::from_secs(110),
+                mean_interval_secs: 5.0,
+                identities_per_strike: 6,
+                publisher: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        d.sim.apply_fault_plan(&plan);
+        let items: Vec<NewsItem> = (0..6u64)
+            .map(|seq| {
+                NewsItem::builder(PublisherId(0), seq)
+                    .headline(format!("trust determinism {seq}"))
+                    .category(Category::Technology)
+                    .build()
+            })
+            .collect();
+        for (i, item) in items.iter().enumerate() {
+            d.publish(SimTime::from_secs(62 + i as u64), item.clone());
+        }
+        // Revocation lands mid-window: the fleet adopts while the thieves
+        // keep striking, so the admission-path fences fire on live traffic.
+        d.schedule_rotation(SimTime::from_secs(90), PublisherId(0), 3);
+        d.settle(90); // rides out the compromise window to t=150
+        let mut exempt: BTreeSet<NodeId> = plan.compromised_nodes();
+        exempt.extend(plan.sybil_nodes());
+        let verdict = self_stabilized(&mut d, &items, &exempt, 30);
+        assert!(verdict.stabilized, "defenses-on trust-rotation run must stabilize");
+        assert!(
+            verdict.report.no_post_revocation_delivery(),
+            "no forged delivery may postdate adoption"
+        );
+        let t = d.sim.drain_telemetry();
+        (t.to_json(), t.events_csv())
+    }
+    let (ja, ca) = trust_run(0x7205);
+    let (jb, cb) = trust_run(0x7205);
+    assert_eq!(ja, jb, "same-seed trust-rotation telemetry JSON diverged");
+    assert_eq!(ca, cb, "same-seed trust-rotation trace CSV diverged");
+    // The rotation counters and trace kinds are part of the drained
+    // snapshot (slot coverage for the E21 instrumentation the nightly gate
+    // reads). Only non-zero slots export, so this also proves every
+    // defense actually fired in the run.
+    #[cfg(feature = "obs")]
+    {
+        for name in [
+            "key_compromise_strikes",
+            "sybil_joins_attempted",
+            "sybil_joins_refused",
+            "cert_revocations_seen",
+            "revoked_key_rejects",
+            "retro_purged_items",
+            "probation_holds",
+        ] {
+            assert!(ja.contains(name), "drained telemetry must carry `{name}`");
+        }
+        for kind in [
+            "key_compromise_strike",
+            "sybil_strike",
+            "cert_revoked",
+            "revoked_key_reject",
+            "retro_purge",
+            "probation_hold",
+        ] {
+            assert!(ca.contains(kind), "trace CSV must carry `{kind}` records");
+        }
+    }
+    let _ = (ca, cb);
+}
+
 /// Draining is destructive: a second drain yields an empty snapshot, while
 /// `snapshot_telemetry` leaves state in place.
 #[test]
